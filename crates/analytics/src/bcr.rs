@@ -1,0 +1,411 @@
+//! Regex-constrained betweenness centrality `bc_r` — §4.2 of the paper.
+//!
+//! Given a regular expression `r`, let `S_{a,b,r}` be the set of shortest
+//! paths from `a` to `b` *conforming to `r`*, and `S_{a,b,r}(x)` those
+//! containing node `x`. Then
+//!
+//! ```text
+//! bc_r(x) = Σ_{a,b : a≠x ∧ b≠x, S_{a,b,r} ≠ ∅}  |S_{a,b,r}(x)| / |S_{a,b,r}|
+//! ```
+//!
+//! The paper's §4.2 example: measuring the centrality of a bus *as a
+//! transportation service* with `r = ?person/rides/?bus/rides⁻/?person`,
+//! so that paths via the owning company do not inflate the score.
+//!
+//! Counting shortest conforming paths is intractable in general (it
+//! embeds `Count`); two algorithms are provided:
+//!
+//! * [`bc_r_exact`] — determinized product + per-source layered DP;
+//!   `|S_{a,b,r}(x)|` is obtained by the node-deletion identity
+//!   `σ(x) = σ − σ_{avoid x}`. Exponential only through determinization,
+//!   exact otherwise.
+//! * [`bc_r_approx`] — the §4.2 proposal: use the uniform-generation
+//!   machinery to *sample* shortest conforming paths per pair and
+//!   estimate the pass-through fractions `|S(x)|/|S|` empirically.
+
+use kgq_core::automata::Nfa;
+use kgq_core::expr::PathExpr;
+use kgq_core::model::PathGraph;
+use kgq_core::product::DetProduct;
+use kgq_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-source shortest-path data over the det product.
+struct SourceDp {
+    /// `layers[i][s]` = number of distinct conforming words of length `i`
+    /// from the source reaching det state `s` (only states at BFS level
+    /// `i` are nonzero).
+    layers: Vec<Vec<u128>>,
+    /// For every target node `b`: `(d_r(a,b), σ_ab)` if any conforming
+    /// path exists.
+    best: Vec<Option<(usize, u128)>>,
+}
+
+fn source_dp(det: &DetProduct, a: NodeId, n_nodes: usize, skip: Option<NodeId>) -> SourceDp {
+    let m = det.state_count();
+    let mut best: Vec<Option<(usize, u128)>> = vec![None; n_nodes];
+    let mut layers: Vec<Vec<u128>> = Vec::new();
+    let mut cur = vec![0u128; m];
+    let mut alive = true;
+    if let Some(s0) = det.initial[a.index()] {
+        if skip != Some(a) {
+            cur[s0 as usize] = 1;
+        } else {
+            alive = false;
+        }
+    } else {
+        alive = false;
+    }
+    // BFS level per det state prevents revisiting: only states first
+    // reached at layer i count words of length i as *shortest*.
+    let mut level = vec![usize::MAX; m];
+    if alive {
+        if let Some(s0) = det.initial[a.index()] {
+            level[s0 as usize] = 0;
+        }
+    }
+    let mut i = 0usize;
+    loop {
+        // Record acceptances at this layer.
+        for (s, &c) in cur.iter().enumerate() {
+            if c > 0 && det.accepting[s] {
+                let b = det.node_of(s as u32);
+                match &mut best[b.index()] {
+                    slot @ None => *slot = Some((i, c)),
+                    Some((d, total)) if *d == i => *total += c,
+                    _ => {}
+                }
+            }
+        }
+        layers.push(cur.clone());
+        // Advance one layer, only into unvisited or same-level states.
+        let mut next = vec![0u128; m];
+        let mut any = false;
+        for (s, &c) in cur.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            for &(_, s2) in &det.out[s] {
+                let s2u = s2 as usize;
+                if let Some(x) = skip {
+                    if det.node_of(s2) == x {
+                        continue;
+                    }
+                }
+                if level[s2u] == usize::MAX {
+                    level[s2u] = i + 1;
+                }
+                if level[s2u] == i + 1 {
+                    next[s2u] += c;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        cur = next;
+        i += 1;
+    }
+    SourceDp { layers, best }
+}
+
+/// Exact `bc_r` for every node. `O(n² · |det| · diam)` after one
+/// determinization; intended for small/medium graphs and as ground truth
+/// for [`bc_r_approx`].
+pub fn bc_r_exact<G: PathGraph>(g: &G, expr: &PathExpr) -> Vec<f64> {
+    let nfa = Nfa::compile(expr);
+    let det = DetProduct::build(g, &nfa);
+    let n = g.node_count();
+    let mut bc = vec![0.0f64; n];
+    for a in 0..n as u32 {
+        let a = NodeId(a);
+        let base = source_dp(&det, a, n, None);
+        // Which nodes can appear inside shortest paths from a at all?
+        for x in 0..n as u32 {
+            let x = NodeId(x);
+            if x == a {
+                continue;
+            }
+            let avoid = source_dp(&det, a, n, Some(x));
+            for b in 0..n as u32 {
+                let b = NodeId(b);
+                if b == x {
+                    continue;
+                }
+                if let Some((d, sigma)) = base.best[b.index()] {
+                    debug_assert!(sigma > 0);
+                    // Paths of length exactly d avoiding x.
+                    let sigma_avoid = match avoid.best[b.index()] {
+                        Some((d2, s2)) if d2 == d => s2,
+                        Some((d2, _)) if d2 > d => 0,
+                        None => 0,
+                        Some((_, _)) => unreachable!("avoid cannot shorten paths"),
+                    };
+                    let through = sigma - sigma_avoid;
+                    if through > 0 {
+                        bc[x.index()] += through as f64 / sigma as f64;
+                    }
+                }
+            }
+        }
+    }
+    bc
+}
+
+/// Parameters for the sampling approximation.
+#[derive(Clone, Debug)]
+pub struct BcrParams {
+    /// Shortest conforming paths sampled per `(a, b)` pair.
+    pub samples_per_pair: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BcrParams {
+    fn default() -> Self {
+        BcrParams {
+            samples_per_pair: 32,
+            seed: 0xBC12,
+        }
+    }
+}
+
+/// Randomized approximation of `bc_r` (§4.2): for every pair `(a, b)`
+/// with conforming paths, draw `samples_per_pair` *uniform* shortest
+/// conforming paths and add the empirical pass-through frequency of each
+/// interior-eligible node. Uniform sampling reuses the layered counts of
+/// the exact DP (backward sampling), i.e. the Section 4.1 toolbox.
+pub fn bc_r_approx<G: PathGraph>(g: &G, expr: &PathExpr, params: &BcrParams) -> Vec<f64> {
+    let nfa = Nfa::compile(expr);
+    let det = DetProduct::build(g, &nfa);
+    let n = g.node_count();
+    let m = det.state_count();
+    // Global predecessor lists of the det product (deduplicated: the
+    // per-edge multiplicity is reapplied during backward sampling).
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for (s, list) in det.out.iter().enumerate() {
+        for &(_, s2) in list {
+            preds[s2 as usize].push(s as u32);
+        }
+    }
+    for p in &mut preds {
+        p.sort_unstable();
+        p.dedup();
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut bc = vec![0.0f64; n];
+    for a in 0..n as u32 {
+        let a = NodeId(a);
+        let dp = source_dp(&det, a, n, None);
+        for b in 0..n as u32 {
+            let b = NodeId(b);
+            let (d, _) = match dp.best[b.index()] {
+                Some(x) => x,
+                None => continue,
+            };
+            let finals: Vec<(u32, u128)> = (0..m as u32)
+                .filter(|&s| det.accepting[s as usize] && det.node_of(s) == b)
+                .map(|s| (s, dp.layers[d][s as usize]))
+                .filter(|&(_, c)| c > 0)
+                .collect();
+            let total: u128 = finals.iter().map(|&(_, c)| c).sum();
+            if total == 0 {
+                continue;
+            }
+            let mut hits = vec![0usize; n];
+            for _ in 0..params.samples_per_pair {
+                // Sample final state ∝ layer-d count, then walk backward.
+                let mut t = rng.gen_range(0..total);
+                let mut state = finals[0].0;
+                for &(s, c) in &finals {
+                    if t < c {
+                        state = s;
+                        break;
+                    }
+                    t -= c;
+                }
+                let mut visited = vec![det.node_of(state)];
+                for i in (1..=d).rev() {
+                    let candidates: Vec<(u32, u128)> = preds[state as usize]
+                        .iter()
+                        .map(|&p| (p, dp.layers[i - 1][p as usize]))
+                        .filter(|&(_, c)| c > 0)
+                        .collect();
+                    // Weight each predecessor by count times multiplicity
+                    // of transitions p -> state.
+                    let weighted: Vec<(u32, u128)> = candidates
+                        .iter()
+                        .map(|&(p, c)| {
+                            let mult = det.out[p as usize]
+                                .iter()
+                                .filter(|&&(_, s2)| s2 == state)
+                                .count() as u128;
+                            (p, c * mult)
+                        })
+                        .filter(|&(_, w)| w > 0)
+                        .collect();
+                    let wtotal: u128 = weighted.iter().map(|&(_, w)| w).sum();
+                    debug_assert!(wtotal > 0);
+                    let mut t = rng.gen_range(0..wtotal);
+                    let mut chosen = weighted[0].0;
+                    for &(p, w) in &weighted {
+                        if t < w {
+                            chosen = p;
+                            break;
+                        }
+                        t -= w;
+                    }
+                    state = chosen;
+                    visited.push(det.node_of(state));
+                }
+                // Count each distinct interior-eligible node once.
+                visited.sort_unstable();
+                visited.dedup();
+                for v in visited {
+                    if v != a && v != b {
+                        hits[v.index()] += 1;
+                    }
+                }
+            }
+            for (x, &h) in hits.iter().enumerate() {
+                if h > 0 {
+                    bc[x] += h as f64 / params.samples_per_pair as f64;
+                }
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centrality::betweenness;
+    use kgq_core::model::LabeledView;
+    use kgq_core::parser::parse_expr;
+    use kgq_graph::figures::figure2_labeled;
+    use kgq_graph::generate::{gnm_labeled, path_graph};
+
+    fn simplify(raw: &kgq_graph::LabeledGraph) -> kgq_graph::LabeledGraph {
+        // Drop parallel edges and self-loops: Brandes counts paths at the
+        // node level, while bc_r counts distinct edge sequences, so the
+        // two only coincide on simple graphs.
+        let mut g = kgq_graph::LabeledGraph::new();
+        let mut seen = std::collections::HashSet::new();
+        for n in raw.base().nodes() {
+            g.add_node(raw.node_name(n), "v").unwrap();
+        }
+        for e in raw.base().edges() {
+            let (s, d) = raw.base().endpoints(e);
+            if s != d && seen.insert((s, d)) {
+                g.add_edge(raw.edge_name(e), s, d, "p").unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn unconstrained_regex_recovers_brandes() {
+        // With r = (p)* over a simple single-label graph, shortest
+        // conforming paths are exactly shortest directed paths, so
+        // bc_r == bc.
+        for seed in [1u64, 2, 21] {
+            let mut g = simplify(&gnm_labeled(9, 18, &["v"], &["p"], seed));
+            let e = parse_expr("(p)*", g.consts_mut()).unwrap();
+            let view = LabeledView::new(&g);
+            let bcr = bc_r_exact(&view, &e);
+            let bc = betweenness(&g);
+            for (i, (x, y)) in bcr.iter().zip(bc.iter()).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-9,
+                    "seed={seed} node {i}: bc_r={x} bc={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_bus_is_central_for_transport_pattern() {
+        let mut g = figure2_labeled();
+        let e = parse_expr("?person/rides/?bus/rides^-/?person", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let bcr = bc_r_exact(&view, &e);
+        let n3 = g.node_named("n3").unwrap();
+        // Persons riding n3: n1 and n4. Ordered pairs (incl. a=b round
+        // trips): (n1,n1), (n1,n4), (n4,n1), (n4,n4) — all length-2 and
+        // all through the bus.
+        assert!((bcr[n3.index()] - 4.0).abs() < 1e-9, "bc_r = {:?}", bcr);
+        // The company n7 contributes nothing anywhere.
+        let n7 = g.node_named("n7").unwrap();
+        assert_eq!(bcr[n7.index()], 0.0);
+    }
+
+    #[test]
+    fn owns_edges_do_not_inflate_bcr() {
+        // Plain betweenness sees paths through `owns`; bc_r with the
+        // transport pattern must not.
+        let mut g = figure2_labeled();
+        let e = parse_expr("?person/rides/?bus/rides^-/?person", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let bcr = bc_r_exact(&view, &e);
+        // Only the bus can be interior to a conforming path.
+        for v in g.base().nodes() {
+            let name = g.node_name(v);
+            if name != "n3" {
+                assert_eq!(bcr[v.index()], 0.0, "node {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn approx_tracks_exact() {
+        let mut g = figure2_labeled();
+        let e = parse_expr("?person/rides/?bus/rides^-/?person", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let exact = bc_r_exact(&view, &e);
+        let approx = bc_r_approx(
+            &view,
+            &e,
+            &BcrParams {
+                samples_per_pair: 64,
+                seed: 3,
+            },
+        );
+        for (x, y) in exact.iter().zip(approx.iter()) {
+            assert!((x - y).abs() < 0.5, "exact={x} approx={y}");
+        }
+    }
+
+    #[test]
+    fn approx_on_random_graph_close_to_exact() {
+        let mut g = gnm_labeled(8, 16, &["v"], &["p"], 7);
+        let e = parse_expr("(p)*", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let exact = bc_r_exact(&view, &e);
+        let approx = bc_r_approx(
+            &view,
+            &e,
+            &BcrParams {
+                samples_per_pair: 128,
+                seed: 9,
+            },
+        );
+        for (i, (x, y)) in exact.iter().zip(approx.iter()).enumerate() {
+            let tol = 0.35 * x.max(1.0);
+            assert!((x - y).abs() <= tol, "node {i}: exact={x} approx={y}");
+        }
+    }
+
+    #[test]
+    fn path_midpoints_score_with_forward_regex() {
+        let mut g = path_graph(5, "v", "next");
+        let e = parse_expr("(next)*", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let bcr = bc_r_exact(&view, &e);
+        let bc = betweenness(&g);
+        assert_eq!(bcr, bc);
+        assert_eq!(bcr[2], 4.0);
+    }
+}

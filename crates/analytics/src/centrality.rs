@@ -1,0 +1,149 @@
+//! Betweenness centrality — Freeman's measure \[29\], computed with
+//! Brandes' accumulation algorithm.
+//!
+//! `bc(x) = Σ_{a,b ≠ x} |S_{a,b}(x)| / |S_{a,b}|` where `S_{a,b}` is the
+//! set of shortest directed paths from `a` to `b` (pairs with no path
+//! contribute 0). This is the *label-blind* baseline that §4.2 contrasts
+//! with the knowledge-aware `bc_r` of [`crate::bcr`].
+
+use crate::traversal::Adj;
+use kgq_graph::{LabeledGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Brandes betweenness on the directed graph (unweighted, ordered pairs).
+pub fn betweenness(g: &LabeledGraph) -> Vec<f64> {
+    betweenness_with(g, true)
+}
+
+/// Brandes betweenness treating every edge as traversable both ways —
+/// matching the paper's path definition, where a path may follow an edge
+/// in either direction (`ℓ` and `ℓ⁻` both exist).
+pub fn betweenness_undirected(g: &LabeledGraph) -> Vec<f64> {
+    betweenness_with(g, false)
+}
+
+fn betweenness_with(g: &LabeledGraph, directed: bool) -> Vec<f64> {
+    let adj = Adj::new(g);
+    let n = adj.n;
+    let mut bc = vec![0.0; n];
+    let mut buf = Vec::new();
+    for s in 0..n {
+        let s = NodeId(s as u32);
+        // BFS computing sigma (path counts) and predecessor lists.
+        let mut dist = vec![usize::MAX; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut order: Vec<usize> = Vec::new();
+        let mut queue = VecDeque::new();
+        dist[s.index()] = 0;
+        sigma[s.index()] = 1.0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v.index());
+            adj.neighbors(v, directed, &mut buf);
+            for &w in &buf {
+                let (vi, wi) = (v.index(), w.index());
+                if dist[wi] == usize::MAX {
+                    dist[wi] = dist[vi] + 1;
+                    queue.push_back(w);
+                }
+                if dist[wi] == dist[vi] + 1 {
+                    sigma[wi] += sigma[vi];
+                    preds[wi].push(vi);
+                }
+            }
+        }
+        // Accumulation in reverse BFS order.
+        let mut delta = vec![0.0f64; n];
+        for &w in order.iter().rev() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s.index() {
+                bc[w] += delta[w];
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::generate::{complete_graph, path_graph, star_graph};
+    use kgq_graph::LabeledGraph;
+
+    #[test]
+    fn middle_of_a_path_is_most_central() {
+        let g = path_graph(5, "v", "next");
+        let bc = betweenness(&g);
+        // v2 lies on paths v0->v3, v0->v4, v1->v3, v1->v4: bc = 4? Plus
+        // v0->v3 etc. Exact values: v2 is interior to (a,b) pairs with
+        // a in {v0,v1}, b in {v3,v4}: 4 pairs, each unique path => 4.
+        assert_eq!(bc[2], 4.0);
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[4], 0.0);
+        assert!(bc[2] > bc[1]);
+    }
+
+    #[test]
+    fn complete_graph_has_zero_betweenness() {
+        let g = complete_graph(5, "v", "e");
+        let bc = betweenness(&g);
+        assert!(bc.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn star_hub_directed_has_no_through_paths() {
+        // All edges point hub -> spoke: no path passes *through* the hub.
+        let g = star_graph(5, "v", "spoke");
+        let bc = betweenness(&g);
+        assert!(bc.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn bidirectional_star_hub_dominates() {
+        let mut g = LabeledGraph::new();
+        let hub = g.add_node("hub", "v").unwrap();
+        let spokes: Vec<_> = (0..4)
+            .map(|i| g.add_node(&format!("s{i}"), "v").unwrap())
+            .collect();
+        for (i, &s) in spokes.iter().enumerate() {
+            g.add_edge(&format!("o{i}"), hub, s, "e").unwrap();
+            g.add_edge(&format!("i{i}"), s, hub, "e").unwrap();
+        }
+        let bc = betweenness(&g);
+        // Hub lies on the unique shortest path of all 4*3 spoke pairs.
+        assert_eq!(bc[hub.index()], 12.0);
+        for &s in &spokes {
+            assert_eq!(bc[s.index()], 0.0);
+        }
+    }
+
+    #[test]
+    fn undirected_star_hub_dominates() {
+        // With edges hub -> spoke only, the undirected variant still
+        // routes every spoke pair through the hub.
+        let g = star_graph(5, "v", "spoke");
+        let bc = betweenness_undirected(&g);
+        assert_eq!(bc[0], 12.0); // 4 spokes: 4*3 ordered pairs
+        assert!(bc[1..].iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn split_shortest_paths_share_credit() {
+        // a -> b1 -> c and a -> b2 -> c: each b gets 1/2.
+        let mut g = LabeledGraph::new();
+        let a = g.add_node("a", "v").unwrap();
+        let b1 = g.add_node("b1", "v").unwrap();
+        let b2 = g.add_node("b2", "v").unwrap();
+        let c = g.add_node("c", "v").unwrap();
+        g.add_edge("e1", a, b1, "e").unwrap();
+        g.add_edge("e2", a, b2, "e").unwrap();
+        g.add_edge("e3", b1, c, "e").unwrap();
+        g.add_edge("e4", b2, c, "e").unwrap();
+        let bc = betweenness(&g);
+        assert!((bc[b1.index()] - 0.5).abs() < 1e-12);
+        assert!((bc[b2.index()] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,256 @@
+//! Community-structure analytics: clustering coefficients, label
+//! propagation, densest subgraph (§4.2's community-detection inventory
+//! \[30, 40, 41, 45, 53, 61\]).
+
+use crate::traversal::Adj;
+use kgq_graph::{LabeledGraph, NodeId};
+
+/// Global clustering coefficient of the undirected simple view:
+/// `3 · #triangles / #connected-triples` (0 if there are no triples).
+pub fn clustering_coefficient(g: &LabeledGraph) -> f64 {
+    let adj = Adj::new(g);
+    let n = adj.n;
+    let mut nbrs: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut buf = Vec::new();
+    for v in 0..n {
+        adj.neighbors(NodeId(v as u32), false, &mut buf);
+        let mut list: Vec<usize> = buf.iter().map(|u| u.index()).filter(|&u| u != v).collect();
+        list.sort_unstable();
+        list.dedup();
+        nbrs.push(list);
+    }
+    let mut triangles = 0usize; // each triangle counted 3 times
+    let mut triples = 0usize;
+    for v in 0..n {
+        let d = nbrs[v].len();
+        triples += d * d.saturating_sub(1) / 2;
+        for i in 0..nbrs[v].len() {
+            for j in (i + 1)..nbrs[v].len() {
+                let (a, b) = (nbrs[v][i], nbrs[v][j]);
+                if nbrs[a].binary_search(&b).is_ok() {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Synchronous label propagation on the undirected view. Deterministic:
+/// every node adopts the smallest most-frequent neighbor label each round.
+/// Returns a community id per node.
+pub fn label_propagation(g: &LabeledGraph, max_rounds: usize) -> Vec<usize> {
+    let adj = Adj::new(g);
+    let n = adj.n;
+    let mut label: Vec<usize> = (0..n).collect();
+    let mut buf = Vec::new();
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        let mut next = label.clone();
+        for v in 0..n {
+            adj.neighbors(NodeId(v as u32), false, &mut buf);
+            if buf.is_empty() {
+                continue;
+            }
+            let mut counts: Vec<(usize, usize)> = Vec::new(); // (label, count)
+            for &u in &buf {
+                if u.index() == v {
+                    continue;
+                }
+                let l = label[u.index()];
+                match counts.iter_mut().find(|(ll, _)| *ll == l) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((l, 1)),
+                }
+            }
+            if counts.is_empty() {
+                continue;
+            }
+            let best = counts
+                .iter()
+                .map(|&(l, c)| (std::cmp::Reverse(c), l))
+                .min()
+                .map(|(_, l)| l)
+                .expect("non-empty");
+            if best != label[v] {
+                next[v] = best;
+                changed = true;
+            }
+        }
+        label = next;
+        if !changed {
+            break;
+        }
+    }
+    // Renumber to consecutive ids.
+    let mut remap: Vec<usize> = vec![usize::MAX; n];
+    let mut fresh = 0usize;
+    for l in label.iter_mut() {
+        if remap[*l] == usize::MAX {
+            remap[*l] = fresh;
+            fresh += 1;
+        }
+        *l = remap[*l];
+    }
+    label
+}
+
+/// Densest subgraph by Charikar's greedy peeling (2-approximation of
+/// Goldberg's maximum-density subgraph \[30, 45\]): repeatedly remove a
+/// minimum-degree node from the undirected view and return the prefix of
+/// maximal density `|E| / |N|`. Self-loops are ignored (consistent with
+/// the exact flow-based algorithm in [`crate::flow`]).
+pub fn densest_subgraph(g: &LabeledGraph) -> (Vec<NodeId>, f64) {
+    let adj = Adj::new(g);
+    let n = adj.n;
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    // Undirected degree (edge multiplicity counted, self-loops excluded).
+    let mut degree: Vec<usize> = (0..n)
+        .map(|v| {
+            let v = NodeId(v as u32);
+            adj.csr.out(v).iter().filter(|&&(_, t)| t != v).count()
+                + adj.csr.inc(v).iter().filter(|&&(_, s)| s != v).count()
+        })
+        .collect();
+    let mut alive = vec![true; n];
+    let mut edges_left: usize = g
+        .base()
+        .edges()
+        .filter(|&e| {
+            let (a, b) = g.base().endpoints(e);
+            a != b
+        })
+        .count();
+    let mut best_density = edges_left as f64 / n as f64;
+    let mut removal_order: Vec<usize> = Vec::with_capacity(n);
+    let mut best_prefix = 0usize; // how many removals precede the best set
+    for round in 0..n {
+        // Min-degree alive node.
+        let v = (0..n)
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| degree[v])
+            .expect("some node alive");
+        alive[v] = false;
+        removal_order.push(v);
+        // Remove its incident (non-loop) edges.
+        let vid = NodeId(v as u32);
+        for &(_, t) in adj.csr.out(vid) {
+            if t.index() != v && alive[t.index()] {
+                degree[t.index()] -= 1;
+                edges_left -= 1;
+            }
+        }
+        for &(_, s) in adj.csr.inc(vid) {
+            if s.index() != v && alive[s.index()] {
+                degree[s.index()] -= 1;
+                edges_left -= 1;
+            }
+        }
+        let remaining = n - round - 1;
+        if remaining > 0 {
+            let density = edges_left as f64 / remaining as f64;
+            if density > best_density {
+                best_density = density;
+                best_prefix = round + 1;
+            }
+        }
+    }
+    let removed: std::collections::HashSet<usize> =
+        removal_order[..best_prefix].iter().copied().collect();
+    let nodes: Vec<NodeId> = (0..n)
+        .filter(|v| !removed.contains(v))
+        .map(|v| NodeId(v as u32))
+        .collect();
+    (nodes, best_density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::generate::{complete_graph, path_graph};
+    use kgq_graph::LabeledGraph;
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = complete_graph(5, "v", "e");
+        let c = clustering_coefficient(&g);
+        assert!((c - 1.0).abs() < 1e-12, "c = {c}");
+    }
+
+    #[test]
+    fn clustering_of_path_is_zero() {
+        let g = path_graph(6, "v", "e");
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn label_propagation_finds_two_cliques() {
+        // Two 4-cliques joined by a single bridge edge.
+        let mut g = LabeledGraph::new();
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            ids.push(g.add_node(&format!("v{i}"), "x").unwrap());
+        }
+        let mut e = 0;
+        for block in [&ids[0..4], &ids[4..8]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.add_edge(&format!("e{e}"), block[i], block[j], "p").unwrap();
+                    e += 1;
+                }
+            }
+        }
+        g.add_edge("bridge", ids[3], ids[4], "p").unwrap();
+        let comm = label_propagation(&g, 20);
+        assert_eq!(comm[0], comm[1]);
+        assert_eq!(comm[0], comm[2]);
+        assert_eq!(comm[5], comm[6]);
+        assert_eq!(comm[5], comm[7]);
+    }
+
+    #[test]
+    fn densest_subgraph_extracts_the_clique() {
+        // A 5-clique with a long pendant path attached.
+        let mut g = LabeledGraph::new();
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            ids.push(g.add_node(&format!("k{i}"), "x").unwrap());
+        }
+        let mut e = 0;
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(&format!("e{e}"), ids[i], ids[j], "p").unwrap();
+                e += 1;
+            }
+        }
+        let mut prev = ids[0];
+        for i in 0..6 {
+            let v = g.add_node(&format!("t{i}"), "x").unwrap();
+            g.add_edge(&format!("p{i}"), prev, v, "p").unwrap();
+            prev = v;
+        }
+        let (nodes, density) = densest_subgraph(&g);
+        // Clique density 10/5 = 2.0 beats anything with the tail.
+        assert!((density - 2.0).abs() < 1e-12, "density {density}");
+        assert_eq!(nodes.len(), 5);
+        for &k in &ids {
+            assert!(nodes.contains(&k));
+        }
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = LabeledGraph::new();
+        assert_eq!(clustering_coefficient(&g), 0.0);
+        assert!(label_propagation(&g, 5).is_empty());
+        let (nodes, d) = densest_subgraph(&g);
+        assert!(nodes.is_empty());
+        assert_eq!(d, 0.0);
+    }
+}

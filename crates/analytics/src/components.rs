@@ -1,0 +1,188 @@
+//! Connected components, strongly connected components, diameter.
+
+use crate::traversal::{bfs_on, Adj};
+use kgq_graph::{LabeledGraph, NodeId};
+
+/// Weakly connected components (union of directions). Returns a component
+/// id per node; ids are consecutive from 0 in order of first appearance.
+pub fn weakly_connected_components(g: &LabeledGraph) -> Vec<usize> {
+    let adj = Adj::new(g);
+    let mut comp = vec![usize::MAX; adj.n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    let mut buf = Vec::new();
+    for v in 0..adj.n {
+        if comp[v] != usize::MAX {
+            continue;
+        }
+        comp[v] = next;
+        stack.push(NodeId(v as u32));
+        while let Some(u) = stack.pop() {
+            adj.neighbors(u, false, &mut buf);
+            for &w in &buf {
+                if comp[w.index()] == usize::MAX {
+                    comp[w.index()] = next;
+                    stack.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Strongly connected components (iterative Tarjan). Returns a component
+/// id per node; ids are in reverse topological order of the condensation.
+pub fn strongly_connected_components(g: &LabeledGraph) -> Vec<usize> {
+    let adj = Adj::new(g);
+    let n = adj.n;
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_scc = 0usize;
+
+    // Iterative DFS with an explicit call stack of (node, child-iterator pos).
+    let succs: Vec<Vec<usize>> = (0..n)
+        .map(|v| {
+            let mut buf = Vec::new();
+            adj.neighbors(NodeId(v as u32), true, &mut buf);
+            buf.into_iter().map(|u| u.index()).collect()
+        })
+        .collect();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut i)) = call.last_mut() {
+            if *i < succs[v].len() {
+                let w = succs[v][*i];
+                *i += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc[w] = next_scc;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_scc += 1;
+                }
+            }
+        }
+    }
+    scc
+}
+
+/// Exact diameter: the largest finite shortest-path distance over all
+/// ordered pairs (directed or undirected view). Returns `None` for graphs
+/// with no edges at all reachable.
+pub fn diameter(g: &LabeledGraph, directed: bool) -> Option<usize> {
+    let adj = Adj::new(g);
+    let mut best: Option<usize> = None;
+    for v in 0..adj.n {
+        let dist = bfs_on(&adj, NodeId(v as u32), directed);
+        for (u, &d) in dist.iter().enumerate() {
+            if u != v && d != usize::MAX {
+                best = Some(best.map_or(d, |b| b.max(d)));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::generate::{cycle_graph, grid_graph, path_graph};
+    use kgq_graph::LabeledGraph;
+
+    fn two_islands() -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node("a", "x").unwrap();
+        let b = g.add_node("b", "x").unwrap();
+        let c = g.add_node("c", "x").unwrap();
+        let d = g.add_node("d", "x").unwrap();
+        g.add_edge("e1", a, b, "p").unwrap();
+        g.add_edge("e2", c, d, "p").unwrap();
+        g
+    }
+
+    #[test]
+    fn weak_components_split_islands() {
+        let comp = weakly_connected_components(&two_islands());
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn cycle_is_one_scc_path_is_singletons() {
+        let g = cycle_graph(5, "v", "next");
+        let scc = strongly_connected_components(&g);
+        assert!(scc.iter().all(|&c| c == scc[0]));
+
+        let g = path_graph(4, "v", "next");
+        let scc = strongly_connected_components(&g);
+        let mut ids = scc.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn scc_ids_are_reverse_topological() {
+        // a -> b: b's SCC must be numbered before a's.
+        let mut g = LabeledGraph::new();
+        let a = g.add_node("a", "x").unwrap();
+        let b = g.add_node("b", "x").unwrap();
+        g.add_edge("e", a, b, "p").unwrap();
+        let scc = strongly_connected_components(&g);
+        assert!(scc[b.index()] < scc[a.index()]);
+    }
+
+    #[test]
+    fn diameter_of_known_shapes() {
+        let g = path_graph(5, "v", "next");
+        assert_eq!(diameter(&g, true), Some(4));
+        assert_eq!(diameter(&g, false), Some(4));
+        let g = cycle_graph(6, "v", "next");
+        assert_eq!(diameter(&g, true), Some(5));
+        assert_eq!(diameter(&g, false), Some(3));
+        let g = grid_graph(3, 3, "c");
+        assert_eq!(diameter(&g, false), Some(4));
+    }
+
+    #[test]
+    fn diameter_of_edgeless_graph_is_none() {
+        let mut g = LabeledGraph::new();
+        g.add_node("a", "x").unwrap();
+        g.add_node("b", "x").unwrap();
+        assert_eq!(diameter(&g, true), None);
+    }
+}

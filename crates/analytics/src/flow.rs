@@ -1,0 +1,331 @@
+//! Maximum flow (Dinic) and Goldberg's exact maximum-density subgraph.
+//!
+//! §4.2 cites Goldberg's flow-based algorithm \[30\] for "finding the
+//! subgraph of a graph with the largest density". [`densest_subgraph_exact`]
+//! implements it: binary-search the density `g`, testing each guess with
+//! a min-cut on the classic network (source → nodes at capacity `m`,
+//! nodes → sink at `m + 2g − deg`, undirected edges at 1 each way). Two
+//! distinct subgraph densities differ by at least `1/(n(n−1))`, so the
+//! search over integer-scaled capacities terminates with the exact
+//! optimum; the source side of the final cut is the densest subgraph.
+//! The greedy peeling in [`crate::community::densest_subgraph`] is the
+//! 2-approximation this is ablated against.
+
+use kgq_graph::{LabeledGraph, NodeId};
+use std::collections::VecDeque;
+
+/// A max-flow network with integer capacities (Dinic's algorithm).
+pub struct FlowNetwork {
+    /// Adjacency: per node, indices into `edges`.
+    adj: Vec<Vec<usize>>,
+    /// Flat edge list; `edges[i ^ 1]` is the reverse of `edges[i]`.
+    edges: Vec<FlowEdge>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FlowEdge {
+    to: usize,
+    cap: i64,
+}
+
+impl FlowNetwork {
+    /// A network with `n` nodes and no edges.
+    pub fn new(n: usize) -> FlowNetwork {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap` (and its
+    /// zero-capacity reverse).
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) {
+        debug_assert!(cap >= 0);
+        let id = self.edges.len();
+        self.edges.push(FlowEdge { to, cap });
+        self.edges.push(FlowEdge { to: from, cap: 0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1; self.adj.len()];
+        let mut q = VecDeque::new();
+        level[s] = 0;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &ei in &self.adj[v] {
+                let e = self.edges[ei];
+                if e.cap > 0 && level[e.to] < 0 {
+                    level[e.to] = level[v] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        if level[t] >= 0 {
+            Some(level)
+        } else {
+            None
+        }
+    }
+
+    fn dfs_push(
+        &mut self,
+        v: usize,
+        t: usize,
+        pushed: i64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> i64 {
+        if v == t {
+            return pushed;
+        }
+        while iter[v] < self.adj[v].len() {
+            let ei = self.adj[v][iter[v]];
+            let e = self.edges[ei];
+            if e.cap > 0 && level[e.to] == level[v] + 1 {
+                let d = self.dfs_push(e.to, t, pushed.min(e.cap), level, iter);
+                if d > 0 {
+                    self.edges[ei].cap -= d;
+                    self.edges[ei ^ 1].cap += d;
+                    return d;
+                }
+            }
+            iter[v] += 1;
+        }
+        0
+    }
+
+    /// Computes the max flow from `s` to `t`; the network retains the
+    /// residual capacities afterwards.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let mut flow = 0i64;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut iter = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.dfs_push(s, t, i64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    /// Nodes reachable from `s` in the residual network (the source side
+    /// of a min cut, after [`FlowNetwork::max_flow`]).
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut q = VecDeque::new();
+        seen[s] = true;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &ei in &self.adj[v] {
+                let e = self.edges[ei];
+                if e.cap > 0 && !seen[e.to] {
+                    seen[e.to] = true;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Exact maximum-density subgraph (Goldberg \[30\]) on the undirected
+/// simple view (parallel edges count with multiplicity; self-loops are
+/// ignored). Returns the node set and its density `|E|/|N|`; the empty
+/// result means the graph has no edges.
+pub fn densest_subgraph_exact(g: &LabeledGraph) -> (Vec<NodeId>, f64) {
+    let n = g.node_count();
+    // Undirected edge list without self-loops.
+    let edges: Vec<(usize, usize)> = g
+        .base()
+        .edges()
+        .map(|e| g.base().endpoints(e))
+        .filter(|(a, b)| a != b)
+        .map(|(a, b)| (a.index(), b.index()))
+        .collect();
+    let m = edges.len();
+    if m == 0 || n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let mut degree = vec![0i64; n];
+    for &(a, b) in &edges {
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    // Density guesses g = x / scale; any two subgraph densities differ by
+    // ≥ 1/(n(n−1)), so scale = n(n−1) separates them all.
+    let scale = (n as i64) * (n as i64 - 1).max(1);
+    let build = |x: i64| -> FlowNetwork {
+        // Nodes: 0..n graph nodes, n = source, n+1 = sink. All
+        // capacities are pre-multiplied by `scale` so the 2g term stays
+        // integral and every comparison is exact in i64.
+        let s = n;
+        let t = n + 1;
+        let mut net = FlowNetwork::new(n + 2);
+        for v in 0..n {
+            net.add_edge(s, v, (m as i64) * scale);
+            // m·scale + 2x − deg(v)·scale ≥ 0: with self-loops excluded,
+            // every edge contributes at most 1 to deg(v), so deg(v) ≤ m.
+            net.add_edge(v, t, (m as i64) * scale + 2 * x - degree[v] * scale);
+        }
+        for &(a, b) in &edges {
+            net.add_edge(a, b, scale);
+            net.add_edge(b, a, scale);
+        }
+        net
+    };
+    // cut({s} ∪ S) = m·n·scale + 2x·|S| − 2·scale·e(S), so
+    // "∃ S ≠ ∅ with density > x/scale" ⟺ maxflow < m·n·scale.
+    let full = |x: i64| -> bool {
+        let mut net = build(x);
+        let flow = net.max_flow(n, n + 1);
+        // If every s→v edge saturates, no dense-enough subgraph exists.
+        flow < (m as i64) * scale * (n as i64)
+    };
+    // Binary search the largest x admitting a witness set; x = 0 always
+    // does (any single edge gives density > 0), and densities are capped
+    // by m, so the optimum lies in [0, m·scale].
+    let mut lo = 0i64;
+    let mut hi = (m as i64) * scale;
+    debug_assert!(full(0));
+    while lo < hi {
+        let mid = lo + (hi - lo + 1) / 2;
+        if full(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    // Extract the witness at x = lo.
+    let mut net = build(lo);
+    net.max_flow(n, n + 1);
+    let side = net.min_cut_source_side(n);
+    let nodes: Vec<NodeId> = (0..n)
+        .filter(|&v| side[v])
+        .map(|v| NodeId(v as u32))
+        .collect();
+    if nodes.is_empty() {
+        return (Vec::new(), 0.0);
+    }
+    let chosen: std::collections::HashSet<usize> = nodes.iter().map(|v| v.index()).collect();
+    let internal = edges
+        .iter()
+        .filter(|(a, b)| chosen.contains(a) && chosen.contains(b))
+        .count();
+    (nodes, internal as f64 / chosen.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::densest_subgraph;
+    use kgq_graph::generate::{complete_graph, gnm_labeled, path_graph};
+    use kgq_graph::LabeledGraph;
+
+    #[test]
+    fn dinic_on_textbook_network() {
+        // s=0, t=3; classic 2-path network with cross edge.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 2, 5);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 3);
+        assert_eq!(net.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn min_cut_side_is_consistent() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 1);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0]);
+        assert!(!side[1] && !side[2] && !side[3]);
+    }
+
+    /// Brute-force densest subgraph over all subsets (tiny graphs only).
+    fn brute_force(g: &LabeledGraph) -> f64 {
+        let n = g.node_count();
+        let edges: Vec<(usize, usize)> = g
+            .base()
+            .edges()
+            .map(|e| g.base().endpoints(e))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (a.index(), b.index()))
+            .collect();
+        let mut best = 0.0f64;
+        for mask in 1u32..(1 << n) {
+            let size = mask.count_ones() as f64;
+            let internal = edges
+                .iter()
+                .filter(|(a, b)| mask & (1 << a) != 0 && mask & (1 << b) != 0)
+                .count() as f64;
+            best = best.max(internal / size);
+        }
+        best
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gnm_labeled(7, 14, &["v"], &["e"], seed);
+            let (_, exact) = densest_subgraph_exact(&g);
+            let brute = brute_force(&g);
+            assert!(
+                (exact - brute).abs() < 1e-9,
+                "seed {seed}: exact {exact} brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_with_tail() {
+        let mut g = complete_graph(5, "v", "e");
+        let mut prev = g.node_named("v0").unwrap();
+        for i in 0..5 {
+            let v = g.add_node(&format!("t{i}"), "v").unwrap();
+            g.add_edge(&format!("p{i}"), prev, v, "e").unwrap();
+            prev = v;
+        }
+        let (nodes, density) = densest_subgraph_exact(&g);
+        // K5 directed-complete has 20 edges over 5 nodes: density 4.
+        assert!((density - 4.0).abs() < 1e-9, "density {density}");
+        assert_eq!(nodes.len(), 5);
+    }
+
+    #[test]
+    fn peeling_is_within_factor_two_of_exact() {
+        for seed in 0..5 {
+            let g = gnm_labeled(20, 60, &["v"], &["e"], seed);
+            let (_, exact) = densest_subgraph_exact(&g);
+            let (_, peel) = densest_subgraph(&g);
+            assert!(peel <= exact + 1e-9, "peeling can never beat exact");
+            assert!(
+                peel * 2.0 + 1e-9 >= exact,
+                "seed {seed}: 2-approximation violated: peel {peel} exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless_and_path_graphs() {
+        let mut g = LabeledGraph::new();
+        g.add_node("a", "v").unwrap();
+        let (nodes, d) = densest_subgraph_exact(&g);
+        assert!(nodes.is_empty());
+        assert_eq!(d, 0.0);
+
+        let g = path_graph(5, "v", "e");
+        let (nodes, d) = densest_subgraph_exact(&g);
+        // Best density of a path: (n-1)/n = 4/5 using all nodes.
+        assert!((d - 0.8).abs() < 1e-9, "density {d}");
+        assert_eq!(nodes.len(), 5);
+    }
+}

@@ -1,0 +1,141 @@
+//! k-core decomposition and degree statistics.
+//!
+//! Completes the §4.2 community/structure toolbox: the `k`-core (maximal
+//! subgraph with all degrees ≥ k) underlies many of the cohesion notions
+//! the cited community-detection literature builds on, and the degree
+//! distribution is the first thing "analyzing the structure of a graph
+//! as a whole" looks at.
+
+use crate::traversal::Adj;
+use kgq_graph::{LabeledGraph, NodeId};
+
+/// Core number of every node (undirected view over *distinct*
+/// neighbors, self-loops ignored):
+/// the largest `k` such that the node belongs to the `k`-core.
+/// Standard peeling; this simple min-scan variant is `O(n² + m)`,
+/// ample for the workloads here.
+pub fn core_numbers(g: &LabeledGraph) -> Vec<usize> {
+    let adj = Adj::new(g);
+    let n = adj.n;
+    let mut nbrs: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut buf = Vec::new();
+    for v in 0..n {
+        adj.neighbors(NodeId(v as u32), false, &mut buf);
+        nbrs.push(buf.iter().map(|u| u.index()).filter(|&u| u != v).collect());
+    }
+    let mut degree: Vec<usize> = nbrs.iter().map(Vec::len).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| degree[v]);
+    let mut pos_of: Vec<usize> = vec![0; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos_of[v] = i;
+    }
+    let mut core = vec![0usize; n];
+    let mut removed = vec![false; n];
+    for i in 0..n {
+        let v = *order[i..]
+            .iter()
+            .filter(|&&v| !removed[v])
+            .min_by_key(|&&v| degree[v])
+            .expect("nodes remain");
+        core[v] = degree[v].max(if i == 0 { 0 } else { core[order[i - 1]] });
+        removed[v] = true;
+        // Move v into position i (swap within order).
+        let pv = pos_of[v];
+        order.swap(i, pv);
+        pos_of[order[pv]] = pv;
+        pos_of[v] = i;
+        for &u in &nbrs[v] {
+            if !removed[u] && degree[u] > 0 {
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Nodes of the `k`-core (possibly empty).
+pub fn k_core(g: &LabeledGraph, k: usize) -> Vec<NodeId> {
+    core_numbers(g)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c >= k)
+        .map(|(v, _)| NodeId(v as u32))
+        .collect()
+}
+
+/// Degree histogram of the undirected view: `hist[d]` = number of nodes
+/// with total degree `d`.
+pub fn degree_histogram(g: &LabeledGraph) -> Vec<usize> {
+    let base = g.base();
+    let degrees: Vec<usize> = base
+        .nodes()
+        .map(|v| base.out_degree(v) + base.in_degree(v))
+        .collect();
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in degrees {
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::generate::{barabasi_albert, complete_graph, path_graph, star_graph};
+
+    #[test]
+    fn clique_core_number_is_n_minus_one() {
+        let g = complete_graph(5, "v", "e");
+        let core = core_numbers(&g);
+        // Neighbors are deduplicated, so every node has 4 distinct
+        // neighbors and the whole clique is the 4-core.
+        assert!(core.iter().all(|&c| c == 4), "{core:?}");
+    }
+
+    #[test]
+    fn path_is_a_one_core() {
+        let g = path_graph(6, "v", "e");
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1), "{core:?}");
+        assert_eq!(k_core(&g, 1).len(), 6);
+        assert!(k_core(&g, 2).is_empty());
+    }
+
+    #[test]
+    fn clique_with_tail_peels_to_the_clique() {
+        let mut g = complete_graph(4, "v", "e");
+        let mut prev = g.node_named("v0").unwrap();
+        for i in 0..3 {
+            let v = g.add_node(&format!("t{i}"), "v").unwrap();
+            g.add_edge(&format!("p{i}"), prev, v, "e").unwrap();
+            prev = v;
+        }
+        let core = core_numbers(&g);
+        // Clique nodes have 3 distinct neighbors within the clique.
+        let three_core = k_core(&g, 3);
+        assert_eq!(three_core.len(), 4);
+        assert!(core[4] <= 1 && core[5] <= 1 && core[6] <= 1);
+    }
+
+    #[test]
+    fn core_numbers_are_monotone_under_k() {
+        let g = barabasi_albert(80, 3, "v", "e", 3);
+        let mut prev = g.node_count();
+        for k in 0..8 {
+            let size = k_core(&g, k).len();
+            assert!(size <= prev, "k-core must shrink with k");
+            prev = size;
+        }
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_node_count() {
+        let g = star_graph(7, "v", "e");
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 7);
+        assert_eq!(hist[1], 6); // six spokes
+        assert_eq!(hist[6], 1); // the hub
+    }
+}

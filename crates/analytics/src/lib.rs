@@ -1,0 +1,59 @@
+//! # kgq-analytics — graph analytics, with and without knowledge
+//!
+//! Section 4.2 of the reproduced paper surveys "a series of techniques to
+//! analyze the structure and content of a graph as a whole" and then asks
+//! *how knowledge should be included in them*. This crate implements both
+//! halves:
+//!
+//! * the classical toolbox — BFS/shortest paths ([`traversal`]),
+//!   connected/strongly-connected components and diameter
+//!   ([`components`]), PageRank and HITS ([`ranking`]), betweenness
+//!   centrality via Brandes' algorithm ([`centrality`]), clustering
+//!   coefficients, label propagation communities and densest subgraph
+//!   ([`community`]);
+//! * the paper's knowledge-aware centrality `bc_r` ([`bcr`]): betweenness
+//!   restricted to shortest paths *conforming to a regular expression*,
+//!   with an exact algorithm (product-graph counting with node deletion)
+//!   and a randomized approximation built from the uniform-generation
+//!   tools of `kgq-core` — exactly the strategy §4.2 proposes.
+
+
+// Several hot loops index multiple parallel arrays at once; the
+// iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+//! ```
+//! use kgq_analytics::{bc_r_exact, betweenness_undirected};
+//! use kgq_core::{parse_expr, LabeledView};
+//! use kgq_graph::figures::figure2_labeled;
+//!
+//! let mut g = figure2_labeled();
+//! let r = parse_expr("?person/rides/?bus/rides^-/?person", g.consts_mut()).unwrap();
+//! let view = LabeledView::new(&g);
+//! let bcr = bc_r_exact(&view, &r);
+//! let bc = betweenness_undirected(&g);
+//! let bus = g.node_named("n3").unwrap();
+//! assert!(bcr[bus.index()] > 0.0);          // central as a service…
+//! assert!(bc[bus.index()] > bcr[bus.index()]); // …but bc inflates it
+//! ```
+
+pub mod bcr;
+pub mod centrality;
+pub mod closeness;
+pub mod community;
+pub mod components;
+pub mod flow;
+pub mod kcore;
+pub mod ranking;
+pub mod traversal;
+pub mod weighted;
+
+pub use bcr::{bc_r_approx, bc_r_exact, BcrParams};
+pub use centrality::{betweenness, betweenness_undirected};
+pub use closeness::{closeness, count_walks, eccentricity, harmonic};
+pub use community::{clustering_coefficient, densest_subgraph, label_propagation};
+pub use flow::{densest_subgraph_exact, FlowNetwork};
+pub use kcore::{core_numbers, degree_histogram, k_core};
+pub use weighted::{cheapest_path, dijkstra, WeightError};
+pub use components::{diameter, strongly_connected_components, weakly_connected_components};
+pub use ranking::{hits, pagerank, PageRankParams};
+pub use traversal::{bfs_distances, shortest_path};

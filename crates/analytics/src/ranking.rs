@@ -1,0 +1,165 @@
+//! PageRank and HITS — the link-analysis measures cited in §4.2
+//! (Brin–Page \[20\] and Kleinberg's authoritative sources \[41\]).
+
+use crate::traversal::Adj;
+use kgq_graph::{LabeledGraph, NodeId};
+
+/// PageRank parameters.
+#[derive(Clone, Debug)]
+pub struct PageRankParams {
+    /// Damping factor (probability of following a link).
+    pub damping: f64,
+    /// Maximum number of power iterations.
+    pub max_iter: usize,
+    /// L1 convergence threshold.
+    pub tol: f64,
+}
+
+impl Default for PageRankParams {
+    fn default() -> Self {
+        PageRankParams {
+            damping: 0.85,
+            max_iter: 100,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// PageRank by power iteration. Dangling mass is redistributed uniformly;
+/// the result sums to 1.
+pub fn pagerank(g: &LabeledGraph, params: &PageRankParams) -> Vec<f64> {
+    let adj = Adj::new(g);
+    let n = adj.n;
+    if n == 0 {
+        return Vec::new();
+    }
+    let out_degree: Vec<usize> = (0..n)
+        .map(|v| adj.csr.out(NodeId(v as u32)).len())
+        .collect();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..params.max_iter {
+        let mut dangling = 0.0;
+        for (v, r) in rank.iter().enumerate() {
+            if out_degree[v] == 0 {
+                dangling += r;
+            }
+        }
+        let base = (1.0 - params.damping) / n as f64 + params.damping * dangling / n as f64;
+        next.iter_mut().for_each(|x| *x = base);
+        for v in 0..n {
+            if out_degree[v] == 0 {
+                continue;
+            }
+            let share = params.damping * rank[v] / out_degree[v] as f64;
+            for &(_, t) in adj.csr.out(NodeId(v as u32)) {
+                next[t.index()] += share;
+            }
+        }
+        let delta: f64 = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < params.tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// HITS hub and authority scores (power iteration with L2 normalization).
+/// Returns `(hubs, authorities)`.
+pub fn hits(g: &LabeledGraph, max_iter: usize) -> (Vec<f64>, Vec<f64>) {
+    let adj = Adj::new(g);
+    let n = adj.n;
+    let mut hub = vec![1.0; n];
+    let mut auth = vec![1.0; n];
+    for _ in 0..max_iter {
+        // auth(v) = Σ hub(u) over u -> v
+        for v in 0..n {
+            auth[v] = adj
+                .csr
+                .inc(NodeId(v as u32))
+                .iter()
+                .map(|&(_, s)| hub[s.index()])
+                .sum();
+        }
+        normalize(&mut auth);
+        // hub(v) = Σ auth(u) over v -> u
+        for v in 0..n {
+            hub[v] = adj
+                .csr
+                .out(NodeId(v as u32))
+                .iter()
+                .map(|&(_, t)| auth[t.index()])
+                .sum();
+        }
+        normalize(&mut hub);
+    }
+    (hub, auth)
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        v.iter_mut().for_each(|x| *x /= norm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::generate::{cycle_graph, star_graph};
+    use kgq_graph::LabeledGraph;
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = star_graph(10, "v", "spoke");
+        let pr = pagerank(&g, &PageRankParams::default());
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn pagerank_symmetric_on_cycle() {
+        let g = cycle_graph(7, "v", "next");
+        let pr = pagerank(&g, &PageRankParams::default());
+        for w in pr.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_favors_link_targets() {
+        // a -> c, b -> c: c should outrank a and b.
+        let mut g = LabeledGraph::new();
+        let a = g.add_node("a", "x").unwrap();
+        let b = g.add_node("b", "x").unwrap();
+        let c = g.add_node("c", "x").unwrap();
+        g.add_edge("e1", a, c, "p").unwrap();
+        g.add_edge("e2", b, c, "p").unwrap();
+        let pr = pagerank(&g, &PageRankParams::default());
+        assert!(pr[c.index()] > pr[a.index()]);
+        assert!(pr[c.index()] > pr[b.index()]);
+    }
+
+    #[test]
+    fn hits_identifies_hub_and_authority() {
+        // hub -> {a1, a2, a3}: hub has top hub score, a* top authority.
+        let g = star_graph(4, "v", "spoke");
+        let (hub, auth) = hits(&g, 30);
+        assert!(hub[0] > hub[1]);
+        assert!(auth[1] > auth[0]);
+        assert!((auth[1] - auth[3]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = LabeledGraph::new();
+        assert!(pagerank(&g, &PageRankParams::default()).is_empty());
+        let (h, a) = hits(&g, 10);
+        assert!(h.is_empty() && a.is_empty());
+    }
+}

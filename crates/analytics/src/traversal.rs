@@ -1,0 +1,143 @@
+//! Breadth-first traversal primitives.
+//!
+//! All analytics in this crate run on the directed multigraph underneath a
+//! [`LabeledGraph`]; functions taking `directed = false` treat every edge
+//! as bidirectional (the "undirected view" used by components, clustering
+//! and densest-subgraph computations).
+
+use kgq_graph::{Csr, LabeledGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Adjacency snapshot shared by the analytics algorithms.
+pub(crate) struct Adj {
+    pub csr: Csr,
+    pub n: usize,
+}
+
+impl Adj {
+    pub fn new(g: &LabeledGraph) -> Adj {
+        Adj {
+            csr: Csr::build(g.base()),
+            n: g.node_count(),
+        }
+    }
+
+    /// Successors of `v` (directed or undirected view), deduplicated.
+    pub fn neighbors(&self, v: NodeId, directed: bool, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        buf.extend(self.csr.out(v).iter().map(|&(_, t)| t));
+        if !directed {
+            buf.extend(self.csr.inc(v).iter().map(|&(_, s)| s));
+        }
+        buf.sort_unstable();
+        buf.dedup();
+    }
+}
+
+/// BFS distances (in edges) from `source`; `usize::MAX` marks unreachable
+/// nodes.
+pub fn bfs_distances(g: &LabeledGraph, source: NodeId, directed: bool) -> Vec<usize> {
+    let adj = Adj::new(g);
+    bfs_on(&adj, source, directed)
+}
+
+pub(crate) fn bfs_on(adj: &Adj, source: NodeId, directed: bool) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; adj.n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    let mut buf = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        adj.neighbors(v, directed, &mut buf);
+        for &u in &buf {
+            if dist[u.index()] == usize::MAX {
+                dist[u.index()] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// One shortest directed path from `a` to `b` as a node sequence, if any.
+pub fn shortest_path(g: &LabeledGraph, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+    let adj = Adj::new(g);
+    let mut parent: Vec<Option<NodeId>> = vec![None; adj.n];
+    let mut seen = vec![false; adj.n];
+    let mut queue = VecDeque::new();
+    seen[a.index()] = true;
+    queue.push_back(a);
+    let mut buf = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        if v == b {
+            let mut path = vec![b];
+            let mut cur = b;
+            while let Some(p) = parent[cur.index()] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        adj.neighbors(v, true, &mut buf);
+        for &u in &buf {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                parent[u.index()] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::generate::{cycle_graph, grid_graph, path_graph};
+
+    #[test]
+    fn bfs_on_a_path_counts_hops() {
+        let g = path_graph(5, "v", "next");
+        let v0 = g.node_named("v0").unwrap();
+        let d = bfs_distances(&g, v0, true);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        // Directed: nothing reaches v0 except itself.
+        let v4 = g.node_named("v4").unwrap();
+        let d = bfs_distances(&g, v4, true);
+        assert_eq!(d[0], usize::MAX);
+        // Undirected view reaches everything.
+        let d = bfs_distances(&g, v4, false);
+        assert_eq!(d[0], 4);
+    }
+
+    #[test]
+    fn shortest_path_on_grid() {
+        let g = grid_graph(3, 3, "c");
+        let a = g.node_named("v0_0").unwrap();
+        let b = g.node_named("v2_2").unwrap();
+        let p = shortest_path(&g, a, b).unwrap();
+        assert_eq!(p.len(), 5); // 4 hops
+        assert_eq!(p[0], a);
+        assert_eq!(*p.last().unwrap(), b);
+    }
+
+    #[test]
+    fn no_path_returns_none() {
+        let g = path_graph(3, "v", "next");
+        let v2 = g.node_named("v2").unwrap();
+        let v0 = g.node_named("v0").unwrap();
+        assert!(shortest_path(&g, v2, v0).is_none());
+    }
+
+    #[test]
+    fn cycle_distances_wrap_one_way() {
+        let g = cycle_graph(6, "v", "next");
+        let v0 = g.node_named("v0").unwrap();
+        let d = bfs_distances(&g, v0, true);
+        assert_eq!(d[5], 5); // all the way around
+        let d = bfs_distances(&g, v0, false);
+        assert_eq!(d[5], 1); // one hop backwards
+    }
+}

@@ -1,0 +1,237 @@
+//! Weighted shortest paths over property graphs.
+//!
+//! §4.2 lists "computation of shortest paths between pairs of nodes"
+//! among the analytics staples. The unweighted case is BFS
+//! ([`crate::traversal`]); this module adds Dijkstra over edge weights
+//! read from a *property* — knowledge entering the computation through
+//! `σ`, in the spirit of the section's theme.
+
+use kgq_graph::{NodeId, PropertyGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Errors from weighted traversal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightError {
+    /// An edge's weight property is missing.
+    MissingWeight(String),
+    /// An edge's weight property failed to parse as a non-negative number.
+    BadWeight(String, String),
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::MissingWeight(e) => write!(f, "edge `{e}` has no weight property"),
+            WeightError::BadWeight(e, v) => {
+                write!(f, "edge `{e}` has non-numeric or negative weight `{v}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+/// Dijkstra from `source` following edges forward, with weights read
+/// from property `weight_prop` (must parse as non-negative `f64`).
+/// Returns per-node distances (`None` = unreachable).
+pub fn dijkstra(
+    g: &PropertyGraph,
+    source: NodeId,
+    weight_prop: &str,
+) -> Result<Vec<Option<f64>>, WeightError> {
+    let lg = g.labeled();
+    let n = lg.node_count();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    // (Reverse(ordered distance bits), node) — f64 distances are finite
+    // and non-negative, so the bit pattern orders correctly.
+    let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
+    dist[source.index()] = Some(0.0);
+    heap.push((Reverse(0u64), source.0));
+    while let Some((Reverse(dbits), v)) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        let v = NodeId(v);
+        match dist[v.index()] {
+            Some(best) if d > best => continue,
+            _ => {}
+        }
+        for &e in lg.base().out_edges(v) {
+            let name = lg.edge_name(e).to_owned();
+            let w_str = g
+                .edge_prop_str(e, weight_prop)
+                .ok_or_else(|| WeightError::MissingWeight(name.clone()))?;
+            let w: f64 = w_str
+                .parse()
+                .map_err(|_| WeightError::BadWeight(name.clone(), w_str.to_owned()))?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightError::BadWeight(name, w_str.to_owned()));
+            }
+            let t = lg.base().target(e);
+            let nd = d + w;
+            if dist[t.index()].is_none_or(|cur| nd < cur) {
+                dist[t.index()] = Some(nd);
+                heap.push((Reverse(nd.to_bits()), t.0));
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// A cheapest path from `a` to `b` under `weight_prop`, as a node
+/// sequence, with its total weight.
+pub fn cheapest_path(
+    g: &PropertyGraph,
+    a: NodeId,
+    b: NodeId,
+    weight_prop: &str,
+) -> Result<Option<(Vec<NodeId>, f64)>, WeightError> {
+    let lg = g.labeled();
+    let n = lg.node_count();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<(Reverse<u64>, u32)> = BinaryHeap::new();
+    dist[a.index()] = Some(0.0);
+    heap.push((Reverse(0u64), a.0));
+    while let Some((Reverse(dbits), v)) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        let v = NodeId(v);
+        match dist[v.index()] {
+            Some(best) if d > best => continue,
+            _ => {}
+        }
+        if v == b {
+            break;
+        }
+        for &e in lg.base().out_edges(v) {
+            let name = lg.edge_name(e).to_owned();
+            let w_str = g
+                .edge_prop_str(e, weight_prop)
+                .ok_or_else(|| WeightError::MissingWeight(name.clone()))?;
+            let w: f64 = w_str
+                .parse()
+                .map_err(|_| WeightError::BadWeight(name.clone(), w_str.to_owned()))?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightError::BadWeight(name, w_str.to_owned()));
+            }
+            let t = lg.base().target(e);
+            let nd = d + w;
+            if dist[t.index()].is_none_or(|cur| nd < cur) {
+                dist[t.index()] = Some(nd);
+                parent[t.index()] = Some(v);
+                heap.push((Reverse(nd.to_bits()), t.0));
+            }
+        }
+    }
+    let Some(total) = dist[b.index()] else {
+        return Ok(None);
+    };
+    let mut path = vec![b];
+    let mut cur = b;
+    while cur != a {
+        cur = parent[cur.index()].expect("reachable implies parents");
+        path.push(cur);
+    }
+    path.reverse();
+    Ok(Some((path, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_square() -> PropertyGraph {
+        // a → b → d costs 1 + 1; a → c → d costs 5 + 5; a → d direct 3.
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("a", "v").unwrap();
+        let b = g.add_node("b", "v").unwrap();
+        let c = g.add_node("c", "v").unwrap();
+        let d = g.add_node("d", "v").unwrap();
+        for (id, s, t, w) in [
+            ("e1", a, b, "1"),
+            ("e2", b, d, "1"),
+            ("e3", a, c, "5"),
+            ("e4", c, d, "5"),
+            ("e5", a, d, "3"),
+        ] {
+            let e = g.add_edge(id, s, t, "road").unwrap();
+            g.set_edge_prop(e, "km", w);
+        }
+        g
+    }
+
+    #[test]
+    fn dijkstra_takes_the_cheap_route() {
+        let g = weighted_square();
+        let a = g.labeled().node_named("a").unwrap();
+        let dist = dijkstra(&g, a, "km").unwrap();
+        assert_eq!(dist[0], Some(0.0));
+        assert_eq!(dist[1], Some(1.0));
+        assert_eq!(dist[3], Some(2.0)); // via b, beating the direct 3
+    }
+
+    #[test]
+    fn cheapest_path_reconstructs_nodes() {
+        let g = weighted_square();
+        let a = g.labeled().node_named("a").unwrap();
+        let d = g.labeled().node_named("d").unwrap();
+        let (path, total) = cheapest_path(&g, a, d, "km").unwrap().unwrap();
+        let names: Vec<&str> = path.iter().map(|&n| g.labeled().node_name(n)).collect();
+        assert_eq!(names, vec!["a", "b", "d"]);
+        assert_eq!(total, 2.0);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = weighted_square();
+        let d = g.labeled().node_named("d").unwrap();
+        let a = g.labeled().node_named("a").unwrap();
+        // Edges are directed: nothing leaves d.
+        let dist = dijkstra(&g, d, "km").unwrap();
+        assert_eq!(dist[a.index()], None);
+        assert_eq!(cheapest_path(&g, d, a, "km").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_and_bad_weights_error() {
+        let mut g = weighted_square();
+        let a = g.labeled().node_named("a").unwrap();
+        let b = g.labeled().node_named("b").unwrap();
+        g.add_edge("e6", a, b, "road").unwrap(); // no km property
+        assert!(matches!(
+            dijkstra(&g, a, "km"),
+            Err(WeightError::MissingWeight(_))
+        ));
+        let mut g = weighted_square();
+        let e1 = g.labeled().edge_named("e1").unwrap();
+        g.set_edge_prop(e1, "km", "-4");
+        assert!(matches!(
+            dijkstra(&g, a, "km"),
+            Err(WeightError::BadWeight(_, _))
+        ));
+        g.set_edge_prop(e1, "km", "soon");
+        assert!(matches!(
+            dijkstra(&g, a, "km"),
+            Err(WeightError::BadWeight(_, _))
+        ));
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_unit_weights() {
+        use kgq_graph::generate::gnm_labeled;
+        let lg = gnm_labeled(12, 30, &["v"], &["e"], 5);
+        let mut g = kgq_graph::PropertyGraph::from_labeled(lg);
+        let edges: Vec<_> = g.labeled().base().edges().collect();
+        for e in edges {
+            g.set_edge_prop(e, "w", "1");
+        }
+        let src = NodeId(0);
+        let dd = dijkstra(&g, src, "w").unwrap();
+        let bfs = crate::traversal::bfs_distances(g.labeled(), src, true);
+        for (d, b) in dd.iter().zip(bfs.iter()) {
+            match d {
+                Some(x) => assert_eq!(*x as usize, *b),
+                None => assert_eq!(*b, usize::MAX),
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based invariants of the analytics toolbox on random graphs.
+
+use kgq_analytics::{
+    betweenness, closeness, densest_subgraph, densest_subgraph_exact, harmonic, pagerank,
+    weakly_connected_components, PageRankParams,
+};
+use kgq_graph::{LabeledGraph, NodeId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
+    (1usize..12).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..24)
+            .prop_map(move |edges| GraphSpec { n, edges })
+    })
+}
+
+fn build(spec: &GraphSpec) -> LabeledGraph {
+    let mut g = LabeledGraph::new();
+    let nodes: Vec<NodeId> = (0..spec.n)
+        .map(|i| g.add_node(&format!("n{i}"), "v").unwrap())
+        .collect();
+    for (i, &(s, d)) in spec.edges.iter().enumerate() {
+        g.add_edge(&format!("e{i}"), nodes[s], nodes[d], "e").unwrap();
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pagerank_is_a_distribution(spec in graph_strategy()) {
+        let g = build(&spec);
+        let pr = pagerank(&g, &PageRankParams::default());
+        let total: f64 = pr.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum = {}", total);
+        prop_assert!(pr.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn betweenness_is_nonnegative_and_bounded(spec in graph_strategy()) {
+        let g = build(&spec);
+        let bc = betweenness(&g);
+        let n = g.node_count() as f64;
+        // Each of the at most n(n-1) ordered pairs contributes ≤ 1.
+        prop_assert!(bc.iter().all(|&x| x >= -1e-12 && x <= n * (n - 1.0) + 1e-9));
+    }
+
+    #[test]
+    fn components_partition_matches_mutual_reachability(spec in graph_strategy()) {
+        let g = build(&spec);
+        let comp = weakly_connected_components(&g);
+        // Same component ⟺ finite undirected distance.
+        for a in 0..g.node_count() {
+            let dist = kgq_analytics::bfs_distances(&g, NodeId(a as u32), false);
+            for b in 0..g.node_count() {
+                prop_assert_eq!(comp[a] == comp[b], dist[b] != usize::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn densest_exact_dominates_peeling(spec in graph_strategy()) {
+        let g = build(&spec);
+        let (_, exact) = densest_subgraph_exact(&g);
+        let (_, peel) = densest_subgraph(&g);
+        prop_assert!(peel <= exact + 1e-9, "peel {} > exact {}", peel, exact);
+        prop_assert!(peel * 2.0 + 1e-9 >= exact, "2-approx violated");
+    }
+
+    #[test]
+    fn harmonic_dominates_on_supersets_of_edges(spec in graph_strategy()) {
+        // Adding an edge can only increase (or keep) harmonic centrality.
+        let g = build(&spec);
+        let before = harmonic(&g, false);
+        if spec.n >= 2 {
+            let mut g2 = build(&spec);
+            let a = NodeId(0);
+            let b = NodeId(1);
+            g2.add_edge("extra", a, b, "e").unwrap();
+            let after = harmonic(&g2, false);
+            for (x, y) in before.iter().zip(after.iter()) {
+                prop_assert!(y + 1e-12 >= *x);
+            }
+        }
+    }
+
+    #[test]
+    fn closeness_is_within_unit_interval(spec in graph_strategy()) {
+        let g = build(&spec);
+        for &c in &closeness(&g, false) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c), "closeness {}", c);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion group `analytics` — the §4.2 toolbox plus bc_r.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgq_analytics::{
+    bc_r_approx, bc_r_exact, betweenness, densest_subgraph, pagerank, BcrParams,
+    PageRankParams,
+};
+use kgq_core::{parse_expr, LabeledView};
+use kgq_graph::generate::{barabasi_albert, contact_network, ContactParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_analytics(c: &mut Criterion) {
+    let g = barabasi_albert(300, 3, "v", "e", 8);
+
+    let mut group = c.benchmark_group("analytics");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(15);
+
+    group.bench_function("pagerank_ba300", |b| {
+        b.iter(|| black_box(pagerank(&g, &PageRankParams::default())))
+    });
+    group.bench_function("betweenness_ba300", |b| {
+        b.iter(|| black_box(betweenness(&g)))
+    });
+    group.bench_function("densest_ba300", |b| {
+        b.iter(|| black_box(densest_subgraph(&g)))
+    });
+
+    let pg = contact_network(&ContactParams {
+        people: 25,
+        buses: 3,
+        ..ContactParams::default()
+    });
+    let mut cg = pg.into_labeled();
+    let expr = parse_expr("?person/rides/?bus/rides^-/?person", cg.consts_mut()).unwrap();
+    let view = LabeledView::new(&cg);
+    group.bench_function("bcr_exact_contact25", |b| {
+        b.iter(|| black_box(bc_r_exact(&view, &expr)))
+    });
+    group.bench_function("bcr_approx_contact25", |b| {
+        b.iter(|| {
+            black_box(bc_r_approx(
+                &view,
+                &expr,
+                &BcrParams {
+                    samples_per_pair: 16,
+                    seed: 1,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytics);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion group `count` — Count(G, r, k) microbenchmarks:
+//! determinization cost, exact DP per query, naive DFS, FPRAS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgq_core::{
+    approx_count, count_paths_naive, parse_expr, ApproxParams, ExactCounter, LabeledView,
+};
+use kgq_graph::generate::gnm_labeled;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_count(c: &mut Criterion) {
+    let mut g = gnm_labeled(20, 60, &["a", "b"], &["p", "q"], 3);
+    let expr = parse_expr("(p+q)*", g.consts_mut()).unwrap();
+    let view = LabeledView::new(&g);
+    let counter = ExactCounter::new(&view, &expr);
+
+    let mut group = c.benchmark_group("count");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+
+    group.bench_function("determinize_G20", |b| {
+        b.iter(|| black_box(ExactCounter::new(&view, &expr)))
+    });
+    group.bench_function("exact_dp_k6", |b| {
+        b.iter(|| black_box(counter.count(black_box(6)).unwrap()))
+    });
+    group.bench_function("naive_dfs_k4", |b| {
+        b.iter(|| black_box(count_paths_naive(&view, &expr, black_box(4))))
+    });
+    let params = ApproxParams {
+        epsilon: 0.3,
+        trials: Some(512),
+        ..ApproxParams::default()
+    };
+    group.bench_function("fpras_k6_t512", |b| {
+        b.iter(|| black_box(approx_count(&view, &expr, black_box(6), &params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_count);
+criterion_main!(benches);

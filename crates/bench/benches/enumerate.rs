@@ -1,0 +1,45 @@
+//! Criterion group `enumerate` — polynomial-delay enumeration and
+//! uniform generation microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgq_core::{parse_expr, LabeledView, PathEnumerator, UniformSampler};
+use kgq_graph::generate::gnm_labeled;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_enumerate(c: &mut Criterion) {
+    let mut g = gnm_labeled(30, 110, &["a"], &["p", "q"], 11);
+    let expr = parse_expr("(p+q)*", g.consts_mut()).unwrap();
+    let view = LabeledView::new(&g);
+
+    let mut group = c.benchmark_group("enumerate");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+
+    group.bench_function("preprocess_k4", |b| {
+        b.iter(|| black_box(PathEnumerator::new(&view, &expr, 4)))
+    });
+    group.bench_function("first_100_answers_k4", |b| {
+        b.iter(|| {
+            let it = PathEnumerator::new(&view, &expr, 4);
+            black_box(it.take(100).count())
+        })
+    });
+    group.bench_function("full_enumeration_k3", |b| {
+        b.iter(|| black_box(PathEnumerator::new(&view, &expr, 3).count()))
+    });
+
+    let sampler = UniformSampler::new(&view, &expr, 4).unwrap();
+    group.bench_function("uniform_sample_k4", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(sampler.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerate);
+criterion_main!(benches);

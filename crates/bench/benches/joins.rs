@@ -1,0 +1,38 @@
+//! Criterion group `joins` — relational joins vs native traversal (§2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgq_core::{parse_expr, Evaluator, LabeledView};
+use kgq_graph::generate::gnm_labeled;
+use kgq_relbase::rpq_join_pairs;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_joins(c: &mut Criterion) {
+    let mut g = gnm_labeled(150, 750, &["v"], &["p", "q"], 17);
+    let path4 = parse_expr("p/p/p/p", g.consts_mut()).unwrap();
+    let closure = parse_expr("(p)*", g.consts_mut()).unwrap();
+    let view = LabeledView::new(&g);
+
+    let mut group = c.benchmark_group("joins");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(15);
+
+    group.bench_function("relational_path4", |b| {
+        b.iter(|| black_box(rpq_join_pairs(&view, &path4).unwrap()))
+    });
+    group.bench_function("native_path4", |b| {
+        b.iter(|| black_box(Evaluator::new(&view, &path4).pairs()))
+    });
+    group.bench_function("relational_closure", |b| {
+        b.iter(|| black_box(rpq_join_pairs(&view, &closure).unwrap()))
+    });
+    group.bench_function("native_closure", |b| {
+        b.iter(|| black_box(Evaluator::new(&view, &closure).pairs()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion group `logic` — FO evaluation strategies (§4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgq_core::{matching_starts, parse_expr, LabeledView};
+use kgq_graph::generate::{contact_network, ContactParams};
+use kgq_logic::{compile_fo2, compile_wide, eval_bounded, eval_naive, Var};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_logic(c: &mut Criterion) {
+    let pg = contact_network(&ContactParams {
+        people: 120,
+        buses: 10,
+        ..ContactParams::default()
+    });
+    let mut g = pg.into_labeled();
+    let expr = parse_expr("?person/rides/?bus/rides^-/?infected", g.consts_mut()).unwrap();
+    let psi = compile_fo2(&expr).unwrap();
+    let phi = compile_wide(&expr).unwrap();
+    let view = LabeledView::new(&g);
+
+    let mut group = c.benchmark_group("logic");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+
+    group.bench_function("fo2_pipeline", |b| {
+        b.iter(|| black_box(eval_bounded(&g, &psi, Var(0))))
+    });
+    group.bench_function("fo2_naive", |b| {
+        b.iter(|| black_box(eval_naive(&g, &psi, Var(0))))
+    });
+    group.bench_function("wide_naive", |b| {
+        b.iter(|| black_box(eval_naive(&g, &phi, Var(0))))
+    });
+    group.bench_function("rpq_product", |b| {
+        b.iter(|| black_box(matching_starts(&view, &expr)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_logic);
+criterion_main!(benches);

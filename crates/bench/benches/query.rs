@@ -1,0 +1,60 @@
+//! Criterion group `query` — the same co-rider question across the four
+//! query formalisms of the workspace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgq_core::{eval_pairs, parse_expr, PropertyView};
+use kgq_cypher::{execute, parse_query};
+use kgq_graph::generate::{contact_network, ContactParams};
+use kgq_rdf::{labeled_to_rdf, Bgp, RDF_TYPE};
+use kgq_relbase::rpq_join_pairs;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_query(c: &mut Criterion) {
+    let pg = contact_network(&ContactParams {
+        people: 80,
+        buses: 6,
+        infected_fraction: 0.15,
+        ..ContactParams::default()
+    });
+    let mut g = pg.clone();
+    let expr = parse_expr(
+        "?person/rides/?bus/rides^-/?infected",
+        g.labeled_mut().consts_mut(),
+    )
+    .unwrap();
+    let cypher_q = parse_query(
+        "MATCH (p:person)-[:rides]->(b:bus), (i:infected)-[:rides]->(b) RETURN p, i",
+    )
+    .unwrap();
+    let mut st = labeled_to_rdf(pg.labeled());
+    let mut bgp = Bgp::new();
+    bgp.add(&mut st, "?p", RDF_TYPE, "person");
+    bgp.add(&mut st, "?i", RDF_TYPE, "infected");
+    bgp.add(&mut st, "?b", RDF_TYPE, "bus");
+    bgp.add(&mut st, "?p", "rides", "?b");
+    bgp.add(&mut st, "?i", "rides", "?b");
+
+    let mut group = c.benchmark_group("query");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+
+    group.bench_function("rpq_product", |b| {
+        let view = PropertyView::new(&g);
+        b.iter(|| black_box(eval_pairs(&view, &expr)))
+    });
+    group.bench_function("cypher_match", |b| {
+        b.iter(|| black_box(execute(&pg, &cypher_q)))
+    });
+    group.bench_function("sparql_bgp", |b| b.iter(|| black_box(bgp.solve(&st))));
+    group.bench_function("relational_joins", |b| {
+        let view = PropertyView::new(&g);
+        b.iter(|| black_box(rpq_join_pairs(&view, &expr).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

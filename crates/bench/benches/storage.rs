@@ -1,0 +1,74 @@
+//! Criterion group `storage` — data-layout ablations called out in
+//! DESIGN.md: label-sorted CSR adjacency vs linear filtering, and
+//! index-selected triple scans vs full-scan filtering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgq_graph::generate::gnm_labeled;
+use kgq_graph::{LabelIndex, NodeId};
+use kgq_rdf::TripleStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_storage(c: &mut Criterion) {
+    // 16 labels so per-node label ranges are selective.
+    let labels: Vec<String> = (0..16).map(|i| format!("l{i}")).collect();
+    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    let g = gnm_labeled(500, 20_000, &["v"], &label_refs, 23);
+    let idx = LabelIndex::build(&g);
+    let target = g.sym("l3").unwrap();
+
+    let mut group = c.benchmark_group("storage");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+
+    // Ablation: binary-searched label range vs linear scan of out-edges.
+    group.bench_function("label_range_scan", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in 0..g.node_count() as u32 {
+                total += idx.out_with_label(NodeId(v), target).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("linear_label_filter", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in 0..g.node_count() as u32 {
+                total += g
+                    .base()
+                    .out_edges(NodeId(v))
+                    .iter()
+                    .filter(|&&e| g.edge_label(e) == target)
+                    .count();
+            }
+            black_box(total)
+        })
+    });
+
+    // Triple-store: index-backed pattern scan vs full-scan filter.
+    let mut st = TripleStore::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    for i in 0..20_000 {
+        let s = format!("s{}", rng.gen_range(0..2000));
+        let p = format!("p{}", rng.gen_range(0..20));
+        let o = format!("o{}", rng.gen_range(0..2000));
+        st.insert_strs(&s, &p, &o);
+        let _ = i;
+    }
+    let p3 = st.get_term("p3").unwrap();
+    group.bench_function("rdf_index_scan_p", |b| {
+        b.iter(|| black_box(st.scan(None, Some(p3), None).count()))
+    });
+    group.bench_function("rdf_full_scan_filter_p", |b| {
+        b.iter(|| black_box(st.iter().filter(|t| t.p == p3).count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Experiment `exp_bcr` (E7) — knowledge-aware betweenness centrality.
+//!
+//! Reproduces the §4.2 bus example on Figure 2 and on scaled contact
+//! networks: plain betweenness `bc` rewards the bus for *any* traffic
+//! (including ownership paths), while `bc_r` with the transport pattern
+//! `?person/rides/?bus/rides⁻/?person` counts only service paths. The
+//! sampling approximation is compared against the exact values.
+
+use kgq_analytics::{bc_r_approx, bc_r_exact, betweenness_undirected, BcrParams};
+use kgq_bench::{fmt_duration, print_table, timed};
+use kgq_core::{parse_expr, LabeledView};
+use kgq_graph::figures::figure2_labeled;
+use kgq_graph::generate::{contact_network, ContactParams};
+use kgq_graph::NodeId;
+
+fn main() {
+    // Part 1: Figure 2.
+    let mut g = figure2_labeled();
+    let expr = parse_expr("?person/rides/?bus/rides^-/?person", g.consts_mut()).unwrap();
+    let view = LabeledView::new(&g);
+    let bc = betweenness_undirected(&g);
+    let bcr = bc_r_exact(&view, &expr);
+    let mut rows: Vec<Vec<String>> = g
+        .base()
+        .nodes()
+        .map(|n| {
+            vec![
+                g.node_name(n).to_owned(),
+                g.label_name(g.node_label(n)).to_owned(),
+                format!("{:.2}", bc[n.index()]),
+                format!("{:.2}", bcr[n.index()]),
+            ]
+        })
+        .collect();
+    rows.sort_by(|a, b| b[3].partial_cmp(&a[3]).unwrap());
+    print_table(
+        "Figure 2: label-blind bc (both-way traversal) vs bc_r (transport pattern)",
+        &["node", "label", "bc", "bc_r"],
+        &rows,
+    );
+    let n3 = g.node_named("n3").unwrap();
+    assert!(bcr[n3.index()] > 0.0, "the bus must be bc_r-central");
+    assert!(
+        bcr.iter()
+            .enumerate()
+            .all(|(i, &v)| i == n3.index() || v == 0.0),
+        "only the bus is interior to transport paths"
+    );
+
+    // Part 2: scaling + approximation quality on contact networks.
+    let mut rows = Vec::new();
+    for people in [15usize, 25, 40] {
+        let pg = contact_network(&ContactParams {
+            people,
+            buses: 3,
+            addresses: people / 3,
+            rides_per_person: 2,
+            contacts_per_person: 1,
+            infected_fraction: 0.15,
+            seed: 5,
+        });
+        let mut g = pg.into_labeled();
+        let expr = parse_expr("?person/rides/?bus/rides^-/?person", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let (exact, t_exact) = timed(|| bc_r_exact(&view, &expr));
+        let (approx, t_approx) = timed(|| {
+            bc_r_approx(
+                &view,
+                &expr,
+                &BcrParams {
+                    samples_per_pair: 24,
+                    seed: 13,
+                },
+            )
+        });
+        // Error over nodes with nonzero exact centrality.
+        let mut max_rel = 0.0f64;
+        for (e, a) in exact.iter().zip(approx.iter()) {
+            if *e > 0.0 {
+                max_rel = max_rel.max((e - a).abs() / e);
+            }
+        }
+        // Top bus by exact bc_r.
+        let top = exact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        let top_approx = approx
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        rows.push(vec![
+            format!("{} nodes", g.node_count()),
+            g.node_name(NodeId(top as u32)).to_owned(),
+            format!("{:.1}", exact[top]),
+            format!("{:.1}", approx[top]),
+            format!("{:.2}", max_rel),
+            (top == top_approx).to_string(),
+            fmt_duration(t_exact),
+            fmt_duration(t_approx),
+        ]);
+    }
+    print_table(
+        "contact networks: exact vs sampled bc_r",
+        &["size", "top bus", "exact", "sampled", "max rel err", "same top?", "t_exact", "t_approx"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: the most-ridden bus tops bc_r in both methods; \
+         sampling error stays small while the approximation avoids the \
+         per-(x, source) deletion DPs of the exact algorithm."
+    );
+}

@@ -1,0 +1,111 @@
+//! Experiment `exp_embed` (E13) — knowledge-graph completion (§2.3).
+//!
+//! Trains TransE on a synthetic multi-relational knowledge graph with
+//! 20% of triples held out, and reports filtered link-prediction metrics
+//! against the random-scorer baseline — the "refinement and completion"
+//! use of embeddings the paper highlights \[19, 36, 43, 52\].
+
+use kgq_bench::{fmt_duration, print_table, timed};
+use kgq_embed::eval::random_baseline_mean_rank;
+use kgq_embed::{evaluate, train_triples, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic KG: people work in cities, cities in countries, people know
+/// colleagues in the same city — enough regularity for a translation
+/// model to exploit.
+fn synthetic_kg(
+    people: usize,
+    cities: usize,
+    countries: usize,
+    seed: u64,
+) -> (Vec<(usize, usize, usize)>, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let city0 = people;
+    let country0 = people + cities;
+    let n_entities = people + cities + countries;
+    let mut triples = Vec::new();
+    let mut city_of = Vec::with_capacity(people);
+    for p in 0..people {
+        let c = rng.gen_range(0..cities);
+        city_of.push(c);
+        triples.push((p, 0, city0 + c)); // worksIn
+    }
+    for c in 0..cities {
+        triples.push((city0 + c, 1, country0 + c % countries)); // cityIn
+    }
+    for p in 0..people {
+        // Two colleagues from the same city.
+        for _ in 0..2 {
+            let q = rng.gen_range(0..people);
+            if q != p && city_of[q] == city_of[p] {
+                triples.push((p, 2, q)); // knows
+            }
+        }
+    }
+    triples.sort_unstable();
+    triples.dedup();
+    (triples, n_entities, 3)
+}
+
+fn main() {
+    let (all, n_entities, n_relations) = synthetic_kg(120, 8, 3, 11);
+    println!(
+        "synthetic KG: {} entities, {} relations, {} triples",
+        n_entities,
+        n_relations,
+        all.len()
+    );
+    // 80/20 split, deterministic.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut shuffled = all.clone();
+    for i in (1..shuffled.len()).rev() {
+        shuffled.swap(i, rng.gen_range(0..=i));
+    }
+    let cut = shuffled.len() / 5;
+    let test = &shuffled[..cut];
+    let train = &shuffled[cut..];
+
+    let mut rows = Vec::new();
+    for (dim, epochs) in [(8usize, 60usize), (24, 60), (24, 240), (48, 240)] {
+        let cfg = TrainConfig {
+            dim,
+            epochs,
+            ..TrainConfig::default()
+        };
+        let ((model, losses), t_train) =
+            timed(|| train_triples(train, n_entities, n_relations, &cfg));
+        let report = evaluate(&model, test, &all);
+        rows.push(vec![
+            format!("d={dim} ep={epochs}"),
+            format!("{:.3}", losses.last().unwrap()),
+            format!("{:.1}", report.mean_rank),
+            format!("{:.3}", report.mrr),
+            format!("{:.2}", report.hits_at_1),
+            format!("{:.2}", report.hits_at_3),
+            format!("{:.2}", report.hits_at_10),
+            fmt_duration(t_train),
+        ]);
+    }
+    let random = random_baseline_mean_rank(n_entities, 1.0);
+    rows.push(vec![
+        "random scorer".to_owned(),
+        "—".to_owned(),
+        format!("{random:.1}"),
+        format!("{:.3}", (1..=n_entities).map(|r| 1.0 / r as f64).sum::<f64>() / n_entities as f64),
+        format!("{:.2}", 1.0 / n_entities as f64),
+        format!("{:.2}", 3.0 / n_entities as f64),
+        format!("{:.2}", 10.0 / n_entities as f64),
+        "—".to_owned(),
+    ]);
+    print_table(
+        "TransE link prediction (filtered), 20% held-out tails",
+        &["config", "final loss", "mean rank", "MRR", "hits@1", "hits@3", "hits@10", "train time"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: loss decreases with epochs; mean rank far below \
+         the random baseline; more dimensions/epochs improve hits@k with \
+         diminishing returns."
+    );
+}

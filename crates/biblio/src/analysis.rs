@@ -1,0 +1,188 @@
+//! Counting keywords in titles and checking the Figure 1 claims.
+
+use crate::corpus::{Publication, KEYWORDS, YEARS};
+
+/// Per-keyword yearly counts — the data behind Figure 1.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// Years in order (2010–2020).
+    pub years: Vec<u32>,
+    /// `series[i]` corresponds to [`KEYWORDS`]`[i]`, one count per year.
+    pub series: Vec<Vec<usize>>,
+}
+
+/// Case-insensitive "keyword occurs in title", the paper's methodology.
+pub fn title_contains(title: &str, keyword: &str) -> bool {
+    title.to_lowercase().contains(&keyword.to_lowercase())
+}
+
+/// Counts titles containing each keyword, per year.
+pub fn figure1_series(corpus: &[Publication]) -> Figure1 {
+    let years: Vec<u32> = YEARS.collect();
+    let mut series = vec![vec![0usize; years.len()]; KEYWORDS.len()];
+    for p in corpus {
+        if let Some(yi) = years.iter().position(|&y| y == p.year) {
+            for (ki, kw) in KEYWORDS.iter().enumerate() {
+                if title_contains(&p.title, kw) {
+                    series[ki][yi] += 1;
+                }
+            }
+        }
+    }
+    Figure1 { years, series }
+}
+
+/// Among knowledge-graph titles of `year`, the fraction also mentioning
+/// RDF or SPARQL — the paper's 70% (2015) → 14% (2020) statistic.
+pub fn overlap_fraction(corpus: &[Publication], year: u32) -> f64 {
+    let kg: Vec<&Publication> = corpus
+        .iter()
+        .filter(|p| p.year == year && title_contains(&p.title, "knowledge graph"))
+        .collect();
+    if kg.is_empty() {
+        return 0.0;
+    }
+    let both = kg
+        .iter()
+        .filter(|p| title_contains(&p.title, "RDF") || title_contains(&p.title, "SPARQL"))
+        .count();
+    both as f64 / kg.len() as f64
+}
+
+/// Mechanically verifies every Figure 1 claim quoted in the paper's
+/// introduction. Returns the list of violated claims (empty = all hold).
+pub fn check_figure1_claims(corpus: &[Publication]) -> Vec<String> {
+    let fig = figure1_series(corpus);
+    let year_idx = |y: u32| fig.years.iter().position(|&x| x == y).expect("year");
+    let kw_idx = |k: &str| KEYWORDS.iter().position(|&x| x == k).expect("keyword");
+    let count = |k: &str, y: u32| fig.series[kw_idx(k)][year_idx(y)];
+    let mut violations = Vec::new();
+
+    // 1. KG growth starting 2013: strictly more every year 2013→2020 and
+    //    at least 10x from 2012 to 2020.
+    let mut growing = true;
+    for y in 2013..2020 {
+        if count("knowledge graph", y + 1) <= count("knowledge graph", y) {
+            growing = false;
+        }
+    }
+    if !growing || count("knowledge graph", 2020) < 10 * count("knowledge graph", 2012).max(1) {
+        violations.push("knowledge-graph growth from 2013 not observed".to_owned());
+    }
+
+    // 2. KG "dominates" by 2020: largest series that year.
+    let kg2020 = count("knowledge graph", 2020);
+    for k in KEYWORDS.iter().filter(|&&k| k != "knowledge graph") {
+        if count(k, 2020) >= kg2020 {
+            violations.push(format!("{k} not dominated by knowledge graph in 2020"));
+        }
+    }
+
+    // 3. RDF and SPARQL stable: within ±35% of their 2010 level all years.
+    for k in ["RDF", "SPARQL"] {
+        let base = count(k, 2010) as f64;
+        for &y in &fig.years {
+            let c = count(k, y) as f64;
+            if (c - base).abs() > 0.35 * base {
+                violations.push(format!("{k} not stable in {y}"));
+            }
+        }
+    }
+
+    // 4. Graph database comparatively small: below RDF every year.
+    for &y in &fig.years {
+        if count("graph database", y) >= count("RDF", y) {
+            violations.push(format!("graph database not comparatively small in {y}"));
+        }
+    }
+
+    // 5. Property graph negligible: under 20 per year.
+    for &y in &fig.years {
+        if count("property graph", y) >= 20 {
+            violations.push(format!("property graph not negligible in {y}"));
+        }
+    }
+
+    // 6. Overlap 70% in 2015, 14% in 2020 (±10 points).
+    let o15 = overlap_fraction(corpus, 2015);
+    if (o15 - 0.70).abs() > 0.12 {
+        violations.push(format!("2015 RDF/SPARQL overlap {o15:.2} not ≈ 0.70"));
+    }
+    let o20 = overlap_fraction(corpus, 2020);
+    if (o20 - 0.14).abs() > 0.12 {
+        violations.push(format!("2020 RDF/SPARQL overlap {o20:.2} not ≈ 0.14"));
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusParams};
+
+    #[test]
+    fn title_matching_is_case_insensitive() {
+        assert!(title_contains("Scalable Knowledge Graph Completion", "knowledge graph"));
+        assert!(title_contains("RDF stores revisited", "rdf"));
+        assert!(!title_contains("Graph Neural Networks", "knowledge graph"));
+    }
+
+    #[test]
+    fn default_corpus_satisfies_all_claims() {
+        let corpus = generate_corpus(&CorpusParams::default());
+        let violations = check_figure1_claims(&corpus);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn claims_hold_across_seeds() {
+        for seed in [1u64, 2, 3] {
+            let corpus = generate_corpus(&CorpusParams {
+                seed,
+                ..CorpusParams::default()
+            });
+            let violations = check_figure1_claims(&corpus);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn series_has_five_keywords_and_eleven_years() {
+        let corpus = generate_corpus(&CorpusParams::default());
+        let fig = figure1_series(&corpus);
+        assert_eq!(fig.series.len(), 5);
+        assert_eq!(fig.years.len(), 11);
+    }
+
+    #[test]
+    fn background_titles_do_not_pollute_counts() {
+        let corpus = generate_corpus(&CorpusParams {
+            scale: 0.0,
+            background_per_year: 100,
+            seed: 5,
+        });
+        let fig = figure1_series(&corpus);
+        for s in &fig.series {
+            assert!(s.iter().all(|&c| c == 0));
+        }
+    }
+
+    #[test]
+    fn a_broken_corpus_is_detected() {
+        // A corpus where KG never grows must violate claim 1.
+        let mut corpus = Vec::new();
+        for year in crate::corpus::YEARS {
+            corpus.push(Publication {
+                year,
+                title: "A Knowledge Graph Paper".to_owned(),
+            });
+            corpus.push(Publication {
+                year,
+                title: "An RDF Paper".to_owned(),
+            });
+        }
+        let violations = check_figure1_claims(&corpus);
+        assert!(!violations.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Synthetic DBLP-like corpus generation.
+//!
+//! Every publication is a `(year, title)` pair. Titles are assembled
+//! from templates around zero or more tracked keywords; the expected
+//! number of titles per (keyword, year) follows intensity curves
+//! calibrated to the paper's narrative (see crate docs). Knowledge-graph
+//! titles additionally mention RDF or SPARQL with a year-dependent
+//! probability interpolating from 70% (2015) down to 14% (2020) — the
+//! overlap statistic the paper highlights.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The five tracked keywords, exactly as in the paper.
+pub const KEYWORDS: [&str; 5] = [
+    "knowledge graph",
+    "RDF",
+    "SPARQL",
+    "graph database",
+    "property graph",
+];
+
+/// The studied year range (inclusive).
+pub const YEARS: std::ops::RangeInclusive<u32> = 2010..=2020;
+
+/// One simulated publication.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Publication {
+    /// Publication year.
+    pub year: u32,
+    /// Title text.
+    pub title: String,
+}
+
+/// Corpus generation parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusParams {
+    /// Global scale factor on all intensities (1.0 ≈ DBLP-like volumes).
+    pub scale: f64,
+    /// Number of keyword-free background papers per year.
+    pub background_per_year: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusParams {
+    fn default() -> Self {
+        CorpusParams {
+            scale: 1.0,
+            background_per_year: 500,
+            seed: 42,
+        }
+    }
+}
+
+/// Expected number of titles containing each keyword, per year.
+/// Calibrated to the qualitative shape of the paper's Figure 1.
+fn intensity(keyword: &str, year: u32) -> f64 {
+    let t = (year - 2010) as f64;
+    match keyword {
+        // Flat and tiny before 2013, then rapid growth after the Google
+        // announcement (mid-2012), dominating by 2020.
+        "knowledge graph" => {
+            if year < 2013 {
+                8.0
+            } else {
+                let s = (year - 2013) as f64;
+                30.0 * (1.5f64).powf(s)
+            }
+        }
+        // Stable with a mild late decline.
+        "RDF" => 230.0 - 4.0 * t,
+        "SPARQL" => 110.0 - 2.0 * t,
+        // Comparatively small, no significant growth.
+        "graph database" => 35.0 + 0.8 * t,
+        // Negligible.
+        "property graph" => 4.0 + 0.3 * t,
+        _ => 0.0,
+    }
+}
+
+/// Probability that a knowledge-graph paper in `year` is "about
+/// RDF/SPARQL" (mentions one of them in the title): 70% in 2015 → 14%
+/// in 2020, linearly interpolated, higher before 2015.
+fn kg_rdf_overlap(year: u32) -> f64 {
+    match year {
+        y if y <= 2015 => 0.70 + 0.02 * (2015 - y) as f64,
+        y if y >= 2020 => 0.14,
+        y => {
+            let f = (y - 2015) as f64 / 5.0;
+            0.70 + f * (0.14 - 0.70)
+        }
+    }
+}
+
+const ADJECTIVES: [&str; 8] = [
+    "Efficient", "Scalable", "Distributed", "Incremental", "Adaptive", "Declarative",
+    "Parallel", "Robust",
+];
+const TASKS: [&str; 8] = [
+    "Query Answering",
+    "Entity Resolution",
+    "Data Integration",
+    "Reasoning",
+    "Embedding Learning",
+    "Schema Discovery",
+    "Path Enumeration",
+    "Completion",
+];
+const DOMAINS: [&str; 6] = [
+    "for the Life Sciences",
+    "at Web Scale",
+    "in the Enterprise",
+    "over Streaming Data",
+    "for Question Answering",
+    "with Provenance",
+];
+const BACKGROUND: [&str; 6] = [
+    "Cache-Aware Sorting on Modern Hardware",
+    "A Survey of Stream Processing Engines",
+    "Deep Learning for Program Synthesis",
+    "Consensus in Asynchronous Networks",
+    "Index Structures for Time Series",
+    "Compilers for Quantum Circuits",
+];
+
+fn sample_poisson(rng: &mut StdRng, mean: f64) -> usize {
+    // Knuth's method is fine for the small means used here.
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    if l > 0.0 {
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    // Large mean: normal approximation.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let v: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+    let z = (-2.0 * v.ln()).sqrt() * (2.0 * std::f64::consts::PI * u).cos();
+    (mean + z * mean.sqrt()).round().max(0.0) as usize
+}
+
+fn make_title(rng: &mut StdRng, keyword: &str, extra: Option<&str>) -> String {
+    let adj = ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())];
+    let task = TASKS[rng.gen_range(0..TASKS.len())];
+    let dom = DOMAINS[rng.gen_range(0..DOMAINS.len())];
+    // Capitalize the keyword as a title word (matching is
+    // case-insensitive in the analyzer, like the paper's string search).
+    match extra {
+        Some(e) => format!("{adj} {task} over {e} {keyword} Systems {dom}"),
+        None => format!("{adj} {keyword} {task} {dom}"),
+    }
+}
+
+/// Generates the corpus. Deterministic for a fixed seed.
+pub fn generate_corpus(params: &CorpusParams) -> Vec<Publication> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut pubs = Vec::new();
+    for year in YEARS {
+        for keyword in KEYWORDS {
+            let mean = intensity(keyword, year) * params.scale;
+            let n = sample_poisson(&mut rng, mean);
+            for _ in 0..n {
+                if keyword == "knowledge graph" && rng.gen_bool(kg_rdf_overlap(year)) {
+                    // A KG paper that is "about RDF/SPARQL".
+                    let which = if rng.gen_bool(0.6) { "RDF" } else { "SPARQL" };
+                    pubs.push(Publication {
+                        year,
+                        title: make_title(&mut rng, keyword, Some(which)),
+                    });
+                } else {
+                    pubs.push(Publication {
+                        year,
+                        title: make_title(&mut rng, keyword, None),
+                    });
+                }
+            }
+        }
+        for _ in 0..params.background_per_year {
+            let t = BACKGROUND[rng.gen_range(0..BACKGROUND.len())];
+            pubs.push(Publication {
+                year,
+                title: t.to_owned(),
+            });
+        }
+    }
+    pubs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_corpus(&CorpusParams::default());
+        let b = generate_corpus(&CorpusParams::default());
+        assert_eq!(a, b);
+        let c = generate_corpus(&CorpusParams {
+            seed: 7,
+            ..CorpusParams::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn covers_all_years() {
+        let corpus = generate_corpus(&CorpusParams::default());
+        for year in YEARS {
+            assert!(corpus.iter().any(|p| p.year == year), "no papers in {year}");
+        }
+    }
+
+    #[test]
+    fn intensities_match_narrative_shape() {
+        // Direct checks on the calibration curves.
+        assert!(intensity("knowledge graph", 2012) < 20.0);
+        assert!(intensity("knowledge graph", 2020) > intensity("RDF", 2020));
+        assert!(intensity("RDF", 2010) > 200.0 && intensity("RDF", 2020) > 150.0);
+        assert!(intensity("property graph", 2020) < 15.0);
+        assert!(intensity("graph database", 2020) < 60.0);
+    }
+
+    #[test]
+    fn overlap_curve_endpoints() {
+        assert!((kg_rdf_overlap(2015) - 0.70).abs() < 1e-9);
+        assert!((kg_rdf_overlap(2020) - 0.14).abs() < 1e-9);
+        assert!(kg_rdf_overlap(2017) < 0.70 && kg_rdf_overlap(2017) > 0.14);
+    }
+
+    #[test]
+    fn scale_shrinks_the_corpus() {
+        let small = generate_corpus(&CorpusParams {
+            scale: 0.1,
+            background_per_year: 10,
+            seed: 1,
+        });
+        let big = generate_corpus(&CorpusParams {
+            scale: 1.0,
+            background_per_year: 10,
+            seed: 1,
+        });
+        assert!(small.len() < big.len() / 3);
+    }
+}

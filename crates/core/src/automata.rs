@@ -1,0 +1,226 @@
+//! Nondeterministic finite automata for path expressions.
+//!
+//! A [`PathExpr`] compiles (Thompson construction) into an [`Nfa`] whose
+//! transitions are of three kinds:
+//!
+//! * `Eps` — structural ε-transitions from the construction,
+//! * `Node(test)` — *guarded* ε-transitions: consume no edge, but require
+//!   the current graph node to satisfy `test` (these implement the `?test`
+//!   atoms of the paper's grammar),
+//! * `Fwd(test)` / `Bwd(test)` — consuming transitions: follow one edge
+//!   forward/backward whose label (or properties/features) satisfies
+//!   `test`.
+//!
+//! The automaton has a single start and a single accept state. Evaluation,
+//! counting, generation and enumeration all work on the product of the
+//! graph with this NFA ([`crate::product`]).
+
+use crate::expr::{PathExpr, Test};
+
+/// A transition label.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Trans {
+    /// Structural ε.
+    Eps,
+    /// Guarded ε: current node must satisfy test `t` (index into
+    /// [`Nfa::tests`]).
+    Node(u32),
+    /// Consume one forward edge satisfying test `t`.
+    Fwd(u32),
+    /// Consume one backward edge satisfying test `t`.
+    Bwd(u32),
+}
+
+/// An ε-NFA compiled from a path expression.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// Adjacency: `edges[q]` lists `(label, target)` transitions.
+    pub edges: Vec<Vec<(Trans, u32)>>,
+    /// Test arena referenced by transition labels.
+    pub tests: Vec<Test>,
+    /// The unique start state.
+    pub start: u32,
+    /// The unique accepting state.
+    pub accept: u32,
+}
+
+impl Nfa {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Compiles `expr` with the Thompson construction.
+    ///
+    /// The number of states is linear in the size of the expression.
+    pub fn compile(expr: &PathExpr) -> Nfa {
+        let mut b = Builder {
+            edges: Vec::new(),
+            tests: Vec::new(),
+        };
+        let (s, a) = b.frag(expr);
+        Nfa {
+            edges: b.edges,
+            tests: b.tests,
+            start: s,
+            accept: a,
+        }
+    }
+
+    /// The test referenced by a transition label, if any.
+    pub fn test_of(&self, t: Trans) -> Option<&Test> {
+        match t {
+            Trans::Eps => None,
+            Trans::Node(i) | Trans::Fwd(i) | Trans::Bwd(i) => Some(&self.tests[i as usize]),
+        }
+    }
+}
+
+struct Builder {
+    edges: Vec<Vec<(Trans, u32)>>,
+    tests: Vec<Test>,
+}
+
+impl Builder {
+    fn state(&mut self) -> u32 {
+        self.edges.push(Vec::new());
+        (self.edges.len() - 1) as u32
+    }
+
+    fn add(&mut self, from: u32, label: Trans, to: u32) {
+        self.edges[from as usize].push((label, to));
+    }
+
+    fn test(&mut self, t: &Test) -> u32 {
+        self.tests.push(t.clone());
+        (self.tests.len() - 1) as u32
+    }
+
+    /// Returns the (start, accept) pair of the compiled fragment.
+    fn frag(&mut self, e: &PathExpr) -> (u32, u32) {
+        match e {
+            PathExpr::NodeTest(t) => {
+                let s = self.state();
+                let a = self.state();
+                let ti = self.test(t);
+                self.add(s, Trans::Node(ti), a);
+                (s, a)
+            }
+            PathExpr::Forward(t) => {
+                let s = self.state();
+                let a = self.state();
+                let ti = self.test(t);
+                self.add(s, Trans::Fwd(ti), a);
+                (s, a)
+            }
+            PathExpr::Backward(t) => {
+                let s = self.state();
+                let a = self.state();
+                let ti = self.test(t);
+                self.add(s, Trans::Bwd(ti), a);
+                (s, a)
+            }
+            PathExpr::Alt(l, r) => {
+                let (ls, la) = self.frag(l);
+                let (rs, ra) = self.frag(r);
+                let s = self.state();
+                let a = self.state();
+                self.add(s, Trans::Eps, ls);
+                self.add(s, Trans::Eps, rs);
+                self.add(la, Trans::Eps, a);
+                self.add(ra, Trans::Eps, a);
+                (s, a)
+            }
+            PathExpr::Concat(l, r) => {
+                let (ls, la) = self.frag(l);
+                let (rs, ra) = self.frag(r);
+                self.add(la, Trans::Eps, rs);
+                (ls, ra)
+            }
+            PathExpr::Star(inner) => {
+                let (is, ia) = self.frag(inner);
+                let s = self.state();
+                let a = self.state();
+                self.add(s, Trans::Eps, is);
+                self.add(s, Trans::Eps, a);
+                self.add(ia, Trans::Eps, is);
+                self.add(ia, Trans::Eps, a);
+                (s, a)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use kgq_graph::Interner;
+
+    fn compile(s: &str) -> Nfa {
+        let mut it = Interner::new();
+        let e = parse_expr(s, &mut it).unwrap();
+        Nfa::compile(&e)
+    }
+
+    #[test]
+    fn single_atom_has_two_states() {
+        let nfa = compile("rides");
+        assert_eq!(nfa.state_count(), 2);
+        assert_eq!(nfa.edges[nfa.start as usize].len(), 1);
+        let (label, to) = nfa.edges[nfa.start as usize][0];
+        assert!(matches!(label, Trans::Fwd(_)));
+        assert_eq!(to, nfa.accept);
+    }
+
+    #[test]
+    fn backward_atom_uses_bwd() {
+        let nfa = compile("rides^-");
+        let (label, _) = nfa.edges[nfa.start as usize][0];
+        assert!(matches!(label, Trans::Bwd(_)));
+    }
+
+    #[test]
+    fn node_test_is_guarded_eps() {
+        let nfa = compile("?person");
+        let (label, _) = nfa.edges[nfa.start as usize][0];
+        assert!(matches!(label, Trans::Node(_)));
+    }
+
+    #[test]
+    fn state_count_is_linear() {
+        let nfa = compile("?person/rides/?bus/rides^-/?infected");
+        // Thompson: 2 states per atom, concat adds none.
+        assert_eq!(nfa.state_count(), 10);
+        let nfa = compile("(a+b)*");
+        assert_eq!(nfa.state_count(), 8); // 4 atoms' states + 2 alt + 2 star
+    }
+
+    #[test]
+    fn star_allows_skipping() {
+        let nfa = compile("a*");
+        // start must reach accept via ε only.
+        let mut seen = vec![false; nfa.state_count()];
+        let mut stack = vec![nfa.start];
+        seen[nfa.start as usize] = true;
+        while let Some(q) = stack.pop() {
+            for &(l, t) in &nfa.edges[q as usize] {
+                if l == Trans::Eps && !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        assert!(seen[nfa.accept as usize]);
+    }
+
+    #[test]
+    fn tests_are_shared_in_arena() {
+        let nfa = compile("{contact & [date='3/4/21']}");
+        assert_eq!(nfa.tests.len(), 1);
+        let (label, _) = nfa.edges[nfa.start as usize][0];
+        let t = nfa.test_of(label).unwrap();
+        assert!(matches!(t, Test::And(_, _)));
+        assert!(nfa.test_of(Trans::Eps).is_none());
+    }
+}

@@ -1,0 +1,372 @@
+//! Exact counting of paths — the problem `Count(G, r, k)` of §4.1.
+//!
+//! `Count` takes a graph, an expression and a length `k`, and returns the
+//! number of distinct paths `p ∈ ⟦r⟧` with `|p| = k`. The paper notes the
+//! problem is SpanL-complete, so no polynomial exact algorithm is expected.
+//! Two exact algorithms are provided:
+//!
+//! * [`count_paths`] — determinize the product (worst-case exponential,
+//!   where the hardness lives), then count by dynamic programming over the
+//!   deterministic automaton in `O(k · |det|)` — the standard "exponential
+//!   preprocessing, fast per-k" tradeoff.
+//! * [`count_paths_naive`] — enumerate every length-`k` walk of the graph
+//!   and test acceptance, in `Θ(Σ_paths)` time: the brute-force baseline
+//!   the experiments contrast against.
+//!
+//! Counts use `u128` with overflow checking ([`CountError::Overflow`]).
+
+use crate::automata::Nfa;
+use crate::expr::PathExpr;
+use crate::model::PathGraph;
+use crate::product::{DetProduct, Product};
+use kgq_graph::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors from exact counting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CountError {
+    /// The count does not fit in `u128`.
+    Overflow,
+}
+
+impl fmt::Display for CountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountError::Overflow => write!(f, "path count overflows u128"),
+        }
+    }
+}
+
+impl std::error::Error for CountError {}
+
+/// A reusable exact counter: pays determinization once, then answers
+/// `Count(G, r, k)` for any `k` by dynamic programming.
+pub struct ExactCounter {
+    det: DetProduct,
+}
+
+impl ExactCounter {
+    /// Builds the deterministic product for `(g, expr)`.
+    pub fn new<G: PathGraph>(g: &G, expr: &PathExpr) -> ExactCounter {
+        let nfa = Nfa::compile(expr);
+        ExactCounter {
+            det: DetProduct::build(g, &nfa),
+        }
+    }
+
+    /// Wraps an already-built deterministic product.
+    pub fn from_det(det: DetProduct) -> ExactCounter {
+        ExactCounter { det }
+    }
+
+    /// The deterministic product automaton.
+    pub fn det(&self) -> &DetProduct {
+        &self.det
+    }
+
+    /// `Count(G, r, k)` — distinct paths of length exactly `k`.
+    pub fn count(&self, k: usize) -> Result<u128, CountError> {
+        Ok(*self.count_by_length(k)?.last().expect("k+1 entries"))
+    }
+
+    /// Counts for every length `0..=k` in one DP pass.
+    pub fn count_by_length(&self, k: usize) -> Result<Vec<u128>, CountError> {
+        let m = self.det.state_count();
+        let mut cur = vec![0u128; m];
+        for s in self.det.initial.iter().flatten() {
+            cur[*s as usize] = cur[*s as usize]
+                .checked_add(1)
+                .ok_or(CountError::Overflow)?;
+        }
+        let mut totals = Vec::with_capacity(k + 1);
+        totals.push(self.accepting_total(&cur)?);
+        for _ in 0..k {
+            let mut next = vec![0u128; m];
+            for (s, &c) in cur.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                for &(_, s2) in &self.det.out[s] {
+                    next[s2 as usize] = next[s2 as usize]
+                        .checked_add(c)
+                        .ok_or(CountError::Overflow)?;
+                }
+            }
+            cur = next;
+            totals.push(self.accepting_total(&cur)?);
+        }
+        Ok(totals)
+    }
+
+    /// Count of paths of length `k` starting at a specific node.
+    pub fn count_from(&self, start: NodeId, k: usize) -> Result<u128, CountError> {
+        let m = self.det.state_count();
+        let mut cur = vec![0u128; m];
+        match self.det.initial.get(start.index()).and_then(|s| *s) {
+            Some(s) => cur[s as usize] = 1,
+            None => return Ok(0),
+        }
+        for _ in 0..k {
+            let mut next = vec![0u128; m];
+            for (s, &c) in cur.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                for &(_, s2) in &self.det.out[s] {
+                    next[s2 as usize] = next[s2 as usize]
+                        .checked_add(c)
+                        .ok_or(CountError::Overflow)?;
+                }
+            }
+            cur = next;
+        }
+        self.accepting_total(&cur)
+    }
+
+    /// Count of length-`k` paths from `start` to `end`.
+    pub fn count_between(
+        &self,
+        start: NodeId,
+        end: NodeId,
+        k: usize,
+    ) -> Result<u128, CountError> {
+        let m = self.det.state_count();
+        let mut cur = vec![0u128; m];
+        match self.det.initial.get(start.index()).and_then(|s| *s) {
+            Some(s) => cur[s as usize] = 1,
+            None => return Ok(0),
+        }
+        for _ in 0..k {
+            let mut next = vec![0u128; m];
+            for (s, &c) in cur.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                for &(_, s2) in &self.det.out[s] {
+                    next[s2 as usize] = next[s2 as usize]
+                        .checked_add(c)
+                        .ok_or(CountError::Overflow)?;
+                }
+            }
+            cur = next;
+        }
+        let mut total: u128 = 0;
+        for (s, &c) in cur.iter().enumerate() {
+            if self.det.accepting[s] && self.det.node_of(s as u32) == end {
+                total = total.checked_add(c).ok_or(CountError::Overflow)?;
+            }
+        }
+        Ok(total)
+    }
+
+    fn accepting_total(&self, dist: &[u128]) -> Result<u128, CountError> {
+        let mut total: u128 = 0;
+        for (s, &c) in dist.iter().enumerate() {
+            if self.det.accepting[s] {
+                total = total.checked_add(c).ok_or(CountError::Overflow)?;
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// `Count(G, r, k)` via determinization + DP. See [`ExactCounter`].
+pub fn count_paths<G: PathGraph>(g: &G, expr: &PathExpr, k: usize) -> Result<u128, CountError> {
+    ExactCounter::new(g, expr).count(k)
+}
+
+/// Brute-force `Count(G, r, k)`: enumerate every length-`k` walk
+/// (`n₀, e₁ … e_k`) by DFS and test acceptance against the product NFA.
+///
+/// Each path is visited exactly once (the word encoding is unique), so no
+/// dedup is needed — but the running time is proportional to the *number
+/// of walks*, which grows as `d^k`. This is the baseline that motivates
+/// the approximation algorithms of §4.1.
+pub fn count_paths_naive<G: PathGraph>(g: &G, expr: &PathExpr, k: usize) -> u128 {
+    let nfa = Nfa::compile(expr);
+    let prod = Product::build(g, &nfa);
+    let mut total: u128 = 0;
+    let mut word: Vec<EdgeId> = Vec::with_capacity(k);
+    for v in 0..g.node_count() as u32 {
+        let v = NodeId(v);
+        dfs_count(g, &prod, v, v, k, &mut word, &mut total);
+    }
+    total
+}
+
+fn dfs_count<G: PathGraph>(
+    g: &G,
+    prod: &Product,
+    start: NodeId,
+    cur: NodeId,
+    remaining: usize,
+    word: &mut Vec<EdgeId>,
+    total: &mut u128,
+) {
+    if remaining == 0 {
+        if prod.accepts(start, word) {
+            *total += 1;
+        }
+        return;
+    }
+    let mut steps: Vec<(EdgeId, NodeId)> = g
+        .out(cur)
+        .iter()
+        .chain(g.inc(cur).iter())
+        .copied()
+        .collect();
+    steps.sort_unstable_by_key(|&(e, _)| e.0);
+    steps.dedup_by_key(|&mut (e, _)| e.0);
+    for (e, m) in steps {
+        word.push(e);
+        dfs_count(g, prod, start, m, remaining - 1, word, total);
+        word.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LabeledView;
+    use crate::parser::parse_expr;
+    use kgq_graph::figures::figure2_labeled;
+    use kgq_graph::generate::{cycle_graph, gnm_labeled, path_graph};
+    use kgq_graph::LabeledGraph;
+
+    fn count_both(g: &mut LabeledGraph, expr: &str, k: usize) -> (u128, u128) {
+        let e = parse_expr(expr, g.consts_mut()).unwrap();
+        let view = LabeledView::new(g);
+        let exact = count_paths(&view, &e, k).unwrap();
+        let naive = count_paths_naive(&view, &e, k);
+        (exact, naive)
+    }
+
+    #[test]
+    fn exact_equals_naive_on_figure2() {
+        let exprs = [
+            "?person/rides/?bus/rides^-/?infected",
+            "(contact)*",
+            "(rides + rides^-)*",
+            "?person/(lives + contact)/?infected",
+        ];
+        for expr in exprs {
+            for k in 0..=4 {
+                let mut g = figure2_labeled();
+                let (exact, naive) = count_both(&mut g, expr, k);
+                assert_eq!(exact, naive, "expr={expr} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_equals_naive_on_random_graphs() {
+        for seed in 0..4 {
+            let mut g = gnm_labeled(12, 30, &["a", "b"], &["p", "q"], seed);
+            for expr in ["(p)*", "p/q^-", "(p+q)*/?a"] {
+                for k in 0..=3 {
+                    let (exact, naive) = count_both(&mut g, expr, k);
+                    assert_eq!(exact, naive, "seed={seed} expr={expr} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_counts_are_obvious() {
+        // On a directed path of n nodes, (next)* has n-k paths of length k.
+        let mut g = path_graph(6, "v", "next");
+        let e = parse_expr("(next)*", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let counter = ExactCounter::new(&view, &e);
+        let by_len = counter.count_by_length(5).unwrap();
+        assert_eq!(by_len, vec![6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn cycle_counts_wrap_forever() {
+        // On a directed cycle of n nodes, every length has exactly n
+        // forward paths.
+        let mut g = cycle_graph(5, "v", "next");
+        let e = parse_expr("(next)*", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let counter = ExactCounter::new(&view, &e);
+        let by_len = counter.count_by_length(7).unwrap();
+        assert!(by_len.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn ambiguity_does_not_overcount() {
+        // (a + a/a) over a path: ambiguous NFA; exact counting must not
+        // double-count the length-1 paths.
+        let mut g = path_graph(4, "v", "a");
+        let e = parse_expr("a + a/a", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        assert_eq!(count_paths(&view, &e, 1).unwrap(), 3);
+        assert_eq!(count_paths(&view, &e, 2).unwrap(), 2);
+        // Highly ambiguous: (a + a)* — each path still counted once.
+        let e2 = parse_expr("(a + a)*", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        assert_eq!(count_paths(&view, &e2, 1).unwrap(), 3);
+        assert_eq!(count_paths(&view, &e2, 3).unwrap(), 1);
+    }
+
+    #[test]
+    fn count_from_restricts_the_start() {
+        let mut g = figure2_labeled();
+        let e = parse_expr("rides", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let counter = ExactCounter::new(&view, &e);
+        let n1 = g.node_named("n1").unwrap();
+        let n7 = g.node_named("n7").unwrap();
+        assert_eq!(counter.count_from(n1, 1).unwrap(), 1);
+        assert_eq!(counter.count_from(n7, 1).unwrap(), 0);
+        // The sum over all starts equals the global count.
+        let total: u128 = g
+            .base()
+            .nodes()
+            .map(|n| counter.count_from(n, 1).unwrap())
+            .sum();
+        assert_eq!(total, counter.count(1).unwrap());
+    }
+
+    #[test]
+    fn count_between_partitions_count_from() {
+        let mut g = figure2_labeled();
+        let e = parse_expr("(rides + rides^- + contact)*", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let counter = ExactCounter::new(&view, &e);
+        let k = 3;
+        for a in g.base().nodes() {
+            let per_end: u128 = g
+                .base()
+                .nodes()
+                .map(|b| counter.count_between(a, b, k).unwrap())
+                .sum();
+            assert_eq!(per_end, counter.count_from(a, k).unwrap());
+        }
+    }
+
+    #[test]
+    fn huge_counts_overflow_cleanly() {
+        // Complete graph: counts grow ~ (n-1)^k and overflow u128 well
+        // before k = 160.
+        use kgq_graph::generate::complete_graph;
+        let mut g = complete_graph(8, "v", "e");
+        let e = parse_expr("(e + e^-)*", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let counter = ExactCounter::new(&view, &e);
+        assert!(counter.count(2).is_ok());
+        assert_eq!(counter.count(160), Err(CountError::Overflow));
+        assert_eq!(CountError::Overflow.to_string(), "path count overflows u128");
+    }
+
+    #[test]
+    fn zero_length_counts_are_node_tests() {
+        let mut g = figure2_labeled();
+        let e = parse_expr("?person", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        // Figure 2 has persons n1, n4, n8.
+        assert_eq!(count_paths(&view, &e, 0).unwrap(), 3);
+        assert_eq!(count_paths(&view, &e, 1).unwrap(), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Polynomial-delay enumeration of paths (§4.1).
+//!
+//! "The computation of the answers is divided into a preprocessing phase,
+//! where a data structure is built to accelerate the process of computing
+//! answers, and then in an enumeration phase, the answers are produced
+//! with a polynomial-time delay between them."
+//!
+//! Preprocessing builds the deterministic product and a *viability table*
+//! `viable[j][s]` — can an accepting state be reached from det state `s`
+//! in exactly `j` edge symbols? The enumeration phase is a lexicographic
+//! DFS that only ever branches into viable subtrees, so every internal
+//! step makes progress toward the next answer: the delay between
+//! consecutive answers is `O(k · b)` where `b` bounds the branching work
+//! at a det state — polynomial, independent of the number of answers
+//! already produced. Determinism of the product guarantees each *path* is
+//! produced exactly once.
+
+use crate::automata::Nfa;
+use crate::expr::PathExpr;
+use crate::model::PathGraph;
+use crate::path::Path;
+use crate::product::DetProduct;
+use kgq_graph::{EdgeId, NodeId};
+
+/// Iterator over all paths in `⟦r⟧` of length exactly `k`, in
+/// lexicographic `(start node, edge sequence)` order.
+pub struct PathEnumerator {
+    det: DetProduct,
+    k: usize,
+    /// `viable[j][s]`: accepting state reachable from `s` in exactly `j`
+    /// symbols.
+    viable: Vec<Vec<bool>>,
+    /// DFS stack: (det state, next transition index to try).
+    stack: Vec<(u32, usize)>,
+    /// Edges chosen so far (parallel to stack minus the root entry).
+    word: Vec<EdgeId>,
+    /// Remaining source nodes to process (in increasing order).
+    sources: std::vec::IntoIter<NodeId>,
+    current_start: Option<NodeId>,
+    /// Set when a fresh root has been pushed and, for k = 0, may itself
+    /// be an answer.
+    emit_root: bool,
+}
+
+impl PathEnumerator {
+    /// Preprocessing: builds the det product and viability table.
+    pub fn new<G: PathGraph>(g: &G, expr: &PathExpr, k: usize) -> PathEnumerator {
+        let nfa = Nfa::compile(expr);
+        let det = DetProduct::build(g, &nfa);
+        Self::from_det(det, k, g.node_count())
+    }
+
+    /// Preprocessing from an existing det product.
+    pub fn from_det(det: DetProduct, k: usize, node_count: usize) -> PathEnumerator {
+        let m = det.state_count();
+        let mut viable = vec![vec![false; m]; k + 1];
+        for s in 0..m {
+            viable[0][s] = det.accepting[s];
+        }
+        for j in 1..=k {
+            for s in 0..m {
+                viable[j][s] = det.out[s].iter().any(|&(_, s2)| viable[j - 1][s2 as usize]);
+            }
+        }
+        let sources: Vec<NodeId> = (0..node_count as u32).map(NodeId).collect();
+        PathEnumerator {
+            det,
+            k,
+            viable,
+            stack: Vec::new(),
+            word: Vec::new(),
+            sources: sources.into_iter(),
+            current_start: None,
+            emit_root: false,
+        }
+    }
+
+    fn push_root(&mut self) -> bool {
+        loop {
+            let src = match self.sources.next() {
+                Some(s) => s,
+                None => return false,
+            };
+            if let Some(s0) = self.det.initial[src.index()] {
+                if self.viable[self.k][s0 as usize] {
+                    self.current_start = Some(src);
+                    self.stack.clear();
+                    self.word.clear();
+                    self.stack.push((s0, 0));
+                    self.emit_root = true;
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for PathEnumerator {
+    type Item = Path;
+
+    fn next(&mut self) -> Option<Path> {
+        loop {
+            if self.stack.is_empty() && !self.push_root() {
+                return None;
+            }
+            // Emit the k = 0 answer at a fresh root.
+            if self.emit_root {
+                self.emit_root = false;
+                if self.k == 0 {
+                    let start = self.current_start.expect("root set");
+                    self.stack.clear();
+                    return Some(Path::trivial(start));
+                }
+            }
+            let depth = self.stack.len() - 1; // edges consumed so far
+            let (state, next_idx) = *self.stack.last().expect("non-empty");
+            let remaining = self.k - depth;
+            debug_assert!(remaining >= 1);
+            let mut idx = next_idx;
+            let transitions = &self.det.out[state as usize];
+            let mut advanced = false;
+            while idx < transitions.len() {
+                let (e, s2) = transitions[idx];
+                idx += 1;
+                if self.viable[remaining - 1][s2 as usize] {
+                    self.stack.last_mut().expect("non-empty").1 = idx;
+                    self.word.push(e);
+                    self.stack.push((s2, 0));
+                    if remaining == 1 {
+                        // Full-length answer reached.
+                        let path = Path {
+                            start: self.current_start.expect("root set"),
+                            edges: self.word.clone(),
+                        };
+                        // Backtrack one level so the next call continues.
+                        self.stack.pop();
+                        self.word.pop();
+                        return Some(path);
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                self.stack.last_mut().expect("non-empty").1 = idx;
+                if idx >= transitions.len() {
+                    self.stack.pop();
+                    self.word.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: materializes all paths of length exactly `k`.
+pub fn enumerate_paths<G: PathGraph>(g: &G, expr: &PathExpr, k: usize) -> Vec<Path> {
+    PathEnumerator::new(g, expr, k).collect()
+}
+
+/// Convenience: all paths of length `0..=k` (concatenated enumerations).
+pub fn enumerate_paths_upto<G: PathGraph>(g: &G, expr: &PathExpr, k: usize) -> Vec<Path> {
+    let nfa = Nfa::compile(expr);
+    let det = DetProduct::build(g, &nfa);
+    let mut all = Vec::new();
+    for j in 0..=k {
+        all.extend(PathEnumerator::from_det(det.clone(), j, g.node_count()));
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::count_paths;
+    use crate::model::LabeledView;
+    use crate::parser::parse_expr;
+    use crate::product::Product;
+    use kgq_graph::figures::figure2_labeled;
+    use kgq_graph::generate::{gnm_labeled, path_graph};
+    use std::collections::HashSet;
+
+    #[test]
+    fn enumeration_matches_exact_count() {
+        for seed in 0..3 {
+            let mut g = gnm_labeled(10, 25, &["a", "b"], &["p", "q"], seed);
+            for expr_text in ["(p+q)*", "p/q^-", "?a/(p)*"] {
+                let e = parse_expr(expr_text, g.consts_mut()).unwrap();
+                let view = LabeledView::new(&g);
+                for k in 0..=4 {
+                    let paths = enumerate_paths(&view, &e, k);
+                    let count = count_paths(&view, &e, k).unwrap();
+                    assert_eq!(paths.len() as u128, count, "{expr_text} k={k}");
+                    // All distinct.
+                    let set: HashSet<_> = paths.iter().cloned().collect();
+                    assert_eq!(set.len(), paths.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_enumerated_paths_are_answers() {
+        let mut g = figure2_labeled();
+        let e = parse_expr("?person/rides/?bus/rides^-/?infected", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let nfa = crate::automata::Nfa::compile(&e);
+        let prod = Product::build(&view, &nfa);
+        let paths = enumerate_paths(&view, &e, 2);
+        assert_eq!(paths.len(), 2); // n1 and n4 each share bus n3 with n2
+        for p in &paths {
+            assert!(prod.accepts(p.start, &p.edges));
+            assert_eq!(p.len(), 2);
+        }
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let mut g = gnm_labeled(8, 20, &["a"], &["p"], 3);
+        let e = parse_expr("(p)*", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let paths = enumerate_paths(&view, &e, 3);
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+    }
+
+    #[test]
+    fn zero_length_enumeration() {
+        let mut g = figure2_labeled();
+        let e = parse_expr("?person", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let paths = enumerate_paths(&view, &e, 0);
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn upto_concatenates_lengths() {
+        let mut g = path_graph(5, "v", "next");
+        let e = parse_expr("(next)*", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let all = enumerate_paths_upto(&view, &e, 4);
+        // 5 + 4 + 3 + 2 + 1
+        assert_eq!(all.len(), 15);
+    }
+
+    #[test]
+    fn empty_answer_set_terminates_immediately() {
+        let mut g = path_graph(3, "v", "next");
+        let e = parse_expr("ghost", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let mut it = PathEnumerator::new(&view, &e, 2);
+        assert!(it.next().is_none());
+    }
+}

@@ -1,0 +1,391 @@
+//! Path regular expressions — grammar (1) of the paper, with the property
+//! and feature extensions of Section 4.
+//!
+//! ```text
+//! test ::= ℓ | (p = v) | (f_i = v) | (¬test) | (test ∨ test) | (test ∧ test)
+//! r    ::= ?test | test | test⁻ | (r + r) | (r / r) | (r*)
+//! ```
+//!
+//! * `?test` checks the label (or properties/features) of a **node** and
+//!   matches a path of length 0;
+//! * `test` follows one **edge** forward whose label/properties/features
+//!   satisfy the test; `test⁻` follows one edge backward;
+//! * `+` is alternation, `/` concatenation, `*` Kleene star.
+//!
+//! Tests are built over interned [`Sym`] constants; which test kinds are
+//! meaningful depends on the data model ([`Test::requires`]): label tests
+//! work on every model, `(p = v)` needs a property graph, `(f_i = v)` a
+//! vector-labeled graph.
+
+use kgq_graph::Sym;
+use std::fmt;
+
+/// A boolean test on a node or an edge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Test {
+    /// `ℓ` — the label equals `ℓ`.
+    Label(Sym),
+    /// `(p = v)` — property `p` has value `v` (property graphs).
+    Prop(Sym, Sym),
+    /// `(f_i = v)` — the `i`-th feature (1-based, as in the paper) equals
+    /// `v` (vector-labeled graphs).
+    Feature(usize, Sym),
+    /// `(¬ test)`.
+    Not(Box<Test>),
+    /// `(test ∧ test)`.
+    And(Box<Test>, Box<Test>),
+    /// `(test ∨ test)`.
+    Or(Box<Test>, Box<Test>),
+}
+
+/// The capabilities a test requires from the data model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Requirements {
+    /// Uses `(p = v)` somewhere.
+    pub properties: bool,
+    /// Uses `(f_i = v)` somewhere; holds the maximum 1-based index seen.
+    pub max_feature: usize,
+    /// Uses a plain label test somewhere.
+    pub labels: bool,
+}
+
+impl Requirements {
+    fn merge(self, other: Requirements) -> Requirements {
+        Requirements {
+            properties: self.properties || other.properties,
+            max_feature: self.max_feature.max(other.max_feature),
+            labels: self.labels || other.labels,
+        }
+    }
+}
+
+impl Test {
+    /// What this test needs from the underlying graph model.
+    pub fn requires(&self) -> Requirements {
+        match self {
+            Test::Label(_) => Requirements {
+                labels: true,
+                ..Requirements::default()
+            },
+            Test::Prop(_, _) => Requirements {
+                properties: true,
+                ..Requirements::default()
+            },
+            Test::Feature(i, _) => Requirements {
+                max_feature: *i,
+                ..Requirements::default()
+            },
+            Test::Not(t) => t.requires(),
+            Test::And(a, b) | Test::Or(a, b) => a.requires().merge(b.requires()),
+        }
+    }
+
+    /// Convenience constructor: `¬ self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Test {
+        Test::Not(Box::new(self))
+    }
+
+    /// Convenience constructor: `self ∧ other`.
+    pub fn and(self, other: Test) -> Test {
+        Test::And(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience constructor: `self ∨ other`.
+    pub fn or(self, other: Test) -> Test {
+        Test::Or(Box::new(self), Box::new(other))
+    }
+}
+
+/// A path regular expression (grammar (1) of the paper).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PathExpr {
+    /// `?test` — a node test; matches length-0 paths.
+    NodeTest(Test),
+    /// `test` — follow one edge forward.
+    Forward(Test),
+    /// `test⁻` — follow one edge backward.
+    Backward(Test),
+    /// `(r + r)` — alternation.
+    Alt(Box<PathExpr>, Box<PathExpr>),
+    /// `(r / r)` — concatenation.
+    Concat(Box<PathExpr>, Box<PathExpr>),
+    /// `(r*)` — Kleene star.
+    Star(Box<PathExpr>),
+}
+
+impl PathExpr {
+    /// `self + other`.
+    pub fn alt(self, other: PathExpr) -> PathExpr {
+        PathExpr::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// `self / other`.
+    pub fn concat(self, other: PathExpr) -> PathExpr {
+        PathExpr::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `self*`.
+    pub fn star(self) -> PathExpr {
+        PathExpr::Star(Box::new(self))
+    }
+
+    /// Union of the requirements of all tests in the expression.
+    pub fn requires(&self) -> Requirements {
+        match self {
+            PathExpr::NodeTest(t) | PathExpr::Forward(t) | PathExpr::Backward(t) => t.requires(),
+            PathExpr::Alt(a, b) | PathExpr::Concat(a, b) => a.requires().merge(b.requires()),
+            PathExpr::Star(r) => r.requires(),
+        }
+    }
+
+    /// Number of atoms (`?test`, `test`, `test⁻`) in the expression — the
+    /// size measure `|r|` used in complexity statements.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            PathExpr::NodeTest(_) | PathExpr::Forward(_) | PathExpr::Backward(_) => 1,
+            PathExpr::Alt(a, b) | PathExpr::Concat(a, b) => a.atom_count() + b.atom_count(),
+            PathExpr::Star(r) => r.atom_count(),
+        }
+    }
+
+    /// True if the expression can match a path of length 0 *structurally*
+    /// (i.e. ignoring whether any node passes the tests).
+    pub fn nullable(&self) -> bool {
+        match self {
+            PathExpr::NodeTest(_) => true,
+            PathExpr::Forward(_) | PathExpr::Backward(_) => false,
+            PathExpr::Alt(a, b) => a.nullable() || b.nullable(),
+            PathExpr::Concat(a, b) => a.nullable() && b.nullable(),
+            PathExpr::Star(_) => true,
+        }
+    }
+}
+
+/// Pretty-printer that resolves symbols through an interner.
+pub struct DisplayExpr<'a> {
+    expr: &'a PathExpr,
+    consts: &'a kgq_graph::Interner,
+}
+
+impl PathExpr {
+    /// Returns a displayable view of the expression using `consts` to
+    /// resolve symbols.
+    pub fn display<'a>(&'a self, consts: &'a kgq_graph::Interner) -> DisplayExpr<'a> {
+        DisplayExpr { expr: self, consts }
+    }
+}
+
+/// A bare identifier if lexable as one, otherwise single-quoted.
+fn fmt_const(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let ident = !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_');
+    if ident {
+        write!(f, "{s}")
+    } else {
+        write!(f, "'{s}'")
+    }
+}
+
+/// Inner boolean syntax (valid inside `{…}`).
+fn fmt_test_inner(
+    t: &Test,
+    consts: &kgq_graph::Interner,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    match t {
+        Test::Label(l) => fmt_const(consts.resolve(*l), f),
+        Test::Prop(p, v) => {
+            write!(f, "[")?;
+            fmt_const(consts.resolve(*p), f)?;
+            write!(f, "=")?;
+            fmt_const(consts.resolve(*v), f)?;
+            write!(f, "]")
+        }
+        Test::Feature(i, v) => {
+            write!(f, "[#{i}=")?;
+            fmt_const(consts.resolve(*v), f)?;
+            write!(f, "]")
+        }
+        Test::Not(t) => {
+            write!(f, "!")?;
+            match t.as_ref() {
+                Test::And(_, _) | Test::Or(_, _) => {
+                    write!(f, "{{")?;
+                    fmt_test_inner(t, consts, f)?;
+                    write!(f, "}}")
+                }
+                _ => fmt_test_inner(t, consts, f),
+            }
+        }
+        Test::And(a, b) => {
+            fmt_binary_side(a, consts, f)?;
+            write!(f, " & ")?;
+            fmt_binary_side(b, consts, f)
+        }
+        Test::Or(a, b) => {
+            fmt_binary_side(a, consts, f)?;
+            write!(f, " | ")?;
+            fmt_binary_side(b, consts, f)
+        }
+    }
+}
+
+/// Operands of `&`/`|`: wrap nested binary tests in `{…}` (the grammar
+/// has no precedence between `&` and `|` beyond the nesting).
+fn fmt_binary_side(
+    t: &Test,
+    consts: &kgq_graph::Interner,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    match t {
+        Test::And(_, _) | Test::Or(_, _) => {
+            write!(f, "{{")?;
+            fmt_test_inner(t, consts, f)?;
+            write!(f, "}}")
+        }
+        _ => fmt_test_inner(t, consts, f),
+    }
+}
+
+/// Atom-level test syntax: leaves print bare, boolean structure is
+/// wrapped in `{…}` so the output re-parses with [`crate::parser`].
+fn fmt_test(t: &Test, consts: &kgq_graph::Interner, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        Test::Label(_) | Test::Prop(_, _) | Test::Feature(_, _) => fmt_test_inner(t, consts, f),
+        _ => {
+            write!(f, "{{")?;
+            fmt_test_inner(t, consts, f)?;
+            write!(f, "}}")
+        }
+    }
+}
+
+fn fmt_expr(
+    e: &PathExpr,
+    consts: &kgq_graph::Interner,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    match e {
+        PathExpr::NodeTest(t) => {
+            write!(f, "?")?;
+            fmt_test(t, consts, f)
+        }
+        PathExpr::Forward(t) => fmt_test(t, consts, f),
+        PathExpr::Backward(t) => {
+            fmt_test(t, consts, f)?;
+            write!(f, "^-")
+        }
+        PathExpr::Alt(a, b) => {
+            write!(f, "(")?;
+            fmt_expr(a, consts, f)?;
+            write!(f, " + ")?;
+            fmt_expr(b, consts, f)?;
+            write!(f, ")")
+        }
+        PathExpr::Concat(a, b) => {
+            fmt_expr(a, consts, f)?;
+            write!(f, "/")?;
+            fmt_expr(b, consts, f)
+        }
+        PathExpr::Star(r) => {
+            write!(f, "(")?;
+            fmt_expr(r, consts, f)?;
+            write!(f, ")*")
+        }
+    }
+}
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self.expr, self.consts, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::Interner;
+
+    fn syms() -> (Interner, Sym, Sym, Sym) {
+        let mut it = Interner::new();
+        let person = it.intern("person");
+        let rides = it.intern("rides");
+        let bus = it.intern("bus");
+        (it, person, rides, bus)
+    }
+
+    #[test]
+    fn nullable_follows_structure() {
+        let (_, person, rides, _) = syms();
+        assert!(PathExpr::NodeTest(Test::Label(person)).nullable());
+        assert!(!PathExpr::Forward(Test::Label(rides)).nullable());
+        assert!(PathExpr::Forward(Test::Label(rides)).star().nullable());
+        let seq = PathExpr::NodeTest(Test::Label(person))
+            .concat(PathExpr::Forward(Test::Label(rides)));
+        assert!(!seq.nullable());
+        let alt = PathExpr::Forward(Test::Label(rides))
+            .alt(PathExpr::NodeTest(Test::Label(person)));
+        assert!(alt.nullable());
+    }
+
+    #[test]
+    fn atom_count_measures_size() {
+        let (_, person, rides, bus) = syms();
+        // ?person / rides / ?bus / rides⁻ / ?person  — 5 atoms
+        let r = PathExpr::NodeTest(Test::Label(person))
+            .concat(PathExpr::Forward(Test::Label(rides)))
+            .concat(PathExpr::NodeTest(Test::Label(bus)))
+            .concat(PathExpr::Backward(Test::Label(rides)))
+            .concat(PathExpr::NodeTest(Test::Label(person)));
+        assert_eq!(r.atom_count(), 5);
+    }
+
+    #[test]
+    fn requirements_propagate() {
+        let (mut it, person, rides, _) = syms();
+        let date = it.intern("date");
+        let v = it.intern("3/4/21");
+        let r = PathExpr::NodeTest(Test::Label(person)).concat(PathExpr::Forward(
+            Test::Label(rides).and(Test::Prop(date, v)),
+        ));
+        let req = r.requires();
+        assert!(req.labels);
+        assert!(req.properties);
+        assert_eq!(req.max_feature, 0);
+
+        let rf = PathExpr::Forward(Test::Feature(5, v));
+        assert_eq!(rf.requires().max_feature, 5);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let (it, person, rides, bus) = syms();
+        let r = PathExpr::NodeTest(Test::Label(person))
+            .concat(PathExpr::Forward(Test::Label(rides)))
+            .concat(PathExpr::NodeTest(Test::Label(bus)))
+            .concat(PathExpr::Backward(Test::Label(rides)));
+        let s = format!("{}", r.display(&it));
+        assert_eq!(s, "?person/rides/?bus/rides^-");
+    }
+
+    #[test]
+    fn boolean_test_display_is_parser_syntax() {
+        let (it, person, rides, _) = syms();
+        let t = Test::Label(rides).not().and(Test::Label(person));
+        let r = PathExpr::Forward(t);
+        assert_eq!(format!("{}", r.display(&it)), "{!rides & person}");
+    }
+
+    #[test]
+    fn display_quotes_non_identifier_constants() {
+        let mut it = Interner::new();
+        let date = it.intern("date");
+        let v = it.intern("3/4/21");
+        let r = PathExpr::Forward(Test::Prop(date, v));
+        assert_eq!(format!("{}", r.display(&it)), "[date='3/4/21']");
+        let f = PathExpr::NodeTest(Test::Feature(5, v));
+        assert_eq!(format!("{}", f.display(&it)), "?[#5='3/4/21']");
+    }
+}

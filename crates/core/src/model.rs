@@ -1,0 +1,295 @@
+//! Uniform evaluation interface over the three data models.
+//!
+//! The paper defines the semantics of path regular expressions separately
+//! for labeled graphs, property graphs and vector-labeled graphs, noting
+//! that the definitions only differ in how *tests* are interpreted. The
+//! [`PathGraph`] trait captures exactly that interface: adjacency plus the
+//! interpretation of a [`Test`] on a node or an edge. Every algorithm in
+//! this crate (evaluation, counting, generation, enumeration) is written
+//! once against `PathGraph` and works on all three models.
+
+use crate::expr::Test;
+use kgq_graph::{Csr, EdgeId, LabeledGraph, NodeId, PropertyGraph, Sym, VectorGraph};
+
+/// A graph that path expressions can be evaluated on.
+pub trait PathGraph {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+    /// Number of edges.
+    fn edge_count(&self) -> usize;
+    /// `ρ(e)` — endpoints of edge `e`.
+    fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId);
+    /// Outgoing `(edge, target)` pairs of `n`.
+    fn out(&self, n: NodeId) -> &[(EdgeId, NodeId)];
+    /// Incoming `(edge, source)` pairs of `n`.
+    fn inc(&self, n: NodeId) -> &[(EdgeId, NodeId)];
+    /// Does node `n` satisfy `test`?
+    fn node_test(&self, n: NodeId, test: &Test) -> bool;
+    /// Does edge `e` satisfy `test`?
+    fn edge_test(&self, e: EdgeId, test: &Test) -> bool;
+}
+
+fn eval_bool<F>(test: &Test, atom: &F) -> bool
+where
+    F: Fn(&Test) -> bool,
+{
+    match test {
+        Test::Not(t) => !eval_bool(t, atom),
+        Test::And(a, b) => eval_bool(a, atom) && eval_bool(b, atom),
+        Test::Or(a, b) => eval_bool(a, atom) || eval_bool(b, atom),
+        leaf => atom(leaf),
+    }
+}
+
+/// Evaluation view over a [`LabeledGraph`].
+///
+/// Label tests compare against `λ`; property and feature tests are false
+/// (a labeled graph has no `σ` and no feature vectors).
+pub struct LabeledView<'a> {
+    g: &'a LabeledGraph,
+    csr: Csr,
+}
+
+impl<'a> LabeledView<'a> {
+    /// Builds the view (snapshots adjacency into CSR form).
+    pub fn new(g: &'a LabeledGraph) -> Self {
+        LabeledView {
+            csr: Csr::build(g.base()),
+            g,
+        }
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &LabeledGraph {
+        self.g
+    }
+}
+
+impl PathGraph for LabeledView<'_> {
+    fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+    fn edge_count(&self) -> usize {
+        self.g.edge_count()
+    }
+    fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.g.base().endpoints(e)
+    }
+    fn out(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.out(n)
+    }
+    fn inc(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.inc(n)
+    }
+    fn node_test(&self, n: NodeId, test: &Test) -> bool {
+        eval_bool(test, &|leaf| match leaf {
+            Test::Label(l) => self.g.node_label(n) == *l,
+            _ => false,
+        })
+    }
+    fn edge_test(&self, e: EdgeId, test: &Test) -> bool {
+        eval_bool(test, &|leaf| match leaf {
+            Test::Label(l) => self.g.edge_label(e) == *l,
+            _ => false,
+        })
+    }
+}
+
+/// Evaluation view over a [`PropertyGraph`].
+///
+/// Label tests compare against `λ`; `(p = v)` tests consult `σ`; feature
+/// tests are false.
+pub struct PropertyView<'a> {
+    g: &'a PropertyGraph,
+    csr: Csr,
+}
+
+impl<'a> PropertyView<'a> {
+    /// Builds the view.
+    pub fn new(g: &'a PropertyGraph) -> Self {
+        PropertyView {
+            csr: Csr::build(g.labeled().base()),
+            g,
+        }
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &PropertyGraph {
+        self.g
+    }
+}
+
+impl PathGraph for PropertyView<'_> {
+    fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+    fn edge_count(&self) -> usize {
+        self.g.edge_count()
+    }
+    fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.g.labeled().base().endpoints(e)
+    }
+    fn out(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.out(n)
+    }
+    fn inc(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.inc(n)
+    }
+    fn node_test(&self, n: NodeId, test: &Test) -> bool {
+        eval_bool(test, &|leaf| match leaf {
+            Test::Label(l) => self.g.labeled().node_label(n) == *l,
+            Test::Prop(p, v) => self.g.node_prop(n, *p) == Some(*v),
+            _ => false,
+        })
+    }
+    fn edge_test(&self, e: EdgeId, test: &Test) -> bool {
+        eval_bool(test, &|leaf| match leaf {
+            Test::Label(l) => self.g.labeled().edge_label(e) == *l,
+            Test::Prop(p, v) => self.g.edge_prop(e, *p) == Some(*v),
+            _ => false,
+        })
+    }
+}
+
+/// Evaluation view over a [`VectorGraph`].
+///
+/// `(f_i = v)` tests compare feature `i` (1-based); a plain label test `ℓ`
+/// is interpreted as `(f_1 = ℓ)`, matching the paper's convention that the
+/// first feature row plays the role of the label in Figure 2(c).
+pub struct VectorView<'a> {
+    g: &'a VectorGraph,
+    csr: Csr,
+}
+
+impl<'a> VectorView<'a> {
+    /// Builds the view.
+    pub fn new(g: &'a VectorGraph) -> Self {
+        VectorView {
+            csr: Csr::build(g.base()),
+            g,
+        }
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &VectorGraph {
+        self.g
+    }
+
+    fn feature_eq(&self, vec_of: Option<NodeId>, edge: Option<EdgeId>, i: usize, v: Sym) -> bool {
+        if i == 0 || i > self.g.dim() {
+            return false;
+        }
+        match (vec_of, edge) {
+            (Some(n), None) => self.g.node_feature(n, i - 1) == v,
+            (None, Some(e)) => self.g.edge_feature(e, i - 1) == v,
+            _ => false,
+        }
+    }
+}
+
+impl PathGraph for VectorView<'_> {
+    fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+    fn edge_count(&self) -> usize {
+        self.g.edge_count()
+    }
+    fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.g.base().endpoints(e)
+    }
+    fn out(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.out(n)
+    }
+    fn inc(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr.inc(n)
+    }
+    fn node_test(&self, n: NodeId, test: &Test) -> bool {
+        eval_bool(test, &|leaf| match leaf {
+            Test::Feature(i, v) => self.feature_eq(Some(n), None, *i, *v),
+            Test::Label(l) => self.feature_eq(Some(n), None, 1, *l),
+            _ => false,
+        })
+    }
+    fn edge_test(&self, e: EdgeId, test: &Test) -> bool {
+        eval_bool(test, &|leaf| match leaf {
+            Test::Feature(i, v) => self.feature_eq(None, Some(e), *i, *v),
+            Test::Label(l) => self.feature_eq(None, Some(e), 1, *l),
+            _ => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::figures::{figure2_labeled, figure2_property, figure2_vector};
+
+    #[test]
+    fn labeled_view_tests_labels_only() {
+        let g = figure2_labeled();
+        let view = LabeledView::new(&g);
+        let n1 = g.node_named("n1").unwrap();
+        let person = g.sym("person").unwrap();
+        assert!(view.node_test(n1, &Test::Label(person)));
+        // Property tests are vacuously false on a labeled graph.
+        let name = g.sym("n1").unwrap();
+        assert!(!view.node_test(n1, &Test::Prop(name, person)));
+        // But a negated property test is true.
+        assert!(view.node_test(n1, &Test::Prop(name, person).not()));
+    }
+
+    #[test]
+    fn property_view_checks_sigma() {
+        let g = figure2_property();
+        let view = PropertyView::new(&g);
+        let lg = g.labeled();
+        let e2 = lg.edge_named("e2").unwrap();
+        let date = lg.sym("date").unwrap();
+        let d = lg.sym("3/4/21").unwrap();
+        let rides = lg.sym("rides").unwrap();
+        assert!(view.edge_test(e2, &Test::Label(rides).and(Test::Prop(date, d))));
+        let e1 = lg.edge_named("e1").unwrap();
+        assert!(!view.edge_test(e1, &Test::Prop(date, d))); // e1 is 3/3/21
+    }
+
+    #[test]
+    fn vector_view_uses_features() {
+        let g = figure2_vector();
+        let view = VectorView::new(&g);
+        let n3 = g.node_named("n3").unwrap();
+        let bus = g.consts().get("bus").unwrap();
+        // f1 = bus (feature indices are 1-based).
+        assert!(view.node_test(n3, &Test::Feature(1, bus)));
+        // Bare label tests fall back to f1.
+        assert!(view.node_test(n3, &Test::Label(bus)));
+        // Out-of-range feature indices are simply false.
+        assert!(!view.node_test(n3, &Test::Feature(99, bus)));
+    }
+
+    #[test]
+    fn boolean_connectives_evaluate() {
+        let g = figure2_labeled();
+        let view = LabeledView::new(&g);
+        let n3 = g.node_named("n3").unwrap();
+        let person = g.sym("person").unwrap();
+        let bus = g.sym("bus").unwrap();
+        let t = Test::Label(person).or(Test::Label(bus));
+        assert!(view.node_test(n3, &t));
+        let t = Test::Label(person).and(Test::Label(bus));
+        assert!(!view.node_test(n3, &t));
+        let t = Test::Label(person).not();
+        assert!(view.node_test(n3, &t));
+    }
+
+    #[test]
+    fn adjacency_matches_base_graph() {
+        let g = figure2_labeled();
+        let view = LabeledView::new(&g);
+        let n3 = g.node_named("n3").unwrap();
+        // n3 (the bus) has three riders and one owner: 4 incoming edges.
+        assert_eq!(view.inc(n3).len(), 4);
+        assert!(view.out(n3).is_empty());
+        assert_eq!(view.node_count(), 8);
+        assert_eq!(view.edge_count(), 8);
+    }
+}

@@ -1,0 +1,518 @@
+//! A concrete text syntax for path regular expressions.
+//!
+//! The paper writes expressions like `?person/rides/?bus/rides⁻/?infected`
+//! and `?person/(contact ∧ (date = 3/4/21))/?infected`. Since `/` is the
+//! concatenation operator, dates and other values containing `/` are
+//! written single-quoted, the inverse marker `⁻` is written `^-`, and the
+//! boolean connectives use ASCII:
+//!
+//! ```text
+//! expr    := alt
+//! alt     := seq ( '+' seq )*
+//! seq     := unary ( '/' unary )*
+//! unary   := atom '*'*
+//! atom    := '?' test | test ('^-')? | '(' expr ')'
+//! test    := ident | 'quoted' | '[' eq ']' | '{' bool '}'
+//! eq      := (ident | quoted | '#' int) '=' (ident | quoted)
+//! bool    := band ( '|' band )* ; band := bnot ( '&' bnot )*
+//! bnot    := '!' bnot | test
+//! ```
+//!
+//! Examples accepted by [`parse_expr`]:
+//!
+//! * `?person/rides/?bus/rides^-/?infected` — expression of §4.3,
+//! * `?person/{contact & [date='3/4/21']}/?infected` — expression (3),
+//! * `[#1=person]/{[#1=contact] & [#5='3/4/21']}/?[#1=infected]` — the
+//!   vector-labeled rewriting (features are 1-based, as in the paper),
+//! * `?infected/rides/?bus/rides^-/(?person/(lives+contact))*/?person` —
+//!   the epidemic-centrality expression `r₁` of §4.2.
+
+use crate::expr::{PathExpr, Test};
+use kgq_graph::Interner;
+use std::fmt;
+
+/// Parse error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    Int(usize),
+    Question,
+    Slash,
+    Plus,
+    Star,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Bang,
+    Amp,
+    Pipe,
+    Eq,
+    Hash,
+    Inverse, // ^-
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '?' => {
+                toks.push((i, Tok::Question));
+                i += 1;
+            }
+            '/' => {
+                toks.push((i, Tok::Slash));
+                i += 1;
+            }
+            '+' => {
+                toks.push((i, Tok::Plus));
+                i += 1;
+            }
+            '*' => {
+                toks.push((i, Tok::Star));
+                i += 1;
+            }
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            '{' => {
+                toks.push((i, Tok::LBrace));
+                i += 1;
+            }
+            '}' => {
+                toks.push((i, Tok::RBrace));
+                i += 1;
+            }
+            '[' => {
+                toks.push((i, Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                toks.push((i, Tok::RBracket));
+                i += 1;
+            }
+            '!' => {
+                toks.push((i, Tok::Bang));
+                i += 1;
+            }
+            '&' => {
+                toks.push((i, Tok::Amp));
+                i += 1;
+            }
+            '|' => {
+                toks.push((i, Tok::Pipe));
+                i += 1;
+            }
+            '=' => {
+                toks.push((i, Tok::Eq));
+                i += 1;
+            }
+            '#' => {
+                toks.push((i, Tok::Hash));
+                i += 1;
+            }
+            '^' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    toks.push((i, Tok::Inverse));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        pos: i,
+                        message: "expected `^-`".to_owned(),
+                    });
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError {
+                        pos: start,
+                        message: "unterminated quoted string".to_owned(),
+                    });
+                }
+                toks.push((start, Tok::Quoted(input[begin..i].to_owned())));
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let begin = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n: usize = input[begin..i].parse().map_err(|_| ParseError {
+                    pos: begin,
+                    message: "integer too large".to_owned(),
+                })?;
+                toks.push((begin, Tok::Int(n)));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let begin = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((begin, Tok::Ident(input[begin..i].to_owned())));
+            }
+            other => {
+                return Err(ParseError {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    consts: &'a mut Interner,
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            pos: self.here(),
+            message,
+        }
+    }
+
+    fn expr(&mut self) -> Result<PathExpr, ParseError> {
+        let mut left = self.seq()?;
+        while self.peek() == Some(&Tok::Plus) {
+            self.pos += 1;
+            let right = self.seq()?;
+            left = left.alt(right);
+        }
+        Ok(left)
+    }
+
+    fn seq(&mut self) -> Result<PathExpr, ParseError> {
+        let mut left = self.unary()?;
+        while self.peek() == Some(&Tok::Slash) {
+            self.pos += 1;
+            let right = self.unary()?;
+            left = left.concat(right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<PathExpr, ParseError> {
+        let mut e = self.atom()?;
+        while self.peek() == Some(&Tok::Star) {
+            self.pos += 1;
+            e = e.star();
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<PathExpr, ParseError> {
+        match self.peek() {
+            Some(Tok::Question) => {
+                self.pos += 1;
+                let t = self.test()?;
+                Ok(PathExpr::NodeTest(t))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(_)) | Some(Tok::Quoted(_)) | Some(Tok::LBracket)
+            | Some(Tok::LBrace) => {
+                let t = self.test()?;
+                if self.peek() == Some(&Tok::Inverse) {
+                    self.pos += 1;
+                    Ok(PathExpr::Backward(t))
+                } else {
+                    Ok(PathExpr::Forward(t))
+                }
+            }
+            _ => Err(self.err("expected an atom (`?test`, `test`, `test^-` or `(expr)`)".into())),
+        }
+    }
+
+    fn test(&mut self) -> Result<Test, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(Test::Label(self.consts.intern(&s))),
+            Some(Tok::Quoted(s)) => Ok(Test::Label(self.consts.intern(&s))),
+            Some(Tok::LBracket) => {
+                let t = self.eq_test()?;
+                self.expect(&Tok::RBracket, "`]`")?;
+                Ok(t)
+            }
+            Some(Tok::LBrace) => {
+                let t = self.bool_or()?;
+                self.expect(&Tok::RBrace, "`}`")?;
+                Ok(t)
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a test".into()))
+            }
+        }
+    }
+
+    fn eq_test(&mut self) -> Result<Test, ParseError> {
+        if self.peek() == Some(&Tok::Hash) {
+            self.pos += 1;
+            let i = match self.bump() {
+                Some(Tok::Int(i)) => i,
+                _ => return Err(self.err("expected feature index after `#`".into())),
+            };
+            if i == 0 {
+                return Err(self.err("feature indices are 1-based".into()));
+            }
+            self.expect(&Tok::Eq, "`=`")?;
+            let v = self.value()?;
+            Ok(Test::Feature(i, v))
+        } else {
+            let p = self.value()?;
+            self.expect(&Tok::Eq, "`=`")?;
+            let v = self.value()?;
+            Ok(Test::Prop(p, v))
+        }
+    }
+
+    fn value(&mut self) -> Result<kgq_graph::Sym, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) | Some(Tok::Quoted(s)) => Ok(self.consts.intern(&s)),
+            Some(Tok::Int(i)) => Ok(self.consts.intern(&i.to_string())),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected an identifier, quoted string or integer".into()))
+            }
+        }
+    }
+
+    fn bool_or(&mut self) -> Result<Test, ParseError> {
+        let mut left = self.bool_and()?;
+        while self.peek() == Some(&Tok::Pipe) {
+            self.pos += 1;
+            let right = self.bool_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn bool_and(&mut self) -> Result<Test, ParseError> {
+        let mut left = self.bool_not()?;
+        while self.peek() == Some(&Tok::Amp) {
+            self.pos += 1;
+            let right = self.bool_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn bool_not(&mut self) -> Result<Test, ParseError> {
+        if self.peek() == Some(&Tok::Bang) {
+            self.pos += 1;
+            Ok(self.bool_not()?.not())
+        } else {
+            self.test()
+        }
+    }
+}
+
+/// Parses a path regular expression, interning all constants in `consts`.
+pub fn parse_expr(input: &str, consts: &mut Interner) -> Result<PathExpr, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        consts,
+        end: input.len(),
+    };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input".into()));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> (PathExpr, Interner) {
+        let mut it = Interner::new();
+        let e = parse_expr(s, &mut it).unwrap_or_else(|e| panic!("{s}: {e}"));
+        (e, it)
+    }
+
+    #[test]
+    fn paper_expression_4_3() {
+        let (e, it) = parse("?person/rides/?bus/rides^-/?infected");
+        assert_eq!(e.atom_count(), 5);
+        assert_eq!(
+            format!("{}", e.display(&it)),
+            "?person/rides/?bus/rides^-/?infected"
+        );
+    }
+
+    #[test]
+    fn paper_expression_3_with_property_date() {
+        let (e, _) = parse("?person/{contact & [date='3/4/21']}/?infected");
+        match &e {
+            PathExpr::Concat(_, _) => {}
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert!(e.requires().properties);
+    }
+
+    #[test]
+    fn paper_vector_rewriting() {
+        let (e, _) = parse("[#1=person]/{[#1=contact] & [#5='3/4/21']}/?[#1=infected]");
+        assert_eq!(e.requires().max_feature, 5);
+        assert_eq!(e.atom_count(), 3);
+    }
+
+    #[test]
+    fn paper_r1_epidemic_expression() {
+        let (e, _) =
+            parse("?infected/rides/?bus/rides^-/(?person/(lives+contact))*/?person");
+        assert_eq!(e.atom_count(), 8);
+        assert!(!e.nullable());
+    }
+
+    #[test]
+    fn negated_test_from_section_4() {
+        // (¬ℓ1 ∧ ¬ℓ2)⁻
+        let (e, _) = parse("{!owns & !lives}^-");
+        match e {
+            PathExpr::Backward(Test::And(a, b)) => {
+                assert!(matches!(*a, Test::Not(_)));
+                assert!(matches!(*b, Test::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_plus_binds_looser_than_slash() {
+        let (e, _) = parse("a/b+c");
+        // (a/b) + c
+        assert!(matches!(e, PathExpr::Alt(_, _)));
+        let (e2, _) = parse("a/(b+c)");
+        assert!(matches!(e2, PathExpr::Concat(_, _)));
+    }
+
+    #[test]
+    fn star_binds_tightest() {
+        let (e, _) = parse("a/b*");
+        match e {
+            PathExpr::Concat(_, rhs) => assert!(matches!(*rhs, PathExpr::Star(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (e, _) = parse("(a/b)*");
+        assert!(matches!(e, PathExpr::Star(_)));
+        let (e, _) = parse("a**");
+        assert!(matches!(e, PathExpr::Star(_)));
+    }
+
+    #[test]
+    fn quoted_labels_allow_slashes() {
+        let (e, it) = parse("'weird/label'");
+        match e {
+            PathExpr::Forward(Test::Label(l)) => assert_eq!(it.resolve(l), "weird/label"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_report_positions() {
+        let mut it = Interner::new();
+        let err = parse_expr("?person/", &mut it).unwrap_err();
+        assert_eq!(err.pos, 8);
+        let err = parse_expr("a ^ b", &mut it).unwrap_err();
+        assert!(err.message.contains("^-"));
+        let err = parse_expr("(a", &mut it).unwrap_err();
+        assert!(err.message.contains(")"));
+        let err = parse_expr("a b", &mut it).unwrap_err();
+        assert!(err.message.contains("trailing"));
+        let err = parse_expr("[#0=x]", &mut it).unwrap_err();
+        assert!(err.message.contains("1-based"));
+        let err = parse_expr("'oops", &mut it).unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn numbers_are_values() {
+        let (e, it) = parse("[age=33]");
+        match e {
+            PathExpr::Forward(Test::Prop(p, v)) => {
+                assert_eq!(it.resolve(p), "age");
+                assert_eq!(it.resolve(v), "33");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Paths as first-class answers.
+//!
+//! The paper defines an answer to a regular expression as a *path*
+//! `p = n₀ e₁ n₁ e₂ … e_k n_k` with `start(p) = n₀`, `end(p) = n_k` and
+//! `|p| = k`. Because every edge of a multigraph has fixed endpoints
+//! `ρ(e) = (a, b)`, the node sequence of a path is fully determined by its
+//! start node and edge sequence; [`Path`] therefore stores exactly
+//! `(n₀, [e₁ … e_k])`, which doubles as the canonical *word* encoding used
+//! by the counting and generation algorithms (distinct paths ↔ distinct
+//! words).
+
+use crate::model::PathGraph;
+use kgq_graph::{EdgeId, LabeledGraph, NodeId};
+
+/// A path `n₀ e₁ n₁ … e_k n_k`, stored as start node plus edge sequence.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Path {
+    /// `start(p)`.
+    pub start: NodeId,
+    /// `e₁ … e_k` in order.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// The length-0 path sitting on `n`.
+    pub fn trivial(n: NodeId) -> Path {
+        Path {
+            start: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// `|p|` — the number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for length-0 paths.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Reconstructs the node sequence `n₀ … n_k` against `g`.
+    ///
+    /// Returns `None` if the edge sequence is not actually traversable
+    /// from the start node (an ill-formed path for this graph).
+    pub fn nodes<G: PathGraph>(&self, g: &G) -> Option<Vec<NodeId>> {
+        let mut nodes = Vec::with_capacity(self.edges.len() + 1);
+        let mut cur = self.start;
+        nodes.push(cur);
+        for &e in &self.edges {
+            let (a, b) = g.endpoints(e);
+            cur = if a == cur {
+                b
+            } else if b == cur {
+                a
+            } else {
+                return None;
+            };
+            nodes.push(cur);
+        }
+        Some(nodes)
+    }
+
+    /// `end(p)` — the last node, reconstructed against `g`.
+    pub fn end<G: PathGraph>(&self, g: &G) -> Option<NodeId> {
+        self.nodes(g).map(|ns| *ns.last().expect("non-empty"))
+    }
+
+    /// `cat(p, p')` — concatenation; requires `end(p) = start(p')`.
+    pub fn cat<G: PathGraph>(&self, other: &Path, g: &G) -> Option<Path> {
+        if self.end(g)? != other.start {
+            return None;
+        }
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(&other.edges);
+        Some(Path {
+            start: self.start,
+            edges,
+        })
+    }
+
+    /// Pretty-prints the path with node/edge names from a labeled graph.
+    pub fn render(&self, g: &LabeledGraph) -> String {
+        let view = crate::model::LabeledView::new(g);
+        match self.nodes(&view) {
+            Some(ns) => {
+                let mut s = String::new();
+                s.push_str(g.node_name(ns[0]));
+                for (i, &e) in self.edges.iter().enumerate() {
+                    s.push_str(&format!(
+                        " -[{}]- {}",
+                        g.edge_name(e),
+                        g.node_name(ns[i + 1])
+                    ));
+                }
+                s
+            }
+            None => "<invalid path>".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LabeledView;
+    use kgq_graph::figures::figure2_labeled;
+
+    #[test]
+    fn node_reconstruction_follows_edges_both_ways() {
+        let g = figure2_labeled();
+        let view = LabeledView::new(&g);
+        let n1 = g.node_named("n1").unwrap();
+        let e1 = g.edge_named("e1").unwrap(); // n1 -rides-> n3
+        let e2 = g.edge_named("e2").unwrap(); // n2 -rides-> n3
+        // n1 --e1--> n3 --e2 (backwards)--> n2
+        let p = Path {
+            start: n1,
+            edges: vec![e1, e2],
+        };
+        let ns = p.nodes(&view).unwrap();
+        let names: Vec<_> = ns.iter().map(|&n| g.node_name(n)).collect();
+        assert_eq!(names, vec!["n1", "n3", "n2"]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(g.node_name(p.end(&view).unwrap()), "n2");
+    }
+
+    #[test]
+    fn disconnected_edge_sequence_is_invalid() {
+        let g = figure2_labeled();
+        let view = LabeledView::new(&g);
+        let n1 = g.node_named("n1").unwrap();
+        let e5 = g.edge_named("e5").unwrap(); // n4 -contact-> n6, not incident to n1
+        let p = Path {
+            start: n1,
+            edges: vec![e5],
+        };
+        assert!(p.nodes(&view).is_none());
+    }
+
+    #[test]
+    fn trivial_path_has_length_zero() {
+        let g = figure2_labeled();
+        let view = LabeledView::new(&g);
+        let n1 = g.node_named("n1").unwrap();
+        let p = Path::trivial(n1);
+        assert!(p.is_empty());
+        assert_eq!(p.end(&view), Some(n1));
+        assert_eq!(p.nodes(&view).unwrap(), vec![n1]);
+    }
+
+    #[test]
+    fn cat_matches_paper_definition() {
+        let g = figure2_labeled();
+        let view = LabeledView::new(&g);
+        let n1 = g.node_named("n1").unwrap();
+        let n3 = g.node_named("n3").unwrap();
+        let e1 = g.edge_named("e1").unwrap();
+        let e2 = g.edge_named("e2").unwrap();
+        let p1 = Path {
+            start: n1,
+            edges: vec![e1],
+        };
+        let p2 = Path {
+            start: n3,
+            edges: vec![e2],
+        };
+        let cat = p1.cat(&p2, &view).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(g.node_name(cat.end(&view).unwrap()), "n2");
+        // cat requires end(p) = start(p').
+        assert!(p2.cat(&p2, &view).is_none());
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let g = figure2_labeled();
+        let n1 = g.node_named("n1").unwrap();
+        let e1 = g.edge_named("e1").unwrap();
+        let p = Path {
+            start: n1,
+            edges: vec![e1],
+        };
+        assert_eq!(p.render(&g), "n1 -[e1]- n3");
+    }
+}

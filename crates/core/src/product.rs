@@ -1,0 +1,480 @@
+//! Product automata: graph × NFA and its determinization.
+//!
+//! A path `p = n₀ e₁ … e_k n_k` is encoded as the *word* `n₀ e₁ … e_k`
+//! over the alphabet `N ∪ E` (the start node followed by the edge
+//! sequence; see [`crate::path`]). The [`Product`] automaton accepts
+//! exactly the words encoding paths in `⟦r⟧`:
+//!
+//! * product states are pairs `(graph node, NFA state)`;
+//! * reading the first symbol `n₀` enters `(n₀, q)` for every `q` in the
+//!   *guarded ε-closure* of the NFA start state at `n₀` (ε-transitions
+//!   plus `Node(test)` transitions whose test `n₀` passes);
+//! * reading an edge symbol `e` from `(n, q)` follows a consuming NFA
+//!   transition whose test `e` passes in the matching direction, then
+//!   closes again at the new node.
+//!
+//! Because several NFA runs can accept the same word, counting accepting
+//! runs of the product over-counts *paths*. [`DetProduct`] applies the
+//! subset construction — states `(node, set of NFA states)` — after which
+//! each word has exactly one run, making dynamic-programming counts exact.
+//! Determinization is worst-case exponential in the NFA size, consistent
+//! with the SpanL-hardness of exact counting cited by the paper (§4.1);
+//! the FPRAS ([`crate::approx`]) works on the nondeterministic [`Product`]
+//! and stays polynomial.
+
+use crate::automata::{Nfa, Trans};
+use crate::model::PathGraph;
+use kgq_graph::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// Index of a product state.
+pub type PState = u32;
+
+/// The nondeterministic product of a graph and an NFA.
+#[derive(Clone, Debug)]
+pub struct Product {
+    /// `(graph node, NFA state)` per product state.
+    pub states: Vec<(NodeId, u32)>,
+    /// Consuming transitions: `out[s]` lists `(edge, successor)` pairs,
+    /// sorted and deduplicated.
+    pub out: Vec<Vec<(EdgeId, PState)>>,
+    /// Reverse transitions: `preds[s]` lists `(predecessor, edge)` pairs.
+    pub preds: Vec<Vec<(PState, EdgeId)>>,
+    /// Accepting product states.
+    pub accepting: Vec<bool>,
+    /// `initial[v]` lists the product states entered on reading node
+    /// symbol `v` (empty slot if `v` is not among the built sources).
+    pub initial: Vec<Vec<PState>>,
+}
+
+/// Guarded ε-closure of `seed` NFA states at graph node `n`.
+fn closure<G: PathGraph>(g: &G, nfa: &Nfa, n: NodeId, seed: &[u32]) -> Vec<u32> {
+    let mut seen = vec![false; nfa.state_count()];
+    let mut stack: Vec<u32> = Vec::new();
+    for &q in seed {
+        if !seen[q as usize] {
+            seen[q as usize] = true;
+            stack.push(q);
+        }
+    }
+    let mut result = stack.clone();
+    while let Some(q) = stack.pop() {
+        for &(label, to) in &nfa.edges[q as usize] {
+            let pass = match label {
+                Trans::Eps => true,
+                Trans::Node(t) => g.node_test(n, &nfa.tests[t as usize]),
+                Trans::Fwd(_) | Trans::Bwd(_) => false,
+            };
+            if pass && !seen[to as usize] {
+                seen[to as usize] = true;
+                stack.push(to);
+                result.push(to);
+            }
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+impl Product {
+    /// Builds the product reachable from every graph node as a source.
+    pub fn build<G: PathGraph>(g: &G, nfa: &Nfa) -> Product {
+        let all: Vec<NodeId> = (0..g.node_count() as u32).map(NodeId).collect();
+        Product::build_from(g, nfa, &all)
+    }
+
+    /// Builds the product reachable from the given source nodes.
+    pub fn build_from<G: PathGraph>(g: &G, nfa: &Nfa, sources: &[NodeId]) -> Product {
+        let mut states: Vec<(NodeId, u32)> = Vec::new();
+        let mut index: HashMap<(u32, u32), PState> = HashMap::new();
+        let mut out: Vec<Vec<(EdgeId, PState)>> = Vec::new();
+        let mut initial: Vec<Vec<PState>> = vec![Vec::new(); g.node_count()];
+        let mut worklist: Vec<PState> = Vec::new();
+
+        let mut intern = |n: NodeId,
+                          q: u32,
+                          states: &mut Vec<(NodeId, u32)>,
+                          out: &mut Vec<Vec<(EdgeId, PState)>>,
+                          worklist: &mut Vec<PState>|
+         -> PState {
+            *index.entry((n.0, q)).or_insert_with(|| {
+                let s = states.len() as PState;
+                states.push((n, q));
+                out.push(Vec::new());
+                worklist.push(s);
+                s
+            })
+        };
+
+        for &src in sources {
+            let closed = closure(g, nfa, src, &[nfa.start]);
+            for q in closed {
+                let s = intern(src, q, &mut states, &mut out, &mut worklist);
+                if !initial[src.index()].contains(&s) {
+                    initial[src.index()].push(s);
+                }
+            }
+        }
+
+        while let Some(s) = worklist.pop() {
+            let (n, q) = states[s as usize];
+            let mut succs: Vec<(EdgeId, PState)> = Vec::new();
+            for &(label, q_mid) in &nfa.edges[q as usize] {
+                let steps: Vec<(EdgeId, NodeId)> = match label {
+                    Trans::Fwd(t) => g
+                        .out(n)
+                        .iter()
+                        .copied()
+                        .filter(|&(e, _)| g.edge_test(e, &nfa.tests[t as usize]))
+                        .collect(),
+                    Trans::Bwd(t) => g
+                        .inc(n)
+                        .iter()
+                        .copied()
+                        .filter(|&(e, _)| g.edge_test(e, &nfa.tests[t as usize]))
+                        .collect(),
+                    _ => continue,
+                };
+                for (e, m) in steps {
+                    for q2 in closure(g, nfa, m, &[q_mid]) {
+                        let s2 = intern(m, q2, &mut states, &mut out, &mut worklist);
+                        succs.push((e, s2));
+                    }
+                }
+            }
+            succs.sort_unstable_by_key(|&(e, s2)| (e.0, s2));
+            succs.dedup();
+            out[s as usize] = succs;
+        }
+
+        let accepting: Vec<bool> = states.iter().map(|&(_, q)| q == nfa.accept).collect();
+        let mut preds: Vec<Vec<(PState, EdgeId)>> = vec![Vec::new(); states.len()];
+        for (s, list) in out.iter().enumerate() {
+            for &(e, s2) in list {
+                preds[s2 as usize].push((s as PState, e));
+            }
+        }
+        for p in &mut preds {
+            p.sort_unstable_by_key(|&(s, e)| (s, e.0));
+        }
+
+        Product {
+            states,
+            out,
+            preds,
+            accepting,
+            initial,
+        }
+    }
+
+    /// Number of product states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The graph node of product state `s`.
+    pub fn node_of(&self, s: PState) -> NodeId {
+        self.states[s as usize].0
+    }
+
+    /// Runs the product on a word `(start, edges)`, returning the set of
+    /// product states reached (sorted). Empty if the word is not a valid
+    /// traversal or matches nothing.
+    pub fn run(&self, start: NodeId, edges: &[EdgeId]) -> Vec<PState> {
+        let mut cur: Vec<PState> = self.initial[start.index()].clone();
+        for &e in edges {
+            let mut next: Vec<PState> = Vec::new();
+            for &s in &cur {
+                for &(te, s2) in &self.out[s as usize] {
+                    if te == e {
+                        next.push(s2);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            cur = next;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// True if the word `(start, edges)` encodes a path in `⟦r⟧`.
+    pub fn accepts(&self, start: NodeId, edges: &[EdgeId]) -> bool {
+        self.run(start, edges)
+            .iter()
+            .any(|&s| self.accepting[s as usize])
+    }
+}
+
+/// The determinized product (subset construction on the NFA component).
+///
+/// Each word has exactly one run, so dynamic programming over
+/// `DetProduct` counts *distinct paths* exactly.
+#[derive(Clone, Debug)]
+pub struct DetProduct {
+    /// `(graph node, sorted set of NFA states)` per det state.
+    pub states: Vec<(NodeId, Vec<u32>)>,
+    /// Deterministic transitions: at most one successor per edge symbol,
+    /// sorted by edge id.
+    pub out: Vec<Vec<(EdgeId, u32)>>,
+    /// Whether the state set contains the NFA accept state.
+    pub accepting: Vec<bool>,
+    /// Per graph node, the det state entered on reading that node symbol.
+    pub initial: Vec<Option<u32>>,
+}
+
+impl DetProduct {
+    /// Builds the determinized product from every node as a source.
+    pub fn build<G: PathGraph>(g: &G, nfa: &Nfa) -> DetProduct {
+        let all: Vec<NodeId> = (0..g.node_count() as u32).map(NodeId).collect();
+        DetProduct::build_from(g, nfa, &all)
+    }
+
+    /// Builds the determinized product from the given sources.
+    pub fn build_from<G: PathGraph>(g: &G, nfa: &Nfa, sources: &[NodeId]) -> DetProduct {
+        let mut states: Vec<(NodeId, Vec<u32>)> = Vec::new();
+        let mut index: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+        let mut out: Vec<Vec<(EdgeId, u32)>> = Vec::new();
+        let mut initial: Vec<Option<u32>> = vec![None; g.node_count()];
+        let mut worklist: Vec<u32> = Vec::new();
+
+        let mut intern = |n: NodeId,
+                          set: Vec<u32>,
+                          states: &mut Vec<(NodeId, Vec<u32>)>,
+                          out: &mut Vec<Vec<(EdgeId, u32)>>,
+                          worklist: &mut Vec<u32>|
+         -> u32 {
+            *index.entry((n.0, set.clone())).or_insert_with(|| {
+                let s = states.len() as u32;
+                states.push((n, set));
+                out.push(Vec::new());
+                worklist.push(s);
+                s
+            })
+        };
+
+        for &src in sources {
+            let closed = closure(g, nfa, src, &[nfa.start]);
+            if initial[src.index()].is_none() {
+                let s = intern(src, closed, &mut states, &mut out, &mut worklist);
+                initial[src.index()] = Some(s);
+            }
+        }
+
+        while let Some(s) = worklist.pop() {
+            let (n, set) = states[s as usize].clone();
+            // Group successor NFA states by edge.
+            let mut by_edge: HashMap<EdgeId, (NodeId, Vec<u32>)> = HashMap::new();
+            for &q in &set {
+                for &(label, q_mid) in &nfa.edges[q as usize] {
+                    let steps: Vec<(EdgeId, NodeId)> = match label {
+                        Trans::Fwd(t) => g
+                            .out(n)
+                            .iter()
+                            .copied()
+                            .filter(|&(e, _)| g.edge_test(e, &nfa.tests[t as usize]))
+                            .collect(),
+                        Trans::Bwd(t) => g
+                            .inc(n)
+                            .iter()
+                            .copied()
+                            .filter(|&(e, _)| g.edge_test(e, &nfa.tests[t as usize]))
+                            .collect(),
+                        _ => continue,
+                    };
+                    for (e, m) in steps {
+                        let entry = by_edge.entry(e).or_insert_with(|| (m, Vec::new()));
+                        debug_assert_eq!(entry.0, m, "edge target must be unique");
+                        for q2 in closure(g, nfa, m, &[q_mid]) {
+                            if !entry.1.contains(&q2) {
+                                entry.1.push(q2);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut succs: Vec<(EdgeId, u32)> = Vec::with_capacity(by_edge.len());
+            for (e, (m, mut qset)) in by_edge {
+                qset.sort_unstable();
+                let s2 = intern(m, qset, &mut states, &mut out, &mut worklist);
+                succs.push((e, s2));
+            }
+            succs.sort_unstable_by_key(|&(e, _)| e.0);
+            out[s as usize] = succs;
+        }
+
+        let accepting: Vec<bool> = states
+            .iter()
+            .map(|(_, set)| set.binary_search(&nfa.accept).is_ok())
+            .collect();
+
+        DetProduct {
+            states,
+            out,
+            accepting,
+            initial,
+        }
+    }
+
+    /// Number of det states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The graph node of det state `s`.
+    pub fn node_of(&self, s: u32) -> NodeId {
+        self.states[s as usize].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LabeledView;
+    use crate::parser::parse_expr;
+    use kgq_graph::figures::figure2_labeled;
+    use kgq_graph::LabeledGraph;
+
+    fn setup(expr: &str) -> (LabeledGraph, Nfa) {
+        let mut g = figure2_labeled();
+        let e = {
+            let consts = g.consts_mut();
+            parse_expr(expr, consts).unwrap()
+        };
+        (g, Nfa::compile(&e))
+    }
+
+    #[test]
+    fn product_accepts_the_paper_path() {
+        let (g, nfa) = setup("?person/rides/?bus/rides^-/?infected");
+        let view = LabeledView::new(&g);
+        let prod = Product::build(&view, &nfa);
+        let n1 = g.node_named("n1").unwrap();
+        let e1 = g.edge_named("e1").unwrap(); // n1 -> bus
+        let e2 = g.edge_named("e2").unwrap(); // infected n2 -> bus
+        assert!(prod.accepts(n1, &[e1, e2]));
+        // Wrong order does not traverse.
+        assert!(!prod.accepts(n1, &[e2, e1]));
+        // A single rides edge is not a full match.
+        assert!(!prod.accepts(n1, &[e1]));
+    }
+
+    #[test]
+    fn zero_length_node_test_accepts() {
+        let (g, nfa) = setup("?bus");
+        let view = LabeledView::new(&g);
+        let prod = Product::build(&view, &nfa);
+        let n3 = g.node_named("n3").unwrap();
+        let n1 = g.node_named("n1").unwrap();
+        assert!(prod.accepts(n3, &[]));
+        assert!(!prod.accepts(n1, &[]));
+    }
+
+    #[test]
+    fn star_accepts_all_iteration_counts() {
+        let (g, nfa) = setup("(contact)*");
+        let view = LabeledView::new(&g);
+        let prod = Product::build(&view, &nfa);
+        let n1 = g.node_named("n1").unwrap();
+        let e4 = g.edge_named("e4").unwrap(); // n1 -contact-> n4
+        let e5 = g.edge_named("e5").unwrap(); // n4 -contact-> n6
+        assert!(prod.accepts(n1, &[]));
+        assert!(prod.accepts(n1, &[e4]));
+        assert!(prod.accepts(n1, &[e4, e5]));
+        let e1 = g.edge_named("e1").unwrap(); // rides edge: label mismatch
+        assert!(!prod.accepts(n1, &[e1]));
+    }
+
+    #[test]
+    fn negated_edge_test_from_the_paper() {
+        // (¬rides ∧ ¬lives)⁻ from bus n3: only `owns` arrives at n3, so the
+        // backward step from n3 along a non-rides/non-lives edge is e8.
+        let (g, nfa) = setup("{!rides & !lives}^-");
+        let view = LabeledView::new(&g);
+        let prod = Product::build(&view, &nfa);
+        let n3 = g.node_named("n3").unwrap();
+        let e8 = g.edge_named("e8").unwrap(); // n7 -owns-> n3
+        let e1 = g.edge_named("e1").unwrap();
+        assert!(prod.accepts(n3, &[e8]));
+        assert!(!prod.accepts(n3, &[e1]));
+    }
+
+    #[test]
+    fn det_product_is_deterministic_per_edge() {
+        let (g, nfa) = setup("(rides + rides/rides^-)*");
+        let view = LabeledView::new(&g);
+        let det = DetProduct::build(&view, &nfa);
+        for s in 0..det.state_count() {
+            let list = &det.out[s];
+            for w in list.windows(2) {
+                assert!(w[0].0 < w[1].0, "duplicate edge symbol in det state");
+            }
+        }
+    }
+
+    #[test]
+    fn det_and_nfa_agree_on_acceptance() {
+        let (g, nfa) = setup("?person/(contact + rides/rides^-)*/?infected");
+        let view = LabeledView::new(&g);
+        let prod = Product::build(&view, &nfa);
+        let det = DetProduct::build(&view, &nfa);
+        // Walk every word of length <= 3 and compare acceptance.
+        let mut agreements = 0;
+        for n in g.base().nodes() {
+            let words = enumerate_words(&view, n, 3);
+            for w in words {
+                let nfa_acc = prod.accepts(n, &w);
+                let det_acc = det_accepts(&det, n, &w);
+                assert_eq!(nfa_acc, det_acc, "disagree on {w:?} from {n:?}");
+                agreements += 1;
+            }
+        }
+        assert!(agreements > 50);
+    }
+
+    fn det_accepts(det: &DetProduct, start: NodeId, edges: &[EdgeId]) -> bool {
+        let mut cur = match det.initial[start.index()] {
+            Some(s) => s,
+            None => return false,
+        };
+        for &e in edges {
+            match det.out[cur as usize]
+                .binary_search_by_key(&e.0, |&(ee, _)| ee.0)
+            {
+                Ok(i) => cur = det.out[cur as usize][i].1,
+                Err(_) => return false,
+            }
+        }
+        det.accepting[cur as usize]
+    }
+
+    /// All traversable words of length <= k from n (graph walks).
+    fn enumerate_words(view: &LabeledView<'_>, n: NodeId, k: usize) -> Vec<Vec<EdgeId>> {
+        let mut all = vec![vec![]];
+        let mut frontier: Vec<(NodeId, Vec<EdgeId>)> = vec![(n, vec![])];
+        for _ in 0..k {
+            let mut next = Vec::new();
+            for (cur, w) in frontier {
+                let mut steps: Vec<(EdgeId, NodeId)> = view
+                    .out(cur)
+                    .iter()
+                    .chain(view.inc(cur).iter())
+                    .copied()
+                    .collect();
+                steps.sort_unstable_by_key(|&(e, _)| e.0);
+                steps.dedup_by_key(|&mut (e, _)| e.0);
+                for (e, m) in steps {
+                    let mut w2 = w.clone();
+                    w2.push(e);
+                    all.push(w2.clone());
+                    next.push((m, w2));
+                }
+            }
+            frontier = next;
+        }
+        all
+    }
+}

@@ -1,0 +1,173 @@
+//! Semantics-preserving simplification of path expressions.
+//!
+//! Query texts (and generated expressions) often contain redundant
+//! structure that inflates the Thompson NFA and hence every product
+//! built from it. [`simplify`] applies rewrite rules bottom-up until a
+//! fixpoint, each preserving `⟦r⟧` exactly:
+//!
+//! | rule | rationale |
+//! |------|-----------|
+//! | `(r*)* → r*` | star idempotence |
+//! | `(r* + s)* → (r + s)*` (either side) | inner stars are absorbed |
+//! | `r + r → r` | alternation idempotence (syntactic equality) |
+//! | `r* / r* → r*` | star concatenation absorption |
+//! | `¬¬t → t` in tests | double negation |
+
+use crate::expr::{PathExpr, Test};
+
+fn simplify_test(t: &Test) -> Test {
+    match t {
+        Test::Not(inner) => match simplify_test(inner) {
+            // ¬¬x = x
+            Test::Not(x) => *x,
+            other => Test::Not(Box::new(other)),
+        },
+        Test::And(a, b) => {
+            let (a, b) = (simplify_test(a), simplify_test(b));
+            if a == b {
+                a
+            } else {
+                Test::And(Box::new(a), Box::new(b))
+            }
+        }
+        Test::Or(a, b) => {
+            let (a, b) = (simplify_test(a), simplify_test(b));
+            if a == b {
+                a
+            } else {
+                Test::Or(Box::new(a), Box::new(b))
+            }
+        }
+        leaf => leaf.clone(),
+    }
+}
+
+/// One bottom-up rewrite pass.
+fn pass(e: &PathExpr) -> PathExpr {
+    match e {
+        PathExpr::NodeTest(t) => PathExpr::NodeTest(simplify_test(t)),
+        PathExpr::Forward(t) => PathExpr::Forward(simplify_test(t)),
+        PathExpr::Backward(t) => PathExpr::Backward(simplify_test(t)),
+        PathExpr::Alt(a, b) => {
+            let (a, b) = (pass(a), pass(b));
+            if a == b {
+                a
+            } else {
+                a.alt(b)
+            }
+        }
+        PathExpr::Concat(a, b) => {
+            let (a, b) = (pass(a), pass(b));
+            // r* / r* ≡ r*  (both sides describe concatenations of r's)
+            if let (PathExpr::Star(x), PathExpr::Star(y)) = (&a, &b) {
+                if x == y {
+                    return a;
+                }
+            }
+            a.concat(b)
+        }
+        PathExpr::Star(inner) => {
+            let inner = pass(inner);
+            match inner {
+                // (r*)* = r*
+                PathExpr::Star(_) => inner,
+                // (r* + s)* = (r + s)* and symmetrically.
+                PathExpr::Alt(a, b) => {
+                    let a = match *a {
+                        PathExpr::Star(x) => *x,
+                        other => other,
+                    };
+                    let b = match *b {
+                        PathExpr::Star(x) => *x,
+                        other => other,
+                    };
+                    a.alt(b).star()
+                }
+                other => other.star(),
+            }
+        }
+    }
+}
+
+/// Simplifies `e` to a fixpoint. The result matches exactly the same
+/// paths (checked by property tests), usually with fewer atoms and NFA
+/// states.
+pub fn simplify(e: &PathExpr) -> PathExpr {
+    let mut cur = e.clone();
+    loop {
+        let next = pass(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use kgq_graph::Interner;
+
+    fn simp(text: &str) -> (String, usize, usize) {
+        let mut it = Interner::new();
+        let e = parse_expr(text, &mut it).unwrap();
+        let s = simplify(&e);
+        (
+            format!("{}", s.display(&it)),
+            e.atom_count(),
+            s.atom_count(),
+        )
+    }
+
+    #[test]
+    fn star_idempotence_collapses() {
+        let (s, _, _) = simp("((a*)*)*");
+        assert_eq!(s, "(a)*");
+    }
+
+    #[test]
+    fn inner_stars_absorbed_into_outer_star() {
+        let (s, _, _) = simp("(a* + b)*");
+        assert_eq!(s, "((a + b))*");
+        let (s, _, _) = simp("(a + b*)*");
+        assert_eq!(s, "((a + b))*");
+    }
+
+    #[test]
+    fn duplicate_alternatives_merge() {
+        let (s, before, after) = simp("a + a");
+        assert_eq!(s, "a");
+        assert_eq!(before, 2);
+        assert_eq!(after, 1);
+        // Nested duplicates found after inner simplification.
+        let (s, _, _) = simp("(a*)* + a*");
+        assert_eq!(s, "(a)*");
+    }
+
+    #[test]
+    fn star_concat_absorption() {
+        let (s, _, _) = simp("a*/a*");
+        assert_eq!(s, "(a)*");
+        // Different bodies are untouched.
+        let (s, _, _) = simp("a*/b*");
+        assert_eq!(s, "(a)*/(b)*");
+    }
+
+    #[test]
+    fn double_negation_in_tests() {
+        let (s, _, _) = simp("{!!a}");
+        assert_eq!(s, "a");
+        let (s, _, _) = simp("?{!!{a | a}}");
+        assert_eq!(s, "?a");
+    }
+
+    #[test]
+    fn already_simple_expressions_are_fixed_points() {
+        for text in ["?person/rides/?bus", "(a + b)*", "a^-/b"] {
+            let mut it = Interner::new();
+            let e = parse_expr(text, &mut it).unwrap();
+            assert_eq!(simplify(&e), e, "{text}");
+        }
+    }
+}

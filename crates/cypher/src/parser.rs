@@ -1,0 +1,306 @@
+//! Parser for the MATCH/WHERE/RETURN fragment.
+//!
+//! Keywords are case-insensitive; identifiers are `[A-Za-z_][A-Za-z0-9_]*`;
+//! string literals are single-quoted.
+
+use crate::ast::{
+    CmpOp, Condition, Direction, NodePattern, PathPattern, Query, RelPattern, ReturnItem,
+};
+use std::fmt;
+
+/// Parse error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, QueryParseError> {
+        Err(QueryParseError {
+            pos: self.pos,
+            message: message.to_owned(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len()
+            && self.src.as_bytes()[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            // Keyword boundary: next char must not be identifier-like.
+            let after = rest[kw.len()..].chars().next();
+            if after.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, QueryParseError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let mut len = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || c == '_'
+            };
+            if ok {
+                len = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if len == 0 {
+            return self.err("expected an identifier");
+        }
+        let s = rest[..len].to_owned();
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn string_literal(&mut self) -> Result<String, QueryParseError> {
+        self.skip_ws();
+        if !self.src[self.pos..].starts_with('\'') {
+            return self.err("expected a quoted string");
+        }
+        let start = self.pos + 1;
+        match self.src[start..].find('\'') {
+            Some(end) => {
+                let s = self.src[start..start + end].to_owned();
+                self.pos = start + end + 1;
+                Ok(s)
+            }
+            None => self.err("unterminated string literal"),
+        }
+    }
+
+    fn node_pattern(&mut self) -> Result<NodePattern, QueryParseError> {
+        if !self.eat("(") {
+            return self.err("expected `(`");
+        }
+        let var = if matches!(self.peek(), Some(c) if c.is_alphabetic() || c == '_') {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let label = if self.eat(":") { Some(self.ident()?) } else { None };
+        if !self.eat(")") {
+            return self.err("expected `)`");
+        }
+        Ok(NodePattern { var, label })
+    }
+
+    fn rel_pattern(&mut self) -> Result<Option<RelPattern>, QueryParseError> {
+        self.skip_ws();
+        let left = self.eat("<-");
+        if !left && !self.eat("-") {
+            return Ok(None);
+        }
+        let (var, label) = if self.eat("[") {
+            let var = if matches!(self.peek(), Some(c) if c.is_alphabetic() || c == '_') {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            let label = if self.eat(":") { Some(self.ident()?) } else { None };
+            if !self.eat("]") {
+                return self.err("expected `]`");
+            }
+            (var, label)
+        } else {
+            (None, None)
+        };
+        let direction = if left {
+            if !self.eat("-") {
+                return self.err("expected `-` closing `<-[..]-`");
+            }
+            Direction::Left
+        } else if self.eat("->") {
+            Direction::Right
+        } else {
+            return self.err("expected `->` (undirected patterns are not supported)");
+        };
+        Ok(Some(RelPattern {
+            var,
+            label,
+            direction,
+        }))
+    }
+
+    fn path_pattern(&mut self) -> Result<PathPattern, QueryParseError> {
+        let mut pattern = PathPattern::default();
+        pattern.nodes.push(self.node_pattern()?);
+        while let Some(rel) = self.rel_pattern()? {
+            pattern.rels.push(rel);
+            pattern.nodes.push(self.node_pattern()?);
+        }
+        Ok(pattern)
+    }
+
+    fn condition(&mut self) -> Result<Condition, QueryParseError> {
+        let var = self.ident()?;
+        if !self.eat(".") {
+            return self.err("expected `.` in property access");
+        }
+        let prop = self.ident()?;
+        let op = if self.eat("<>") {
+            CmpOp::Ne
+        } else if self.eat("=") {
+            CmpOp::Eq
+        } else {
+            return self.err("expected `=` or `<>`");
+        };
+        let value = self.string_literal()?;
+        Ok(Condition {
+            var,
+            prop,
+            op,
+            value,
+        })
+    }
+
+    fn return_item(&mut self) -> Result<ReturnItem, QueryParseError> {
+        let var = self.ident()?;
+        if self.eat(".") {
+            let prop = self.ident()?;
+            Ok(ReturnItem::Prop(var, prop))
+        } else {
+            Ok(ReturnItem::Var(var))
+        }
+    }
+}
+
+/// Parses a MATCH/WHERE/RETURN query.
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let mut p = P { src: input, pos: 0 };
+    if !p.eat_keyword("MATCH") {
+        return p.err("query must start with MATCH");
+    }
+    let mut patterns = vec![p.path_pattern()?];
+    while p.eat(",") {
+        patterns.push(p.path_pattern()?);
+    }
+    let mut conditions = Vec::new();
+    if p.eat_keyword("WHERE") {
+        conditions.push(p.condition()?);
+        while p.eat_keyword("AND") {
+            conditions.push(p.condition()?);
+        }
+    }
+    if !p.eat_keyword("RETURN") {
+        return p.err("expected RETURN");
+    }
+    let mut returns = vec![p.return_item()?];
+    while p.eat(",") {
+        returns.push(p.return_item()?);
+    }
+    p.skip_ws();
+    if p.pos != input.len() {
+        return p.err("trailing input");
+    }
+    Ok(Query {
+        patterns,
+        conditions,
+        returns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let q = parse_query(
+            "MATCH (a:person)-[r:rides]->(b:bus), (c:infected)-[:rides]->(b) \
+             WHERE a.age = '33' AND r.date <> '3/3/21' \
+             RETURN a, a.name, b",
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 2);
+        assert_eq!(q.patterns[0].nodes.len(), 2);
+        assert_eq!(q.patterns[0].rels[0].label.as_deref(), Some("rides"));
+        assert_eq!(q.conditions.len(), 2);
+        assert_eq!(q.conditions[1].op, CmpOp::Ne);
+        assert_eq!(q.returns.len(), 3);
+        assert_eq!(q.bound_vars(), vec!["a", "b", "r", "c"]); // nodes first per pattern
+    }
+
+    #[test]
+    fn left_arrows_and_anonymous_elements() {
+        let q = parse_query("MATCH (a)<-[:owns]-(), ()-->(a) RETURN a").unwrap();
+        assert_eq!(q.patterns[0].rels[0].direction, Direction::Left);
+        assert!(q.patterns[0].nodes[1].var.is_none());
+        // `-->` is a bare right arrow with no bracket.
+        assert_eq!(q.patterns[1].rels[0].direction, Direction::Right);
+        assert!(q.patterns[1].rels[0].label.is_none());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_query("match (a) return a").is_ok());
+        assert!(parse_query("MaTcH (a) rEtUrN a").is_ok());
+    }
+
+    #[test]
+    fn keyword_boundaries_respected() {
+        // `matcher` must not lex as the MATCH keyword.
+        let err = parse_query("matcher (a) RETURN a").unwrap_err();
+        assert!(err.message.contains("MATCH"));
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let err = parse_query("MATCH (a RETURN a").unwrap_err();
+        assert!(err.message.contains(")"));
+        let err = parse_query("MATCH (a)-(b) RETURN a").unwrap_err();
+        assert!(err.message.contains("->"));
+        let err = parse_query("MATCH (a) WHERE a.x = unquoted RETURN a").unwrap_err();
+        assert!(err.message.contains("quoted"));
+        let err = parse_query("MATCH (a) RETURN a extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        let err = parse_query("MATCH (a) RETURN a.").unwrap_err();
+        assert!(err.message.contains("identifier"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Link-prediction evaluation with the standard filtered ranking
+//! protocol: for each test triple `(h, r, t)`, rank the true tail among
+//! all entities (excluding other known-true tails) and aggregate mean
+//! rank, mean reciprocal rank and hits@k.
+
+use crate::model::TransE;
+use std::collections::HashMap;
+
+/// Aggregated link-prediction metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkPredictionReport {
+    /// Mean rank of the true tail (1 is perfect).
+    pub mean_rank: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Fraction of test triples whose true tail ranks ≤ 1 / ≤ 3 / ≤ 10.
+    pub hits_at_1: f64,
+    /// Hits@3.
+    pub hits_at_3: f64,
+    /// Hits@10.
+    pub hits_at_10: f64,
+    /// Number of test triples evaluated.
+    pub tested: usize,
+}
+
+/// Evaluates tail prediction for `test` triples, filtering the other
+/// known-true tails in `known` (train ∪ test).
+pub fn evaluate(
+    model: &TransE,
+    test: &[(usize, usize, usize)],
+    known: &[(usize, usize, usize)],
+) -> LinkPredictionReport {
+    // (h, r) → all true tails, for filtering.
+    let mut true_tails: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for &(h, r, t) in known {
+        true_tails.entry((h, r)).or_default().push(t);
+    }
+    let mut ranks = Vec::with_capacity(test.len());
+    for &(h, r, t) in test {
+        let filter: Vec<usize> = true_tails
+            .get(&(h, r))
+            .map(|v| v.iter().copied().filter(|&x| x != t).collect())
+            .unwrap_or_default();
+        ranks.push(model.tail_rank(h, r, t, &filter));
+    }
+    let n = ranks.len().max(1) as f64;
+    LinkPredictionReport {
+        mean_rank: ranks.iter().sum::<usize>() as f64 / n,
+        mrr: ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / n,
+        hits_at_1: ranks.iter().filter(|&&r| r <= 1).count() as f64 / n,
+        hits_at_3: ranks.iter().filter(|&&r| r <= 3).count() as f64 / n,
+        hits_at_10: ranks.iter().filter(|&&r| r <= 10).count() as f64 / n,
+        tested: ranks.len(),
+    }
+}
+
+/// Mean rank a uniformly random scorer would achieve: `(candidates+1)/2`
+/// where candidates excludes the filtered entities.
+pub fn random_baseline_mean_rank(entity_count: usize, avg_filtered: f64) -> f64 {
+    ((entity_count as f64 - avg_filtered) + 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{train_triples, TrainConfig};
+
+    /// Two-type KG: persons work in cities, cities sit in countries.
+    fn kg() -> (Vec<(usize, usize, usize)>, usize, usize) {
+        // 12 persons (0..12), 4 cities (12..16), 2 countries (16..18)
+        let mut t = Vec::new();
+        for p in 0..12usize {
+            t.push((p, 0, 12 + p % 4)); // worksIn
+        }
+        for c in 0..4usize {
+            t.push((12 + c, 1, 16 + c % 2)); // cityIn
+        }
+        (t, 18, 2)
+    }
+
+    #[test]
+    fn trained_model_beats_random_baseline() {
+        let (all, ne, nr) = kg();
+        // Hold out one worksIn triple per city.
+        let test: Vec<_> = all[..4].to_vec();
+        let train: Vec<_> = all[4..].to_vec();
+        let (model, _) = train_triples(
+            &train,
+            ne,
+            nr,
+            &TrainConfig {
+                epochs: 250,
+                ..TrainConfig::default()
+            },
+        );
+        let report = evaluate(&model, &test, &all);
+        let random = random_baseline_mean_rank(ne, 2.0);
+        assert!(
+            report.mean_rank < random,
+            "mean rank {} not better than random {}",
+            report.mean_rank,
+            random
+        );
+        assert!(report.hits_at_10 > 0.5);
+        assert_eq!(report.tested, 4);
+    }
+
+    #[test]
+    fn perfect_model_gets_rank_one() {
+        // Hand-build a model where h + r = t exactly.
+        use crate::model::TransE;
+        let model = TransE::new(
+            2,
+            vec![0.0, 0.0, 1.0, 0.0, 0.5, 0.9],
+            vec![1.0, 0.0],
+        );
+        let report = evaluate(&model, &[(0, 0, 1)], &[(0, 0, 1)]);
+        assert_eq!(report.mean_rank, 1.0);
+        assert_eq!(report.mrr, 1.0);
+        assert_eq!(report.hits_at_1, 1.0);
+    }
+
+    #[test]
+    fn filtering_removes_competing_true_tails() {
+        use crate::model::TransE;
+        // e1 and e2 both "true" tails for (e0, r0); e2 scores better.
+        let model = TransE::new(
+            1,
+            vec![0.0, 0.9, 1.0],
+            vec![1.0],
+        );
+        let known = vec![(0, 0, 1), (0, 0, 2)];
+        // Unfiltered, e1 ranks 2 (behind the closer e2)…
+        assert_eq!(model.tail_rank(0, 0, 1, &[]), 2);
+        // …but the filtered protocol removes the other true tail e2.
+        let report = evaluate(&model, &[(0, 0, 1)], &known);
+        assert_eq!(report.mean_rank, 1.0);
+    }
+
+    #[test]
+    fn empty_test_set_is_safe() {
+        let (all, ne, nr) = kg();
+        let (model, _) = train_triples(&all, ne, nr, &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        });
+        let report = evaluate(&model, &[], &all);
+        assert_eq!(report.tested, 0);
+        assert_eq!(report.mean_rank, 0.0);
+    }
+}

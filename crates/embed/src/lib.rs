@@ -1,0 +1,44 @@
+//! # kgq-embed — knowledge-graph embeddings
+//!
+//! Section 2.3 of the reproduced paper: knowledge graphs produce new
+//! knowledge by "learning, through new data and learning algorithms",
+//! highlighting "the rapid development of knowledge graph embeddings
+//! \[19, 21\], and its use in the refinement and completion of knowledge
+//! graphs \[36, 43, 52, 56\]".
+//!
+//! This crate implements TransE (Bordes et al. \[19\]) from scratch:
+//! entities and relations are embedded in `ℝ^d` so that `h + r ≈ t` for
+//! true triples, trained by margin-ranking SGD with negative sampling.
+//!
+//! * [`model::TransE`] — the trained model: scoring, link prediction
+//!   (`predict_tails` / `predict_heads`), completion suggestions;
+//! * [`train`] — the training loop over a [`kgq_rdf::TripleStore`] or a
+//!   raw triple list;
+//! * [`eval`] — ranking-based link-prediction evaluation (mean rank,
+//!   mean reciprocal rank, hits@k) with the standard *filtered* setting.
+
+
+// Several hot loops index multiple parallel arrays at once; the
+// iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+//! ```
+//! use kgq_embed::{train_store, TrainConfig};
+//! use kgq_rdf::TripleStore;
+//!
+//! let mut st = TripleStore::new();
+//! st.insert_strs("paris", "locatedIn", "france");
+//! st.insert_strs("lyon", "locatedIn", "france");
+//! let report = train_store(&st, &TrainConfig { dim: 8, epochs: 20, ..TrainConfig::default() });
+//! let paris = report.entity_id("paris").unwrap();
+//! let located = report.relation_id("locatedIn").unwrap();
+//! let top = report.model.predict_tails(paris, located, 1);
+//! assert_eq!(top.len(), 1);
+//! ```
+
+pub mod eval;
+pub mod model;
+pub mod train;
+
+pub use eval::{evaluate, LinkPredictionReport};
+pub use model::TransE;
+pub use train::{train_store, train_triples, TrainConfig, TrainReport};

@@ -1,0 +1,169 @@
+//! The TransE embedding model: `score(h, r, t) = ‖h + r − t‖` (lower is
+//! more plausible). Entities and relations are dense ids into flattened
+//! vector tables; the vocabulary mapping to **Const** terms lives in
+//! [`crate::train`].
+
+/// A trained TransE model.
+#[derive(Clone, Debug)]
+pub struct TransE {
+    dim: usize,
+    entities: Vec<f64>,
+    relations: Vec<f64>,
+}
+
+impl TransE {
+    /// Creates a model with the given (already initialized) tables.
+    pub(crate) fn new(dim: usize, entities: Vec<f64>, relations: Vec<f64>) -> TransE {
+        debug_assert_eq!(entities.len() % dim, 0);
+        debug_assert_eq!(relations.len() % dim, 0);
+        TransE {
+            dim,
+            entities,
+            relations,
+        }
+    }
+
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len() / self.dim
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len() / self.dim
+    }
+
+    /// The embedding vector of entity `e`.
+    pub fn entity(&self, e: usize) -> &[f64] {
+        &self.entities[e * self.dim..(e + 1) * self.dim]
+    }
+
+    /// The embedding vector of relation `r`.
+    pub fn relation(&self, r: usize) -> &[f64] {
+        &self.relations[r * self.dim..(r + 1) * self.dim]
+    }
+
+    pub(crate) fn entity_mut(&mut self, e: usize) -> &mut [f64] {
+        &mut self.entities[e * self.dim..(e + 1) * self.dim]
+    }
+
+    pub(crate) fn relation_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.relations[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// `‖h + r − t‖₂` — the implausibility score (lower = more likely).
+    pub fn score(&self, h: usize, r: usize, t: usize) -> f64 {
+        let (hv, rv, tv) = (self.entity(h), self.relation(r), self.entity(t));
+        let mut s = 0.0;
+        for i in 0..self.dim {
+            let d = hv[i] + rv[i] - tv[i];
+            s += d * d;
+        }
+        s.sqrt()
+    }
+
+    /// Renormalizes every entity embedding to the unit sphere (the
+    /// constraint TransE imposes after each epoch).
+    pub(crate) fn normalize_entities(&mut self) {
+        let dim = self.dim;
+        for e in 0..self.entity_count() {
+            let v = &mut self.entities[e * dim..(e + 1) * dim];
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                v.iter_mut().for_each(|x| *x /= norm);
+            }
+        }
+    }
+
+    /// Ranks all entities as tails for `(h, r, ?)`, best first.
+    pub fn predict_tails(&self, h: usize, r: usize, top_k: usize) -> Vec<(usize, f64)> {
+        let mut scored: Vec<(usize, f64)> = (0..self.entity_count())
+            .map(|t| (t, self.score(h, r, t)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN scores"));
+        scored.truncate(top_k);
+        scored
+    }
+
+    /// Ranks all entities as heads for `(?, r, t)`, best first.
+    pub fn predict_heads(&self, r: usize, t: usize, top_k: usize) -> Vec<(usize, f64)> {
+        let mut scored: Vec<(usize, f64)> = (0..self.entity_count())
+            .map(|h| (h, self.score(h, r, t)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN scores"));
+        scored.truncate(top_k);
+        scored
+    }
+
+    /// Rank (1-based) of `t` among all entities as the tail of `(h, r, ?)`,
+    /// excluding the entities in `filter_out` (the "filtered" protocol).
+    pub fn tail_rank(&self, h: usize, r: usize, t: usize, filter_out: &[usize]) -> usize {
+        let target = self.score(h, r, t);
+        let mut rank = 1;
+        for cand in 0..self.entity_count() {
+            if cand == t || filter_out.contains(&cand) {
+                continue;
+            }
+            if self.score(h, r, cand) < target {
+                rank += 1;
+            }
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> TransE {
+        // 2 relations, 3 entities in 2D, hand-placed: e0 + r0 = e1.
+        TransE::new(
+            2,
+            vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0, 1.0],
+        )
+    }
+
+    #[test]
+    fn score_is_translation_distance() {
+        let m = toy();
+        assert!(m.score(0, 0, 1) < 1e-12); // 0 + r0 == e1
+        assert!((m.score(0, 0, 2) - (2.0f64).sqrt()).abs() < 1e-12);
+        assert!(m.score(0, 1, 2) < 1e-12); // 0 + r1 == e2
+    }
+
+    #[test]
+    fn prediction_ranks_by_score() {
+        let m = toy();
+        let tails = m.predict_tails(0, 0, 3);
+        assert_eq!(tails[0].0, 1);
+        let heads = m.predict_heads(1, 2, 3);
+        assert_eq!(heads[0].0, 0);
+    }
+
+    #[test]
+    fn rank_with_filtering() {
+        let m = toy();
+        // Without filtering, e1 is rank 1 for (e0, r0, ?).
+        assert_eq!(m.tail_rank(0, 0, 1, &[]), 1);
+        // e2's rank for (e0, r1, ?) is 1; filtering e1 cannot hurt it.
+        assert_eq!(m.tail_rank(0, 1, 2, &[1]), 1);
+    }
+
+    #[test]
+    fn normalization_puts_entities_on_unit_sphere() {
+        let mut m = TransE::new(2, vec![3.0, 4.0, 0.0, 0.0], vec![1.0, 0.0]);
+        m.normalize_entities();
+        let v = m.entity(0);
+        assert!((v[0] - 0.6).abs() < 1e-12);
+        assert!((v[1] - 0.8).abs() < 1e-12);
+        // The zero vector stays zero rather than dividing by ~0.
+        assert_eq!(m.entity(1), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # kgq-gnn — Weisfeiler–Lehman refinement and graph neural networks
+//!
+//! Section 4.3 of the reproduced paper connects declarative node
+//! extraction with the procedural formalism of graph neural networks:
+//! the Weisfeiler–Lehman (WL) test \[70\] characterizes the expressiveness
+//! of message-passing GNNs \[50, 71\], which in turn correspond to a logic
+//! with counting and a fixed number of variables \[16, 22\].
+//!
+//! * [`wl`] — 1-dimensional WL *color refinement* on labeled graphs
+//!   (edge labels and directions participate in the messages), plus a
+//!   graph-level hash for isomorphism testing.
+//! * [`model`] — aggregate-combine GNNs (AC-GNNs in the terminology of
+//!   Barceló et al. \[16\]) with per-edge-label, per-direction weight
+//!   matrices and truncated-ReLU activations, acting as unary node
+//!   classifiers over (vector-)labeled graphs.
+//! * [`builder`] — hand-constructed networks realizing FO² formulas, used
+//!   to demonstrate the logic ↔ GNN correspondence concretely, e.g. a
+//!   two-layer network computing the paper's ψ(x) infection query.
+//!
+//! Key invariant (tested): nodes that 1-WL cannot distinguish after `L`
+//! rounds receive identical outputs from every `L`-layer AC-GNN.
+
+
+// Several hot loops index multiple parallel arrays at once; the
+// iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+pub mod builder;
+pub mod model;
+pub mod train;
+pub mod wl;
+pub mod wl2;
+
+pub use builder::psi_network;
+pub use train::{random_network, train, GnnExample, GnnTrainConfig};
+pub use model::{AcGnn, Layer};
+pub use wl::{wl_colors, wl_graph_hash, WlResult};
+pub use wl2::{wl2_colors, wl2_graph_hash, Wl2Result};

@@ -1,0 +1,341 @@
+//! Aggregate-combine graph neural networks (AC-GNNs, \[16, 50, 71\]).
+//!
+//! A network transforms a vector-labeled graph `𝒱 = (N, E, ρ, λ)` into a
+//! new vector labeling `λ'` and classifies each node from `λ'(n)` — "a
+//! GNN can be considered as a unary query" (§4.3). Each layer computes
+//!
+//! ```text
+//! h'(v) = σ( W_self · h(v) + Σ_{ℓ, dir} W_{ℓ,dir} · Σ_{u ∈ N_{ℓ,dir}(v)} h(u) + b )
+//! ```
+//!
+//! with one weight matrix per (edge label, direction) pair and the
+//! truncated ReLU `σ(x) = min(max(x, 0), 1)` used by Barceló et al. \[16\]
+//! (whose logical characterization this crate demonstrates). The final
+//! classifier is linear + threshold.
+
+use kgq_graph::{LabeledGraph, NodeId};
+
+/// A dense matrix stored row-major (`rows × cols`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    /// Output dimension.
+    pub rows: usize,
+    /// Input dimension.
+    pub cols: usize,
+    /// Row-major entries.
+    pub data: Vec<f64>,
+}
+
+impl Mat {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Sets entry `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    fn mul_add(&self, x: &[f64], acc: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(acc.len(), self.rows);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut s = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                s += a * b;
+            }
+            acc[r] += s;
+        }
+    }
+}
+
+/// Direction of message flow relative to the receiving node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Messages along outgoing edges (from `v` to its successors'
+    /// features — i.e. `v` *receives from* targets of its out-edges).
+    Out,
+    /// Messages along incoming edges.
+    In,
+}
+
+/// One aggregate-combine layer.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// Combine matrix applied to the node's own feature vector.
+    pub w_self: Mat,
+    /// Per-(edge label, direction) aggregation matrices. Labels are
+    /// stored as strings so a trained network applies to any graph,
+    /// regardless of per-graph symbol interning.
+    pub w_rel: Vec<(String, Dir, Mat)>,
+    /// Bias vector (output dimension).
+    pub bias: Vec<f64>,
+}
+
+impl Layer {
+    /// Output dimension of the layer.
+    pub fn out_dim(&self) -> usize {
+        self.w_self.rows
+    }
+
+    /// Input dimension of the layer.
+    pub fn in_dim(&self) -> usize {
+        self.w_self.cols
+    }
+}
+
+/// Truncated ReLU: `min(max(x, 0), 1)`.
+#[inline]
+pub fn trunc_relu(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// An AC-GNN acting as a boolean node classifier.
+#[derive(Clone, Debug)]
+pub struct AcGnn {
+    /// Stacked layers (each layer's input dim must match the previous
+    /// output dim).
+    pub layers: Vec<Layer>,
+    /// Final linear classifier weights over the last feature vector.
+    pub cls_weights: Vec<f64>,
+    /// Classifier threshold: output is `true` iff `w·h + b >= 0.5`.
+    pub cls_bias: f64,
+}
+
+impl AcGnn {
+    /// One-hot node features for `g` against a label-name vocabulary.
+    /// Labels outside the vocabulary map to the zero vector.
+    pub fn one_hot_features(g: &LabeledGraph, vocab: &[&str]) -> Vec<Vec<f64>> {
+        (0..g.node_count() as u32)
+            .map(|v| {
+                let l = g.label_name(g.node_label(NodeId(v)));
+                vocab
+                    .iter()
+                    .map(|&s| if s == l { 1.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs all layers, returning the final feature vector per node (the
+    /// vector-labeled graph `𝒱'` of the paper, §4.3).
+    pub fn forward(&self, g: &LabeledGraph, features: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut h: Vec<Vec<f64>> = features.to_vec();
+        for layer in &self.layers {
+            // Resolve relation names once per layer; a missing label means
+            // the graph simply has no such edges.
+            let rel_syms: Vec<Option<kgq_graph::Sym>> = layer
+                .w_rel
+                .iter()
+                .map(|(name, _, _)| g.sym(name))
+                .collect();
+            let mut next: Vec<Vec<f64>> = Vec::with_capacity(h.len());
+            for v in 0..g.node_count() as u32 {
+                let v = NodeId(v);
+                let mut acc = layer.bias.clone();
+                layer.w_self.mul_add(&h[v.index()], &mut acc);
+                for ((label, dir, mat), sym) in layer.w_rel.iter().zip(rel_syms.iter()) {
+                    let _ = label;
+                    // Sum neighbor features over matching edges first,
+                    // then one matrix multiply.
+                    let mut pooled = vec![0.0; mat.cols];
+                    match dir {
+                        Dir::Out => {
+                            for &e in g.base().out_edges(v) {
+                                if Some(g.edge_label(e)) == *sym {
+                                    let u = g.base().target(e);
+                                    for (p, x) in
+                                        pooled.iter_mut().zip(h[u.index()].iter())
+                                    {
+                                        *p += x;
+                                    }
+                                }
+                            }
+                        }
+                        Dir::In => {
+                            for &e in g.base().in_edges(v) {
+                                if Some(g.edge_label(e)) == *sym {
+                                    let u = g.base().source(e);
+                                    for (p, x) in
+                                        pooled.iter_mut().zip(h[u.index()].iter())
+                                    {
+                                        *p += x;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    mat.mul_add(&pooled, &mut acc);
+                }
+                next.push(acc.into_iter().map(trunc_relu).collect());
+            }
+            h = next;
+        }
+        h
+    }
+
+    /// The unary query: nodes classified `true`.
+    pub fn classify(&self, g: &LabeledGraph, features: &[Vec<f64>]) -> Vec<bool> {
+        self.forward(g, features)
+            .iter()
+            .map(|h| {
+                let score: f64 = self
+                    .cls_weights
+                    .iter()
+                    .zip(h.iter())
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>()
+                    + self.cls_bias;
+                score >= 0.5
+            })
+            .collect()
+    }
+
+    /// Number of layers (the WL-round budget of the network).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wl::wl_colors;
+    use kgq_graph::generate::gnm_labeled;
+    use kgq_graph::LabeledGraph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_gnn(rng: &mut StdRng, vocab: &[&str], dims: &[usize]) -> AcGnn {
+        let mut layers = Vec::new();
+        for w in dims.windows(2) {
+            let (din, dout) = (w[0], w[1]);
+            let mut rand_mat = |r: usize, c: usize| -> Mat {
+                let mut m = Mat::zeros(r, c);
+                for v in m.data.iter_mut() {
+                    *v = rng.gen_range(-1.0..1.0);
+                }
+                m
+            };
+            let w_self = rand_mat(dout, din);
+            let mut w_rel = Vec::new();
+            for &s in vocab {
+                w_rel.push((s.to_owned(), Dir::Out, rand_mat(dout, din)));
+                w_rel.push((s.to_owned(), Dir::In, rand_mat(dout, din)));
+            }
+            let bias = (0..dout).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            layers.push(Layer {
+                w_self,
+                w_rel,
+                bias,
+            });
+        }
+        AcGnn {
+            layers,
+            cls_weights: (0..*dims.last().unwrap())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+            cls_bias: rng.gen_range(-0.5..0.5),
+        }
+    }
+
+    #[test]
+    fn wl_equal_nodes_get_equal_gnn_outputs() {
+        // The §4.3 expressiveness bound: GNN outputs are functions of the
+        // WL color (same depth). Check on random graphs and random nets.
+        let mut rng = StdRng::seed_from_u64(99);
+        for seed in 0..3 {
+            let g = gnm_labeled(14, 30, &["a", "b"], &["p", "q"], seed);
+            let node_vocab = ["a", "b"];
+            let edge_vocab = ["p", "q"];
+            let depth = 3;
+            let gnn = random_gnn(&mut rng, &edge_vocab, &[2, 4, 4, 3]);
+            assert_eq!(gnn.depth(), depth);
+            let feats = AcGnn::one_hot_features(&g, &node_vocab);
+            let out = gnn.forward(&g, &feats);
+            // WL with exactly `depth` rounds (no early stop below depth).
+            let wl = wl_colors(&g, depth);
+            for i in 0..g.node_count() {
+                for j in (i + 1)..g.node_count() {
+                    if wl.colors[i] == wl.colors[j] {
+                        for (a, b) in out[i].iter().zip(out[j].iter()) {
+                            assert!(
+                                (a - b).abs() < 1e-9,
+                                "seed={seed}: WL-equal nodes {i},{j} differ"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_relu_clamps() {
+        assert_eq!(trunc_relu(-3.0), 0.0);
+        assert_eq!(trunc_relu(0.4), 0.4);
+        assert_eq!(trunc_relu(7.0), 1.0);
+    }
+
+    #[test]
+    fn identity_network_passes_features_through() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node("a", "x").unwrap();
+        let b = g.add_node("b", "y").unwrap();
+        g.add_edge("e", a, b, "p").unwrap();
+        let vocab = ["x", "y"];
+        let mut w_self = Mat::zeros(2, 2);
+        w_self.set(0, 0, 1.0);
+        w_self.set(1, 1, 1.0);
+        let gnn = AcGnn {
+            layers: vec![Layer {
+                w_self,
+                w_rel: Vec::new(),
+                bias: vec![0.0, 0.0],
+            }],
+            cls_weights: vec![1.0, 0.0],
+            cls_bias: 0.0,
+        };
+        let feats = AcGnn::one_hot_features(&g, &vocab);
+        let out = gnn.forward(&g, &feats);
+        assert_eq!(out, feats);
+        assert_eq!(gnn.classify(&g, &feats), vec![true, false]);
+    }
+
+    #[test]
+    fn aggregation_counts_neighbors() {
+        // One layer computing "has at least 2 in-neighbors labeled x via p".
+        let mut g = LabeledGraph::new();
+        let t = g.add_node("t", "y").unwrap();
+        let u = g.add_node("u", "y").unwrap();
+        for i in 0..3 {
+            let s = g.add_node(&format!("s{i}"), "x").unwrap();
+            g.add_edge(&format!("e{i}"), s, t, "p").unwrap();
+        }
+        let s3 = g.add_node("s3", "x").unwrap();
+        g.add_edge("e3", s3, u, "p").unwrap();
+        let vocab = ["x", "y"];
+        let mut w_in = Mat::zeros(1, 2);
+        w_in.set(0, 0, 1.0); // count x-features of in-neighbors
+        let gnn = AcGnn {
+            layers: vec![Layer {
+                w_self: Mat::zeros(1, 2),
+                w_rel: vec![("p".to_owned(), Dir::In, w_in)],
+                bias: vec![-1.0], // >= 2 neighbors → 1 after truncation
+            }],
+            cls_weights: vec![1.0],
+            cls_bias: 0.0,
+        };
+        let feats = AcGnn::one_hot_features(&g, &vocab);
+        let cls = gnn.classify(&g, &feats);
+        assert!(cls[t.index()]); // 3 in-neighbors
+        assert!(!cls[u.index()]); // only 1
+        assert!(!cls[s3.index()]);
+    }
+}

@@ -1,0 +1,484 @@
+//! Training AC-GNNs by gradient descent — the "learning" facet of the
+//! paper's §2.3 ("learning, through new data and learning algorithms")
+//! applied to the §4.3 classifiers.
+//!
+//! Implements full backpropagation through the aggregate-combine layers
+//! (the truncated-ReLU derivative is the indicator of the open interval
+//! `(0, 1)`) with a sigmoid output head and binary cross-entropy loss.
+//! The demonstration target: a GNN with the ψ-network *architecture* but
+//! random weights can be trained from labeled examples to compute the
+//! infection query — recovering by learning what `builder::psi_network`
+//! encodes by hand.
+
+use crate::model::{AcGnn, Dir, Layer, Mat};
+use kgq_graph::{LabeledGraph, NodeId, Sym};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training hyperparameters.
+#[derive(Clone, Debug)]
+pub struct GnnTrainConfig {
+    /// Hidden width of every layer.
+    pub hidden: usize,
+    /// Number of message-passing layers.
+    pub layers: usize,
+    /// Gradient-descent epochs (full-batch).
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for GnnTrainConfig {
+    fn default() -> Self {
+        GnnTrainConfig {
+            hidden: 8,
+            layers: 4,
+            epochs: 400,
+            learning_rate: 0.2,
+            seed: 11,
+        }
+    }
+}
+
+/// A training instance: a graph, its input features, and a boolean
+/// target per node.
+pub struct GnnExample<'a> {
+    /// The graph.
+    pub graph: &'a LabeledGraph,
+    /// One feature vector per node.
+    pub features: Vec<Vec<f64>>,
+    /// Desired classifier output per node.
+    pub targets: Vec<bool>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-layer gradient buffers: (w_self, per-relation (matrix, index), bias).
+type LayerGrads = (Mat, Vec<(Mat, usize)>, Vec<f64>);
+
+/// Initializes an AC-GNN with random weights for the given relation
+/// vocabulary (one in- and one out-matrix per edge label name).
+pub fn random_network(in_dim: usize, relations: &[&str], config: &GnnTrainConfig) -> AcGnn {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rand_mat = |r: usize, c: usize| -> Mat {
+        let mut m = Mat::zeros(r, c);
+        let bound = (2.0 / c as f64).sqrt();
+        for v in m.data.iter_mut() {
+            *v = rng.gen_range(-bound..bound);
+        }
+        m
+    };
+    let mut layers = Vec::with_capacity(config.layers);
+    let mut din = in_dim;
+    for _ in 0..config.layers {
+        let dout = config.hidden;
+        let w_self = rand_mat(dout, din);
+        let mut w_rel = Vec::new();
+        for &r in relations {
+            w_rel.push((r.to_owned(), Dir::Out, rand_mat(dout, din)));
+            w_rel.push((r.to_owned(), Dir::In, rand_mat(dout, din)));
+        }
+        layers.push(Layer {
+            w_self,
+            w_rel,
+            bias: vec![0.0; dout],
+        });
+        din = dout;
+    }
+    let cls_weights = (0..config.hidden)
+        .map(|_| rng.gen_range(-0.5..0.5))
+        .collect();
+    AcGnn {
+        layers,
+        cls_weights,
+        cls_bias: 0.0,
+    }
+}
+
+/// Forward pass retaining pre-activations for backprop.
+/// Returns (per-layer inputs h⁰..h^L, per-layer pre-activations z¹..z^L).
+#[allow(clippy::type_complexity)]
+fn forward_cached(
+    gnn: &AcGnn,
+    g: &LabeledGraph,
+    features: &[Vec<f64>],
+) -> (Vec<Vec<Vec<f64>>>, Vec<Vec<Vec<f64>>>) {
+    let n = g.node_count();
+    let mut hs: Vec<Vec<Vec<f64>>> = vec![features.to_vec()];
+    let mut zs: Vec<Vec<Vec<f64>>> = Vec::new();
+    for layer in &gnn.layers {
+        let h = hs.last().expect("at least the input layer");
+        let rel_syms: Vec<Option<Sym>> = layer
+            .w_rel
+            .iter()
+            .map(|(name, _, _)| g.sym(name))
+            .collect();
+        let mut z_layer: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            let v = NodeId(v);
+            let mut acc = layer.bias.clone();
+            mat_mul_add(&layer.w_self, &h[v.index()], &mut acc);
+            for ((_, dir, mat), sym) in layer.w_rel.iter().zip(rel_syms.iter()) {
+                let pooled = pool(g, h, v, *sym, *dir, mat.cols);
+                mat_mul_add(mat, &pooled, &mut acc);
+            }
+            z_layer.push(acc);
+        }
+        let h_next: Vec<Vec<f64>> = z_layer
+            .iter()
+            .map(|z| z.iter().map(|&x| x.clamp(0.0, 1.0)).collect())
+            .collect();
+        zs.push(z_layer);
+        hs.push(h_next);
+    }
+    (hs, zs)
+}
+
+fn mat_mul_add(m: &Mat, x: &[f64], acc: &mut [f64]) {
+    for r in 0..m.rows {
+        let row = &m.data[r * m.cols..(r + 1) * m.cols];
+        let mut s = 0.0;
+        for (a, b) in row.iter().zip(x.iter()) {
+            s += a * b;
+        }
+        acc[r] += s;
+    }
+}
+
+fn pool(
+    g: &LabeledGraph,
+    h: &[Vec<f64>],
+    v: NodeId,
+    label: Option<Sym>,
+    dir: Dir,
+    dim: usize,
+) -> Vec<f64> {
+    let mut pooled = vec![0.0; dim];
+    let Some(label) = label else { return pooled };
+    match dir {
+        Dir::Out => {
+            for &e in g.base().out_edges(v) {
+                if g.edge_label(e) == label {
+                    for (p, x) in pooled.iter_mut().zip(h[g.base().target(e).index()].iter()) {
+                        *p += x;
+                    }
+                }
+            }
+        }
+        Dir::In => {
+            for &e in g.base().in_edges(v) {
+                if g.edge_label(e) == label {
+                    for (p, x) in pooled.iter_mut().zip(h[g.base().source(e).index()].iter()) {
+                        *p += x;
+                    }
+                }
+            }
+        }
+    }
+    pooled
+}
+
+/// Trains `gnn` in place on the examples with full-batch gradient
+/// descent; returns the mean binary cross-entropy per epoch.
+pub fn train(gnn: &mut AcGnn, examples: &[GnnExample<'_>], config: &GnnTrainConfig) -> Vec<f64> {
+    let lr = config.learning_rate;
+    let mut losses = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        // Accumulated gradients.
+        let mut g_cls = vec![0.0; gnn.cls_weights.len()];
+        let mut g_cls_bias = 0.0;
+        let mut g_layers: Vec<LayerGrads> = gnn
+            .layers
+            .iter()
+            .map(|l| {
+                (
+                    Mat::zeros(l.w_self.rows, l.w_self.cols),
+                    l.w_rel
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (_, _, m))| (Mat::zeros(m.rows, m.cols), i))
+                        .collect(),
+                    vec![0.0; l.bias.len()],
+                )
+            })
+            .collect();
+        let mut total_loss = 0.0;
+        let mut total_nodes = 0usize;
+        for ex in examples {
+            let g = ex.graph;
+            let n = g.node_count();
+            total_nodes += n;
+            let (hs, zs) = forward_cached(gnn, g, &ex.features);
+            let h_last = &hs[gnn.layers.len()];
+            // Output head: p = σ(w·h + b), BCE loss.
+            let mut delta_h: Vec<Vec<f64>> = vec![vec![0.0; gnn.cls_weights.len()]; n];
+            for v in 0..n {
+                let score: f64 = gnn
+                    .cls_weights
+                    .iter()
+                    .zip(h_last[v].iter())
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>()
+                    + gnn.cls_bias;
+                let p = sigmoid(score);
+                let y = f64::from(ex.targets[v]);
+                total_loss -= y * (p.max(1e-12)).ln() + (1.0 - y) * ((1.0 - p).max(1e-12)).ln();
+                let dscore = p - y; // dBCE/dscore for sigmoid head
+                for (i, x) in h_last[v].iter().enumerate() {
+                    g_cls[i] += dscore * x;
+                    delta_h[v][i] = dscore * gnn.cls_weights[i];
+                }
+                g_cls_bias += dscore;
+            }
+            // Backprop through layers, last to first.
+            for li in (0..gnn.layers.len()).rev() {
+                let layer = &gnn.layers[li];
+                let h_in = &hs[li];
+                let z = &zs[li];
+                // δz = δh ⊙ 1(0 < z < 1)
+                let delta_z: Vec<Vec<f64>> = (0..n)
+                    .map(|v| {
+                        delta_h[v]
+                            .iter()
+                            .zip(z[v].iter())
+                            .map(|(&dh, &zz)| if zz > 0.0 && zz < 1.0 { dh } else { 0.0 })
+                            .collect()
+                    })
+                    .collect();
+                // Gradients for this layer + δh for the previous one.
+                let mut delta_prev: Vec<Vec<f64>> = vec![vec![0.0; layer.w_self.cols]; n];
+                let (gw_self, gw_rels, gbias) = &mut g_layers[li];
+                for v in 0..n {
+                    for r in 0..layer.w_self.rows {
+                        let dz = delta_z[v][r];
+                        if dz == 0.0 {
+                            continue;
+                        }
+                        gbias[r] += dz;
+                        for c in 0..layer.w_self.cols {
+                            gw_self.data[r * layer.w_self.cols + c] += dz * h_in[v][c];
+                            delta_prev[v][c] += dz * layer.w_self.data[r * layer.w_self.cols + c];
+                        }
+                    }
+                }
+                let rel_syms: Vec<Option<Sym>> = layer
+                    .w_rel
+                    .iter()
+                    .map(|(name, _, _)| g.sym(name))
+                    .collect();
+                for (ri, (_, dir, mat)) in layer.w_rel.iter().enumerate() {
+                    let gw = &mut gw_rels[ri].0;
+                    let sym = rel_syms[ri];
+                    for v in 0..n as u32 {
+                        let v = NodeId(v);
+                        let pooled = pool(g, h_in, v, sym, *dir, mat.cols);
+                        for r in 0..mat.rows {
+                            let dz = delta_z[v.index()][r];
+                            if dz == 0.0 {
+                                continue;
+                            }
+                            for c in 0..mat.cols {
+                                gw.data[r * mat.cols + c] += dz * pooled[c];
+                            }
+                        }
+                        // Route δ back to the neighbors that were pooled.
+                        let neighbors: Vec<NodeId> = match dir {
+                            Dir::Out => g
+                                .base()
+                                .out_edges(v)
+                                .iter()
+                                .filter(|&&e| Some(g.edge_label(e)) == sym)
+                                .map(|&e| g.base().target(e))
+                                .collect(),
+                            Dir::In => g
+                                .base()
+                                .in_edges(v)
+                                .iter()
+                                .filter(|&&e| Some(g.edge_label(e)) == sym)
+                                .map(|&e| g.base().source(e))
+                                .collect(),
+                        };
+                        for u in neighbors {
+                            for r in 0..mat.rows {
+                                let dz = delta_z[v.index()][r];
+                                if dz == 0.0 {
+                                    continue;
+                                }
+                                for c in 0..mat.cols {
+                                    delta_prev[u.index()][c] += dz * mat.data[r * mat.cols + c];
+                                }
+                            }
+                        }
+                    }
+                }
+                delta_h = delta_prev;
+            }
+        }
+        // Apply gradients (mean over nodes).
+        let scale = lr / total_nodes.max(1) as f64;
+        for (w, gw) in gnn.cls_weights.iter_mut().zip(g_cls.iter()) {
+            *w -= scale * gw;
+        }
+        gnn.cls_bias -= scale * g_cls_bias;
+        for (li, (gw_self, gw_rels, gbias)) in g_layers.into_iter().enumerate() {
+            let layer = &mut gnn.layers[li];
+            for (w, gw) in layer.w_self.data.iter_mut().zip(gw_self.data.iter()) {
+                *w -= scale * gw;
+            }
+            for (b, gb) in layer.bias.iter_mut().zip(gbias.iter()) {
+                *b -= scale * gb;
+            }
+            for (gw, ri) in gw_rels {
+                let mat = &mut layer.w_rel[ri].2;
+                for (w, g) in mat.data.iter_mut().zip(gw.data.iter()) {
+                    *w -= scale * g;
+                }
+            }
+        }
+        losses.push(total_loss / total_nodes.max(1) as f64);
+    }
+    losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AcGnn;
+    use kgq_graph::generate::{contact_network, ContactParams};
+
+    /// Builds a training example labeling nodes by the infection query.
+    fn example(g: &LabeledGraph) -> (Vec<Vec<f64>>, Vec<bool>) {
+        use crate::builder::{psi_network, PSI_VOCAB};
+        let reference = psi_network();
+        let feats = AcGnn::one_hot_features(g, &PSI_VOCAB);
+        let targets = reference.classify(g, &feats);
+        (feats, targets)
+    }
+
+    #[test]
+    fn loss_decreases_and_accuracy_beats_majority() {
+        let pg = contact_network(&ContactParams {
+            people: 40,
+            buses: 4,
+            infected_fraction: 0.2,
+            seed: 3,
+            ..ContactParams::default()
+        });
+        let g = pg.into_labeled();
+        let (feats, targets) = example(&g);
+        let positives = targets.iter().filter(|&&t| t).count();
+        assert!(positives > 3, "want a non-trivial class balance");
+        let config = GnnTrainConfig::default();
+        let mut gnn = random_network(3, &["rides"], &config);
+        let examples = vec![GnnExample {
+            graph: &g,
+            features: feats.clone(),
+            targets: targets.clone(),
+        }];
+        let losses = train(&mut gnn, &examples, &config);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.6),
+            "loss did not drop: {:.3} -> {:.3}",
+            losses[0],
+            losses.last().unwrap()
+        );
+        // Train accuracy must beat the majority-class baseline.
+        let predicted = gnn.classify(&g, &feats);
+        let correct = predicted
+            .iter()
+            .zip(targets.iter())
+            .filter(|(p, t)| p == t)
+            .count();
+        let majority = targets.len() - positives.min(targets.len() - positives);
+        assert!(
+            correct > majority,
+            "accuracy {correct}/{} not above majority {majority}",
+            targets.len()
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let pg = contact_network(&ContactParams {
+            people: 15,
+            seed: 5,
+            ..ContactParams::default()
+        });
+        let g = pg.into_labeled();
+        let (feats, targets) = example(&g);
+        let config = GnnTrainConfig {
+            epochs: 20,
+            ..GnnTrainConfig::default()
+        };
+        let run = || {
+            let mut gnn = random_network(3, &["rides"], &config);
+            let losses = train(
+                &mut gnn,
+                &[GnnExample {
+                    graph: &g,
+                    features: feats.clone(),
+                    targets: targets.clone(),
+                }],
+                &config,
+            );
+            (losses, gnn.cls_weights.clone())
+        };
+        let (l1, w1) = run();
+        let (l2, w2) = run();
+        assert_eq!(l1, l2);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn generalizes_to_an_unseen_graph() {
+        // Train on two networks, test on a third with a different seed.
+        let make = |seed: u64| {
+            let pg = contact_network(&ContactParams {
+                people: 30,
+                buses: 3,
+                infected_fraction: 0.2,
+                seed,
+                ..ContactParams::default()
+            });
+            pg.into_labeled()
+        };
+        let g1 = make(1);
+        let g2 = make(2);
+        let g3 = make(9);
+        // Labels are matched by *name*, so one network applies across
+        // graphs with independently built interners.
+        let (f1, t1) = example(&g1);
+        let (f2, t2) = example(&g2);
+        let (f3, t3) = example(&g3);
+        let config = GnnTrainConfig {
+            epochs: 600,
+            ..GnnTrainConfig::default()
+        };
+        let mut gnn = random_network(3, &["rides"], &config);
+        train(
+            &mut gnn,
+            &[
+                GnnExample {
+                    graph: &g1,
+                    features: f1,
+                    targets: t1,
+                },
+                GnnExample {
+                    graph: &g2,
+                    features: f2,
+                    targets: t2,
+                },
+            ],
+            &config,
+        );
+        let predicted = gnn.classify(&g3, &f3);
+        let correct = predicted.iter().zip(t3.iter()).filter(|(p, t)| p == t).count();
+        let acc = correct as f64 / t3.len() as f64;
+        assert!(acc >= 0.8, "held-out accuracy {acc:.2} too low");
+    }
+}

@@ -1,0 +1,235 @@
+//! 1-dimensional Weisfeiler–Lehman color refinement \[70\].
+//!
+//! The WL test is "a message-passing graph algorithm" (§4.3): every node
+//! starts with a color derived from its label and repeatedly replaces it
+//! with a hash of `(own color, multiset of (edge label, direction,
+//! neighbor color))`. Two nodes that end with different colors are
+//! distinguishable by some L-layer message-passing network; two that end
+//! with the same color are *indistinguishable* by any AC-GNN with that
+//! many layers \[50, 71\] — the invariant the `kgq-gnn` tests exercise.
+//!
+//! Colors are derived from label *strings* (not per-graph symbol ids), so
+//! [`wl_graph_hash`] is comparable across different graphs.
+
+use kgq_graph::{LabeledGraph, NodeId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Result of color refinement.
+#[derive(Clone, Debug)]
+pub struct WlResult {
+    /// Final color per node (dense ids `0..color_count`).
+    pub colors: Vec<u32>,
+    /// Number of distinct final colors.
+    pub color_count: usize,
+    /// Rounds executed until stabilization (or the cap).
+    pub rounds: usize,
+}
+
+fn canon<T: Hash + Ord>(items: &mut Vec<T>) -> u64 {
+    items.sort_unstable();
+    let mut h = DefaultHasher::new();
+    items.hash(&mut h);
+    h.finish()
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+fn distinct(raw: &[u64]) -> usize {
+    let mut sorted: Vec<u64> = raw.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Raw (cross-graph comparable) WL colors after at most `max_rounds`
+/// refinement rounds, plus the number of rounds executed.
+fn refine(g: &LabeledGraph, max_rounds: usize) -> (Vec<u64>, usize) {
+    let n = g.node_count();
+    let mut colors: Vec<u64> = (0..n as u32)
+        .map(|v| hash_str(g.label_name(g.node_label(NodeId(v)))))
+        .collect();
+    let mut count = distinct(&colors);
+    let mut rounds = 0;
+    for _ in 0..max_rounds {
+        let next: Vec<u64> = (0..n as u32)
+            .map(|v| {
+                let v = NodeId(v);
+                let mut msgs: Vec<(u8, u64, u64)> = Vec::new();
+                for &e in g.base().out_edges(v) {
+                    msgs.push((
+                        0,
+                        hash_str(g.label_name(g.edge_label(e))),
+                        colors[g.base().target(e).index()],
+                    ));
+                }
+                for &e in g.base().in_edges(v) {
+                    msgs.push((
+                        1,
+                        hash_str(g.label_name(g.edge_label(e))),
+                        colors[g.base().source(e).index()],
+                    ));
+                }
+                let mhash = canon(&mut msgs);
+                let mut h = DefaultHasher::new();
+                (colors[v.index()], mhash).hash(&mut h);
+                h.finish()
+            })
+            .collect();
+        rounds += 1;
+        let new_count = distinct(&next);
+        colors = next;
+        if new_count == count {
+            // Same number of classes — the partition is stable
+            // (refinement never merges classes).
+            break;
+        }
+        count = new_count;
+    }
+    (colors, rounds)
+}
+
+/// Runs WL color refinement for at most `max_rounds` rounds (stops early
+/// on stabilization — the partition can refine at most `n - 1` times, so
+/// `max_rounds >= n` guarantees the stable partition).
+pub fn wl_colors(g: &LabeledGraph, max_rounds: usize) -> WlResult {
+    let (raw, rounds) = refine(g, max_rounds);
+    let mut sorted: Vec<u64> = raw.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let map: HashMap<u64, u32> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let colors: Vec<u32> = raw.iter().map(|v| map[v]).collect();
+    WlResult {
+        colors,
+        color_count: sorted.len(),
+        rounds,
+    }
+}
+
+/// Graph-level WL hash: the sorted multiset of stable raw colors, hashed.
+/// Isomorphic graphs always agree; non-isomorphic graphs usually differ
+/// (the WL test is incomplete — see \[34\], and the classic counterexample
+/// tested below).
+pub fn wl_graph_hash(g: &LabeledGraph) -> u64 {
+    let (mut raw, _) = refine(g, g.node_count().max(1));
+    canon(&mut raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::generate::{cycle_graph, path_graph, star_graph};
+    use kgq_graph::LabeledGraph;
+
+    #[test]
+    fn cycle_nodes_are_indistinguishable() {
+        let g = cycle_graph(6, "v", "next");
+        let r = wl_colors(&g, 10);
+        assert_eq!(r.color_count, 1);
+    }
+
+    #[test]
+    fn path_nodes_split_by_distance_to_ends() {
+        let g = path_graph(5, "v", "next");
+        let r = wl_colors(&g, 10);
+        // v0..v4 all get distinct colors: distances to both endpoints
+        // differ (directed path, in/out degrees asymmetric).
+        assert_eq!(r.color_count, 5);
+    }
+
+    #[test]
+    fn star_has_two_classes() {
+        let g = star_graph(7, "v", "spoke");
+        let r = wl_colors(&g, 10);
+        assert_eq!(r.color_count, 2);
+        // Hub color differs from every spoke; spokes share.
+        let hub = r.colors[0];
+        assert!(r.colors[1..].iter().all(|&c| c != hub));
+        assert!(r.colors[1..].windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn node_labels_seed_the_refinement() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node("a", "red").unwrap();
+        let b = g.add_node("b", "blue").unwrap();
+        g.add_edge("e", a, b, "p").unwrap();
+        let r = wl_colors(&g, 5);
+        assert_eq!(r.color_count, 2);
+    }
+
+    #[test]
+    fn edge_labels_distinguish() {
+        // Two 2-node graphs, same shape, different edge labels.
+        let mut g1 = LabeledGraph::new();
+        let a = g1.add_node("a", "v").unwrap();
+        let b = g1.add_node("b", "v").unwrap();
+        g1.add_edge("e", a, b, "p").unwrap();
+        let mut g2 = LabeledGraph::new();
+        let a = g2.add_node("a", "v").unwrap();
+        let b = g2.add_node("b", "v").unwrap();
+        g2.add_edge("e", a, b, "q").unwrap();
+        assert_ne!(wl_graph_hash(&g1), wl_graph_hash(&g2));
+    }
+
+    #[test]
+    fn isomorphic_graphs_hash_equal() {
+        // Same cycle built with different node insertion order.
+        let g1 = cycle_graph(5, "v", "next");
+        let mut g2 = LabeledGraph::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| g2.add_node(&format!("w{}", (i * 3) % 5), "v").unwrap())
+            .collect();
+        for i in 0..5 {
+            g2.add_edge(&format!("f{i}"), ids[i], ids[(i + 1) % 5], "next")
+                .unwrap();
+        }
+        assert_eq!(wl_graph_hash(&g1), wl_graph_hash(&g2));
+    }
+
+    #[test]
+    fn wl_cannot_separate_c6_from_two_c3() {
+        // The classic WL counterexample: one 6-cycle vs two triangles
+        // (undirected intuition; here both directed with uniform labels):
+        // every node sees one in- and one out-neighbor of the same color,
+        // so refinement stabilizes with a single color in both graphs.
+        let c6 = cycle_graph(6, "v", "next");
+        let mut two_c3 = LabeledGraph::new();
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            ids.push(two_c3.add_node(&format!("v{i}"), "v").unwrap());
+        }
+        for (i, (a, b)) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+            .iter()
+            .enumerate()
+        {
+            two_c3
+                .add_edge(&format!("e{i}"), ids[*a], ids[*b], "next")
+                .unwrap();
+        }
+        assert_eq!(wl_graph_hash(&c6), wl_graph_hash(&two_c3));
+    }
+
+    #[test]
+    fn different_sizes_hash_differently() {
+        let g1 = cycle_graph(5, "v", "next");
+        let g2 = cycle_graph(6, "v", "next");
+        assert_ne!(wl_graph_hash(&g1), wl_graph_hash(&g2));
+    }
+
+    #[test]
+    fn rounds_are_bounded_by_stabilization() {
+        let g = path_graph(8, "v", "next");
+        let r = wl_colors(&g, 100);
+        assert!(r.rounds <= 8, "rounds {}", r.rounds);
+    }
+}

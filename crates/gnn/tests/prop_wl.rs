@@ -1,0 +1,102 @@
+//! Property-based tests for Weisfeiler–Lehman refinement: the graph hash
+//! is invariant under node renaming/reordering (isomorphism), and color
+//! classes are consistent with label information.
+
+use kgq_gnn::{wl_colors, wl_graph_hash};
+use kgq_graph::{LabeledGraph, NodeId};
+use proptest::prelude::*;
+
+const NODE_LABELS: [&str; 2] = ["a", "b"];
+const EDGE_LABELS: [&str; 2] = ["p", "q"];
+
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    node_labels: Vec<usize>,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
+    (2usize..9).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0..NODE_LABELS.len(), n),
+            proptest::collection::vec((0..n, 0..n, 0..EDGE_LABELS.len()), 0..16),
+        )
+            .prop_map(|(node_labels, edges)| GraphSpec { node_labels, edges })
+    })
+}
+
+fn build(spec: &GraphSpec, perm: &[usize]) -> LabeledGraph {
+    // `perm[i]` = insertion position of original node i: permuting the
+    // construction order (and renaming) produces an isomorphic graph.
+    let n = spec.node_labels.len();
+    let mut g = LabeledGraph::new();
+    let mut ids: Vec<Option<NodeId>> = vec![None; n];
+    for &orig in perm {
+        ids[orig] = Some(
+            g.add_node(
+                &format!("x{}", perm.iter().position(|&p| p == orig).unwrap()),
+                NODE_LABELS[spec.node_labels[orig]],
+            )
+            .unwrap(),
+        );
+    }
+    for (i, &(s, d, l)) in spec.edges.iter().enumerate() {
+        g.add_edge(
+            &format!("e{i}"),
+            ids[s].unwrap(),
+            ids[d].unwrap(),
+            EDGE_LABELS[l],
+        )
+        .unwrap();
+    }
+    g
+}
+
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn graph_hash_is_isomorphism_invariant(
+        (spec, perm) in graph_strategy().prop_flat_map(|spec| {
+            let n = spec.node_labels.len();
+            (Just(spec), permutation(n))
+        })
+    ) {
+        let identity: Vec<usize> = (0..spec.node_labels.len()).collect();
+        let g1 = build(&spec, &identity);
+        let g2 = build(&spec, &perm);
+        prop_assert_eq!(wl_graph_hash(&g1), wl_graph_hash(&g2));
+    }
+
+    #[test]
+    fn color_classes_refine_labels(spec in graph_strategy()) {
+        // Two nodes with different labels must never share a WL color.
+        let identity: Vec<usize> = (0..spec.node_labels.len()).collect();
+        let g = build(&spec, &identity);
+        let wl = wl_colors(&g, g.node_count());
+        for i in 0..g.node_count() {
+            for j in (i + 1)..g.node_count() {
+                if wl.colors[i] == wl.colors[j] {
+                    prop_assert_eq!(spec.node_labels[i], spec.node_labels[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_is_monotone(spec in graph_strategy()) {
+        // More rounds can only refine (never merge) classes.
+        let identity: Vec<usize> = (0..spec.node_labels.len()).collect();
+        let g = build(&spec, &identity);
+        let mut prev = 0usize;
+        for rounds in 0..g.node_count() + 1 {
+            let wl = wl_colors(&g, rounds);
+            prop_assert!(wl.color_count >= prev, "rounds={} classes shrank", rounds);
+            prev = wl.color_count;
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Conversions between the three graph data models.
+//!
+//! Section 3 of the paper presents labeled graphs, property graphs and
+//! vector-labeled graphs as a hierarchy: property graphs extend labeled
+//! graphs, and vector-labeled graphs "unify the use of labels and
+//! properties". These functions realize that unification concretely:
+//!
+//! * [`labeled_to_property`] — embed (no properties),
+//! * [`property_to_labeled`] — project (drop `σ`),
+//! * [`property_to_vector`] — flatten label + properties into a feature
+//!   vector whose first row is the label and remaining rows are the
+//!   property columns in sorted name order, with `⊥` for absent values
+//!   (exactly the construction of Figure 2(c)),
+//! * [`labeled_to_vector`] — the 1-dimensional special case,
+//! * [`vector_to_property`] — the inverse of [`property_to_vector`].
+//!
+//! `property_to_vector` followed by `vector_to_property` is the identity on
+//! labels and properties (checked by tests and property tests).
+
+use crate::error::GraphError;
+use crate::labeled::LabeledGraph;
+use crate::property::PropertyGraph;
+use crate::sym::Sym;
+use crate::vector::VectorGraph;
+
+/// Embeds a labeled graph as a property graph with an empty `σ`.
+pub fn labeled_to_property(g: LabeledGraph) -> PropertyGraph {
+    PropertyGraph::from_labeled(g)
+}
+
+/// Projects a property graph to its underlying labeled graph (drops `σ`).
+pub fn property_to_labeled(g: PropertyGraph) -> LabeledGraph {
+    g.into_labeled()
+}
+
+/// Flattens a property graph into a vector-labeled graph.
+///
+/// The resulting dimension is `1 + p` where `p` is the number of distinct
+/// property names in the graph. Row 0 holds the label; row `i > 0` holds
+/// the value of the `i`-th property name (sorted by name string), or `⊥`.
+pub fn property_to_vector(g: &PropertyGraph) -> Result<VectorGraph, GraphError> {
+    let lg = g.labeled();
+    // Deterministic column order: property names sorted as strings.
+    let mut prop_names: Vec<(String, Sym)> = g
+        .property_alphabet()
+        .into_iter()
+        .map(|p| (lg.label_name(p).to_owned(), p))
+        .collect();
+    prop_names.sort();
+    let dim = 1 + prop_names.len();
+    let mut vg = VectorGraph::new(dim);
+    {
+        let mut names: Vec<&str> = vec!["label"];
+        names.extend(prop_names.iter().map(|(s, _)| s.as_str()));
+        vg.set_feature_names(&names)?;
+    }
+    let mut feats: Vec<String> = Vec::with_capacity(dim);
+    for n in lg.base().nodes() {
+        feats.clear();
+        feats.push(lg.label_name(lg.node_label(n)).to_owned());
+        for (_, p) in &prop_names {
+            match g.node_prop(n, *p) {
+                Some(v) => feats.push(lg.label_name(v).to_owned()),
+                None => feats.push("⊥".to_owned()),
+            }
+        }
+        let refs: Vec<&str> = feats.iter().map(|s| s.as_str()).collect();
+        vg.add_node(lg.node_name(n), &refs)?;
+    }
+    for e in lg.base().edges() {
+        feats.clear();
+        feats.push(lg.label_name(lg.edge_label(e)).to_owned());
+        for (_, p) in &prop_names {
+            match g.edge_prop(e, *p) {
+                Some(v) => feats.push(lg.label_name(v).to_owned()),
+                None => feats.push("⊥".to_owned()),
+            }
+        }
+        let refs: Vec<&str> = feats.iter().map(|s| s.as_str()).collect();
+        let (s, d) = lg.base().endpoints(e);
+        // Node ids are preserved (insertion order matches).
+        vg.add_edge(lg.edge_name(e), s, d, &refs)?;
+    }
+    Ok(vg)
+}
+
+/// Flattens a labeled graph into a 1-dimensional vector-labeled graph.
+pub fn labeled_to_vector(g: &LabeledGraph) -> Result<VectorGraph, GraphError> {
+    let pg = PropertyGraph::from_labeled(g.clone());
+    property_to_vector(&pg)
+}
+
+/// Reconstructs a property graph from a vector-labeled graph produced by
+/// [`property_to_vector`]: row 0 becomes the label, every other non-`⊥`
+/// row becomes a property named after the feature row.
+pub fn vector_to_property(g: &VectorGraph) -> Result<PropertyGraph, GraphError> {
+    let mut pg = PropertyGraph::new();
+    let names = g.feature_names().to_vec();
+    for n in g.base().nodes() {
+        let label = g.consts().resolve(g.node_feature(n, 0)).to_owned();
+        let id = g.node_name(n).to_owned();
+        let new = pg.add_node(&id, &label)?;
+        for i in 1..g.dim() {
+            let v = g.node_feature(n, i);
+            if v != Sym::BOTTOM {
+                let val = g.consts().resolve(v).to_owned();
+                pg.set_node_prop(new, &names[i], &val);
+            }
+        }
+    }
+    for e in g.base().edges() {
+        let label = g.consts().resolve(g.edge_feature(e, 0)).to_owned();
+        let id = g.consts().resolve(g.base().edge_id_sym(e)).to_owned();
+        let (s, d) = g.base().endpoints(e);
+        let new = pg.add_edge(&id, s, d, &label)?;
+        for i in 1..g.dim() {
+            let v = g.edge_feature(e, i);
+            if v != Sym::BOTTOM {
+                let val = g.consts().resolve(v).to_owned();
+                pg.set_edge_prop(new, &names[i], &val);
+            }
+        }
+    }
+    Ok(pg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_property() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let n1 = g.add_node("n1", "person").unwrap();
+        let n2 = g.add_node("n2", "infected").unwrap();
+        let n3 = g.add_node("n3", "bus").unwrap();
+        let e1 = g.add_edge("e1", n1, n3, "rides").unwrap();
+        let e2 = g.add_edge("e2", n1, n2, "contact").unwrap();
+        g.set_node_prop(n1, "name", "Julia");
+        g.set_node_prop(n1, "age", "33");
+        g.set_node_prop(n2, "name", "Pedro");
+        g.set_edge_prop(e1, "date", "3/3/21");
+        g.set_edge_prop(e2, "date", "3/4/21");
+        g
+    }
+
+    #[test]
+    fn vectorization_schema_is_label_plus_sorted_props() {
+        let pg = sample_property();
+        let vg = property_to_vector(&pg).unwrap();
+        assert_eq!(vg.dim(), 4); // label + {age, date, name}
+        assert_eq!(
+            vg.feature_names(),
+            &["label", "age", "date", "name"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()[..]
+        );
+    }
+
+    #[test]
+    fn vectorization_preserves_values_and_uses_bottom() {
+        let pg = sample_property();
+        let vg = property_to_vector(&pg).unwrap();
+        let n1 = vg.node_named("n1").unwrap();
+        assert_eq!(vg.feature_str(n1, 0), "person");
+        assert_eq!(vg.feature_str(n1, 1), "33"); // age
+        assert_eq!(vg.node_feature(n1, 2), Sym::BOTTOM); // no date on a node
+        assert_eq!(vg.feature_str(n1, 3), "Julia");
+        let n3 = vg.node_named("n3").unwrap();
+        assert_eq!(vg.feature_str(n3, 0), "bus");
+        assert_eq!(vg.node_feature(n3, 3), Sym::BOTTOM);
+    }
+
+    #[test]
+    fn round_trip_property_vector_property() {
+        let pg = sample_property();
+        let vg = property_to_vector(&pg).unwrap();
+        let back = vector_to_property(&vg).unwrap();
+        assert_eq!(back.node_count(), pg.node_count());
+        assert_eq!(back.edge_count(), pg.edge_count());
+        for n in pg.labeled().base().nodes() {
+            assert_eq!(
+                back.labeled().label_name(back.labeled().node_label(n)),
+                pg.labeled().label_name(pg.labeled().node_label(n))
+            );
+            for prop in ["name", "age"] {
+                assert_eq!(back.node_prop_str(n, prop), pg.node_prop_str(n, prop));
+            }
+        }
+        for e in pg.labeled().base().edges() {
+            assert_eq!(back.edge_prop_str(e, "date"), pg.edge_prop_str(e, "date"));
+            assert_eq!(
+                pg.labeled().base().endpoints(e),
+                back.labeled().base().endpoints(e)
+            );
+        }
+    }
+
+    #[test]
+    fn labeled_to_vector_is_one_dimensional() {
+        let mut lg = LabeledGraph::new();
+        let a = lg.add_node("a", "x").unwrap();
+        let b = lg.add_node("b", "y").unwrap();
+        lg.add_edge("e", a, b, "z").unwrap();
+        let vg = labeled_to_vector(&lg).unwrap();
+        assert_eq!(vg.dim(), 1);
+        assert_eq!(vg.feature_str(a, 0), "x");
+    }
+
+    #[test]
+    fn labeled_property_projection_round_trip() {
+        let mut lg = LabeledGraph::new();
+        let a = lg.add_node("a", "x").unwrap();
+        let b = lg.add_node("b", "y").unwrap();
+        lg.add_edge("e", a, b, "z").unwrap();
+        let pg = labeled_to_property(lg.clone());
+        let back = property_to_labeled(pg);
+        assert_eq!(back.node_count(), lg.node_count());
+        assert_eq!(back.edge_count(), lg.edge_count());
+        assert_eq!(
+            back.label_name(back.node_label(a)),
+            lg.label_name(lg.node_label(a))
+        );
+    }
+}

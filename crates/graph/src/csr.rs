@@ -1,0 +1,241 @@
+//! Compressed sparse row (CSR) snapshots.
+//!
+//! Query evaluation repeatedly scans adjacency; the per-node `Vec<EdgeId>`
+//! lists of [`Multigraph`] are convenient for construction but poor for
+//! traversal locality. [`Csr`] freezes a multigraph into flat offset/list
+//! arrays, and [`LabelIndex`] additionally sorts each node's adjacency by
+//! edge label so that "follow an edge labeled ℓ" — the core step of regular
+//! path query evaluation (paper, Section 4) — is a binary-search range scan.
+
+use crate::labeled::LabeledGraph;
+use crate::multigraph::{EdgeId, Multigraph, NodeId};
+use crate::sym::Sym;
+
+/// Flat forward/backward adjacency for a multigraph.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    out_off: Vec<u32>,
+    out_list: Vec<(EdgeId, NodeId)>,
+    in_off: Vec<u32>,
+    in_list: Vec<(EdgeId, NodeId)>,
+}
+
+impl Csr {
+    /// Builds a CSR snapshot of `g`.
+    pub fn build(g: &Multigraph) -> Self {
+        let n = g.node_count();
+        let mut out_off = Vec::with_capacity(n + 1);
+        let mut out_list = Vec::with_capacity(g.edge_count());
+        let mut in_off = Vec::with_capacity(n + 1);
+        let mut in_list = Vec::with_capacity(g.edge_count());
+        out_off.push(0);
+        in_off.push(0);
+        for v in g.nodes() {
+            for &e in g.out_edges(v) {
+                out_list.push((e, g.target(e)));
+            }
+            out_off.push(out_list.len() as u32);
+            for &e in g.in_edges(v) {
+                in_list.push((e, g.source(e)));
+            }
+            in_off.push(in_list.len() as u32);
+        }
+        Csr {
+            out_off,
+            out_list,
+            in_off,
+            in_list,
+        }
+    }
+
+    /// Outgoing `(edge, target)` pairs of `v`.
+    #[inline]
+    pub fn out(&self, v: NodeId) -> &[(EdgeId, NodeId)] {
+        let a = self.out_off[v.index()] as usize;
+        let b = self.out_off[v.index() + 1] as usize;
+        &self.out_list[a..b]
+    }
+
+    /// Incoming `(edge, source)` pairs of `v`.
+    #[inline]
+    pub fn inc(&self, v: NodeId) -> &[(EdgeId, NodeId)] {
+        let a = self.in_off[v.index()] as usize;
+        let b = self.in_off[v.index() + 1] as usize;
+        &self.in_list[a..b]
+    }
+
+    /// Number of nodes covered by the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.out_off.len() - 1
+    }
+}
+
+/// Label-sorted adjacency over a [`LabeledGraph`].
+///
+/// For each node, outgoing and incoming `(label, edge, neighbor)` triples
+/// are sorted by label; [`LabelIndex::out_with_label`] returns the matching
+/// range. This is the structure regular path query evaluation steps on.
+#[derive(Clone, Debug)]
+pub struct LabelIndex {
+    out_off: Vec<u32>,
+    out_list: Vec<(Sym, EdgeId, NodeId)>,
+    in_off: Vec<u32>,
+    in_list: Vec<(Sym, EdgeId, NodeId)>,
+}
+
+fn label_range(list: &[(Sym, EdgeId, NodeId)], label: Sym) -> &[(Sym, EdgeId, NodeId)] {
+    let lo = list.partition_point(|&(l, _, _)| l < label);
+    let hi = list.partition_point(|&(l, _, _)| l <= label);
+    &list[lo..hi]
+}
+
+impl LabelIndex {
+    /// Builds a label-sorted adjacency index for `g`.
+    pub fn build(g: &LabeledGraph) -> Self {
+        let base = g.base();
+        let n = base.node_count();
+        let mut out_off = Vec::with_capacity(n + 1);
+        let mut out_list = Vec::with_capacity(base.edge_count());
+        let mut in_off = Vec::with_capacity(n + 1);
+        let mut in_list = Vec::with_capacity(base.edge_count());
+        out_off.push(0);
+        in_off.push(0);
+        let mut scratch: Vec<(Sym, EdgeId, NodeId)> = Vec::new();
+        for v in base.nodes() {
+            scratch.clear();
+            scratch.extend(
+                base.out_edges(v)
+                    .iter()
+                    .map(|&e| (g.edge_label(e), e, base.target(e))),
+            );
+            scratch.sort_unstable();
+            out_list.extend_from_slice(&scratch);
+            out_off.push(out_list.len() as u32);
+
+            scratch.clear();
+            scratch.extend(
+                base.in_edges(v)
+                    .iter()
+                    .map(|&e| (g.edge_label(e), e, base.source(e))),
+            );
+            scratch.sort_unstable();
+            in_list.extend_from_slice(&scratch);
+            in_off.push(in_list.len() as u32);
+        }
+        LabelIndex {
+            out_off,
+            out_list,
+            in_off,
+            in_list,
+        }
+    }
+
+    /// All outgoing `(label, edge, target)` triples of `v`, label-sorted.
+    #[inline]
+    pub fn out(&self, v: NodeId) -> &[(Sym, EdgeId, NodeId)] {
+        let a = self.out_off[v.index()] as usize;
+        let b = self.out_off[v.index() + 1] as usize;
+        &self.out_list[a..b]
+    }
+
+    /// All incoming `(label, edge, source)` triples of `v`, label-sorted.
+    #[inline]
+    pub fn inc(&self, v: NodeId) -> &[(Sym, EdgeId, NodeId)] {
+        let a = self.in_off[v.index()] as usize;
+        let b = self.in_off[v.index() + 1] as usize;
+        &self.in_list[a..b]
+    }
+
+    /// Outgoing edges of `v` labeled exactly `label`.
+    #[inline]
+    pub fn out_with_label(&self, v: NodeId, label: Sym) -> &[(Sym, EdgeId, NodeId)] {
+        label_range(self.out(v), label)
+    }
+
+    /// Incoming edges of `v` labeled exactly `label` (used for `ℓ⁻`).
+    #[inline]
+    pub fn in_with_label(&self, v: NodeId, label: Sym) -> &[(Sym, EdgeId, NodeId)] {
+        label_range(self.inc(v), label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node("a", "person").unwrap();
+        let b = g.add_node("b", "person").unwrap();
+        let c = g.add_node("c", "bus").unwrap();
+        g.add_edge("e1", a, c, "rides").unwrap();
+        g.add_edge("e2", b, c, "rides").unwrap();
+        g.add_edge("e3", a, b, "contact").unwrap();
+        g.add_edge("e4", a, b, "contact").unwrap();
+        g.add_edge("e5", a, c, "owns").unwrap();
+        g
+    }
+
+    #[test]
+    fn csr_matches_multigraph_adjacency() {
+        let g = sample();
+        let csr = Csr::build(g.base());
+        assert_eq!(csr.node_count(), 3);
+        let a = g.node_named("a").unwrap();
+        assert_eq!(csr.out(a).len(), 4);
+        let c = g.node_named("c").unwrap();
+        assert_eq!(csr.inc(c).len(), 3);
+        assert!(csr.out(c).is_empty());
+        // Every out entry points at the true target.
+        for &(e, t) in csr.out(a) {
+            assert_eq!(g.base().target(e), t);
+        }
+    }
+
+    #[test]
+    fn label_index_groups_by_label() {
+        let g = sample();
+        let idx = LabelIndex::build(&g);
+        let a = g.node_named("a").unwrap();
+        let contact = g.sym("contact").unwrap();
+        let rides = g.sym("rides").unwrap();
+        assert_eq!(idx.out_with_label(a, contact).len(), 2);
+        assert_eq!(idx.out_with_label(a, rides).len(), 1);
+        let owns = g.sym("owns").unwrap();
+        assert_eq!(idx.out_with_label(a, owns).len(), 1);
+    }
+
+    #[test]
+    fn label_index_inverse_edges() {
+        let g = sample();
+        let idx = LabelIndex::build(&g);
+        let c = g.node_named("c").unwrap();
+        let rides = g.sym("rides").unwrap();
+        let back = idx.in_with_label(c, rides);
+        assert_eq!(back.len(), 2);
+        for &(l, e, src) in back {
+            assert_eq!(l, rides);
+            assert_eq!(g.base().target(e), c);
+            assert_eq!(g.base().source(e), src);
+        }
+    }
+
+    #[test]
+    fn missing_label_yields_empty_range() {
+        let mut g = sample();
+        let ghost = g.intern("ghost");
+        let idx = LabelIndex::build(&g);
+        let a = g.node_named("a").unwrap();
+        assert!(idx.out_with_label(a, ghost).is_empty());
+        assert!(idx.in_with_label(a, ghost).is_empty());
+    }
+
+    #[test]
+    fn adjacency_is_label_sorted() {
+        let g = sample();
+        let idx = LabelIndex::build(&g);
+        let a = g.node_named("a").unwrap();
+        let out = idx.out(a);
+        assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type shared by the graph-model crate.
+
+use std::fmt;
+
+/// Errors raised while constructing, converting or parsing graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced by an edge or lookup does not exist.
+    UnknownNode(String),
+    /// An edge id referenced by a lookup does not exist.
+    UnknownEdge(String),
+    /// A node or edge identifier (an element of **Const**) was reused.
+    DuplicateId(String),
+    /// A vector-labeled graph operation used a feature index `>= d`.
+    FeatureOutOfRange { index: usize, dim: usize },
+    /// A feature vector of the wrong dimension was supplied.
+    DimensionMismatch { expected: usize, got: usize },
+    /// Malformed input in the text exchange format.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node `{id}`"),
+            GraphError::UnknownEdge(id) => write!(f, "unknown edge `{id}`"),
+            GraphError::DuplicateId(id) => write!(f, "duplicate identifier `{id}`"),
+            GraphError::FeatureOutOfRange { index, dim } => {
+                write!(f, "feature index {index} out of range for dimension {dim}")
+            }
+            GraphError::DimensionMismatch { expected, got } => {
+                write!(f, "feature vector dimension mismatch: expected {expected}, got {got}")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::UnknownNode("n9".into());
+        assert_eq!(e.to_string(), "unknown node `n9`");
+        let e = GraphError::FeatureOutOfRange { index: 7, dim: 5 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("5"));
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad edge".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,161 @@
+//! The running example of the paper — Figure 2 in all three models.
+//!
+//! The paper's Figure 2 shows one social/contact scenario ("people and
+//! their contacts") as (a) a labeled graph, (b) a property graph, and (c)
+//! a vector-labeled graph. The figure itself is an image, so this module
+//! *reconstructs* a graph consistent with every fact the text states:
+//!
+//! * node labels `person`, `infected`, `bus`, plus an `address` and a
+//!   `company` (the text of §4.2 mentions "the company that owns" bus `n3`),
+//! * edge labels `rides`, `contact`, `lives`, `owns`,
+//! * bus `n3` is used by several people (`rides`), and the regular
+//!   expressions (2)/(3) of §4 have non-empty answers,
+//! * properties: `name`/`age` on persons, `zip` on the address shared by
+//!   two people who live together, `date` on `rides` and `contact` edges,
+//!   with the contact date `3/4/21` used by expression (3),
+//! * the vector model uses rows `f1=label, f2=name, f3=age, f4=zip,
+//!   f5=date` with `⊥` for absent values, so that the paper's rewritten
+//!   expression `(f1=person)/(f1=contact ∧ f5=3/4/21)/?(f1=infected)`
+//!   works verbatim.
+
+use crate::convert::property_to_vector;
+use crate::labeled::LabeledGraph;
+use crate::property::PropertyGraph;
+use crate::vector::VectorGraph;
+
+/// Figure 2(b): the property graph version of the running example.
+///
+/// Nodes: `n1` Julia (person), `n2` Pedro (infected), `n3` (bus),
+/// `n4` Ana (person), `n5` (address, zip 8320000), `n6` Luis (infected),
+/// `n7` (company), `n8` Rosa (person).
+///
+/// Edges: `e1: n1 -rides-> n3` (3/3/21), `e2: n2 -rides-> n3` (3/4/21),
+/// `e3: n4 -rides-> n3` (3/4/21), `e4: n1 -contact-> n4` (3/4/21),
+/// `e5: n4 -contact-> n6` (3/4/21), `e6: n4 -lives-> n5`,
+/// `e7: n8 -lives-> n5`, `e8: n7 -owns-> n3`.
+pub fn figure2_property() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let n1 = g.add_node("n1", "person").unwrap();
+    let n2 = g.add_node("n2", "infected").unwrap();
+    let n3 = g.add_node("n3", "bus").unwrap();
+    let n4 = g.add_node("n4", "person").unwrap();
+    let n5 = g.add_node("n5", "address").unwrap();
+    let n6 = g.add_node("n6", "infected").unwrap();
+    let n7 = g.add_node("n7", "company").unwrap();
+    let n8 = g.add_node("n8", "person").unwrap();
+
+    g.set_node_prop(n1, "name", "Julia");
+    g.set_node_prop(n1, "age", "33");
+    g.set_node_prop(n2, "name", "Pedro");
+    g.set_node_prop(n2, "age", "40");
+    g.set_node_prop(n4, "name", "Ana");
+    g.set_node_prop(n4, "age", "27");
+    g.set_node_prop(n5, "zip", "8320000");
+    g.set_node_prop(n6, "name", "Luis");
+    g.set_node_prop(n6, "age", "61");
+    g.set_node_prop(n8, "name", "Rosa");
+    g.set_node_prop(n8, "age", "19");
+
+    let e1 = g.add_edge("e1", n1, n3, "rides").unwrap();
+    let e2 = g.add_edge("e2", n2, n3, "rides").unwrap();
+    let e3 = g.add_edge("e3", n4, n3, "rides").unwrap();
+    let e4 = g.add_edge("e4", n1, n4, "contact").unwrap();
+    let e5 = g.add_edge("e5", n4, n6, "contact").unwrap();
+    let _e6 = g.add_edge("e6", n4, n5, "lives").unwrap();
+    let _e7 = g.add_edge("e7", n8, n5, "lives").unwrap();
+    let _e8 = g.add_edge("e8", n7, n3, "owns").unwrap();
+
+    g.set_edge_prop(e1, "date", "3/3/21");
+    g.set_edge_prop(e2, "date", "3/4/21");
+    g.set_edge_prop(e3, "date", "3/4/21");
+    g.set_edge_prop(e4, "date", "3/4/21");
+    g.set_edge_prop(e5, "date", "3/4/21");
+    g
+}
+
+/// Figure 2(a): the labeled-graph projection of [`figure2_property`].
+pub fn figure2_labeled() -> LabeledGraph {
+    figure2_property().into_labeled()
+}
+
+/// Figure 2(c): the vector-labeled version of [`figure2_property`].
+///
+/// Dimension 5 with rows `label, age, date, name, zip` (label first, then
+/// property columns sorted by name, matching [`property_to_vector`]).
+pub fn figure2_vector() -> VectorGraph {
+    property_to_vector(&figure2_property()).expect("figure 2 vectorization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::Sym;
+
+    #[test]
+    fn figure2_has_eight_nodes_and_eight_edges() {
+        let g = figure2_property();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 8);
+    }
+
+    #[test]
+    fn labels_match_the_text() {
+        let g = figure2_labeled();
+        for (node, label) in [
+            ("n1", "person"),
+            ("n2", "infected"),
+            ("n3", "bus"),
+            ("n5", "address"),
+            ("n7", "company"),
+        ] {
+            let n = g.node_named(node).unwrap();
+            assert_eq!(g.label_name(g.node_label(n)), label, "node {node}");
+        }
+    }
+
+    #[test]
+    fn two_people_share_an_address_with_zip() {
+        let g = figure2_property();
+        let n5 = g.labeled().node_named("n5").unwrap();
+        assert_eq!(g.node_prop_str(n5, "zip"), Some("8320000"));
+        let lives = g.labeled().sym("lives").unwrap();
+        assert_eq!(g.labeled().edges_with_label(lives).len(), 2);
+    }
+
+    #[test]
+    fn contact_on_march_4_exists() {
+        let g = figure2_property();
+        let e4 = g.labeled().edge_named("e4").unwrap();
+        assert_eq!(g.edge_prop_str(e4, "date"), Some("3/4/21"));
+        assert_eq!(
+            g.labeled().label_name(g.labeled().edge_label(e4)),
+            "contact"
+        );
+    }
+
+    #[test]
+    fn vector_model_has_expected_schema() {
+        let g = figure2_vector();
+        assert_eq!(g.dim(), 5);
+        assert_eq!(g.feature_names()[0], "label");
+        // The paper's f5 = date test must be expressible: date is a column.
+        assert!(g.feature_names().iter().any(|n| n == "date"));
+        let n3 = g.node_named("n3").unwrap();
+        assert_eq!(g.feature_str(n3, 0), "bus");
+        // The bus has no name/age/zip/date.
+        for i in 1..5 {
+            assert_eq!(g.node_feature(n3, i), Sym::BOTTOM);
+        }
+    }
+
+    #[test]
+    fn company_owns_the_bus() {
+        let g = figure2_labeled();
+        let owns = g.sym("owns").unwrap();
+        let e = g.edges_with_label(owns);
+        assert_eq!(e.len(), 1);
+        let (s, d) = g.base().endpoints(e[0]);
+        assert_eq!(g.node_name(s), "n7");
+        assert_eq!(g.node_name(d), "n3");
+    }
+}

@@ -1,0 +1,397 @@
+//! Deterministic workload generators.
+//!
+//! The paper has no benchmark datasets of its own (it is a tutorial), so
+//! every experiment in `kgq-bench` runs on synthetic graphs produced here.
+//! All generators take an explicit seed and are deterministic across runs.
+//!
+//! * [`gnm_labeled`] — Erdős–Rényi `G(n, m)` with uniform random labels.
+//! * [`barabasi_albert`] — preferential-attachment graphs (heavy-tailed
+//!   degrees, the "Web-like" regime of §2.2).
+//! * [`path_graph`], [`cycle_graph`], [`grid_graph`], [`star_graph`],
+//!   [`complete_graph`] — structured families used by unit tests and the
+//!   analytics experiments.
+//! * [`contact_network`] — the paper's epidemiological running example at
+//!   scale: people, buses and addresses with `rides`/`contact`/`lives`
+//!   edges, dated interactions and a seeded set of `infected` people.
+
+use crate::labeled::LabeledGraph;
+use crate::multigraph::NodeId;
+use crate::property::PropertyGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, m)`: `n` nodes, `m` edges with uniformly random
+/// endpoints, node labels from `node_labels` and edge labels from
+/// `edge_labels`, both uniform.
+pub fn gnm_labeled(
+    n: usize,
+    m: usize,
+    node_labels: &[&str],
+    edge_labels: &[&str],
+    seed: u64,
+) -> LabeledGraph {
+    assert!(n > 0, "need at least one node");
+    assert!(!node_labels.is_empty() && !edge_labels.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let label = node_labels[rng.gen_range(0..node_labels.len())];
+            g.add_node(&format!("v{i}"), label).unwrap()
+        })
+        .collect();
+    for j in 0..m {
+        let s = nodes[rng.gen_range(0..n)];
+        let d = nodes[rng.gen_range(0..n)];
+        let label = edge_labels[rng.gen_range(0..edge_labels.len())];
+        g.add_edge(&format!("e{j}"), s, d, label).unwrap();
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `m_per` existing nodes chosen proportionally
+/// to degree. Produces heavy-tailed degree distributions.
+pub fn barabasi_albert(
+    n: usize,
+    m_per: usize,
+    node_label: &str,
+    edge_label: &str,
+    seed: u64,
+) -> LabeledGraph {
+    assert!(m_per >= 1 && n > m_per, "need n > m_per >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = LabeledGraph::new();
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(n);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoint_pool: Vec<NodeId> = Vec::new();
+    let core = m_per + 1;
+    let mut eid = 0usize;
+    for i in 0..core {
+        nodes.push(g.add_node(&format!("v{i}"), node_label).unwrap());
+    }
+    for i in 0..core {
+        for j in 0..core {
+            if i != j {
+                g.add_edge(&format!("e{eid}"), nodes[i], nodes[j], edge_label)
+                    .unwrap();
+                eid += 1;
+                endpoint_pool.push(nodes[i]);
+                endpoint_pool.push(nodes[j]);
+            }
+        }
+    }
+    for i in core..n {
+        let v = g.add_node(&format!("v{i}"), node_label).unwrap();
+        nodes.push(v);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m_per);
+        while chosen.len() < m_per {
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for t in chosen {
+            g.add_edge(&format!("e{eid}"), v, t, edge_label).unwrap();
+            eid += 1;
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    g
+}
+
+/// A directed path `v0 → v1 → … → v{n-1}`.
+pub fn path_graph(n: usize, node_label: &str, edge_label: &str) -> LabeledGraph {
+    let mut g = LabeledGraph::new();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| g.add_node(&format!("v{i}"), node_label).unwrap())
+        .collect();
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(&format!("e{i}"), nodes[i], nodes[i + 1], edge_label)
+            .unwrap();
+    }
+    g
+}
+
+/// A directed cycle on `n` nodes.
+pub fn cycle_graph(n: usize, node_label: &str, edge_label: &str) -> LabeledGraph {
+    assert!(n >= 1);
+    let mut g = path_graph(n, node_label, edge_label);
+    if n > 1 {
+        let last = g.node_named(&format!("v{}", n - 1)).unwrap();
+        let first = g.node_named("v0").unwrap();
+        g.add_edge("e_back", last, first, edge_label).unwrap();
+    } else {
+        let v = g.node_named("v0").unwrap();
+        g.add_edge("e_back", v, v, edge_label).unwrap();
+    }
+    g
+}
+
+/// A `w × h` grid with `right` and `down` edges.
+pub fn grid_graph(w: usize, h: usize, node_label: &str) -> LabeledGraph {
+    let mut g = LabeledGraph::new();
+    let mut ids = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            ids.push(g.add_node(&format!("v{x}_{y}"), node_label).unwrap());
+        }
+    }
+    let mut eid = 0;
+    for y in 0..h {
+        for x in 0..w {
+            let here = ids[y * w + x];
+            if x + 1 < w {
+                g.add_edge(&format!("e{eid}"), here, ids[y * w + x + 1], "right")
+                    .unwrap();
+                eid += 1;
+            }
+            if y + 1 < h {
+                g.add_edge(&format!("e{eid}"), here, ids[(y + 1) * w + x], "down")
+                    .unwrap();
+                eid += 1;
+            }
+        }
+    }
+    g
+}
+
+/// A star: hub `v0` with `n-1` spokes `v0 → vi`.
+pub fn star_graph(n: usize, node_label: &str, edge_label: &str) -> LabeledGraph {
+    assert!(n >= 1);
+    let mut g = LabeledGraph::new();
+    let hub = g.add_node("v0", node_label).unwrap();
+    for i in 1..n {
+        let v = g.add_node(&format!("v{i}"), node_label).unwrap();
+        g.add_edge(&format!("e{i}"), hub, v, edge_label).unwrap();
+    }
+    g
+}
+
+/// A complete directed graph (no self-loops) on `n` nodes.
+pub fn complete_graph(n: usize, node_label: &str, edge_label: &str) -> LabeledGraph {
+    let mut g = LabeledGraph::new();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| g.add_node(&format!("v{i}"), node_label).unwrap())
+        .collect();
+    let mut eid = 0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(&format!("e{eid}"), nodes[i], nodes[j], edge_label)
+                    .unwrap();
+                eid += 1;
+            }
+        }
+    }
+    g
+}
+
+/// Parameters for [`contact_network`].
+#[derive(Clone, Debug)]
+pub struct ContactParams {
+    /// Number of people.
+    pub people: usize,
+    /// Number of buses.
+    pub buses: usize,
+    /// Number of addresses (each shared by ~`people/addresses` residents).
+    pub addresses: usize,
+    /// Number of `rides` edges per person (each to a random bus).
+    pub rides_per_person: usize,
+    /// Number of `contact` edges per person (to random other people).
+    pub contacts_per_person: usize,
+    /// Fraction of people labeled `infected` instead of `person`.
+    pub infected_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ContactParams {
+    fn default() -> Self {
+        ContactParams {
+            people: 50,
+            buses: 5,
+            addresses: 20,
+            rides_per_person: 2,
+            contacts_per_person: 2,
+            infected_fraction: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a scaled-up version of the paper's Figure 2 scenario.
+///
+/// People are nodes labeled `person` or `infected` with `name`/`age`
+/// properties; buses are `bus` nodes owned by `company` nodes; addresses
+/// are `address` nodes with `zip` properties. Edges are `rides` (dated),
+/// `contact` (dated) and `lives`.
+pub fn contact_network(params: &ContactParams) -> PropertyGraph {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut g = PropertyGraph::new();
+    let dates = ["3/1/21", "3/2/21", "3/3/21", "3/4/21", "3/5/21"];
+
+    let mut people = Vec::with_capacity(params.people);
+    for i in 0..params.people {
+        let label = if rng.gen_bool(params.infected_fraction.clamp(0.0, 1.0)) {
+            "infected"
+        } else {
+            "person"
+        };
+        let p = g.add_node(&format!("p{i}"), label).unwrap();
+        g.set_node_prop(p, "name", &format!("person-{i}"));
+        g.set_node_prop(p, "age", &format!("{}", 18 + (i * 7) % 60));
+        people.push(p);
+    }
+    let mut buses = Vec::with_capacity(params.buses);
+    for i in 0..params.buses {
+        buses.push(g.add_node(&format!("b{i}"), "bus").unwrap());
+    }
+    // One company owning all buses keeps the §4.2 "owner" distractor paths.
+    if !buses.is_empty() {
+        let comp = g.add_node("c0", "company").unwrap();
+        for (i, &b) in buses.iter().enumerate() {
+            g.add_edge(&format!("own{i}"), comp, b, "owns").unwrap();
+        }
+    }
+    let mut addresses = Vec::with_capacity(params.addresses);
+    for i in 0..params.addresses {
+        let a = g.add_node(&format!("a{i}"), "address").unwrap();
+        g.set_node_prop(a, "zip", &format!("{}", 8_000_000 + i));
+        addresses.push(a);
+    }
+
+    let mut eid = 0usize;
+    for (i, &p) in people.iter().enumerate() {
+        if !buses.is_empty() {
+            for _ in 0..params.rides_per_person {
+                let b = buses[rng.gen_range(0..buses.len())];
+                let e = g.add_edge(&format!("r{eid}"), p, b, "rides").unwrap();
+                g.set_edge_prop(e, "date", dates.choose(&mut rng).unwrap());
+                eid += 1;
+            }
+        }
+        for _ in 0..params.contacts_per_person {
+            if params.people < 2 {
+                break;
+            }
+            let mut q = i;
+            while q == i {
+                q = rng.gen_range(0..params.people);
+            }
+            let e = g
+                .add_edge(&format!("k{eid}"), p, people[q], "contact")
+                .unwrap();
+            g.set_edge_prop(e, "date", dates.choose(&mut rng).unwrap());
+            eid += 1;
+        }
+        if !addresses.is_empty() {
+            let a = addresses[rng.gen_range(0..addresses.len())];
+            g.add_edge(&format!("l{eid}"), p, a, "lives").unwrap();
+            eid += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = gnm_labeled(20, 40, &["x", "y"], &["p", "q"], 7);
+        let b = gnm_labeled(20, 40, &["x", "y"], &["p", "q"], 7);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), 40);
+        for e in a.base().edges() {
+            assert_eq!(a.base().endpoints(e), b.base().endpoints(e));
+            assert_eq!(
+                a.label_name(a.edge_label(e)),
+                b.label_name(b.edge_label(e))
+            );
+        }
+        let c = gnm_labeled(20, 40, &["x", "y"], &["p", "q"], 8);
+        let same = a
+            .base()
+            .edges()
+            .all(|e| a.base().endpoints(e) == c.base().endpoints(e));
+        assert!(!same, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn ba_degrees_are_heavy_tailed() {
+        let g = barabasi_albert(200, 2, "v", "link", 1);
+        assert_eq!(g.node_count(), 200);
+        let max_deg = g
+            .base()
+            .nodes()
+            .map(|n| g.base().in_degree(n) + g.base().out_degree(n))
+            .max()
+            .unwrap();
+        // The early core should accumulate far more than m_per*2 links.
+        assert!(max_deg > 20, "max degree {max_deg} too small for BA");
+    }
+
+    #[test]
+    fn structured_families_have_right_shape() {
+        let p = path_graph(5, "n", "next");
+        assert_eq!(p.edge_count(), 4);
+        let c = cycle_graph(5, "n", "next");
+        assert_eq!(c.edge_count(), 5);
+        let g = grid_graph(3, 4, "cell");
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 2 * 3 * 4 - 3 - 4); // 2wh - w - h
+        let s = star_graph(6, "n", "spoke");
+        assert_eq!(s.base().out_degree(s.node_named("v0").unwrap()), 5);
+        let k = complete_graph(4, "n", "e");
+        assert_eq!(k.edge_count(), 12);
+    }
+
+    #[test]
+    fn cycle_of_one_is_a_self_loop() {
+        let c = cycle_graph(1, "n", "next");
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.edge_count(), 1);
+        let v = c.node_named("v0").unwrap();
+        assert_eq!(c.base().endpoints(crate::multigraph::EdgeId(0)), (v, v));
+    }
+
+    #[test]
+    fn contact_network_has_all_ingredients() {
+        let g = contact_network(&ContactParams::default());
+        let lg = g.labeled();
+        for label in ["person", "bus", "address", "company"] {
+            let s = lg.sym(label).unwrap();
+            assert!(!lg.nodes_with_label(s).is_empty(), "missing {label}");
+        }
+        for label in ["rides", "contact", "lives", "owns"] {
+            let s = lg.sym(label).unwrap();
+            assert!(!lg.edges_with_label(s).is_empty(), "missing {label}");
+        }
+        // Every rides edge is dated.
+        let rides = lg.sym("rides").unwrap();
+        for e in lg.edges_with_label(rides) {
+            assert!(g.edge_prop_str(e, "date").is_some());
+        }
+    }
+
+    #[test]
+    fn contact_network_infection_rate_roughly_respected() {
+        let params = ContactParams {
+            people: 500,
+            infected_fraction: 0.2,
+            ..ContactParams::default()
+        };
+        let g = contact_network(&params);
+        let infected = g
+            .labeled()
+            .nodes_with_label(g.labeled().sym("infected").unwrap())
+            .len();
+        let frac = infected as f64 / 500.0;
+        assert!((0.1..0.3).contains(&frac), "fraction {frac} out of range");
+    }
+}

@@ -1,0 +1,199 @@
+//! A small plain-text exchange format for labeled and property graphs.
+//!
+//! Line-oriented, whitespace-separated, `#` comments:
+//!
+//! ```text
+//! node <id> <label>
+//! edge <id> <src-id> <dst-id> <label>
+//! nprop <node-id> <key> <value>
+//! eprop <edge-id> <key> <value>
+//! ```
+//!
+//! Identifiers, labels, keys and values may not contain whitespace (the
+//! format is for test fixtures and experiment inputs, not general data).
+
+use crate::error::GraphError;
+use crate::labeled::LabeledGraph;
+use crate::property::PropertyGraph;
+
+/// Serializes a labeled graph.
+pub fn write_labeled(g: &LabeledGraph) -> String {
+    let mut out = String::new();
+    for n in g.base().nodes() {
+        out.push_str(&format!(
+            "node {} {}\n",
+            g.node_name(n),
+            g.label_name(g.node_label(n))
+        ));
+    }
+    for e in g.base().edges() {
+        let (s, d) = g.base().endpoints(e);
+        out.push_str(&format!(
+            "edge {} {} {} {}\n",
+            g.edge_name(e),
+            g.node_name(s),
+            g.node_name(d),
+            g.label_name(g.edge_label(e))
+        ));
+    }
+    out
+}
+
+/// Serializes a property graph (labeled part + `nprop`/`eprop` lines).
+pub fn write_property(g: &PropertyGraph) -> String {
+    let lg = g.labeled();
+    let mut out = write_labeled(lg);
+    for n in lg.base().nodes() {
+        for &(p, v) in g.node_props(n) {
+            out.push_str(&format!(
+                "nprop {} {} {}\n",
+                lg.node_name(n),
+                lg.label_name(p),
+                lg.label_name(v)
+            ));
+        }
+    }
+    for e in lg.base().edges() {
+        for &(p, v) in g.edge_props(e) {
+            out.push_str(&format!(
+                "eprop {} {} {}\n",
+                lg.edge_name(e),
+                lg.label_name(p),
+                lg.label_name(v)
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the output of [`write_property`] (also accepts pure labeled
+/// graphs, which simply have no property lines).
+pub fn read_property(input: &str) -> Result<PropertyGraph, GraphError> {
+    let mut g = PropertyGraph::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().unwrap();
+        let err = |message: &str| GraphError::Parse {
+            line: lineno,
+            message: message.to_owned(),
+        };
+        match kind {
+            "node" => {
+                let id = parts.next().ok_or_else(|| err("node needs <id>"))?;
+                let label = parts.next().ok_or_else(|| err("node needs <label>"))?;
+                g.add_node(id, label)?;
+            }
+            "edge" => {
+                let id = parts.next().ok_or_else(|| err("edge needs <id>"))?;
+                let src = parts.next().ok_or_else(|| err("edge needs <src>"))?;
+                let dst = parts.next().ok_or_else(|| err("edge needs <dst>"))?;
+                let label = parts.next().ok_or_else(|| err("edge needs <label>"))?;
+                let s = g
+                    .labeled()
+                    .node_named(src)
+                    .ok_or_else(|| GraphError::UnknownNode(src.to_owned()))?;
+                let d = g
+                    .labeled()
+                    .node_named(dst)
+                    .ok_or_else(|| GraphError::UnknownNode(dst.to_owned()))?;
+                g.add_edge(id, s, d, label)?;
+            }
+            "nprop" => {
+                let id = parts.next().ok_or_else(|| err("nprop needs <node>"))?;
+                let key = parts.next().ok_or_else(|| err("nprop needs <key>"))?;
+                let value = parts.next().ok_or_else(|| err("nprop needs <value>"))?;
+                let n = g
+                    .labeled()
+                    .node_named(id)
+                    .ok_or_else(|| GraphError::UnknownNode(id.to_owned()))?;
+                g.set_node_prop(n, key, value);
+            }
+            "eprop" => {
+                let id = parts.next().ok_or_else(|| err("eprop needs <edge>"))?;
+                let key = parts.next().ok_or_else(|| err("eprop needs <key>"))?;
+                let value = parts.next().ok_or_else(|| err("eprop needs <value>"))?;
+                let e = g
+                    .labeled()
+                    .edge_named(id)
+                    .ok_or_else(|| GraphError::UnknownEdge(id.to_owned()))?;
+                g.set_edge_prop(e, key, value);
+            }
+            other => {
+                return Err(err(&format!("unknown record kind `{other}`")));
+            }
+        }
+        if parts.next().is_some() {
+            return Err(err("trailing tokens"));
+        }
+    }
+    Ok(g)
+}
+
+/// Parses a labeled graph (property lines are rejected).
+pub fn read_labeled(input: &str) -> Result<LabeledGraph, GraphError> {
+    for (lineno, raw) in input.lines().enumerate() {
+        let t = raw.trim();
+        if t.starts_with("nprop") || t.starts_with("eprop") {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: "property lines not allowed in a labeled graph".to_owned(),
+            });
+        }
+    }
+    Ok(read_property(input)?.into_labeled())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::figure2_property;
+
+    #[test]
+    fn round_trip_figure2() {
+        let g = figure2_property();
+        let text = write_property(&g);
+        let back = read_property(&text).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        let n1 = back.labeled().node_named("n1").unwrap();
+        assert_eq!(back.node_prop_str(n1, "name"), Some("Julia"));
+        let e2 = back.labeled().edge_named("e2").unwrap();
+        assert_eq!(back.edge_prop_str(e2, "date"), Some("3/4/21"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let g = read_property("# hello\n\nnode a person\n").unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let err = read_property("node a person\nedge e1 a\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+        let err = read_property("frob x y\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_property("node a person extra\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_endpoints_are_errors() {
+        let err = read_property("edge e a b x\n").unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode(_)));
+        let err = read_property("node a p\nnprop b k v\n").unwrap_err();
+        assert!(matches!(err, GraphError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn labeled_reader_rejects_props() {
+        assert!(read_labeled("node a p\nnprop a k v\n").is_err());
+        let g = read_labeled("node a p\nnode b q\nedge e a b r\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

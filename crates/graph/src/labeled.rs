@@ -1,0 +1,241 @@
+//! Labeled graphs `(N, E, ρ, λ)` — Figure 2(a) of the paper.
+//!
+//! A labeled graph extends the base [`Multigraph`] with a total labeling
+//! function `λ : (N ∪ E) → Const`. Following the paper we label *both*
+//! nodes and edges (the "heterogeneous graph" convention), as opposed to
+//! edge-labeled graphs where only edges carry labels.
+
+use crate::error::GraphError;
+use crate::multigraph::{EdgeId, Multigraph, NodeId};
+use crate::sym::{Interner, Sym};
+
+/// A labeled graph: a multigraph plus `λ` on nodes and edges.
+///
+/// The graph owns its own [`Interner`] for **Const**, so a `LabeledGraph`
+/// is self-contained and printable.
+///
+/// ```
+/// use kgq_graph::LabeledGraph;
+/// let mut g = LabeledGraph::new();
+/// let alice = g.add_node("alice", "person").unwrap();
+/// let bus = g.add_node("b7", "bus").unwrap();
+/// g.add_edge("e1", alice, bus, "rides").unwrap();
+/// assert_eq!(g.label_name(g.node_label(alice)), "person");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LabeledGraph {
+    base: Multigraph,
+    node_labels: Vec<Sym>,
+    edge_labels: Vec<Sym>,
+    consts: Interner,
+}
+
+impl LabeledGraph {
+    /// Creates an empty labeled graph.
+    pub fn new() -> Self {
+        LabeledGraph {
+            base: Multigraph::new(),
+            node_labels: Vec::new(),
+            edge_labels: Vec::new(),
+            consts: Interner::new(),
+        }
+    }
+
+    /// Adds a node with **Const** identifier `id` and label `label`.
+    pub fn add_node(&mut self, id: &str, label: &str) -> Result<NodeId, GraphError> {
+        let id = self.consts.intern(id);
+        let label = self.consts.intern(label);
+        let n = self.base.add_node(id)?;
+        self.node_labels.push(label);
+        Ok(n)
+    }
+
+    /// Adds an edge `src → dst` with identifier `id` and label `label`.
+    pub fn add_edge(
+        &mut self,
+        id: &str,
+        src: NodeId,
+        dst: NodeId,
+        label: &str,
+    ) -> Result<EdgeId, GraphError> {
+        let id = self.consts.intern(id);
+        let label = self.consts.intern(label);
+        let e = self.base.add_edge(id, src, dst)?;
+        self.edge_labels.push(label);
+        Ok(e)
+    }
+
+    /// `λ(n)`: the label of node `n`.
+    #[inline]
+    pub fn node_label(&self, n: NodeId) -> Sym {
+        self.node_labels[n.index()]
+    }
+
+    /// `λ(e)`: the label of edge `e`.
+    #[inline]
+    pub fn edge_label(&self, e: EdgeId) -> Sym {
+        self.edge_labels[e.index()]
+    }
+
+    /// Replaces the label of node `n` (used when deriving knowledge, e.g.
+    /// marking a person as `infected`).
+    pub fn relabel_node(&mut self, n: NodeId, label: &str) {
+        self.node_labels[n.index()] = self.consts.intern(label);
+    }
+
+    /// The underlying multigraph `(N, E, ρ)`.
+    #[inline]
+    pub fn base(&self) -> &Multigraph {
+        &self.base
+    }
+
+    /// The constant universe of this graph.
+    pub fn consts(&self) -> &Interner {
+        &self.consts
+    }
+
+    /// Mutable access to the constant universe (for interning query constants
+    /// consistently with the graph's own symbols).
+    pub fn consts_mut(&mut self) -> &mut Interner {
+        &mut self.consts
+    }
+
+    /// Interns `s` into this graph's constant universe.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.consts.intern(s)
+    }
+
+    /// Returns the symbol for `s` if present (does not intern).
+    pub fn sym(&self, s: &str) -> Option<Sym> {
+        self.consts.get(s)
+    }
+
+    /// Resolves a symbol back to its string.
+    pub fn label_name(&self, s: Sym) -> &str {
+        self.consts.resolve(s)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.base.edge_count()
+    }
+
+    /// Looks up a node by its **Const** identifier string.
+    pub fn node_named(&self, id: &str) -> Option<NodeId> {
+        self.consts.get(id).and_then(|s| self.base.node_by_sym(s))
+    }
+
+    /// Looks up an edge by its **Const** identifier string.
+    pub fn edge_named(&self, id: &str) -> Option<EdgeId> {
+        self.consts.get(id).and_then(|s| self.base.edge_by_sym(s))
+    }
+
+    /// Human-readable name of node `n` (its **Const** identifier).
+    pub fn node_name(&self, n: NodeId) -> &str {
+        self.consts.resolve(self.base.node_id_sym(n))
+    }
+
+    /// Human-readable name of edge `e` (its **Const** identifier).
+    pub fn edge_name(&self, e: EdgeId) -> &str {
+        self.consts.resolve(self.base.edge_id_sym(e))
+    }
+
+    /// All nodes carrying label `label`.
+    pub fn nodes_with_label(&self, label: Sym) -> Vec<NodeId> {
+        self.base
+            .nodes()
+            .filter(|n| self.node_label(*n) == label)
+            .collect()
+    }
+
+    /// All edges carrying label `label`.
+    pub fn edges_with_label(&self, label: Sym) -> Vec<EdgeId> {
+        self.base
+            .edges()
+            .filter(|e| self.edge_label(*e) == label)
+            .collect()
+    }
+
+    /// The set of distinct node labels, sorted.
+    pub fn node_label_alphabet(&self) -> Vec<Sym> {
+        let mut v: Vec<Sym> = self.node_labels.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The set of distinct edge labels, sorted.
+    pub fn edge_label_alphabet(&self) -> Vec<Sym> {
+        let mut v: Vec<Sym> = self.edge_labels.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contacts() -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node("a", "person").unwrap();
+        let b = g.add_node("b", "infected").unwrap();
+        let bus = g.add_node("bus1", "bus").unwrap();
+        g.add_edge("e1", a, bus, "rides").unwrap();
+        g.add_edge("e2", b, bus, "rides").unwrap();
+        g.add_edge("e3", a, b, "contact").unwrap();
+        g
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let g = contacts();
+        let a = g.node_named("a").unwrap();
+        assert_eq!(g.label_name(g.node_label(a)), "person");
+        let e = g.edge_named("e3").unwrap();
+        assert_eq!(g.label_name(g.edge_label(e)), "contact");
+    }
+
+    #[test]
+    fn nodes_with_label_filters() {
+        let g = contacts();
+        let person = g.sym("person").unwrap();
+        assert_eq!(g.nodes_with_label(person).len(), 1);
+        let rides = g.sym("rides").unwrap();
+        assert_eq!(g.edges_with_label(rides).len(), 2);
+    }
+
+    #[test]
+    fn relabel_marks_infection() {
+        let mut g = contacts();
+        let a = g.node_named("a").unwrap();
+        g.relabel_node(a, "infected");
+        let infected = g.sym("infected").unwrap();
+        assert_eq!(g.nodes_with_label(infected).len(), 2);
+    }
+
+    #[test]
+    fn alphabets_are_sorted_and_deduped() {
+        let g = contacts();
+        let na = g.node_label_alphabet();
+        assert_eq!(na.len(), 3); // person, infected, bus
+        assert!(na.windows(2).all(|w| w[0] < w[1]));
+        let ea = g.edge_label_alphabet();
+        assert_eq!(ea.len(), 2); // rides, contact
+    }
+
+    #[test]
+    fn names_resolve() {
+        let g = contacts();
+        let bus = g.node_named("bus1").unwrap();
+        assert_eq!(g.node_name(bus), "bus1");
+        assert_eq!(g.edge_name(g.edge_named("e1").unwrap()), "e1");
+        assert_eq!(g.node_named("nope"), None);
+    }
+}

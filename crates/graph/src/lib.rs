@@ -1,0 +1,49 @@
+//! # kgq-graph — graph data models
+//!
+//! Implements the three graph data models of Arenas, Gutierrez & Sequeda,
+//! *Querying in the Age of Graph Databases and Knowledge Graphs* (SIGMOD
+//! 2021), Section 3:
+//!
+//! * [`LabeledGraph`] — a multigraph `(N, E, ρ)` plus a labeling function
+//!   `λ : (N ∪ E) → Const` (Figure 2(a)).
+//! * [`PropertyGraph`] — a labeled graph plus a partial function
+//!   `σ : (N ∪ E) × Const → Const` assigning property values (Figure 2(b)).
+//! * [`VectorGraph`] — a multigraph plus `λ : (N ∪ E) → Const^d`, the
+//!   vector-labeled model used as input for message-passing algorithms and
+//!   graph neural networks (Figure 2(c)).
+//!
+//! All constants (the set **Const** of the paper) are interned as compact
+//! [`Sym`] handles by an [`Interner`]; graphs store only `u32`-sized ids in
+//! hot paths. The crate also provides:
+//!
+//! * conversions between the three models ([`convert`]),
+//! * compressed sparse row snapshots for fast traversal ([`csr`]),
+//! * deterministic random graph generators for workloads ([`generate`]),
+//! * the running example graphs of the paper's Figure 2 ([`figures`]),
+//! * a plain-text exchange format ([`io`]).
+
+
+// Several hot loops index multiple parallel arrays at once; the
+// iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+pub mod convert;
+pub mod csr;
+pub mod error;
+pub mod figures;
+pub mod generate;
+pub mod io;
+pub mod labeled;
+pub mod multigraph;
+pub mod property;
+pub mod subgraph;
+pub mod sym;
+pub mod vector;
+
+pub use csr::{Csr, LabelIndex};
+pub use error::GraphError;
+pub use labeled::LabeledGraph;
+pub use multigraph::{EdgeId, Multigraph, NodeId};
+pub use property::PropertyGraph;
+pub use subgraph::{induced_subgraph, induced_subgraph_property};
+pub use sym::{Interner, Sym};
+pub use vector::VectorGraph;

@@ -1,0 +1,284 @@
+//! The base multigraph `(N, E, ρ)`.
+//!
+//! Per the paper (Section 3), a multigraph is a tuple `(N, E, ρ)` where
+//! `N ⊆ Const` is a set of nodes, `E ⊆ Const` a set of edges, and
+//! `ρ : E → N × N` gives the endpoints of each edge. Multiple edges may
+//! connect the same pair of nodes, and self-loops are allowed.
+//!
+//! Internally nodes and edges are dense `u32` ids ([`NodeId`], [`EdgeId`]);
+//! the **Const** identity of each node/edge is kept as a [`Sym`] so the
+//! formal model (identifiers drawn from the constant universe) is preserved.
+
+use crate::error::GraphError;
+use crate::sym::Sym;
+use std::collections::HashMap;
+
+/// Dense index of a node (`0..graph.node_count()`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+/// Dense index of an edge (`0..graph.edge_count()`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Index as `usize` for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Index as `usize` for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A directed multigraph `(N, E, ρ)` with identifiers from **Const**.
+///
+/// ```
+/// use kgq_graph::{Multigraph, Interner};
+/// let mut consts = Interner::new();
+/// let mut g = Multigraph::new();
+/// let n1 = g.add_node(consts.intern("n1")).unwrap();
+/// let n2 = g.add_node(consts.intern("n2")).unwrap();
+/// let e1 = g.add_edge(consts.intern("e1"), n1, n2).unwrap();
+/// assert_eq!(g.endpoints(e1), (n1, n2));
+/// assert_eq!(g.out_edges(n1), &[e1]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Multigraph {
+    node_ids: Vec<Sym>,
+    edge_ids: Vec<Sym>,
+    /// ρ(e) = (source, target)
+    endpoints: Vec<(NodeId, NodeId)>,
+    out: Vec<Vec<EdgeId>>,
+    inc: Vec<Vec<EdgeId>>,
+    by_node_id: HashMap<Sym, NodeId>,
+    by_edge_id: HashMap<Sym, EdgeId>,
+}
+
+impl Multigraph {
+    /// Creates an empty multigraph.
+    pub fn new() -> Self {
+        Multigraph::default()
+    }
+
+    /// Creates an empty multigraph with reserved capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Multigraph {
+            node_ids: Vec::with_capacity(nodes),
+            edge_ids: Vec::with_capacity(edges),
+            endpoints: Vec::with_capacity(edges),
+            out: Vec::with_capacity(nodes),
+            inc: Vec::with_capacity(nodes),
+            by_node_id: HashMap::with_capacity(nodes),
+            by_edge_id: HashMap::with_capacity(edges),
+        }
+    }
+
+    /// Adds a node whose identifier in **Const** is `id`.
+    ///
+    /// Returns [`GraphError::DuplicateId`] if a node with the same constant
+    /// identifier already exists.
+    pub fn add_node(&mut self, id: Sym) -> Result<NodeId, GraphError> {
+        if self.by_node_id.contains_key(&id) {
+            return Err(GraphError::DuplicateId(format!("node #{}", id.0)));
+        }
+        let n = NodeId(self.node_ids.len() as u32);
+        self.node_ids.push(id);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        self.by_node_id.insert(id, n);
+        Ok(n)
+    }
+
+    /// Adds an edge `ρ(id) = (src, dst)`.
+    pub fn add_edge(&mut self, id: Sym, src: NodeId, dst: NodeId) -> Result<EdgeId, GraphError> {
+        if src.index() >= self.node_ids.len() {
+            return Err(GraphError::UnknownNode(format!("{src:?}")));
+        }
+        if dst.index() >= self.node_ids.len() {
+            return Err(GraphError::UnknownNode(format!("{dst:?}")));
+        }
+        if self.by_edge_id.contains_key(&id) {
+            return Err(GraphError::DuplicateId(format!("edge #{}", id.0)));
+        }
+        let e = EdgeId(self.edge_ids.len() as u32);
+        self.edge_ids.push(id);
+        self.endpoints.push((src, dst));
+        self.out[src.index()].push(e);
+        self.inc[dst.index()].push(e);
+        self.by_edge_id.insert(id, e);
+        Ok(e)
+    }
+
+    /// Number of nodes `|N|`.
+    pub fn node_count(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Number of edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// `ρ(e)`: the `(source, target)` pair of `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[e.index()]
+    }
+
+    /// Source node of `e`.
+    #[inline]
+    pub fn source(&self, e: EdgeId) -> NodeId {
+        self.endpoints[e.index()].0
+    }
+
+    /// Target node of `e`.
+    #[inline]
+    pub fn target(&self, e: EdgeId) -> NodeId {
+        self.endpoints[e.index()].1
+    }
+
+    /// Outgoing edges of `n`, in insertion order.
+    #[inline]
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.out[n.index()]
+    }
+
+    /// Incoming edges of `n`, in insertion order.
+    #[inline]
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.inc[n.index()]
+    }
+
+    /// Out-degree of `n`.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out[n.index()].len()
+    }
+
+    /// In-degree of `n`.
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.inc[n.index()].len()
+    }
+
+    /// The **Const** identifier of node `n`.
+    pub fn node_id_sym(&self, n: NodeId) -> Sym {
+        self.node_ids[n.index()]
+    }
+
+    /// The **Const** identifier of edge `e`.
+    pub fn edge_id_sym(&self, e: EdgeId) -> Sym {
+        self.edge_ids[e.index()]
+    }
+
+    /// Looks up the node whose **Const** identifier is `id`.
+    pub fn node_by_sym(&self, id: Sym) -> Option<NodeId> {
+        self.by_node_id.get(&id).copied()
+    }
+
+    /// Looks up the edge whose **Const** identifier is `id`.
+    pub fn edge_by_sym(&self, id: Sym) -> Option<EdgeId> {
+        self.by_edge_id.get(&id).copied()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_ids.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edge_ids.len() as u32).map(EdgeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::Interner;
+
+    fn small() -> (Multigraph, Vec<NodeId>, Vec<EdgeId>) {
+        let mut it = Interner::new();
+        let mut g = Multigraph::new();
+        let ns: Vec<_> = (0..4)
+            .map(|i| g.add_node(it.intern(&format!("n{i}"))).unwrap())
+            .collect();
+        let es = vec![
+            g.add_edge(it.intern("e0"), ns[0], ns[1]).unwrap(),
+            g.add_edge(it.intern("e1"), ns[0], ns[1]).unwrap(), // parallel
+            g.add_edge(it.intern("e2"), ns[1], ns[2]).unwrap(),
+            g.add_edge(it.intern("e3"), ns[2], ns[2]).unwrap(), // self loop
+        ];
+        (g, ns, es)
+    }
+
+    #[test]
+    fn counts_and_endpoints() {
+        let (g, ns, es) = small();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.endpoints(es[0]), (ns[0], ns[1]));
+        assert_eq!(g.source(es[2]), ns[1]);
+        assert_eq!(g.target(es[2]), ns[2]);
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let (g, ns, es) = small();
+        assert_eq!(g.out_edges(ns[0]), &[es[0], es[1]]);
+        assert_ne!(es[0], es[1]);
+        assert_eq!(g.endpoints(es[0]), g.endpoints(es[1]));
+    }
+
+    #[test]
+    fn self_loop_counts_in_and_out() {
+        let (g, ns, es) = small();
+        assert_eq!(g.out_degree(ns[2]), 1);
+        assert_eq!(g.in_degree(ns[2]), 2); // e2 and the loop e3
+        assert_eq!(g.in_edges(ns[2]), &[es[2], es[3]]);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut it = Interner::new();
+        let mut g = Multigraph::new();
+        let id = it.intern("x");
+        g.add_node(id).unwrap();
+        assert!(matches!(g.add_node(id), Err(GraphError::DuplicateId(_))));
+    }
+
+    #[test]
+    fn edge_to_missing_node_rejected() {
+        let mut it = Interner::new();
+        let mut g = Multigraph::new();
+        let n = g.add_node(it.intern("a")).unwrap();
+        let bogus = NodeId(7);
+        assert!(matches!(
+            g.add_edge(it.intern("e"), n, bogus),
+            Err(GraphError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn sym_lookup_round_trips() {
+        let mut it = Interner::new();
+        let mut g = Multigraph::new();
+        let id = it.intern("n1");
+        let n = g.add_node(id).unwrap();
+        assert_eq!(g.node_by_sym(id), Some(n));
+        assert_eq!(g.node_id_sym(n), id);
+        assert_eq!(g.node_by_sym(it.intern("missing")), None);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let (g, _, _) = small();
+        assert_eq!(g.nodes().count(), 4);
+        assert_eq!(g.edges().count(), 4);
+    }
+}

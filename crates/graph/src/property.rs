@@ -1,0 +1,271 @@
+//! Property graphs `(N, E, ρ, λ, σ)` — Figure 2(b) of the paper.
+//!
+//! A property graph extends a [`LabeledGraph`] with a partial function
+//! `σ : (N ∪ E) × Const → Const`: `σ(o, p) = v` means property `p` of the
+//! object (node or edge) `o` has value `v`. Each object has values for a
+//! finite number of properties; we store them as small sorted vectors of
+//! `(property, value)` pairs.
+
+use crate::error::GraphError;
+use crate::labeled::LabeledGraph;
+use crate::multigraph::{EdgeId, NodeId};
+use crate::sym::Sym;
+
+/// A node or an edge — the domain `(N ∪ E)` of `σ`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Object {
+    /// A node object.
+    Node(NodeId),
+    /// An edge object.
+    Edge(EdgeId),
+}
+
+/// A property graph: a labeled graph plus `σ`.
+///
+/// ```
+/// use kgq_graph::PropertyGraph;
+/// let mut g = PropertyGraph::new();
+/// let n = g.add_node("n1", "person").unwrap();
+/// g.set_node_prop(n, "name", "Julia");
+/// g.set_node_prop(n, "age", "33");
+/// assert_eq!(g.node_prop_str(n, "age"), Some("33"));
+/// assert_eq!(g.node_prop_str(n, "zip"), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PropertyGraph {
+    labeled: LabeledGraph,
+    node_props: Vec<Vec<(Sym, Sym)>>,
+    edge_props: Vec<Vec<(Sym, Sym)>>,
+}
+
+impl PropertyGraph {
+    /// Creates an empty property graph.
+    pub fn new() -> Self {
+        PropertyGraph::default()
+    }
+
+    /// Wraps an existing labeled graph with an empty `σ`.
+    pub fn from_labeled(labeled: LabeledGraph) -> Self {
+        let node_props = vec![Vec::new(); labeled.node_count()];
+        let edge_props = vec![Vec::new(); labeled.edge_count()];
+        PropertyGraph {
+            labeled,
+            node_props,
+            edge_props,
+        }
+    }
+
+    /// Adds a node with identifier `id` and label `label`.
+    pub fn add_node(&mut self, id: &str, label: &str) -> Result<NodeId, GraphError> {
+        let n = self.labeled.add_node(id, label)?;
+        self.node_props.push(Vec::new());
+        Ok(n)
+    }
+
+    /// Adds an edge with identifier `id` and label `label`.
+    pub fn add_edge(
+        &mut self,
+        id: &str,
+        src: NodeId,
+        dst: NodeId,
+        label: &str,
+    ) -> Result<EdgeId, GraphError> {
+        let e = self.labeled.add_edge(id, src, dst, label)?;
+        self.edge_props.push(Vec::new());
+        Ok(e)
+    }
+
+    fn set_prop(list: &mut Vec<(Sym, Sym)>, p: Sym, v: Sym) {
+        match list.binary_search_by_key(&p, |&(k, _)| k) {
+            Ok(i) => list[i].1 = v,
+            Err(i) => list.insert(i, (p, v)),
+        }
+    }
+
+    /// Sets `σ(node, prop) = value`.
+    pub fn set_node_prop(&mut self, n: NodeId, prop: &str, value: &str) {
+        let p = self.labeled.intern(prop);
+        let v = self.labeled.intern(value);
+        Self::set_prop(&mut self.node_props[n.index()], p, v);
+    }
+
+    /// Sets `σ(edge, prop) = value`.
+    pub fn set_edge_prop(&mut self, e: EdgeId, prop: &str, value: &str) {
+        let p = self.labeled.intern(prop);
+        let v = self.labeled.intern(value);
+        Self::set_prop(&mut self.edge_props[e.index()], p, v);
+    }
+
+    /// `σ(node, prop)` as a symbol.
+    pub fn node_prop(&self, n: NodeId, prop: Sym) -> Option<Sym> {
+        let list = &self.node_props[n.index()];
+        list.binary_search_by_key(&prop, |&(k, _)| k)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// `σ(edge, prop)` as a symbol.
+    pub fn edge_prop(&self, e: EdgeId, prop: Sym) -> Option<Sym> {
+        let list = &self.edge_props[e.index()];
+        list.binary_search_by_key(&prop, |&(k, _)| k)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// `σ(node, prop)` as a string, by property name.
+    pub fn node_prop_str(&self, n: NodeId, prop: &str) -> Option<&str> {
+        let p = self.labeled.sym(prop)?;
+        self.node_prop(n, p).map(|v| self.labeled.label_name(v))
+    }
+
+    /// `σ(edge, prop)` as a string, by property name.
+    pub fn edge_prop_str(&self, e: EdgeId, prop: &str) -> Option<&str> {
+        let p = self.labeled.sym(prop)?;
+        self.edge_prop(e, p).map(|v| self.labeled.label_name(v))
+    }
+
+    /// All `(property, value)` pairs of a node, sorted by property symbol.
+    pub fn node_props(&self, n: NodeId) -> &[(Sym, Sym)] {
+        &self.node_props[n.index()]
+    }
+
+    /// All `(property, value)` pairs of an edge, sorted by property symbol.
+    pub fn edge_props(&self, e: EdgeId) -> &[(Sym, Sym)] {
+        &self.edge_props[e.index()]
+    }
+
+    /// `σ(o, p)` for an arbitrary object.
+    pub fn prop(&self, o: Object, p: Sym) -> Option<Sym> {
+        match o {
+            Object::Node(n) => self.node_prop(n, p),
+            Object::Edge(e) => self.edge_prop(e, p),
+        }
+    }
+
+    /// The underlying labeled graph `(N, E, ρ, λ)`.
+    #[inline]
+    pub fn labeled(&self) -> &LabeledGraph {
+        &self.labeled
+    }
+
+    /// Mutable access to the underlying labeled graph.
+    pub fn labeled_mut(&mut self) -> &mut LabeledGraph {
+        &mut self.labeled
+    }
+
+    /// Consumes `self`, dropping `σ` (the projection to the labeled model).
+    pub fn into_labeled(self) -> LabeledGraph {
+        self.labeled
+    }
+
+    /// The set of distinct property names used anywhere in the graph, sorted.
+    pub fn property_alphabet(&self) -> Vec<Sym> {
+        let mut v: Vec<Sym> = self
+            .node_props
+            .iter()
+            .chain(self.edge_props.iter())
+            .flat_map(|list| list.iter().map(|&(p, _)| p))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labeled.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.labeled.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let n1 = g.add_node("n1", "person").unwrap();
+        let n2 = g.add_node("n2", "person").unwrap();
+        let e = g.add_edge("e1", n1, n2, "contact").unwrap();
+        g.set_node_prop(n1, "name", "Julia");
+        g.set_node_prop(n1, "age", "33");
+        g.set_edge_prop(e, "date", "3/4/21");
+        g
+    }
+
+    #[test]
+    fn properties_are_partial() {
+        let g = sample();
+        let n2 = g.labeled().node_named("n2").unwrap();
+        assert_eq!(g.node_prop_str(n2, "name"), None);
+        let n1 = g.labeled().node_named("n1").unwrap();
+        assert_eq!(g.node_prop_str(n1, "name"), Some("Julia"));
+    }
+
+    #[test]
+    fn edge_properties_work() {
+        let g = sample();
+        let e = g.labeled().edge_named("e1").unwrap();
+        assert_eq!(g.edge_prop_str(e, "date"), Some("3/4/21"));
+        assert_eq!(g.edge_prop_str(e, "zip"), None);
+    }
+
+    #[test]
+    fn overwriting_a_property_replaces_it() {
+        let mut g = sample();
+        let n1 = g.labeled().node_named("n1").unwrap();
+        g.set_node_prop(n1, "age", "34");
+        assert_eq!(g.node_prop_str(n1, "age"), Some("34"));
+        assert_eq!(g.node_props(n1).len(), 2);
+    }
+
+    #[test]
+    fn props_stay_sorted_by_symbol() {
+        let g = sample();
+        let n1 = g.labeled().node_named("n1").unwrap();
+        let list = g.node_props(n1);
+        assert!(list.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn property_alphabet_collects_all() {
+        let g = sample();
+        let names: Vec<&str> = g
+            .property_alphabet()
+            .iter()
+            .map(|&p| g.labeled().label_name(p))
+            .collect();
+        assert!(names.contains(&"name"));
+        assert!(names.contains(&"age"));
+        assert!(names.contains(&"date"));
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn object_accessor_dispatches() {
+        let g = sample();
+        let n1 = g.labeled().node_named("n1").unwrap();
+        let e = g.labeled().edge_named("e1").unwrap();
+        let name = g.labeled().sym("name").unwrap();
+        let date = g.labeled().sym("date").unwrap();
+        assert!(g.prop(Object::Node(n1), name).is_some());
+        assert!(g.prop(Object::Edge(e), date).is_some());
+        assert!(g.prop(Object::Edge(e), name).is_none());
+    }
+
+    #[test]
+    fn from_labeled_preserves_structure() {
+        let mut lg = LabeledGraph::new();
+        let a = lg.add_node("a", "x").unwrap();
+        let b = lg.add_node("b", "y").unwrap();
+        lg.add_edge("e", a, b, "z").unwrap();
+        let pg = PropertyGraph::from_labeled(lg);
+        assert_eq!(pg.node_count(), 2);
+        assert_eq!(pg.edge_count(), 1);
+        assert!(pg.node_props(a).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Induced subgraph extraction.
+
+use crate::labeled::LabeledGraph;
+use crate::multigraph::NodeId;
+use crate::property::PropertyGraph;
+use std::collections::HashSet;
+
+/// The subgraph of `g` induced by `nodes`: those nodes (original
+/// identifiers and labels preserved) plus every edge whose endpoints both
+/// survive. Node/edge ids keep their **Const** names, so lookups by name
+/// still work; dense indices are renumbered.
+pub fn induced_subgraph(g: &LabeledGraph, nodes: &[NodeId]) -> LabeledGraph {
+    let keep: HashSet<NodeId> = nodes.iter().copied().collect();
+    let mut out = LabeledGraph::new();
+    for &n in nodes {
+        out.add_node(g.node_name(n), g.label_name(g.node_label(n)))
+            .expect("distinct node ids");
+    }
+    for e in g.base().edges() {
+        let (s, d) = g.base().endpoints(e);
+        if keep.contains(&s) && keep.contains(&d) {
+            let sn = out.node_named(g.node_name(s)).expect("kept");
+            let dn = out.node_named(g.node_name(d)).expect("kept");
+            out.add_edge(g.edge_name(e), sn, dn, g.label_name(g.edge_label(e)))
+                .expect("distinct edge ids");
+        }
+    }
+    out
+}
+
+/// Induced subgraph of a property graph, carrying `σ` along.
+pub fn induced_subgraph_property(g: &PropertyGraph, nodes: &[NodeId]) -> PropertyGraph {
+    let lg = g.labeled();
+    let keep: HashSet<NodeId> = nodes.iter().copied().collect();
+    let mut out = PropertyGraph::new();
+    for &n in nodes {
+        let new = out
+            .add_node(lg.node_name(n), lg.label_name(lg.node_label(n)))
+            .expect("distinct node ids");
+        for &(p, v) in g.node_props(n) {
+            let (p, v) = (lg.label_name(p).to_owned(), lg.label_name(v).to_owned());
+            out.set_node_prop(new, &p, &v);
+        }
+    }
+    for e in lg.base().edges() {
+        let (s, d) = lg.base().endpoints(e);
+        if keep.contains(&s) && keep.contains(&d) {
+            let sn = out.labeled().node_named(lg.node_name(s)).expect("kept");
+            let dn = out.labeled().node_named(lg.node_name(d)).expect("kept");
+            let new = out
+                .add_edge(lg.edge_name(e), sn, dn, lg.label_name(lg.edge_label(e)))
+                .expect("distinct edge ids");
+            for &(p, v) in g.edge_props(e) {
+                let (p, v) = (lg.label_name(p).to_owned(), lg.label_name(v).to_owned());
+                out.set_edge_prop(new, &p, &v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{figure2_labeled, figure2_property};
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = figure2_labeled();
+        let riders = ["n1", "n2", "n3", "n4"];
+        let nodes: Vec<NodeId> = riders.iter().map(|n| g.node_named(n).unwrap()).collect();
+        let sub = induced_subgraph(&g, &nodes);
+        assert_eq!(sub.node_count(), 4);
+        // e1, e2, e3 (rides) and e4 (contact n1->n4) survive; lives/owns
+        // edges lose an endpoint.
+        assert_eq!(sub.edge_count(), 4);
+        let n3 = sub.node_named("n3").unwrap();
+        assert_eq!(sub.label_name(sub.node_label(n3)), "bus");
+        assert!(sub.edge_named("e8").is_none());
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_graph() {
+        let g = figure2_labeled();
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.node_count(), 0);
+        assert_eq!(sub.edge_count(), 0);
+    }
+
+    #[test]
+    fn property_version_carries_sigma() {
+        let g = figure2_property();
+        let keep: Vec<NodeId> = ["n1", "n4"]
+            .iter()
+            .map(|n| g.labeled().node_named(n).unwrap())
+            .collect();
+        let sub = induced_subgraph_property(&g, &keep);
+        let n1 = sub.labeled().node_named("n1").unwrap();
+        assert_eq!(sub.node_prop_str(n1, "name"), Some("Julia"));
+        let e4 = sub.labeled().edge_named("e4").unwrap();
+        assert_eq!(sub.edge_prop_str(e4, "date"), Some("3/4/21"));
+        assert_eq!(sub.edge_count(), 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Interned constants.
+//!
+//! The paper assumes a universal set **Const** of constants (strings) used
+//! for node identifiers, edge identifiers, labels, property names and
+//! property values. [`Interner`] maps each distinct string to a compact
+//! [`Sym`] handle so that equality tests and hash lookups in query
+//! evaluation never touch string data.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to an interned constant from **Const**.
+///
+/// `Sym` is a plain `u32` index into the owning [`Interner`]; two syms from
+/// the same interner are equal iff their strings are equal. The value
+/// [`Sym::BOTTOM`] is reserved for the "no value" marker `⊥` used in
+/// vector-labeled graphs (paper, Figure 2(c)).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The reserved "absent value" constant `⊥` (always interned at index 0).
+    pub const BOTTOM: Sym = Sym(0);
+
+    /// Raw index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.0)
+    }
+}
+
+/// A string interner for the constant universe **Const**.
+///
+/// Index 0 is always the bottom marker `⊥`. Interning is idempotent:
+/// `intern(s)` returns the same [`Sym`] for the same string.
+///
+/// ```
+/// use kgq_graph::sym::{Interner, Sym};
+/// let mut it = Interner::new();
+/// let person = it.intern("person");
+/// assert_eq!(person, it.intern("person"));
+/// assert_eq!(it.resolve(person), "person");
+/// assert_eq!(it.resolve(Sym::BOTTOM), "⊥");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    lookup: HashMap<String, Sym>,
+}
+
+impl Interner {
+    /// Creates an interner containing only the reserved `⊥` constant.
+    pub fn new() -> Self {
+        let mut i = Interner {
+            strings: Vec::new(),
+            lookup: HashMap::new(),
+        };
+        let bottom = i.intern("⊥");
+        debug_assert_eq!(bottom, Sym::BOTTOM);
+        i
+    }
+
+    /// Interns `s`, returning its stable handle.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the handle for `s` if it has been interned before.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` does not belong to this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of interned constants (including `⊥`).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if only the reserved constant is present.
+    pub fn is_empty(&self) -> bool {
+        self.strings.len() <= 1
+    }
+
+    /// Iterates over `(Sym, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_is_index_zero() {
+        let it = Interner::new();
+        assert_eq!(it.resolve(Sym::BOTTOM), "⊥");
+        assert_eq!(it.len(), 1);
+        assert!(it.is_empty());
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("rides");
+        let b = it.intern("rides");
+        let c = it.intern("contact");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(it.resolve(a), "rides");
+        assert_eq!(it.resolve(c), "contact");
+        assert_eq!(it.len(), 3);
+        assert!(!it.is_empty());
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut it = Interner::new();
+        assert_eq!(it.get("x"), None);
+        let x = it.intern("x");
+        assert_eq!(it.get("x"), Some(x));
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut it = Interner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        let all: Vec<_> = it.iter().collect();
+        assert_eq!(all, vec![(Sym::BOTTOM, "⊥"), (a, "a"), (b, "b")]);
+    }
+
+    #[test]
+    fn sym_ordering_matches_interning_order() {
+        let mut it = Interner::new();
+        let a = it.intern("first");
+        let b = it.intern("second");
+        assert!(a < b);
+        assert!(Sym::BOTTOM < a);
+    }
+}

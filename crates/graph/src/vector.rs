@@ -1,0 +1,266 @@
+//! Vector-labeled graphs — Figure 2(c) of the paper.
+//!
+//! A vector-labeled graph of dimension `d ≥ 1` is `(N, E, ρ, λ)` where
+//! `λ : (N ∪ E) → Const^d` assigns a *feature vector* of `d` constants to
+//! every node and edge. The reserved constant `⊥` ([`Sym::BOTTOM`]) marks
+//! rows without a value, exactly as in the paper's Figure 2(c). This model
+//! unifies labels and properties and is the input format for
+//! message-passing algorithms (Weisfeiler–Lehman) and graph neural
+//! networks (Section 4.3).
+
+use crate::error::GraphError;
+use crate::multigraph::{EdgeId, Multigraph, NodeId};
+use crate::sym::{Interner, Sym};
+
+/// A vector-labeled graph of fixed dimension `d`.
+///
+/// Feature vectors are stored flattened (`node_feats[n*d .. (n+1)*d]`) for
+/// locality. Optional *feature names* document what each row means (e.g.
+/// `f1 = kind, f2 = name, …`); they are metadata only and play no role in
+/// semantics.
+///
+/// ```
+/// use kgq_graph::{VectorGraph, Sym};
+/// let mut g = VectorGraph::new(2);
+/// let bottom = "⊥";
+/// let n = g.add_node("n1", &["person", "Julia"]).unwrap();
+/// assert_eq!(g.feature_str(n, 0), "person");
+/// let m = g.add_node("n2", &["bus", bottom]).unwrap();
+/// assert_eq!(g.node_feature(m, 1), Sym::BOTTOM);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VectorGraph {
+    base: Multigraph,
+    dim: usize,
+    node_feats: Vec<Sym>,
+    edge_feats: Vec<Sym>,
+    feature_names: Vec<String>,
+    consts: Interner,
+}
+
+impl VectorGraph {
+    /// Creates an empty vector-labeled graph of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`; the paper requires `d ≥ 1`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1, "vector-labeled graphs require dimension d >= 1");
+        VectorGraph {
+            base: Multigraph::new(),
+            dim,
+            node_feats: Vec::new(),
+            edge_feats: Vec::new(),
+            feature_names: (1..=dim).map(|i| format!("f{i}")).collect(),
+            consts: Interner::new(),
+        }
+    }
+
+    /// Names the feature rows (`names.len()` must equal `d`).
+    pub fn set_feature_names(&mut self, names: &[&str]) -> Result<(), GraphError> {
+        if names.len() != self.dim {
+            return Err(GraphError::DimensionMismatch {
+                expected: self.dim,
+                got: names.len(),
+            });
+        }
+        self.feature_names = names.iter().map(|s| (*s).to_owned()).collect();
+        Ok(())
+    }
+
+    /// The dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Feature row names (`f1..fd` by default).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    fn intern_vec(&mut self, feats: &[&str]) -> Result<Vec<Sym>, GraphError> {
+        if feats.len() != self.dim {
+            return Err(GraphError::DimensionMismatch {
+                expected: self.dim,
+                got: feats.len(),
+            });
+        }
+        Ok(feats.iter().map(|s| self.consts.intern(s)).collect())
+    }
+
+    /// Adds a node with identifier `id` and feature vector `feats`.
+    pub fn add_node(&mut self, id: &str, feats: &[&str]) -> Result<NodeId, GraphError> {
+        let v = self.intern_vec(feats)?;
+        let id = self.consts.intern(id);
+        let n = self.base.add_node(id)?;
+        self.node_feats.extend_from_slice(&v);
+        Ok(n)
+    }
+
+    /// Adds an edge with identifier `id` and feature vector `feats`.
+    pub fn add_edge(
+        &mut self,
+        id: &str,
+        src: NodeId,
+        dst: NodeId,
+        feats: &[&str],
+    ) -> Result<EdgeId, GraphError> {
+        let v = self.intern_vec(feats)?;
+        let id = self.consts.intern(id);
+        let e = self.base.add_edge(id, src, dst)?;
+        self.edge_feats.extend_from_slice(&v);
+        Ok(e)
+    }
+
+    /// `λ(n)_i` — the `i`-th feature (0-based) of node `n`.
+    #[inline]
+    pub fn node_feature(&self, n: NodeId, i: usize) -> Sym {
+        debug_assert!(i < self.dim);
+        self.node_feats[n.index() * self.dim + i]
+    }
+
+    /// `λ(e)_i` — the `i`-th feature (0-based) of edge `e`.
+    #[inline]
+    pub fn edge_feature(&self, e: EdgeId, i: usize) -> Sym {
+        debug_assert!(i < self.dim);
+        self.edge_feats[e.index() * self.dim + i]
+    }
+
+    /// The full feature vector `λ(n)`.
+    pub fn node_vector(&self, n: NodeId) -> &[Sym] {
+        &self.node_feats[n.index() * self.dim..(n.index() + 1) * self.dim]
+    }
+
+    /// The full feature vector `λ(e)`.
+    pub fn edge_vector(&self, e: EdgeId) -> &[Sym] {
+        &self.edge_feats[e.index() * self.dim..(e.index() + 1) * self.dim]
+    }
+
+    /// String form of `λ(n)_i`.
+    pub fn feature_str(&self, n: NodeId, i: usize) -> &str {
+        self.consts.resolve(self.node_feature(n, i))
+    }
+
+    /// Overwrites a single node feature (message-passing updates).
+    pub fn set_node_feature(&mut self, n: NodeId, i: usize, value: &str) -> Result<(), GraphError> {
+        if i >= self.dim {
+            return Err(GraphError::FeatureOutOfRange {
+                index: i,
+                dim: self.dim,
+            });
+        }
+        let v = self.consts.intern(value);
+        self.node_feats[n.index() * self.dim + i] = v;
+        Ok(())
+    }
+
+    /// The underlying multigraph `(N, E, ρ)`.
+    #[inline]
+    pub fn base(&self) -> &Multigraph {
+        &self.base
+    }
+
+    /// The constant universe of this graph.
+    pub fn consts(&self) -> &Interner {
+        &self.consts
+    }
+
+    /// Mutable constant universe (for interning query constants).
+    pub fn consts_mut(&mut self) -> &mut Interner {
+        &mut self.consts
+    }
+
+    /// Looks up a node by its **Const** identifier string.
+    pub fn node_named(&self, id: &str) -> Option<NodeId> {
+        self.consts.get(id).and_then(|s| self.base.node_by_sym(s))
+    }
+
+    /// Human-readable name of node `n`.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        self.consts.resolve(self.base.node_id_sym(n))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.base.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VectorGraph {
+        let mut g = VectorGraph::new(3);
+        g.set_feature_names(&["kind", "name", "date"]).unwrap();
+        let a = g.add_node("n1", &["person", "Julia", "⊥"]).unwrap();
+        let b = g.add_node("n2", &["infected", "Pedro", "⊥"]).unwrap();
+        g.add_edge("e1", a, b, &["contact", "⊥", "3/4/21"]).unwrap();
+        g
+    }
+
+    #[test]
+    fn dimension_enforced() {
+        let mut g = VectorGraph::new(2);
+        assert!(matches!(
+            g.add_node("x", &["only-one"]),
+            Err(GraphError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 1")]
+    fn zero_dimension_rejected() {
+        let _ = VectorGraph::new(0);
+    }
+
+    #[test]
+    fn bottom_marks_missing_values() {
+        let g = sample();
+        let a = g.node_named("n1").unwrap();
+        assert_eq!(g.node_feature(a, 2), Sym::BOTTOM);
+        assert_ne!(g.node_feature(a, 0), Sym::BOTTOM);
+    }
+
+    #[test]
+    fn edge_features_accessible() {
+        let g = sample();
+        let e = EdgeId(0);
+        assert_eq!(g.consts().resolve(g.edge_feature(e, 0)), "contact");
+        assert_eq!(g.consts().resolve(g.edge_feature(e, 2)), "3/4/21");
+        assert_eq!(g.edge_vector(e).len(), 3);
+    }
+
+    #[test]
+    fn feature_names_default_and_custom() {
+        let g = VectorGraph::new(2);
+        assert_eq!(g.feature_names(), &["f1".to_string(), "f2".to_string()]);
+        let g = sample();
+        assert_eq!(g.feature_names()[1], "name");
+        let mut g2 = VectorGraph::new(2);
+        assert!(g2.set_feature_names(&["a"]).is_err());
+    }
+
+    #[test]
+    fn set_feature_updates_in_place() {
+        let mut g = sample();
+        let a = g.node_named("n1").unwrap();
+        g.set_node_feature(a, 0, "infected").unwrap();
+        assert_eq!(g.feature_str(a, 0), "infected");
+        assert!(g.set_node_feature(a, 9, "x").is_err());
+    }
+
+    #[test]
+    fn vectors_are_contiguous_slices() {
+        let g = sample();
+        let a = g.node_named("n1").unwrap();
+        let v = g.node_vector(a);
+        assert_eq!(v.len(), 3);
+        assert_eq!(g.consts().resolve(v[1]), "Julia");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the data-model layer: conversions and the
+//! text format are lossless on arbitrary graphs.
+
+use kgq_graph::convert::{property_to_vector, vector_to_property};
+use kgq_graph::io::{read_property, write_property};
+use kgq_graph::{NodeId, PropertyGraph};
+use proptest::prelude::*;
+
+const LABELS: [&str; 4] = ["person", "bus", "address", "company"];
+const EDGE_LABELS: [&str; 3] = ["rides", "contact", "lives"];
+const PROPS: [&str; 3] = ["name", "age", "zip"];
+const VALUES: [&str; 4] = ["x1", "x2", "x3", "x4"];
+
+#[derive(Clone, Debug)]
+struct Spec {
+    node_labels: Vec<usize>,
+    edges: Vec<(usize, usize, usize)>,
+    node_props: Vec<(usize, usize, usize)>,
+    edge_props: Vec<(usize, usize, usize)>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (1usize..10).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0..LABELS.len(), n),
+            proptest::collection::vec((0..n, 0..n, 0..EDGE_LABELS.len()), 0..15),
+            proptest::collection::vec((0..n, 0..PROPS.len(), 0..VALUES.len()), 0..12),
+        )
+            .prop_flat_map(move |(node_labels, edges, node_props)| {
+                let m = edges.len();
+                proptest::collection::vec((0..m.max(1), 0..PROPS.len(), 0..VALUES.len()), 0..8)
+                    .prop_map(move |edge_props| Spec {
+                        node_labels: node_labels.clone(),
+                        edges: edges.clone(),
+                        node_props: node_props.clone(),
+                        edge_props: if m == 0 { Vec::new() } else { edge_props },
+                    })
+            })
+    })
+}
+
+fn build(spec: &Spec) -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let nodes: Vec<NodeId> = spec
+        .node_labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| g.add_node(&format!("n{i}"), LABELS[l]).unwrap())
+        .collect();
+    let edges: Vec<_> = spec
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, d, l))| {
+            g.add_edge(&format!("e{i}"), nodes[s], nodes[d], EDGE_LABELS[l])
+                .unwrap()
+        })
+        .collect();
+    for &(n, p, v) in &spec.node_props {
+        g.set_node_prop(nodes[n], PROPS[p], VALUES[v]);
+    }
+    for &(e, p, v) in &spec.edge_props {
+        g.set_edge_prop(edges[e], PROPS[p], VALUES[v]);
+    }
+    g
+}
+
+fn props_equal(a: &PropertyGraph, b: &PropertyGraph) {
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.edge_count(), b.edge_count());
+    for n in a.labeled().base().nodes() {
+        assert_eq!(
+            a.labeled().label_name(a.labeled().node_label(n)),
+            b.labeled().label_name(b.labeled().node_label(n))
+        );
+        for p in PROPS {
+            assert_eq!(a.node_prop_str(n, p), b.node_prop_str(n, p), "node prop {p}");
+        }
+    }
+    for e in a.labeled().base().edges() {
+        assert_eq!(
+            a.labeled().base().endpoints(e),
+            b.labeled().base().endpoints(e)
+        );
+        assert_eq!(
+            a.labeled().label_name(a.labeled().edge_label(e)),
+            b.labeled().label_name(b.labeled().edge_label(e))
+        );
+        for p in PROPS {
+            assert_eq!(a.edge_prop_str(e, p), b.edge_prop_str(e, p), "edge prop {p}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vectorization_round_trips(spec in spec_strategy()) {
+        let g = build(&spec);
+        let vg = property_to_vector(&g).unwrap();
+        let back = vector_to_property(&vg).unwrap();
+        props_equal(&g, &back);
+    }
+
+    #[test]
+    fn text_format_round_trips(spec in spec_strategy()) {
+        let g = build(&spec);
+        let text = write_property(&g);
+        let back = read_property(&text).unwrap();
+        props_equal(&g, &back);
+    }
+
+    #[test]
+    fn vector_dim_is_one_plus_used_props(spec in spec_strategy()) {
+        let g = build(&spec);
+        let vg = property_to_vector(&g).unwrap();
+        let used = g.property_alphabet().len();
+        prop_assert_eq!(vg.dim(), 1 + used);
+    }
+}

@@ -1,0 +1,553 @@
+//! Two evaluators for first-order formulas over a labeled graph.
+//!
+//! * [`eval_naive`] — the textbook semantics: try every assignment,
+//!   looping over all `n` nodes at each quantifier. Time
+//!   `O(n^{q+|free|} · |φ|)` where `q` is the number of quantifiers: the
+//!   baseline the paper's §4.3 improves upon.
+//! * [`eval_bounded`] — bottom-up relational evaluation. Every subformula
+//!   is compiled to a table over its free variables; conjunction is a
+//!   hash join, disjunction a union after cylindrification, negation a
+//!   complement over the node domain, and ∃ a projection. All
+//!   intermediates have arity ≤ width(φ), which for the FO² rewriting ψ
+//!   means *binary tables only* — "the result of any join is always a
+//!   binary table, so no auxiliary relations with an arbitrary number of
+//!   columns need to be stored."
+
+use crate::formula::{Formula, Var};
+use kgq_graph::{LabeledGraph, NodeId, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// A labeled graph viewed as a finite relational structure.
+pub struct GraphStructure<'a> {
+    g: &'a LabeledGraph,
+    /// Binary relations per edge label: sorted `(src, dst)` pairs.
+    edges_by_label: HashMap<Sym, Vec<(NodeId, NodeId)>>,
+    /// Unary relations per node label.
+    nodes_by_label: HashMap<Sym, Vec<NodeId>>,
+}
+
+impl<'a> GraphStructure<'a> {
+    /// Indexes `g` by node and edge label.
+    pub fn new(g: &'a LabeledGraph) -> Self {
+        let mut edges_by_label: HashMap<Sym, Vec<(NodeId, NodeId)>> = HashMap::new();
+        for e in g.base().edges() {
+            let (s, d) = g.base().endpoints(e);
+            edges_by_label.entry(g.edge_label(e)).or_default().push((s, d));
+        }
+        for list in edges_by_label.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut nodes_by_label: HashMap<Sym, Vec<NodeId>> = HashMap::new();
+        for n in g.base().nodes() {
+            nodes_by_label.entry(g.node_label(n)).or_default().push(n);
+        }
+        GraphStructure {
+            g,
+            edges_by_label,
+            nodes_by_label,
+        }
+    }
+
+    fn holds_unary(&self, label: Sym, n: NodeId) -> bool {
+        self.g.node_label(n) == label
+    }
+
+    fn holds_binary(&self, label: Sym, a: NodeId, b: NodeId) -> bool {
+        self.edges_by_label
+            .get(&label)
+            .is_some_and(|list| list.binary_search(&(a, b)).is_ok())
+    }
+
+    fn n(&self) -> usize {
+        self.g.node_count()
+    }
+}
+
+// ---------------------------------------------------------------- naive
+
+fn naive_holds(s: &GraphStructure<'_>, f: &Formula, env: &mut HashMap<Var, NodeId>) -> bool {
+    match f {
+        Formula::Unary(l, x) => s.holds_unary(*l, env[x]),
+        Formula::Binary(l, x, y) => s.holds_binary(*l, env[x], env[y]),
+        Formula::Eq(x, y) => env[x] == env[y],
+        Formula::Not(g) => !naive_holds(s, g, env),
+        Formula::And(a, b) => naive_holds(s, a, env) && naive_holds(s, b, env),
+        Formula::Or(a, b) => naive_holds(s, a, env) || naive_holds(s, b, env),
+        Formula::Exists(v, g) => {
+            let saved = env.get(v).copied();
+            let mut found = false;
+            for n in 0..s.n() as u32 {
+                env.insert(*v, NodeId(n));
+                if naive_holds(s, g, env) {
+                    found = true;
+                    break;
+                }
+            }
+            match saved {
+                Some(old) => {
+                    env.insert(*v, old);
+                }
+                None => {
+                    env.remove(v);
+                }
+            }
+            found
+        }
+    }
+}
+
+/// Naive evaluation of a unary query `φ(x)`: the set of nodes `a` with
+/// `G ⊨ φ(a)`, by assignment enumeration.
+///
+/// # Panics
+/// Panics if `φ` has free variables other than `x`.
+pub fn eval_naive(g: &LabeledGraph, f: &Formula, x: Var) -> Vec<NodeId> {
+    let free = f.free_vars();
+    assert!(
+        free.iter().all(|v| *v == x),
+        "query must have at most the free variable {x:?}, got {free:?}"
+    );
+    let s = GraphStructure::new(g);
+    let mut result = Vec::new();
+    let mut env = HashMap::new();
+    for n in 0..s.n() as u32 {
+        env.insert(x, NodeId(n));
+        if naive_holds(&s, f, &mut env) {
+            result.push(NodeId(n));
+        }
+    }
+    result
+}
+
+// -------------------------------------------------------------- bounded
+
+/// A relation over a sorted list of variables (columns).
+#[derive(Clone, Debug)]
+struct Rel {
+    vars: Vec<Var>,
+    rows: HashSet<Vec<NodeId>>,
+}
+
+impl Rel {
+    fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The nullary relation: `{}` (false) or `{()}` (true).
+    fn nullary(truth: bool) -> Rel {
+        let mut rows = HashSet::new();
+        if truth {
+            rows.insert(Vec::new());
+        }
+        Rel {
+            vars: Vec::new(),
+            rows,
+        }
+    }
+
+    /// Cylindrify: extend to a superset of columns, crossing with the
+    /// full node domain for the new columns.
+    fn extend_to(&self, vars: &[Var], n: usize) -> Rel {
+        if self.vars == vars {
+            return self.clone();
+        }
+        let positions: Vec<Option<usize>> = vars
+            .iter()
+            .map(|v| self.vars.iter().position(|w| w == v))
+            .collect();
+        let new_cols: Vec<usize> = positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let mut rows = HashSet::new();
+        for row in &self.rows {
+            // Enumerate the cross product over new columns.
+            let mut stack: Vec<Vec<NodeId>> = vec![Vec::new()];
+            for _ in &new_cols {
+                let mut next = Vec::new();
+                for partial in stack {
+                    for v in 0..n as u32 {
+                        let mut p = partial.clone();
+                        p.push(NodeId(v));
+                        next.push(p);
+                    }
+                }
+                stack = next;
+            }
+            for fill in stack {
+                let mut out = Vec::with_capacity(vars.len());
+                let mut fi = 0;
+                for p in &positions {
+                    match p {
+                        Some(i) => out.push(row[*i]),
+                        None => {
+                            out.push(fill[fi]);
+                            fi += 1;
+                        }
+                    }
+                }
+                rows.insert(out);
+            }
+        }
+        Rel {
+            vars: vars.to_vec(),
+            rows,
+        }
+    }
+
+    /// Natural join on shared variables.
+    fn join(&self, other: &Rel) -> Rel {
+        let mut vars: Vec<Var> = self.vars.clone();
+        for v in &other.vars {
+            if !vars.contains(v) {
+                vars.push(*v);
+            }
+        }
+        vars.sort_unstable();
+        let shared: Vec<Var> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.vars.contains(v))
+            .collect();
+        // Build hash index on the smaller side.
+        let (probe, build) = if self.rows.len() >= other.rows.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let key_of = |rel: &Rel, row: &[NodeId]| -> Vec<NodeId> {
+            shared
+                .iter()
+                .map(|v| row[rel.vars.iter().position(|w| w == v).expect("shared var")])
+                .collect()
+        };
+        let mut index: HashMap<Vec<NodeId>, Vec<&Vec<NodeId>>> = HashMap::new();
+        for row in &build.rows {
+            index.entry(key_of(build, row)).or_default().push(row);
+        }
+        let mut rows = HashSet::new();
+        for prow in &probe.rows {
+            if let Some(matches) = index.get(&key_of(probe, prow)) {
+                for brow in matches {
+                    let mut out = Vec::with_capacity(vars.len());
+                    for v in &vars {
+                        let val = probe
+                            .vars
+                            .iter()
+                            .position(|w| w == v)
+                            .map(|i| prow[i])
+                            .or_else(|| {
+                                build.vars.iter().position(|w| w == v).map(|i| brow[i])
+                            })
+                            .expect("var in one side");
+                        out.push(val);
+                    }
+                    rows.insert(out);
+                }
+            }
+        }
+        Rel { vars, rows }
+    }
+
+    /// Project out variable `v` (∃).
+    fn project_out(&self, v: Var) -> Rel {
+        match self.vars.iter().position(|w| *w == v) {
+            None => self.clone(),
+            Some(i) => {
+                let mut vars = self.vars.clone();
+                vars.remove(i);
+                let mut rows = HashSet::new();
+                for row in &self.rows {
+                    let mut r = row.clone();
+                    r.remove(i);
+                    rows.insert(r);
+                }
+                Rel { vars, rows }
+            }
+        }
+    }
+
+    /// Complement over the node domain.
+    fn complement(&self, n: usize) -> Rel {
+        let mut rows = HashSet::new();
+        let arity = self.arity();
+        let mut stack: Vec<Vec<NodeId>> = vec![Vec::new()];
+        for _ in 0..arity {
+            let mut next = Vec::new();
+            for partial in stack {
+                for v in 0..n as u32 {
+                    let mut p = partial.clone();
+                    p.push(NodeId(v));
+                    next.push(p);
+                }
+            }
+            stack = next;
+        }
+        for row in stack {
+            if !self.rows.contains(&row) {
+                rows.insert(row);
+            }
+        }
+        Rel {
+            vars: self.vars.clone(),
+            rows,
+        }
+    }
+}
+
+/// Tracks the maximum intermediate arity seen during bounded evaluation —
+/// exposed so experiments can verify the "binary tables only" claim.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalStats {
+    /// Largest relation arity materialized.
+    pub max_arity: usize,
+    /// Largest relation cardinality materialized.
+    pub max_rows: usize,
+}
+
+fn eval_rel(s: &GraphStructure<'_>, f: &Formula, stats: &mut EvalStats) -> Rel {
+    let rel = match f {
+        Formula::Unary(l, x) => {
+            let rows: HashSet<Vec<NodeId>> = s
+                .nodes_by_label
+                .get(l)
+                .map(|list| list.iter().map(|&n| vec![n]).collect())
+                .unwrap_or_default();
+            Rel {
+                vars: vec![*x],
+                rows,
+            }
+        }
+        Formula::Binary(l, x, y) => {
+            if x == y {
+                // Self-loop pattern p(x, x).
+                let rows: HashSet<Vec<NodeId>> = s
+                    .edges_by_label
+                    .get(l)
+                    .map(|list| {
+                        list.iter()
+                            .filter(|(a, b)| a == b)
+                            .map(|&(a, _)| vec![a])
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Rel {
+                    vars: vec![*x],
+                    rows,
+                }
+            } else {
+                let swap = x > y;
+                let rows: HashSet<Vec<NodeId>> = s
+                    .edges_by_label
+                    .get(l)
+                    .map(|list| {
+                        list.iter()
+                            .map(|&(a, b)| if swap { vec![b, a] } else { vec![a, b] })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let vars = if swap { vec![*y, *x] } else { vec![*x, *y] };
+                Rel { vars, rows }
+            }
+        }
+        Formula::Eq(x, y) => {
+            if x == y {
+                Rel::nullary(true)
+            } else {
+                let rows: HashSet<Vec<NodeId>> = (0..s.n() as u32)
+                    .map(|v| vec![NodeId(v), NodeId(v)])
+                    .collect();
+                let mut vars = vec![*x, *y];
+                vars.sort_unstable();
+                Rel { vars, rows }
+            }
+        }
+        Formula::Not(g) => {
+            let inner = eval_rel(s, g, stats);
+            inner.complement(s.n())
+        }
+        Formula::And(a, b) => {
+            let ra = eval_rel(s, a, stats);
+            let rb = eval_rel(s, b, stats);
+            ra.join(&rb)
+        }
+        Formula::Or(a, b) => {
+            let ra = eval_rel(s, a, stats);
+            let rb = eval_rel(s, b, stats);
+            let mut vars: Vec<Var> = ra.vars.clone();
+            for v in &rb.vars {
+                if !vars.contains(v) {
+                    vars.push(*v);
+                }
+            }
+            vars.sort_unstable();
+            let ea = ra.extend_to(&vars, s.n());
+            let eb = rb.extend_to(&vars, s.n());
+            let mut rows = ea.rows;
+            rows.extend(eb.rows);
+            Rel { vars, rows }
+        }
+        Formula::Exists(v, g) => {
+            let inner = eval_rel(s, g, stats);
+            inner.project_out(*v)
+        }
+    };
+    stats.max_arity = stats.max_arity.max(rel.arity());
+    stats.max_rows = stats.max_rows.max(rel.rows.len());
+    rel
+}
+
+/// Bounded-variable evaluation of a unary query `φ(x)` with statistics.
+pub fn eval_bounded_stats(g: &LabeledGraph, f: &Formula, x: Var) -> (Vec<NodeId>, EvalStats) {
+    let free = f.free_vars();
+    assert!(
+        free.iter().all(|v| *v == x),
+        "query must have at most the free variable {x:?}, got {free:?}"
+    );
+    let s = GraphStructure::new(g);
+    let mut stats = EvalStats::default();
+    let rel = eval_rel(&s, f, &mut stats);
+    let rel = rel.extend_to(&[x], s.n());
+    let mut result: Vec<NodeId> = rel.rows.into_iter().map(|r| r[0]).collect();
+    result.sort_unstable();
+    result
+        .windows(2)
+        .for_each(|w| debug_assert!(w[0] != w[1], "set semantics"));
+    (result, stats)
+}
+
+/// Bounded-variable evaluation of a unary query `φ(x)`.
+pub fn eval_bounded(g: &LabeledGraph, f: &Formula, x: Var) -> Vec<NodeId> {
+    eval_bounded_stats(g, f, x).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::figures::figure2_labeled;
+    use kgq_graph::generate::gnm_labeled;
+    use kgq_graph::LabeledGraph;
+
+    fn paper_psi(g: &mut LabeledGraph) -> Formula {
+        let person = g.intern("person");
+        let rides = g.intern("rides");
+        let bus = g.intern("bus");
+        let infected = g.intern("infected");
+        let (x, y) = (Var(0), Var(1));
+        let inner = Formula::Binary(rides, x, y)
+            .and(Formula::Unary(infected, x))
+            .exists(x);
+        Formula::Unary(person, x).and(
+            Formula::Binary(rides, x, y)
+                .and(Formula::Unary(bus, y))
+                .and(inner)
+                .exists(y),
+        )
+    }
+
+    fn paper_phi(g: &mut LabeledGraph) -> Formula {
+        // Three-variable version: ∃y∃z (rides(x,y) ∧ bus(y) ∧ rides(z,y) ∧ infected(z))
+        let person = g.intern("person");
+        let rides = g.intern("rides");
+        let bus = g.intern("bus");
+        let infected = g.intern("infected");
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        Formula::Unary(person, x).and(
+            Formula::Binary(rides, x, y)
+                .and(Formula::Unary(bus, y))
+                .and(Formula::Binary(rides, z, y).and(Formula::Unary(infected, z)))
+                .exists(z)
+                .exists(y),
+        )
+    }
+
+    #[test]
+    fn psi_and_phi_agree_on_figure2() {
+        let mut g = figure2_labeled();
+        let psi = paper_psi(&mut g);
+        let phi = paper_phi(&mut g);
+        let a = eval_bounded(&g, &psi, Var(0));
+        let b = eval_naive(&g, &phi, Var(0));
+        let c = eval_naive(&g, &psi, Var(0));
+        let d = eval_bounded(&g, &phi, Var(0));
+        let names = |v: &Vec<kgq_graph::NodeId>| -> Vec<&str> {
+            v.iter().map(|&n| g.node_name(n)).collect()
+        };
+        assert_eq!(names(&a), vec!["n1", "n4"]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn bounded_psi_uses_only_binary_tables() {
+        let mut g = figure2_labeled();
+        let psi = paper_psi(&mut g);
+        let (_, stats) = eval_bounded_stats(&g, &psi, Var(0));
+        assert!(stats.max_arity <= 2, "arity {}", stats.max_arity);
+    }
+
+    #[test]
+    fn naive_and_bounded_agree_on_random_formulas() {
+        let mut g = gnm_labeled(8, 20, &["a", "b"], &["p", "q"], 13);
+        let pa = g.intern("a");
+        let p = g.intern("p");
+        let q = g.intern("q");
+        let (x, y) = (Var(0), Var(1));
+        let formulas = [
+            // a(x) ∧ ∃y p(x,y)
+            Formula::Unary(pa, x).and(Formula::Binary(p, x, y).exists(y)),
+            // ∃y (p(x,y) ∧ ¬q(x,y))
+            Formula::Binary(p, x, y)
+                .and(Formula::Binary(q, x, y).not())
+                .exists(y),
+            // ∃y (p(x,y) ∨ q(y,x))
+            Formula::Binary(p, x, y).or(Formula::Binary(q, y, x)).exists(y),
+            // ¬∃y p(y,x)
+            Formula::Binary(p, y, x).exists(y).not(),
+            // ∃y (p(x,y) ∧ x = y)  — self loop
+            Formula::Binary(p, x, y).and(Formula::Eq(x, y)).exists(y),
+        ];
+        for (i, f) in formulas.iter().enumerate() {
+            let a = eval_naive(&g, f, x);
+            let b = eval_bounded(&g, f, x);
+            assert_eq!(a, b, "formula #{i}");
+        }
+    }
+
+    #[test]
+    fn negation_is_domain_complement() {
+        let mut g = figure2_labeled();
+        let bus = g.intern("bus");
+        let f = Formula::Unary(bus, Var(0)).not();
+        let res = eval_bounded(&g, &f, Var(0));
+        assert_eq!(res.len(), 7); // all but n3
+        assert_eq!(eval_naive(&g, &f, Var(0)), res);
+    }
+
+    #[test]
+    fn self_loop_atom() {
+        let mut g = LabeledGraph::new();
+        let a = g.add_node("a", "x").unwrap();
+        let b = g.add_node("b", "x").unwrap();
+        g.add_edge("e1", a, a, "p").unwrap();
+        g.add_edge("e2", a, b, "p").unwrap();
+        let p = g.intern("p");
+        let f = Formula::Binary(p, Var(0), Var(0));
+        assert_eq!(eval_bounded(&g, &f, Var(0)), vec![a]);
+        assert_eq!(eval_naive(&g, &f, Var(0)), vec![a]);
+    }
+
+    #[test]
+    fn free_variable_mismatch_panics() {
+        let mut g = figure2_labeled();
+        let p = g.intern("rides");
+        let f = Formula::Binary(p, Var(0), Var(1));
+        let r = std::panic::catch_unwind(|| eval_bounded(&g, &f, Var(0)));
+        assert!(r.is_err());
+    }
+}

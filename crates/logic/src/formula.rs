@@ -1,0 +1,162 @@
+//! First-order formulas over graph signatures.
+//!
+//! Signature: every node label is a unary predicate, every edge label a
+//! binary predicate (§4.3 of the paper). Variables are small integers;
+//! the *width* of a formula — the number of distinct variables — is the
+//! resource that bounded-variable evaluation exploits.
+
+use kgq_graph::Sym;
+use std::collections::BTreeSet;
+
+/// A first-order variable (formulas with width `k` use `Var(0..k)`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u8);
+
+/// A first-order formula over the graph signature.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// `label(x)` — node `x` carries this label.
+    Unary(Sym, Var),
+    /// `label(x, y)` — an edge labeled `label` from `x` to `y`.
+    Binary(Sym, Var, Var),
+    /// `x = y`.
+    Eq(Var, Var),
+    /// `¬φ`.
+    Not(Box<Formula>),
+    /// `φ ∧ ψ`.
+    And(Box<Formula>, Box<Formula>),
+    /// `φ ∨ ψ`.
+    Or(Box<Formula>, Box<Formula>),
+    /// `∃x φ`.
+    Exists(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// `self ∧ other`.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `∃v self`.
+    pub fn exists(self, v: Var) -> Formula {
+        Formula::Exists(v, Box::new(self))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        match self {
+            Formula::Unary(_, x) => BTreeSet::from([*x]),
+            Formula::Binary(_, x, y) | Formula::Eq(x, y) => BTreeSet::from([*x, *y]),
+            Formula::Not(f) => f.free_vars(),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                let mut s = a.free_vars();
+                s.extend(b.free_vars());
+                s
+            }
+            Formula::Exists(v, f) => {
+                let mut s = f.free_vars();
+                s.remove(v);
+                s
+            }
+        }
+    }
+
+    /// All variables occurring (free or bound).
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        match self {
+            Formula::Unary(_, x) => BTreeSet::from([*x]),
+            Formula::Binary(_, x, y) | Formula::Eq(x, y) => BTreeSet::from([*x, *y]),
+            Formula::Not(f) => f.all_vars(),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                let mut s = a.all_vars();
+                s.extend(b.all_vars());
+                s
+            }
+            Formula::Exists(v, f) => {
+                let mut s = f.all_vars();
+                s.insert(*v);
+                s
+            }
+        }
+    }
+
+    /// The width: number of distinct variables. The key complexity
+    /// parameter of §4.3 (Vardi \[68\]).
+    pub fn width(&self) -> usize {
+        self.all_vars().len()
+    }
+
+    /// Number of quantifiers (drives the naive evaluator's exponent).
+    pub fn quantifier_count(&self) -> usize {
+        match self {
+            Formula::Unary(..) | Formula::Binary(..) | Formula::Eq(..) => 0,
+            Formula::Not(f) => f.quantifier_count(),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.quantifier_count() + b.quantifier_count()
+            }
+            Formula::Exists(_, f) => 1 + f.quantifier_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::Interner;
+
+    fn paper_psi() -> (Formula, Interner) {
+        // ψ(x) = person(x) ∧ ∃y (rides(x,y) ∧ bus(y) ∧ ∃x (rides(x,y) ∧ infected(x)))
+        let mut it = Interner::new();
+        let person = it.intern("person");
+        let rides = it.intern("rides");
+        let bus = it.intern("bus");
+        let infected = it.intern("infected");
+        let (x, y) = (Var(0), Var(1));
+        let inner = Formula::Binary(rides, x, y)
+            .and(Formula::Unary(infected, x))
+            .exists(x);
+        let psi = Formula::Unary(person, x).and(
+            Formula::Binary(rides, x, y)
+                .and(Formula::Unary(bus, y))
+                .and(inner)
+                .exists(y),
+        );
+        (psi, it)
+    }
+
+    #[test]
+    fn psi_has_width_two() {
+        let (psi, _) = paper_psi();
+        assert_eq!(psi.width(), 2);
+        assert_eq!(psi.quantifier_count(), 2);
+        assert_eq!(psi.free_vars(), BTreeSet::from([Var(0)]));
+    }
+
+    #[test]
+    fn exists_binds() {
+        let f = Formula::Eq(Var(0), Var(1)).exists(Var(1));
+        assert_eq!(f.free_vars(), BTreeSet::from([Var(0)]));
+        assert_eq!(f.all_vars(), BTreeSet::from([Var(0), Var(1)]));
+    }
+
+    #[test]
+    fn width_counts_distinct_not_occurrences() {
+        let mut it = Interner::new();
+        let p = it.intern("p");
+        let f = Formula::Binary(p, Var(0), Var(1))
+            .and(Formula::Binary(p, Var(1), Var(0)))
+            .and(Formula::Binary(p, Var(0), Var(0)));
+        assert_eq!(f.width(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based equivalence of the two FO evaluators on random
+//! formulas and random graphs.
+
+use kgq_graph::{LabeledGraph, NodeId, Sym};
+use kgq_logic::{eval_bounded, eval_naive, Formula, Var};
+use proptest::prelude::*;
+
+const NODE_LABELS: [&str; 2] = ["a", "b"];
+const EDGE_LABELS: [&str; 2] = ["p", "q"];
+
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    node_labels: Vec<usize>,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0..NODE_LABELS.len(), n),
+            proptest::collection::vec((0..n, 0..n, 0..EDGE_LABELS.len()), 0..10),
+        )
+            .prop_map(|(node_labels, edges)| GraphSpec { node_labels, edges })
+    })
+}
+
+fn build(spec: &GraphSpec) -> LabeledGraph {
+    let mut g = LabeledGraph::new();
+    // Intern every label up front so strategies can reference them even
+    // when a random graph does not use one.
+    for l in NODE_LABELS.iter().chain(EDGE_LABELS.iter()) {
+        g.intern(l);
+    }
+    let nodes: Vec<NodeId> = spec
+        .node_labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| g.add_node(&format!("n{i}"), NODE_LABELS[l]).unwrap())
+        .collect();
+    for (i, &(s, d, l)) in spec.edges.iter().enumerate() {
+        g.add_edge(&format!("e{i}"), nodes[s], nodes[d], EDGE_LABELS[l])
+            .unwrap();
+    }
+    g
+}
+
+/// Random formulas over two variables whose only free variable is x
+/// (every y occurrence sits under ∃y).
+fn formula_strategy(nl: Vec<Sym>, el: Vec<Sym>) -> impl Strategy<Value = Formula> {
+    let (x, y) = (Var(0), Var(1));
+    // Leaves over x only.
+    let leaf_x = {
+        let nl = nl.clone();
+        let el = el.clone();
+        prop_oneof![
+            (0..nl.len()).prop_map({
+                let nl = nl.clone();
+                move |i| Formula::Unary(nl[i], x)
+            }),
+            (0..el.len()).prop_map({
+                let el = el.clone();
+                move |i| Formula::Binary(el[i], x, x)
+            }),
+        ]
+    };
+    // Bodies over {x, y} (used inside ∃y).
+    let leaf_xy = prop_oneof![
+        (0..nl.len()).prop_map({
+            let nl = nl.clone();
+            move |i| Formula::Unary(nl[i], y)
+        }),
+        (0..el.len()).prop_map({
+            let el = el.clone();
+            move |i| Formula::Binary(el[i], x, y)
+        }),
+        (0..el.len()).prop_map({
+            let el = el.clone();
+            move |i| Formula::Binary(el[i], y, x)
+        }),
+        Just(Formula::Eq(x, y)),
+    ];
+    let body = leaf_xy.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    });
+    let quantified = body.prop_map(move |b| b.exists(y));
+    let base = prop_oneof![leaf_x, quantified];
+    base.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn naive_and_bounded_agree(
+        (spec, formula) in graph_strategy().prop_flat_map(|spec| {
+            let g = build(&spec);
+            let nl: Vec<Sym> = NODE_LABELS.iter().map(|l| g.sym(l).unwrap()).collect();
+            let el: Vec<Sym> = EDGE_LABELS.iter().map(|l| g.sym(l).unwrap()).collect();
+            (Just(spec), formula_strategy(nl, el))
+        })
+    ) {
+        let g = build(&spec);
+        prop_assert!(formula.free_vars().iter().all(|v| *v == Var(0)));
+        let naive = eval_naive(&g, &formula, Var(0));
+        let bounded = eval_bounded(&g, &formula, Var(0));
+        prop_assert_eq!(naive, bounded);
+    }
+}

@@ -1,0 +1,199 @@
+//! A reader/writer for an N-Triples subset.
+//!
+//! Supported terms: IRIs `<...>`, simple literals `"..."` (with `\"` and
+//! `\\` escapes), and blank nodes `_:name`. Each line is
+//! `subject predicate object .`; `#` starts a comment.
+
+use crate::store::TripleStore;
+use kgq_graph::GraphError;
+
+fn parse_term(input: &str, pos: &mut usize, line: usize) -> Result<String, GraphError> {
+    let bytes = input.as_bytes();
+    while *pos < bytes.len() && (bytes[*pos] == b' ' || bytes[*pos] == b'\t') {
+        *pos += 1;
+    }
+    let err = |message: String| GraphError::Parse { line, message };
+    if *pos >= bytes.len() {
+        return Err(err("unexpected end of line".into()));
+    }
+    match bytes[*pos] {
+        b'<' => {
+            let start = *pos + 1;
+            let end = input[start..]
+                .find('>')
+                .ok_or_else(|| err("unterminated IRI".into()))?;
+            *pos = start + end + 1;
+            Ok(input[start..start + end].to_owned())
+        }
+        b'"' => {
+            let mut out = String::new();
+            let mut i = *pos + 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(err("unterminated literal".into()));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        if i + 1 >= bytes.len() {
+                            return Err(err("dangling escape".into()));
+                        }
+                        match bytes[i + 1] {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            c => return Err(err(format!("unknown escape \\{}", c as char))),
+                        }
+                        i += 2;
+                    }
+                    _ => {
+                        // Copy one UTF-8 code point.
+                        let ch = input[i..].chars().next().expect("in bounds");
+                        out.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            *pos = i;
+            Ok(format!("\"{out}\""))
+        }
+        b'_' => {
+            if *pos + 1 >= bytes.len() || bytes[*pos + 1] != b':' {
+                return Err(err("blank node must start with _:".into()));
+            }
+            let start = *pos;
+            let mut i = *pos + 2;
+            while i < bytes.len() && !(bytes[i] as char).is_whitespace() {
+                i += 1;
+            }
+            *pos = i;
+            Ok(input[start..i].to_owned())
+        }
+        c => Err(err(format!("unexpected character `{}`", c as char))),
+    }
+}
+
+/// Parses N-Triples text into a store.
+pub fn parse_ntriples(input: &str) -> Result<TripleStore, GraphError> {
+    let mut st = TripleStore::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut pos = 0;
+        let s = parse_term(line, &mut pos, lineno)?;
+        let p = parse_term(line, &mut pos, lineno)?;
+        let o = parse_term(line, &mut pos, lineno)?;
+        let rest = line[pos..].trim();
+        if rest != "." {
+            return Err(GraphError::Parse {
+                line: lineno,
+                message: format!("expected terminating `.`, found `{rest}`"),
+            });
+        }
+        st.insert_strs(&s, &p, &o);
+    }
+    Ok(st)
+}
+
+fn write_term(term: &str, out: &mut String) {
+    if let Some(lit) = term.strip_prefix('"') {
+        // Stored literals keep their quotes; re-escape on output.
+        let body = lit.strip_suffix('"').unwrap_or(lit);
+        out.push('"');
+        for c in body.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    } else if term.starts_with("_:") {
+        out.push_str(term);
+    } else {
+        out.push('<');
+        out.push_str(term);
+        out.push('>');
+    }
+}
+
+/// Serializes a store as N-Triples (sorted for determinism).
+pub fn write_ntriples(st: &TripleStore) -> String {
+    let mut out = String::new();
+    for t in st.iter() {
+        write_term(st.term_str(t.s), &mut out);
+        out.push(' ');
+        write_term(st.term_str(t.p), &mut out);
+        out.push(' ');
+        write_term(st.term_str(t.o), &mut out);
+        out.push_str(" .\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_iris_literals_and_blanks() {
+        let text = r#"
+# a comment
+<http://ex.org/alice> <http://ex.org/knows> <http://ex.org/bob> .
+<http://ex.org/alice> <http://ex.org/name> "Alice \"A\"" .
+_:b0 <http://ex.org/age> "33" .
+"#;
+        let st = parse_ntriples(text).unwrap();
+        assert_eq!(st.len(), 3);
+        assert!(st.get_term("http://ex.org/alice").is_some());
+        assert!(st.get_term("\"Alice \"A\"\"").is_some());
+        assert!(st.get_term("_:b0").is_some());
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "<a> <p> <b> .\n<a> <name> \"x y\" .\n_:n <p> <b> .\n";
+        let st = parse_ntriples(text).unwrap();
+        let out = write_ntriples(&st);
+        let st2 = parse_ntriples(&out).unwrap();
+        assert_eq!(st.len(), st2.len());
+        for t in st.iter() {
+            let s = st.term_str(t.s);
+            let p = st.term_str(t.p);
+            let o = st.term_str(t.o);
+            let t2 = crate::store::Triple {
+                s: st2.get_term(s).unwrap(),
+                p: st2.get_term(p).unwrap(),
+                o: st2.get_term(o).unwrap(),
+            };
+            assert!(st2.contains(t2), "missing {s} {p} {o}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_ntriples("<a> <p> .\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = parse_ntriples("<a> <p> <b>\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = parse_ntriples("<a> <p> \"unterminated .\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = parse_ntriples("<a> <p> <b> .\nbogus\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn duplicate_lines_collapse() {
+        let st = parse_ntriples("<a> <p> <b> .\n<a> <p> <b> .\n").unwrap();
+        assert_eq!(st.len(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Forward-chaining RDFS-style inference — the "producing new knowledge"
+//! facet of §2.3 ("deducing, e.g. by means of logical reasoners").
+//!
+//! Implements the core RDFS entailment rules by semi-naive forward
+//! chaining to a fixpoint, materializing inferred triples back into the
+//! store:
+//!
+//! | rule | premise | conclusion |
+//! |------|---------|------------|
+//! | rdfs2 | `(p, domain, C)`, `(x, p, y)` | `(x, type, C)` |
+//! | rdfs3 | `(p, range, C)`, `(x, p, y)` | `(y, type, C)` |
+//! | rdfs5 | `(p, subPropertyOf, q)`, `(q, subPropertyOf, r)` | `(p, subPropertyOf, r)` |
+//! | rdfs7 | `(p, subPropertyOf, q)`, `(x, p, y)` | `(x, q, y)` |
+//! | rdfs9 | `(C, subClassOf, D)`, `(x, type, C)` | `(x, type, D)` |
+//! | rdfs11 | `(C, subClassOf, D)`, `(D, subClassOf, E)` | `(C, subClassOf, E)` |
+
+use crate::convert::RDF_TYPE;
+use crate::store::{Triple, TripleStore};
+use kgq_graph::Sym;
+
+/// `rdfs:subClassOf`.
+pub const RDFS_SUBCLASS: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+/// `rdfs:subPropertyOf`.
+pub const RDFS_SUBPROPERTY: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+/// `rdfs:domain`.
+pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+/// `rdfs:range`.
+pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+
+/// Result of materialization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InferenceStats {
+    /// Triples added by inference.
+    pub inferred: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs RDFS forward chaining to a fixpoint, inserting inferred triples
+/// into `st`. Returns how many triples were added.
+pub fn materialize_rdfs(st: &mut TripleStore) -> InferenceStats {
+    let ty = st.term(RDF_TYPE);
+    let subclass = st.term(RDFS_SUBCLASS);
+    let subprop = st.term(RDFS_SUBPROPERTY);
+    let domain = st.term(RDFS_DOMAIN);
+    let range = st.term(RDFS_RANGE);
+
+    let mut inferred = 0usize;
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut fresh: Vec<Triple> = Vec::new();
+        let schema_preds = [subclass, subprop, domain, range];
+
+        // Collect schema axioms (they are small relative to data).
+        let sub_classes: Vec<(Sym, Sym)> = st
+            .scan(None, Some(subclass), None)
+            .map(|t| (t.s, t.o))
+            .collect();
+        let sub_props: Vec<(Sym, Sym)> = st
+            .scan(None, Some(subprop), None)
+            .map(|t| (t.s, t.o))
+            .collect();
+        let domains: Vec<(Sym, Sym)> = st
+            .scan(None, Some(domain), None)
+            .map(|t| (t.s, t.o))
+            .collect();
+        let ranges: Vec<(Sym, Sym)> = st
+            .scan(None, Some(range), None)
+            .map(|t| (t.s, t.o))
+            .collect();
+
+        // rdfs11: transitivity of subClassOf.
+        for &(c, d) in &sub_classes {
+            for &(d2, e) in &sub_classes {
+                if d == d2 {
+                    fresh.push(Triple {
+                        s: c,
+                        p: subclass,
+                        o: e,
+                    });
+                }
+            }
+        }
+        // rdfs5: transitivity of subPropertyOf.
+        for &(p, q) in &sub_props {
+            for &(q2, r) in &sub_props {
+                if q == q2 {
+                    fresh.push(Triple {
+                        s: p,
+                        p: subprop,
+                        o: r,
+                    });
+                }
+            }
+        }
+        // rdfs9: subclass inheritance of instances.
+        for &(c, d) in &sub_classes {
+            for t in st.scan(None, Some(ty), Some(c)) {
+                fresh.push(Triple {
+                    s: t.s,
+                    p: ty,
+                    o: d,
+                });
+            }
+        }
+        // rdfs7: subproperty entailment on data triples.
+        for &(p, q) in &sub_props {
+            if schema_preds.contains(&p) {
+                continue; // keep schema vocabulary out of rule loops
+            }
+            for t in st.scan(None, Some(p), None) {
+                fresh.push(Triple {
+                    s: t.s,
+                    p: q,
+                    o: t.o,
+                });
+            }
+        }
+        // rdfs2 / rdfs3: domain and range typing.
+        for &(p, c) in &domains {
+            for t in st.scan(None, Some(p), None) {
+                fresh.push(Triple {
+                    s: t.s,
+                    p: ty,
+                    o: c,
+                });
+            }
+        }
+        for &(p, c) in &ranges {
+            for t in st.scan(None, Some(p), None) {
+                fresh.push(Triple {
+                    s: t.o,
+                    p: ty,
+                    o: c,
+                });
+            }
+        }
+
+        let mut added_this_round = 0usize;
+        for t in fresh {
+            if st.insert(t) {
+                added_this_round += 1;
+            }
+        }
+        inferred += added_this_round;
+        if added_this_round == 0 {
+            break;
+        }
+    }
+    InferenceStats { inferred, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term(st: &TripleStore, s: &str) -> Sym {
+        st.get_term(s).expect("term exists")
+    }
+
+    #[test]
+    fn subclass_inheritance_is_transitive() {
+        let mut st = TripleStore::new();
+        st.insert_strs("Student", RDFS_SUBCLASS, "Person");
+        st.insert_strs("Person", RDFS_SUBCLASS, "Agent");
+        st.insert_strs("ana", RDF_TYPE, "Student");
+        let stats = materialize_rdfs(&mut st);
+        assert!(stats.inferred >= 3);
+        let ty = term(&st, RDF_TYPE);
+        let ana = term(&st, "ana");
+        for class in ["Person", "Agent"] {
+            let c = term(&st, class);
+            assert!(
+                st.contains(Triple { s: ana, p: ty, o: c }),
+                "ana should be a {class}"
+            );
+        }
+        // Derived schema triple from rdfs11.
+        assert!(st.contains(Triple {
+            s: term(&st, "Student"),
+            p: term(&st, RDFS_SUBCLASS),
+            o: term(&st, "Agent"),
+        }));
+    }
+
+    #[test]
+    fn subproperty_entailment() {
+        let mut st = TripleStore::new();
+        st.insert_strs("advisedBy", RDFS_SUBPROPERTY, "knows");
+        st.insert_strs("ana", "advisedBy", "marie");
+        materialize_rdfs(&mut st);
+        assert!(st.contains(Triple {
+            s: term(&st, "ana"),
+            p: term(&st, "knows"),
+            o: term(&st, "marie"),
+        }));
+    }
+
+    #[test]
+    fn domain_and_range_typing() {
+        let mut st = TripleStore::new();
+        st.insert_strs("teaches", RDFS_DOMAIN, "Professor");
+        st.insert_strs("teaches", RDFS_RANGE, "Course");
+        st.insert_strs("marie", "teaches", "physics101");
+        materialize_rdfs(&mut st);
+        let ty = term(&st, RDF_TYPE);
+        assert!(st.contains(Triple {
+            s: term(&st, "marie"),
+            p: ty,
+            o: term(&st, "Professor"),
+        }));
+        assert!(st.contains(Triple {
+            s: term(&st, "physics101"),
+            p: ty,
+            o: term(&st, "Course"),
+        }));
+    }
+
+    #[test]
+    fn rules_chain_across_rounds() {
+        // advisedBy ⊑ knows, knows has domain Person, Person ⊑ Agent:
+        // typing requires three chained rules.
+        let mut st = TripleStore::new();
+        st.insert_strs("advisedBy", RDFS_SUBPROPERTY, "knows");
+        st.insert_strs("knows", RDFS_DOMAIN, "Person");
+        st.insert_strs("Person", RDFS_SUBCLASS, "Agent");
+        st.insert_strs("ana", "advisedBy", "marie");
+        let stats = materialize_rdfs(&mut st);
+        assert!(stats.rounds >= 2, "needs chaining, got {stats:?}");
+        let ty = term(&st, RDF_TYPE);
+        assert!(st.contains(Triple {
+            s: term(&st, "ana"),
+            p: ty,
+            o: term(&st, "Agent"),
+        }));
+    }
+
+    #[test]
+    fn materialization_is_idempotent() {
+        let mut st = TripleStore::new();
+        st.insert_strs("Student", RDFS_SUBCLASS, "Person");
+        st.insert_strs("ana", RDF_TYPE, "Student");
+        materialize_rdfs(&mut st);
+        let size = st.len();
+        let again = materialize_rdfs(&mut st);
+        assert_eq!(again.inferred, 0);
+        assert_eq!(st.len(), size);
+    }
+
+    #[test]
+    fn no_schema_means_no_inference() {
+        let mut st = TripleStore::new();
+        st.insert_strs("a", "p", "b");
+        st.insert_strs("b", "q", "c");
+        let stats = materialize_rdfs(&mut st);
+        assert_eq!(stats.inferred, 0);
+    }
+
+    #[test]
+    fn inferred_triples_are_queryable_downstream() {
+        // Inference feeds the path-query machinery: after materialization
+        // the labeled-graph view sees the derived `knows` edges.
+        use crate::convert::rdf_to_labeled;
+        let mut st = TripleStore::new();
+        st.insert_strs("advisedBy", RDFS_SUBPROPERTY, "knows");
+        st.insert_strs("ana", "advisedBy", "marie");
+        st.insert_strs("marie", "advisedBy", "paul");
+        materialize_rdfs(&mut st);
+        let g = rdf_to_labeled(&st).unwrap();
+        let knows = g.sym("knows").unwrap();
+        assert_eq!(g.edges_with_label(knows).len(), 2);
+    }
+}

@@ -1,0 +1,323 @@
+//! A SPARQL-flavored `SELECT` front-end for basic graph patterns.
+//!
+//! The paper points to SPARQL \[38\] as "the" declarative language for
+//! RDF. This module parses the conjunctive core:
+//!
+//! ```text
+//! SELECT ?p ?b WHERE { ?p <rides> ?b . ?p a <person> . ?b a <bus> }
+//! ```
+//!
+//! * variables are `?name`;
+//! * IRIs are `<...>`; literals are `"..."`;
+//! * `a` abbreviates `rdf:type` as in SPARQL/Turtle;
+//! * triple patterns are separated by `.` (trailing dot optional);
+//! * `SELECT *` projects every variable in order of first appearance.
+//!
+//! Evaluation delegates to the [`crate::bgp`] engine.
+
+use crate::bgp::{Bgp, TermPattern, TriplePattern};
+use crate::convert::RDF_TYPE;
+use crate::store::TripleStore;
+use std::fmt;
+
+/// Parse error for SELECT queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparqlParseError {
+    /// Byte offset.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SparqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for SparqlParseError {}
+
+/// A parsed SELECT query.
+#[derive(Clone, Debug)]
+pub struct SelectQuery {
+    /// Projection list (resolved, never `*`).
+    pub vars: Vec<String>,
+    /// The WHERE pattern.
+    pub pattern: Bgp,
+}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, SparqlParseError> {
+        Err(SparqlParseError {
+            pos: self.pos,
+            message: message.to_owned(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src.as_bytes()[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            let boundary = rest[kw.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            if boundary {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn variable(&mut self) -> Result<String, SparqlParseError> {
+        if !self.eat("?") {
+            return self.err("expected `?variable`");
+        }
+        let rest = &self.src[self.pos..];
+        let len = rest
+            .char_indices()
+            .take_while(|&(i, c)| {
+                if i == 0 {
+                    c.is_alphabetic() || c == '_'
+                } else {
+                    c.is_alphanumeric() || c == '_'
+                }
+            })
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        if len == 0 {
+            return self.err("empty variable name");
+        }
+        let name = rest[..len].to_owned();
+        self.pos += len;
+        Ok(name)
+    }
+
+    /// A term pattern position: variable, `<iri>`, `"literal"`, or `a`.
+    fn term(
+        &mut self,
+        st: &mut TripleStore,
+        predicate_position: bool,
+    ) -> Result<TermPattern, SparqlParseError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.starts_with('?') {
+            return Ok(TermPattern::Var(self.variable()?));
+        }
+        if rest.starts_with('<') {
+            let end = rest.find('>').ok_or_else(|| SparqlParseError {
+                pos: self.pos,
+                message: "unterminated IRI".to_owned(),
+            })?;
+            let iri = rest[1..end].to_owned();
+            self.pos += end + 1;
+            return Ok(TermPattern::Const(st.term(&iri)));
+        }
+        if let Some(body) = rest.strip_prefix('"') {
+            let end = body.find('"').ok_or_else(|| SparqlParseError {
+                pos: self.pos,
+                message: "unterminated literal".to_owned(),
+            })?;
+            let lit = format!("\"{}\"", &body[..end]);
+            self.pos += end + 2;
+            return Ok(TermPattern::Const(st.term(&lit)));
+        }
+        if predicate_position && self.eat_keyword("a") {
+            return Ok(TermPattern::Const(st.term(RDF_TYPE)));
+        }
+        self.err("expected a variable, `<iri>`, `\"literal\"` or `a`")
+    }
+}
+
+/// Parses a SELECT query, interning constants into `st`.
+pub fn parse_select(input: &str, st: &mut TripleStore) -> Result<SelectQuery, SparqlParseError> {
+    let mut p = P { src: input, pos: 0 };
+    if !p.eat_keyword("SELECT") {
+        return p.err("query must start with SELECT");
+    }
+    let mut vars = Vec::new();
+    let star = p.eat("*");
+    if !star {
+        loop {
+            p.skip_ws();
+            if p.src[p.pos..].starts_with('?') {
+                let v = p.variable()?;
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            } else {
+                break;
+            }
+        }
+        if vars.is_empty() {
+            return p.err("SELECT needs at least one variable or `*`");
+        }
+    }
+    if !p.eat_keyword("WHERE") {
+        return p.err("expected WHERE");
+    }
+    if !p.eat("{") {
+        return p.err("expected `{`");
+    }
+    let mut pattern = Bgp::new();
+    let mut seen_vars: Vec<String> = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat("}") {
+            break;
+        }
+        let s = p.term(st, false)?;
+        let pred = p.term(st, true)?;
+        let o = p.term(st, false)?;
+        for t in [&s, &pred, &o] {
+            if let TermPattern::Var(v) = t {
+                if !seen_vars.contains(v) {
+                    seen_vars.push(v.clone());
+                }
+            }
+        }
+        pattern.patterns.push(TriplePattern { s, p: pred, o });
+        // `.` separates patterns; also allowed before `}`.
+        let _ = p.eat(".");
+    }
+    if pattern.patterns.is_empty() {
+        return p.err("WHERE block has no triple patterns");
+    }
+    p.skip_ws();
+    if p.pos != input.len() {
+        return p.err("trailing input");
+    }
+    let vars = if star { seen_vars.clone() } else { vars };
+    // Projected variables must occur in the pattern.
+    for v in &vars {
+        if !seen_vars.contains(v) {
+            return Err(SparqlParseError {
+                pos: 0,
+                message: format!("projected variable ?{v} not bound in WHERE"),
+            });
+        }
+    }
+    Ok(SelectQuery { vars, pattern })
+}
+
+/// Parses and evaluates a SELECT query, returning rows of term strings
+/// in projection order, sorted for determinism.
+pub fn select(st: &mut TripleStore, query: &str) -> Result<Vec<Vec<String>>, SparqlParseError> {
+    let q = parse_select(query, st)?;
+    let mut rows: Vec<Vec<String>> = q
+        .pattern
+        .solve(st)
+        .into_iter()
+        .map(|binding| {
+            q.vars
+                .iter()
+                .map(|v| st.term_str(binding[v]).to_owned())
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows.dedup();
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripleStore {
+        let mut st = TripleStore::new();
+        st.insert_strs("julia", RDF_TYPE, "person");
+        st.insert_strs("ana", RDF_TYPE, "person");
+        st.insert_strs("b7", RDF_TYPE, "bus");
+        st.insert_strs("julia", "rides", "b7");
+        st.insert_strs("ana", "rides", "b7");
+        st.insert_strs("julia", "name", "\"Julia\"");
+        st
+    }
+
+    #[test]
+    fn basic_select_with_type_abbreviation() {
+        let mut st = sample();
+        let rows = select(
+            &mut st,
+            "SELECT ?p WHERE { ?p <rides> ?b . ?p a <person> . ?b a <bus> }",
+        )
+        .unwrap();
+        assert_eq!(rows, vec![vec!["ana"], vec!["julia"]]);
+    }
+
+    #[test]
+    fn select_star_projects_in_first_appearance_order() {
+        let mut st = sample();
+        let q = parse_select("SELECT * WHERE { ?x <rides> ?y }", &mut st).unwrap();
+        assert_eq!(q.vars, vec!["x", "y"]);
+        let rows = select(&mut st, "SELECT * WHERE { ?x <rides> ?y }").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec!["ana", "b7"]);
+    }
+
+    #[test]
+    fn literals_in_object_position() {
+        let mut st = sample();
+        let rows = select(&mut st, "SELECT ?p WHERE { ?p <name> \"Julia\" }").unwrap();
+        assert_eq!(rows, vec![vec!["julia"]]);
+    }
+
+    #[test]
+    fn multiline_and_trailing_dot() {
+        let mut st = sample();
+        let rows = select(
+            &mut st,
+            "SELECT ?p ?b WHERE {\n  ?p <rides> ?b .\n  ?p a <person> .\n}",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].len(), 2);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let mut st = sample();
+        let e = select(&mut st, "ASK { ?x <p> ?y }").unwrap_err();
+        assert!(e.message.contains("SELECT"));
+        let e = select(&mut st, "SELECT ?x WHERE { }").unwrap_err();
+        assert!(e.message.contains("no triple patterns"));
+        let e = select(&mut st, "SELECT ?z WHERE { ?x <p> ?y }").unwrap_err();
+        assert!(e.message.contains("not bound"));
+        let e = select(&mut st, "SELECT ?x WHERE { ?x <p ?y }").unwrap_err();
+        assert!(e.message.contains("unterminated IRI"));
+        let e = select(&mut st, "SELECT ?x WHERE { ?x <p> ?y } garbage").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn keyword_case_and_a_as_variable_name() {
+        let mut st = sample();
+        // `a` in subject/object position is NOT the type keyword.
+        let rows = select(&mut st, "select ?a where { ?a a <bus> }").unwrap();
+        assert_eq!(rows, vec![vec!["b7"]]);
+    }
+}

@@ -1,0 +1,268 @@
+//! The triple store.
+//!
+//! An RDF graph is "a set of triples `(s, p, o)` such that
+//! `s, p, o ∈ Const`" (paper, §3). Terms are interned strings; the store
+//! keeps three clustered B-tree indexes (SPO, POS, OSP) so that any
+//! single triple pattern is answered by a range scan on the index whose
+//! prefix covers the bound positions.
+
+use kgq_graph::{Interner, Sym};
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+/// A triple `(subject, predicate, object)` of interned terms.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Triple {
+    /// Subject.
+    pub s: Sym,
+    /// Predicate.
+    pub p: Sym,
+    /// Object.
+    pub o: Sym,
+}
+
+/// An RDF graph with SPO/POS/OSP indexes.
+#[derive(Clone, Debug, Default)]
+pub struct TripleStore {
+    terms: Interner,
+    spo: BTreeSet<(Sym, Sym, Sym)>,
+    pos: BTreeSet<(Sym, Sym, Sym)>,
+    osp: BTreeSet<(Sym, Sym, Sym)>,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TripleStore {
+            terms: Interner::new(),
+            ..TripleStore::default()
+        }
+    }
+
+    /// Interns a term.
+    pub fn term(&mut self, s: &str) -> Sym {
+        self.terms.intern(s)
+    }
+
+    /// Looks up a term without interning.
+    pub fn get_term(&self, s: &str) -> Option<Sym> {
+        self.terms.get(s)
+    }
+
+    /// Resolves a term to its string.
+    pub fn term_str(&self, s: Sym) -> &str {
+        self.terms.resolve(s)
+    }
+
+    /// The term universe.
+    pub fn terms(&self) -> &Interner {
+        &self.terms
+    }
+
+    /// Inserts a triple of already-interned terms. Returns `false` if it
+    /// was already present (RDF graphs are sets).
+    pub fn insert(&mut self, t: Triple) -> bool {
+        let fresh = self.spo.insert((t.s, t.p, t.o));
+        if fresh {
+            self.pos.insert((t.p, t.o, t.s));
+            self.osp.insert((t.o, t.s, t.p));
+        }
+        fresh
+    }
+
+    /// Convenience: intern three strings and insert.
+    pub fn insert_strs(&mut self, s: &str, p: &str, o: &str) -> bool {
+        let t = Triple {
+            s: self.term(s),
+            p: self.term(p),
+            o: self.term(o),
+        };
+        self.insert(t)
+    }
+
+    /// Removes a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: Triple) -> bool {
+        let was = self.spo.remove(&(t.s, t.p, t.o));
+        if was {
+            self.pos.remove(&(t.p, t.o, t.s));
+            self.osp.remove(&(t.o, t.s, t.p));
+        }
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.spo.contains(&(t.s, t.p, t.o))
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// All triples matching a pattern with optionally bound positions,
+    /// using the best index for the bound prefix:
+    ///
+    /// | bound            | index | cost               |
+    /// |------------------|-------|--------------------|
+    /// | s, s+p, s+p+o    | SPO   | range scan         |
+    /// | p, p+o           | POS   | range scan         |
+    /// | o, o+s           | OSP   | range scan         |
+    /// | none             | SPO   | full scan          |
+    /// | s+o              | OSP   | range scan + filter|
+    pub fn scan(
+        &self,
+        s: Option<Sym>,
+        p: Option<Sym>,
+        o: Option<Sym>,
+    ) -> Box<dyn Iterator<Item = Triple> + '_> {
+        const MIN: Sym = Sym(0);
+        const MAX: Sym = Sym(u32::MAX);
+        fn range3(
+            set: &BTreeSet<(Sym, Sym, Sym)>,
+            a: Option<Sym>,
+            b: Option<Sym>,
+            c: Option<Sym>,
+        ) -> impl Iterator<Item = (Sym, Sym, Sym)> + '_ {
+            let lo = (
+                a.unwrap_or(MIN),
+                if a.is_some() { b.unwrap_or(MIN) } else { MIN },
+                if a.is_some() && b.is_some() {
+                    c.unwrap_or(MIN)
+                } else {
+                    MIN
+                },
+            );
+            let hi = (
+                a.unwrap_or(MAX),
+                if a.is_some() { b.unwrap_or(MAX) } else { MAX },
+                if a.is_some() && b.is_some() {
+                    c.unwrap_or(MAX)
+                } else {
+                    MAX
+                },
+            );
+            set.range((Bound::Included(lo), Bound::Included(hi)))
+                .copied()
+        }
+        match (s, p, o) {
+            // s + o bound (p free): OSP covers (o, s).
+            (Some(_), None, Some(_)) => Box::new(
+                range3(&self.osp, o, s, None).map(|(o, s, p)| Triple { s, p, o }),
+            ),
+            // Any other s-bound combination: SPO prefix.
+            (Some(_), _, _) => Box::new(
+                range3(&self.spo, s, p, o).map(|(s, p, o)| Triple { s, p, o }),
+            ),
+            // p (+ o) bound: POS.
+            (None, Some(_), _) => Box::new(
+                range3(&self.pos, p, o, None).map(|(p, o, s)| Triple { s, p, o }),
+            ),
+            // o bound only: OSP.
+            (None, None, Some(_)) => Box::new(
+                range3(&self.osp, o, None, None).map(|(o, s, p)| Triple { s, p, o }),
+            ),
+            // Nothing bound: full scan.
+            (None, None, None) => Box::new(
+                self.spo.iter().map(|&(s, p, o)| Triple { s, p, o }),
+            ),
+        }
+    }
+
+    /// Count of matches for a pattern (consumes the scan).
+    pub fn count(&self, s: Option<Sym>, p: Option<Sym>, o: Option<Sym>) -> usize {
+        self.scan(s, p, o).count()
+    }
+
+    /// Iterates over all triples.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripleStore {
+        let mut st = TripleStore::new();
+        st.insert_strs("alice", "knows", "bob");
+        st.insert_strs("alice", "knows", "carol");
+        st.insert_strs("bob", "knows", "carol");
+        st.insert_strs("alice", "type", "Person");
+        st.insert_strs("bob", "type", "Person");
+        st.insert_strs("b7", "type", "Bus");
+        st
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut st = sample();
+        assert_eq!(st.len(), 6);
+        assert!(!st.insert_strs("alice", "knows", "bob"));
+        assert_eq!(st.len(), 6);
+        let t = Triple {
+            s: st.term("alice"),
+            p: st.term("knows"),
+            o: st.term("bob"),
+        };
+        assert!(st.contains(t));
+        assert!(st.remove(t));
+        assert!(!st.contains(t));
+        assert_eq!(st.len(), 5);
+        assert!(!st.remove(t));
+    }
+
+    #[test]
+    fn scans_by_every_bound_combination() {
+        let st = sample();
+        let alice = st.get_term("alice").unwrap();
+        let knows = st.get_term("knows").unwrap();
+        let carol = st.get_term("carol").unwrap();
+        let person = st.get_term("Person").unwrap();
+        let ty = st.get_term("type").unwrap();
+
+        assert_eq!(st.count(Some(alice), None, None), 3);
+        assert_eq!(st.count(Some(alice), Some(knows), None), 2);
+        assert_eq!(st.count(Some(alice), Some(knows), Some(carol)), 1);
+        assert_eq!(st.count(None, Some(knows), None), 3);
+        assert_eq!(st.count(None, Some(ty), Some(person)), 2);
+        assert_eq!(st.count(None, None, Some(carol)), 2);
+        assert_eq!(st.count(Some(alice), None, Some(carol)), 1);
+        assert_eq!(st.count(None, None, None), 6);
+    }
+
+    #[test]
+    fn scan_results_match_filter_semantics() {
+        let st = sample();
+        let knows = st.get_term("knows").unwrap();
+        let expected: Vec<Triple> = st.iter().filter(|t| t.p == knows).collect();
+        let mut got: Vec<Triple> = st.scan(None, Some(knows), None).collect();
+        got.sort();
+        let mut expected = expected;
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_pattern_on_empty_store() {
+        let st = TripleStore::new();
+        assert!(st.is_empty());
+        assert_eq!(st.count(None, None, None), 0);
+    }
+
+    #[test]
+    fn universal_interpretation_of_terms() {
+        // Interning the same string twice yields the same term — the
+        // paper's "universal interpretation" of constants.
+        let mut st = TripleStore::new();
+        let a1 = st.term("http://ex.org/alice");
+        let a2 = st.term("http://ex.org/alice");
+        assert_eq!(a1, a2);
+    }
+}

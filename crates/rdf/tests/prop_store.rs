@@ -1,0 +1,82 @@
+//! Property-based tests for the triple store: every index-selected scan
+//! agrees with full-scan filtering, and insert/remove keep the three
+//! indexes consistent.
+
+use kgq_rdf::{Triple, TripleStore};
+use proptest::prelude::*;
+
+const TERMS: usize = 6;
+
+fn store_from(triples: &[(usize, usize, usize)]) -> TripleStore {
+    let mut st = TripleStore::new();
+    for &(s, p, o) in triples {
+        st.insert_strs(&format!("t{s}"), &format!("t{p}"), &format!("t{o}"));
+    }
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scans_match_filter_semantics(
+        triples in proptest::collection::vec((0..TERMS, 0..TERMS, 0..TERMS), 0..40),
+        pattern in (proptest::option::of(0..TERMS), proptest::option::of(0..TERMS), proptest::option::of(0..TERMS)),
+    ) {
+        let st = store_from(&triples);
+        let term = |i: usize| st.get_term(&format!("t{i}"));
+        let (ps, pp, po) = pattern;
+        // If a pattern term was never interned there can be no matches.
+        let s = ps.map(term);
+        let p = pp.map(term);
+        let o = po.map(term);
+        if s == Some(None) || p == Some(None) || o == Some(None) {
+            return Ok(());
+        }
+        let s = s.flatten();
+        let p = p.flatten();
+        let o = o.flatten();
+        let mut scanned: Vec<Triple> = st.scan(s, p, o).collect();
+        scanned.sort();
+        scanned.dedup();
+        let mut filtered: Vec<Triple> = st
+            .iter()
+            .filter(|t| s.is_none_or(|x| t.s == x))
+            .filter(|t| p.is_none_or(|x| t.p == x))
+            .filter(|t| o.is_none_or(|x| t.o == x))
+            .collect();
+        filtered.sort();
+        prop_assert_eq!(scanned, filtered);
+    }
+
+    #[test]
+    fn insert_remove_keep_indexes_consistent(
+        ops in proptest::collection::vec((any::<bool>(), 0..TERMS, 0..TERMS, 0..TERMS), 1..60),
+    ) {
+        let mut st = TripleStore::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for (insert, s, p, o) in ops {
+            let t = Triple {
+                s: st.term(&format!("t{s}")),
+                p: st.term(&format!("t{p}")),
+                o: st.term(&format!("t{o}")),
+            };
+            if insert {
+                let fresh = st.insert(t);
+                prop_assert_eq!(fresh, reference.insert((t.s, t.p, t.o)));
+            } else {
+                let was = st.remove(t);
+                prop_assert_eq!(was, reference.remove(&(t.s, t.p, t.o)));
+            }
+            prop_assert_eq!(st.len(), reference.len());
+        }
+        // All three index-backed access paths see the same triples.
+        for &(s, p, o) in &reference {
+            let t = Triple { s, p, o };
+            prop_assert!(st.contains(t));
+            prop_assert!(st.scan(Some(s), None, None).any(|x| x == t));
+            prop_assert!(st.scan(None, Some(p), None).any(|x| x == t));
+            prop_assert!(st.scan(None, None, Some(o)).any(|x| x == t));
+        }
+    }
+}

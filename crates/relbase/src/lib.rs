@@ -1,0 +1,33 @@
+//! # kgq-relbase — graphs in a relational database
+//!
+//! Section 2.2 of the reproduced paper: "Classical relational databases
+//! are flexible enough to represent a graph, e.g. by a two attribute
+//! relation storing its edges. In this representation, nodes are entries
+//! and paths are constructed by successive joins. Why then do we need
+//! graph databases? … joins are expensive and thus, reasoning about paths
+//! becomes very costly."
+//!
+//! This crate makes that baseline concrete:
+//!
+//! * [`relation`] — a tiny set-semantics relational engine (selection,
+//!   projection, hash join, union, difference);
+//! * [`rpq`] — regular path queries compiled to relational algebra:
+//!   edge labels become binary relations, concatenation a join +
+//!   projection, alternation a union, Kleene star a semi-naive
+//!   transitive closure. The result is the `(start, end)` pair semantics,
+//!   directly comparable against the native product-automaton evaluation
+//!   in `kgq-core` (experiment E9).
+
+//! ```
+//! use kgq_relbase::Relation;
+//!
+//! let edges = Relation::from_rows(2, vec![vec![1, 2], vec![2, 3]]);
+//! let two_hop = edges.join(&edges, &[(1, 0)]).project(&[0, 2]);
+//! assert!(two_hop.contains(&[1, 3]));
+//! ```
+
+pub mod relation;
+pub mod rpq;
+
+pub use relation::Relation;
+pub use rpq::{rpq_join_pairs, UnsupportedExpr};

@@ -1,0 +1,224 @@
+//! A minimal set-semantics relational engine.
+//!
+//! Rows are vectors of `u64` values (node ids, interned symbols — the
+//! engine is value-agnostic). All operators materialize their results;
+//! duplicate elimination is eager, matching the set semantics of the
+//! relational algebra the paper's §2.2 baseline assumes.
+
+use std::collections::{HashMap, HashSet};
+
+/// A relation: a set of fixed-arity rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    rows: HashSet<Vec<u64>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn empty(arity: usize) -> Relation {
+        Relation {
+            arity,
+            rows: HashSet::new(),
+        }
+    }
+
+    /// Builds a relation from rows.
+    ///
+    /// # Panics
+    /// Panics if rows disagree on arity.
+    pub fn from_rows(arity: usize, rows: impl IntoIterator<Item = Vec<u64>>) -> Relation {
+        let mut r = Relation::empty(arity);
+        for row in rows {
+            r.insert(row);
+        }
+        r
+    }
+
+    /// Inserts one row; returns `false` for duplicates.
+    pub fn insert(&mut self, row: Vec<u64>) -> bool {
+        assert_eq!(row.len(), self.arity, "arity mismatch");
+        self.rows.insert(row)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[u64]) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Iterates over rows (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<u64>> {
+        self.rows.iter()
+    }
+
+    /// Rows sorted lexicographically (deterministic output).
+    pub fn sorted_rows(&self) -> Vec<Vec<u64>> {
+        let mut v: Vec<Vec<u64>> = self.rows.iter().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// σ — keep rows satisfying the predicate.
+    pub fn select<F: Fn(&[u64]) -> bool>(&self, pred: F) -> Relation {
+        Relation {
+            arity: self.arity,
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// π — keep the given columns in order (may repeat or drop columns).
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        assert!(cols.iter().all(|&c| c < self.arity), "column out of range");
+        let rows: HashSet<Vec<u64>> = self
+            .rows
+            .iter()
+            .map(|r| cols.iter().map(|&c| r[c]).collect())
+            .collect();
+        Relation {
+            arity: cols.len(),
+            rows,
+        }
+    }
+
+    /// ⋈ — hash join on `on = [(left_col, right_col)]` equality pairs.
+    /// Output columns: all of `self`, then the non-join columns of
+    /// `other` in order.
+    pub fn join(&self, other: &Relation, on: &[(usize, usize)]) -> Relation {
+        assert!(on.iter().all(|&(l, r)| l < self.arity && r < other.arity));
+        let right_keep: Vec<usize> = (0..other.arity)
+            .filter(|c| !on.iter().any(|&(_, rc)| rc == *c))
+            .collect();
+        let arity = self.arity + right_keep.len();
+        // Build on the smaller input.
+        let mut index: HashMap<Vec<u64>, Vec<&Vec<u64>>> = HashMap::new();
+        for row in &other.rows {
+            let key: Vec<u64> = on.iter().map(|&(_, rc)| row[rc]).collect();
+            index.entry(key).or_default().push(row);
+        }
+        let mut rows = HashSet::new();
+        for lrow in &self.rows {
+            let key: Vec<u64> = on.iter().map(|&(lc, _)| lrow[lc]).collect();
+            if let Some(matches) = index.get(&key) {
+                for rrow in matches {
+                    let mut out = lrow.clone();
+                    out.extend(right_keep.iter().map(|&c| rrow[c]));
+                    rows.insert(out);
+                }
+            }
+        }
+        Relation { arity, rows }
+    }
+
+    /// ∪ — set union (same arity required).
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        Relation {
+            arity: self.arity,
+            rows,
+        }
+    }
+
+    /// ∖ — set difference (same arity required).
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "arity mismatch");
+        Relation {
+            arity: self.arity,
+            rows: self.rows.difference(&other.rows).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges() -> Relation {
+        Relation::from_rows(2, vec![vec![1, 2], vec![2, 3], vec![3, 4], vec![1, 3]])
+    }
+
+    #[test]
+    fn set_semantics_dedupe() {
+        let mut r = Relation::empty(2);
+        assert!(r.insert(vec![1, 2]));
+        assert!(!r.insert(vec![1, 2]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked_on_insert() {
+        let mut r = Relation::empty(2);
+        r.insert(vec![1]);
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = edges().select(|row| row[0] == 1);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[1, 2]));
+        assert!(r.contains(&[1, 3]));
+    }
+
+    #[test]
+    fn project_drops_and_dedupes() {
+        let r = edges().project(&[0]);
+        assert_eq!(r.arity(), 1);
+        assert_eq!(r.len(), 3); // {1, 2, 3}
+        let swapped = edges().project(&[1, 0]);
+        assert!(swapped.contains(&[2, 1]));
+    }
+
+    #[test]
+    fn join_composes_paths() {
+        // edges ⋈ edges on (dst = src): 2-hop pairs with middle column.
+        let e = edges();
+        let two_hop = e.join(&e, &[(1, 0)]).project(&[0, 2]);
+        assert_eq!(two_hop.sorted_rows(), vec![
+            vec![1, 3],
+            vec![1, 4],
+            vec![2, 4],
+        ]);
+    }
+
+    #[test]
+    fn join_with_no_matches_is_empty() {
+        let e = edges();
+        let none = Relation::from_rows(2, vec![vec![9, 9]]);
+        assert!(e.join(&none, &[(1, 0)]).is_empty());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = Relation::from_rows(1, vec![vec![1], vec![2]]);
+        let b = Relation::from_rows(1, vec![vec![2], vec![3]]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.difference(&b).sorted_rows(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn multi_column_join_keys() {
+        let a = Relation::from_rows(3, vec![vec![1, 2, 3], vec![1, 2, 4]]);
+        let b = Relation::from_rows(3, vec![vec![1, 2, 9], vec![9, 9, 9]]);
+        let j = a.join(&b, &[(0, 0), (1, 1)]);
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&[1, 2, 3, 9]));
+    }
+}

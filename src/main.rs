@@ -1,0 +1,274 @@
+//! `kgq` — command-line interface to the library.
+//!
+//! ```text
+//! kgq generate contact --people 50 --seed 7        # emit a graph (text format)
+//! kgq query GRAPH 'EXPR' [pairs|starts|count K|enumerate K|sample K N]
+//! kgq cypher GRAPH 'MATCH ... RETURN ...'
+//! kgq analytics GRAPH [pagerank|betweenness|components|diameter|densest]
+//! kgq rdf FILE.nt path 'EXPR' | infer
+//! ```
+//!
+//! Graphs use the text format of `kgq::graph::io` (`node`/`edge`/`nprop`/
+//! `eprop` lines); RDF files are N-Triples.
+
+use kgq::analytics;
+use kgq::core::{
+    count_paths, enumerate_paths, eval_pairs, parse_expr, Evaluator, PropertyView,
+    UniformSampler,
+};
+use kgq::cypher;
+use kgq::graph::generate::{barabasi_albert, contact_network, gnm_labeled, ContactParams};
+use kgq::graph::io::{read_property, write_labeled, write_property};
+use kgq::rdf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  kgq generate (contact|er|ba) [--people N] [--nodes N] [--edges M] [--seed S]\n  \
+         kgq query GRAPH EXPR [pairs|starts|count K|enumerate K|sample K N]\n  \
+         kgq cypher GRAPH QUERY\n  \
+         kgq analytics GRAPH (pagerank|betweenness|components|diameter|densest)\n  \
+         kgq rdf FILE (path EXPR|select QUERY|infer)"
+    );
+    ExitCode::from(2)
+}
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load_graph(path: &str) -> Result<kgq::graph::PropertyGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    read_property(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, String> {
+    let kind = args.first().ok_or("generate needs a kind")?;
+    let seed = flag(args, "--seed", 42) as u64;
+    match kind.as_str() {
+        "contact" => {
+            let g = contact_network(&ContactParams {
+                people: flag(args, "--people", 50),
+                buses: flag(args, "--buses", 5),
+                addresses: flag(args, "--addresses", 20),
+                seed,
+                ..ContactParams::default()
+            });
+            Ok(write_property(&g))
+        }
+        "er" => {
+            let g = gnm_labeled(
+                flag(args, "--nodes", 100),
+                flag(args, "--edges", 400),
+                &["v"],
+                &["p", "q"],
+                seed,
+            );
+            Ok(write_labeled(&g))
+        }
+        "ba" => {
+            let g = barabasi_albert(flag(args, "--nodes", 100), 3, "v", "link", seed);
+            Ok(write_labeled(&g))
+        }
+        other => Err(format!("unknown generator `{other}`")),
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<String, String> {
+    let [path, expr_text, rest @ ..] = args else {
+        return Err("query needs GRAPH and EXPR".into());
+    };
+    let mut g = load_graph(path)?;
+    let expr = parse_expr(expr_text, g.labeled_mut().consts_mut()).map_err(|e| e.to_string())?;
+    let view = PropertyView::new(&g);
+    let op = rest.first().map(String::as_str).unwrap_or("pairs");
+    let mut out = String::new();
+    match op {
+        "pairs" => {
+            for (a, b) in eval_pairs(&view, &expr) {
+                out.push_str(&format!(
+                    "{}\t{}\n",
+                    g.labeled().node_name(a),
+                    g.labeled().node_name(b)
+                ));
+            }
+        }
+        "starts" => {
+            for n in Evaluator::new(&view, &expr).matching_starts() {
+                out.push_str(g.labeled().node_name(n));
+                out.push('\n');
+            }
+        }
+        "count" => {
+            let k: usize = rest
+                .get(1)
+                .and_then(|v| v.parse().ok())
+                .ok_or("count needs K")?;
+            let c = count_paths(&view, &expr, k).map_err(|e| e.to_string())?;
+            out.push_str(&format!("{c}\n"));
+        }
+        "enumerate" => {
+            let k: usize = rest
+                .get(1)
+                .and_then(|v| v.parse().ok())
+                .ok_or("enumerate needs K")?;
+            for p in enumerate_paths(&view, &expr, k) {
+                out.push_str(&p.render(g.labeled()));
+                out.push('\n');
+            }
+        }
+        "sample" => {
+            let k: usize = rest
+                .get(1)
+                .and_then(|v| v.parse().ok())
+                .ok_or("sample needs K")?;
+            let n: usize = rest.get(2).and_then(|v| v.parse().ok()).unwrap_or(5);
+            let sampler = UniformSampler::new(&view, &expr, k).map_err(|e| e.to_string())?;
+            let mut rng = StdRng::seed_from_u64(flag(rest, "--seed", 1) as u64);
+            for _ in 0..n {
+                match sampler.sample(&mut rng) {
+                    Some(p) => {
+                        out.push_str(&p.render(g.labeled()));
+                        out.push('\n');
+                    }
+                    None => return Err("no answers to sample".into()),
+                }
+            }
+        }
+        other => return Err(format!("unknown query op `{other}`")),
+    }
+    Ok(out)
+}
+
+fn cmd_cypher(args: &[String]) -> Result<String, String> {
+    let [path, query_text] = args else {
+        return Err("cypher needs GRAPH and QUERY".into());
+    };
+    let g = load_graph(path)?;
+    let q = cypher::parse_query(query_text).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for row in cypher::execute(&g, &q) {
+        out.push_str(&row.join("\t"));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_analytics(args: &[String]) -> Result<String, String> {
+    let [path, metric] = args else {
+        return Err("analytics needs GRAPH and METRIC".into());
+    };
+    let g = load_graph(path)?.into_labeled();
+    let mut out = String::new();
+    match metric.as_str() {
+        "pagerank" => {
+            let pr = analytics::pagerank(&g, &analytics::PageRankParams::default());
+            let mut scored: Vec<(usize, f64)> = pr.iter().copied().enumerate().collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+            for (i, score) in scored.into_iter().take(20) {
+                out.push_str(&format!(
+                    "{}\t{score:.5}\n",
+                    g.node_name(kgq::graph::NodeId(i as u32))
+                ));
+            }
+        }
+        "betweenness" => {
+            let bc = analytics::betweenness_undirected(&g);
+            let mut scored: Vec<(usize, f64)> = bc.iter().copied().enumerate().collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+            for (i, score) in scored.into_iter().take(20) {
+                out.push_str(&format!(
+                    "{}\t{score:.2}\n",
+                    g.node_name(kgq::graph::NodeId(i as u32))
+                ));
+            }
+        }
+        "components" => {
+            let comp = analytics::weakly_connected_components(&g);
+            let count = comp.iter().max().map_or(0, |m| m + 1);
+            out.push_str(&format!("{count} weakly connected components\n"));
+        }
+        "diameter" => match analytics::diameter(&g, false) {
+            Some(d) => out.push_str(&format!("diameter {d}\n")),
+            None => out.push_str("no finite distances\n"),
+        },
+        "densest" => {
+            let (nodes, density) = analytics::densest_subgraph_exact(&g);
+            out.push_str(&format!("density {density:.3} on {} nodes:\n", nodes.len()));
+            for n in nodes {
+                out.push_str(g.node_name(n));
+                out.push('\n');
+            }
+        }
+        other => return Err(format!("unknown metric `{other}`")),
+    }
+    Ok(out)
+}
+
+fn cmd_rdf(args: &[String]) -> Result<String, String> {
+    let [path, rest @ ..] = args else {
+        return Err("rdf needs FILE".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut st = rdf::parse_ntriples(&text).map_err(|e| e.to_string())?;
+    match rest.first().map(String::as_str) {
+        Some("path") => {
+            let expr = rest.get(1).ok_or("path needs EXPR")?;
+            let mut out = String::new();
+            for (a, b) in rdf::rpq_pairs(&st, expr).map_err(|e| e.to_string())? {
+                out.push_str(&format!("{a}\t{b}\n"));
+            }
+            Ok(out)
+        }
+        Some("select") => {
+            let q = rest.get(1).ok_or("select needs a query")?;
+            let mut out = String::new();
+            for row in rdf::select(&mut st, q).map_err(|e| e.to_string())? {
+                out.push_str(&row.join("\t"));
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        Some("infer") => {
+            let stats = rdf::materialize_rdfs(&mut st);
+            let mut out = rdf::write_ntriples(&st);
+            out.push_str(&format!(
+                "# inferred {} triples in {} rounds\n",
+                stats.inferred, stats.rounds
+            ));
+            Ok(out)
+        }
+        _ => Err("rdf needs `path EXPR`, `select QUERY` or `infer`".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "cypher" => cmd_cypher(&args[1..]),
+        "analytics" => cmd_analytics(&args[1..]),
+        "rdf" => cmd_rdf(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

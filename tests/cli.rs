@@ -1,0 +1,149 @@
+//! End-to-end tests of the `kgq` command-line interface: generate a
+//! graph, pipe it through queries, Cypher, analytics, and RDF tooling.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn kgq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kgq"))
+}
+
+fn run(args: &[&str]) -> Output {
+    kgq().args(args).output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "exit {:?}, stderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_graph(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kgq-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn generated_contact() -> PathBuf {
+    let out = run(&["generate", "contact", "--people", "30", "--seed", "7"]);
+    temp_graph("contact.kgq", &stdout(&out))
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn generate_query_roundtrip() {
+    let path = generated_contact();
+    let p = path.to_str().unwrap();
+    // Node extraction.
+    let starts = stdout(&run(&[
+        "query",
+        p,
+        "?person/rides/?bus/rides^-/?infected",
+        "starts",
+    ]));
+    assert!(!starts.is_empty());
+    assert!(starts.lines().all(|l| l.starts_with('p')));
+    // Counting agrees with enumeration.
+    let count: usize = stdout(&run(&[
+        "query",
+        p,
+        "?person/rides/?bus/rides^-/?infected",
+        "count",
+        "2",
+    ]))
+    .trim()
+    .parse()
+    .unwrap();
+    let enumerated = stdout(&run(&[
+        "query",
+        p,
+        "?person/rides/?bus/rides^-/?infected",
+        "enumerate",
+        "2",
+    ]));
+    assert_eq!(enumerated.lines().count(), count);
+    // Sampling produces paths.
+    let samples = stdout(&run(&[
+        "query",
+        p,
+        "?person/rides/?bus/rides^-/?infected",
+        "sample",
+        "2",
+        "3",
+    ]));
+    assert_eq!(samples.lines().count(), 3);
+}
+
+#[test]
+fn cypher_over_generated_graph() {
+    let path = generated_contact();
+    let rows = stdout(&run(&[
+        "cypher",
+        path.to_str().unwrap(),
+        "MATCH (p:person)-[:rides]->(b:bus) RETURN p, b",
+    ]));
+    assert!(!rows.is_empty());
+    for line in rows.lines() {
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert_eq!(cols.len(), 2);
+        assert!(cols[1].starts_with('b'));
+    }
+}
+
+#[test]
+fn analytics_metrics() {
+    let path = generated_contact();
+    let p = path.to_str().unwrap();
+    let pr = stdout(&run(&["analytics", p, "pagerank"]));
+    assert_eq!(pr.lines().count(), 20);
+    let comp = stdout(&run(&["analytics", p, "components"]));
+    assert!(comp.contains("components"));
+    let densest = stdout(&run(&["analytics", p, "densest"]));
+    assert!(densest.starts_with("density"));
+}
+
+#[test]
+fn rdf_path_and_infer() {
+    let nt = temp_graph(
+        "family.nt",
+        "<ana> <parentOf> <ben> .\n<ben> <parentOf> <cal> .\n\
+         <parentOf> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <ancestorOf> .\n",
+    );
+    let p = nt.to_str().unwrap();
+    let pairs = stdout(&run(&["rdf", p, "path", "parentOf/(parentOf)*"]));
+    assert!(pairs.contains("ana\tcal"));
+    let rows = stdout(&run(&[
+        "rdf",
+        p,
+        "select",
+        "SELECT ?x ?y WHERE { ?x <parentOf> ?y }",
+    ]));
+    assert!(rows.contains("ana\tben"));
+    let inferred = stdout(&run(&["rdf", p, "infer"]));
+    assert!(inferred.contains("<ana> <ancestorOf> <ben>"));
+    assert!(inferred.contains("# inferred 2 triples"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let out = run(&["query", "/nonexistent.kgq", "p", "pairs"]);
+    assert!(!out.status.success());
+    let path = generated_contact();
+    let out = run(&["query", path.to_str().unwrap(), "p/", "pairs"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    let out = run(&["analytics", path.to_str().unwrap(), "nonsense"]);
+    assert!(!out.status.success());
+}
