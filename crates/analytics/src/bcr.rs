@@ -48,7 +48,7 @@ fn source_dp(det: &DetProduct, a: NodeId, n_nodes: usize, skip: Option<NodeId>) 
     let mut layers: Vec<Vec<u128>> = Vec::new();
     let mut cur = vec![0u128; m];
     let mut alive = true;
-    if let Some(s0) = det.initial[a.index()] {
+    if let Some(s0) = det.initial(a) {
         if skip != Some(a) {
             cur[s0 as usize] = 1;
         } else {
@@ -61,7 +61,7 @@ fn source_dp(det: &DetProduct, a: NodeId, n_nodes: usize, skip: Option<NodeId>) 
     // reached at layer i count words of length i as *shortest*.
     let mut level = vec![usize::MAX; m];
     if alive {
-        if let Some(s0) = det.initial[a.index()] {
+        if let Some(s0) = det.initial(a) {
             level[s0 as usize] = 0;
         }
     }
@@ -69,7 +69,7 @@ fn source_dp(det: &DetProduct, a: NodeId, n_nodes: usize, skip: Option<NodeId>) 
     loop {
         // Record acceptances at this layer.
         for (s, &c) in cur.iter().enumerate() {
-            if c > 0 && det.accepting[s] {
+            if c > 0 && det.is_accepting(s as u32) {
                 let b = det.node_of(s as u32);
                 match &mut best[b.index()] {
                     slot @ None => *slot = Some((i, c)),
@@ -86,7 +86,7 @@ fn source_dp(det: &DetProduct, a: NodeId, n_nodes: usize, skip: Option<NodeId>) 
             if c == 0 {
                 continue;
             }
-            for &(_, s2) in &det.out[s] {
+            for &(_, s2) in det.out(s as u32) {
                 let s2u = s2 as usize;
                 if let Some(x) = skip {
                     if det.node_of(s2) == x {
@@ -185,8 +185,8 @@ pub fn bc_r_approx<G: PathGraph>(g: &G, expr: &PathExpr, params: &BcrParams) -> 
     // Global predecessor lists of the det product (deduplicated: the
     // per-edge multiplicity is reapplied during backward sampling).
     let mut preds: Vec<Vec<u32>> = vec![Vec::new(); m];
-    for (s, list) in det.out.iter().enumerate() {
-        for &(_, s2) in list {
+    for s in 0..m {
+        for &(_, s2) in det.out(s as u32) {
             preds[s2 as usize].push(s as u32);
         }
     }
@@ -206,7 +206,7 @@ pub fn bc_r_approx<G: PathGraph>(g: &G, expr: &PathExpr, params: &BcrParams) -> 
                 None => continue,
             };
             let finals: Vec<(u32, u128)> = (0..m as u32)
-                .filter(|&s| det.accepting[s as usize] && det.node_of(s) == b)
+                .filter(|&s| det.is_accepting(s) && det.node_of(s) == b)
                 .map(|s| (s, dp.layers[d][s as usize]))
                 .filter(|&(_, c)| c > 0)
                 .collect();
@@ -238,10 +238,8 @@ pub fn bc_r_approx<G: PathGraph>(g: &G, expr: &PathExpr, params: &BcrParams) -> 
                     let weighted: Vec<(u32, u128)> = candidates
                         .iter()
                         .map(|&(p, c)| {
-                            let mult = det.out[p as usize]
-                                .iter()
-                                .filter(|&&(_, s2)| s2 == state)
-                                .count() as u128;
+                            let mult =
+                                det.out(p).iter().filter(|&&(_, s2)| s2 == state).count() as u128;
                             (p, c * mult)
                         })
                         .filter(|&(_, w)| w > 0)

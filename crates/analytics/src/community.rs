@@ -201,7 +201,8 @@ mod tests {
         for block in [&ids[0..4], &ids[4..8]] {
             for i in 0..4 {
                 for j in (i + 1)..4 {
-                    g.add_edge(&format!("e{e}"), block[i], block[j], "p").unwrap();
+                    g.add_edge(&format!("e{e}"), block[i], block[j], "p")
+                        .unwrap();
                     e += 1;
                 }
             }

@@ -17,7 +17,6 @@
 //!   and a randomized approximation built from the uniform-generation
 //!   tools of `kgq-core` — exactly the strategy §4.2 proposes.
 
-
 // Several hot loops index multiple parallel arrays at once; the
 // iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
@@ -51,9 +50,9 @@ pub use bcr::{bc_r_approx, bc_r_exact, BcrParams};
 pub use centrality::{betweenness, betweenness_undirected};
 pub use closeness::{closeness, count_walks, eccentricity, harmonic};
 pub use community::{clustering_coefficient, densest_subgraph, label_propagation};
+pub use components::{diameter, strongly_connected_components, weakly_connected_components};
 pub use flow::{densest_subgraph_exact, FlowNetwork};
 pub use kcore::{core_numbers, degree_histogram, k_core};
-pub use weighted::{cheapest_path, dijkstra, WeightError};
-pub use components::{diameter, strongly_connected_components, weakly_connected_components};
 pub use ranking::{hits, pagerank, PageRankParams};
 pub use traversal::{bfs_distances, shortest_path};
+pub use weighted::{cheapest_path, dijkstra, WeightError};

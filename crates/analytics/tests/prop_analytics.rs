@@ -15,8 +15,7 @@ struct GraphSpec {
 
 fn graph_strategy() -> impl Strategy<Value = GraphSpec> {
     (1usize..12).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..24)
-            .prop_map(move |edges| GraphSpec { n, edges })
+        proptest::collection::vec((0..n, 0..n), 0..24).prop_map(move |edges| GraphSpec { n, edges })
     })
 }
 
@@ -26,7 +25,8 @@ fn build(spec: &GraphSpec) -> LabeledGraph {
         .map(|i| g.add_node(&format!("n{i}"), "v").unwrap())
         .collect();
     for (i, &(s, d)) in spec.edges.iter().enumerate() {
-        g.add_edge(&format!("e{i}"), nodes[s], nodes[d], "e").unwrap();
+        g.add_edge(&format!("e{i}"), nodes[s], nodes[d], "e")
+            .unwrap();
     }
     g
 }

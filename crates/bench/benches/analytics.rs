@@ -2,8 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kgq_analytics::{
-    bc_r_approx, bc_r_exact, betweenness, densest_subgraph, pagerank, BcrParams,
-    PageRankParams,
+    bc_r_approx, bc_r_exact, betweenness, densest_subgraph, pagerank, BcrParams, PageRankParams,
 };
 use kgq_core::{parse_expr, LabeledView};
 use kgq_graph::generate::{barabasi_albert, contact_network, ContactParams};

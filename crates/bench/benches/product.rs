@@ -1,0 +1,62 @@
+//! Criterion group `product` — the flat-CSR product evaluation pipeline:
+//! multi-source `pairs()` at several thread counts against its sequential
+//! reference, and compiled-query cache cold-miss vs warm-hit.
+//!
+//! Thread counts above the machine's core count cannot speed anything up
+//! (the scans are CPU-bound); the interesting comparison on a small
+//! machine is that the parallel path costs about the same as the
+//! sequential one — the speedup numbers come from `exp_parallel`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kgq_core::parallel::set_threads;
+use kgq_core::{parse_expr, Evaluator, LabeledView, QueryCache};
+use kgq_graph::generate::barabasi_albert;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_product(c: &mut Criterion) {
+    // ~100k edges: each node past the seed clique attaches 4 edges.
+    let mut g = barabasi_albert(25_004, 4, "v", "link", 7);
+    assert!(
+        g.edge_count() >= 100_000,
+        "graph too small: {}",
+        g.edge_count()
+    );
+    let expr = parse_expr("link/link", g.consts_mut()).unwrap();
+    let view = LabeledView::new(&g);
+    let ev = Evaluator::new(&view, &expr);
+
+    let mut group = c.benchmark_group("product");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+
+    group.bench_function("pairs_sequential", |b| {
+        b.iter(|| black_box(ev.pairs_sequential()))
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_function(&format!("pairs_{threads}_threads"), |b| {
+            set_threads(threads);
+            b.iter(|| black_box(ev.pairs()))
+        });
+    }
+    set_threads(1);
+
+    group.bench_function("query_cold_compile", |b| {
+        b.iter(|| {
+            let mut cache = QueryCache::new();
+            black_box(cache.get_or_compile(&view, 0, &expr))
+        })
+    });
+    group.bench_function("query_warm_hit", |b| {
+        let mut cache = QueryCache::new();
+        cache.get_or_compile(&view, 0, &expr);
+        b.iter(|| black_box(cache.get_or_compile(&view, 0, &expr)));
+        assert_eq!(cache.misses(), 1, "warm iterations must all hit");
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_product);
+criterion_main!(benches);

@@ -23,10 +23,9 @@ fn bench_query(c: &mut Criterion) {
         g.labeled_mut().consts_mut(),
     )
     .unwrap();
-    let cypher_q = parse_query(
-        "MATCH (p:person)-[:rides]->(b:bus), (i:infected)-[:rides]->(b) RETURN p, i",
-    )
-    .unwrap();
+    let cypher_q =
+        parse_query("MATCH (p:person)-[:rides]->(b:bus), (i:infected)-[:rides]->(b) RETURN p, i")
+            .unwrap();
     let mut st = labeled_to_rdf(pg.labeled());
     let mut bgp = Bgp::new();
     bgp.add(&mut st, "?p", RDF_TYPE, "person");

@@ -81,7 +81,16 @@ fn main() {
 
     print_table(
         "classical analytics across graph families",
-        &["graph", "components", "diameter", "PR skew", "clustering", "communities", "densest", "times"],
+        &[
+            "graph",
+            "components",
+            "diameter",
+            "PR skew",
+            "clustering",
+            "communities",
+            "densest",
+            "times",
+        ],
         &rows,
     );
     println!(

@@ -106,7 +106,16 @@ fn main() {
     }
     print_table(
         "contact networks: exact vs sampled bc_r",
-        &["size", "top bus", "exact", "sampled", "max rel err", "same top?", "t_exact", "t_approx"],
+        &[
+            "size",
+            "top bus",
+            "exact",
+            "sampled",
+            "max rel err",
+            "same top?",
+            "t_exact",
+            "t_approx",
+        ],
         &rows,
     );
     println!(

@@ -70,7 +70,15 @@ fn main() {
     }
     print_table(
         "Count(G, r, k): counts and per-query times",
-        &["k", "exact", "naive", "FPRAS ε=0.25", "t_exact", "t_naive", "t_fpras"],
+        &[
+            "k",
+            "exact",
+            "naive",
+            "FPRAS ε=0.25",
+            "t_exact",
+            "t_naive",
+            "t_fpras",
+        ],
         &rows,
     );
     println!(

@@ -92,7 +92,10 @@ fn main() {
         "random scorer".to_owned(),
         "—".to_owned(),
         format!("{random:.1}"),
-        format!("{:.3}", (1..=n_entities).map(|r| 1.0 / r as f64).sum::<f64>() / n_entities as f64),
+        format!(
+            "{:.3}",
+            (1..=n_entities).map(|r| 1.0 / r as f64).sum::<f64>() / n_entities as f64
+        ),
         format!("{:.2}", 1.0 / n_entities as f64),
         format!("{:.2}", 3.0 / n_entities as f64),
         format!("{:.2}", 10.0 / n_entities as f64),
@@ -100,7 +103,16 @@ fn main() {
     ]);
     print_table(
         "TransE link prediction (filtered), 20% held-out tails",
-        &["config", "final loss", "mean rank", "MRR", "hits@1", "hits@3", "hits@10", "train time"],
+        &[
+            "config",
+            "final loss",
+            "mean rank",
+            "MRR",
+            "hits@1",
+            "hits@3",
+            "hits@10",
+            "train time",
+        ],
         &rows,
     );
     println!(

@@ -12,7 +12,12 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let mut rows = Vec::new();
-    for (n, m, k) in [(10usize, 20usize, 3usize), (20, 60, 4), (40, 160, 5), (60, 300, 5)] {
+    for (n, m, k) in [
+        (10usize, 20usize, 3usize),
+        (20, 60, 4),
+        (40, 160, 5),
+        (60, 300, 5),
+    ] {
         let mut g = gnm_labeled(n, m, &["a"], &["p", "q"], 11);
         let expr = parse_expr("(p+q)*", g.consts_mut()).unwrap();
         let view = LabeledView::new(&g);
@@ -53,9 +58,7 @@ fn main() {
             delays.iter().sum::<Duration>() / delays.len() as u32
         };
         // Baseline: materialize everything, then look at the first.
-        let (all, t_material) = timed(|| {
-            PathEnumerator::new(&view, &expr, k).collect::<Vec<_>>()
-        });
+        let (all, t_material) = timed(|| PathEnumerator::new(&view, &expr, k).collect::<Vec<_>>());
         assert_eq!(all.len() as u128, total);
         rows.push(vec![
             format!("G({n},{m}) k={k}"),

@@ -6,8 +6,7 @@
 
 use kgq_bench::print_table;
 use kgq_biblio::{
-    check_figure1_claims, figure1_series, generate_corpus, overlap_fraction, CorpusParams,
-    KEYWORDS,
+    check_figure1_claims, figure1_series, generate_corpus, overlap_fraction, CorpusParams, KEYWORDS,
 };
 
 fn main() {
@@ -30,7 +29,11 @@ fn main() {
     }
     let mut headers = vec!["year"];
     headers.extend(KEYWORDS.iter());
-    print_table("Figure 1: titles containing keyword, per year", &headers, &rows);
+    print_table(
+        "Figure 1: titles containing keyword, per year",
+        &headers,
+        &rows,
+    );
 
     let rows = vec![
         vec![

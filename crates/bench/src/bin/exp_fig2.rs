@@ -98,9 +98,8 @@ fn main() {
         .expect("date feature")
         + 1;
     let mut vg = vg;
-    let rewritten = format!(
-        "?[#1=person]/{{[#1=contact] & [#{date_idx}='3/4/21']}}/?[#1=infected]"
-    );
+    let rewritten =
+        format!("?[#1=person]/{{[#1=contact] & [#{date_idx}='3/4/21']}}/?[#1=infected]");
     let expr_v = parse_expr(&rewritten, vg.consts_mut()).unwrap();
     let vview = VectorView::new(&vg);
     let pairs_v = eval_pairs(&vview, &expr_v);

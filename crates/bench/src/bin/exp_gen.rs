@@ -96,7 +96,14 @@ fn main() {
 
     print_table(
         &format!("Gen(G, r, k): preprocessing + {draws} draws"),
-        &["sampler", "preprocess", "per-sample", "coverage", "χ²", "E[χ²] if uniform"],
+        &[
+            "sampler",
+            "preprocess",
+            "per-sample",
+            "coverage",
+            "χ²",
+            "E[χ²] if uniform",
+        ],
         &rows,
     );
     println!(

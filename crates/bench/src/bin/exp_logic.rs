@@ -33,8 +33,7 @@ fn main() {
         let psi = compile_fo2(&expr).unwrap();
         let phi = compile_wide(&expr).unwrap();
 
-        let ((psi_answers, stats), t_pipeline) =
-            timed(|| eval_bounded_stats(&g, &psi, Var(0)));
+        let ((psi_answers, stats), t_pipeline) = timed(|| eval_bounded_stats(&g, &psi, Var(0)));
         let (naive_psi, t_naive_psi) = timed(|| eval_naive(&g, &psi, Var(0)));
         let (naive_phi, t_naive_phi) = timed(|| eval_naive(&g, &phi, Var(0)));
         let view = LabeledView::new(&g);
@@ -56,7 +55,14 @@ fn main() {
     }
     print_table(
         "node extraction: ψ pipeline (FO², binary tables) vs naive vs RPQ engine",
-        &["nodes", "answers", "ψ pipeline", "ψ naive", "φ naive (3 vars)", "RPQ product"],
+        &[
+            "nodes",
+            "answers",
+            "ψ pipeline",
+            "ψ naive",
+            "φ naive (3 vars)",
+            "RPQ product",
+        ],
         &rows,
     );
     println!(

@@ -1,0 +1,59 @@
+//! Experiment `exp_parallel` — multi-source `pairs()` speedup vs thread
+//! count on a ~100k-edge Barabási–Albert graph, emitted as JSON.
+//!
+//! The parallel scan splits the source-node range into contiguous
+//! per-thread chunks and concatenates results in index order, so the
+//! output is identical at every thread count (asserted below). Speedups
+//! are relative to the sequential reference implementation and bounded
+//! by the machine's core count — on a single-core machine every ratio
+//! is honestly ~1.0.
+
+use kgq_bench::timed;
+use kgq_core::parallel::set_threads;
+use kgq_core::{parse_expr, Evaluator, LabeledView};
+use kgq_graph::generate::barabasi_albert;
+use std::time::Duration;
+
+fn median_secs<F: FnMut() -> usize>(mut f: F, reps: usize) -> f64 {
+    let mut times: Vec<Duration> = (0..reps).map(|_| timed(&mut f).1).collect();
+    times.sort();
+    times[times.len() / 2].as_secs_f64()
+}
+
+fn main() {
+    let mut g = barabasi_albert(25_004, 4, "v", "link", 7);
+    let expr = parse_expr("link/link", g.consts_mut()).unwrap();
+    let view = LabeledView::new(&g);
+    let ev = Evaluator::new(&view, &expr);
+    let reference = ev.pairs_sequential();
+    let reps = 3;
+    let t_seq = median_secs(|| ev.pairs_sequential().len(), reps);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut entries = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        set_threads(threads);
+        assert_eq!(ev.pairs(), reference, "thread count changed the answer");
+        let t_par = median_secs(|| ev.pairs().len(), reps);
+        entries.push(format!(
+            "    {{\"threads\": {threads}, \"seconds\": {t_par:.6}, \"speedup\": {:.3}}}",
+            t_seq / t_par
+        ));
+    }
+    set_threads(1);
+
+    println!("{{");
+    println!(
+        "  \"graph\": {{\"model\": \"barabasi_albert\", \"nodes\": {}, \"edges\": {}}},",
+        g.node_count(),
+        g.edge_count()
+    );
+    println!("  \"expr\": \"link/link\",");
+    println!("  \"pairs\": {},", reference.len());
+    println!("  \"machine_cores\": {cores},");
+    println!("  \"sequential_seconds\": {t_seq:.6},");
+    println!("  \"results\": [");
+    println!("{}", entries.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

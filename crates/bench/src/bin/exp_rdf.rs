@@ -83,7 +83,13 @@ fn main() {
     }
     print_table(
         "BGP matching on synthetic university RDF",
-        &["triples", "load", "Q1 students", "Q2 advisor-dept join", "Q3 takes-own-advisor-course"],
+        &[
+            "triples",
+            "load",
+            "Q1 students",
+            "Q2 advisor-dept join",
+            "Q3 takes-own-advisor-course",
+        ],
         &rows,
     );
 
@@ -136,7 +142,13 @@ fn main() {
     }
     print_table(
         "RDFS forward chaining (subclass/subproperty/domain/range)",
-        &["triples before", "inferred", "rounds", "derived Agents", "time"],
+        &[
+            "triples before",
+            "inferred",
+            "rounds",
+            "derived Agents",
+            "time",
+        ],
         &rows,
     );
 }

@@ -90,9 +90,7 @@ fn main() {
     println!(
         "\nWL bound: {} WL classes after {} rounds, {} violations of \
          'WL-equal ⇒ same GNN output' (must be 0)",
-        wl.color_count,
-        wl.rounds,
-        violations
+        wl.color_count, wl.rounds, violations
     );
     assert_eq!(violations, 0);
 
@@ -167,7 +165,11 @@ fn main() {
         &config,
     );
     let predicted = learned.classify(&test_graph, &f3);
-    let correct = predicted.iter().zip(t3.iter()).filter(|(p, t)| p == t).count();
+    let correct = predicted
+        .iter()
+        .zip(t3.iter())
+        .filter(|(p, t)| p == t)
+        .count();
     println!(
         "\nlearned GNN (random init, {} epochs): BCE {:.3} → {:.3}; held-out \
          accuracy {}/{} on an unseen graph",

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn title_matching_is_case_insensitive() {
-        assert!(title_contains("Scalable Knowledge Graph Completion", "knowledge graph"));
+        assert!(title_contains(
+            "Scalable Knowledge Graph Completion",
+            "knowledge graph"
+        ));
         assert!(title_contains("RDF stores revisited", "rdf"));
         assert!(!title_contains("Graph Neural Networks", "knowledge graph"));
     }

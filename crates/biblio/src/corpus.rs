@@ -94,8 +94,14 @@ fn kg_rdf_overlap(year: u32) -> f64 {
 }
 
 const ADJECTIVES: [&str; 8] = [
-    "Efficient", "Scalable", "Distributed", "Incremental", "Adaptive", "Declarative",
-    "Parallel", "Robust",
+    "Efficient",
+    "Scalable",
+    "Distributed",
+    "Incremental",
+    "Adaptive",
+    "Declarative",
+    "Parallel",
+    "Robust",
 ];
 const TASKS: [&str; 8] = [
     "Query Answering",

@@ -95,7 +95,7 @@ pub struct ApproxCounter {
 fn step_reached(product: &Product, reached: &[PState], e: EdgeId) -> Vec<PState> {
     let mut next: Vec<PState> = Vec::new();
     for &s in reached {
-        let list = &product.out[s as usize];
+        let list = product.out(s);
         let lo = list.partition_point(|&(ee, _)| ee.0 < e.0);
         for &(ee, s2) in &list[lo..] {
             if ee != e {
@@ -144,11 +144,12 @@ impl ApproxCounter {
         // Layer 0: L_0((n, q)) = {[n]} for initial states.
         let mut e0 = vec![0.0; m];
         let mut p0: Vec<Vec<Sample>> = vec![Vec::new(); m];
-        for (v, list) in product.initial.iter().enumerate() {
+        for v in 0..product.node_count() {
+            let list = product.initial(NodeId(v as u32));
             if list.is_empty() {
                 continue;
             }
-            let mut reached = list.clone();
+            let mut reached = list.to_vec();
             reached.sort_unstable();
             for &s in list {
                 e0[s as usize] = 1.0;
@@ -167,14 +168,11 @@ impl ApproxCounter {
             let mut cur_est = vec![0.0; m];
             let mut cur_pools: Vec<Vec<Sample>> = vec![Vec::new(); m];
             for s_prime in 0..m {
-                let preds = &product.preds[s_prime];
+                let preds = product.preds(s_prime as PState);
                 if preds.is_empty() {
                     continue;
                 }
-                let weights: Vec<f64> = preds
-                    .iter()
-                    .map(|&(s, _)| prev_est[s as usize])
-                    .collect();
+                let weights: Vec<f64> = preds.iter().map(|&(s, _)| prev_est[s as usize]).collect();
                 let total: f64 = weights.iter().sum();
                 if total <= 0.0 {
                     continue;
@@ -190,9 +188,9 @@ impl ApproxCounter {
                     let sample = &pool[rng.gen_range(0..pool.len())];
                     // Canonical predecessor: first (s_c, e_c) with
                     // e_c == e and s_c ∈ δ̂(word).
-                    let canonical = preds.iter().position(|&(sc, ec)| {
-                        ec == e && sample.reached.binary_search(&sc).is_ok()
-                    });
+                    let canonical = preds
+                        .iter()
+                        .position(|&(sc, ec)| ec == e && sample.reached.binary_search(&sc).is_ok());
                     if canonical != Some(j) {
                         continue;
                     }
@@ -212,7 +210,9 @@ impl ApproxCounter {
         }
 
         // Final union over accepting states at layer k.
-        let accepting: Vec<usize> = (0..m).filter(|&s| product.accepting[s]).collect();
+        let accepting: Vec<usize> = (0..m)
+            .filter(|&s| product.is_accepting(s as PState))
+            .collect();
         let weights: Vec<f64> = accepting.iter().map(|&s| est[k][s]).collect();
         let total: f64 = weights.iter().sum();
         let estimate = if total <= 0.0 {
@@ -267,7 +267,9 @@ impl ApproxCounter {
     /// is (estimated) empty or rejection sampling fails repeatedly.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<Path> {
         let m = self.product.state_count();
-        let accepting: Vec<usize> = (0..m).filter(|&s| self.product.accepting[s]).collect();
+        let accepting: Vec<usize> = (0..m)
+            .filter(|&s| self.product.is_accepting(s as PState))
+            .collect();
         let weights: Vec<f64> = accepting.iter().map(|&s| self.est[self.k][s]).collect();
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
@@ -293,12 +295,7 @@ impl ApproxCounter {
 }
 
 /// One-shot `𝒜(G, r, k, ε)` — see [`ApproxCounter`].
-pub fn approx_count<G: PathGraph>(
-    g: &G,
-    expr: &PathExpr,
-    k: usize,
-    params: &ApproxParams,
-) -> f64 {
+pub fn approx_count<G: PathGraph>(g: &G, expr: &PathExpr, k: usize, params: &ApproxParams) -> f64 {
     ApproxCounter::build(g, expr, k, params).estimate()
 }
 
@@ -310,8 +307,10 @@ pub fn approx_count<G: PathGraph>(
 /// if each round lands within `ε` with probability `> 1/2 + δ`, the
 /// median fails only when half the rounds fail, which decays
 /// exponentially in `rounds` (Chernoff). Rounds use seeds
-/// `params.seed, params.seed + 1, …`.
-pub fn approx_count_amplified<G: PathGraph>(
+/// `params.seed, params.seed + 1, …` and are therefore independent: they
+/// run in parallel when threads are available, and since each round is
+/// deterministic in its seed the median never depends on thread count.
+pub fn approx_count_amplified<G: PathGraph + Sync>(
     g: &G,
     expr: &PathExpr,
     k: usize,
@@ -319,15 +318,19 @@ pub fn approx_count_amplified<G: PathGraph>(
     rounds: usize,
 ) -> f64 {
     assert!(rounds >= 1);
-    let mut estimates: Vec<f64> = (0..rounds)
-        .map(|i| {
-            let p = ApproxParams {
-                seed: params.seed.wrapping_add(i as u64),
-                ..params.clone()
-            };
-            ApproxCounter::build(g, expr, k, &p).estimate()
-        })
-        .collect();
+    let one_round = |i: usize| {
+        let p = ApproxParams {
+            seed: params.seed.wrapping_add(i as u64),
+            ..params.clone()
+        };
+        ApproxCounter::build(g, expr, k, &p).estimate()
+    };
+    let mut estimates: Vec<f64> = if crate::parallel::effective_threads() > 1 && rounds >= 2 {
+        use rayon::prelude::*;
+        (0..rounds).into_par_iter().map(one_round).collect()
+    } else {
+        (0..rounds).map(one_round).collect()
+    };
     estimates.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let mid = estimates.len() / 2;
     if estimates.len() % 2 == 1 {
@@ -341,7 +344,6 @@ pub fn approx_count_amplified<G: PathGraph>(
 mod tests {
     use super::*;
     use crate::count::count_paths;
-use super::approx_count_amplified;
     use crate::enumerate::enumerate_paths;
     use crate::model::LabeledView;
     use crate::parser::parse_expr;
@@ -401,10 +403,7 @@ use super::approx_count_amplified;
         for k in 0..=5 {
             let exact = count_paths(&view, &e, k).unwrap() as f64;
             let est = approx_count(&view, &e, k, &ApproxParams::default());
-            assert!(
-                (est - exact).abs() < 1e-9,
-                "k={k}: est={est} exact={exact}"
-            );
+            assert!((est - exact).abs() < 1e-9, "k={k}: est={est} exact={exact}");
         }
     }
 
@@ -498,9 +497,6 @@ use super::approx_count_amplified;
             }
             errs.push(total_err / 5.0);
         }
-        assert!(
-            errs[1] <= errs[0] + 0.05,
-            "error did not shrink: {errs:?}"
-        );
+        assert!(errs[1] <= errs[0] + 0.05, "error did not shrink: {errs:?}");
     }
 }

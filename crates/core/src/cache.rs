@@ -1,0 +1,280 @@
+//! Compiled-query cache.
+//!
+//! Building the graph × NFA [`Product`] dominates the cost of evaluating
+//! a path expression; the same expression is typically issued many times
+//! against the same (or an unchanged) graph. [`QueryCache`] memoizes the
+//! compiled form — NFA plus product — keyed by the *canonicalized*
+//! expression ([`crate::simplify::simplify`]) together with a **generation
+//! stamp** of the graph, so syntactic variants like `(r*)*` and `r*` share
+//! one entry, and any mutation of the graph (which bumps its generation)
+//! invalidates every entry compiled against the old contents.
+//!
+//! Eviction is LRU over a logical tick counter; capacity is configurable
+//! (`QueryCache::with_capacity`, default 64). A cache is meant to be bound
+//! to one graph's history: generation stamps are strictly increasing per
+//! mutation *within one graph*, not globally unique across graphs.
+
+use crate::automata::Nfa;
+use crate::eval::Evaluator;
+use crate::expr::PathExpr;
+use crate::model::PathGraph;
+use crate::product::Product;
+use crate::simplify::simplify;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default number of compiled queries retained.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// A query compiled against a specific graph generation: the canonical
+/// expression, its NFA, and the (shared) graph × NFA product.
+pub struct CompiledQuery {
+    expr: PathExpr,
+    nfa: Nfa,
+    product: Arc<Product>,
+}
+
+impl CompiledQuery {
+    fn compile<G: PathGraph>(g: &G, expr: PathExpr) -> CompiledQuery {
+        let nfa = Nfa::compile(&expr);
+        let product = Arc::new(Product::build(g, &nfa));
+        CompiledQuery { expr, nfa, product }
+    }
+
+    /// The canonicalized expression this entry was compiled from.
+    pub fn expr(&self) -> &PathExpr {
+        &self.expr
+    }
+
+    /// The Thompson NFA of the canonical expression.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The shared graph × NFA product.
+    pub fn product(&self) -> &Arc<Product> {
+        &self.product
+    }
+
+    /// An evaluator over the cached product (no rebuild).
+    pub fn evaluator(&self) -> Evaluator {
+        Evaluator::from_product(Arc::clone(&self.product))
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CacheKey {
+    generation: u64,
+    expr: PathExpr,
+}
+
+struct Entry {
+    compiled: Arc<CompiledQuery>,
+    last_used: u64,
+}
+
+/// LRU cache of [`CompiledQuery`] entries keyed by
+/// `(graph generation, canonicalized expression)`.
+pub struct QueryCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Default for QueryCache {
+    fn default() -> QueryCache {
+        QueryCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl QueryCache {
+    /// A cache retaining [`DEFAULT_CACHE_CAPACITY`] compiled queries.
+    pub fn new() -> QueryCache {
+        QueryCache::default()
+    }
+
+    /// A cache retaining at most `capacity` compiled queries
+    /// (`capacity` is clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the compiled form of `expr` against `g` at `generation`,
+    /// compiling (and caching) it on a miss. The expression is
+    /// canonicalized with [`simplify`] before the lookup, so equivalent
+    /// spellings share one entry.
+    pub fn get_or_compile<G: PathGraph>(
+        &mut self,
+        g: &G,
+        generation: u64,
+        expr: &PathExpr,
+    ) -> Arc<CompiledQuery> {
+        let key = CacheKey {
+            generation,
+            expr: simplify(expr),
+        };
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.last_used = tick;
+            self.hits += 1;
+            return Arc::clone(&entry.compiled);
+        }
+        self.misses += 1;
+        let compiled = Arc::new(CompiledQuery::compile(g, key.expr.clone()));
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.map.insert(
+            key,
+            Entry {
+                compiled: Arc::clone(&compiled),
+                last_used: tick,
+            },
+        );
+        compiled
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.map.remove(&key);
+            self.evictions += 1;
+        }
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of compiled queries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required compilation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries dropped to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LabeledView;
+    use crate::parser::parse_expr;
+    use kgq_graph::generate::gnm_labeled;
+
+    fn setup() -> (kgq_graph::LabeledGraph, PathExpr, PathExpr) {
+        let mut g = gnm_labeled(12, 30, &["a", "b"], &["p", "q"], 3);
+        let e1 = parse_expr("(p+q)*", g.consts_mut()).unwrap();
+        // A syntactic variant canonicalizing to the same expression.
+        let e2 = parse_expr("((p+q)*)*", g.consts_mut()).unwrap();
+        (g, e1, e2)
+    }
+
+    #[test]
+    fn hit_skips_recompilation_and_shares_the_product() {
+        let (g, e1, _) = setup();
+        let view = LabeledView::new(&g);
+        let mut cache = QueryCache::new();
+        let c1 = cache.get_or_compile(&view, 0, &e1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let c2 = cache.get_or_compile(&view, 0, &e1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Same Arc: the product was not rebuilt.
+        assert!(Arc::ptr_eq(c1.product(), c2.product()));
+    }
+
+    #[test]
+    fn canonicalization_merges_equivalent_spellings() {
+        let (g, e1, e2) = setup();
+        let view = LabeledView::new(&g);
+        let mut cache = QueryCache::new();
+        let c1 = cache.get_or_compile(&view, 0, &e1);
+        let c2 = cache.get_or_compile(&view, 0, &e2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(c1.product(), c2.product()));
+    }
+
+    #[test]
+    fn warm_results_are_identical_to_cold_evaluation() {
+        let (g, e1, _) = setup();
+        let view = LabeledView::new(&g);
+        let cold = Evaluator::new(&view, &e1).pairs();
+        let mut cache = QueryCache::new();
+        cache.get_or_compile(&view, 0, &e1);
+        let warm = cache.get_or_compile(&view, 0, &e1).evaluator().pairs();
+        assert_eq!(cold, warm);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let (g, e1, _) = setup();
+        let view = LabeledView::new(&g);
+        let mut cache = QueryCache::new();
+        let c1 = cache.get_or_compile(&view, 0, &e1);
+        let c2 = cache.get_or_compile(&view, 1, &e1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert!(!Arc::ptr_eq(c1.product(), c2.product()));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let (g, _, _) = setup();
+        let mut g = g;
+        let ea = parse_expr("p", g.consts_mut()).unwrap();
+        let eb = parse_expr("q", g.consts_mut()).unwrap();
+        let ec = parse_expr("p/q", g.consts_mut()).unwrap();
+        let view = LabeledView::new(&g);
+        let mut cache = QueryCache::with_capacity(2);
+        cache.get_or_compile(&view, 0, &ea);
+        cache.get_or_compile(&view, 0, &eb);
+        // Touch `ea` so `eb` becomes LRU, then insert a third entry.
+        cache.get_or_compile(&view, 0, &ea);
+        cache.get_or_compile(&view, 0, &ec);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // `ea` survived (hit), `eb` was evicted (miss).
+        cache.get_or_compile(&view, 0, &ea);
+        assert_eq!(cache.hits(), 2);
+        cache.get_or_compile(&view, 0, &eb);
+        assert_eq!(cache.misses(), 4);
+    }
+}

@@ -73,7 +73,7 @@ impl ExactCounter {
     pub fn count_by_length(&self, k: usize) -> Result<Vec<u128>, CountError> {
         let m = self.det.state_count();
         let mut cur = vec![0u128; m];
-        for s in self.det.initial.iter().flatten() {
+        for s in self.det.initial_slots().iter().flatten() {
             cur[*s as usize] = cur[*s as usize]
                 .checked_add(1)
                 .ok_or(CountError::Overflow)?;
@@ -86,7 +86,7 @@ impl ExactCounter {
                 if c == 0 {
                     continue;
                 }
-                for &(_, s2) in &self.det.out[s] {
+                for &(_, s2) in self.det.out(s as u32) {
                     next[s2 as usize] = next[s2 as usize]
                         .checked_add(c)
                         .ok_or(CountError::Overflow)?;
@@ -102,7 +102,7 @@ impl ExactCounter {
     pub fn count_from(&self, start: NodeId, k: usize) -> Result<u128, CountError> {
         let m = self.det.state_count();
         let mut cur = vec![0u128; m];
-        match self.det.initial.get(start.index()).and_then(|s| *s) {
+        match self.det.initial(start) {
             Some(s) => cur[s as usize] = 1,
             None => return Ok(0),
         }
@@ -112,7 +112,7 @@ impl ExactCounter {
                 if c == 0 {
                     continue;
                 }
-                for &(_, s2) in &self.det.out[s] {
+                for &(_, s2) in self.det.out(s as u32) {
                     next[s2 as usize] = next[s2 as usize]
                         .checked_add(c)
                         .ok_or(CountError::Overflow)?;
@@ -124,15 +124,10 @@ impl ExactCounter {
     }
 
     /// Count of length-`k` paths from `start` to `end`.
-    pub fn count_between(
-        &self,
-        start: NodeId,
-        end: NodeId,
-        k: usize,
-    ) -> Result<u128, CountError> {
+    pub fn count_between(&self, start: NodeId, end: NodeId, k: usize) -> Result<u128, CountError> {
         let m = self.det.state_count();
         let mut cur = vec![0u128; m];
-        match self.det.initial.get(start.index()).and_then(|s| *s) {
+        match self.det.initial(start) {
             Some(s) => cur[s as usize] = 1,
             None => return Ok(0),
         }
@@ -142,7 +137,7 @@ impl ExactCounter {
                 if c == 0 {
                     continue;
                 }
-                for &(_, s2) in &self.det.out[s] {
+                for &(_, s2) in self.det.out(s as u32) {
                     next[s2 as usize] = next[s2 as usize]
                         .checked_add(c)
                         .ok_or(CountError::Overflow)?;
@@ -152,7 +147,7 @@ impl ExactCounter {
         }
         let mut total: u128 = 0;
         for (s, &c) in cur.iter().enumerate() {
-            if self.det.accepting[s] && self.det.node_of(s as u32) == end {
+            if self.det.is_accepting(s as u32) && self.det.node_of(s as u32) == end {
                 total = total.checked_add(c).ok_or(CountError::Overflow)?;
             }
         }
@@ -162,7 +157,7 @@ impl ExactCounter {
     fn accepting_total(&self, dist: &[u128]) -> Result<u128, CountError> {
         let mut total: u128 = 0;
         for (s, &c) in dist.iter().enumerate() {
-            if self.det.accepting[s] {
+            if self.det.is_accepting(s as u32) {
                 total = total.checked_add(c).ok_or(CountError::Overflow)?;
             }
         }
@@ -181,17 +176,26 @@ pub fn count_paths<G: PathGraph>(g: &G, expr: &PathExpr, k: usize) -> Result<u12
 /// Each path is visited exactly once (the word encoding is unique), so no
 /// dedup is needed — but the running time is proportional to the *number
 /// of walks*, which grows as `d^k`. This is the baseline that motivates
-/// the approximation algorithms of §4.1.
-pub fn count_paths_naive<G: PathGraph>(g: &G, expr: &PathExpr, k: usize) -> u128 {
+/// the approximation algorithms of §4.1. Start nodes are explored in
+/// parallel when threads are available; the per-start totals are summed,
+/// which is order-insensitive, so the count never depends on thread count.
+pub fn count_paths_naive<G: PathGraph + Sync>(g: &G, expr: &PathExpr, k: usize) -> u128 {
     let nfa = Nfa::compile(expr);
     let prod = Product::build(g, &nfa);
-    let mut total: u128 = 0;
-    let mut word: Vec<EdgeId> = Vec::with_capacity(k);
-    for v in 0..g.node_count() as u32 {
-        let v = NodeId(v);
+    let n = g.node_count();
+    let count_start = |v: usize| -> u128 {
+        let v = NodeId(v as u32);
+        let mut total: u128 = 0;
+        let mut word: Vec<EdgeId> = Vec::with_capacity(k);
         dfs_count(g, &prod, v, v, k, &mut word, &mut total);
+        total
+    };
+    if crate::parallel::effective_threads() > 1 && n >= 2 {
+        use rayon::prelude::*;
+        (0..n).into_par_iter().map(count_start).sum()
+    } else {
+        (0..n).map(count_start).sum()
     }
-    total
 }
 
 fn dfs_count<G: PathGraph>(
@@ -357,7 +361,19 @@ mod tests {
         let counter = ExactCounter::new(&view, &e);
         assert!(counter.count(2).is_ok());
         assert_eq!(counter.count(160), Err(CountError::Overflow));
-        assert_eq!(CountError::Overflow.to_string(), "path count overflows u128");
+        // Per-source and per-pair variants share the checked arithmetic.
+        let v0 = kgq_graph::NodeId(0);
+        assert!(counter.count_from(v0, 2).is_ok());
+        assert_eq!(counter.count_from(v0, 160), Err(CountError::Overflow));
+        assert!(counter.count_between(v0, v0, 2).is_ok());
+        assert_eq!(
+            counter.count_between(v0, v0, 160),
+            Err(CountError::Overflow)
+        );
+        assert_eq!(
+            CountError::Overflow.to_string(),
+            "path count overflows u128"
+        );
     }
 
     #[test]

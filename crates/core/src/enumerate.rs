@@ -55,11 +55,14 @@ impl PathEnumerator {
         let m = det.state_count();
         let mut viable = vec![vec![false; m]; k + 1];
         for s in 0..m {
-            viable[0][s] = det.accepting[s];
+            viable[0][s] = det.is_accepting(s as u32);
         }
         for j in 1..=k {
             for s in 0..m {
-                viable[j][s] = det.out[s].iter().any(|&(_, s2)| viable[j - 1][s2 as usize]);
+                viable[j][s] = det
+                    .out(s as u32)
+                    .iter()
+                    .any(|&(_, s2)| viable[j - 1][s2 as usize]);
             }
         }
         let sources: Vec<NodeId> = (0..node_count as u32).map(NodeId).collect();
@@ -81,7 +84,7 @@ impl PathEnumerator {
                 Some(s) => s,
                 None => return false,
             };
-            if let Some(s0) = self.det.initial[src.index()] {
+            if let Some(s0) = self.det.initial(src) {
                 if self.viable[self.k][s0 as usize] {
                     self.current_start = Some(src);
                     self.stack.clear();
@@ -117,7 +120,7 @@ impl Iterator for PathEnumerator {
             let remaining = self.k - depth;
             debug_assert!(remaining >= 1);
             let mut idx = next_idx;
-            let transitions = &self.det.out[state as usize];
+            let transitions = self.det.out(state);
             let mut advanced = false;
             while idx < transitions.len() {
                 let (e, s2) = transitions[idx];

@@ -6,6 +6,12 @@
 //! witness path. All run over the nondeterministic [`Product`] in time
 //! polynomial in the product size (no determinization needed, since only
 //! existence — not counting — is asked).
+//!
+//! Multi-source scans ([`Evaluator::pairs`], [`Evaluator::matching_starts`])
+//! fan the per-source BFS out across threads (see [`crate::parallel`]):
+//! each source node's reachability pass is independent, and the per-source
+//! results are concatenated in source order, so the output is byte-identical
+//! to the sequential scan regardless of thread count.
 
 use crate::automata::Nfa;
 use crate::expr::PathExpr;
@@ -13,11 +19,16 @@ use crate::model::PathGraph;
 use crate::path::Path;
 use crate::product::{PState, Product};
 use kgq_graph::{EdgeId, NodeId};
+use rayon::prelude::*;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Compiled evaluator for one expression over one graph.
+///
+/// Holds the product behind an [`Arc`] so a [`crate::cache::QueryCache`]
+/// hit can share an already-built product without copying it.
 pub struct Evaluator {
-    product: Product,
+    product: Arc<Product>,
 }
 
 impl Evaluator {
@@ -25,8 +36,13 @@ impl Evaluator {
     pub fn new<G: PathGraph>(g: &G, expr: &PathExpr) -> Evaluator {
         let nfa = Nfa::compile(expr);
         Evaluator {
-            product: Product::build(g, &nfa),
+            product: Arc::new(Product::build(g, &nfa)),
         }
+    }
+
+    /// Wraps an already-built (possibly cached) product.
+    pub fn from_product(product: Arc<Product>) -> Evaluator {
+        Evaluator { product }
     }
 
     /// Access to the underlying product automaton.
@@ -39,14 +55,14 @@ impl Evaluator {
     fn reachable_from(&self, start: NodeId) -> Vec<bool> {
         let mut seen = vec![false; self.product.state_count()];
         let mut queue: VecDeque<PState> = VecDeque::new();
-        for &s in &self.product.initial[start.index()] {
+        for &s in self.product.initial(start) {
             if !seen[s as usize] {
                 seen[s as usize] = true;
                 queue.push_back(s);
             }
         }
         while let Some(s) = queue.pop_front() {
-            for &(_, s2) in &self.product.out[s as usize] {
+            for &(_, s2) in self.product.out(s) {
                 if !seen[s2 as usize] {
                     seen[s2 as usize] = true;
                     queue.push_back(s2);
@@ -63,7 +79,7 @@ impl Evaluator {
         let mut ends: Vec<NodeId> = seen
             .iter()
             .enumerate()
-            .filter(|&(s, &r)| r && self.product.accepting[s])
+            .filter(|&(s, &r)| r && self.product.is_accepting(s as PState))
             .map(|(s, _)| self.product.node_of(s as PState))
             .collect();
         ends.sort_unstable();
@@ -77,8 +93,32 @@ impl Evaluator {
     }
 
     /// All `(start, end)` pairs connected by a matching path.
+    ///
+    /// Sources are scanned in parallel when more than one thread is
+    /// available; the result is identical to [`Evaluator::pairs_sequential`]
+    /// for every thread count.
     pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
-        let n = self.product.initial.len();
+        let n = self.product.node_count();
+        if crate::parallel::effective_threads() <= 1 || n < 2 {
+            return self.pairs_sequential();
+        }
+        let per_source: Vec<Vec<(NodeId, NodeId)>> = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let v = NodeId(v as u32);
+                self.ends_from(v).into_iter().map(|b| (v, b)).collect()
+            })
+            .collect();
+        let mut result = Vec::with_capacity(per_source.iter().map(Vec::len).sum());
+        for chunk in per_source {
+            result.extend(chunk);
+        }
+        result
+    }
+
+    /// Single-threaded [`Evaluator::pairs`] (reference implementation).
+    pub fn pairs_sequential(&self) -> Vec<(NodeId, NodeId)> {
+        let n = self.product.node_count();
         let mut result = Vec::new();
         for v in 0..n as u32 {
             let v = NodeId(v);
@@ -90,8 +130,29 @@ impl Evaluator {
     }
 
     /// Node extraction (§4.3): all nodes that *start* a matching path.
+    ///
+    /// Parallel over sources, with output identical to
+    /// [`Evaluator::matching_starts_sequential`].
     pub fn matching_starts(&self) -> Vec<NodeId> {
-        let n = self.product.initial.len();
+        let n = self.product.node_count();
+        if crate::parallel::effective_threads() <= 1 || n < 2 {
+            return self.matching_starts_sequential();
+        }
+        let matches: Vec<bool> = (0..n)
+            .into_par_iter()
+            .map(|v| !self.ends_from(NodeId(v as u32)).is_empty())
+            .collect();
+        matches
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, m)| m)
+            .map(|(v, _)| NodeId(v as u32))
+            .collect()
+    }
+
+    /// Single-threaded [`Evaluator::matching_starts`].
+    pub fn matching_starts_sequential(&self) -> Vec<NodeId> {
+        let n = self.product.node_count();
         (0..n as u32)
             .map(NodeId)
             .filter(|&v| !self.ends_from(v).is_empty())
@@ -101,11 +162,10 @@ impl Evaluator {
     /// A shortest matching path from `a` to `b`, if any (BFS over the
     /// product, so minimal in the number of edges).
     pub fn shortest_witness(&self, a: NodeId, b: NodeId) -> Option<Path> {
-        let mut parent: Vec<Option<(PState, EdgeId)>> =
-            vec![None; self.product.state_count()];
+        let mut parent: Vec<Option<(PState, EdgeId)>> = vec![None; self.product.state_count()];
         let mut seen = vec![false; self.product.state_count()];
         let mut queue: VecDeque<PState> = VecDeque::new();
-        for &s in &self.product.initial[a.index()] {
+        for &s in self.product.initial(a) {
             if !seen[s as usize] {
                 seen[s as usize] = true;
                 queue.push_back(s);
@@ -113,18 +173,18 @@ impl Evaluator {
         }
         let mut found: Option<PState> = None;
         // Check immediate acceptance (length-0 path).
-        for &s in &self.product.initial[a.index()] {
-            if self.product.accepting[s as usize] && self.product.node_of(s) == b {
+        for &s in self.product.initial(a) {
+            if self.product.is_accepting(s) && self.product.node_of(s) == b {
                 found = Some(s);
             }
         }
         while found.is_none() {
             let s = queue.pop_front()?;
-            for &(e, s2) in &self.product.out[s as usize] {
+            for &(e, s2) in self.product.out(s) {
                 if !seen[s2 as usize] {
                     seen[s2 as usize] = true;
                     parent[s2 as usize] = Some((s, e));
-                    if self.product.accepting[s2 as usize] && self.product.node_of(s2) == b {
+                    if self.product.is_accepting(s2) && self.product.node_of(s2) == b {
                         found = Some(s2);
                         break;
                     }

@@ -21,7 +21,7 @@ use kgq_graph::Sym;
 use std::fmt;
 
 /// A boolean test on a node or an edge.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Test {
     /// `ℓ` — the label equals `ℓ`.
     Label(Sym),
@@ -98,7 +98,7 @@ impl Test {
 }
 
 /// A path regular expression (grammar (1) of the paper).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum PathExpr {
     /// `?test` — a node test; matches length-0 paths.
     NodeTest(Test),
@@ -179,7 +179,9 @@ impl PathExpr {
 /// A bare identifier if lexable as one, otherwise single-quoted.
 fn fmt_const(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     let ident = !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_alphanumeric() || c == '_');
     if ident {
         write!(f, "{s}")
@@ -262,11 +264,7 @@ fn fmt_test(t: &Test, consts: &kgq_graph::Interner, f: &mut fmt::Formatter<'_>) 
     }
 }
 
-fn fmt_expr(
-    e: &PathExpr,
-    consts: &kgq_graph::Interner,
-    f: &mut fmt::Formatter<'_>,
-) -> fmt::Result {
+fn fmt_expr(e: &PathExpr, consts: &kgq_graph::Interner, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match e {
         PathExpr::NodeTest(t) => {
             write!(f, "?")?;
@@ -322,11 +320,11 @@ mod tests {
         assert!(PathExpr::NodeTest(Test::Label(person)).nullable());
         assert!(!PathExpr::Forward(Test::Label(rides)).nullable());
         assert!(PathExpr::Forward(Test::Label(rides)).star().nullable());
-        let seq = PathExpr::NodeTest(Test::Label(person))
-            .concat(PathExpr::Forward(Test::Label(rides)));
+        let seq =
+            PathExpr::NodeTest(Test::Label(person)).concat(PathExpr::Forward(Test::Label(rides)));
         assert!(!seq.nullable());
-        let alt = PathExpr::Forward(Test::Label(rides))
-            .alt(PathExpr::NodeTest(Test::Label(person)));
+        let alt =
+            PathExpr::Forward(Test::Label(rides)).alt(PathExpr::NodeTest(Test::Label(person)));
         assert!(alt.nullable());
     }
 

@@ -48,12 +48,12 @@ impl UniformSampler {
         let m = det.state_count();
         let mut completions = vec![vec![0u128; m]; k + 1];
         for s in 0..m {
-            completions[0][s] = u128::from(det.accepting[s]);
+            completions[0][s] = u128::from(det.is_accepting(s as u32));
         }
         for j in 1..=k {
             for s in 0..m {
                 let mut sum: u128 = 0;
-                for &(_, s2) in &det.out[s] {
+                for &(_, s2) in det.out(s as u32) {
                     sum = sum
                         .checked_add(completions[j - 1][s2 as usize])
                         .ok_or(CountError::Overflow)?;
@@ -63,7 +63,7 @@ impl UniformSampler {
         }
         let mut roots = Vec::new();
         let mut total: u128 = 0;
-        for (v, slot) in det.initial.iter().enumerate() {
+        for (v, slot) in det.initial_slots().iter().enumerate() {
             if let Some(s) = slot {
                 let f = completions[k][*s as usize];
                 if f > 0 {
@@ -107,9 +107,8 @@ impl UniformSampler {
         };
         let mut edges = Vec::with_capacity(self.k);
         for j in (1..=self.k).rev() {
-            let transitions = &self.det.out[state as usize];
-            let weight_of =
-                |s2: u32| -> u128 { self.completions[j - 1][s2 as usize] };
+            let transitions = self.det.out(state);
+            let weight_of = |s2: u32| -> u128 { self.completions[j - 1][s2 as usize] };
             let total_here: u128 = transitions.iter().map(|&(_, s2)| weight_of(s2)).sum();
             debug_assert!(total_here > 0);
             let mut t = rng.gen_range(0..total_here);

@@ -24,18 +24,19 @@
 //! * [`path`] — paths as first-class values.
 //! * [`simplify`] — semantics-preserving expression rewriting.
 
-
 // Several hot loops index multiple parallel arrays at once; the
 // iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 pub mod approx;
 pub mod automata;
+pub mod cache;
 pub mod count;
 pub mod enumerate;
 pub mod eval;
 pub mod expr;
 pub mod gen;
 pub mod model;
+pub mod parallel;
 pub mod parser;
 pub mod path;
 pub mod product;
@@ -43,6 +44,7 @@ pub mod simplify;
 
 pub use approx::{approx_count, approx_count_amplified, ApproxCounter, ApproxParams};
 pub use automata::Nfa;
+pub use cache::{CompiledQuery, QueryCache};
 pub use count::{count_paths, count_paths_naive, CountError, ExactCounter};
 pub use enumerate::{enumerate_paths, enumerate_paths_upto, PathEnumerator};
 pub use eval::{eval_pairs, matching_starts, paths_between, Evaluator};
@@ -51,5 +53,5 @@ pub use gen::UniformSampler;
 pub use model::{LabeledView, PathGraph, PropertyView, VectorView};
 pub use parser::{parse_expr, ParseError};
 pub use path::Path;
-pub use simplify::simplify;
 pub use product::{DetProduct, Product};
+pub use simplify::simplify;

@@ -1,0 +1,67 @@
+//! Threading control for the multi-source evaluation scans.
+//!
+//! The parallel entry points ([`crate::eval::Evaluator::pairs`],
+//! [`crate::count::count_paths_naive`],
+//! [`crate::approx::approx_count_amplified`]) all follow the same
+//! discipline: split work by *source* (node or round), compute each
+//! source's answer independently, and combine in source order (or with an
+//! order-insensitive sum). Answers are therefore identical for every
+//! thread count, including one.
+//!
+//! Thread count resolution, highest priority first:
+//!
+//! 1. the `KGQ_THREADS` environment variable (applied once, on first use);
+//! 2. whatever the rayon global pool was configured with
+//!    (`RAYON_NUM_THREADS`, or an explicit `ThreadPoolBuilder`);
+//! 3. the machine's available parallelism.
+//!
+//! Setting `KGQ_THREADS=1` forces the sequential paths everywhere.
+
+use std::sync::Once;
+
+static INIT: Once = Once::new();
+
+/// Applies `KGQ_THREADS` (if set and valid) to the global rayon pool.
+/// Idempotent; called automatically by [`effective_threads`].
+pub fn init_threads() {
+    INIT.call_once(|| {
+        if let Ok(v) = std::env::var("KGQ_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    let _ = rayon::ThreadPoolBuilder::new()
+                        .num_threads(n)
+                        .build_global();
+                }
+            }
+        }
+    });
+}
+
+/// Number of threads the parallel scans will use (after honoring
+/// `KGQ_THREADS`). A return value of 1 routes every scan through its
+/// sequential reference implementation.
+pub fn effective_threads() -> usize {
+    init_threads();
+    rayon::current_num_threads()
+}
+
+/// Reconfigures the global pool to `n` threads, overriding `KGQ_THREADS`
+/// and any earlier configuration (the bundled rayon's `build_global` is
+/// repeatable: the last call wins). Intended for benchmarks and tests
+/// that measure or verify behavior across thread counts.
+pub fn set_threads(n: usize) {
+    init_threads();
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(n.max(1))
+        .build_global();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_is_positive() {
+        assert!(effective_threads() >= 1);
+    }
+}

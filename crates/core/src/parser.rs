@@ -31,13 +31,46 @@ use crate::expr::{PathExpr, Test};
 use kgq_graph::Interner;
 use std::fmt;
 
-/// Parse error with byte position.
+/// Parse error with byte position and, where known, what was expected.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset in the input where the error was detected.
     pub pos: usize,
     /// Human-readable description.
     pub message: String,
+    /// The token or construct the parser expected at `pos`, when the
+    /// error is an expectation failure (`None` for lexical errors such
+    /// as an unexpected character).
+    pub expected: Option<String>,
+}
+
+impl ParseError {
+    /// Renders the error against its input with a caret marking the
+    /// offending byte:
+    ///
+    /// ```text
+    /// parse error at byte 8: expected an atom (…)
+    ///   ?person/
+    ///           ^ expected an atom (…)
+    /// ```
+    ///
+    /// Column alignment is byte-based (exact for ASCII input). The line
+    /// containing `pos` is extracted, so multi-line input renders only
+    /// the relevant line.
+    pub fn render(&self, input: &str) -> String {
+        let pos = self.pos.min(input.len());
+        let line_start = input[..pos].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = input[line_start..]
+            .find('\n')
+            .map_or(input.len(), |i| line_start + i);
+        let line = &input[line_start..line_end];
+        let pad = " ".repeat(pos - line_start);
+        let hint = match &self.expected {
+            Some(e) => format!(" expected {e}"),
+            None => String::new(),
+        };
+        format!("{self}\n  {line}\n  {pad}^{hint}")
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -147,6 +180,7 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                     return Err(ParseError {
                         pos: i,
                         message: "expected `^-`".to_owned(),
+                        expected: Some("`^-`".to_owned()),
                     });
                 }
             }
@@ -161,6 +195,7 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                     return Err(ParseError {
                         pos: start,
                         message: "unterminated quoted string".to_owned(),
+                        expected: Some("a closing `'`".to_owned()),
                     });
                 }
                 toks.push((start, Tok::Quoted(input[begin..i].to_owned())));
@@ -174,6 +209,7 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 let n: usize = input[begin..i].parse().map_err(|_| ParseError {
                     pos: begin,
                     message: "integer too large".to_owned(),
+                    expected: None,
                 })?;
                 toks.push((begin, Tok::Int(n)));
             }
@@ -193,6 +229,7 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 return Err(ParseError {
                     pos: i,
                     message: format!("unexpected character `{other}`"),
+                    expected: None,
                 });
             }
         }
@@ -213,10 +250,7 @@ impl<'a> Parser<'a> {
     }
 
     fn here(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .map(|(p, _)| *p)
-            .unwrap_or(self.end)
+        self.toks.get(self.pos).map(|(p, _)| *p).unwrap_or(self.end)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -232,7 +266,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(self.err(format!("expected {what}")))
+            Err(self.err_expected(what))
         }
     }
 
@@ -240,6 +274,15 @@ impl<'a> Parser<'a> {
         ParseError {
             pos: self.here(),
             message,
+            expected: None,
+        }
+    }
+
+    fn err_expected(&self, what: &str) -> ParseError {
+        ParseError {
+            pos: self.here(),
+            message: format!("expected {what}"),
+            expected: Some(what.to_owned()),
         }
     }
 
@@ -295,7 +338,7 @@ impl<'a> Parser<'a> {
                     Ok(PathExpr::Forward(t))
                 }
             }
-            _ => Err(self.err("expected an atom (`?test`, `test`, `test^-` or `(expr)`)".into())),
+            _ => Err(self.err_expected("an atom (`?test`, `test`, `test^-` or `(expr)`)")),
         }
     }
 
@@ -315,7 +358,7 @@ impl<'a> Parser<'a> {
             }
             _ => {
                 self.pos = self.pos.saturating_sub(1);
-                Err(self.err("expected a test".into()))
+                Err(self.err_expected("a test"))
             }
         }
     }
@@ -325,7 +368,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             let i = match self.bump() {
                 Some(Tok::Int(i)) => i,
-                _ => return Err(self.err("expected feature index after `#`".into())),
+                _ => return Err(self.err_expected("a feature index after `#`")),
             };
             if i == 0 {
                 return Err(self.err("feature indices are 1-based".into()));
@@ -347,7 +390,7 @@ impl<'a> Parser<'a> {
             Some(Tok::Int(i)) => Ok(self.consts.intern(&i.to_string())),
             _ => {
                 self.pos = self.pos.saturating_sub(1);
-                Err(self.err("expected an identifier, quoted string or integer".into()))
+                Err(self.err_expected("an identifier, quoted string or integer"))
             }
         }
     }
@@ -393,7 +436,11 @@ pub fn parse_expr(input: &str, consts: &mut Interner) -> Result<PathExpr, ParseE
     };
     let e = p.expr()?;
     if p.pos != p.toks.len() {
-        return Err(p.err("trailing input".into()));
+        return Err(ParseError {
+            pos: p.here(),
+            message: "trailing input".to_owned(),
+            expected: Some("end of input or an operator (`/`, `+`, `*`)".to_owned()),
+        });
     }
     Ok(e)
 }
@@ -437,8 +484,7 @@ mod tests {
 
     #[test]
     fn paper_r1_epidemic_expression() {
-        let (e, _) =
-            parse("?infected/rides/?bus/rides^-/(?person/(lives+contact))*/?person");
+        let (e, _) = parse("?infected/rides/?bus/rides^-/(?person/(lives+contact))*/?person");
         assert_eq!(e.atom_count(), 8);
         assert!(!e.nullable());
     }
@@ -502,6 +548,43 @@ mod tests {
         assert!(err.message.contains("1-based"));
         let err = parse_expr("'oops", &mut it).unwrap_err();
         assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn expected_token_info_is_structured() {
+        let mut it = Interner::new();
+        let err = parse_expr("(a", &mut it).unwrap_err();
+        assert_eq!(err.expected.as_deref(), Some("`)`"));
+        let err = parse_expr("?person/", &mut it).unwrap_err();
+        assert!(err.expected.as_deref().unwrap().contains("atom"));
+        // Lexical errors carry no expectation.
+        let err = parse_expr("a % b", &mut it).unwrap_err();
+        assert_eq!(err.expected, None);
+    }
+
+    #[test]
+    fn render_points_a_caret_at_the_error() {
+        let mut it = Interner::new();
+        let input = "?person/";
+        let err = parse_expr(input, &mut it).unwrap_err();
+        let rendered = err.render(input);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("parse error at byte 8"));
+        assert_eq!(lines[1], "  ?person/");
+        // Caret under byte 8 (two-space gutter).
+        assert!(lines[2].starts_with("          ^"));
+        assert!(lines[2].contains("expected an atom"));
+    }
+
+    #[test]
+    fn render_extracts_the_offending_line() {
+        let mut it = Interner::new();
+        let input = "?person/\nrides/";
+        let err = parse_expr(input, &mut it).unwrap_err();
+        let rendered = err.render(input);
+        assert!(rendered.contains("\n  rides/\n"));
+        assert!(!rendered.contains("\n  ?person/"));
     }
 
     #[test]

@@ -114,7 +114,7 @@ mod tests {
         let n1 = g.node_named("n1").unwrap();
         let e1 = g.edge_named("e1").unwrap(); // n1 -rides-> n3
         let e2 = g.edge_named("e2").unwrap(); // n2 -rides-> n3
-        // n1 --e1--> n3 --e2 (backwards)--> n2
+                                              // n1 --e1--> n3 --e2 (backwards)--> n2
         let p = Path {
             start: n1,
             edges: vec![e1, e2],

@@ -13,6 +13,14 @@
 //!   transition whose test `e` passes in the matching direction, then
 //!   closes again at the new node.
 //!
+//! Transitions are stored in a flat CSR layout (one offset array plus one
+//! contiguous target array per direction, mirroring `kgq_graph::csr`):
+//! `out(s)` and `preds(s)` are slices into shared backing vectors instead
+//! of per-state heap allocations. The DP passes in [`crate::count`],
+//! [`crate::approx`] and [`crate::gen`] stream over these slices, so the
+//! layout keeps them cache-friendly and makes the product cheap to share
+//! across threads ([`crate::eval::Evaluator::pairs`]).
+//!
 //! Because several NFA runs can accept the same word, counting accepting
 //! runs of the product over-counts *paths*. [`DetProduct`] applies the
 //! subset construction — states `(node, set of NFA states)` — after which
@@ -30,21 +38,42 @@ use std::collections::HashMap;
 /// Index of a product state.
 pub type PState = u32;
 
+/// Flattens per-index lists into a CSR (offsets, flat items) pair.
+fn flatten<T: Copy>(lists: &[Vec<T>]) -> (Vec<u32>, Vec<T>) {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    let mut flat = Vec::with_capacity(total);
+    off.push(0u32);
+    for list in lists {
+        flat.extend_from_slice(list);
+        off.push(flat.len() as u32);
+    }
+    (off, flat)
+}
+
 /// The nondeterministic product of a graph and an NFA.
+///
+/// Stored in flat CSR form: all per-state adjacency lives in two shared
+/// vectors per direction, addressed through offset arrays.
 #[derive(Clone, Debug)]
 pub struct Product {
     /// `(graph node, NFA state)` per product state.
-    pub states: Vec<(NodeId, u32)>,
-    /// Consuming transitions: `out[s]` lists `(edge, successor)` pairs,
-    /// sorted and deduplicated.
-    pub out: Vec<Vec<(EdgeId, PState)>>,
-    /// Reverse transitions: `preds[s]` lists `(predecessor, edge)` pairs.
-    pub preds: Vec<Vec<(PState, EdgeId)>>,
+    states: Vec<(NodeId, u32)>,
+    /// CSR offsets into `out_tr`: state `s` owns `out_tr[out_off[s]..out_off[s+1]]`.
+    out_off: Vec<u32>,
+    /// Consuming transitions `(edge, successor)`, sorted and deduplicated
+    /// per state.
+    out_tr: Vec<(EdgeId, PState)>,
+    /// CSR offsets into `pred_tr`.
+    pred_off: Vec<u32>,
+    /// Reverse transitions `(predecessor, edge)`, sorted per state.
+    pred_tr: Vec<(PState, EdgeId)>,
     /// Accepting product states.
-    pub accepting: Vec<bool>,
-    /// `initial[v]` lists the product states entered on reading node
-    /// symbol `v` (empty slot if `v` is not among the built sources).
-    pub initial: Vec<Vec<PState>>,
+    accepting: Vec<bool>,
+    /// CSR offsets into `init_states`, one slot per graph node.
+    init_off: Vec<u32>,
+    /// Product states entered on reading each node symbol.
+    init_states: Vec<PState>,
 }
 
 /// Guarded ε-closure of `seed` NFA states at graph node `n`.
@@ -158,12 +187,19 @@ impl Product {
             p.sort_unstable_by_key(|&(s, e)| (s, e.0));
         }
 
+        let (out_off, out_tr) = flatten(&out);
+        let (pred_off, pred_tr) = flatten(&preds);
+        let (init_off, init_states) = flatten(&initial);
+
         Product {
             states,
-            out,
-            preds,
+            out_off,
+            out_tr,
+            pred_off,
+            pred_tr,
             accepting,
-            initial,
+            init_off,
+            init_states,
         }
     }
 
@@ -172,20 +208,65 @@ impl Product {
         self.states.len()
     }
 
+    /// Number of consuming transitions across all states.
+    pub fn transition_count(&self) -> usize {
+        self.out_tr.len()
+    }
+
+    /// Number of graph nodes the product was built over.
+    pub fn node_count(&self) -> usize {
+        self.init_off.len() - 1
+    }
+
     /// The graph node of product state `s`.
     pub fn node_of(&self, s: PState) -> NodeId {
         self.states[s as usize].0
+    }
+
+    /// The NFA state of product state `s`.
+    pub fn nfa_state_of(&self, s: PState) -> u32 {
+        self.states[s as usize].1
+    }
+
+    /// Consuming transitions of `s`: `(edge, successor)` pairs sorted by
+    /// `(edge, successor)` and deduplicated.
+    #[inline]
+    pub fn out(&self, s: PState) -> &[(EdgeId, PState)] {
+        let s = s as usize;
+        &self.out_tr[self.out_off[s] as usize..self.out_off[s + 1] as usize]
+    }
+
+    /// Reverse transitions of `s`: `(predecessor, edge)` pairs sorted by
+    /// `(predecessor, edge)`.
+    #[inline]
+    pub fn preds(&self, s: PState) -> &[(PState, EdgeId)] {
+        let s = s as usize;
+        &self.pred_tr[self.pred_off[s] as usize..self.pred_off[s + 1] as usize]
+    }
+
+    /// Whether product state `s` is accepting.
+    #[inline]
+    pub fn is_accepting(&self, s: PState) -> bool {
+        self.accepting[s as usize]
+    }
+
+    /// Product states entered on reading node symbol `v` (empty if `v`
+    /// was not among the built sources).
+    #[inline]
+    pub fn initial(&self, v: NodeId) -> &[PState] {
+        let v = v.index();
+        &self.init_states[self.init_off[v] as usize..self.init_off[v + 1] as usize]
     }
 
     /// Runs the product on a word `(start, edges)`, returning the set of
     /// product states reached (sorted). Empty if the word is not a valid
     /// traversal or matches nothing.
     pub fn run(&self, start: NodeId, edges: &[EdgeId]) -> Vec<PState> {
-        let mut cur: Vec<PState> = self.initial[start.index()].clone();
+        let mut cur: Vec<PState> = self.initial(start).to_vec();
         for &e in edges {
             let mut next: Vec<PState> = Vec::new();
             for &s in &cur {
-                for &(te, s2) in &self.out[s as usize] {
+                for &(te, s2) in self.out(s) {
                     if te == e {
                         next.push(s2);
                     }
@@ -203,27 +284,28 @@ impl Product {
 
     /// True if the word `(start, edges)` encodes a path in `⟦r⟧`.
     pub fn accepts(&self, start: NodeId, edges: &[EdgeId]) -> bool {
-        self.run(start, edges)
-            .iter()
-            .any(|&s| self.accepting[s as usize])
+        self.run(start, edges).iter().any(|&s| self.is_accepting(s))
     }
 }
 
 /// The determinized product (subset construction on the NFA component).
 ///
 /// Each word has exactly one run, so dynamic programming over
-/// `DetProduct` counts *distinct paths* exactly.
+/// `DetProduct` counts *distinct paths* exactly. Transitions use the same
+/// flat CSR layout as [`Product`].
 #[derive(Clone, Debug)]
 pub struct DetProduct {
     /// `(graph node, sorted set of NFA states)` per det state.
-    pub states: Vec<(NodeId, Vec<u32>)>,
+    states: Vec<(NodeId, Vec<u32>)>,
+    /// CSR offsets into `out_tr`.
+    out_off: Vec<u32>,
     /// Deterministic transitions: at most one successor per edge symbol,
     /// sorted by edge id.
-    pub out: Vec<Vec<(EdgeId, u32)>>,
+    out_tr: Vec<(EdgeId, u32)>,
     /// Whether the state set contains the NFA accept state.
-    pub accepting: Vec<bool>,
+    accepting: Vec<bool>,
     /// Per graph node, the det state entered on reading that node symbol.
-    pub initial: Vec<Option<u32>>,
+    initial: Vec<Option<u32>>,
 }
 
 impl DetProduct {
@@ -311,9 +393,12 @@ impl DetProduct {
             .map(|(_, set)| set.binary_search(&nfa.accept).is_ok())
             .collect();
 
+        let (out_off, out_tr) = flatten(&out);
+
         DetProduct {
             states,
-            out,
+            out_off,
+            out_tr,
             accepting,
             initial,
         }
@@ -327,6 +412,31 @@ impl DetProduct {
     /// The graph node of det state `s`.
     pub fn node_of(&self, s: u32) -> NodeId {
         self.states[s as usize].0
+    }
+
+    /// Deterministic transitions of `s`, sorted by edge id.
+    #[inline]
+    pub fn out(&self, s: u32) -> &[(EdgeId, u32)] {
+        let s = s as usize;
+        &self.out_tr[self.out_off[s] as usize..self.out_off[s + 1] as usize]
+    }
+
+    /// Whether det state `s` contains the NFA accept state.
+    #[inline]
+    pub fn is_accepting(&self, s: u32) -> bool {
+        self.accepting[s as usize]
+    }
+
+    /// The det state entered on reading node symbol `v`, if any.
+    #[inline]
+    pub fn initial(&self, v: NodeId) -> Option<u32> {
+        self.initial.get(v.index()).copied().flatten()
+    }
+
+    /// The per-node initial slots (index = node id), for whole-graph scans.
+    #[inline]
+    pub fn initial_slots(&self) -> &[Option<u32>] {
+        &self.initial
     }
 }
 
@@ -408,11 +518,34 @@ mod tests {
         let view = LabeledView::new(&g);
         let det = DetProduct::build(&view, &nfa);
         for s in 0..det.state_count() {
-            let list = &det.out[s];
+            let list = det.out(s as u32);
             for w in list.windows(2) {
                 assert!(w[0].0 < w[1].0, "duplicate edge symbol in det state");
             }
         }
+    }
+
+    #[test]
+    fn csr_slices_partition_the_transition_list() {
+        let (g, nfa) = setup("?person/(contact + rides/rides^-)*/?infected");
+        let view = LabeledView::new(&g);
+        let prod = Product::build(&view, &nfa);
+        let total: usize = (0..prod.state_count())
+            .map(|s| prod.out(s as u32).len())
+            .sum();
+        assert_eq!(total, prod.transition_count());
+        // Every forward transition has a matching reverse transition.
+        let rev_total: usize = (0..prod.state_count())
+            .map(|s| prod.preds(s as u32).len())
+            .sum();
+        assert_eq!(rev_total, prod.transition_count());
+        for s in 0..prod.state_count() as u32 {
+            for &(e, s2) in prod.out(s) {
+                assert!(prod.preds(s2).contains(&(s, e)), "missing reverse edge");
+            }
+        }
+        // Initial slots cover every graph node.
+        assert_eq!(prod.node_count(), g.node_count());
     }
 
     #[test]
@@ -436,19 +569,17 @@ mod tests {
     }
 
     fn det_accepts(det: &DetProduct, start: NodeId, edges: &[EdgeId]) -> bool {
-        let mut cur = match det.initial[start.index()] {
+        let mut cur = match det.initial(start) {
             Some(s) => s,
             None => return false,
         };
         for &e in edges {
-            match det.out[cur as usize]
-                .binary_search_by_key(&e.0, |&(ee, _)| ee.0)
-            {
-                Ok(i) => cur = det.out[cur as usize][i].1,
+            match det.out(cur).binary_search_by_key(&e.0, |&(ee, _)| ee.0) {
+                Ok(i) => cur = det.out(cur)[i].1,
                 Err(_) => return false,
             }
         }
-        det.accepting[cur as usize]
+        det.is_accepting(cur)
     }
 
     /// All traversable words of length <= k from n (graph walks).

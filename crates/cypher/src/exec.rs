@@ -9,9 +9,12 @@
 //! * `WHERE` comparisons against a missing property are not satisfied
 //!   (Cypher's NULL semantics: neither `=` nor `<>` is true).
 
-use crate::ast::{CmpOp, Direction, Query, ReturnItem};
+use crate::ast::{CmpOp, Direction, PathPattern, Query, ReturnItem};
+use kgq_core::cache::QueryCache;
+use kgq_core::expr::{PathExpr, Test};
+use kgq_core::model::PropertyView;
 use kgq_graph::{EdgeId, NodeId, PropertyGraph};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One result row: a string per `RETURN` item (node/edge identifiers for
 /// variables, property values — empty when absent — for lookups).
@@ -29,6 +32,9 @@ struct Ctx<'a> {
     env: HashMap<String, Binding>,
     used_edges: Vec<EdgeId>,
     out: Vec<Row>,
+    /// Per-pattern sets of admissible start nodes (from the compiled
+    /// product); `None` means no prefilter for that pattern.
+    start_filter: Vec<Option<HashSet<NodeId>>>,
 }
 
 /// Executes a parsed query against a property graph.
@@ -37,12 +43,97 @@ struct Ctx<'a> {
 /// Unknown variables in `WHERE`/`RETURN` simply never match / produce
 /// empty strings — mirroring the forgiving behavior of the text format.
 pub fn execute(g: &PropertyGraph, query: &Query) -> Vec<Row> {
+    let filters = vec![None; query.patterns.len()];
+    execute_with_filters(g, query, filters)
+}
+
+/// How a pattern chain translates into a path expression for pruning.
+enum Prefilter {
+    /// Some element is unlabeled — no sound expression, skip pruning.
+    NotApplicable,
+    /// A label string absent from the graph's constant universe: the
+    /// pattern (and hence the query) cannot match at all.
+    Empty,
+    /// The chain as a path expression; its `matching_starts` set
+    /// over-approximates the pattern's start nodes.
+    Expr(PathExpr),
+}
+
+/// Translates a fully labeled pattern chain
+/// `(:l0)-[:e1]->(:l1)…` into `?l0/e1/?l1/…`. Relationship uniqueness
+/// and cross-pattern variable joins make actual Cypher matches a
+/// *subset* of the expression's answers, so pruning start candidates to
+/// `matching_starts` of this expression never loses a solution.
+fn pattern_prefilter(g: &PropertyGraph, pattern: &PathPattern) -> Prefilter {
+    let all_labeled = pattern.nodes.iter().all(|n| n.label.is_some())
+        && pattern.rels.iter().all(|r| r.label.is_some());
+    if !all_labeled {
+        return Prefilter::NotApplicable;
+    }
+    let sym = |label: &Option<String>| g.labeled().sym(label.as_deref().expect("all labeled"));
+    let Some(first) = sym(&pattern.nodes[0].label) else {
+        return Prefilter::Empty;
+    };
+    let mut expr = PathExpr::NodeTest(Test::Label(first));
+    for (rel, node) in pattern.rels.iter().zip(&pattern.nodes[1..]) {
+        let (Some(rl), Some(nl)) = (sym(&rel.label), sym(&node.label)) else {
+            return Prefilter::Empty;
+        };
+        let step = match rel.direction {
+            Direction::Right => PathExpr::Forward(Test::Label(rl)),
+            Direction::Left => PathExpr::Backward(Test::Label(rl)),
+        };
+        expr = PathExpr::Concat(Box::new(expr), Box::new(step));
+        expr = PathExpr::Concat(
+            Box::new(expr),
+            Box::new(PathExpr::NodeTest(Test::Label(nl))),
+        );
+    }
+    Prefilter::Expr(expr)
+}
+
+/// Executes a parsed query, pruning each fully labeled pattern chain
+/// through `cache`: the chain is compiled to a path expression (reusing
+/// a cached graph × NFA product when the graph generation matches) and
+/// start candidates are restricted to its `matching_starts` set. Falls
+/// back to plain [`execute`] behavior for chains with unlabeled
+/// elements. Results are identical to [`execute`].
+pub fn execute_cached(g: &PropertyGraph, query: &Query, cache: &mut QueryCache) -> Vec<Row> {
+    let generation = g.generation();
+    let view = PropertyView::new(g);
+    let mut filters: Vec<Option<HashSet<NodeId>>> = Vec::with_capacity(query.patterns.len());
+    for pattern in &query.patterns {
+        match pattern_prefilter(g, pattern) {
+            Prefilter::NotApplicable => filters.push(None),
+            Prefilter::Empty => return Vec::new(),
+            Prefilter::Expr(e) => {
+                let compiled = cache.get_or_compile(&view, generation, &e);
+                let starts: HashSet<NodeId> =
+                    compiled.evaluator().matching_starts().into_iter().collect();
+                if starts.is_empty() {
+                    // MATCH patterns are conjunctive: one unmatchable
+                    // chain empties the whole result.
+                    return Vec::new();
+                }
+                filters.push(Some(starts));
+            }
+        }
+    }
+    execute_with_filters(g, query, filters)
+}
+
+fn execute_with_filters(
+    g: &PropertyGraph,
+    query: &Query,
+    start_filter: Vec<Option<HashSet<NodeId>>>,
+) -> Vec<Row> {
     let mut ctx = Ctx {
         g,
         query,
         env: HashMap::new(),
         used_edges: Vec::new(),
         out: Vec::new(),
+        start_filter,
     };
     match_pattern(&mut ctx, 0);
     ctx.out
@@ -90,13 +181,16 @@ fn match_pattern(ctx: &mut Ctx<'_>, pat_idx: usize) {
     let candidates: Vec<NodeId> = match first.var.as_ref().and_then(|v| ctx.env.get(v)) {
         Some(Binding::Node(n)) => vec![*n],
         Some(Binding::Edge(_)) => return,
-        None => ctx
-            .g
-            .labeled()
-            .base()
-            .nodes()
-            .filter(|&n| node_label_ok(ctx.g, n, &first.label))
-            .collect(),
+        None => {
+            let filter = ctx.start_filter.get(pat_idx).and_then(|f| f.as_ref());
+            ctx.g
+                .labeled()
+                .base()
+                .nodes()
+                .filter(|&n| node_label_ok(ctx.g, n, &first.label))
+                .filter(|n| filter.is_none_or(|f| f.contains(n)))
+                .collect()
+        }
     };
     for n in candidates {
         if !node_label_ok(ctx.g, n, &first.label) {
@@ -260,9 +354,7 @@ mod tests {
     fn where_filters_on_node_and_edge_properties() {
         let rows = run("MATCH (p:person) WHERE p.age = '33' RETURN p.name");
         assert_eq!(rows, vec![vec!["Julia"]]);
-        let rows = run(
-            "MATCH (p)-[r:rides]->(b:bus) WHERE r.date <> '3/3/21' RETURN p",
-        );
+        let rows = run("MATCH (p)-[r:rides]->(b:bus) WHERE r.date <> '3/3/21' RETURN p");
         // e1 (n1, 3/3/21) is excluded; e2 (n2) and e3 (n4) survive.
         assert_eq!(rows, vec![vec!["n2"], vec!["n4"]]);
     }
@@ -279,9 +371,7 @@ mod tests {
         // Two co-rider patterns over the same bus: the two rides edges
         // must be distinct, so p <> q pairs only (no self-pairs via the
         // same edge).
-        let rows = run(
-            "MATCH (p)-[:rides]->(b:bus)<-[:rides]-(q) RETURN p, q",
-        );
+        let rows = run("MATCH (p)-[:rides]->(b:bus)<-[:rides]-(q) RETURN p, q");
         for row in &rows {
             assert_ne!(row[0], row[1], "same edge reused for both hops");
         }
@@ -313,5 +403,63 @@ mod tests {
     fn anonymous_patterns_work() {
         let rows = run("MATCH (:company)-[:owns]->(b) RETURN b");
         assert_eq!(rows, vec![vec!["n3"]]);
+    }
+
+    #[test]
+    fn cached_execution_matches_plain_execution() {
+        let g = figure2_property();
+        let mut cache = QueryCache::new();
+        for query in [
+            "MATCH (p:person) RETURN p",
+            "MATCH (p:person)-[:rides]->(b:bus) RETURN p, b",
+            "MATCH (b:bus)<-[:rides]-(p:person) RETURN p, b",
+            "MATCH (p:person)-[:rides]->(b:bus), (i:infected)-[:rides]->(b) RETURN p, i",
+            "MATCH (p)-[:rides]->(b:bus)<-[:rides]-(q) RETURN p, q",
+            "MATCH (p:person) WHERE p.age = '33' RETURN p.name",
+            "MATCH (:company)-[:owns]->(b) RETURN b",
+        ] {
+            let q = parse_query(query).unwrap();
+            assert_eq!(
+                execute_cached(&g, &q, &mut cache),
+                execute(&g, &q),
+                "{query}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_execution_reuses_compiled_patterns() {
+        let g = figure2_property();
+        let mut cache = QueryCache::new();
+        let q = parse_query("MATCH (p:person)-[:rides]->(b:bus) RETURN p, b").unwrap();
+        execute_cached(&g, &q, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        execute_cached(&g, &q, &mut cache);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn unknown_label_short_circuits_to_empty() {
+        let g = figure2_property();
+        let mut cache = QueryCache::new();
+        let q = parse_query("MATCH (p:ghost)-[:rides]->(b:bus) RETURN p").unwrap();
+        assert!(execute_cached(&g, &q, &mut cache).is_empty());
+        // Nothing was compiled: the label is not even in the universe.
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_patterns() {
+        let mut g = figure2_property();
+        let mut cache = QueryCache::new();
+        let q = parse_query("MATCH (p:person)-[:rides]->(b:bus) RETURN p, b").unwrap();
+        let before = execute_cached(&g, &q, &mut cache);
+        let p9 = g.add_node("n9", "person").unwrap();
+        let bus = g.labeled().node_named("n3").unwrap();
+        g.add_edge("e9", p9, bus, "rides").unwrap();
+        let after = execute_cached(&g, &q, &mut cache);
+        // The new rider is visible: the stale product was not reused.
+        assert_eq!(after.len(), before.len() + 1);
+        assert_eq!(cache.misses(), 2);
     }
 }

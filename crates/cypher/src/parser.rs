@@ -19,7 +19,11 @@ pub struct QueryParseError {
 
 impl fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.pos, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.pos, self.message
+        )
     }
 }
 
@@ -39,9 +43,7 @@ impl<'a> P<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.src.len()
-            && self.src.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.src.len() && self.src.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -124,7 +126,11 @@ impl<'a> P<'a> {
         } else {
             None
         };
-        let label = if self.eat(":") { Some(self.ident()?) } else { None };
+        let label = if self.eat(":") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         if !self.eat(")") {
             return self.err("expected `)`");
         }
@@ -143,7 +149,11 @@ impl<'a> P<'a> {
             } else {
                 None
             };
-            let label = if self.eat(":") { Some(self.ident()?) } else { None };
+            let label = if self.eat(":") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
             if !self.eat("]") {
                 return self.err("expected `]`");
             }

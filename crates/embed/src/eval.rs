@@ -109,11 +109,7 @@ mod tests {
     fn perfect_model_gets_rank_one() {
         // Hand-build a model where h + r = t exactly.
         use crate::model::TransE;
-        let model = TransE::new(
-            2,
-            vec![0.0, 0.0, 1.0, 0.0, 0.5, 0.9],
-            vec![1.0, 0.0],
-        );
+        let model = TransE::new(2, vec![0.0, 0.0, 1.0, 0.0, 0.5, 0.9], vec![1.0, 0.0]);
         let report = evaluate(&model, &[(0, 0, 1)], &[(0, 0, 1)]);
         assert_eq!(report.mean_rank, 1.0);
         assert_eq!(report.mrr, 1.0);
@@ -124,11 +120,7 @@ mod tests {
     fn filtering_removes_competing_true_tails() {
         use crate::model::TransE;
         // e1 and e2 both "true" tails for (e0, r0); e2 scores better.
-        let model = TransE::new(
-            1,
-            vec![0.0, 0.9, 1.0],
-            vec![1.0],
-        );
+        let model = TransE::new(1, vec![0.0, 0.9, 1.0], vec![1.0]);
         let known = vec![(0, 0, 1), (0, 0, 2)];
         // Unfiltered, e1 ranks 2 (behind the closer e2)…
         assert_eq!(model.tail_rank(0, 0, 1, &[]), 2);
@@ -140,10 +132,15 @@ mod tests {
     #[test]
     fn empty_test_set_is_safe() {
         let (all, ne, nr) = kg();
-        let (model, _) = train_triples(&all, ne, nr, &TrainConfig {
-            epochs: 5,
-            ..TrainConfig::default()
-        });
+        let (model, _) = train_triples(
+            &all,
+            ne,
+            nr,
+            &TrainConfig {
+                epochs: 5,
+                ..TrainConfig::default()
+            },
+        );
         let report = evaluate(&model, &[], &all);
         assert_eq!(report.tested, 0);
         assert_eq!(report.mean_rank, 0.0);

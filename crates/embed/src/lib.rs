@@ -17,7 +17,6 @@
 //! * [`eval`] — ranking-based link-prediction evaluation (mean rank,
 //!   mean reciprocal rank, hits@k) with the standard *filtered* setting.
 
-
 // Several hot loops index multiple parallel arrays at once; the
 // iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]

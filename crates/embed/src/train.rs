@@ -124,7 +124,9 @@ fn train_ids(
     let dim = config.dim;
     let bound = 6.0 / (dim as f64).sqrt();
     let init = |rng: &mut StdRng, count: usize| -> Vec<f64> {
-        (0..count * dim).map(|_| rng.gen_range(-bound..bound)).collect()
+        (0..count * dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect()
     };
     let mut model = TransE::new(dim, init(&mut rng, n_entities), init(&mut rng, n_relations));
     model.normalize_entities();
@@ -158,33 +160,29 @@ fn train_ids(
             }
             // Gradient of ‖h + r − t‖₂ w.r.t. its arguments.
             let lr = config.learning_rate;
-            let step = |model: &mut TransE,
-                        h: usize,
-                        r: usize,
-                        t: usize,
-                        sign: f64,
-                        rng_den: f64| {
-                let mut grad = vec![0.0; dim];
-                {
-                    let (hv, rv, tv) = (model.entity(h), model.relation(r), model.entity(t));
-                    let norm = {
-                        let mut s = 0.0;
+            let step =
+                |model: &mut TransE, h: usize, r: usize, t: usize, sign: f64, rng_den: f64| {
+                    let mut grad = vec![0.0; dim];
+                    {
+                        let (hv, rv, tv) = (model.entity(h), model.relation(r), model.entity(t));
+                        let norm = {
+                            let mut s = 0.0;
+                            for i in 0..dim {
+                                let d = hv[i] + rv[i] - tv[i];
+                                s += d * d;
+                            }
+                            s.sqrt().max(rng_den)
+                        };
                         for i in 0..dim {
-                            let d = hv[i] + rv[i] - tv[i];
-                            s += d * d;
+                            grad[i] = (hv[i] + rv[i] - tv[i]) / norm;
                         }
-                        s.sqrt().max(rng_den)
-                    };
-                    for i in 0..dim {
-                        grad[i] = (hv[i] + rv[i] - tv[i]) / norm;
                     }
-                }
-                for i in 0..dim {
-                    model.entity_mut(h)[i] -= sign * lr * grad[i];
-                    model.relation_mut(r)[i] -= sign * lr * grad[i];
-                    model.entity_mut(t)[i] += sign * lr * grad[i];
-                }
-            };
+                    for i in 0..dim {
+                        model.entity_mut(h)[i] -= sign * lr * grad[i];
+                        model.relation_mut(r)[i] -= sign * lr * grad[i];
+                        model.entity_mut(t)[i] += sign * lr * grad[i];
+                    }
+                };
             // Descend on the positive, ascend on the negative.
             step(&mut model, h, r, t, 1.0, 1e-9);
             step(&mut model, ch, r, ct, -1.0, 1e-9);

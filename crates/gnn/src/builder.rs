@@ -127,8 +127,7 @@ mod tests {
             });
             let mut g = pg.into_labeled();
             let cls = run_psi(&g);
-            let e =
-                parse_expr("?person/rides/?bus/rides^-/?infected", g.consts_mut()).unwrap();
+            let e = parse_expr("?person/rides/?bus/rides^-/?infected", g.consts_mut()).unwrap();
             let view = LabeledView::new(&g);
             let expected: std::collections::HashSet<usize> = matching_starts(&view, &e)
                 .into_iter()

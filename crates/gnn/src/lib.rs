@@ -20,7 +20,6 @@
 //! Key invariant (tested): nodes that 1-WL cannot distinguish after `L`
 //! rounds receive identical outputs from every `L`-layer AC-GNN.
 
-
 // Several hot loops index multiple parallel arrays at once; the
 // iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
@@ -31,7 +30,7 @@ pub mod wl;
 pub mod wl2;
 
 pub use builder::psi_network;
-pub use train::{random_network, train, GnnExample, GnnTrainConfig};
 pub use model::{AcGnn, Layer};
+pub use train::{random_network, train, GnnExample, GnnTrainConfig};
 pub use wl::{wl_colors, wl_graph_hash, WlResult};
 pub use wl2::{wl2_colors, wl2_graph_hash, Wl2Result};

@@ -130,11 +130,8 @@ impl AcGnn {
         for layer in &self.layers {
             // Resolve relation names once per layer; a missing label means
             // the graph simply has no such edges.
-            let rel_syms: Vec<Option<kgq_graph::Sym>> = layer
-                .w_rel
-                .iter()
-                .map(|(name, _, _)| g.sym(name))
-                .collect();
+            let rel_syms: Vec<Option<kgq_graph::Sym>> =
+                layer.w_rel.iter().map(|(name, _, _)| g.sym(name)).collect();
             let mut next: Vec<Vec<f64>> = Vec::with_capacity(h.len());
             for v in 0..g.node_count() as u32 {
                 let v = NodeId(v);
@@ -150,9 +147,7 @@ impl AcGnn {
                             for &e in g.base().out_edges(v) {
                                 if Some(g.edge_label(e)) == *sym {
                                     let u = g.base().target(e);
-                                    for (p, x) in
-                                        pooled.iter_mut().zip(h[u.index()].iter())
-                                    {
+                                    for (p, x) in pooled.iter_mut().zip(h[u.index()].iter()) {
                                         *p += x;
                                     }
                                 }
@@ -162,9 +157,7 @@ impl AcGnn {
                             for &e in g.base().in_edges(v) {
                                 if Some(g.edge_label(e)) == *sym {
                                     let u = g.base().source(e);
-                                    for (p, x) in
-                                        pooled.iter_mut().zip(h[u.index()].iter())
-                                    {
+                                    for (p, x) in pooled.iter_mut().zip(h[u.index()].iter()) {
                                         *p += x;
                                     }
                                 }

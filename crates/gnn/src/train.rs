@@ -113,11 +113,8 @@ fn forward_cached(
     let mut zs: Vec<Vec<Vec<f64>>> = Vec::new();
     for layer in &gnn.layers {
         let h = hs.last().expect("at least the input layer");
-        let rel_syms: Vec<Option<Sym>> = layer
-            .w_rel
-            .iter()
-            .map(|(name, _, _)| g.sym(name))
-            .collect();
+        let rel_syms: Vec<Option<Sym>> =
+            layer.w_rel.iter().map(|(name, _, _)| g.sym(name)).collect();
         let mut z_layer: Vec<Vec<f64>> = Vec::with_capacity(n);
         for v in 0..n as u32 {
             let v = NodeId(v);
@@ -266,11 +263,8 @@ pub fn train(gnn: &mut AcGnn, examples: &[GnnExample<'_>], config: &GnnTrainConf
                         }
                     }
                 }
-                let rel_syms: Vec<Option<Sym>> = layer
-                    .w_rel
-                    .iter()
-                    .map(|(name, _, _)| g.sym(name))
-                    .collect();
+                let rel_syms: Vec<Option<Sym>> =
+                    layer.w_rel.iter().map(|(name, _, _)| g.sym(name)).collect();
                 for (ri, (_, dir, mat)) in layer.w_rel.iter().enumerate() {
                     let gw = &mut gw_rels[ri].0;
                     let sym = rel_syms[ri];
@@ -477,7 +471,11 @@ mod tests {
             &config,
         );
         let predicted = gnn.classify(&g3, &f3);
-        let correct = predicted.iter().zip(t3.iter()).filter(|(p, t)| p == t).count();
+        let correct = predicted
+            .iter()
+            .zip(t3.iter())
+            .filter(|(p, t)| p == t)
+            .count();
         let acc = correct as f64 / t3.len() as f64;
         assert!(acc >= 0.8, "held-out accuracy {acc:.2} too low");
     }

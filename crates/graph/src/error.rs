@@ -29,7 +29,10 @@ impl fmt::Display for GraphError {
                 write!(f, "feature index {index} out of range for dimension {dim}")
             }
             GraphError::DimensionMismatch { expected, got } => {
-                write!(f, "feature vector dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "feature vector dimension mismatch: expected {expected}, got {got}"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")

@@ -309,10 +309,7 @@ mod tests {
         assert_eq!(a.edge_count(), 40);
         for e in a.base().edges() {
             assert_eq!(a.base().endpoints(e), b.base().endpoints(e));
-            assert_eq!(
-                a.label_name(a.edge_label(e)),
-                b.label_name(b.edge_label(e))
-            );
+            assert_eq!(a.label_name(a.edge_label(e)), b.label_name(b.edge_label(e)));
         }
         let c = gnm_labeled(20, 40, &["x", "y"], &["p", "q"], 8);
         let same = a

@@ -28,6 +28,9 @@ pub struct LabeledGraph {
     node_labels: Vec<Sym>,
     edge_labels: Vec<Sym>,
     consts: Interner,
+    /// Mutations not visible in the base multigraph (relabelings); see
+    /// [`LabeledGraph::generation`].
+    relabels: u64,
 }
 
 impl LabeledGraph {
@@ -38,7 +41,16 @@ impl LabeledGraph {
             node_labels: Vec::new(),
             edge_labels: Vec::new(),
             consts: Interner::new(),
+            relabels: 0,
         }
+    }
+
+    /// A **generation stamp**: strictly increases on every mutation that
+    /// can change query answers (insertions via the base multigraph, plus
+    /// relabelings). Interning new constants does *not* bump the stamp —
+    /// it changes no answer. Comparable only within this graph's history.
+    pub fn generation(&self) -> u64 {
+        self.base.generation() + self.relabels
     }
 
     /// Adds a node with **Const** identifier `id` and label `label`.
@@ -81,6 +93,7 @@ impl LabeledGraph {
     /// marking a person as `infected`).
     pub fn relabel_node(&mut self, n: NodeId, label: &str) {
         self.node_labels[n.index()] = self.consts.intern(label);
+        self.relabels += 1;
     }
 
     /// The underlying multigraph `(N, E, ρ)`.
@@ -228,6 +241,17 @@ mod tests {
         assert!(na.windows(2).all(|w| w[0] < w[1]));
         let ea = g.edge_label_alphabet();
         assert_eq!(ea.len(), 2); // rides, contact
+    }
+
+    #[test]
+    fn generation_tracks_insertions_and_relabelings() {
+        let mut g = contacts(); // 3 nodes + 3 edges
+        assert_eq!(g.generation(), 6);
+        let a = g.node_named("a").unwrap();
+        g.relabel_node(a, "infected");
+        assert_eq!(g.generation(), 7);
+        g.intern("unused-constant");
+        assert_eq!(g.generation(), 7);
     }
 
     #[test]

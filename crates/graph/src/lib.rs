@@ -22,7 +22,6 @@
 //! * the running example graphs of the paper's Figure 2 ([`figures`]),
 //! * a plain-text exchange format ([`io`]).
 
-
 // Several hot loops index multiple parallel arrays at once; the
 // iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]

@@ -59,6 +59,8 @@ pub struct Multigraph {
     inc: Vec<Vec<EdgeId>>,
     by_node_id: HashMap<Sym, NodeId>,
     by_edge_id: HashMap<Sym, EdgeId>,
+    /// Bumped on every successful mutation; see [`Multigraph::generation`].
+    generation: u64,
 }
 
 impl Multigraph {
@@ -77,7 +79,17 @@ impl Multigraph {
             inc: Vec::with_capacity(nodes),
             by_node_id: HashMap::with_capacity(nodes),
             by_edge_id: HashMap::with_capacity(edges),
+            generation: 0,
         }
+    }
+
+    /// A **generation stamp**: strictly increases on every successful
+    /// mutation of this graph (node or edge insertion). Caches keyed by
+    /// the stamp (e.g. `kgq-core`'s compiled-query cache) are invalidated
+    /// by any mutation. Stamps are comparable only within one graph's
+    /// history, not across graphs.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Adds a node whose identifier in **Const** is `id`.
@@ -93,6 +105,7 @@ impl Multigraph {
         self.out.push(Vec::new());
         self.inc.push(Vec::new());
         self.by_node_id.insert(id, n);
+        self.generation += 1;
         Ok(n)
     }
 
@@ -113,6 +126,7 @@ impl Multigraph {
         self.out[src.index()].push(e);
         self.inc[dst.index()].push(e);
         self.by_edge_id.insert(id, e);
+        self.generation += 1;
         Ok(e)
     }
 
@@ -280,5 +294,20 @@ mod tests {
         let (g, _, _) = small();
         assert_eq!(g.nodes().count(), 4);
         assert_eq!(g.edges().count(), 4);
+    }
+
+    #[test]
+    fn generation_increases_per_mutation() {
+        let mut it = Interner::new();
+        let mut g = Multigraph::new();
+        assert_eq!(g.generation(), 0);
+        let a = g.add_node(it.intern("a")).unwrap();
+        let b = g.add_node(it.intern("b")).unwrap();
+        assert_eq!(g.generation(), 2);
+        g.add_edge(it.intern("e"), a, b).unwrap();
+        assert_eq!(g.generation(), 3);
+        // Failed mutations leave the stamp unchanged.
+        assert!(g.add_node(it.intern("a")).is_err());
+        assert_eq!(g.generation(), 3);
     }
 }

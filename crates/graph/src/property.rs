@@ -36,6 +36,9 @@ pub struct PropertyGraph {
     labeled: LabeledGraph,
     node_props: Vec<Vec<(Sym, Sym)>>,
     edge_props: Vec<Vec<(Sym, Sym)>>,
+    /// Mutations of `σ` (property writes); see
+    /// [`PropertyGraph::generation`].
+    prop_writes: u64,
 }
 
 impl PropertyGraph {
@@ -52,7 +55,17 @@ impl PropertyGraph {
             labeled,
             node_props,
             edge_props,
+            prop_writes: 0,
         }
+    }
+
+    /// A **generation stamp**: strictly increases on every mutation that
+    /// can change query answers — insertions and relabelings (via the
+    /// labeled layer, including through [`PropertyGraph::labeled_mut`])
+    /// plus every property write. Comparable only within this graph's
+    /// history.
+    pub fn generation(&self) -> u64 {
+        self.labeled.generation() + self.prop_writes
     }
 
     /// Adds a node with identifier `id` and label `label`.
@@ -87,6 +100,7 @@ impl PropertyGraph {
         let p = self.labeled.intern(prop);
         let v = self.labeled.intern(value);
         Self::set_prop(&mut self.node_props[n.index()], p, v);
+        self.prop_writes += 1;
     }
 
     /// Sets `σ(edge, prop) = value`.
@@ -94,6 +108,7 @@ impl PropertyGraph {
         let p = self.labeled.intern(prop);
         let v = self.labeled.intern(value);
         Self::set_prop(&mut self.edge_props[e.index()], p, v);
+        self.prop_writes += 1;
     }
 
     /// `σ(node, prop)` as a symbol.
@@ -255,6 +270,17 @@ mod tests {
         assert!(g.prop(Object::Node(n1), name).is_some());
         assert!(g.prop(Object::Edge(e), date).is_some());
         assert!(g.prop(Object::Edge(e), name).is_none());
+    }
+
+    #[test]
+    fn generation_counts_inserts_relabels_and_prop_writes() {
+        let mut g = sample(); // 2 nodes + 1 edge + 3 property writes
+        assert_eq!(g.generation(), 6);
+        let n1 = g.labeled().node_named("n1").unwrap();
+        g.set_node_prop(n1, "age", "34");
+        assert_eq!(g.generation(), 7);
+        g.labeled_mut().relabel_node(n1, "infected");
+        assert_eq!(g.generation(), 8);
     }
 
     #[test]

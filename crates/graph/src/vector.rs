@@ -36,6 +36,9 @@ pub struct VectorGraph {
     edge_feats: Vec<Sym>,
     feature_names: Vec<String>,
     consts: Interner,
+    /// Feature overwrites not visible in the base multigraph; see
+    /// [`VectorGraph::generation`].
+    feature_writes: u64,
 }
 
 impl VectorGraph {
@@ -52,7 +55,15 @@ impl VectorGraph {
             edge_feats: Vec::new(),
             feature_names: (1..=dim).map(|i| format!("f{i}")).collect(),
             consts: Interner::new(),
+            feature_writes: 0,
         }
+    }
+
+    /// A **generation stamp**: strictly increases on every mutation that
+    /// can change query answers (insertions plus feature overwrites).
+    /// Comparable only within this graph's history.
+    pub fn generation(&self) -> u64 {
+        self.base.generation() + self.feature_writes
     }
 
     /// Names the feature rows (`names.len()` must equal `d`).
@@ -151,6 +162,7 @@ impl VectorGraph {
         }
         let v = self.consts.intern(value);
         self.node_feats[n.index() * self.dim + i] = v;
+        self.feature_writes += 1;
         Ok(())
     }
 
@@ -209,7 +221,10 @@ mod tests {
         let mut g = VectorGraph::new(2);
         assert!(matches!(
             g.add_node("x", &["only-one"]),
-            Err(GraphError::DimensionMismatch { expected: 2, got: 1 })
+            Err(GraphError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

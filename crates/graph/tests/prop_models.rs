@@ -74,7 +74,11 @@ fn props_equal(a: &PropertyGraph, b: &PropertyGraph) {
             b.labeled().label_name(b.labeled().node_label(n))
         );
         for p in PROPS {
-            assert_eq!(a.node_prop_str(n, p), b.node_prop_str(n, p), "node prop {p}");
+            assert_eq!(
+                a.node_prop_str(n, p),
+                b.node_prop_str(n, p),
+                "node prop {p}"
+            );
         }
     }
     for e in a.labeled().base().edges() {
@@ -87,7 +91,11 @@ fn props_equal(a: &PropertyGraph, b: &PropertyGraph) {
             b.labeled().label_name(b.labeled().edge_label(e))
         );
         for p in PROPS {
-            assert_eq!(a.edge_prop_str(e, p), b.edge_prop_str(e, p), "edge prop {p}");
+            assert_eq!(
+                a.edge_prop_str(e, p),
+                b.edge_prop_str(e, p),
+                "edge prop {p}"
+            );
         }
     }
 }

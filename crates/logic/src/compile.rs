@@ -38,7 +38,10 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Star => write!(f, "Kleene star is not first-order expressible"),
             CompileError::NonLabelTest => {
-                write!(f, "property/feature tests are outside the FO label signature")
+                write!(
+                    f,
+                    "property/feature tests are outside the FO label signature"
+                )
             }
             CompileError::EdgeTestNotPositive => write!(
                 f,

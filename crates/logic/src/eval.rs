@@ -32,7 +32,10 @@ impl<'a> GraphStructure<'a> {
         let mut edges_by_label: HashMap<Sym, Vec<(NodeId, NodeId)>> = HashMap::new();
         for e in g.base().edges() {
             let (s, d) = g.base().endpoints(e);
-            edges_by_label.entry(g.edge_label(e)).or_default().push((s, d));
+            edges_by_label
+                .entry(g.edge_label(e))
+                .or_default()
+                .push((s, d));
         }
         for list in edges_by_label.values_mut() {
             list.sort_unstable();
@@ -240,9 +243,7 @@ impl Rel {
                             .iter()
                             .position(|w| w == v)
                             .map(|i| prow[i])
-                            .or_else(|| {
-                                build.vars.iter().position(|w| w == v).map(|i| brow[i])
-                            })
+                            .or_else(|| build.vars.iter().position(|w| w == v).map(|i| brow[i]))
                             .expect("var in one side");
                         out.push(val);
                     }
@@ -506,7 +507,9 @@ mod tests {
                 .and(Formula::Binary(q, x, y).not())
                 .exists(y),
             // ∃y (p(x,y) ∨ q(y,x))
-            Formula::Binary(p, x, y).or(Formula::Binary(q, y, x)).exists(y),
+            Formula::Binary(p, x, y)
+                .or(Formula::Binary(q, y, x))
+                .exists(y),
             // ¬∃y p(y,x)
             Formula::Binary(p, y, x).exists(y).not(),
             // ∃y (p(x,y) ∧ x = y)  — self loop

@@ -102,9 +102,7 @@ impl Formula {
         match self {
             Formula::Unary(..) | Formula::Binary(..) | Formula::Eq(..) => 0,
             Formula::Not(f) => f.quantifier_count(),
-            Formula::And(a, b) | Formula::Or(a, b) => {
-                a.quantifier_count() + b.quantifier_count()
-            }
+            Formula::And(a, b) | Formula::Or(a, b) => a.quantifier_count() + b.quantifier_count(),
             Formula::Exists(_, f) => 1 + f.quantifier_count(),
         }
     }

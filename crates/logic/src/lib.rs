@@ -28,7 +28,6 @@
 //! * [`compile`] — the regex → FO² translation for star-free node
 //!   extraction, producing exactly ψ-style reuse of two variables.
 
-
 // Several hot loops index multiple parallel arrays at once; the
 // iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]

@@ -38,24 +38,24 @@ pub fn rdf_to_labeled(st: &TripleStore) -> Result<LabeledGraph, GraphError> {
         }
     }
     let mut g = LabeledGraph::new();
-    let ensure_node = |g: &mut LabeledGraph,
-                           name: &str,
-                           labels: &HashMap<&str, &str>,
-                           is_class: &HashMap<&str, bool>|
-     -> Result<kgq_graph::NodeId, GraphError> {
-        if let Some(n) = g.node_named(name) {
-            return Ok(n);
-        }
-        let label = labels
-            .get(name)
-            .copied()
-            .unwrap_or(if is_class.get(name).copied().unwrap_or(false) {
-                "Class"
-            } else {
-                UNTYPED
-            });
-        g.add_node(name, label)
-    };
+    let ensure_node =
+        |g: &mut LabeledGraph,
+         name: &str,
+         labels: &HashMap<&str, &str>,
+         is_class: &HashMap<&str, bool>|
+         -> Result<kgq_graph::NodeId, GraphError> {
+            if let Some(n) = g.node_named(name) {
+                return Ok(n);
+            }
+            let label = labels.get(name).copied().unwrap_or(
+                if is_class.get(name).copied().unwrap_or(false) {
+                    "Class"
+                } else {
+                    UNTYPED
+                },
+            );
+            g.add_node(name, label)
+        };
     let mut eid = 0usize;
     for t in st.iter() {
         if Some(t.p) == type_term {

@@ -45,6 +45,8 @@ pub use bgp::{Bgp, Binding, TermPattern, TriplePattern};
 pub use convert::{labeled_to_rdf, rdf_to_labeled, RDF_TYPE};
 pub use ntriples::{parse_ntriples, write_ntriples};
 pub use query::{rpq_pairs, rpq_starts, RpqError};
+pub use reason::{
+    materialize_rdfs, InferenceStats, RDFS_DOMAIN, RDFS_RANGE, RDFS_SUBCLASS, RDFS_SUBPROPERTY,
+};
 pub use sparql::{parse_select, select, SelectQuery, SparqlParseError};
-pub use reason::{materialize_rdfs, InferenceStats, RDFS_DOMAIN, RDFS_RANGE, RDFS_SUBCLASS, RDFS_SUBPROPERTY};
 pub use store::{Triple, TripleStore};

@@ -172,7 +172,11 @@ mod tests {
         for class in ["Person", "Agent"] {
             let c = term(&st, class);
             assert!(
-                st.contains(Triple { s: ana, p: ty, o: c }),
+                st.contains(Triple {
+                    s: ana,
+                    p: ty,
+                    o: c
+                }),
                 "ana should be a {class}"
             );
         }

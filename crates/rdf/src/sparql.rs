@@ -31,7 +31,11 @@ pub struct SparqlParseError {
 
 impl fmt::Display for SparqlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SELECT parse error at byte {}: {}", self.pos, self.message)
+        write!(
+            f,
+            "SELECT parse error at byte {}: {}",
+            self.pos, self.message
+        )
     }
 }
 

@@ -152,25 +152,23 @@ impl TripleStore {
         }
         match (s, p, o) {
             // s + o bound (p free): OSP covers (o, s).
-            (Some(_), None, Some(_)) => Box::new(
-                range3(&self.osp, o, s, None).map(|(o, s, p)| Triple { s, p, o }),
-            ),
+            (Some(_), None, Some(_)) => {
+                Box::new(range3(&self.osp, o, s, None).map(|(o, s, p)| Triple { s, p, o }))
+            }
             // Any other s-bound combination: SPO prefix.
-            (Some(_), _, _) => Box::new(
-                range3(&self.spo, s, p, o).map(|(s, p, o)| Triple { s, p, o }),
-            ),
+            (Some(_), _, _) => {
+                Box::new(range3(&self.spo, s, p, o).map(|(s, p, o)| Triple { s, p, o }))
+            }
             // p (+ o) bound: POS.
-            (None, Some(_), _) => Box::new(
-                range3(&self.pos, p, o, None).map(|(p, o, s)| Triple { s, p, o }),
-            ),
+            (None, Some(_), _) => {
+                Box::new(range3(&self.pos, p, o, None).map(|(p, o, s)| Triple { s, p, o }))
+            }
             // o bound only: OSP.
-            (None, None, Some(_)) => Box::new(
-                range3(&self.osp, o, None, None).map(|(o, s, p)| Triple { s, p, o }),
-            ),
+            (None, None, Some(_)) => {
+                Box::new(range3(&self.osp, o, None, None).map(|(o, s, p)| Triple { s, p, o }))
+            }
             // Nothing bound: full scan.
-            (None, None, None) => Box::new(
-                self.spo.iter().map(|&(s, p, o)| Triple { s, p, o }),
-            ),
+            (None, None, None) => Box::new(self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })),
         }
     }
 

@@ -190,11 +190,10 @@ mod tests {
         // edges ⋈ edges on (dst = src): 2-hop pairs with middle column.
         let e = edges();
         let two_hop = e.join(&e, &[(1, 0)]).project(&[0, 2]);
-        assert_eq!(two_hop.sorted_rows(), vec![
-            vec![1, 3],
-            vec![1, 4],
-            vec![2, 4],
-        ]);
+        assert_eq!(
+            two_hop.sorted_rows(),
+            vec![vec![1, 3], vec![1, 4], vec![2, 4],]
+        );
     }
 
     #[test]

@@ -72,10 +72,7 @@ fn compose(a: &Relation, b: &Relation) -> Relation {
 /// Semi-naive transitive-reflexive closure of a binary relation over the
 /// node universe `0..n`.
 fn star(r: &Relation, n: usize) -> Relation {
-    let mut closure = Relation::from_rows(
-        2,
-        (0..n as u64).map(|v| vec![v, v]),
-    );
+    let mut closure = Relation::from_rows(2, (0..n as u64).map(|v| vec![v, v]));
     let mut delta = r.clone().difference(&closure);
     closure = closure.union(&delta);
     while !delta.is_empty() {

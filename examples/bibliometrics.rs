@@ -6,8 +6,7 @@
 //! ```
 
 use kgq::biblio::{
-    check_figure1_claims, figure1_series, generate_corpus, overlap_fraction, CorpusParams,
-    KEYWORDS,
+    check_figure1_claims, figure1_series, generate_corpus, overlap_fraction, CorpusParams, KEYWORDS,
 };
 
 fn main() {
@@ -15,7 +14,11 @@ fn main() {
     println!("{} simulated publications (2010–2020)", corpus.len());
 
     let fig = figure1_series(&corpus);
-    println!("\n{:<6}{}", "year", KEYWORDS.map(|k| format!("{k:>17}")).join(""));
+    println!(
+        "\n{:<6}{}",
+        "year",
+        KEYWORDS.map(|k| format!("{k:>17}")).join("")
+    );
     for (yi, year) in fig.years.iter().enumerate() {
         let cells: String = (0..KEYWORDS.len())
             .map(|ki| format!("{:>17}", fig.series[ki][yi]))

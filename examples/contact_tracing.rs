@@ -11,8 +11,7 @@
 
 use kgq::analytics::{bc_r_exact, BcrParams};
 use kgq::core::{
-    approx_count, parse_expr, ApproxParams, Evaluator, ExactCounter, LabeledView,
-    UniformSampler,
+    approx_count, parse_expr, ApproxParams, Evaluator, ExactCounter, LabeledView, UniformSampler,
 };
 use kgq::graph::generate::{contact_network, ContactParams};
 use rand::rngs::StdRng;
@@ -41,7 +40,10 @@ fn main() {
     let direct = parse_expr("?person/rides/?bus/rides^-/?infected", g.consts_mut()).unwrap();
     let view = LabeledView::new(&g);
     let directly_exposed = Evaluator::new(&view, &direct).matching_starts();
-    println!("\ndirectly exposed (shared a bus): {}", directly_exposed.len());
+    println!(
+        "\ndirectly exposed (shared a bus): {}",
+        directly_exposed.len()
+    );
 
     // Extended exposure: bus contact, then household/contact chains —
     // the paper's r1 read in reverse (starting from the healthy person).
@@ -52,7 +54,10 @@ fn main() {
     .unwrap();
     let view = LabeledView::new(&g);
     let extended_exposed = Evaluator::new(&view, &extended).matching_starts();
-    println!("exposed via household/contact chains: {}", extended_exposed.len());
+    println!(
+        "exposed via household/contact chains: {}",
+        extended_exposed.len()
+    );
 
     // Counting exposure chains of each length.
     let counter = ExactCounter::new(&view, &direct);

@@ -50,10 +50,7 @@ fn main() {
     }
     assert_eq!(from_rpq, from_logic);
     assert_eq!(from_rpq, from_gnn);
-    println!(
-        "\nall three formalisms agree on {} nodes ✓",
-        from_rpq.len()
-    );
+    println!("\nall three formalisms agree on {} nodes ✓", from_rpq.len());
 
     // The expressiveness boundary: the GNN cannot distinguish nodes that
     // Weisfeiler–Lehman cannot.

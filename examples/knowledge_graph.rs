@@ -107,5 +107,8 @@ fn main() {
     let out = write_ntriples(&st);
     let again = parse_ntriples(&out).expect("round trip");
     assert_eq!(again.len(), st.len());
-    println!("\nround-tripped {} triples through N-Triples ✓", again.len());
+    println!(
+        "\nround-tripped {} triples through N-Triples ✓",
+        again.len()
+    );
 }

@@ -13,8 +13,7 @@
 
 use kgq::analytics;
 use kgq::core::{
-    count_paths, enumerate_paths, eval_pairs, parse_expr, Evaluator, PropertyView,
-    UniformSampler,
+    count_paths, enumerate_paths, parse_expr, PropertyView, QueryCache, UniformSampler,
 };
 use kgq::cypher;
 use kgq::graph::generate::{barabasi_albert, contact_network, gnm_labeled, ContactParams};
@@ -85,13 +84,18 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
         return Err("query needs GRAPH and EXPR".into());
     };
     let mut g = load_graph(path)?;
-    let expr = parse_expr(expr_text, g.labeled_mut().consts_mut()).map_err(|e| e.to_string())?;
+    let expr =
+        parse_expr(expr_text, g.labeled_mut().consts_mut()).map_err(|e| e.render(expr_text))?;
     let view = PropertyView::new(&g);
     let op = rest.first().map(String::as_str).unwrap_or("pairs");
+    // Reachability-style ops share one compiled product via the query
+    // cache (keyed by the graph's generation stamp).
+    let mut cache = QueryCache::new();
     let mut out = String::new();
     match op {
         "pairs" => {
-            for (a, b) in eval_pairs(&view, &expr) {
+            let compiled = cache.get_or_compile(&view, g.generation(), &expr);
+            for (a, b) in compiled.evaluator().pairs() {
                 out.push_str(&format!(
                     "{}\t{}\n",
                     g.labeled().node_name(a),
@@ -100,7 +104,8 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
             }
         }
         "starts" => {
-            for n in Evaluator::new(&view, &expr).matching_starts() {
+            let compiled = cache.get_or_compile(&view, g.generation(), &expr);
+            for n in compiled.evaluator().matching_starts() {
                 out.push_str(g.labeled().node_name(n));
                 out.push('\n');
             }
@@ -152,8 +157,9 @@ fn cmd_cypher(args: &[String]) -> Result<String, String> {
     };
     let g = load_graph(path)?;
     let q = cypher::parse_query(query_text).map_err(|e| e.to_string())?;
+    let mut cache = QueryCache::new();
     let mut out = String::new();
-    for row in cypher::execute(&g, &q) {
+    for row in cypher::execute_cached(&g, &q, &mut cache) {
         out.push_str(&row.join("\t"));
         out.push('\n');
     }

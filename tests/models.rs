@@ -41,12 +41,7 @@ fn property_and_feature_tests_agree_after_vectorization() {
     let prop_answers = eval_pairs(&PropertyView::new(&pg), &e_prop);
 
     let mut vg = property_to_vector(&pg).unwrap();
-    let date_col = vg
-        .feature_names()
-        .iter()
-        .position(|n| n == "date")
-        .unwrap()
-        + 1;
+    let date_col = vg.feature_names().iter().position(|n| n == "date").unwrap() + 1;
     let text = format!("?[#1=person]/{{[#1=contact] & [#{date_col}='3/4/21']}}/?[#1=infected]");
     let e_feat = parse_expr(&text, vg.consts_mut()).unwrap();
     let feat_answers = eval_pairs(&VectorView::new(&vg), &e_feat);

@@ -39,10 +39,9 @@ fn exposure_query_in_four_languages() {
     rpq.dedup();
 
     // 2. Cypher-style MATCH over the property graph.
-    let q = parse_query(
-        "MATCH (p:person)-[:rides]->(b:bus), (i:infected)-[:rides]->(b) RETURN p, i",
-    )
-    .unwrap();
+    let q =
+        parse_query("MATCH (p:person)-[:rides]->(b:bus), (i:infected)-[:rides]->(b) RETURN p, i")
+            .unwrap();
     let mut cypher: Vec<(String, String)> = execute(&pg, &q)
         .into_iter()
         .map(|row| (row[0].clone(), row[1].clone()))

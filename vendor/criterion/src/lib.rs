@@ -1,0 +1,264 @@
+//! Vendored, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no registry access, so this shim provides
+//! the benchmarking surface the workspace uses: [`Criterion`],
+//! [`BenchmarkGroup`] with `warm_up_time` / `measurement_time` /
+//! `sample_size` / `bench_function`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is plain
+//! wall clock via `std::time::Instant`; each benchmark reports the mean
+//! and median nanoseconds per iteration over the collected samples. No
+//! HTML reports, no statistical regression analysis.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; flags that upstream criterion accepts (e.g. `--bench`)
+        // are skipped.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_string(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (group-of-one shorthand).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id);
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, group: &str, id: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => group.contains(f.as_str()) || id.contains(f.as_str()),
+        }
+    }
+}
+
+/// A set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    group: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Number of timing samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures `f` and prints mean/median nanoseconds per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self._criterion.matches(&self.group, id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + self.warm_up,
+            },
+        };
+        f(&mut bencher);
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let per_sample = self.measurement.div_f64(self.sample_size as f64);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                mode: Mode::Measure {
+                    budget: per_sample,
+                    ns_per_iter: f64::NAN,
+                },
+            };
+            f(&mut bencher);
+            if let Mode::Measure { ns_per_iter, .. } = bencher.mode {
+                if ns_per_iter.is_finite() {
+                    samples_ns.push(ns_per_iter);
+                }
+            }
+        }
+        report(&self.group, id, &mut samples_ns);
+        self
+    }
+
+    /// Ends the group (upstream compatibility; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, samples_ns: &mut [f64]) {
+    if samples_ns.is_empty() {
+        println!("{group}/{id}: no samples collected");
+        return;
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let median = samples_ns[samples_ns.len() / 2];
+    println!(
+        "{group}/{id}: mean {} , median {} ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(median),
+        samples_ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+enum Mode {
+    WarmUp { until: Instant },
+    Measure { budget: Duration, ns_per_iter: f64 },
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            Mode::WarmUp { until } => {
+                let until = *until;
+                loop {
+                    black_box(routine());
+                    if Instant::now() >= until {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure {
+                budget,
+                ns_per_iter,
+            } => {
+                let start = Instant::now();
+                let deadline = start + *budget;
+                let mut iters: u64 = 0;
+                loop {
+                    black_box(routine());
+                    iters += 1;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                let elapsed = start.elapsed();
+                *ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            }
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "routine never executed");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 0, "filtered benchmark still ran");
+    }
+}

@@ -1,0 +1,316 @@
+//! Vendored, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no registry access, so this shim provides
+//! the data-parallel surface the workspace uses: `into_par_iter()` /
+//! `par_iter()` over ranges and slices with `map` / `collect` / `sum` /
+//! `for_each`, plus [`ThreadPoolBuilder`] and [`current_num_threads`].
+//!
+//! Execution model: a parallel iterator here is an indexed producer
+//! (`len` + `Fn(usize) -> T`). Consuming it splits the index space into
+//! one contiguous chunk per thread, runs the chunks under
+//! [`std::thread::scope`], and concatenates the per-chunk results **in
+//! index order** — so `collect::<Vec<_>>()` is exactly the sequential
+//! result regardless of thread count, which the workspace relies on for
+//! deterministic query answers.
+//!
+//! Divergence from upstream: there is no persistent worker pool (threads
+//! are scoped per call — fine for the coarse-grained, long-running tasks
+//! benchmarked here), and [`ThreadPoolBuilder::build_global`] may be
+//! called repeatedly (last call wins) instead of erroring after the
+//! first, which the thread-scaling experiment binary relies on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of threads parallel iterators will use.
+///
+/// Priority: last [`ThreadPoolBuilder::build_global`] call, then the
+/// `RAYON_NUM_THREADS` environment variable, then the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (never produced by
+/// this shim; present for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global thread count.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests exactly `n` threads (0 = auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configured thread count globally.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+pub mod iter {
+    //! Parallel iterator types.
+
+    use super::current_num_threads;
+
+    /// An indexed parallel producer: `len` items, item `i` computed by
+    /// `produce(i)`.
+    pub struct ParIter<'a, T> {
+        len: usize,
+        produce: Box<dyn Fn(usize) -> T + Sync + 'a>,
+    }
+
+    /// Runs an indexed producer across threads, preserving index order.
+    fn run<'a, T: Send + 'a>(len: usize, produce: &(dyn Fn(usize) -> T + Sync + 'a)) -> Vec<T> {
+        let threads = current_num_threads().min(len.max(1));
+        if threads <= 1 || len < 2 {
+            return (0..len).map(produce).collect();
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .filter_map(|t| {
+                    let lo = t * chunk;
+                    if lo >= len {
+                        return None;
+                    }
+                    let hi = ((t + 1) * chunk).min(len);
+                    Some(scope.spawn(move || (lo..hi).map(produce).collect::<Vec<T>>()))
+                })
+                .collect();
+            let mut out = Vec::with_capacity(len);
+            for h in handles {
+                out.extend(h.join().expect("parallel worker panicked"));
+            }
+            out
+        })
+    }
+
+    impl<'a, T: Send + 'a> ParIter<'a, T> {
+        /// Builds a producer-backed parallel iterator.
+        pub fn from_fn(len: usize, produce: impl Fn(usize) -> T + Sync + 'a) -> Self {
+            ParIter {
+                len,
+                produce: Box::new(produce),
+            }
+        }
+
+        /// Number of items.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Whether the iterator is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Transforms each item with `f` (lazily, on the worker thread).
+        pub fn map<U, F>(self, f: F) -> ParIter<'a, U>
+        where
+            U: Send + 'a,
+            F: Fn(T) -> U + Sync + 'a,
+        {
+            let produce = self.produce;
+            ParIter {
+                len: self.len,
+                produce: Box::new(move |i| f(produce(i))),
+            }
+        }
+
+        /// Hint accepted for upstream compatibility (chunking here is
+        /// always one contiguous block per thread).
+        pub fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Materializes the items in index order.
+        pub fn collect<C: FromParIter<T>>(self) -> C {
+            C::from_par_iter_ordered(run(self.len, self.produce.as_ref()))
+        }
+
+        /// Sums the items (order-insensitive reduction).
+        pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+            run(self.len, self.produce.as_ref()).into_iter().sum()
+        }
+
+        /// Runs `f` on every item for its side effects.
+        pub fn for_each<F: Fn(T) + Sync>(self, f: F)
+        where
+            T: Send,
+        {
+            let produce = self.produce;
+            let consume = move |i| f(produce(i));
+            run::<()>(self.len, &consume);
+        }
+    }
+
+    /// Collection types a parallel iterator can materialize into.
+    pub trait FromParIter<T> {
+        /// Builds the collection from items already in index order.
+        fn from_par_iter_ordered(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParIter<T> for Vec<T> {
+        fn from_par_iter_ordered(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Conversion into a parallel iterator (by value).
+    pub trait IntoParallelIterator {
+        /// Item type produced.
+        type Item;
+        /// The parallel iterator type.
+        type Iter;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParIter<'static, usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            let start = self.start;
+            ParIter::from_fn(self.end.saturating_sub(self.start), move |i| start + i)
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Item = u32;
+        type Iter = ParIter<'static, u32>;
+        fn into_par_iter(self) -> Self::Iter {
+            let start = self.start;
+            ParIter::from_fn((self.end.saturating_sub(self.start)) as usize, move |i| {
+                start + i as u32
+            })
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = ParIter<'a, &'a T>;
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter::from_fn(self.len(), move |i| &self[i])
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = ParIter<'a, &'a T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.as_slice().into_par_iter()
+        }
+    }
+
+    /// `par_iter()` sugar over `&self` collections.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type produced (a reference).
+        type Item;
+        /// The parallel iterator type.
+        type Iter;
+        /// Parallel iterator over `&self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a, C: 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoParallelIterator<Item = &'a T>,
+    {
+        type Item = &'a T;
+        type Iter = <&'a C as IntoParallelIterator>::Iter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports: `use rayon::prelude::*;`
+    pub use crate::iter::{FromParIter, IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let expected: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        for threads in [1, 2, 3, 8] {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build_global()
+                .unwrap();
+            let got: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 3).collect();
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn slices_and_sums() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+        let doubled: Vec<u64> = v.as_slice().into_par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[99], 200);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let got: Vec<usize> = (5..5usize).into_par_iter().collect();
+        assert!(got.is_empty());
+        let got: Vec<usize> = (7..8usize).into_par_iter().collect();
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn for_each_runs_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+}
