@@ -1,0 +1,179 @@
+//! Experiment `exp_govern` — overhead of resource-governed execution
+//! with an *unlimited* budget (target: <3% slowdown), emitted as JSON.
+//!
+//! Workload: the Figure 1 corpus (simulated DBLP, ~10.9k publications)
+//! recast as a graph query. Publications and keywords become nodes of a
+//! bipartite labeled graph with a `mentions` edge wherever a title
+//! contains a keyword, so `?pub/mentions/?kw` *pairs* is exactly the
+//! publication–keyword incidence that `figure1_series` counts — the
+//! cross-check below asserts the two totals agree. Each operation
+//! (pairs, matching_starts, exact count) is then timed ungoverned vs
+//! governed-with-unlimited-budget; with batched tickers (one shared
+//! consultation per 1024 local work units) the governed path should be
+//! indistinguishable from the free-running one.
+
+use kgq_bench::timed;
+use kgq_biblio::analysis::title_contains;
+use kgq_biblio::{figure1_series, generate_corpus, CorpusParams, KEYWORDS};
+use kgq_core::{
+    count_paths, count_paths_governed, parse_expr, Budget, CancelToken, Evaluator, Governor,
+    LabeledView,
+};
+use kgq_graph::LabeledGraph;
+use std::time::Duration;
+
+/// Best-of-`reps` wall time: the minimum is the standard noise-resistant
+/// statistic for same-work/same-input timing comparisons.
+fn best_secs<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let mut times: Vec<Duration> = (0..reps).map(|_| timed(&mut f).1).collect();
+    times.sort();
+    times[0].as_secs_f64()
+}
+
+fn overhead_pct(ungoverned: f64, governed: f64) -> f64 {
+    (governed - ungoverned) / ungoverned * 100.0
+}
+
+fn main() {
+    let params = CorpusParams::default();
+    let corpus = generate_corpus(&params);
+    let fig = figure1_series(&corpus);
+    let incidence: usize = fig.series.iter().map(|s| s.iter().sum::<usize>()).sum();
+
+    // Bipartite publication–keyword graph: `mentions` edges reproduce
+    // the Figure 1 counting as a reachability query.
+    let mut g = LabeledGraph::new();
+    let kw_nodes: Vec<_> = KEYWORDS
+        .iter()
+        .enumerate()
+        .map(|(i, _)| g.add_node(&format!("k{i}"), "kw").unwrap())
+        .collect();
+    let mut edges = 0usize;
+    for (pi, publication) in corpus.iter().enumerate() {
+        let p = g.add_node(&format!("p{pi}"), "pub").unwrap();
+        for (ki, kw) in KEYWORDS.iter().enumerate() {
+            if title_contains(&publication.title, kw) {
+                g.add_edge(&format!("e{edges}"), p, kw_nodes[ki], "mentions")
+                    .unwrap();
+                edges += 1;
+            }
+        }
+    }
+    let expr = parse_expr("?pub/mentions/?kw", g.consts_mut()).unwrap();
+    // Counting workload: co-mentions (pub →kw→ pub, length-2 paths),
+    // a heavier DP than the 1-edge incidence expression.
+    let co_expr = parse_expr("mentions/mentions^-", g.consts_mut()).unwrap();
+    let view = LabeledView::new(&g);
+    let ev = Evaluator::new(&view, &expr);
+
+    // The graph query really is the Figure 1 recount.
+    let pairs = ev.pairs();
+    assert_eq!(
+        pairs.len(),
+        incidence,
+        "pairs must equal the Figure 1 keyword–publication incidence"
+    );
+    let governed = ev.pairs_governed(&Governor::unlimited()).unwrap();
+    assert!(!governed.is_partial());
+    assert_eq!(
+        governed.value, pairs,
+        "unlimited governor changed the answer"
+    );
+
+    let k = 2;
+    let exact = count_paths(&view, &co_expr, k).unwrap();
+
+    let reps = 9;
+    let mut rows = Vec::new();
+
+    let t0 = best_secs(
+        || {
+            std::hint::black_box(ev.pairs().len());
+        },
+        reps,
+    );
+    let t1 = best_secs(
+        || {
+            std::hint::black_box(
+                ev.pairs_governed(&Governor::unlimited())
+                    .unwrap()
+                    .value
+                    .len(),
+            );
+        },
+        reps,
+    );
+    rows.push(("pairs", t0, t1));
+
+    let t0 = best_secs(
+        || {
+            std::hint::black_box(ev.matching_starts().len());
+        },
+        reps,
+    );
+    let t1 = best_secs(
+        || {
+            std::hint::black_box(
+                ev.matching_starts_governed(&Governor::unlimited())
+                    .unwrap()
+                    .value
+                    .len(),
+            );
+        },
+        reps,
+    );
+    rows.push(("matching_starts", t0, t1));
+
+    // A single count runs in single-digit milliseconds — batch it above
+    // the timer noise floor.
+    let batch = 10;
+    let t0 = best_secs(
+        || {
+            for _ in 0..batch {
+                std::hint::black_box(count_paths(&view, &co_expr, k).unwrap());
+            }
+        },
+        reps,
+    );
+    let t1 = best_secs(
+        || {
+            for _ in 0..batch {
+                let res = count_paths_governed(
+                    &view,
+                    &co_expr,
+                    k,
+                    &Budget::default(),
+                    CancelToken::new(),
+                )
+                .unwrap();
+                assert!(!res.degraded);
+                std::hint::black_box(res);
+            }
+        },
+        reps,
+    );
+    rows.push(("count_exact", t0, t1));
+
+    println!("{{");
+    println!(
+        "  \"workload\": {{\"corpus\": \"figure1\", \"publications\": {}, \"nodes\": {}, \"mentions_edges\": {}, \"incidence_pairs\": {incidence}, \"comention_count_k{k}\": {exact}}},",
+        corpus.len(),
+        g.node_count(),
+        edges
+    );
+    println!("  \"expr\": \"?pub/mentions/?kw\",");
+    println!("  \"count_expr\": \"mentions/mentions^-\",");
+    println!("  \"results\": [");
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|(op, t0, t1)| {
+            format!(
+                "    {{\"op\": \"{op}\", \"ungoverned_seconds\": {t0:.6}, \"governed_seconds\": {t1:.6}, \"overhead_pct\": {:.2}}}",
+                overhead_pct(*t0, *t1)
+            )
+        })
+        .collect();
+    println!("{}", lines.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -32,6 +32,7 @@
 
 use crate::automata::Nfa;
 use crate::expr::PathExpr;
+use crate::govern::{fault_point, EvalError, Governor, Ticker};
 use crate::model::PathGraph;
 use crate::path::Path;
 use crate::product::{PState, Product};
@@ -128,12 +129,43 @@ impl ApproxCounter {
         k: usize,
         params: &ApproxParams,
     ) -> ApproxCounter {
+        match ApproxCounter::build_inner(g, expr, k, params, None) {
+            Ok(c) => c,
+            Err(e) => unreachable!("ungoverned approx build failed: {e}"),
+        }
+    }
+
+    /// Governed [`ApproxCounter::build`]: each Karp–Luby trial charges a
+    /// step and the sample pools charge memory, so the preprocessing
+    /// phase respects deadlines and budgets like every other algorithm.
+    pub fn build_governed<G: PathGraph>(
+        g: &G,
+        expr: &PathExpr,
+        k: usize,
+        params: &ApproxParams,
+        gov: &Governor,
+    ) -> Result<ApproxCounter, EvalError> {
+        ApproxCounter::build_inner(g, expr, k, params, Some(gov))
+    }
+
+    fn build_inner<G: PathGraph>(
+        g: &G,
+        expr: &PathExpr,
+        k: usize,
+        params: &ApproxParams,
+        gov: Option<&Governor>,
+    ) -> Result<ApproxCounter, EvalError> {
         assert!(
             params.epsilon > 0.0 && params.epsilon < 1.0,
             "epsilon must be in (0,1)"
         );
+        fault_point!("approx::build");
+        let mut ticker = Ticker::maybe(gov);
         let nfa = Nfa::compile(expr);
-        let product = Product::build(g, &nfa);
+        let product = match gov {
+            Some(gov) => Product::build_governed(g, &nfa, gov)?,
+            None => Product::build(g, &nfa),
+        };
         let m = product.state_count();
         let trials = params.effective_trials();
         let mut rng = StdRng::seed_from_u64(params.seed);
@@ -167,6 +199,11 @@ impl ApproxCounter {
             let prev_pools = &pools[i - 1];
             let mut cur_est = vec![0.0; m];
             let mut cur_pools: Vec<Vec<Sample>> = vec![Vec::new(); m];
+            if let Some(gov) = gov {
+                // One estimate row plus pool headers per layer; samples
+                // are charged as they are accepted below.
+                gov.charge_memory(32 * m as u64)?;
+            }
             for s_prime in 0..m {
                 let preds = product.preds(s_prime as PState);
                 if preds.is_empty() {
@@ -179,6 +216,7 @@ impl ApproxCounter {
                 }
                 let mut accepted = 0usize;
                 for _ in 0..trials {
+                    ticker.tick()?;
                     let j = weighted_pick(&mut rng, &weights, total);
                     let (s, e) = preds[j];
                     let pool = &prev_pools[s as usize];
@@ -200,6 +238,9 @@ impl ApproxCounter {
                         word.edges.push(e);
                         let reached = step_reached(&product, &sample.reached, e);
                         debug_assert!(reached.binary_search(&(s_prime as PState)).is_ok());
+                        if let Some(gov) = gov {
+                            gov.charge_memory(32 + 8 * (word.edges.len() + reached.len()) as u64)?;
+                        }
                         cur_pools[s_prime].push(Sample { word, reached });
                     }
                 }
@@ -220,6 +261,7 @@ impl ApproxCounter {
         } else {
             let mut accepted = 0usize;
             for _ in 0..trials {
+                ticker.tick()?;
                 let j = weighted_pick(&mut rng, &weights, total);
                 let s = accepting[j];
                 let pool = &pools[k][s];
@@ -237,14 +279,15 @@ impl ApproxCounter {
             total * accepted as f64 / trials as f64
         };
 
-        ApproxCounter {
+        ticker.flush()?;
+        Ok(ApproxCounter {
             product,
             k,
             est,
             pools,
             estimate,
             trials,
-        }
+        })
     }
 
     /// The estimate `𝒜(G, r, k, ε) ≈ Count(G, r, k)`.
@@ -297,6 +340,28 @@ impl ApproxCounter {
 /// One-shot `𝒜(G, r, k, ε)` — see [`ApproxCounter`].
 pub fn approx_count<G: PathGraph>(g: &G, expr: &PathExpr, k: usize, params: &ApproxParams) -> f64 {
     ApproxCounter::build(g, expr, k, params).estimate()
+}
+
+/// Governed one-shot estimate with default parameters — the fallback
+/// rung used by [`crate::count::count_paths_governed`].
+pub fn approx_count_governed<G: PathGraph>(
+    g: &G,
+    expr: &PathExpr,
+    k: usize,
+    gov: &Governor,
+) -> Result<f64, EvalError> {
+    approx_count_governed_with(g, expr, k, &ApproxParams::default(), gov)
+}
+
+/// [`approx_count_governed`] with explicit estimator parameters.
+pub fn approx_count_governed_with<G: PathGraph>(
+    g: &G,
+    expr: &PathExpr,
+    k: usize,
+    params: &ApproxParams,
+    gov: &Governor,
+) -> Result<f64, EvalError> {
+    Ok(ApproxCounter::build_governed(g, expr, k, params, gov)?.estimate())
 }
 
 /// Median-of-`rounds` amplification of [`approx_count`].

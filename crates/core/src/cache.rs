@@ -17,6 +17,7 @@
 use crate::automata::Nfa;
 use crate::eval::Evaluator;
 use crate::expr::PathExpr;
+use crate::govern::{fault_point, isolate, EvalError, Governor, Interrupt};
 use crate::model::PathGraph;
 use crate::product::Product;
 use crate::simplify::simplify;
@@ -34,11 +35,30 @@ pub struct CompiledQuery {
     product: Arc<Product>,
 }
 
+impl std::fmt::Debug for CompiledQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledQuery")
+            .field("expr", &self.expr)
+            .field("product_states", &self.product.state_count())
+            .finish_non_exhaustive()
+    }
+}
+
 impl CompiledQuery {
     fn compile<G: PathGraph>(g: &G, expr: PathExpr) -> CompiledQuery {
         let nfa = Nfa::compile(&expr);
         let product = Arc::new(Product::build(g, &nfa));
         CompiledQuery { expr, nfa, product }
+    }
+
+    fn compile_governed<G: PathGraph>(
+        g: &G,
+        expr: PathExpr,
+        gov: &Governor,
+    ) -> Result<CompiledQuery, Interrupt> {
+        let nfa = Nfa::compile(&expr);
+        let product = Arc::new(Product::build_governed(g, &nfa, gov)?);
+        Ok(CompiledQuery { expr, nfa, product })
     }
 
     /// The canonicalized expression this entry was compiled from.
@@ -143,6 +163,48 @@ impl QueryCache {
             },
         );
         compiled
+    }
+
+    /// Governed [`QueryCache::get_or_compile`]: compilation runs under
+    /// `gov`'s budget with panics isolated, and is **panic- and
+    /// cancel-safe with respect to the cache** — compilation completes
+    /// *before* anything is inserted, so an interrupted, cancelled, or
+    /// panicking compile leaves the map untouched (no partial entry to
+    /// poison later hits); only the hit/miss counters record the attempt.
+    pub fn get_or_compile_governed<G: PathGraph>(
+        &mut self,
+        g: &G,
+        generation: u64,
+        expr: &PathExpr,
+        gov: &Governor,
+    ) -> Result<Arc<CompiledQuery>, EvalError> {
+        let key = CacheKey {
+            generation,
+            expr: simplify(expr),
+        };
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.last_used = tick;
+            self.hits += 1;
+            return Ok(Arc::clone(&entry.compiled));
+        }
+        self.misses += 1;
+        let compiled = Arc::new(isolate(|| {
+            fault_point!("cache::compile");
+            CompiledQuery::compile_governed(g, key.expr.clone(), gov)
+        })?);
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.map.insert(
+            key,
+            Entry {
+                compiled: Arc::clone(&compiled),
+                last_used: tick,
+            },
+        );
+        Ok(compiled)
     }
 
     fn evict_lru(&mut self) {
@@ -253,6 +315,56 @@ mod tests {
         let c2 = cache.get_or_compile(&view, 1, &e1);
         assert_eq!((cache.hits(), cache.misses()), (0, 2));
         assert!(!Arc::ptr_eq(c1.product(), c2.product()));
+    }
+
+    #[test]
+    fn cancelled_compile_then_retry_matches_cold_run() {
+        use crate::govern::{Budget, CancelToken};
+        let (g, e1, _) = setup();
+        let view = LabeledView::new(&g);
+        // Cold reference: a plain compile on an untouched cache.
+        let cold = Evaluator::new(&view, &e1).pairs();
+        let mut cache = QueryCache::new();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let gov = Governor::with_cancel(&Budget::default(), cancel);
+        let err = cache
+            .get_or_compile_governed(&view, 0, &e1, &gov)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Interrupted(Interrupt::Cancelled)));
+        // The cancelled compile inserted nothing — no partial entry can
+        // poison a later hit.
+        assert!(cache.is_empty());
+        // Retrying on the same cache is byte-identical to the cold run.
+        let retry = cache
+            .get_or_compile_governed(&view, 0, &e1, &Governor::unlimited())
+            .unwrap();
+        assert_eq!(retry.evaluator().pairs(), cold);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        // And the entry now behaves as a normal cached hit.
+        let again = cache
+            .get_or_compile_governed(&view, 0, &e1, &Governor::unlimited())
+            .unwrap();
+        assert!(Arc::ptr_eq(again.product(), retry.product()));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn step_exhausted_compile_leaves_the_cache_clean() {
+        use crate::govern::Budget;
+        let (g, e1, _) = setup();
+        let view = LabeledView::new(&g);
+        let gov = Governor::new(&Budget::default().with_max_steps(1));
+        let mut cache = QueryCache::new();
+        let err = cache
+            .get_or_compile_governed(&view, 0, &e1, &gov)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Interrupted(Interrupt::StepBudget)));
+        assert!(cache.is_empty());
+        let ok = cache
+            .get_or_compile_governed(&view, 0, &e1, &Governor::unlimited())
+            .unwrap();
+        assert_eq!(ok.evaluator().pairs(), Evaluator::new(&view, &e1).pairs());
     }
 
     #[test]

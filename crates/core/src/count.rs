@@ -17,6 +17,9 @@
 
 use crate::automata::Nfa;
 use crate::expr::PathExpr;
+use crate::govern::{
+    fault_point, Budget, CancelToken, EvalError, Governed, Governor, Interrupt, Ticker,
+};
 use crate::model::PathGraph;
 use crate::product::{DetProduct, Product};
 use kgq_graph::{EdgeId, NodeId};
@@ -66,7 +69,47 @@ impl ExactCounter {
 
     /// `Count(G, r, k)` — distinct paths of length exactly `k`.
     pub fn count(&self, k: usize) -> Result<u128, CountError> {
-        Ok(*self.count_by_length(k)?.last().expect("k+1 entries"))
+        // `count_by_length` always returns k+1 entries, so `last` is
+        // present; avoid unwrapping on the hot path regardless.
+        Ok(self.count_by_length(k)?.pop().unwrap_or(0))
+    }
+
+    /// Governed `Count(G, r, k)`: the DP charges one step per cell
+    /// update and two transient `u128` rows of memory, so a runaway
+    /// determinized product cannot pin the CPU past its budget.
+    pub fn count_governed(&self, k: usize, gov: &Governor) -> Result<u128, EvalError> {
+        fault_point!("count::dp");
+        let m = self.det.state_count();
+        let row_bytes = 16 * m as u64;
+        gov.charge_memory(2 * row_bytes)
+            .map_err(EvalError::Interrupted)?;
+        let mut ticker = Ticker::new(gov);
+        let result = (|| -> Result<u128, EvalError> {
+            let mut cur = vec![0u128; m];
+            for s in self.det.initial_slots().iter().flatten() {
+                ticker.tick()?;
+                cur[*s as usize] = cur[*s as usize].checked_add(1).ok_or(EvalError::Overflow)?;
+            }
+            for _ in 0..k {
+                let mut next = vec![0u128; m];
+                for (s, &c) in cur.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    for &(_, s2) in self.det.out(s as u32) {
+                        ticker.tick()?;
+                        next[s2 as usize] = next[s2 as usize]
+                            .checked_add(c)
+                            .ok_or(EvalError::Overflow)?;
+                    }
+                }
+                cur = next;
+            }
+            ticker.flush()?;
+            self.accepting_total(&cur).map_err(EvalError::from)
+        })();
+        gov.release_memory(2 * row_bytes);
+        result
     }
 
     /// Counts for every length `0..=k` in one DP pass.
@@ -168,6 +211,100 @@ impl ExactCounter {
 /// `Count(G, r, k)` via determinization + DP. See [`ExactCounter`].
 pub fn count_paths<G: PathGraph>(g: &G, expr: &PathExpr, k: usize) -> Result<u128, CountError> {
     ExactCounter::new(g, expr).count(k)
+}
+
+/// A governed count: exact when the budget allowed it, or an FPRAS
+/// estimate when exact counting was cut short (the `degraded` flag on
+/// the surrounding [`Governed`] is set in that case).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CountOutcome {
+    /// The exact number of length-`k` matching paths.
+    Exact(u128),
+    /// An approximate count from the FPRAS fallback.
+    Approximate(f64),
+}
+
+impl fmt::Display for CountOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountOutcome::Exact(c) => write!(f, "{c}"),
+            CountOutcome::Approximate(e) => write!(f, "~{e:.1}"),
+        }
+    }
+}
+
+/// The counting rung of the degradation ladder (exact → approximate):
+/// try the exact count under half the step budget; if that trips on
+/// anything except explicit cancellation, rerun as the FPRAS
+/// approximation under whatever budget is left (same wall-clock
+/// deadline) and mark the answer `degraded`.
+///
+/// Exact counting is SpanL-complete (§4.1) — determinization can blow
+/// up exponentially — while the FPRAS stays polynomial, so the fallback
+/// usually completes comfortably inside the remaining budget.
+pub fn count_paths_governed<G: PathGraph + Sync>(
+    g: &G,
+    expr: &PathExpr,
+    k: usize,
+    budget: &Budget,
+    cancel: CancelToken,
+) -> Result<Governed<CountOutcome>, EvalError> {
+    count_paths_governed_with(
+        g,
+        expr,
+        k,
+        budget,
+        cancel,
+        &crate::approx::ApproxParams::default(),
+    )
+}
+
+/// [`count_paths_governed`] with explicit FPRAS parameters for the
+/// fallback rung (fewer trials trade accuracy for a smaller footprint,
+/// letting the approximation fit tighter leftover budgets).
+pub fn count_paths_governed_with<G: PathGraph + Sync>(
+    g: &G,
+    expr: &PathExpr,
+    k: usize,
+    budget: &Budget,
+    cancel: CancelToken,
+    params: &crate::approx::ApproxParams,
+) -> Result<Governed<CountOutcome>, EvalError> {
+    let stage1 = Budget {
+        max_steps: budget.max_steps.map(|s| s / 2),
+        ..budget.clone()
+    };
+    let gov = Governor::with_cancel(&stage1, cancel);
+    let nfa = Nfa::compile(expr);
+    let exact = crate::govern::isolate_eval(|| {
+        DetProduct::build_governed(g, &nfa, &gov)
+            .map_err(EvalError::from)
+            .and_then(|det| ExactCounter::from_det(det).count_governed(k, &gov))
+    });
+    match exact {
+        Ok(c) => return Ok(Governed::complete(CountOutcome::Exact(c))),
+        // Cancellation is a user decision, not exhaustion — don't burn
+        // more work on a fallback nobody is waiting for. Overflow and
+        // panics are not budget problems either.
+        Err(EvalError::Interrupted(Interrupt::Cancelled)) => {
+            return Err(Interrupt::Cancelled.into())
+        }
+        Err(EvalError::Interrupted(_)) => {}
+        Err(e) => return Err(e),
+    }
+    // Degrade: FPRAS under the unspent part of the *total* step budget,
+    // against the same deadline instant (sticky trips force a fresh
+    // governor rather than reusing the tripped one).
+    let remaining = budget.max_steps.map(|s| s.saturating_sub(gov.steps_used()));
+    let gov2 = gov.successor_with_steps(remaining.unwrap_or(u64::MAX));
+    let estimate = crate::govern::isolate_eval(|| {
+        crate::approx::approx_count_governed_with(g, expr, k, params, &gov2)
+    })?;
+    Ok(Governed {
+        value: CountOutcome::Approximate(estimate),
+        completion: crate::govern::Completion::Complete,
+        degraded: true,
+    })
 }
 
 /// Brute-force `Count(G, r, k)`: enumerate every length-`k` walk
@@ -384,5 +521,89 @@ mod tests {
         // Figure 2 has persons n1, n4, n8.
         assert_eq!(count_paths(&view, &e, 0).unwrap(), 3);
         assert_eq!(count_paths(&view, &e, 1).unwrap(), 0);
+    }
+}
+
+#[cfg(test)]
+mod governed_tests {
+    use super::*;
+    use crate::approx::ApproxParams;
+    use crate::govern::Completion;
+    use crate::model::LabeledView;
+    use crate::parser::parse_expr;
+    use kgq_graph::generate::gnm_labeled;
+
+    /// A workload where determinization blows up: the suffix forces the
+    /// subset construction to remember the last 8 steps, so the exact
+    /// rung costs ~250k governed steps while a small-trial FPRAS stays
+    /// near 100k.
+    fn blowup() -> (kgq_graph::LabeledGraph, PathExpr) {
+        let mut g = gnm_labeled(20, 80, &["v"], &["p", "q"], 3);
+        let text = "(p+q)*/p".to_string() + &"/(p+q)".repeat(8);
+        let e = parse_expr(&text, g.consts_mut()).unwrap();
+        (g, e)
+    }
+
+    #[test]
+    fn unlimited_budget_counts_exactly() {
+        let (g, e) = blowup();
+        let view = LabeledView::new(&g);
+        let expected = count_paths(&view, &e, 9).unwrap();
+        let res =
+            count_paths_governed(&view, &e, 9, &Budget::default(), CancelToken::new()).unwrap();
+        assert!(!res.degraded);
+        assert_eq!(res.completion, Completion::Complete);
+        assert_eq!(res.value, CountOutcome::Exact(expected));
+    }
+
+    #[test]
+    fn step_exhaustion_degrades_to_fpras() {
+        let (g, e) = blowup();
+        let view = LabeledView::new(&g);
+        let exact = count_paths(&view, &e, 9).unwrap() as f64;
+        // Stage 1 gets half of this — not enough to determinize — while
+        // the leftover comfortably covers a 16-trial estimator.
+        let budget = Budget::default().with_max_steps(300_000);
+        let params = ApproxParams {
+            trials: Some(16),
+            pool_cap: 32,
+            ..Default::default()
+        };
+        let res =
+            count_paths_governed_with(&view, &e, 9, &budget, CancelToken::new(), &params).unwrap();
+        assert!(res.degraded, "exact should have been cut short");
+        assert_eq!(res.completion, Completion::Complete);
+        let CountOutcome::Approximate(est) = res.value else {
+            panic!("expected the FPRAS fallback, got {:?}", res.value);
+        };
+        assert!(
+            (est - exact).abs() / exact < 0.5,
+            "estimate {est} too far from {exact}"
+        );
+    }
+
+    #[test]
+    fn cancellation_skips_the_fallback() {
+        let (g, e) = blowup();
+        let view = LabeledView::new(&g);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = count_paths_governed(&view, &e, 9, &Budget::default(), cancel).unwrap_err();
+        assert!(matches!(err, EvalError::Interrupted(Interrupt::Cancelled)));
+    }
+
+    #[test]
+    fn hopeless_budget_is_a_typed_error() {
+        let (g, e) = blowup();
+        let view = LabeledView::new(&g);
+        let budget = Budget::default().with_max_steps(1_000);
+        let err = count_paths_governed(&view, &e, 9, &budget, CancelToken::new()).unwrap_err();
+        assert!(matches!(err, EvalError::Interrupted(Interrupt::StepBudget)));
+    }
+
+    #[test]
+    fn count_outcome_renders() {
+        assert_eq!(CountOutcome::Exact(42).to_string(), "42");
+        assert_eq!(CountOutcome::Approximate(41.96).to_string(), "~42.0");
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::automata::Nfa;
 use crate::expr::PathExpr;
+use crate::govern::{fault_point, isolate, EvalError, Governed, Governor, Interrupt, Ticker};
 use crate::model::PathGraph;
 use crate::path::Path;
 use crate::product::{PState, Product};
@@ -38,6 +39,18 @@ impl Evaluator {
         Evaluator {
             product: Arc::new(Product::build(g, &nfa)),
         }
+    }
+
+    /// Compiles `expr` and builds the product under `gov`'s budget.
+    pub fn new_governed<G: PathGraph>(
+        g: &G,
+        expr: &PathExpr,
+        gov: &Governor,
+    ) -> Result<Evaluator, Interrupt> {
+        let nfa = Nfa::compile(expr);
+        Ok(Evaluator {
+            product: Arc::new(Product::build_governed(g, &nfa, gov)?),
+        })
     }
 
     /// Wraps an already-built (possibly cached) product.
@@ -70,6 +83,56 @@ impl Evaluator {
             }
         }
         seen
+    }
+
+    /// Governed [`Evaluator::reachable_from`]: ticks per frontier
+    /// expansion and charges the visited bitmap (released by the caller).
+    fn reachable_from_governed(
+        &self,
+        start: NodeId,
+        gov: &Governor,
+    ) -> Result<Vec<bool>, Interrupt> {
+        let mut ticker = Ticker::new(gov);
+        gov.charge_memory(self.product.state_count() as u64)?;
+        let mut seen = vec![false; self.product.state_count()];
+        let mut queue: VecDeque<PState> = VecDeque::new();
+        for &s in self.product.initial(start) {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            for &(_, s2) in self.product.out(s) {
+                ticker.tick()?;
+                if !seen[s2 as usize] {
+                    seen[s2 as usize] = true;
+                    queue.push_back(s2);
+                }
+            }
+        }
+        ticker.flush()?;
+        Ok(seen)
+    }
+
+    /// Governed [`Evaluator::ends_from`]; identical output when the
+    /// budget is not exhausted.
+    pub fn ends_from_governed(
+        &self,
+        start: NodeId,
+        gov: &Governor,
+    ) -> Result<Vec<NodeId>, Interrupt> {
+        let seen = self.reachable_from_governed(start, gov)?;
+        let mut ends: Vec<NodeId> = seen
+            .iter()
+            .enumerate()
+            .filter(|&(s, &r)| r && self.product.is_accepting(s as PState))
+            .map(|(s, _)| self.product.node_of(s as PState))
+            .collect();
+        gov.release_memory(seen.len() as u64);
+        ends.sort_unstable();
+        ends.dedup();
+        Ok(ends)
     }
 
     /// End nodes `b` such that some path `p ∈ ⟦r⟧` has
@@ -114,6 +177,88 @@ impl Evaluator {
             result.extend(chunk);
         }
         result
+    }
+
+    /// Governed [`Evaluator::pairs`]: every per-source BFS runs under
+    /// `gov` with its panics isolated, and exhaustion yields a *prefix*
+    /// of the full answer (every included source completed its scan)
+    /// tagged [`crate::govern::Completion::Partial`] with the reason.
+    ///
+    /// With an unlimited governor the value is byte-identical to
+    /// [`Evaluator::pairs`] at every thread count.
+    pub fn pairs_governed(
+        &self,
+        gov: &Governor,
+    ) -> Result<Governed<Vec<(NodeId, NodeId)>>, EvalError> {
+        let per_source = self.scan_governed(gov, |v| {
+            Ok(self
+                .ends_from_governed(v, gov)?
+                .into_iter()
+                .map(|b| (v, b))
+                .collect())
+        });
+        assemble_prefix(per_source, gov, true)
+    }
+
+    /// Governed [`Evaluator::matching_starts`]; same partial-prefix
+    /// contract as [`Evaluator::pairs_governed`].
+    pub fn matching_starts_governed(
+        &self,
+        gov: &Governor,
+    ) -> Result<Governed<Vec<NodeId>>, EvalError> {
+        self.starts_governed_impl(gov, true)
+    }
+
+    /// [`Evaluator::matching_starts_governed`] without result-budget
+    /// charging: for *internal* scans (e.g. a Cypher prefilter) whose
+    /// output is not a user-visible answer. Steps, memory, deadline and
+    /// cancellation are still enforced.
+    pub fn matching_starts_governed_unmetered(
+        &self,
+        gov: &Governor,
+    ) -> Result<Governed<Vec<NodeId>>, EvalError> {
+        self.starts_governed_impl(gov, false)
+    }
+
+    fn starts_governed_impl(
+        &self,
+        gov: &Governor,
+        meter_results: bool,
+    ) -> Result<Governed<Vec<NodeId>>, EvalError> {
+        let per_source = self.scan_governed(gov, |v| {
+            Ok(if self.ends_from_governed(v, gov)?.is_empty() {
+                Vec::new()
+            } else {
+                vec![v]
+            })
+        });
+        assemble_prefix(per_source, gov, meter_results)
+    }
+
+    /// Runs `run` for every source node, in parallel when threads are
+    /// available, isolating worker panics. Results stay in source order.
+    fn scan_governed<T: Send>(
+        &self,
+        gov: &Governor,
+        run: impl Fn(NodeId) -> Result<Vec<T>, Interrupt> + Sync,
+    ) -> Vec<Result<Vec<T>, EvalError>> {
+        let n = self.product.node_count();
+        let governed_run = |v: usize| {
+            isolate(|| {
+                fault_point!("eval::bfs");
+                // An already-tripped governor stops remaining sources
+                // immediately instead of letting them finish a full BFS.
+                if let Some(why) = gov.trip_state() {
+                    return Err(why);
+                }
+                run(NodeId(v as u32))
+            })
+        };
+        if crate::parallel::effective_threads() <= 1 || n < 2 {
+            (0..n).map(governed_run).collect()
+        } else {
+            (0..n).into_par_iter().map(governed_run).collect()
+        }
     }
 
     /// Single-threaded [`Evaluator::pairs`] (reference implementation).
@@ -201,6 +346,36 @@ impl Evaluator {
         edges.reverse();
         Some(Path { start: a, edges })
     }
+}
+
+/// Concatenates per-source scan results in source order, cutting at the
+/// first interrupted source so the value is an exact prefix of the full
+/// answer. Result-budget charging happens here, sequentially, so the
+/// prefix length under a result budget is deterministic. Worker panics
+/// (`EvalError::Panic`) propagate as errors.
+fn assemble_prefix<T>(
+    per_source: Vec<Result<Vec<T>, EvalError>>,
+    gov: &Governor,
+    meter_results: bool,
+) -> Result<Governed<Vec<T>>, EvalError> {
+    let mut out = Vec::new();
+    for chunk in per_source {
+        match chunk {
+            Ok(items) => {
+                for item in items {
+                    if meter_results {
+                        if let Err(why) = gov.charge_results(1) {
+                            return Ok(Governed::partial(out, why));
+                        }
+                    }
+                    out.push(item);
+                }
+            }
+            Err(EvalError::Interrupted(why)) => return Ok(Governed::partial(out, why)),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Governed::complete(out))
 }
 
 /// All matching paths from `a` to `b` of length at most `max_len`,

@@ -23,6 +23,8 @@
 //! * [`enumerate`] — polynomial-delay enumeration of answers.
 //! * [`path`] — paths as first-class values.
 //! * [`simplify`] — semantics-preserving expression rewriting.
+//! * [`govern`] — resource governance: budgets, deadlines, cooperative
+//!   cancellation, panic isolation, graceful degradation.
 
 // Several hot loops index multiple parallel arrays at once; the
 // iterator rewrites clippy suggests obscure them.
@@ -35,6 +37,7 @@ pub mod enumerate;
 pub mod eval;
 pub mod expr;
 pub mod gen;
+pub mod govern;
 pub mod model;
 pub mod parallel;
 pub mod parser;
@@ -42,14 +45,24 @@ pub mod path;
 pub mod product;
 pub mod simplify;
 
-pub use approx::{approx_count, approx_count_amplified, ApproxCounter, ApproxParams};
+pub use approx::{
+    approx_count, approx_count_amplified, approx_count_governed, ApproxCounter, ApproxParams,
+};
 pub use automata::Nfa;
 pub use cache::{CompiledQuery, QueryCache};
-pub use count::{count_paths, count_paths_naive, CountError, ExactCounter};
-pub use enumerate::{enumerate_paths, enumerate_paths_upto, PathEnumerator};
+pub use count::{
+    count_paths, count_paths_governed, count_paths_naive, CountError, CountOutcome, ExactCounter,
+};
+pub use enumerate::{
+    enumerate_paths, enumerate_paths_governed, enumerate_paths_resumed, enumerate_paths_upto,
+    Cursor, CursorError, EnumerationPage, PathEnumerator,
+};
 pub use eval::{eval_pairs, matching_starts, paths_between, Evaluator};
 pub use expr::{PathExpr, Test};
 pub use gen::UniformSampler;
+pub use govern::{
+    Budget, CancelToken, Completion, EvalError, Governed, Governor, Interrupt, Ticker,
+};
 pub use model::{LabeledView, PathGraph, PropertyView, VectorView};
 pub use parser::{parse_expr, ParseError};
 pub use path::Path;

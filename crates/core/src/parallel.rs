@@ -16,6 +16,20 @@
 //! 3. the machine's available parallelism.
 //!
 //! Setting `KGQ_THREADS=1` forces the sequential paths everywhere.
+//!
+//! ## Governance across workers
+//!
+//! Governed scans ([`crate::eval::Evaluator::pairs_governed`] and
+//! friends) share one [`crate::govern::Governor`] by reference across
+//! all worker threads: each worker charges its own batched
+//! [`crate::govern::Ticker`] into the shared atomic counters, observes
+//! the *sticky* trip (including cooperative cancellation) at its next
+//! batch boundary, and returns its per-source partial state cleanly
+//! instead of being torn down. Worker closures also run inside
+//! [`crate::govern::isolate`], so a panicking worker is converted into a
+//! typed [`crate::govern::EvalError::Panic`] rather than unwinding
+//! through the pool — the bundled rayon shim joins every scoped thread
+//! before returning, so no thread ever outlives (leaks from) a scan.
 
 use std::sync::Once;
 

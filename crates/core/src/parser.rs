@@ -109,7 +109,11 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
     let mut toks = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        // `i` only ever advances by whole characters (or over ASCII
+        // bytes), so it is always a char boundary.
+        let Some(c) = input[i..].chars().next() else {
+            break;
+        };
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '?' => {
@@ -203,7 +207,7 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
             }
             c if c.is_ascii_digit() => {
                 let begin = i;
-                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
                 let n: usize = input[begin..i].parse().map_err(|_| ParseError {
@@ -214,13 +218,15 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 toks.push((begin, Tok::Int(n)));
             }
             c if c.is_alphabetic() || c == '_' => {
+                // Identifiers are Unicode: advance char by char so a
+                // multi-byte letter never lands the cursor (and the
+                // slice below) off a char boundary.
                 let begin = i;
+                i += c.len_utf8();
                 while i < bytes.len() {
-                    let c = bytes[i] as char;
-                    if c.is_alphanumeric() || c == '_' {
-                        i += 1;
-                    } else {
-                        break;
+                    match input[i..].chars().next() {
+                        Some(c) if c.is_alphanumeric() || c == '_' => i += c.len_utf8(),
+                        _ => break,
                     }
                 }
                 toks.push((begin, Tok::Ident(input[begin..i].to_owned())));
@@ -585,6 +591,28 @@ mod tests {
         let rendered = err.render(input);
         assert!(rendered.contains("\n  rides/\n"));
         assert!(!rendered.contains("\n  ?person/"));
+    }
+
+    #[test]
+    fn non_ascii_input_never_panics() {
+        // Fuzz-found inputs that used to slice mid-character in the
+        // byte-wise lexer. Unicode letters now lex as identifiers; other
+        // non-ASCII characters are lexical errors — never panics.
+        let mut it = Interner::new();
+        for input in ["é", "αβ", "a/é", "?é", "é*", "'é'/π", "日本語", "a€b"] {
+            let _ = parse_expr(input, &mut it);
+        }
+        let (e, it) = parse("?é");
+        match e {
+            PathExpr::NodeTest(Test::Label(l)) => assert_eq!(it.resolve(l), "é"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (e, _) = parse("a/αβ");
+        assert!(matches!(e, PathExpr::Concat(_, _)));
+        let mut it = Interner::new();
+        let err = parse_expr("a€b", &mut it).unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.pos, 1);
     }
 
     #[test]

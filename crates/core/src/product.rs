@@ -31,9 +31,16 @@
 //! and stays polynomial.
 
 use crate::automata::{Nfa, Trans};
+use crate::govern::{fault_point, Governor, Interrupt, MemMeter, Ticker};
 use crate::model::PathGraph;
 use kgq_graph::{EdgeId, NodeId};
 use std::collections::HashMap;
+
+/// Coarse per-product-state memory charge: the `(node, q)` pair, the
+/// interning map entry, and CSR slot overhead.
+const STATE_BYTES: u64 = 48;
+/// Coarse per-transition charge: one forward and one reverse CSR entry.
+const TRANS_BYTES: u64 = 16;
 
 /// Index of a product state.
 pub type PState = u32;
@@ -114,6 +121,34 @@ impl Product {
 
     /// Builds the product reachable from the given source nodes.
     pub fn build_from<G: PathGraph>(g: &G, nfa: &Nfa, sources: &[NodeId]) -> Product {
+        match Product::build_from_governed(g, nfa, sources, None) {
+            Ok(p) => p,
+            // Unreachable: without a governor nothing interrupts the build.
+            Err(i) => unreachable!("ungoverned product build interrupted: {i}"),
+        }
+    }
+
+    /// Builds the full product under `gov`'s budget; interning work is
+    /// charged as steps and the growing CSR as memory.
+    pub fn build_governed<G: PathGraph>(
+        g: &G,
+        nfa: &Nfa,
+        gov: &Governor,
+    ) -> Result<Product, Interrupt> {
+        let all: Vec<NodeId> = (0..g.node_count() as u32).map(NodeId).collect();
+        Product::build_from_governed(g, nfa, &all, Some(gov))
+    }
+
+    /// Governed worklist interning loop shared by the public builders.
+    fn build_from_governed<G: PathGraph>(
+        g: &G,
+        nfa: &Nfa,
+        sources: &[NodeId],
+        gov: Option<&Governor>,
+    ) -> Result<Product, Interrupt> {
+        fault_point!("product::build");
+        let mut ticker = Ticker::maybe(gov);
+        let mut mem = MemMeter::maybe(gov);
         let mut states: Vec<(NodeId, u32)> = Vec::new();
         let mut index: HashMap<(u32, u32), PState> = HashMap::new();
         let mut out: Vec<Vec<(EdgeId, PState)>> = Vec::new();
@@ -136,6 +171,7 @@ impl Product {
         };
 
         for &src in sources {
+            ticker.tick()?;
             let closed = closure(g, nfa, src, &[nfa.start]);
             for q in closed {
                 let s = intern(src, q, &mut states, &mut out, &mut worklist);
@@ -146,6 +182,8 @@ impl Product {
         }
 
         while let Some(s) = worklist.pop() {
+            ticker.tick()?;
+            mem.charge(STATE_BYTES)?;
             let (n, q) = states[s as usize];
             let mut succs: Vec<(EdgeId, PState)> = Vec::new();
             for &(label, q_mid) in &nfa.edges[q as usize] {
@@ -166,6 +204,7 @@ impl Product {
                 };
                 for (e, m) in steps {
                     for q2 in closure(g, nfa, m, &[q_mid]) {
+                        ticker.tick()?;
                         let s2 = intern(m, q2, &mut states, &mut out, &mut worklist);
                         succs.push((e, s2));
                     }
@@ -173,8 +212,11 @@ impl Product {
             }
             succs.sort_unstable_by_key(|&(e, s2)| (e.0, s2));
             succs.dedup();
+            mem.charge(TRANS_BYTES * succs.len() as u64)?;
             out[s as usize] = succs;
         }
+        ticker.flush()?;
+        mem.flush()?;
 
         let accepting: Vec<bool> = states.iter().map(|&(_, q)| q == nfa.accept).collect();
         let mut preds: Vec<Vec<(PState, EdgeId)>> = vec![Vec::new(); states.len()];
@@ -191,7 +233,7 @@ impl Product {
         let (pred_off, pred_tr) = flatten(&preds);
         let (init_off, init_states) = flatten(&initial);
 
-        Product {
+        Ok(Product {
             states,
             out_off,
             out_tr,
@@ -200,7 +242,7 @@ impl Product {
             accepting,
             init_off,
             init_states,
-        }
+        })
     }
 
     /// Number of product states.
@@ -317,6 +359,34 @@ impl DetProduct {
 
     /// Builds the determinized product from the given sources.
     pub fn build_from<G: PathGraph>(g: &G, nfa: &Nfa, sources: &[NodeId]) -> DetProduct {
+        match DetProduct::build_from_governed(g, nfa, sources, None) {
+            Ok(d) => d,
+            Err(i) => unreachable!("ungoverned det build interrupted: {i}"),
+        }
+    }
+
+    /// Builds the full determinized product under `gov`'s budget. The
+    /// subset construction is where the worst-case exponential blow-up
+    /// lives, so this is the most important build to bound.
+    pub fn build_governed<G: PathGraph>(
+        g: &G,
+        nfa: &Nfa,
+        gov: &Governor,
+    ) -> Result<DetProduct, Interrupt> {
+        let all: Vec<NodeId> = (0..g.node_count() as u32).map(NodeId).collect();
+        DetProduct::build_from_governed(g, nfa, &all, Some(gov))
+    }
+
+    /// Governed subset-construction loop shared by the public builders.
+    fn build_from_governed<G: PathGraph>(
+        g: &G,
+        nfa: &Nfa,
+        sources: &[NodeId],
+        gov: Option<&Governor>,
+    ) -> Result<DetProduct, Interrupt> {
+        fault_point!("det::build");
+        let mut ticker = Ticker::maybe(gov);
+        let mut mem = MemMeter::maybe(gov);
         let mut states: Vec<(NodeId, Vec<u32>)> = Vec::new();
         let mut index: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
         let mut out: Vec<Vec<(EdgeId, u32)>> = Vec::new();
@@ -339,6 +409,7 @@ impl DetProduct {
         };
 
         for &src in sources {
+            ticker.tick()?;
             let closed = closure(g, nfa, src, &[nfa.start]);
             if initial[src.index()].is_none() {
                 let s = intern(src, closed, &mut states, &mut out, &mut worklist);
@@ -347,7 +418,10 @@ impl DetProduct {
         }
 
         while let Some(s) = worklist.pop() {
+            ticker.tick()?;
             let (n, set) = states[s as usize].clone();
+            // Det states own their NFA-state set; charge it too.
+            mem.charge(STATE_BYTES + 4 * set.len() as u64)?;
             // Group successor NFA states by edge.
             let mut by_edge: HashMap<EdgeId, (NodeId, Vec<u32>)> = HashMap::new();
             for &q in &set {
@@ -368,6 +442,7 @@ impl DetProduct {
                         _ => continue,
                     };
                     for (e, m) in steps {
+                        ticker.tick()?;
                         let entry = by_edge.entry(e).or_insert_with(|| (m, Vec::new()));
                         debug_assert_eq!(entry.0, m, "edge target must be unique");
                         for q2 in closure(g, nfa, m, &[q_mid]) {
@@ -385,8 +460,11 @@ impl DetProduct {
                 succs.push((e, s2));
             }
             succs.sort_unstable_by_key(|&(e, _)| e.0);
+            mem.charge(TRANS_BYTES * succs.len() as u64)?;
             out[s as usize] = succs;
         }
+        ticker.flush()?;
+        mem.flush()?;
 
         let accepting: Vec<bool> = states
             .iter()
@@ -395,13 +473,13 @@ impl DetProduct {
 
         let (out_off, out_tr) = flatten(&out);
 
-        DetProduct {
+        Ok(DetProduct {
             states,
             out_off,
             out_tr,
             accepting,
             initial,
-        }
+        })
     }
 
     /// Number of det states.

@@ -8,10 +8,17 @@
 //!   exception: it must re-bind the identical edge);
 //! * `WHERE` comparisons against a missing property are not satisfied
 //!   (Cypher's NULL semantics: neither `=` nor `<>` is true).
+//!
+//! Governed execution ([`execute_governed`]) threads a
+//! [`kgq_core::govern::Governor`] through the whole pipeline: prefilter
+//! compilation, the prefilter reachability scan, and every step of the
+//! backtracking search, which stops at a budget boundary and returns the
+//! rows found so far as a typed partial result.
 
 use crate::ast::{CmpOp, Direction, PathPattern, Query, ReturnItem};
 use kgq_core::cache::QueryCache;
 use kgq_core::expr::{PathExpr, Test};
+use kgq_core::govern::{isolate, EvalError, Governed, Governor, Interrupt, Ticker};
 use kgq_core::model::PropertyView;
 use kgq_graph::{EdgeId, NodeId, PropertyGraph};
 use std::collections::{HashMap, HashSet};
@@ -35,6 +42,10 @@ struct Ctx<'a> {
     /// Per-pattern sets of admissible start nodes (from the compiled
     /// product); `None` means no prefilter for that pattern.
     start_filter: Vec<Option<HashSet<NodeId>>>,
+    /// Step accounting for governed execution (a no-op ticker otherwise).
+    ticker: Ticker<'a>,
+    /// Result accounting for governed execution.
+    gov: Option<&'a Governor>,
 }
 
 /// Executes a parsed query against a property graph.
@@ -134,9 +145,87 @@ fn execute_with_filters(
         used_edges: Vec::new(),
         out: Vec::new(),
         start_filter,
+        ticker: Ticker::none(),
+        gov: None,
     };
-    match_pattern(&mut ctx, 0);
-    ctx.out
+    match match_pattern(&mut ctx, 0) {
+        Ok(()) => ctx.out,
+        Err(i) => unreachable!("ungoverned match interrupted: {i}"),
+    }
+}
+
+/// Governed [`execute_cached`]: prefilter compilation, the prefilter
+/// scans, and the backtracking search all run under `gov`. Exhaustion
+/// mid-search returns the rows found so far as a
+/// [`kgq_core::govern::Completion::Partial`] result (rows appear in the
+/// same deterministic search order as [`execute`], so the partial value
+/// is a prefix of the full row list); worker panics surface as
+/// [`EvalError::Panic`].
+pub fn execute_governed(
+    g: &PropertyGraph,
+    query: &Query,
+    cache: &mut QueryCache,
+    gov: &Governor,
+) -> Result<Governed<Vec<Row>>, EvalError> {
+    let generation = g.generation();
+    let view = PropertyView::new(g);
+    let mut filters: Vec<Option<HashSet<NodeId>>> = Vec::with_capacity(query.patterns.len());
+    for pattern in &query.patterns {
+        match pattern_prefilter(g, pattern) {
+            Prefilter::NotApplicable => filters.push(None),
+            Prefilter::Empty => return Ok(Governed::complete(Vec::new())),
+            Prefilter::Expr(e) => {
+                let compiled = match cache.get_or_compile_governed(&view, generation, &e, gov) {
+                    Ok(c) => c,
+                    Err(EvalError::Interrupted(why)) => {
+                        return Ok(Governed::partial(Vec::new(), why))
+                    }
+                    Err(e) => return Err(e),
+                };
+                // The prefilter is only sound when complete — a partial
+                // start set would prune real solutions. The governor is
+                // sticky, so after a trip the search below stops at its
+                // first tick anyway. Unmetered: prefilter start nodes are
+                // not user-visible rows, so they must not consume the
+                // caller's result budget.
+                let starts = compiled
+                    .evaluator()
+                    .matching_starts_governed_unmetered(gov)?;
+                if starts.is_partial() {
+                    return Ok(Governed::partial(
+                        Vec::new(),
+                        match starts.completion {
+                            kgq_core::govern::Completion::Partial(why) => why,
+                            kgq_core::govern::Completion::Complete => unreachable!(),
+                        },
+                    ));
+                }
+                let starts: HashSet<NodeId> = starts.value.into_iter().collect();
+                if starts.is_empty() {
+                    return Ok(Governed::complete(Vec::new()));
+                }
+                filters.push(Some(starts));
+            }
+        }
+    }
+    isolate(|| {
+        #[cfg(feature = "fault-injection")]
+        kgq_core::govern::fault::hit("cypher::match");
+        let mut ctx = Ctx {
+            g,
+            query,
+            env: HashMap::new(),
+            used_edges: Vec::new(),
+            out: Vec::new(),
+            start_filter: filters,
+            ticker: Ticker::new(gov),
+            gov: Some(gov),
+        };
+        Ok(match match_pattern(&mut ctx, 0) {
+            Ok(()) => Governed::complete(ctx.out),
+            Err(why) => Governed::partial(ctx.out, why),
+        })
+    })
 }
 
 fn node_label_ok(g: &PropertyGraph, n: NodeId, label: &Option<String>) -> bool {
@@ -167,20 +256,23 @@ fn bind_node(ctx: &mut Ctx<'_>, var: &Option<String>, n: NodeId) -> Result<Optio
     }
 }
 
-fn match_pattern(ctx: &mut Ctx<'_>, pat_idx: usize) {
+fn match_pattern(ctx: &mut Ctx<'_>, pat_idx: usize) -> Result<(), Interrupt> {
     if pat_idx == ctx.query.patterns.len() {
         if where_holds(ctx) {
+            if let Some(gov) = ctx.gov {
+                gov.charge_results(1)?;
+            }
             let row = project(ctx);
             ctx.out.push(row);
         }
-        return;
+        return Ok(());
     }
     let pattern = &ctx.query.patterns[pat_idx];
     let first = &pattern.nodes[0];
     // Starting candidates: the pre-bound node, or all label-matching nodes.
     let candidates: Vec<NodeId> = match first.var.as_ref().and_then(|v| ctx.env.get(v)) {
         Some(Binding::Node(n)) => vec![*n],
-        Some(Binding::Edge(_)) => return,
+        Some(Binding::Edge(_)) => return Ok(()),
         None => {
             let filter = ctx.start_filter.get(pat_idx).and_then(|f| f.as_ref());
             ctx.g
@@ -193,24 +285,30 @@ fn match_pattern(ctx: &mut Ctx<'_>, pat_idx: usize) {
         }
     };
     for n in candidates {
+        ctx.ticker.tick()?;
         if !node_label_ok(ctx.g, n, &first.label) {
             continue;
         }
         let undo = bind_node(ctx, &first.var, n);
         if let Ok(undo) = undo {
-            match_step(ctx, pat_idx, 0, n);
+            match_step(ctx, pat_idx, 0, n)?;
             if let Some(v) = undo {
                 ctx.env.remove(&v);
             }
         }
     }
+    Ok(())
 }
 
-fn match_step(ctx: &mut Ctx<'_>, pat_idx: usize, rel_idx: usize, at: NodeId) {
+fn match_step(
+    ctx: &mut Ctx<'_>,
+    pat_idx: usize,
+    rel_idx: usize,
+    at: NodeId,
+) -> Result<(), Interrupt> {
     let pattern = &ctx.query.patterns[pat_idx];
     if rel_idx == pattern.rels.len() {
-        match_pattern(ctx, pat_idx + 1);
-        return;
+        return match_pattern(ctx, pat_idx + 1);
     }
     let rel = pattern.rels[rel_idx].clone();
     let next_node = pattern.nodes[rel_idx + 1].clone();
@@ -229,6 +327,7 @@ fn match_step(ctx: &mut Ctx<'_>, pat_idx: usize, rel_idx: usize, at: NodeId) {
             .collect(),
     };
     for (e, m) in candidates {
+        ctx.ticker.tick()?;
         if !edge_label_ok(ctx.g, e, &rel.label) {
             continue;
         }
@@ -263,7 +362,9 @@ fn match_step(ctx: &mut Ctx<'_>, pat_idx: usize, rel_idx: usize, at: NodeId) {
         }
         let track_edge = bound_var_here.is_some() || rel.var.is_none();
         if let Ok(undo_node) = bind_node(ctx, &next_node.var, m) {
-            match_step(ctx, pat_idx, rel_idx + 1, m);
+            // On interrupt the whole search is abandoned and `ctx.out`
+            // returned as-is, so skipping the undo bookkeeping is fine.
+            match_step(ctx, pat_idx, rel_idx + 1, m)?;
             if let Some(v) = undo_node {
                 ctx.env.remove(&v);
             }
@@ -275,6 +376,7 @@ fn match_step(ctx: &mut Ctx<'_>, pat_idx: usize, rel_idx: usize, at: NodeId) {
             ctx.used_edges.pop();
         }
     }
+    Ok(())
 }
 
 fn prop_of(ctx: &Ctx<'_>, var: &str, prop: &str) -> Option<String> {

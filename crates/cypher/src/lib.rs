@@ -38,5 +38,5 @@ pub mod exec;
 pub mod parser;
 
 pub use ast::{Direction, Query};
-pub use exec::{execute, execute_cached, Row};
+pub use exec::{execute, execute_cached, execute_governed, Row};
 pub use parser::{parse_query, QueryParseError};

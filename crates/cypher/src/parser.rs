@@ -66,7 +66,12 @@ impl<'a> P<'a> {
     fn eat_keyword(&mut self, kw: &str) -> bool {
         self.skip_ws();
         let rest = &self.src[self.pos..];
-        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+        // `get` (not `[..]`) so a multi-byte character straddling the
+        // keyword length is a non-match, not a slice panic.
+        if rest
+            .get(..kw.len())
+            .is_some_and(|p| p.eq_ignore_ascii_case(kw))
+        {
             // Keyword boundary: next char must not be identifier-like.
             let after = rest[kw.len()..].chars().next();
             if after.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
@@ -298,6 +303,21 @@ mod tests {
         // `matcher` must not lex as the MATCH keyword.
         let err = parse_query("matcher (a) RETURN a").unwrap_err();
         assert!(err.message.contains("MATCH"));
+    }
+
+    #[test]
+    fn non_ascii_input_never_panics() {
+        // Fuzz-found: a multi-byte character straddling a keyword-length
+        // prefix used to panic the byte slice in `eat_keyword`.
+        let err = parse_query("MATCH (a) RETURÉx").unwrap_err();
+        assert!(err.message.contains("RETURN"));
+        for input in ["É", "MATCH (É) RETURN É", "MATCH (a) WHERÉ", "ÀÁÂ (a)"] {
+            let _ = parse_query(input);
+        }
+        // Unicode identifiers are accepted (the ident scanner is
+        // char-based already).
+        let q = parse_query("MATCH (é:bus) RETURN é").unwrap();
+        assert_eq!(q.patterns[0].nodes[0].var.as_deref(), Some("é"));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 
 use kgq::analytics;
 use kgq::core::{
-    count_paths, enumerate_paths, parse_expr, PropertyView, QueryCache, UniformSampler,
+    count_paths, count_paths_governed, enumerate_paths, enumerate_paths_governed,
+    enumerate_paths_resumed, parse_expr, Budget, CancelToken, Completion, Cursor, EvalError,
+    Governed, Governor, PropertyView, QueryCache, UniformSampler,
 };
 use kgq::cypher;
 use kgq::graph::generate::{barabasi_albert, contact_network, gnm_labeled, ContactParams};
@@ -26,10 +28,13 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  kgq generate (contact|er|ba) [--people N] [--nodes N] [--edges M] [--seed S]\n  \
-         kgq query GRAPH EXPR [pairs|starts|count K|enumerate K|sample K N]\n  \
-         kgq cypher GRAPH QUERY\n  \
+         kgq query GRAPH EXPR [pairs|starts|count K|enumerate K|sample K N] [GOVERN]\n  \
+         kgq cypher GRAPH QUERY [GOVERN]\n  \
          kgq analytics GRAPH (pagerank|betweenness|components|diameter|densest)\n  \
-         kgq rdf FILE (path EXPR|select QUERY|infer)"
+         kgq rdf FILE (path EXPR|select QUERY|infer)\n\n  \
+         GOVERN: --timeout MS | --max-steps N | --max-results N\n  \
+         (partial results end with `# partial: REASON`; enumerate adds\n  \
+         `# cursor: C`, replayable via `enumerate K --resume C`)"
     );
     ExitCode::from(2)
 }
@@ -40,6 +45,55 @@ fn flag(args: &[String], name: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn num_flag(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a number")),
+    }
+}
+
+fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses the resource-governance flags. `None` when no flag is present:
+/// the command then takes the ungoverned (zero-overhead) paths.
+fn budget_from(args: &[String]) -> Result<Option<Budget>, String> {
+    let mut budget = Budget::default();
+    let mut any = false;
+    if let Some(ms) = num_flag(args, "--timeout")? {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+        any = true;
+    }
+    if let Some(n) = num_flag(args, "--max-steps")? {
+        budget = budget.with_max_steps(n);
+        any = true;
+    }
+    if let Some(n) = num_flag(args, "--max-results")? {
+        budget = budget.with_max_results(n);
+        any = true;
+    }
+    Ok(any.then_some(budget))
+}
+
+/// Appends the `# partial:` / `# degraded:` trailer lines that mark a
+/// governed result as incomplete or downgraded.
+fn completion_marker<T>(out: &mut String, res: &Governed<T>) {
+    if let Completion::Partial(why) = &res.completion {
+        out.push_str(&format!("# partial: {why}\n"));
+    }
+    if res.degraded {
+        out.push_str("# degraded: exact budget exhausted, approximate estimate\n");
+    }
 }
 
 fn load_graph(path: &str) -> Result<kgq::graph::PropertyGraph, String> {
@@ -87,27 +141,82 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
     let expr =
         parse_expr(expr_text, g.labeled_mut().consts_mut()).map_err(|e| e.render(expr_text))?;
     let view = PropertyView::new(&g);
-    let op = rest.first().map(String::as_str).unwrap_or("pairs");
+    let op = rest
+        .first()
+        .map(String::as_str)
+        .filter(|s| !s.starts_with("--"))
+        .unwrap_or("pairs");
+    let budget = budget_from(rest)?;
     // Reachability-style ops share one compiled product via the query
     // cache (keyed by the graph's generation stamp).
     let mut cache = QueryCache::new();
     let mut out = String::new();
     match op {
         "pairs" => {
-            let compiled = cache.get_or_compile(&view, g.generation(), &expr);
-            for (a, b) in compiled.evaluator().pairs() {
-                out.push_str(&format!(
-                    "{}\t{}\n",
-                    g.labeled().node_name(a),
-                    g.labeled().node_name(b)
-                ));
+            if let Some(b) = &budget {
+                let gov = Governor::new(b);
+                let compiled =
+                    match cache.get_or_compile_governed(&view, g.generation(), &expr, &gov) {
+                        Ok(c) => c,
+                        // Budget exhausted before the automaton even built:
+                        // the answer is the empty prefix, reported as a
+                        // typed partial rather than a hard error.
+                        Err(EvalError::Interrupted(why)) => {
+                            out.push_str(&format!("# partial: {why}\n"));
+                            return Ok(out);
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
+                let res = compiled
+                    .evaluator()
+                    .pairs_governed(&gov)
+                    .map_err(|e| e.to_string())?;
+                for (a, b) in &res.value {
+                    out.push_str(&format!(
+                        "{}\t{}\n",
+                        g.labeled().node_name(*a),
+                        g.labeled().node_name(*b)
+                    ));
+                }
+                completion_marker(&mut out, &res);
+            } else {
+                let compiled = cache.get_or_compile(&view, g.generation(), &expr);
+                for (a, b) in compiled.evaluator().pairs() {
+                    out.push_str(&format!(
+                        "{}\t{}\n",
+                        g.labeled().node_name(a),
+                        g.labeled().node_name(b)
+                    ));
+                }
             }
         }
         "starts" => {
-            let compiled = cache.get_or_compile(&view, g.generation(), &expr);
-            for n in compiled.evaluator().matching_starts() {
-                out.push_str(g.labeled().node_name(n));
-                out.push('\n');
+            if let Some(b) = &budget {
+                let gov = Governor::new(b);
+                let compiled =
+                    match cache.get_or_compile_governed(&view, g.generation(), &expr, &gov) {
+                        Ok(c) => c,
+                        Err(EvalError::Interrupted(why)) => {
+                            out.push_str(&format!("# partial: {why}\n"));
+                            return Ok(out);
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
+                let res = compiled
+                    .evaluator()
+                    .matching_starts_governed(&gov)
+                    .map_err(|e| e.to_string())?;
+                for n in &res.value {
+                    out.push_str(g.labeled().node_name(*n));
+                    out.push('\n');
+                }
+                completion_marker(&mut out, &res);
+            } else {
+                let compiled = cache.get_or_compile(&view, g.generation(), &expr);
+                for n in compiled.evaluator().matching_starts() {
+                    out.push_str(g.labeled().node_name(n));
+                    out.push('\n');
+                }
             }
         }
         "count" => {
@@ -115,17 +224,53 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
                 .get(1)
                 .and_then(|v| v.parse().ok())
                 .ok_or("count needs K")?;
-            let c = count_paths(&view, &expr, k).map_err(|e| e.to_string())?;
-            out.push_str(&format!("{c}\n"));
+            if let Some(b) = &budget {
+                let res = count_paths_governed(&view, &expr, k, b, CancelToken::new())
+                    .map_err(|e| e.to_string())?;
+                out.push_str(&format!("{}\n", res.value));
+                completion_marker(&mut out, &res);
+            } else {
+                let c = count_paths(&view, &expr, k).map_err(|e| e.to_string())?;
+                out.push_str(&format!("{c}\n"));
+            }
         }
         "enumerate" => {
             let k: usize = rest
                 .get(1)
                 .and_then(|v| v.parse().ok())
                 .ok_or("enumerate needs K")?;
-            for p in enumerate_paths(&view, &expr, k) {
-                out.push_str(&p.render(g.labeled()));
-                out.push('\n');
+            let resume: Option<Cursor> = match str_flag(rest, "--resume") {
+                Some(text) => Some(text.parse().map_err(|e| format!("--resume: {e}"))?),
+                None => None,
+            };
+            if budget.is_some() || resume.is_some() {
+                let gov = Governor::new(&budget.unwrap_or_default());
+                let res = match match &resume {
+                    Some(cursor) => enumerate_paths_resumed(&view, &expr, cursor, &gov),
+                    None => enumerate_paths_governed(&view, &expr, k, &gov),
+                } {
+                    Ok(res) => res,
+                    // Exhausted before the enumerator was built: empty
+                    // partial (no cursor — there is nothing to resume).
+                    Err(EvalError::Interrupted(why)) => {
+                        out.push_str(&format!("# partial: {why}\n"));
+                        return Ok(out);
+                    }
+                    Err(e) => return Err(e.to_string()),
+                };
+                for p in &res.value.paths {
+                    out.push_str(&p.render(g.labeled()));
+                    out.push('\n');
+                }
+                if let Some(cursor) = &res.value.cursor {
+                    out.push_str(&format!("# cursor: {cursor}\n"));
+                }
+                completion_marker(&mut out, &res);
+            } else {
+                for p in enumerate_paths(&view, &expr, k) {
+                    out.push_str(&p.render(g.labeled()));
+                    out.push('\n');
+                }
             }
         }
         "sample" => {
@@ -152,16 +297,26 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_cypher(args: &[String]) -> Result<String, String> {
-    let [path, query_text] = args else {
+    let [path, query_text, rest @ ..] = args else {
         return Err("cypher needs GRAPH and QUERY".into());
     };
     let g = load_graph(path)?;
     let q = cypher::parse_query(query_text).map_err(|e| e.to_string())?;
     let mut cache = QueryCache::new();
     let mut out = String::new();
-    for row in cypher::execute_cached(&g, &q, &mut cache) {
-        out.push_str(&row.join("\t"));
-        out.push('\n');
+    if let Some(b) = budget_from(rest)? {
+        let gov = Governor::new(&b);
+        let res = cypher::execute_governed(&g, &q, &mut cache, &gov).map_err(|e| e.to_string())?;
+        for row in &res.value {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        completion_marker(&mut out, &res);
+    } else {
+        for row in cypher::execute_cached(&g, &q, &mut cache) {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
     }
     Ok(out)
 }

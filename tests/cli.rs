@@ -137,6 +137,102 @@ fn rdf_path_and_infer() {
 }
 
 #[test]
+fn unlimited_govern_flags_do_not_change_results() {
+    let path = generated_contact();
+    let p = path.to_str().unwrap();
+    let expr = "?person/rides/?bus/rides^-/?infected";
+    let plain = stdout(&run(&["query", p, expr, "pairs"]));
+    let governed = stdout(&run(&[
+        "query",
+        p,
+        expr,
+        "pairs",
+        "--timeout",
+        "60000",
+        "--max-steps",
+        "1000000000",
+    ]));
+    assert_eq!(plain, governed, "a generous budget must be invisible");
+    assert!(!governed.contains("# partial"));
+}
+
+#[test]
+fn deadline_on_a_large_graph_returns_a_typed_partial() {
+    // The acceptance scenario: a 10k-node BA graph under a 50 ms
+    // deadline answers promptly with a typed partial, not a hang.
+    let out = run(&["generate", "ba", "--nodes", "10000", "--seed", "7"]);
+    let path = temp_graph("ba10k.kgq", &stdout(&out));
+    let started = std::time::Instant::now();
+    let got = stdout(&run(&[
+        "query",
+        path.to_str().unwrap(),
+        "link/link/(link)*",
+        "pairs",
+        "--timeout",
+        "50",
+    ]));
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "deadline was not honored"
+    );
+    let last = got.lines().last().unwrap_or_default();
+    assert_eq!(last, "# partial: deadline exceeded", "got: {last}");
+}
+
+#[test]
+fn result_budget_truncates_with_a_replayable_cursor() {
+    let path = generated_contact();
+    let p = path.to_str().unwrap();
+    let expr = "?person/rides/?bus/rides^-/?infected";
+    let full = stdout(&run(&["query", p, expr, "enumerate", "2"]));
+    let full_lines: Vec<&str> = full.lines().collect();
+    assert!(full_lines.len() > 2, "workload too small to truncate");
+    // Page through two paths at a time, chaining cursors.
+    let mut collected: Vec<String> = Vec::new();
+    let mut cursor: Option<String> = None;
+    for _ in 0..full_lines.len() {
+        let mut args = vec!["query", p, expr, "enumerate", "2", "--max-results", "2"];
+        if let Some(c) = &cursor {
+            args.push("--resume");
+            args.push(c);
+        }
+        let page = stdout(&run(&args));
+        cursor = None;
+        for line in page.lines() {
+            if let Some(c) = line.strip_prefix("# cursor: ") {
+                cursor = Some(c.to_owned());
+            } else if !line.starts_with('#') {
+                collected.push(line.to_owned());
+            }
+        }
+        if cursor.is_none() {
+            break;
+        }
+    }
+    assert_eq!(
+        collected, full_lines,
+        "cursor replay lost or reordered answers"
+    );
+}
+
+#[test]
+fn cypher_respects_the_result_budget() {
+    let path = generated_contact();
+    let p = path.to_str().unwrap();
+    let q = "MATCH (p:person)-[:rides]->(b:bus) RETURN p, b";
+    let full = stdout(&run(&["cypher", p, q]));
+    let governed = stdout(&run(&["cypher", p, q, "--max-results", "1"]));
+    let lines: Vec<&str> = governed.lines().collect();
+    assert_eq!(
+        lines.len(),
+        2,
+        "one row plus the partial marker: {governed}"
+    );
+    assert_eq!(Some(lines[0]), full.lines().next(), "not a prefix");
+    assert_eq!(lines[1], "# partial: result budget reached");
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     let out = run(&["query", "/nonexistent.kgq", "p", "pairs"]);
     assert!(!out.status.success());
