@@ -3,18 +3,23 @@
 //! Building the graph × NFA [`Product`] dominates the cost of evaluating
 //! a path expression; the same expression is typically issued many times
 //! against the same (or an unchanged) graph. [`QueryCache`] memoizes the
-//! compiled form — NFA plus product — keyed by the *canonicalized*
-//! expression ([`crate::simplify::simplify`]) together with a **generation
-//! stamp** of the graph, so syntactic variants like `(r*)*` and `r*` share
-//! one entry, and any mutation of the graph (which bumps its generation)
-//! invalidates every entry compiled against the old contents.
+//! compiled form — NFA plus product — keyed by the [`NfaSignature`] of
+//! the *minimized* automaton ([`Nfa::compile_min`], applied after
+//! [`crate::simplify::simplify`]) together with a **generation stamp** of
+//! the graph. Minimal DFAs are canonical per language, so not just
+//! rewrite-equal spellings like `(r*)*` and `r*` but any two expressions
+//! denoting the same path language — `a/(b+c)` and `a/b + a/c`, say —
+//! share one entry; and any mutation of the graph (which bumps its
+//! generation) invalidates every entry compiled against the old contents.
 //!
 //! Eviction is LRU over a logical tick counter; capacity is configurable
-//! (`QueryCache::with_capacity`, default 64). A cache is meant to be bound
-//! to one graph's history: generation stamps are strictly increasing per
-//! mutation *within one graph*, not globally unique across graphs.
+//! (`QueryCache::with_capacity`, default 64; `QueryCache::from_env` reads
+//! the `KGQ_CACHE_CAP` environment variable). A cache is meant to be
+//! bound to one graph's history: generation stamps are strictly
+//! increasing per mutation *within one graph*, not globally unique across
+//! graphs.
 
-use crate::automata::Nfa;
+use crate::automata::{MinimizedNfa, Nfa, NfaSignature};
 use crate::eval::Evaluator;
 use crate::expr::PathExpr;
 use crate::govern::{fault_point, isolate, EvalError, Governor, Interrupt};
@@ -26,6 +31,9 @@ use std::sync::Arc;
 
 /// Default number of compiled queries retained.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Environment variable overriding the cache capacity.
+pub const CACHE_CAP_ENV: &str = "KGQ_CACHE_CAP";
 
 /// A query compiled against a specific graph generation: the canonical
 /// expression, its NFA, and the (shared) graph × NFA product.
@@ -45,8 +53,8 @@ impl std::fmt::Debug for CompiledQuery {
 }
 
 impl CompiledQuery {
-    fn compile<G: PathGraph>(g: &G, expr: PathExpr) -> CompiledQuery {
-        let nfa = Nfa::compile(&expr);
+    fn compile<G: PathGraph>(g: &G, expr: PathExpr, min: MinimizedNfa) -> CompiledQuery {
+        let nfa = min.nfa;
         let product = Arc::new(Product::build(g, &nfa));
         CompiledQuery { expr, nfa, product }
     }
@@ -54,9 +62,10 @@ impl CompiledQuery {
     fn compile_governed<G: PathGraph>(
         g: &G,
         expr: PathExpr,
+        min: MinimizedNfa,
         gov: &Governor,
     ) -> Result<CompiledQuery, Interrupt> {
-        let nfa = Nfa::compile(&expr);
+        let nfa = min.nfa;
         let product = Arc::new(Product::build_governed(g, &nfa, gov)?);
         Ok(CompiledQuery { expr, nfa, product })
     }
@@ -66,7 +75,7 @@ impl CompiledQuery {
         &self.expr
     }
 
-    /// The Thompson NFA of the canonical expression.
+    /// The minimized automaton of the canonical expression.
     pub fn nfa(&self) -> &Nfa {
         &self.nfa
     }
@@ -85,7 +94,32 @@ impl CompiledQuery {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct CacheKey {
     generation: u64,
-    expr: PathExpr,
+    sig: NfaSignature,
+}
+
+/// A point-in-time snapshot of cache effectiveness counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required compilation.
+    pub misses: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// Compiled queries currently held.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} entries={}/{}",
+            self.hits, self.misses, self.evictions, self.len, self.capacity
+        )
+    }
 }
 
 struct Entry {
@@ -129,19 +163,32 @@ impl QueryCache {
         }
     }
 
+    /// A cache sized by the `KGQ_CACHE_CAP` environment variable, falling
+    /// back to [`DEFAULT_CACHE_CAPACITY`] when unset or unparseable.
+    pub fn from_env() -> QueryCache {
+        let capacity = std::env::var(CACHE_CAP_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CACHE_CAPACITY);
+        QueryCache::with_capacity(capacity)
+    }
+
     /// Returns the compiled form of `expr` against `g` at `generation`,
     /// compiling (and caching) it on a miss. The expression is
-    /// canonicalized with [`simplify`] before the lookup, so equivalent
-    /// spellings share one entry.
+    /// canonicalized with [`simplify`] and then keyed by its minimal
+    /// automaton's signature, so every spelling of one path language
+    /// shares one entry.
     pub fn get_or_compile<G: PathGraph>(
         &mut self,
         g: &G,
         generation: u64,
         expr: &PathExpr,
     ) -> Arc<CompiledQuery> {
+        let expr = simplify(expr);
+        let min = Nfa::compile_min(&expr);
         let key = CacheKey {
             generation,
-            expr: simplify(expr),
+            sig: min.signature.clone(),
         };
         self.tick += 1;
         let tick = self.tick;
@@ -151,7 +198,7 @@ impl QueryCache {
             return Arc::clone(&entry.compiled);
         }
         self.misses += 1;
-        let compiled = Arc::new(CompiledQuery::compile(g, key.expr.clone()));
+        let compiled = Arc::new(CompiledQuery::compile(g, expr, min));
         if self.map.len() >= self.capacity {
             self.evict_lru();
         }
@@ -178,9 +225,11 @@ impl QueryCache {
         expr: &PathExpr,
         gov: &Governor,
     ) -> Result<Arc<CompiledQuery>, EvalError> {
+        let expr = simplify(expr);
+        let min = Nfa::compile_min(&expr);
         let key = CacheKey {
             generation,
-            expr: simplify(expr),
+            sig: min.signature.clone(),
         };
         self.tick += 1;
         let tick = self.tick;
@@ -192,7 +241,7 @@ impl QueryCache {
         self.misses += 1;
         let compiled = Arc::new(isolate(|| {
             fault_point!("cache::compile");
-            CompiledQuery::compile_governed(g, key.expr.clone(), gov)
+            CompiledQuery::compile_governed(g, expr, min, gov)
         })?);
         if self.map.len() >= self.capacity {
             self.evict_lru();
@@ -253,6 +302,18 @@ impl QueryCache {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Snapshot of the effectiveness counters (printed by the CLI under
+    /// `--verbose`).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +353,35 @@ mod tests {
         let c2 = cache.get_or_compile(&view, 0, &e2);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert!(Arc::ptr_eq(c1.product(), c2.product()));
+    }
+
+    #[test]
+    fn signature_keying_merges_beyond_rewrites() {
+        // `a/(p+q)` vs `a/p + a/q`: no rewrite rule relates them, but
+        // their minimal DFAs — and hence signatures — coincide.
+        let mut g = gnm_labeled(12, 30, &["a", "b"], &["p", "q"], 3);
+        let d1 = parse_expr("a/(p+q)", g.consts_mut()).unwrap();
+        let d2 = parse_expr("a/p + a/q", g.consts_mut()).unwrap();
+        assert_ne!(simplify(&d1), simplify(&d2), "rewrites must not merge");
+        let view = LabeledView::new(&g);
+        let mut cache = QueryCache::new();
+        let c1 = cache.get_or_compile(&view, 0, &d1);
+        let c2 = cache.get_or_compile(&view, 0, &d2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(c1.product(), c2.product()));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn from_env_reads_the_capacity_override() {
+        // Temporarily set the env var; tests in this binary run in one
+        // process, so restore it before returning.
+        std::env::set_var(CACHE_CAP_ENV, "7");
+        let cache = QueryCache::from_env();
+        std::env::remove_var(CACHE_CAP_ENV);
+        assert_eq!(cache.capacity(), 7);
+        assert_eq!(QueryCache::from_env().capacity(), DEFAULT_CACHE_CAPACITY);
     }
 
     #[test]

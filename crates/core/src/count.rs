@@ -51,7 +51,7 @@ pub struct ExactCounter {
 impl ExactCounter {
     /// Builds the deterministic product for `(g, expr)`.
     pub fn new<G: PathGraph>(g: &G, expr: &PathExpr) -> ExactCounter {
-        let nfa = Nfa::compile(expr);
+        let nfa = Nfa::compile_min(expr).nfa;
         ExactCounter {
             det: DetProduct::build(g, &nfa),
         }
@@ -275,7 +275,7 @@ pub fn count_paths_governed_with<G: PathGraph + Sync>(
         ..budget.clone()
     };
     let gov = Governor::with_cancel(&stage1, cancel);
-    let nfa = Nfa::compile(expr);
+    let nfa = Nfa::compile_min(expr).nfa;
     let exact = crate::govern::isolate_eval(|| {
         DetProduct::build_governed(g, &nfa, &gov)
             .map_err(EvalError::from)
@@ -317,7 +317,7 @@ pub fn count_paths_governed_with<G: PathGraph + Sync>(
 /// parallel when threads are available; the per-start totals are summed,
 /// which is order-insensitive, so the count never depends on thread count.
 pub fn count_paths_naive<G: PathGraph + Sync>(g: &G, expr: &PathExpr, k: usize) -> u128 {
-    let nfa = Nfa::compile(expr);
+    let nfa = Nfa::compile_min(expr).nfa;
     let prod = Product::build(g, &nfa);
     let n = g.node_count();
     let count_start = |v: usize| -> u128 {
@@ -533,15 +533,20 @@ mod governed_tests {
     use crate::parser::parse_expr;
     use kgq_graph::generate::gnm_labeled;
 
-    /// A workload where determinization blows up: the suffix forces the
-    /// subset construction to remember the last 8 steps, so the exact
-    /// rung costs ~250k governed steps while a small-trial FPRAS stays
-    /// near 100k.
-    fn blowup() -> (kgq_graph::LabeledGraph, PathExpr) {
+    /// A workload where the product stays expensive even after Hopcroft
+    /// minimization: the suffix forces any automaton for the language to
+    /// remember the last `depth` steps, so the minimal DFA has
+    /// `2^(depth+1)` states and the exact rung's cost scales with it,
+    /// while a small-trial FPRAS is insensitive to the automaton size.
+    fn blowup_depth(depth: usize) -> (kgq_graph::LabeledGraph, PathExpr) {
         let mut g = gnm_labeled(20, 80, &["v"], &["p", "q"], 3);
-        let text = "(p+q)*/p".to_string() + &"/(p+q)".repeat(8);
+        let text = "(p+q)*/p".to_string() + &"/(p+q)".repeat(depth);
         let e = parse_expr(&text, g.consts_mut()).unwrap();
         (g, e)
+    }
+
+    fn blowup() -> (kgq_graph::LabeledGraph, PathExpr) {
+        blowup_depth(8)
     }
 
     #[test]
@@ -558,19 +563,21 @@ mod governed_tests {
 
     #[test]
     fn step_exhaustion_degrades_to_fpras() {
-        let (g, e) = blowup();
+        // Depth 10 → a ~2k-state minimal DFA, so the exact rung needs
+        // ~340k governed steps while a 16-trial FPRAS needs ~150k.
+        let (g, e) = blowup_depth(10);
         let view = LabeledView::new(&g);
-        let exact = count_paths(&view, &e, 9).unwrap() as f64;
-        // Stage 1 gets half of this — not enough to determinize — while
-        // the leftover comfortably covers a 16-trial estimator.
-        let budget = Budget::default().with_max_steps(300_000);
+        let exact = count_paths(&view, &e, 11).unwrap() as f64;
+        // Stage 1 gets half of this — not enough to determinize and run
+        // the DP — while the leftover covers the 16-trial estimator.
+        let budget = Budget::default().with_max_steps(400_000);
         let params = ApproxParams {
             trials: Some(16),
             pool_cap: 32,
             ..Default::default()
         };
         let res =
-            count_paths_governed_with(&view, &e, 9, &budget, CancelToken::new(), &params).unwrap();
+            count_paths_governed_with(&view, &e, 11, &budget, CancelToken::new(), &params).unwrap();
         assert!(res.degraded, "exact should have been cut short");
         assert_eq!(res.completion, Completion::Complete);
         let CountOutcome::Approximate(est) = res.value else {

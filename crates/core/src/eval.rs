@@ -8,12 +8,23 @@
 //! existence — not counting — is asked).
 //!
 //! Multi-source scans ([`Evaluator::pairs`], [`Evaluator::matching_starts`])
-//! fan the per-source BFS out across threads (see [`crate::parallel`]):
-//! each source node's reachability pass is independent, and the per-source
-//! results are concatenated in source order, so the output is byte-identical
-//! to the sequential scan regardless of thread count.
+//! run on the bit-parallel [`ReachKernel`]: each pass advances 64 BFS
+//! sources at once (see [`crate::bitkernel`]), and batches fan out across
+//! threads (see [`crate::parallel`]). Batch results are concatenated in
+//! source order, so the output is byte-identical to the per-source
+//! sequential references ([`Evaluator::pairs_sequential`],
+//! [`Evaluator::matching_starts_sequential`]) regardless of thread count.
+//! Point lookups ([`Evaluator::check`], [`Evaluator::shortest_witness`])
+//! instead search bidirectionally — forward from the source's initial
+//! states, backward from the accepting states at the target over the
+//! `preds` CSR — meeting in the middle.
+//!
+//! Expressions are compiled through [`Nfa::compile_min`]: the minimized
+//! automaton has no ε-skeleton and (usually) fewer states, which shrinks
+//! the product every scan runs over.
 
 use crate::automata::Nfa;
+use crate::bitkernel::{ReachKernel, BATCH};
 use crate::expr::PathExpr;
 use crate::govern::{fault_point, isolate, EvalError, Governed, Governor, Interrupt, Ticker};
 use crate::model::PathGraph;
@@ -22,23 +33,25 @@ use crate::product::{PState, Product};
 use kgq_graph::{EdgeId, NodeId};
 use rayon::prelude::*;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Compiled evaluator for one expression over one graph.
 ///
 /// Holds the product behind an [`Arc`] so a [`crate::cache::QueryCache`]
-/// hit can share an already-built product without copying it.
+/// hit can share an already-built product without copying it. The
+/// reachability kernel is derived lazily on first multi-source scan and
+/// reused afterwards.
 pub struct Evaluator {
     product: Arc<Product>,
+    kernel: OnceLock<ReachKernel>,
 }
 
 impl Evaluator {
-    /// Compiles `expr` and builds the product with `g`.
+    /// Compiles `expr` (through minimization) and builds the product
+    /// with `g`.
     pub fn new<G: PathGraph>(g: &G, expr: &PathExpr) -> Evaluator {
-        let nfa = Nfa::compile(expr);
-        Evaluator {
-            product: Arc::new(Product::build(g, &nfa)),
-        }
+        let nfa = Nfa::compile_min(expr).nfa;
+        Evaluator::from_product(Arc::new(Product::build(g, &nfa)))
     }
 
     /// Compiles `expr` and builds the product under `gov`'s budget.
@@ -47,20 +60,29 @@ impl Evaluator {
         expr: &PathExpr,
         gov: &Governor,
     ) -> Result<Evaluator, Interrupt> {
-        let nfa = Nfa::compile(expr);
-        Ok(Evaluator {
-            product: Arc::new(Product::build_governed(g, &nfa, gov)?),
-        })
+        let nfa = Nfa::compile_min(expr).nfa;
+        Ok(Evaluator::from_product(Arc::new(Product::build_governed(
+            g, &nfa, gov,
+        )?)))
     }
 
     /// Wraps an already-built (possibly cached) product.
     pub fn from_product(product: Arc<Product>) -> Evaluator {
-        Evaluator { product }
+        Evaluator {
+            product,
+            kernel: OnceLock::new(),
+        }
     }
 
     /// Access to the underlying product automaton.
     pub fn product(&self) -> &Product {
         &self.product
+    }
+
+    /// The bit-parallel reachability kernel, built on first use.
+    pub fn kernel(&self) -> &ReachKernel {
+        self.kernel
+            .get_or_init(|| ReachKernel::build(&self.product))
     }
 
     /// Product states reachable (by any number of edge symbols) from the
@@ -151,37 +173,87 @@ impl Evaluator {
     }
 
     /// True if some matching path runs from `a` to `b`.
+    ///
+    /// Searches bidirectionally over the product — forward from `a`'s
+    /// initial states, backward from the accepting states at `b` — and
+    /// answers as soon as the frontiers meet.
     pub fn check(&self, a: NodeId, b: NodeId) -> bool {
-        self.ends_from(a).binary_search(&b).is_ok()
+        self.kernel().check(&self.product, a, b)
     }
 
     /// All `(start, end)` pairs connected by a matching path.
     ///
-    /// Sources are scanned in parallel when more than one thread is
-    /// available; the result is identical to [`Evaluator::pairs_sequential`]
-    /// for every thread count.
+    /// Runs on the bit-parallel kernel: 64 sources per sweep, sweeps
+    /// fanned out across threads when available. The result is identical
+    /// to [`Evaluator::pairs_sequential`] for every thread count.
     pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
-        let n = self.product.node_count();
-        if crate::parallel::effective_threads() <= 1 || n < 2 {
-            return self.pairs_sequential();
+        let kernel = self.kernel();
+        let nodes = self.all_nodes();
+        let nb = nodes.len().div_ceil(BATCH);
+        let chunk_of = |i: usize| &nodes[i * BATCH..((i + 1) * BATCH).min(nodes.len())];
+        if crate::parallel::effective_threads() <= 1 || nb < 2 {
+            // Fused sequential path: each batch appends straight into the
+            // accumulator through reusable pre-sized buckets, so the
+            // multi-million-pair answers are written once, not copied
+            // batch-by-batch.
+            let mut scratch: Vec<Vec<NodeId>> = Vec::new();
+            let mut out = Vec::new();
+            for i in 0..nb {
+                let chunk = chunk_of(i);
+                let visited = kernel.sweep(&self.product, chunk);
+                kernel.append_batch_pairs(chunk, &visited, &mut scratch, &mut out);
+            }
+            out
+        } else {
+            let per_batch: Vec<Vec<(NodeId, NodeId)>> = (0..nb)
+                .into_par_iter()
+                .map(|i| {
+                    let chunk = chunk_of(i);
+                    let visited = kernel.sweep(&self.product, chunk);
+                    let mut scratch = Vec::new();
+                    let mut out = Vec::new();
+                    kernel.append_batch_pairs(chunk, &visited, &mut scratch, &mut out);
+                    out
+                })
+                .collect();
+            let mut result = Vec::with_capacity(per_batch.iter().map(Vec::len).sum());
+            for chunk in per_batch {
+                result.extend(chunk);
+            }
+            result
         }
-        let per_source: Vec<Vec<(NodeId, NodeId)>> = (0..n)
-            .into_par_iter()
-            .map(|v| {
-                let v = NodeId(v as u32);
-                self.ends_from(v).into_iter().map(|b| (v, b)).collect()
-            })
-            .collect();
-        let mut result = Vec::with_capacity(per_source.iter().map(Vec::len).sum());
-        for chunk in per_source {
+    }
+
+    /// All source nodes the product covers, in id order.
+    fn all_nodes(&self) -> Vec<NodeId> {
+        (0..self.product.node_count() as u32).map(NodeId).collect()
+    }
+
+    /// Runs `run` over every [`BATCH`]-sized chunk of `nodes` — in
+    /// parallel when threads are available — and concatenates the chunk
+    /// results in source order (deterministic at every thread count).
+    fn map_batches<T: Send>(
+        &self,
+        nodes: &[NodeId],
+        run: impl Fn(&[NodeId]) -> Vec<T> + Sync,
+    ) -> Vec<T> {
+        let nb = nodes.len().div_ceil(BATCH);
+        let chunk_of = |i: usize| &nodes[i * BATCH..((i + 1) * BATCH).min(nodes.len())];
+        let per_batch: Vec<Vec<T>> = if crate::parallel::effective_threads() <= 1 || nb < 2 {
+            (0..nb).map(|i| run(chunk_of(i))).collect()
+        } else {
+            (0..nb).into_par_iter().map(|i| run(chunk_of(i))).collect()
+        };
+        let mut result = Vec::with_capacity(per_batch.iter().map(Vec::len).sum());
+        for chunk in per_batch {
             result.extend(chunk);
         }
         result
     }
 
-    /// Governed [`Evaluator::pairs`]: every per-source BFS runs under
+    /// Governed [`Evaluator::pairs`]: every 64-source sweep runs under
     /// `gov` with its panics isolated, and exhaustion yields a *prefix*
-    /// of the full answer (every included source completed its scan)
+    /// of the full answer (every included batch completed its sweep)
     /// tagged [`crate::govern::Completion::Partial`] with the reason.
     ///
     /// With an unlimited governor the value is byte-identical to
@@ -190,14 +262,59 @@ impl Evaluator {
         &self,
         gov: &Governor,
     ) -> Result<Governed<Vec<(NodeId, NodeId)>>, EvalError> {
-        let per_source = self.scan_governed(gov, |v| {
-            Ok(self
-                .ends_from_governed(v, gov)?
-                .into_iter()
-                .map(|b| (v, b))
-                .collect())
-        });
-        assemble_prefix(per_source, gov, true)
+        let kernel = self.kernel();
+        let nodes = self.all_nodes();
+        let nb = nodes.len().div_ceil(BATCH);
+        if crate::parallel::effective_threads() > 1 && nb >= 2 {
+            let per_batch = self.scan_governed(gov, |chunk| {
+                let visited = kernel.sweep_governed(&self.product, chunk, gov)?;
+                let mut out = Vec::new();
+                let mut scratch = Vec::new();
+                kernel.append_batch_pairs(chunk, &visited, &mut scratch, &mut out);
+                kernel.release_sweep(gov);
+                Ok(out)
+            });
+            return assemble_prefix(per_batch, gov, true);
+        }
+        // Fused sequential path mirroring [`Evaluator::pairs`]: one
+        // accumulator, scratch reused across batches (so governance adds
+        // no per-batch allocations), results charged as each batch lands
+        // with the same per-item cut point as `assemble_prefix`.
+        let chunk_of = |i: usize| &nodes[i * BATCH..((i + 1) * BATCH).min(nodes.len())];
+        let mut out: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut scratch: Vec<Vec<NodeId>> = Vec::new();
+        for i in 0..nb {
+            let before = out.len();
+            let step = isolate(|| {
+                fault_point!("eval::bfs");
+                // An already-tripped governor stops remaining batches
+                // immediately instead of letting them finish a sweep.
+                if let Some(why) = gov.trip_state() {
+                    return Err(why);
+                }
+                let chunk = chunk_of(i);
+                let visited = kernel.sweep_governed(&self.product, chunk, gov)?;
+                kernel.append_batch_pairs(chunk, &visited, &mut scratch, &mut out);
+                kernel.release_sweep(gov);
+                Ok(())
+            });
+            match step {
+                Ok(()) => {
+                    for idx in before..out.len() {
+                        if let Err(why) = gov.charge_results(1) {
+                            out.truncate(idx);
+                            return Ok(Governed::partial(out, why));
+                        }
+                    }
+                }
+                Err(EvalError::Interrupted(why)) => {
+                    out.truncate(before);
+                    return Ok(Governed::partial(out, why));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Governed::complete(out))
     }
 
     /// Governed [`Evaluator::matching_starts`]; same partial-prefix
@@ -225,39 +342,46 @@ impl Evaluator {
         gov: &Governor,
         meter_results: bool,
     ) -> Result<Governed<Vec<NodeId>>, EvalError> {
-        let per_source = self.scan_governed(gov, |v| {
-            Ok(if self.ends_from_governed(v, gov)?.is_empty() {
-                Vec::new()
-            } else {
-                vec![v]
-            })
+        let kernel = self.kernel();
+        let per_batch = self.scan_governed(gov, |chunk| {
+            let visited = kernel.sweep_governed(&self.product, chunk, gov)?;
+            let matched = kernel.batch_matches(&visited);
+            kernel.release_sweep(gov);
+            Ok(chunk
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| matched >> j & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect())
         });
-        assemble_prefix(per_source, gov, meter_results)
+        assemble_prefix(per_batch, gov, meter_results)
     }
 
-    /// Runs `run` for every source node, in parallel when threads are
-    /// available, isolating worker panics. Results stay in source order.
+    /// Runs `run` for every [`BATCH`]-sized source chunk, in parallel
+    /// when threads are available, isolating worker panics. Results stay
+    /// in source order.
     fn scan_governed<T: Send>(
         &self,
         gov: &Governor,
-        run: impl Fn(NodeId) -> Result<Vec<T>, Interrupt> + Sync,
+        run: impl Fn(&[NodeId]) -> Result<Vec<T>, Interrupt> + Sync,
     ) -> Vec<Result<Vec<T>, EvalError>> {
-        let n = self.product.node_count();
-        let governed_run = |v: usize| {
+        let nodes = self.all_nodes();
+        let nb = nodes.len().div_ceil(BATCH);
+        let governed_run = |i: usize| {
             isolate(|| {
                 fault_point!("eval::bfs");
-                // An already-tripped governor stops remaining sources
-                // immediately instead of letting them finish a full BFS.
+                // An already-tripped governor stops remaining batches
+                // immediately instead of letting them finish a sweep.
                 if let Some(why) = gov.trip_state() {
                     return Err(why);
                 }
-                run(NodeId(v as u32))
+                run(&nodes[i * BATCH..((i + 1) * BATCH).min(nodes.len())])
             })
         };
-        if crate::parallel::effective_threads() <= 1 || n < 2 {
-            (0..n).map(governed_run).collect()
+        if crate::parallel::effective_threads() <= 1 || nb < 2 {
+            (0..nb).map(governed_run).collect()
         } else {
-            (0..n).into_par_iter().map(governed_run).collect()
+            (0..nb).into_par_iter().map(governed_run).collect()
         }
     }
 
@@ -276,23 +400,21 @@ impl Evaluator {
 
     /// Node extraction (§4.3): all nodes that *start* a matching path.
     ///
-    /// Parallel over sources, with output identical to
+    /// Runs on the bit-parallel kernel, with output identical to
     /// [`Evaluator::matching_starts_sequential`].
     pub fn matching_starts(&self) -> Vec<NodeId> {
-        let n = self.product.node_count();
-        if crate::parallel::effective_threads() <= 1 || n < 2 {
-            return self.matching_starts_sequential();
-        }
-        let matches: Vec<bool> = (0..n)
-            .into_par_iter()
-            .map(|v| !self.ends_from(NodeId(v as u32)).is_empty())
-            .collect();
-        matches
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, m)| m)
-            .map(|(v, _)| NodeId(v as u32))
-            .collect()
+        let kernel = self.kernel();
+        let nodes = self.all_nodes();
+        self.map_batches(&nodes, |chunk| {
+            let visited = kernel.sweep(&self.product, chunk);
+            let matched = kernel.batch_matches(&visited);
+            chunk
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| matched >> j & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect()
+        })
     }
 
     /// Single-threaded [`Evaluator::matching_starts`].
@@ -304,9 +426,126 @@ impl Evaluator {
             .collect()
     }
 
-    /// A shortest matching path from `a` to `b`, if any (BFS over the
-    /// product, so minimal in the number of edges).
+    /// A shortest matching path from `a` to `b`, if any — minimal in the
+    /// number of edges, like [`Evaluator::shortest_witness_sequential`]
+    /// (the witness itself may differ when several shortest paths exist).
+    ///
+    /// Searches bidirectionally: forward BFS layers from `a`'s initial
+    /// states meet backward BFS layers grown from the accepting states at
+    /// `b` over the `preds` CSR, expanding the cheaper frontier each
+    /// round, so the explored region is roughly two half-depth balls
+    /// instead of one full-depth ball.
     pub fn shortest_witness(&self, a: NodeId, b: NodeId) -> Option<Path> {
+        let p = &*self.product;
+        // Length-0 path: an accepting initial state of `a` at node `b`.
+        for &s in p.initial(a) {
+            if p.is_accepting(s) && p.node_of(s) == b {
+                return Some(Path {
+                    start: a,
+                    edges: Vec::new(),
+                });
+            }
+        }
+        let n = p.state_count();
+        let targets: Vec<PState> = (0..n as PState)
+            .filter(|&s| p.is_accepting(s) && p.node_of(s) == b)
+            .collect();
+        if targets.is_empty() || p.initial(a).is_empty() {
+            return None;
+        }
+        // Distances and parent links for both directions; `fpar` points
+        // one step toward `a`, `bpar` one step toward the target.
+        let mut fdist: Vec<u32> = vec![u32::MAX; n];
+        let mut bdist: Vec<u32> = vec![u32::MAX; n];
+        let mut fpar: Vec<Option<(PState, EdgeId)>> = vec![None; n];
+        let mut bpar: Vec<Option<(PState, EdgeId)>> = vec![None; n];
+        let mut ffr: Vec<PState> = Vec::new();
+        let mut bfr: Vec<PState> = Vec::new();
+        for &s in &targets {
+            bdist[s as usize] = 0;
+            bfr.push(s);
+        }
+        for &s in p.initial(a) {
+            if fdist[s as usize] == u32::MAX {
+                fdist[s as usize] = 0;
+                ffr.push(s);
+            }
+        }
+        // Initial-state targets were the length-0 case above; any other
+        // meet is found when the second side discovers the state.
+        let mut best: Option<(u32, PState)> = None;
+        while !ffr.is_empty() && !bfr.is_empty() {
+            // A future meet is discovered by one side expanding past its
+            // current layer, so it costs at least one more than that
+            // layer's depth; once the best found path is no longer
+            // beatable, stop.
+            if let Some((d, _)) = best {
+                let fl = fdist[ffr[0] as usize];
+                let bl = bdist[bfr[0] as usize];
+                if d <= fl.min(bl) + 1 {
+                    break;
+                }
+            }
+            let fcost: usize = ffr.iter().map(|&s| p.out(s).len()).sum();
+            let bcost: usize = bfr.iter().map(|&s| p.preds(s).len()).sum();
+            if fcost <= bcost {
+                let mut next = Vec::new();
+                for &s in &ffr {
+                    for &(e, s2) in p.out(s) {
+                        if fdist[s2 as usize] == u32::MAX {
+                            fdist[s2 as usize] = fdist[s as usize] + 1;
+                            fpar[s2 as usize] = Some((s, e));
+                            if bdist[s2 as usize] != u32::MAX {
+                                let total = fdist[s2 as usize] + bdist[s2 as usize];
+                                if best.is_none_or(|(d, _)| total < d) {
+                                    best = Some((total, s2));
+                                }
+                            }
+                            next.push(s2);
+                        }
+                    }
+                }
+                ffr = next;
+            } else {
+                let mut next = Vec::new();
+                for &s in &bfr {
+                    for &(s2, e) in p.preds(s) {
+                        if bdist[s2 as usize] == u32::MAX {
+                            bdist[s2 as usize] = bdist[s as usize] + 1;
+                            bpar[s2 as usize] = Some((s, e));
+                            if fdist[s2 as usize] != u32::MAX {
+                                let total = fdist[s2 as usize] + bdist[s2 as usize];
+                                if best.is_none_or(|(d, _)| total < d) {
+                                    best = Some((total, s2));
+                                }
+                            }
+                            next.push(s2);
+                        }
+                    }
+                }
+                bfr = next;
+            }
+        }
+        let (_, meet) = best?;
+        let mut edges = Vec::new();
+        let mut cur = meet;
+        while let Some((prev, e)) = fpar[cur as usize] {
+            edges.push(e);
+            cur = prev;
+        }
+        edges.reverse();
+        let mut cur = meet;
+        while let Some((next, e)) = bpar[cur as usize] {
+            edges.push(e);
+            cur = next;
+        }
+        Some(Path { start: a, edges })
+    }
+
+    /// Reference [`Evaluator::shortest_witness`]: plain forward BFS over
+    /// the product. Used to validate the bidirectional search (both must
+    /// agree on existence and length; the concrete witness may differ).
+    pub fn shortest_witness_sequential(&self, a: NodeId, b: NodeId) -> Option<Path> {
         let mut parent: Vec<Option<(PState, EdgeId)>> = vec![None; self.product.state_count()];
         let mut seen = vec![false; self.product.state_count()];
         let mut queue: VecDeque<PState> = VecDeque::new();

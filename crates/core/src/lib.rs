@@ -7,7 +7,11 @@
 //! * [`expr`] / [`parser`] — the regular-expression grammar (1) with node
 //!   tests `?t`, inverse steps `t^-`, boolean tests, property tests
 //!   `[p=v]` and feature tests `[#i=v]`.
-//! * [`automata`] — Thompson NFAs with guarded ε-transitions.
+//! * [`automata`] — Thompson NFAs with guarded ε-transitions, plus
+//!   Hopcroft minimization of their determinization (canonical automata
+//!   for smaller products and better cache sharing).
+//! * [`bitkernel`] — bit-parallel multi-source reachability: 64 BFS
+//!   sources advance per pass over the product.
 //! * [`model`] — the [`model::PathGraph`] evaluation interface and views
 //!   for labeled, property and vector-labeled graphs.
 //! * [`product`] — the graph × NFA product over the path-word alphabet,
@@ -31,6 +35,7 @@
 #![allow(clippy::needless_range_loop)]
 pub mod approx;
 pub mod automata;
+pub mod bitkernel;
 pub mod cache;
 pub mod count;
 pub mod enumerate;
@@ -48,8 +53,9 @@ pub mod simplify;
 pub use approx::{
     approx_count, approx_count_amplified, approx_count_governed, ApproxCounter, ApproxParams,
 };
-pub use automata::Nfa;
-pub use cache::{CompiledQuery, QueryCache};
+pub use automata::{MinimizedNfa, Nfa, NfaSignature};
+pub use bitkernel::ReachKernel;
+pub use cache::{CacheStats, CompiledQuery, QueryCache};
 pub use count::{
     count_paths, count_paths_governed, count_paths_naive, CountError, CountOutcome, ExactCounter,
 };

@@ -3,10 +3,18 @@
 //! The parallel entry points ([`crate::eval::Evaluator::pairs`],
 //! [`crate::count::count_paths_naive`],
 //! [`crate::approx::approx_count_amplified`]) all follow the same
-//! discipline: split work by *source* (node or round), compute each
-//! source's answer independently, and combine in source order (or with an
-//! order-insensitive sum). Answers are therefore identical for every
-//! thread count, including one.
+//! discipline: split work into *units* that are computed independently
+//! and combined in unit order (or with an order-insensitive sum).
+//! Answers are therefore identical for every thread count, including
+//! one.
+//!
+//! Since the bit-parallel kernel landed ([`crate::bitkernel`]), the unit
+//! of parallelism for the reachability scans is a **batch of 64 source
+//! nodes**, not a single source: each worker runs one
+//! [`crate::bitkernel::ReachKernel`] sweep that advances all 64 BFS
+//! frontiers of its batch at once, and batch results are concatenated in
+//! batch order. Counting and sampling entry points still split by single
+//! source/round.
 //!
 //! Thread count resolution, highest priority first:
 //!

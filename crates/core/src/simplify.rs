@@ -10,6 +10,7 @@
 //! | `(r*)* → r*` | star idempotence |
 //! | `(r* + s)* → (r + s)*` (either side) | inner stars are absorbed |
 //! | `r + r → r` | alternation idempotence (syntactic equality) |
+//! | `r + r* → r*` (either side) | star absorbs its body |
 //! | `r* / r* → r*` | star concatenation absorption |
 //! | `¬¬t → t` in tests | double negation |
 
@@ -51,10 +52,21 @@ fn pass(e: &PathExpr) -> PathExpr {
         PathExpr::Alt(a, b) => {
             let (a, b) = (pass(a), pass(b));
             if a == b {
-                a
-            } else {
-                a.alt(b)
+                return a;
             }
+            // r + r* ≡ r* (and symmetrically): the star already matches
+            // every path one copy of r does.
+            if let PathExpr::Star(x) = &b {
+                if **x == a {
+                    return b;
+                }
+            }
+            if let PathExpr::Star(x) = &a {
+                if **x == b {
+                    return a;
+                }
+            }
+            a.alt(b)
         }
         PathExpr::Concat(a, b) => {
             let (a, b) = (pass(a), pass(b));
@@ -143,6 +155,22 @@ mod tests {
         // Nested duplicates found after inner simplification.
         let (s, _, _) = simp("(a*)* + a*");
         assert_eq!(s, "(a)*");
+    }
+
+    #[test]
+    fn star_absorbs_its_own_body() {
+        let (s, before, after) = simp("a + a*");
+        assert_eq!(s, "(a)*");
+        assert_eq!(before, 2);
+        assert_eq!(after, 1);
+        let (s, _, _) = simp("a* + a");
+        assert_eq!(s, "(a)*");
+        // Found after inner rewrites expose the shared body.
+        let (s, _, _) = simp("(a + a) + (a*)*");
+        assert_eq!(s, "(a)*");
+        // A star of a *different* body absorbs nothing.
+        let (s, _, _) = simp("a + b*");
+        assert_eq!(s, "(a + (b)*)");
     }
 
     #[test]

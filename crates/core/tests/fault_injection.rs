@@ -74,6 +74,15 @@ fn setup() -> (kgq_graph::LabeledGraph, kgq_core::PathExpr) {
     (g, e)
 }
 
+/// A graph spanning several 64-source kernel batches, for faults that
+/// must land *mid-scan* (the `eval::bfs` site fires once per batch, not
+/// once per source).
+fn setup_batched() -> (kgq_graph::LabeledGraph, kgq_core::PathExpr) {
+    let mut g = gnm_labeled(200, 600, &["a", "b"], &["p", "q"], 7);
+    let e = parse_expr("(p+q)*", g.consts_mut()).unwrap();
+    (g, e)
+}
+
 /// Current thread count of this process (Linux).
 fn thread_count() -> usize {
     let status = std::fs::read_to_string("/proc/self/status").expect("proc");
@@ -125,7 +134,7 @@ fn injected_product_panic_inside_compile_is_typed() {
 #[test]
 fn injected_worker_panic_is_isolated_at_every_thread_count() {
     let _guard = serial();
-    let (g, e) = setup();
+    let (g, e) = setup_batched();
     let view = LabeledView::new(&g);
     let ev = Evaluator::new(&view, &e);
     let reference = ev.pairs();
@@ -167,7 +176,7 @@ fn injected_delay_trips_the_deadline() {
 fn starvation_trips_the_step_budget_and_partials_are_prefixes() {
     let _guard = serial();
     set_threads(1);
-    let (g, e) = setup();
+    let (g, e) = setup_batched();
     let view = LabeledView::new(&g);
     let ev = Evaluator::new(&view, &e);
     let full = ev.pairs();

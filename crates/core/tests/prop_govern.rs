@@ -150,6 +150,44 @@ proptest! {
     }
 
     #[test]
+    fn governed_pairs_with_a_deadline_are_an_exact_prefix(
+        spec in spec_strategy(),
+        micros in 0u64..400,
+    ) {
+        let (g, expr) = build(&spec);
+        let view = LabeledView::new(&g);
+        let ev = Evaluator::new(&view, &expr);
+        let full = ev.pairs();
+        let gov = Governor::new(
+            &Budget::default().with_deadline(std::time::Duration::from_micros(micros)),
+        );
+        let res = ev.pairs_governed(&gov).unwrap();
+        let took = res.value.len();
+        prop_assert_eq!(&res.value[..], &full[..took], "not a prefix ({}us)", micros);
+        if res.completion == Completion::Complete {
+            prop_assert_eq!(took, full.len());
+        }
+    }
+
+    #[test]
+    fn governed_starts_with_a_step_budget_are_an_exact_prefix(
+        spec in spec_strategy(),
+        steps in 1u64..4000,
+    ) {
+        let (g, expr) = build(&spec);
+        let view = LabeledView::new(&g);
+        let ev = Evaluator::new(&view, &expr);
+        let full = ev.matching_starts();
+        let gov = Governor::new(&Budget::default().with_max_steps(steps));
+        let res = ev.matching_starts_governed(&gov).unwrap();
+        let took = res.value.len();
+        prop_assert_eq!(&res.value[..], &full[..took], "not a prefix (steps={})", steps);
+        if res.completion == Completion::Complete {
+            prop_assert_eq!(took, full.len());
+        }
+    }
+
+    #[test]
     fn truncated_enumeration_replays_to_the_full_set(
         spec in spec_strategy(),
         k in 0usize..4,

@@ -101,6 +101,51 @@ proptest! {
     }
 
     #[test]
+    fn bidirectional_check_equals_forward_reference_at_every_thread_count(
+        spec in spec_strategy(),
+    ) {
+        let (g, expr) = build(&spec);
+        let view = LabeledView::new(&g);
+        let ev = Evaluator::new(&view, &expr);
+        for &t in &THREAD_COUNTS {
+            set_threads(t);
+            for a in g.base().nodes() {
+                let reachable = ev.ends_from(a);
+                for b in g.base().nodes() {
+                    prop_assert_eq!(
+                        ev.check(a, b),
+                        reachable.binary_search(&b).is_ok(),
+                        "threads={} {:?}->{:?}", t, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_witness_length_matches_sequential(spec in spec_strategy()) {
+        let (g, expr) = build(&spec);
+        let view = LabeledView::new(&g);
+        let ev = Evaluator::new(&view, &expr);
+        for &t in &THREAD_COUNTS {
+            set_threads(t);
+            for a in g.base().nodes() {
+                for b in g.base().nodes() {
+                    let bidi = ev.shortest_witness(a, b);
+                    let seq = ev.shortest_witness_sequential(a, b);
+                    // Several shortest paths may exist, so compare
+                    // existence and minimal length, not the hops.
+                    prop_assert_eq!(
+                        bidi.as_ref().map(|p| p.edges.len()),
+                        seq.as_ref().map(|p| p.edges.len()),
+                        "threads={} {:?}->{:?}", t, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn cache_hit_is_byte_identical_to_cold_evaluation(spec in spec_strategy()) {
         let (g, expr) = build(&spec);
         let view = LabeledView::new(&g);

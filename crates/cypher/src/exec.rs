@@ -21,7 +21,7 @@ use kgq_core::expr::{PathExpr, Test};
 use kgq_core::govern::{isolate, EvalError, Governed, Governor, Interrupt, Ticker};
 use kgq_core::model::PropertyView;
 use kgq_graph::{EdgeId, NodeId, PropertyGraph};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// One result row: a string per `RETURN` item (node/edge identifiers for
 /// variables, property values — empty when absent — for lookups).
@@ -39,9 +39,12 @@ struct Ctx<'a> {
     env: HashMap<String, Binding>,
     used_edges: Vec<EdgeId>,
     out: Vec<Row>,
-    /// Per-pattern sets of admissible start nodes (from the compiled
-    /// product); `None` means no prefilter for that pattern.
-    start_filter: Vec<Option<HashSet<NodeId>>>,
+    /// Per-pattern sorted lists of admissible start nodes (from the
+    /// compiled product's bit-parallel `matching_starts` scan); `None`
+    /// means no prefilter for that pattern. Sorted `Vec` + binary search
+    /// beats a `HashSet` here: the lists are built once, probed many
+    /// times, and stay cache-resident.
+    start_filter: Vec<Option<Vec<NodeId>>>,
     /// Step accounting for governed execution (a no-op ticker otherwise).
     ticker: Ticker<'a>,
     /// Result accounting for governed execution.
@@ -112,15 +115,18 @@ fn pattern_prefilter(g: &PropertyGraph, pattern: &PathPattern) -> Prefilter {
 pub fn execute_cached(g: &PropertyGraph, query: &Query, cache: &mut QueryCache) -> Vec<Row> {
     let generation = g.generation();
     let view = PropertyView::new(g);
-    let mut filters: Vec<Option<HashSet<NodeId>>> = Vec::with_capacity(query.patterns.len());
+    let mut filters: Vec<Option<Vec<NodeId>>> = Vec::with_capacity(query.patterns.len());
     for pattern in &query.patterns {
         match pattern_prefilter(g, pattern) {
             Prefilter::NotApplicable => filters.push(None),
             Prefilter::Empty => return Vec::new(),
             Prefilter::Expr(e) => {
+                // `matching_starts` runs on the 64-source bit-parallel
+                // reachability kernel, so the prefilter costs one sweep
+                // over the product per 64 candidate nodes.
                 let compiled = cache.get_or_compile(&view, generation, &e);
-                let starts: HashSet<NodeId> =
-                    compiled.evaluator().matching_starts().into_iter().collect();
+                let mut starts = compiled.evaluator().matching_starts();
+                starts.sort_unstable();
                 if starts.is_empty() {
                     // MATCH patterns are conjunctive: one unmatchable
                     // chain empties the whole result.
@@ -136,7 +142,7 @@ pub fn execute_cached(g: &PropertyGraph, query: &Query, cache: &mut QueryCache) 
 fn execute_with_filters(
     g: &PropertyGraph,
     query: &Query,
-    start_filter: Vec<Option<HashSet<NodeId>>>,
+    start_filter: Vec<Option<Vec<NodeId>>>,
 ) -> Vec<Row> {
     let mut ctx = Ctx {
         g,
@@ -169,7 +175,7 @@ pub fn execute_governed(
 ) -> Result<Governed<Vec<Row>>, EvalError> {
     let generation = g.generation();
     let view = PropertyView::new(g);
-    let mut filters: Vec<Option<HashSet<NodeId>>> = Vec::with_capacity(query.patterns.len());
+    let mut filters: Vec<Option<Vec<NodeId>>> = Vec::with_capacity(query.patterns.len());
     for pattern in &query.patterns {
         match pattern_prefilter(g, pattern) {
             Prefilter::NotApplicable => filters.push(None),
@@ -200,7 +206,8 @@ pub fn execute_governed(
                         },
                     ));
                 }
-                let starts: HashSet<NodeId> = starts.value.into_iter().collect();
+                let mut starts = starts.value;
+                starts.sort_unstable();
                 if starts.is_empty() {
                     return Ok(Governed::complete(Vec::new()));
                 }
@@ -280,7 +287,7 @@ fn match_pattern(ctx: &mut Ctx<'_>, pat_idx: usize) -> Result<(), Interrupt> {
                 .base()
                 .nodes()
                 .filter(|&n| node_label_ok(ctx.g, n, &first.label))
-                .filter(|n| filter.is_none_or(|f| f.contains(n)))
+                .filter(|n| filter.is_none_or(|f| f.binary_search(n).is_ok()))
                 .collect()
         }
     };

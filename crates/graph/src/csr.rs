@@ -4,8 +4,10 @@
 //! lists of [`Multigraph`] are convenient for construction but poor for
 //! traversal locality. [`Csr`] freezes a multigraph into flat offset/list
 //! arrays, and [`LabelIndex`] additionally sorts each node's adjacency by
-//! edge label so that "follow an edge labeled ℓ" — the core step of regular
-//! path query evaluation (paper, Section 4) — is a binary-search range scan.
+//! edge label and precomputes a per-(node, label) offset table so that
+//! "follow an edge labeled ℓ" — the core step of regular path query
+//! evaluation (paper, Section 4) — is a single O(1) slot lookup plus a
+//! slice, with no per-step binary search.
 
 use crate::labeled::LabeledGraph;
 use crate::multigraph::{EdgeId, Multigraph, NodeId};
@@ -70,23 +72,34 @@ impl Csr {
     }
 }
 
-/// Label-sorted adjacency over a [`LabeledGraph`].
+/// Label-sorted adjacency over a [`LabeledGraph`] with a per-(node, label)
+/// offset table.
 ///
 /// For each node, outgoing and incoming `(label, edge, neighbor)` triples
-/// are sorted by label; [`LabelIndex::out_with_label`] returns the matching
-/// range. This is the structure regular path query evaluation steps on.
+/// are sorted by label. Distinct edge labels additionally get dense ids
+/// `0..L`, and a slot table of `(L + 1) · n` offsets records where each
+/// label's run starts inside each node's adjacency (group-by-label CSR).
+/// [`LabelIndex::out_with_label`] is therefore one O(1) slot lookup plus a
+/// slice — no binary search on the hot path. This is the structure regular
+/// path query evaluation steps on.
 #[derive(Clone, Debug)]
 pub struct LabelIndex {
     out_off: Vec<u32>,
     out_list: Vec<(Sym, EdgeId, NodeId)>,
     in_off: Vec<u32>,
     in_list: Vec<(Sym, EdgeId, NodeId)>,
-}
-
-fn label_range(list: &[(Sym, EdgeId, NodeId)], label: Sym) -> &[(Sym, EdgeId, NodeId)] {
-    let lo = list.partition_point(|&(l, _, _)| l < label);
-    let hi = list.partition_point(|&(l, _, _)| l <= label);
-    &list[lo..hi]
+    /// Dense label id for each `Sym` index, or `u32::MAX` when the symbol
+    /// never labels an edge. Indexed by `Sym::index()` (may be shorter
+    /// than the interner — out-of-range means "not a label").
+    label_id: Vec<u32>,
+    /// Number of distinct edge labels `L`.
+    nlabels: u32,
+    /// `(L + 1)`-stride slot table: `out_slot[v·(L+1) + l]` is the offset
+    /// into `out_list` where label `l`'s run for node `v` begins, and slot
+    /// `L` holds the node's end offset, so a run is always
+    /// `out_slot[base + l] .. out_slot[base + l + 1]`.
+    out_slot: Vec<u32>,
+    in_slot: Vec<u32>,
 }
 
 impl LabelIndex {
@@ -94,13 +107,57 @@ impl LabelIndex {
     pub fn build(g: &LabeledGraph) -> Self {
         let base = g.base();
         let n = base.node_count();
+
+        // Dense-number the distinct edge labels in Sym order so per-node
+        // runs appear in dense-id order after the sort below.
+        let mut max_sym = 0usize;
+        for e in base.edges() {
+            max_sym = max_sym.max(g.edge_label(e).index());
+        }
+        let mut label_id = vec![
+            u32::MAX;
+            if base.edge_count() == 0 {
+                0
+            } else {
+                max_sym + 1
+            }
+        ];
+        for e in base.edges() {
+            label_id[g.edge_label(e).index()] = 0;
+        }
+        let mut nlabels = 0u32;
+        for slot in label_id.iter_mut() {
+            if *slot == 0 {
+                *slot = nlabels;
+                nlabels += 1;
+            }
+        }
+
+        let stride = nlabels as usize + 1;
         let mut out_off = Vec::with_capacity(n + 1);
         let mut out_list = Vec::with_capacity(base.edge_count());
         let mut in_off = Vec::with_capacity(n + 1);
         let mut in_list = Vec::with_capacity(base.edge_count());
+        let mut out_slot = Vec::with_capacity(n * stride);
+        let mut in_slot = Vec::with_capacity(n * stride);
         out_off.push(0);
         in_off.push(0);
         let mut scratch: Vec<(Sym, EdgeId, NodeId)> = Vec::new();
+        let fill_slots =
+            |slots: &mut Vec<u32>, list: &[(Sym, EdgeId, NodeId)], node_start: usize| {
+                // One pass over the node's sorted run: for each dense label,
+                // record where its block starts (empty blocks collapse to the
+                // next block's start, so every run is a contiguous slice).
+                let run = &list[node_start..];
+                let mut i = 0usize;
+                for l in 0..nlabels {
+                    while i < run.len() && label_id[run[i].0.index()] < l {
+                        i += 1;
+                    }
+                    slots.push((node_start + i) as u32);
+                }
+                slots.push(list.len() as u32);
+            };
         for v in base.nodes() {
             scratch.clear();
             scratch.extend(
@@ -109,7 +166,9 @@ impl LabelIndex {
                     .map(|&e| (g.edge_label(e), e, base.target(e))),
             );
             scratch.sort_unstable();
+            let start = out_list.len();
             out_list.extend_from_slice(&scratch);
+            fill_slots(&mut out_slot, &out_list, start);
             out_off.push(out_list.len() as u32);
 
             scratch.clear();
@@ -119,7 +178,9 @@ impl LabelIndex {
                     .map(|&e| (g.edge_label(e), e, base.source(e))),
             );
             scratch.sort_unstable();
+            let start = in_list.len();
             in_list.extend_from_slice(&scratch);
+            fill_slots(&mut in_slot, &in_list, start);
             in_off.push(in_list.len() as u32);
         }
         LabelIndex {
@@ -127,6 +188,10 @@ impl LabelIndex {
             out_list,
             in_off,
             in_list,
+            label_id,
+            nlabels,
+            out_slot,
+            in_slot,
         }
     }
 
@@ -146,16 +211,51 @@ impl LabelIndex {
         &self.in_list[a..b]
     }
 
-    /// Outgoing edges of `v` labeled exactly `label`.
+    /// Dense id of `label`, if it labels at least one edge.
+    #[inline]
+    fn dense(&self, label: Sym) -> Option<usize> {
+        match self.label_id.get(label.index()) {
+            Some(&id) if id != u32::MAX => Some(id as usize),
+            _ => None,
+        }
+    }
+
+    /// The run of `list` holding label `l` (dense) for node `v`.
+    #[inline]
+    fn run<'a>(
+        &self,
+        slots: &[u32],
+        list: &'a [(Sym, EdgeId, NodeId)],
+        v: NodeId,
+        l: usize,
+    ) -> &'a [(Sym, EdgeId, NodeId)] {
+        let base = v.index() * (self.nlabels as usize + 1);
+        &list[slots[base + l] as usize..slots[base + l + 1] as usize]
+    }
+
+    /// Outgoing edges of `v` labeled exactly `label`: one slot lookup, no
+    /// binary search.
     #[inline]
     pub fn out_with_label(&self, v: NodeId, label: Sym) -> &[(Sym, EdgeId, NodeId)] {
-        label_range(self.out(v), label)
+        match self.dense(label) {
+            Some(l) => self.run(&self.out_slot, &self.out_list, v, l),
+            None => &[],
+        }
     }
 
     /// Incoming edges of `v` labeled exactly `label` (used for `ℓ⁻`).
     #[inline]
     pub fn in_with_label(&self, v: NodeId, label: Sym) -> &[(Sym, EdgeId, NodeId)] {
-        label_range(self.inc(v), label)
+        match self.dense(label) {
+            Some(l) => self.run(&self.in_slot, &self.in_list, v, l),
+            None => &[],
+        }
+    }
+
+    /// Number of distinct edge labels in the index.
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.nlabels as usize
     }
 }
 
@@ -237,5 +337,43 @@ mod tests {
         let a = g.node_named("a").unwrap();
         let out = idx.out(a);
         assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    /// The slot table must return exactly the range a binary search over
+    /// the sorted triples would.
+    fn bsearch_range(list: &[(Sym, EdgeId, NodeId)], label: Sym) -> &[(Sym, EdgeId, NodeId)] {
+        let lo = list.partition_point(|&(l, _, _)| l < label);
+        let hi = list.partition_point(|&(l, _, _)| l <= label);
+        &list[lo..hi]
+    }
+
+    #[test]
+    fn slot_table_matches_binary_search_on_a_generated_graph() {
+        let g = crate::generate::gnm_labeled(40, 200, &["t"], &["p", "q", "r", "s"], 7);
+        let idx = LabelIndex::build(&g);
+        let mut labels: Vec<Sym> = ["p", "q", "r", "s", "t"]
+            .iter()
+            .filter_map(|s| g.sym(s))
+            .collect();
+        labels.push(Sym(u32::MAX - 1)); // never interned
+        for v in g.base().nodes() {
+            for &l in &labels {
+                assert_eq!(idx.out_with_label(v, l), bsearch_range(idx.out(v), l));
+                assert_eq!(idx.in_with_label(v, l), bsearch_range(idx.inc(v), l));
+            }
+        }
+        assert!(idx.label_count() >= 2);
+    }
+
+    #[test]
+    fn empty_graph_and_label_free_lookups_are_safe() {
+        let g = LabeledGraph::new();
+        let idx = LabelIndex::build(&g);
+        assert_eq!(idx.label_count(), 0);
+        let mut g2 = sample();
+        let ghost = g2.intern("zzz-unused");
+        let idx2 = LabelIndex::build(&g2);
+        let a = g2.node_named("a").unwrap();
+        assert!(idx2.out_with_label(a, ghost).is_empty());
     }
 }

@@ -33,6 +33,8 @@ fn usage() -> ExitCode {
          kgq analytics GRAPH (pagerank|betweenness|components|diameter|densest)\n  \
          kgq rdf FILE (path EXPR|select QUERY|infer)\n\n  \
          GOVERN: --timeout MS | --max-steps N | --max-results N\n  \
+         query/cypher also take --verbose (cache stats on stderr) and\n  \
+         honor KGQ_CACHE_CAP (compiled-query cache capacity)\n  \
          (partial results end with `# partial: REASON`; enumerate adds\n  \
          `# cursor: C`, replayable via `enumerate K --resume C`)"
     );
@@ -148,8 +150,10 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
         .unwrap_or("pairs");
     let budget = budget_from(rest)?;
     // Reachability-style ops share one compiled product via the query
-    // cache (keyed by the graph's generation stamp).
-    let mut cache = QueryCache::new();
+    // cache (keyed by the graph's generation stamp and the query's
+    // minimal-DFA signature). Capacity honors KGQ_CACHE_CAP.
+    let mut cache = QueryCache::from_env();
+    let verbose = rest.iter().any(|a| a == "--verbose");
     let mut out = String::new();
     match op {
         "pairs" => {
@@ -293,6 +297,9 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
         }
         other => return Err(format!("unknown query op `{other}`")),
     }
+    if verbose {
+        eprintln!("cache: {}", cache.stats());
+    }
     Ok(out)
 }
 
@@ -302,7 +309,8 @@ fn cmd_cypher(args: &[String]) -> Result<String, String> {
     };
     let g = load_graph(path)?;
     let q = cypher::parse_query(query_text).map_err(|e| e.to_string())?;
-    let mut cache = QueryCache::new();
+    let mut cache = QueryCache::from_env();
+    let verbose = rest.iter().any(|a| a == "--verbose");
     let mut out = String::new();
     if let Some(b) = budget_from(rest)? {
         let gov = Governor::new(&b);
@@ -317,6 +325,9 @@ fn cmd_cypher(args: &[String]) -> Result<String, String> {
             out.push_str(&row.join("\t"));
             out.push('\n');
         }
+    }
+    if verbose {
+        eprintln!("cache: {}", cache.stats());
     }
     Ok(out)
 }
