@@ -153,6 +153,16 @@ pub struct MinimizedNfa {
     pub minimized: bool,
 }
 
+impl MinimizedNfa {
+    /// True iff this automaton provably recognizes the empty language.
+    ///
+    /// Only a minimized signature can certify emptiness; on a fallback
+    /// (non-minimized) automaton this conservatively returns false.
+    pub fn is_empty_language(&self) -> bool {
+        self.minimized && self.signature.is_empty_language()
+    }
+}
+
 /// A hashable structural fingerprint of an automaton.
 ///
 /// For a minimized automaton this is canonical for the language: states
@@ -172,6 +182,14 @@ impl NfaSignature {
     /// Number of states fingerprinted.
     pub fn state_count(&self) -> usize {
         self.states as usize
+    }
+
+    /// True iff the fingerprinted automaton recognizes the empty language:
+    /// no transitions at all and a non-accepting start state. Minimization
+    /// collapses every empty-language automaton to exactly this shape, so
+    /// on a minimized signature this is a complete emptiness test.
+    pub fn is_empty_language(&self) -> bool {
+        self.trans.is_empty() && !self.accepting.contains(&self.start)
     }
 }
 

@@ -19,6 +19,7 @@
 //! increasing per mutation *within one graph*, not globally unique across
 //! graphs.
 
+use crate::analyze::Report;
 use crate::automata::{MinimizedNfa, Nfa, NfaSignature};
 use crate::eval::Evaluator;
 use crate::expr::PathExpr;
@@ -106,6 +107,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to stay within capacity.
     pub evictions: u64,
+    /// Lookups the static analyzer resolved without a cache slot: a
+    /// provably-empty query answered with no compilation at all, or a
+    /// `Deny`-flagged query compiled but deliberately not inserted.
+    pub short_circuits: u64,
     /// Compiled queries currently held.
     pub len: usize,
     /// Configured capacity.
@@ -116,8 +121,8 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} evictions={} entries={}/{}",
-            self.hits, self.misses, self.evictions, self.len, self.capacity
+            "hits={} misses={} evictions={} short_circuits={} entries={}/{}",
+            self.hits, self.misses, self.evictions, self.short_circuits, self.len, self.capacity
         )
     }
 }
@@ -136,6 +141,7 @@ pub struct QueryCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    short_circuits: u64,
 }
 
 impl Default for QueryCache {
@@ -160,6 +166,7 @@ impl QueryCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            short_circuits: 0,
         }
     }
 
@@ -256,6 +263,39 @@ impl QueryCache {
         Ok(compiled)
     }
 
+    /// Analyzer-aware [`QueryCache::get_or_compile`]: consults a static
+    /// analysis [`Report`] first so doomed queries never occupy a slot.
+    ///
+    /// * Provably-empty queries return `None` without compiling anything
+    ///   (the caller answers with an empty result instantly).
+    /// * `Deny`-flagged queries (e.g. determinization blowup) compile but
+    ///   are **not** inserted — an oversized product must not evict
+    ///   healthy entries.
+    /// * Everything else goes through [`QueryCache::get_or_compile`].
+    ///
+    /// The first two paths increment the `short_circuits` statistic
+    /// reported by [`QueryCache::stats`] (and by the CLI under
+    /// `--verbose`).
+    pub fn get_or_compile_checked<G: PathGraph>(
+        &mut self,
+        g: &G,
+        generation: u64,
+        expr: &PathExpr,
+        report: &Report,
+    ) -> Option<Arc<CompiledQuery>> {
+        if report.is_provably_empty() {
+            self.short_circuits += 1;
+            return None;
+        }
+        if report.denied() {
+            self.short_circuits += 1;
+            let expr = simplify(expr);
+            let min = Nfa::compile_min(&expr);
+            return Some(Arc::new(CompiledQuery::compile(g, expr, min)));
+        }
+        Some(self.get_or_compile(g, generation, expr))
+    }
+
     fn evict_lru(&mut self) {
         if let Some(key) = self
             .map
@@ -303,6 +343,19 @@ impl QueryCache {
         self.evictions
     }
 
+    /// Lookups resolved by the static analyzer without occupying a cache
+    /// slot (see [`QueryCache::get_or_compile_checked`]).
+    pub fn short_circuits(&self) -> u64 {
+        self.short_circuits
+    }
+
+    /// Records an analyzer short-circuit that happened outside the cache
+    /// (e.g. a Cypher query proven empty before any pattern compiled), so
+    /// `--verbose` statistics account for it.
+    pub fn note_short_circuit(&mut self) {
+        self.short_circuits += 1;
+    }
+
     /// Snapshot of the effectiveness counters (printed by the CLI under
     /// `--verbose`).
     pub fn stats(&self) -> CacheStats {
@@ -310,6 +363,7 @@ impl QueryCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            short_circuits: self.short_circuits,
             len: self.map.len(),
             capacity: self.capacity,
         }
@@ -455,6 +509,66 @@ mod tests {
             .get_or_compile_governed(&view, 0, &e1, &Governor::unlimited())
             .unwrap();
         assert_eq!(ok.evaluator().pairs(), Evaluator::new(&view, &e1).pairs());
+    }
+
+    #[test]
+    fn analyzer_short_circuits_keep_slots_free() {
+        use crate::analyze::analyze_expr;
+        use kgq_graph::SchemaSummary;
+        let mut g = gnm_labeled(12, 30, &["a", "b"], &["p", "q"], 3);
+        let dead = parse_expr("ghost/p", g.consts_mut()).unwrap();
+        let live = parse_expr("p/q", g.consts_mut()).unwrap();
+        let schema = SchemaSummary::from_labeled(&g);
+        let view = LabeledView::new(&g);
+        let mut cache = QueryCache::new();
+
+        let dead_report = analyze_expr(&dead, &schema, None);
+        assert!(dead_report.is_provably_empty());
+        assert!(cache
+            .get_or_compile_checked(&view, 0, &dead, &dead_report)
+            .is_none());
+        // Nothing compiled, nothing cached, the short-circuit counted.
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(cache.short_circuits(), 1);
+
+        let live_report = analyze_expr(&live, &schema, None);
+        assert!(!live_report.denied());
+        let c = cache
+            .get_or_compile_checked(&view, 0, &live, &live_report)
+            .expect("live query compiles");
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // The live entry behaves as a normal cached hit afterwards.
+        let again = cache
+            .get_or_compile_checked(&view, 0, &live, &live_report)
+            .expect("cached");
+        assert!(Arc::ptr_eq(c.product(), again.product()));
+        assert_eq!(cache.hits(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.short_circuits, 1);
+        assert!(stats.to_string().contains("short_circuits=1"));
+    }
+
+    #[test]
+    fn deny_flagged_queries_compile_but_are_not_cached() {
+        use crate::analyze::analyze_expr;
+        use kgq_graph::SchemaSummary;
+        let mut g = gnm_labeled(20, 80, &["v"], &["p", "q"], 3);
+        let text = "(p+q)*/p".to_string() + &"/(p+q)".repeat(13);
+        let blowup = parse_expr(&text, g.consts_mut()).unwrap();
+        let schema = SchemaSummary::from_labeled(&g);
+        let report = analyze_expr(&blowup, &schema, None);
+        assert!(report.denied() && !report.is_provably_empty());
+        let view = LabeledView::new(&g);
+        let mut cache = QueryCache::new();
+        let compiled = cache
+            .get_or_compile_checked(&view, 0, &blowup, &report)
+            .expect("denied queries still compile");
+        // Compiled and usable, but no slot occupied.
+        assert!(!compiled.evaluator().pairs().is_empty());
+        assert!(cache.is_empty());
+        assert_eq!(cache.short_circuits(), 1);
     }
 
     #[test]

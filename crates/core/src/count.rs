@@ -307,6 +307,40 @@ pub fn count_paths_governed_with<G: PathGraph + Sync>(
     })
 }
 
+/// Analyzer-routed counting: consults a static-analysis [`Report`]
+/// before doing any work.
+///
+/// * A provably-empty query answers `Exact(0)` instantly — no
+///   determinization, no product, no DP.
+/// * A `Deny` finding for exact counting (determinization blowup,
+///   [`Report::denies_exact_count`]) skips the doomed exact stage and
+///   goes straight to the FPRAS estimate, marked `degraded` exactly like
+///   the governed ladder's fallback rung — the step budget is never
+///   burned on a stage the analyzer already condemned.
+/// * Otherwise the exact DP runs as in [`count_paths`].
+pub fn count_paths_analyzed<G: PathGraph + Sync>(
+    g: &G,
+    expr: &PathExpr,
+    k: usize,
+    report: &crate::analyze::Report,
+) -> Result<Governed<CountOutcome>, CountError> {
+    if report.is_provably_empty() {
+        return Ok(Governed::complete(CountOutcome::Exact(0)));
+    }
+    if report.denies_exact_count() {
+        let estimate =
+            crate::approx::approx_count(g, expr, k, &crate::approx::ApproxParams::default());
+        return Ok(Governed {
+            value: CountOutcome::Approximate(estimate),
+            completion: crate::govern::Completion::Complete,
+            degraded: true,
+        });
+    }
+    Ok(Governed::complete(CountOutcome::Exact(count_paths(
+        g, expr, k,
+    )?)))
+}
+
 /// Brute-force `Count(G, r, k)`: enumerate every length-`k` walk
 /// (`n₀, e₁ … e_k`) by DFS and test acceptance against the product NFA.
 ///
@@ -543,6 +577,37 @@ mod governed_tests {
         let text = "(p+q)*/p".to_string() + &"/(p+q)".repeat(depth);
         let e = parse_expr(&text, g.consts_mut()).unwrap();
         (g, e)
+    }
+
+    #[test]
+    fn analyzed_count_routes_empty_and_blowup() {
+        use crate::analyze::analyze_expr;
+        use kgq_graph::SchemaSummary;
+        // Provably empty: exact zero without building anything.
+        let mut g = gnm_labeled(12, 30, &["a"], &["p", "q"], 3);
+        let dead = parse_expr("ghost/p", g.consts_mut()).unwrap();
+        let schema = SchemaSummary::from_labeled(&g);
+        let report = analyze_expr(&dead, &schema, None);
+        let got = count_paths_analyzed(&LabeledView::new(&g), &dead, 3, &report).unwrap();
+        assert_eq!(got.value, CountOutcome::Exact(0));
+        assert!(!got.degraded);
+
+        // Deny (blowup): routed straight to the FPRAS estimate, degraded.
+        let (gb, blow) = blowup_depth(13);
+        let breport = analyze_expr(&blow, &SchemaSummary::from_labeled(&gb), None);
+        assert!(breport.denies_exact_count());
+        let approx = count_paths_analyzed(&LabeledView::new(&gb), &blow, 16, &breport).unwrap();
+        assert!(approx.degraded);
+        assert!(matches!(approx.value, CountOutcome::Approximate(_)));
+
+        // Clean queries still count exactly.
+        let live = parse_expr("p/q", g.consts_mut()).unwrap();
+        let lreport = analyze_expr(&live, &schema, None);
+        let exact = count_paths_analyzed(&LabeledView::new(&g), &live, 2, &lreport).unwrap();
+        assert_eq!(
+            exact.value,
+            CountOutcome::Exact(count_paths(&LabeledView::new(&g), &live, 2).unwrap())
+        );
     }
 
     fn blowup() -> (kgq_graph::LabeledGraph, PathExpr) {

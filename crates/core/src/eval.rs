@@ -23,6 +23,7 @@
 //! automaton has no ε-skeleton and (usually) fewer states, which shrinks
 //! the product every scan runs over.
 
+use crate::analyze::PlanAdvice;
 use crate::automata::Nfa;
 use crate::bitkernel::{ReachKernel, BATCH};
 use crate::expr::PathExpr;
@@ -396,6 +397,27 @@ impl Evaluator {
             }
         }
         result
+    }
+
+    /// [`Evaluator::pairs`] routed through the static analyzer's
+    /// [`PlanAdvice`]: a `Sequential` recommendation takes the fused
+    /// sequential scan (skipping kernel setup), everything else the
+    /// bit-parallel sweep. Every plan produces byte-identical output —
+    /// advice only moves work, never answers.
+    pub fn pairs_planned(&self, advice: PlanAdvice) -> Vec<(NodeId, NodeId)> {
+        match advice {
+            PlanAdvice::Sequential => self.pairs_sequential(),
+            PlanAdvice::BitParallel | PlanAdvice::Bidirectional => self.pairs(),
+        }
+    }
+
+    /// [`Evaluator::matching_starts`] routed through [`PlanAdvice`]; see
+    /// [`Evaluator::pairs_planned`] for the guarantees.
+    pub fn matching_starts_planned(&self, advice: PlanAdvice) -> Vec<NodeId> {
+        match advice {
+            PlanAdvice::Sequential => self.matching_starts_sequential(),
+            PlanAdvice::BitParallel | PlanAdvice::Bidirectional => self.matching_starts(),
+        }
     }
 
     /// Node extraction (§4.3): all nodes that *start* a matching path.

@@ -29,10 +29,14 @@
 //! * [`simplify`] — semantics-preserving expression rewriting.
 //! * [`govern`] — resource governance: budgets, deadlines, cooperative
 //!   cancellation, panic isolation, graceful degradation.
+//! * [`analyze`] — static query analysis ahead of compilation:
+//!   emptiness, test satisfiability, finiteness/blowup, plan advice and
+//!   complexity-class tagging with spanned diagnostics.
 
 // Several hot loops index multiple parallel arrays at once; the
 // iterator rewrites clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
+pub mod analyze;
 pub mod approx;
 pub mod automata;
 pub mod bitkernel;
@@ -50,6 +54,10 @@ pub mod path;
 pub mod product;
 pub mod simplify;
 
+pub use analyze::{
+    analyze_expr, ComplexityClass, Diagnostic, LanguageFacts, PlanAdvice, Position, Report,
+    Severity, Tri,
+};
 pub use approx::{
     approx_count, approx_count_amplified, approx_count_governed, ApproxCounter, ApproxParams,
 };
@@ -57,7 +65,8 @@ pub use automata::{MinimizedNfa, Nfa, NfaSignature};
 pub use bitkernel::ReachKernel;
 pub use cache::{CacheStats, CompiledQuery, QueryCache};
 pub use count::{
-    count_paths, count_paths_governed, count_paths_naive, CountError, CountOutcome, ExactCounter,
+    count_paths, count_paths_analyzed, count_paths_governed, count_paths_naive, CountError,
+    CountOutcome, ExactCounter,
 };
 pub use enumerate::{
     enumerate_paths, enumerate_paths_governed, enumerate_paths_resumed, enumerate_paths_upto,
@@ -73,4 +82,4 @@ pub use model::{LabeledView, PathGraph, PropertyView, VectorView};
 pub use parser::{parse_expr, ParseError};
 pub use path::Path;
 pub use product::{DetProduct, Product};
-pub use simplify::simplify;
+pub use simplify::{simplify, simplify_test};

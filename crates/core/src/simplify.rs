@@ -16,7 +16,11 @@
 
 use crate::expr::{PathExpr, Test};
 
-fn simplify_test(t: &Test) -> Test {
+/// Canonicalizes a boolean test: `¬¬x → x`, and `x ∧ x → x` / `x ∨ x → x`
+/// under syntactic equality. Used by [`simplify`] on every atom and by the
+/// static analyzer (`crate::analyze`) before satisfiability checks, so
+/// diagnostics describe the same test the compiler would see.
+pub fn simplify_test(t: &Test) -> Test {
     match t {
         Test::Not(inner) => match simplify_test(inner) {
             // ¬¬x = x

@@ -38,6 +38,14 @@ pub struct PathPattern {
     pub rels: Vec<RelPattern>,
 }
 
+impl PathPattern {
+    /// True when every node and every relationship carries a label, i.e.
+    /// the chain translates into a sound path-expression prefilter.
+    pub fn fully_labeled(&self) -> bool {
+        self.nodes.iter().all(|n| n.label.is_some()) && self.rels.iter().all(|r| r.label.is_some())
+    }
+}
+
 /// Comparison operator in `WHERE`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CmpOp {
@@ -81,6 +89,36 @@ pub struct Query {
 }
 
 impl Query {
+    /// Variables bound to nodes by the MATCH clause.
+    pub fn node_vars(&self) -> Vec<&str> {
+        let mut vars: Vec<&str> = Vec::new();
+        for p in &self.patterns {
+            for n in &p.nodes {
+                if let Some(v) = &n.var {
+                    if !vars.contains(&v.as_str()) {
+                        vars.push(v);
+                    }
+                }
+            }
+        }
+        vars
+    }
+
+    /// Variables bound to relationships by the MATCH clause.
+    pub fn rel_vars(&self) -> Vec<&str> {
+        let mut vars: Vec<&str> = Vec::new();
+        for p in &self.patterns {
+            for r in &p.rels {
+                if let Some(v) = &r.var {
+                    if !vars.contains(&v.as_str()) {
+                        vars.push(v);
+                    }
+                }
+            }
+        }
+        vars
+    }
+
     /// All variables bound by the MATCH clause.
     pub fn bound_vars(&self) -> Vec<&str> {
         let mut vars: Vec<&str> = Vec::new();

@@ -84,7 +84,7 @@ fn pattern_prefilter(g: &PropertyGraph, pattern: &PathPattern) -> Prefilter {
     if !all_labeled {
         return Prefilter::NotApplicable;
     }
-    let sym = |label: &Option<String>| g.labeled().sym(label.as_deref().expect("all labeled"));
+    let sym = |label: &Option<String>| label.as_deref().and_then(|l| g.labeled().sym(l));
     let Some(first) = sym(&pattern.nodes[0].label) else {
         return Prefilter::Empty;
     };
@@ -113,6 +113,14 @@ fn pattern_prefilter(g: &PropertyGraph, pattern: &PathPattern) -> Prefilter {
 /// back to plain [`execute`] behavior for chains with unlabeled
 /// elements. Results are identical to [`execute`].
 pub fn execute_cached(g: &PropertyGraph, query: &Query, cache: &mut QueryCache) -> Vec<Row> {
+    // Static analysis first: a provably-empty query (unknown label,
+    // contradictory WHERE, …) returns without compiling anything, and
+    // the skipped compilation is visible in the cache stats.
+    let report = crate::analyze::analyze_query(g, query, None);
+    if report.is_provably_empty() {
+        cache.note_short_circuit();
+        return Vec::new();
+    }
     let generation = g.generation();
     let view = PropertyView::new(g);
     let mut filters: Vec<Option<Vec<NodeId>>> = Vec::with_capacity(query.patterns.len());
@@ -123,9 +131,10 @@ pub fn execute_cached(g: &PropertyGraph, query: &Query, cache: &mut QueryCache) 
             Prefilter::Expr(e) => {
                 // `matching_starts` runs on the 64-source bit-parallel
                 // reachability kernel, so the prefilter costs one sweep
-                // over the product per 64 candidate nodes.
+                // over the product per 64 candidate nodes (unless the
+                // analyzer advised a sequential scan for this graph).
                 let compiled = cache.get_or_compile(&view, generation, &e);
-                let mut starts = compiled.evaluator().matching_starts();
+                let mut starts = compiled.evaluator().matching_starts_planned(report.plan);
                 starts.sort_unstable();
                 if starts.is_empty() {
                     // MATCH patterns are conjunctive: one unmatchable
@@ -173,6 +182,13 @@ pub fn execute_governed(
     cache: &mut QueryCache,
     gov: &Governor,
 ) -> Result<Governed<Vec<Row>>, EvalError> {
+    // Same analyzer short-circuit as `execute_cached`: a provably-empty
+    // query completes instantly without charging the governor.
+    let report = crate::analyze::analyze_query(g, query, None);
+    if report.is_provably_empty() {
+        cache.note_short_circuit();
+        return Ok(Governed::complete(Vec::new()));
+    }
     let generation = g.generation();
     let view = PropertyView::new(g);
     let mut filters: Vec<Option<Vec<NodeId>>> = Vec::with_capacity(query.patterns.len());

@@ -33,10 +33,12 @@
 //! assert_eq!(execute(&g, &q), vec![vec!["Julia".to_string()]]);
 //! ```
 
+pub mod analyze;
 pub mod ast;
 pub mod exec;
 pub mod parser;
 
+pub use analyze::analyze_query;
 pub use ast::{Direction, Query};
 pub use exec::{execute, execute_cached, execute_governed, Row};
 pub use parser::{parse_query, QueryParseError};

@@ -15,6 +15,8 @@ pub struct QueryParseError {
     pub pos: usize,
     /// Description.
     pub message: String,
+    /// The token the parser was looking for, when a single one applies.
+    pub expected: Option<String>,
 }
 
 impl fmt::Display for QueryParseError {
@@ -24,6 +26,32 @@ impl fmt::Display for QueryParseError {
             "query parse error at byte {}: {}",
             self.pos, self.message
         )
+    }
+}
+
+impl QueryParseError {
+    /// Renders the error with a caret marking its byte position in
+    /// `input`, in the same shape as `kgq_core::parser::ParseError::render`:
+    ///
+    /// ```text
+    /// query parse error at byte 8: expected `)`
+    ///   MATCH (a RETURN a
+    ///           ^ expected `)`
+    /// ```
+    pub fn render(&self, input: &str) -> String {
+        let pos = self.pos.min(input.len());
+        let line_start = input[..pos].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = input[pos..]
+            .find('\n')
+            .map(|i| pos + i)
+            .unwrap_or(input.len());
+        let line = &input[line_start..line_end];
+        let pad = " ".repeat(pos - line_start);
+        let hint = match &self.expected {
+            Some(e) => format!(" expected {e}"),
+            None => String::new(),
+        };
+        format!("{self}\n  {line}\n  {pad}^{hint}")
     }
 }
 
@@ -39,6 +67,18 @@ impl<'a> P<'a> {
         Err(QueryParseError {
             pos: self.pos,
             message: message.to_owned(),
+            expected: None,
+        })
+    }
+
+    /// Like [`P::err`] but records the single token that would have
+    /// advanced the parse, for the caret hint in
+    /// [`QueryParseError::render`].
+    fn err_expected<T>(&self, message: &str, expected: &str) -> Result<T, QueryParseError> {
+        Err(QueryParseError {
+            pos: self.pos,
+            message: message.to_owned(),
+            expected: Some(expected.to_owned()),
         })
     }
 
@@ -99,7 +139,7 @@ impl<'a> P<'a> {
             }
         }
         if len == 0 {
-            return self.err("expected an identifier");
+            return self.err_expected("expected an identifier", "an identifier");
         }
         let s = rest[..len].to_owned();
         self.pos += len;
@@ -109,7 +149,7 @@ impl<'a> P<'a> {
     fn string_literal(&mut self) -> Result<String, QueryParseError> {
         self.skip_ws();
         if !self.src[self.pos..].starts_with('\'') {
-            return self.err("expected a quoted string");
+            return self.err_expected("expected a quoted string", "a quoted string");
         }
         let start = self.pos + 1;
         match self.src[start..].find('\'') {
@@ -124,7 +164,7 @@ impl<'a> P<'a> {
 
     fn node_pattern(&mut self) -> Result<NodePattern, QueryParseError> {
         if !self.eat("(") {
-            return self.err("expected `(`");
+            return self.err_expected("expected `(`", "`(`");
         }
         let var = if matches!(self.peek(), Some(c) if c.is_alphabetic() || c == '_') {
             Some(self.ident()?)
@@ -137,7 +177,7 @@ impl<'a> P<'a> {
             None
         };
         if !self.eat(")") {
-            return self.err("expected `)`");
+            return self.err_expected("expected `)`", "`)`");
         }
         Ok(NodePattern { var, label })
     }
@@ -160,7 +200,7 @@ impl<'a> P<'a> {
                 None
             };
             if !self.eat("]") {
-                return self.err("expected `]`");
+                return self.err_expected("expected `]`", "`]`");
             }
             (var, label)
         } else {
@@ -168,13 +208,16 @@ impl<'a> P<'a> {
         };
         let direction = if left {
             if !self.eat("-") {
-                return self.err("expected `-` closing `<-[..]-`");
+                return self.err_expected("expected `-` closing `<-[..]-`", "`-`");
             }
             Direction::Left
         } else if self.eat("->") {
             Direction::Right
         } else {
-            return self.err("expected `->` (undirected patterns are not supported)");
+            return self.err_expected(
+                "expected `->` (undirected patterns are not supported)",
+                "`->`",
+            );
         };
         Ok(Some(RelPattern {
             var,
@@ -196,7 +239,7 @@ impl<'a> P<'a> {
     fn condition(&mut self) -> Result<Condition, QueryParseError> {
         let var = self.ident()?;
         if !self.eat(".") {
-            return self.err("expected `.` in property access");
+            return self.err_expected("expected `.` in property access", "`.`");
         }
         let prop = self.ident()?;
         let op = if self.eat("<>") {
@@ -230,7 +273,7 @@ impl<'a> P<'a> {
 pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
     let mut p = P { src: input, pos: 0 };
     if !p.eat_keyword("MATCH") {
-        return p.err("query must start with MATCH");
+        return p.err_expected("query must start with MATCH", "MATCH");
     }
     let mut patterns = vec![p.path_pattern()?];
     while p.eat(",") {
@@ -244,7 +287,7 @@ pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
         }
     }
     if !p.eat_keyword("RETURN") {
-        return p.err("expected RETURN");
+        return p.err_expected("expected RETURN", "RETURN");
     }
     let mut returns = vec![p.return_item()?];
     while p.eat(",") {

@@ -34,6 +34,7 @@ pub mod io;
 pub mod labeled;
 pub mod multigraph;
 pub mod property;
+pub mod schema;
 pub mod subgraph;
 pub mod sym;
 pub mod vector;
@@ -43,6 +44,7 @@ pub use error::GraphError;
 pub use labeled::LabeledGraph;
 pub use multigraph::{EdgeId, Multigraph, NodeId};
 pub use property::PropertyGraph;
+pub use schema::{GraphModel, SchemaSummary};
 pub use subgraph::{induced_subgraph, induced_subgraph_property};
 pub use sym::{Interner, Sym};
 pub use vector::VectorGraph;

@@ -1,0 +1,273 @@
+//! Schema summaries harvested from a concrete graph instance.
+//!
+//! The static analyzer (`kgq-core::analyze`) decides whether a boolean,
+//! property, or feature test can *possibly* hold on a given graph. To do so
+//! without re-walking the CSR per query it consults a [`SchemaSummary`]: the
+//! label universes, the observed property key/value pairs, the feature
+//! dimensionality, and coarse degree statistics. The summary is a pure
+//! over-approximation of the instance — a symbol missing from a universe
+//! proves a test unsatisfiable, while presence proves nothing.
+
+use crate::labeled::LabeledGraph;
+use crate::multigraph::Multigraph;
+use crate::property::PropertyGraph;
+use crate::sym::Sym;
+use crate::vector::VectorGraph;
+
+/// Which graph model the summary was harvested from.
+///
+/// The analyzer needs this because test semantics differ per view: a
+/// property test is constant-false on a plain labeled graph, a feature test
+/// is constant-false outside the vector model, and on vector graphs a bare
+/// label test is sugar for `Feature(1, ·)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphModel {
+    /// Labels only (paper Figure 2(a)).
+    Labeled,
+    /// Labels plus key/value properties (paper Figure 2(b)).
+    Property,
+    /// Fixed-width feature vectors (paper Figure 2(c)).
+    Vector,
+}
+
+/// A cheap, query-independent summary of one graph instance.
+///
+/// All symbol vectors are sorted and deduplicated, so membership checks can
+/// use binary search. Degree statistics cover the underlying multigraph
+/// (labels are irrelevant to frontier cost).
+#[derive(Clone, Debug)]
+pub struct SchemaSummary {
+    /// The graph model the summary describes.
+    pub model: GraphModel,
+    /// Distinct node labels (for [`GraphModel::Vector`]: distinct values of
+    /// feature 1 on nodes, since `Label(l)` desugars to `Feature(1, l)`).
+    pub node_labels: Vec<Sym>,
+    /// Distinct edge labels (vector model: feature-1 values on edges).
+    pub edge_labels: Vec<Sym>,
+    /// Distinct property keys observed on any node.
+    pub node_prop_keys: Vec<Sym>,
+    /// Distinct property keys observed on any edge.
+    pub edge_prop_keys: Vec<Sym>,
+    /// Distinct `(key, value)` property pairs observed on nodes.
+    pub node_prop_pairs: Vec<(Sym, Sym)>,
+    /// Distinct `(key, value)` property pairs observed on edges.
+    pub edge_prop_pairs: Vec<(Sym, Sym)>,
+    /// Distinct `(index, value)` feature pairs on nodes (1-based index).
+    pub node_features: Vec<(usize, Sym)>,
+    /// Distinct `(index, value)` feature pairs on edges (1-based index).
+    pub edge_features: Vec<(usize, Sym)>,
+    /// Feature-vector width; `0` outside the vector model.
+    pub feature_dim: usize,
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Number of edges.
+    pub edge_count: usize,
+    /// Largest out-degree of any node.
+    pub max_out_degree: usize,
+    /// Largest in-degree of any node.
+    pub max_in_degree: usize,
+}
+
+fn sort_dedup<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn degree_stats(g: &Multigraph) -> (usize, usize) {
+    let mut max_out = 0;
+    let mut max_in = 0;
+    for n in g.nodes() {
+        max_out = max_out.max(g.out_degree(n));
+        max_in = max_in.max(g.in_degree(n));
+    }
+    (max_out, max_in)
+}
+
+impl SchemaSummary {
+    /// Summarize a plain labeled graph.
+    pub fn from_labeled(g: &LabeledGraph) -> SchemaSummary {
+        let (max_out, max_in) = degree_stats(g.base());
+        SchemaSummary {
+            model: GraphModel::Labeled,
+            node_labels: g.node_label_alphabet(),
+            edge_labels: g.edge_label_alphabet(),
+            node_prop_keys: Vec::new(),
+            edge_prop_keys: Vec::new(),
+            node_prop_pairs: Vec::new(),
+            edge_prop_pairs: Vec::new(),
+            node_features: Vec::new(),
+            edge_features: Vec::new(),
+            feature_dim: 0,
+            node_count: g.node_count(),
+            edge_count: g.edge_count(),
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+        }
+    }
+
+    /// Summarize a property graph: labeled summary plus the observed
+    /// property key and `(key, value)` universes, split by node/edge.
+    pub fn from_property(g: &PropertyGraph) -> SchemaSummary {
+        let mut s = SchemaSummary::from_labeled(g.labeled());
+        s.model = GraphModel::Property;
+        let base = g.labeled().base();
+        let mut node_pairs = Vec::new();
+        for n in base.nodes() {
+            node_pairs.extend_from_slice(g.node_props(n));
+        }
+        let mut edge_pairs = Vec::new();
+        for e in base.edges() {
+            edge_pairs.extend_from_slice(g.edge_props(e));
+        }
+        s.node_prop_pairs = sort_dedup(node_pairs);
+        s.edge_prop_pairs = sort_dedup(edge_pairs);
+        s.node_prop_keys = sort_dedup(s.node_prop_pairs.iter().map(|&(k, _)| k).collect());
+        s.edge_prop_keys = sort_dedup(s.edge_prop_pairs.iter().map(|&(k, _)| k).collect());
+        s
+    }
+
+    /// Summarize a vector-labeled graph: the observed `(index, value)`
+    /// feature universes, with feature 1 doubling as the label universe.
+    pub fn from_vector(g: &VectorGraph) -> SchemaSummary {
+        let base = g.base();
+        let (max_out, max_in) = degree_stats(base);
+        let mut node_feats = Vec::new();
+        for n in base.nodes() {
+            for (i, &v) in g.node_vector(n).iter().enumerate() {
+                node_feats.push((i + 1, v));
+            }
+        }
+        let mut edge_feats = Vec::new();
+        for e in base.edges() {
+            for (i, &v) in g.edge_vector(e).iter().enumerate() {
+                edge_feats.push((i + 1, v));
+            }
+        }
+        let node_feats = sort_dedup(node_feats);
+        let edge_feats = sort_dedup(edge_feats);
+        let first = |feats: &[(usize, Sym)]| {
+            feats
+                .iter()
+                .filter(|&&(i, _)| i == 1)
+                .map(|&(_, v)| v)
+                .collect::<Vec<_>>()
+        };
+        SchemaSummary {
+            model: GraphModel::Vector,
+            node_labels: first(&node_feats),
+            edge_labels: first(&edge_feats),
+            node_prop_keys: Vec::new(),
+            edge_prop_keys: Vec::new(),
+            node_prop_pairs: Vec::new(),
+            edge_prop_pairs: Vec::new(),
+            node_features: node_feats,
+            edge_features: edge_feats,
+            feature_dim: g.dim(),
+            node_count: g.node_count(),
+            edge_count: g.edge_count(),
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+        }
+    }
+
+    /// Does any node carry this label (vector model: feature-1 value)?
+    pub fn has_node_label(&self, l: Sym) -> bool {
+        self.node_labels.binary_search(&l).is_ok()
+    }
+
+    /// Does any edge carry this label (vector model: feature-1 value)?
+    pub fn has_edge_label(&self, l: Sym) -> bool {
+        self.edge_labels.binary_search(&l).is_ok()
+    }
+
+    /// Was the `(key, value)` property pair observed on any node?
+    pub fn has_node_prop_pair(&self, k: Sym, v: Sym) -> bool {
+        self.node_prop_pairs.binary_search(&(k, v)).is_ok()
+    }
+
+    /// Was the `(key, value)` property pair observed on any edge?
+    pub fn has_edge_prop_pair(&self, k: Sym, v: Sym) -> bool {
+        self.edge_prop_pairs.binary_search(&(k, v)).is_ok()
+    }
+
+    /// Was the property key observed on any node?
+    pub fn has_node_prop_key(&self, k: Sym) -> bool {
+        self.node_prop_keys.binary_search(&k).is_ok()
+    }
+
+    /// Was the property key observed on any edge?
+    pub fn has_edge_prop_key(&self, k: Sym) -> bool {
+        self.edge_prop_keys.binary_search(&k).is_ok()
+    }
+
+    /// Was the 1-based `(index, value)` feature pair observed on any node?
+    pub fn has_node_feature(&self, i: usize, v: Sym) -> bool {
+        self.node_features.binary_search(&(i, v)).is_ok()
+    }
+
+    /// Was the 1-based `(index, value)` feature pair observed on any edge?
+    pub fn has_edge_feature(&self, i: usize, v: Sym) -> bool {
+        self.edge_features.binary_search(&(i, v)).is_ok()
+    }
+
+    /// Mean out-degree of the underlying multigraph (0 for empty graphs).
+    pub fn avg_degree(&self) -> f64 {
+        if self.node_count == 0 {
+            0.0
+        } else {
+            self.edge_count as f64 / self.node_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{figure2_labeled, figure2_property, figure2_vector};
+
+    #[test]
+    fn labeled_universes_and_degrees() {
+        let g = figure2_labeled();
+        let s = SchemaSummary::from_labeled(&g);
+        assert_eq!(s.model, GraphModel::Labeled);
+        let person = g.sym("person").unwrap();
+        let rides = g.sym("rides").unwrap();
+        assert!(s.has_node_label(person));
+        assert!(s.has_edge_label(rides));
+        assert!(!s.has_edge_label(person));
+        assert_eq!(s.node_count, g.node_count());
+        assert!(s.max_out_degree >= 1 && s.max_in_degree >= 1);
+        assert!(s.avg_degree() > 0.0);
+    }
+
+    #[test]
+    fn property_pairs_are_split_by_object_kind() {
+        let g = figure2_property();
+        let s = SchemaSummary::from_property(&g);
+        assert_eq!(s.model, GraphModel::Property);
+        // Figure 2(b) has edge properties (ride dates) at minimum.
+        assert!(!s.node_prop_pairs.is_empty() || !s.edge_prop_pairs.is_empty());
+        for &(k, v) in &s.edge_prop_pairs {
+            assert!(s.has_edge_prop_key(k));
+            assert!(s.has_edge_prop_pair(k, v));
+        }
+        let bogus = Sym(u32::MAX);
+        assert!(!s.has_node_prop_key(bogus));
+    }
+
+    #[test]
+    fn vector_feature_one_doubles_as_label_universe() {
+        let g = figure2_vector();
+        let s = SchemaSummary::from_vector(&g);
+        assert_eq!(s.model, GraphModel::Vector);
+        assert_eq!(s.feature_dim, g.dim());
+        for &(i, v) in &s.node_features {
+            assert!(i >= 1 && i <= s.feature_dim);
+            assert!(s.has_node_feature(i, v));
+            if i == 1 {
+                assert!(s.has_node_label(v));
+            }
+        }
+    }
+}

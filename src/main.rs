@@ -13,9 +13,9 @@
 
 use kgq::analytics;
 use kgq::core::{
-    count_paths, count_paths_governed, enumerate_paths, enumerate_paths_governed,
-    enumerate_paths_resumed, parse_expr, Budget, CancelToken, Completion, Cursor, EvalError,
-    Governed, Governor, PropertyView, QueryCache, UniformSampler,
+    analyze_expr, count_paths_analyzed, count_paths_governed, enumerate_paths,
+    enumerate_paths_governed, enumerate_paths_resumed, parse_expr, Budget, CancelToken, Completion,
+    Cursor, EvalError, Governed, Governor, PropertyView, QueryCache, UniformSampler,
 };
 use kgq::cypher;
 use kgq::graph::generate::{barabasi_albert, contact_network, gnm_labeled, ContactParams};
@@ -33,8 +33,9 @@ fn usage() -> ExitCode {
          kgq analytics GRAPH (pagerank|betweenness|components|diameter|densest)\n  \
          kgq rdf FILE (path EXPR|select QUERY|infer)\n\n  \
          GOVERN: --timeout MS | --max-steps N | --max-results N\n  \
-         query/cypher also take --verbose (cache stats on stderr) and\n  \
-         honor KGQ_CACHE_CAP (compiled-query cache capacity)\n  \
+         query/cypher also take --explain (print the static-analysis\n  \
+         verdict instead of executing), --verbose (cache stats on\n  \
+         stderr) and honor KGQ_CACHE_CAP (compiled-query cache capacity)\n  \
          (partial results end with `# partial: REASON`; enumerate adds\n  \
          `# cursor: C`, replayable via `enumerate K --resume C`)"
     );
@@ -142,6 +143,14 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
     let mut g = load_graph(path)?;
     let expr =
         parse_expr(expr_text, g.labeled_mut().consts_mut()).map_err(|e| e.render(expr_text))?;
+    // Static analysis before compiling any product: emptiness,
+    // satisfiability, blowup and plan advice (DESIGN.md §10). With
+    // `--explain` the verdict IS the output — nothing is executed.
+    let schema = kgq::graph::SchemaSummary::from_property(&g);
+    let report = analyze_expr(&expr, &schema, Some((expr_text, g.labeled().consts())));
+    if rest.iter().any(|a| a == "--explain") {
+        return Ok(report.render(expr_text));
+    }
     let view = PropertyView::new(&g);
     let op = rest
         .first()
@@ -183,9 +192,10 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
                     ));
                 }
                 completion_marker(&mut out, &res);
-            } else {
-                let compiled = cache.get_or_compile(&view, g.generation(), &expr);
-                for (a, b) in compiled.evaluator().pairs() {
+            } else if let Some(compiled) =
+                cache.get_or_compile_checked(&view, g.generation(), &expr, &report)
+            {
+                for (a, b) in compiled.evaluator().pairs_planned(report.plan) {
                     out.push_str(&format!(
                         "{}\t{}\n",
                         g.labeled().node_name(a),
@@ -215,9 +225,10 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
                     out.push('\n');
                 }
                 completion_marker(&mut out, &res);
-            } else {
-                let compiled = cache.get_or_compile(&view, g.generation(), &expr);
-                for n in compiled.evaluator().matching_starts() {
+            } else if let Some(compiled) =
+                cache.get_or_compile_checked(&view, g.generation(), &expr, &report)
+            {
+                for n in compiled.evaluator().matching_starts_planned(report.plan) {
                     out.push_str(g.labeled().node_name(n));
                     out.push('\n');
                 }
@@ -234,8 +245,18 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
                 out.push_str(&format!("{}\n", res.value));
                 completion_marker(&mut out, &res);
             } else {
-                let c = count_paths(&view, &expr, k).map_err(|e| e.to_string())?;
-                out.push_str(&format!("{c}\n"));
+                // The analyzer's verdict routes the count: provably-empty
+                // short-circuits to 0, a dfa-blowup `Deny` re-routes to
+                // the FPRAS estimator with a degraded annotation.
+                let res =
+                    count_paths_analyzed(&view, &expr, k, &report).map_err(|e| e.to_string())?;
+                out.push_str(&format!("{}\n", res.value));
+                if res.degraded {
+                    out.push_str(
+                        "# degraded: exact counting denied (determinization blowup), \
+                         approximate estimate\n",
+                    );
+                }
             }
         }
         "enumerate" => {
@@ -308,7 +329,11 @@ fn cmd_cypher(args: &[String]) -> Result<String, String> {
         return Err("cypher needs GRAPH and QUERY".into());
     };
     let g = load_graph(path)?;
-    let q = cypher::parse_query(query_text).map_err(|e| e.to_string())?;
+    let q = cypher::parse_query(query_text).map_err(|e| e.render(query_text))?;
+    if rest.iter().any(|a| a == "--explain") {
+        let report = cypher::analyze_query(&g, &q, Some(query_text));
+        return Ok(report.render(query_text));
+    }
     let mut cache = QueryCache::from_env();
     let verbose = rest.iter().any(|a| a == "--verbose");
     let mut out = String::new();

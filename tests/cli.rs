@@ -243,3 +243,114 @@ fn bad_inputs_fail_cleanly() {
     let out = run(&["analytics", path.to_str().unwrap(), "nonsense"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn explain_prints_verdicts_for_rpq_queries() {
+    let path = generated_contact();
+    let p = path.to_str().unwrap();
+
+    // 1. Provably-empty RPQ: deny + short-circuit plan, no execution.
+    let empty = stdout(&run(&["query", p, "ghost", "--explain"]));
+    assert!(empty.contains("deny[empty-language]"), "{empty}");
+    assert!(empty.contains("warn[unsat-test]"), "{empty}");
+    assert!(empty.contains('^'), "caret missing: {empty}");
+    assert!(empty.contains("short-circuit (empty)"), "{empty}");
+    assert!(empty.contains("language: empty"), "{empty}");
+
+    // 2. Clean query: no diagnostics, full class/plan table.
+    let clean = stdout(&run(&["query", p, "?person/rides/?bus", "--explain"]));
+    assert!(clean.contains("(none)"), "{clean}");
+    for needle in [
+        "functionality",
+        "check",
+        "NL",
+        "#P-hard (SpanL)",
+        "FPRAS",
+        "poly-delay",
+        "bidirectional meet",
+        "exact DP",
+    ] {
+        assert!(clean.contains(needle), "missing {needle}: {clean}");
+    }
+
+    // 3. Infinite language is a note, not a deny.
+    let inf = stdout(&run(&["query", p, "(rides+contact)*", "--explain"]));
+    assert!(inf.contains("note[infinite-language]"), "{inf}");
+    assert!(inf.contains("language: infinite"), "{inf}");
+
+    // 4. Contradictory conjunction: provably empty.
+    let contra = stdout(&run(&["query", p, "{rides & !rides}", "--explain"]));
+    assert!(contra.contains("deny[empty-language]"), "{contra}");
+
+    // 5. A property pair never seen in the graph.
+    let prop = stdout(&run(&["query", p, "[shoe='42']", "--explain"]));
+    assert!(prop.contains("warn[unsat-test]"), "{prop}");
+    assert!(prop.contains("deny[empty-language]"), "{prop}");
+}
+
+#[test]
+fn explain_prints_verdicts_for_cypher_queries() {
+    let path = generated_contact();
+    let p = path.to_str().unwrap();
+
+    // 6. Unknown node label in a pattern.
+    let q = "MATCH (p:ghost) RETURN p";
+    let empty = stdout(&run(&["cypher", p, q, "--explain"]));
+    assert!(empty.contains("deny[unknown-label]"), "{empty}");
+    assert!(empty.contains('^'), "caret missing: {empty}");
+    assert!(empty.contains("short-circuit (empty)"), "{empty}");
+    assert!(empty.contains("NP-hard"), "{empty}");
+
+    // 7. Clean pattern: NP-hard verdict, prefilter plan, no diagnostics.
+    let clean = stdout(&run(&[
+        "cypher",
+        p,
+        "MATCH (a:person)-[:rides]->(b:bus) RETURN a, b",
+        "--explain",
+    ]));
+    assert!(clean.contains("(none)"), "{clean}");
+    assert!(clean.contains("match"), "{clean}");
+    assert!(clean.contains("bit-parallel sweep"), "{clean}");
+}
+
+#[test]
+fn analyzer_short_circuits_are_visible_and_results_unchanged() {
+    let path = generated_contact();
+    let p = path.to_str().unwrap();
+
+    // A provably-empty query prints nothing and reports the skipped
+    // compilation in the verbose cache stats.
+    let out = run(&["query", p, "ghost", "pairs", "--verbose"]);
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "expected no pairs");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("short_circuits=1"), "{err}");
+    assert!(err.contains("misses=0"), "{err}");
+
+    // Counting a provably-empty language is exactly zero (not degraded).
+    let zero = stdout(&run(&["query", p, "ghost", "count", "3"]));
+    assert_eq!(zero.trim(), "0");
+
+    // The same short-circuit applies to Cypher execution.
+    let out = run(&[
+        "cypher",
+        p,
+        "MATCH (x:person) WHERE x.age = 'never' AND x.age <> 'never' RETURN x",
+        "--verbose",
+    ]);
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "contradictory WHERE must be empty");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("short_circuits=1"), "{err}");
+}
+
+#[test]
+fn parse_errors_render_with_caret_and_expected_token() {
+    let path = generated_contact();
+    let p = path.to_str().unwrap();
+    let out = run(&["cypher", p, "MATCH (a RETURN a"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("query parse error at byte"), "{err}");
+    assert!(err.contains("^ expected `)`"), "{err}");
+}
