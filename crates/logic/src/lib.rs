@@ -26,7 +26,10 @@
 //!   the bottom-up relational pipeline whose intermediate relations have
 //!   arity at most the number of *distinct* variables;
 //! * [`compile`] — the regex → FO² translation for star-free node
-//!   extraction, producing exactly ψ-style reuse of two variables.
+//!   extraction, producing exactly ψ-style reuse of two variables;
+//! * [`rules`] — Horn rules over triple stores whose bodies are matched
+//!   by `kgq-rdf`'s worst-case optimal leapfrog triejoin, run to a
+//!   governed or ungoverned fixpoint.
 
 // Several hot loops index multiple parallel arrays at once; the
 // iterator rewrites clippy suggests obscure them.
@@ -34,7 +37,9 @@
 pub mod compile;
 pub mod eval;
 pub mod formula;
+pub mod rules;
 
 pub use compile::{compile_fo2, compile_wide, CompileError};
 pub use eval::{eval_bounded, eval_naive, GraphStructure};
 pub use formula::{Formula, Var};
+pub use rules::{fixpoint, fixpoint_governed, FixpointStats, Rule, RuleError};

@@ -1,0 +1,277 @@
+//! Static analysis of basic graph patterns, in the spirit of
+//! `kgq-core::analyze`'s RPQ checks: findings are typed
+//! [`Diagnostic`]s with the same severity ladder, and a provably-empty
+//! verdict short-circuits evaluation before the planner runs.
+//!
+//! Checks:
+//!
+//! * `empty-pattern` (deny) — a pattern's constant positions match no
+//!   triple of this store, so the whole conjunction is empty. This is
+//!   decided by the same exact prefix counts the planner uses.
+//! * `unused-variable` (warn) — a variable occurs in exactly one pattern
+//!   position and is not projected: it constrains nothing and usually
+//!   indicates a typo.
+//! * `cartesian-product` (warn) — the patterns fall into two or more
+//!   variable-disjoint components, so the answer is a cross product.
+//! * `duplicate-pattern` (note) — the same triple pattern is listed
+//!   twice; BGPs are conjunctions, so the duplicate is redundant.
+
+use crate::bgp::{Bgp, TermPattern, TriplePattern, VarName};
+use crate::store::TripleStore;
+use kgq_core::analyze::{Diagnostic, Severity};
+
+/// The static verdict for one BGP against one store.
+#[derive(Clone, Debug, Default)]
+pub struct BgpReport {
+    /// Findings, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// True when some pattern provably matches nothing, so evaluation
+    /// can return the empty answer without planning.
+    pub provably_empty: bool,
+}
+
+impl BgpReport {
+    /// True when any finding is [`Severity::Deny`].
+    pub fn denied(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny)
+    }
+
+    /// Renders the findings one per line (the `--explain` surface);
+    /// `(none)` when the BGP is clean.
+    pub fn render(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "(none)\n".to_owned();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        out
+    }
+}
+
+fn term_text(st: &TripleStore, t: &TermPattern) -> String {
+    match t {
+        TermPattern::Const(s) => st.term_str(*s).to_owned(),
+        TermPattern::Var(v) => format!("?{v}"),
+    }
+}
+
+fn pattern_text(st: &TripleStore, p: &TriplePattern) -> String {
+    format!(
+        "({} {} {})",
+        term_text(st, &p.s),
+        term_text(st, &p.p),
+        term_text(st, &p.o)
+    )
+}
+
+/// Runs the static checks. `projected` lists the variables the caller
+/// will keep (e.g. the SELECT clause); `None` means all variables are
+/// observed, which disables the unused-variable lint.
+pub fn analyze_bgp(st: &TripleStore, bgp: &Bgp, projected: Option<&[VarName]>) -> BgpReport {
+    let mut report = BgpReport::default();
+
+    // Emptiness of each pattern's constant prefix — exact, via the same
+    // binary-searched counts the planner uses.
+    for pat in &bgp.patterns {
+        let bound = |t: &TermPattern| match t {
+            TermPattern::Const(c) => Some(*c),
+            TermPattern::Var(_) => None,
+        };
+        if st.count(bound(&pat.s), bound(&pat.p), bound(&pat.o)) == 0 {
+            report.provably_empty = true;
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Deny,
+                code: "empty-pattern",
+                message: format!(
+                    "pattern {} matches no triple of this store; the conjunction is empty",
+                    pattern_text(st, pat)
+                ),
+                span: None,
+            });
+        }
+    }
+
+    // Variable occurrence counts across all pattern positions.
+    let mut occurrences: Vec<(VarName, usize)> = Vec::new();
+    for pat in &bgp.patterns {
+        for term in [&pat.s, &pat.p, &pat.o] {
+            if let TermPattern::Var(name) = term {
+                match occurrences.iter_mut().find(|(v, _)| v == name) {
+                    Some((_, n)) => *n += 1,
+                    None => occurrences.push((name.clone(), 1)),
+                }
+            }
+        }
+    }
+    if let Some(projected) = projected {
+        for (name, n) in &occurrences {
+            if *n == 1 && !projected.contains(name) {
+                report.diagnostics.push(Diagnostic {
+                    severity: Severity::Warn,
+                    code: "unused-variable",
+                    message: format!(
+                        "variable ?{name} occurs once and is not projected; it constrains nothing"
+                    ),
+                    span: None,
+                });
+            }
+        }
+    }
+
+    // Connectivity: union-find over variables shared between patterns.
+    // Patterns without variables are singleton components only if other
+    // patterns exist; constants never connect.
+    let with_vars: Vec<Vec<&VarName>> = bgp
+        .patterns
+        .iter()
+        .map(|pat| {
+            [&pat.s, &pat.p, &pat.o]
+                .into_iter()
+                .filter_map(|t| match t {
+                    TermPattern::Var(v) => Some(v),
+                    TermPattern::Const(_) => None,
+                })
+                .collect()
+        })
+        .collect();
+    let n = bgp.patterns.len();
+    let mut comp: Vec<usize> = (0..n).collect();
+    fn root(comp: &mut [usize], mut i: usize) -> usize {
+        while comp[i] != i {
+            comp[i] = comp[comp[i]];
+            i = comp[i];
+        }
+        i
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if with_vars[i].iter().any(|v| with_vars[j].contains(v)) {
+                let (a, b) = (root(&mut comp, i), root(&mut comp, j));
+                comp[a] = b;
+            }
+        }
+    }
+    let mut roots: Vec<usize> = (0..n)
+        .filter(|&i| !with_vars[i].is_empty())
+        .map(|i| root(&mut comp, i))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    if roots.len() > 1 {
+        report.diagnostics.push(Diagnostic {
+            severity: Severity::Warn,
+            code: "cartesian-product",
+            message: format!(
+                "patterns form {} variable-disjoint groups; the answer is their cross product",
+                roots.len()
+            ),
+            span: None,
+        });
+    }
+
+    // Duplicate patterns.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if bgp.patterns[i] == bgp.patterns[j] {
+                report.diagnostics.push(Diagnostic {
+                    severity: Severity::Note,
+                    code: "duplicate-pattern",
+                    message: format!(
+                        "pattern {} is listed twice; the duplicate is redundant",
+                        pattern_text(st, &bgp.patterns[i])
+                    ),
+                    span: None,
+                });
+            }
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by_key(|d| std::cmp::Reverse(d.severity));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripleStore {
+        let mut st = TripleStore::new();
+        st.insert_strs("alice", "knows", "bob");
+        st.insert_strs("bob", "knows", "carol");
+        st.insert_strs("alice", "type", "Person");
+        st
+    }
+
+    #[test]
+    fn unsatisfiable_constant_is_denied() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?x", "likes", "?y");
+        let rep = analyze_bgp(&st, &q, None);
+        assert!(rep.provably_empty);
+        assert!(rep.denied());
+        assert!(rep.render().contains("empty-pattern"));
+    }
+
+    #[test]
+    fn unused_variable_warns_only_when_unprojected() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?x", "knows", "?y");
+        let projected = vec!["x".to_owned()];
+        let rep = analyze_bgp(&st, &q, Some(&projected));
+        assert!(rep
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "unused-variable" && d.message.contains("?y")));
+        // Projecting ?y silences the warning.
+        let both = vec!["x".to_owned(), "y".to_owned()];
+        let rep2 = analyze_bgp(&st, &q, Some(&both));
+        assert!(rep2.diagnostics.iter().all(|d| d.code != "unused-variable"));
+        // Shared variables are never "unused".
+        let mut q2 = Bgp::new();
+        q2.add(&mut st, "?x", "knows", "?y");
+        q2.add(&mut st, "?y", "type", "Person");
+        let rep3 = analyze_bgp(&st, &q2, Some(&projected));
+        assert!(rep3.diagnostics.iter().all(|d| d.code != "unused-variable"));
+    }
+
+    #[test]
+    fn disjoint_groups_warn_as_cartesian() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?x", "knows", "?y");
+        q.add(&mut st, "?u", "type", "?t");
+        let rep = analyze_bgp(&st, &q, None);
+        assert!(rep
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "cartesian-product"));
+        assert!(!rep.provably_empty);
+    }
+
+    #[test]
+    fn duplicates_are_noted_and_clean_queries_are_clean() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?x", "knows", "?y");
+        q.add(&mut st, "?x", "knows", "?y");
+        let rep = analyze_bgp(&st, &q, None);
+        assert!(rep
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "duplicate-pattern"));
+
+        let mut clean = Bgp::new();
+        clean.add(&mut st, "?x", "knows", "?y");
+        let rep2 = analyze_bgp(&st, &clean, None);
+        assert!(rep2.diagnostics.is_empty());
+        assert_eq!(rep2.render(), "(none)\n");
+    }
+}

@@ -112,9 +112,19 @@ impl Bgp {
         self
     }
 
-    /// All bindings under which every pattern matches. Deterministic
-    /// order (store index order, greedy pattern order).
+    /// All bindings under which every pattern matches, evaluated by the
+    /// worst-case optimal leapfrog triejoin ([`crate::lftj`]).
+    /// Deterministic order: lexicographic in the planner's variable
+    /// elimination order, identical at any thread count.
     pub fn solve(&self, st: &TripleStore) -> Vec<Binding> {
+        crate::lftj::solve(st, self).bindings()
+    }
+
+    /// The original backtracking matcher (greedy most-bound-first pattern
+    /// order). Kept as the oracle baseline: the proptests assert it
+    /// agrees with [`Bgp::solve`] as a multiset, and `exp_bgp` measures
+    /// the speedup against it.
+    pub fn solve_baseline(&self, st: &TripleStore) -> Vec<Binding> {
         let mut results = Vec::new();
         let mut remaining: Vec<&TriplePattern> = self.patterns.iter().collect();
         let mut env = Binding::new();

@@ -87,18 +87,29 @@ pub fn rdf_to_labeled(st: &TripleStore) -> Result<LabeledGraph, GraphError> {
 /// the paper notes when contrasting the models).
 pub fn labeled_to_rdf(g: &LabeledGraph) -> TripleStore {
     let mut st = TripleStore::new();
+    let ty = st.term(RDF_TYPE);
+    let mut batch = Vec::new();
     for n in g.base().nodes() {
         let name = g.node_name(n).to_owned();
         let label = g.label_name(g.node_label(n)).to_owned();
-        st.insert_strs(&name, RDF_TYPE, &label);
+        batch.push(crate::store::Triple {
+            s: st.term(&name),
+            p: ty,
+            o: st.term(&label),
+        });
     }
     for e in g.base().edges() {
         let (s, o) = g.base().endpoints(e);
         let sv = g.node_name(s).to_owned();
         let ov = g.node_name(o).to_owned();
         let pv = g.label_name(g.edge_label(e)).to_owned();
-        st.insert_strs(&sv, &pv, &ov);
+        batch.push(crate::store::Triple {
+            s: st.term(&sv),
+            p: st.term(&pv),
+            o: st.term(&ov),
+        });
     }
+    st.extend(batch);
     st
 }
 

@@ -1,0 +1,997 @@
+//! Leapfrog triejoin: a worst-case optimal join engine for BGPs.
+//!
+//! The backtracking matcher in [`crate::bgp`] evaluates one pattern at a
+//! time, so a cyclic join like the triangle `(?a,k,?b)(?b,k,?c)(?c,k,?a)`
+//! enumerates Θ(n²) intermediate pairs even when the answer is tiny. The
+//! worst-case optimal alternative (Veldhuizen's leapfrog triejoin, the
+//! engine design MillenniumDB builds on) evaluates **variable at a time**:
+//! a global variable elimination order `v₁ < v₂ < …` is fixed, every
+//! pattern exposes its matching triples as a *trie* keyed in that order
+//! (possible for any order because [`crate::store::TripleStore`] keeps
+//! all six sorted orderings), and level `i` intersects the `vᵢ`-columns
+//! of every pattern containing `vᵢ` by leapfrogging: repeatedly seeking
+//! each iterator to the maximum current key until all agree. Each seek is
+//! a galloping search on a sorted array, so the total work is bounded by
+//! the AGM fractional-cover bound on the output size — `O(n^{3/2})` for
+//! the triangle instead of `Θ(n²)`.
+//!
+//! * [`plan`] picks the variable order greedily from **exact** prefix
+//!   cardinalities (two `partition_point`s per estimate) and detects
+//!   provably-empty queries before execution; [`Plan::render`] is the
+//!   `--explain` surface.
+//! * [`solve`] / [`solve_partitioned`] parallelize by splitting the first
+//!   join variable's matched domain into contiguous chunks, one worker
+//!   per chunk. Workers own private cursors, chunks are concatenated in
+//!   domain order, so the output is byte-identical for any thread count.
+//! * [`solve_governed`] threads the PR-2 governance contract through
+//!   every seek: batched [`Ticker`] step charges, [`MemMeter`] row
+//!   charges, panic isolation per worker, and an exact-prefix
+//!   [`Governed`] `Partial` on exhaustion — the cut happens at the first
+//!   interrupted chunk, exactly like the kernel scans in `kgq-core`.
+
+use crate::bgp::{Bgp, Binding, TermPattern, TriplePattern, VarName};
+use crate::store::{IndexOrder, TripleStore};
+use kgq_core::govern::{isolate, EvalError, Governed, Governor, Interrupt, MemMeter, Ticker};
+use kgq_core::parallel::effective_threads;
+use kgq_graph::Sym;
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// How one triple pattern participates in the join.
+#[derive(Clone, Debug)]
+pub struct PatternPlan {
+    /// The sorted ordering whose key columns put this pattern's constants
+    /// first and its variables in elimination order; `None` when the
+    /// pattern repeats a variable and is materialized instead.
+    pub order: Option<IndexOrder>,
+    /// Constant values in the ordering's leading columns.
+    consts: Vec<Sym>,
+    /// Global variable levels this pattern joins on, ascending; trie
+    /// depth `d` binds the variable at `levels[d]`.
+    pub levels: Vec<usize>,
+    /// Exact number of triples matching the constant positions — the
+    /// planner's cost estimate (an upper bound for filtered patterns).
+    pub cardinality: usize,
+    /// True when a variable occurs twice in the pattern: the trie is a
+    /// materialized, filtered projection rather than an index range.
+    pub filtered: bool,
+}
+
+/// A query plan: variable elimination order plus per-pattern access paths.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The variable elimination order; answer rows use this column order.
+    pub vars: Vec<VarName>,
+    /// One entry per BGP pattern, in input order.
+    pub patterns: Vec<PatternPlan>,
+    /// `Some(reason)` when the BGP is provably empty before execution
+    /// (a constant prefix matches nothing).
+    pub empty: Option<String>,
+}
+
+fn term_text(st: &TripleStore, t: &TermPattern) -> String {
+    match t {
+        TermPattern::Const(s) => st.term_str(*s).to_owned(),
+        TermPattern::Var(v) => format!("?{v}"),
+    }
+}
+
+fn pattern_text(st: &TripleStore, p: &TriplePattern) -> String {
+    format!(
+        "({} {} {})",
+        term_text(st, &p.s),
+        term_text(st, &p.p),
+        term_text(st, &p.o)
+    )
+}
+
+impl Plan {
+    /// Human-readable plan report — the `--explain` surface: chosen
+    /// variable order, per-pattern index ordering and exact cardinality,
+    /// and the provably-empty short-circuit when it applies.
+    pub fn render(&self, st: &TripleStore, bgp: &Bgp) -> String {
+        let mut out = String::from("plan: leapfrog triejoin\n");
+        if self.vars.is_empty() {
+            out.push_str("  variable order: (none)\n");
+        } else {
+            let vars: Vec<String> = self.vars.iter().map(|v| format!("?{v}")).collect();
+            out.push_str(&format!("  variable order: {}\n", vars.join(" < ")));
+        }
+        for (pat, pp) in bgp.patterns.iter().zip(&self.patterns) {
+            let access = match pp.order {
+                Some(o) => format!("index {}", o.name()),
+                None => "materialized".to_owned(),
+            };
+            out.push_str(&format!(
+                "  {:<40} {:<14} card {}\n",
+                pattern_text(st, pat),
+                access,
+                pp.cardinality
+            ));
+        }
+        if let Some(reason) = &self.empty {
+            out.push_str(&format!("  provably empty: {reason}\n"));
+        }
+        out
+    }
+}
+
+/// Per-pattern shape extracted once: which positions are constants and
+/// which variable id each variable position binds.
+struct PatternInfo {
+    /// `(triple position, value)` for constant positions.
+    const_pos: Vec<(usize, Sym)>,
+    /// `(triple position, variable id)` for variable positions.
+    var_pos: Vec<(usize, usize)>,
+    /// Distinct variable ids, in appearance order.
+    var_ids: Vec<usize>,
+    /// True when some variable id occurs in two or more positions.
+    repeated: bool,
+}
+
+/// Chooses the global variable elimination order and per-pattern access
+/// paths from exact prefix cardinalities.
+pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
+    // Variable universe in first-appearance order.
+    let mut vars: Vec<VarName> = Vec::new();
+    let mut infos: Vec<PatternInfo> = Vec::new();
+    for pat in &bgp.patterns {
+        let mut info = PatternInfo {
+            const_pos: Vec::new(),
+            var_pos: Vec::new(),
+            var_ids: Vec::new(),
+            repeated: false,
+        };
+        for (pos, term) in [&pat.s, &pat.p, &pat.o].into_iter().enumerate() {
+            match term {
+                TermPattern::Const(c) => info.const_pos.push((pos, *c)),
+                TermPattern::Var(name) => {
+                    let id = match vars.iter().position(|v| v == name) {
+                        Some(i) => i,
+                        None => {
+                            vars.push(name.clone());
+                            vars.len() - 1
+                        }
+                    };
+                    if info.var_ids.contains(&id) {
+                        info.repeated = true;
+                    } else {
+                        info.var_ids.push(id);
+                    }
+                    info.var_pos.push((pos, id));
+                }
+            }
+        }
+        infos.push(info);
+    }
+
+    // Exact cardinality of each pattern's constant positions (for a
+    // repeated-variable pattern this is an upper bound, still sound for
+    // both ordering and the emptiness short-circuit).
+    let mut empty = None;
+    let mut cards = Vec::with_capacity(infos.len());
+    for (info, pat) in infos.iter().zip(&bgp.patterns) {
+        let at = |p: usize| {
+            info.const_pos
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, v)| *v)
+        };
+        let card = st.count(at(0), at(1), at(2));
+        if card == 0 && empty.is_none() {
+            empty = Some(format!(
+                "pattern {} matches no triple",
+                pattern_text(st, pat)
+            ));
+        }
+        cards.push(card);
+    }
+
+    // Greedy elimination order: prefer variables connected to the prefix
+    // chosen so far (avoids cartesian interleaving), then the smallest
+    // min-cardinality over containing patterns, then higher pattern
+    // coverage, then first appearance.
+    let nvars = vars.len();
+    let mut order: Vec<usize> = Vec::with_capacity(nvars);
+    let mut placed = vec![false; nvars];
+    while order.len() < nvars {
+        let mut best: Option<(usize, usize, usize, usize)> = None;
+        let mut best_var = 0usize;
+        for v in 0..nvars {
+            if placed[v] {
+                continue;
+            }
+            let mut connected = false;
+            let mut min_card = usize::MAX;
+            let mut coverage = 0usize;
+            for (info, &card) in infos.iter().zip(&cards) {
+                if !info.var_ids.contains(&v) {
+                    continue;
+                }
+                coverage += 1;
+                min_card = min_card.min(card);
+                if info.var_ids.iter().any(|u| placed[*u]) || !info.const_pos.is_empty() {
+                    connected = true;
+                }
+            }
+            let score = (usize::from(!connected), min_card, usize::MAX - coverage, v);
+            if best.is_none_or(|b| score < b) {
+                best = Some(score);
+                best_var = v;
+            }
+        }
+        placed[best_var] = true;
+        order.push(best_var);
+    }
+    let level_of = |id: usize| -> usize { order.iter().position(|&v| v == id).unwrap_or(0) };
+
+    // Per-pattern access path.
+    let mut patterns = Vec::with_capacity(infos.len());
+    for (info, &card) in infos.iter().zip(&cards) {
+        let mut levels: Vec<usize> = info.var_ids.iter().map(|&id| level_of(id)).collect();
+        levels.sort_unstable();
+        if info.repeated {
+            patterns.push(PatternPlan {
+                order: None,
+                consts: Vec::new(),
+                levels,
+                cardinality: card,
+                filtered: true,
+            });
+            continue;
+        }
+        // Key columns: constants first (any internal order — they are all
+        // fully bound), then variable positions by elimination level.
+        let mut perm: Vec<usize> = info.const_pos.iter().map(|(p, _)| *p).collect();
+        let consts: Vec<Sym> = info.const_pos.iter().map(|(_, v)| *v).collect();
+        let mut var_cols: Vec<(usize, usize)> = info
+            .var_pos
+            .iter()
+            .map(|&(pos, id)| (level_of(id), pos))
+            .collect();
+        var_cols.sort_unstable();
+        perm.extend(var_cols.iter().map(|&(_, pos)| pos));
+        let mut perm3 = [0usize; 3];
+        perm3.copy_from_slice(&perm);
+        patterns.push(PatternPlan {
+            order: Some(IndexOrder::from_perm(perm3)),
+            consts,
+            levels,
+            cardinality: card,
+            filtered: false,
+        });
+    }
+
+    Plan {
+        vars: order.into_iter().map(|id| vars[id].clone()).collect(),
+        patterns,
+        empty,
+    }
+}
+
+/// One pattern's trie surface: sorted rows, the column of its first
+/// variable level, and the base row range matching its constants.
+#[derive(Clone)]
+struct TrieSpec<'a> {
+    rows: &'a [[Sym; 3]],
+    first_col: usize,
+    base: Range<usize>,
+    levels: Vec<usize>,
+}
+
+/// A trie cursor: per-open-depth candidate ranges over the sorted rows.
+/// `seek`/`next` gallop (exponential probe + binary search) within the
+/// current depth's range, so a full leapfrog intersection does work
+/// proportional to the smallest column, not the largest.
+struct Cursor<'a> {
+    rows: &'a [[Sym; 3]],
+    first_col: usize,
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+    pos: Vec<usize>,
+}
+
+/// First index in `[from, hi)` whose `col` value fails `pred`, where
+/// `pred` holds on a (possibly empty) prefix of the range.
+#[inline]
+fn gallop(
+    rows: &[[Sym; 3]],
+    col: usize,
+    from: usize,
+    hi: usize,
+    pred: impl Fn(Sym) -> bool,
+) -> usize {
+    if from >= hi || !pred(rows[from][col]) {
+        return from;
+    }
+    let mut bound = 1usize;
+    while from + bound < hi && pred(rows[from + bound][col]) {
+        bound <<= 1;
+    }
+    let wlo = from + bound / 2;
+    let whi = (from + bound).min(hi);
+    wlo + rows[wlo..whi].partition_point(|r| pred(r[col]))
+}
+
+impl<'a> Cursor<'a> {
+    fn new(spec: &TrieSpec<'a>) -> Cursor<'a> {
+        Cursor {
+            rows: spec.rows,
+            first_col: spec.first_col,
+            lo: vec![spec.base.start],
+            hi: vec![spec.base.end],
+            pos: vec![spec.base.start],
+        }
+    }
+
+    #[inline]
+    fn depth(&self) -> usize {
+        self.pos.len() - 1
+    }
+
+    #[inline]
+    fn col(&self) -> usize {
+        self.first_col + self.depth()
+    }
+
+    #[inline]
+    fn at_end(&self) -> bool {
+        let d = self.depth();
+        self.pos[d] >= self.hi[d]
+    }
+
+    /// Current key at the open depth. Only valid when not [`Cursor::at_end`].
+    #[inline]
+    fn key(&self) -> Sym {
+        self.rows[self.pos[self.depth()]][self.col()]
+    }
+
+    /// Positions at the first key `>= v` within the current depth's range.
+    #[inline]
+    fn seek(&mut self, v: Sym) {
+        let d = self.depth();
+        let col = self.col();
+        self.pos[d] = gallop(self.rows, col, self.pos[d], self.hi[d], |x| x < v);
+    }
+
+    /// Advances past the current key.
+    #[inline]
+    fn next(&mut self) {
+        let v = self.key();
+        let d = self.depth();
+        let col = self.col();
+        self.pos[d] = gallop(self.rows, col, self.pos[d], self.hi[d], |x| x <= v);
+    }
+
+    /// Descends into the current key's run of rows.
+    fn open(&mut self) {
+        let d = self.depth();
+        let col = self.col();
+        let p = self.pos[d];
+        let v = self.rows[p][col];
+        let end = gallop(self.rows, col, p, self.hi[d], |x| x <= v);
+        self.lo.push(p);
+        self.hi.push(end);
+        self.pos.push(p);
+    }
+
+    /// Pops back to the parent depth.
+    fn up(&mut self) {
+        self.lo.pop();
+        self.hi.pop();
+        self.pos.pop();
+    }
+
+    /// Rewinds the open depth to the start of its range — the leapfrog
+    /// init step. A cursor whose range was opened under an *earlier*
+    /// binding of the parent levels has been advanced forward; each
+    /// re-entry of a join level must restart its iteration.
+    #[inline]
+    fn reset(&mut self) {
+        let d = self.depth();
+        self.pos[d] = self.lo[d];
+    }
+}
+
+/// The compiled join: trie surfaces plus, per level, which patterns
+/// participate in that level's intersection.
+struct Engine<'a> {
+    specs: Vec<TrieSpec<'a>>,
+    level_parts: Vec<Vec<usize>>,
+    nvars: usize,
+}
+
+/// Materializes the filtered trie of a repeated-variable pattern: scan
+/// the constants' range, keep rows where every occurrence of a variable
+/// agrees, project to the pattern's levels (padded with `Sym(0)`).
+fn materialize_filtered(
+    st: &TripleStore,
+    pat: &TriplePattern,
+    levels: &[usize],
+    var_level: impl Fn(&str) -> usize,
+) -> Vec<[Sym; 3]> {
+    let bound = |t: &TermPattern| match t {
+        TermPattern::Const(c) => Some(*c),
+        TermPattern::Var(_) => None,
+    };
+    let terms = [&pat.s, &pat.p, &pat.o];
+    let mut rows = Vec::new();
+    'outer: for t in st.scan(bound(&pat.s), bound(&pat.p), bound(&pat.o)) {
+        let mut key = [Sym(0); 3];
+        for (d, &lvl) in levels.iter().enumerate() {
+            let mut val: Option<Sym> = None;
+            for (pos, term) in terms.into_iter().enumerate() {
+                if let TermPattern::Var(name) = term {
+                    if var_level(name) == lvl {
+                        let x = t.position(pos);
+                        match val {
+                            None => val = Some(x),
+                            Some(y) if y != x => continue 'outer,
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            key[d] = val.unwrap_or(Sym(0));
+        }
+        rows.push(key);
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+impl<'a> Engine<'a> {
+    fn build(st: &'a TripleStore, plan: &Plan, tables: &'a [Vec<[Sym; 3]>]) -> Engine<'a> {
+        let mut specs = Vec::with_capacity(plan.patterns.len());
+        let mut table_i = 0usize;
+        for pp in &plan.patterns {
+            let spec = match pp.order {
+                Some(order) => TrieSpec {
+                    rows: st.order(order),
+                    first_col: pp.consts.len(),
+                    base: st.prefix_range(order, &pp.consts),
+                    levels: pp.levels.clone(),
+                },
+                None => {
+                    let rows = &tables[table_i];
+                    table_i += 1;
+                    TrieSpec {
+                        rows,
+                        first_col: 0,
+                        base: 0..rows.len(),
+                        levels: pp.levels.clone(),
+                    }
+                }
+            };
+            specs.push(spec);
+        }
+        let mut level_parts = vec![Vec::new(); plan.vars.len()];
+        for (pi, spec) in specs.iter().enumerate() {
+            for &lvl in &spec.levels {
+                level_parts[lvl].push(pi);
+            }
+        }
+        Engine {
+            specs,
+            level_parts,
+            nvars: plan.vars.len(),
+        }
+    }
+}
+
+/// Leapfrogs the first join variable's domain: every value on which all
+/// level-0 patterns agree, in ascending order. This is the unit of
+/// parallel partitioning.
+fn level0_candidates(engine: &Engine, ticker: &mut Ticker) -> Result<Vec<Sym>, Interrupt> {
+    let mut cursors: Vec<Cursor> = engine.specs.iter().map(Cursor::new).collect();
+    let parts = &engine.level_parts[0];
+    let mut vals = Vec::new();
+    'outer: loop {
+        let mut max = Sym(0);
+        for &pi in parts {
+            if cursors[pi].at_end() {
+                break 'outer;
+            }
+            max = max.max(cursors[pi].key());
+        }
+        let mut all_eq = true;
+        for &pi in parts {
+            if cursors[pi].key() < max {
+                ticker.tick()?;
+                cursors[pi].seek(max);
+                if cursors[pi].at_end() {
+                    break 'outer;
+                }
+                if cursors[pi].key() != max {
+                    all_eq = false;
+                }
+            }
+        }
+        if !all_eq {
+            continue;
+        }
+        vals.push(max);
+        ticker.tick()?;
+        let pi0 = parts[0];
+        cursors[pi0].next();
+        if cursors[pi0].at_end() {
+            break;
+        }
+    }
+    Ok(vals)
+}
+
+/// Recursive leapfrog join from `level` down, with all shallower levels
+/// already bound and their cursors opened.
+fn join_level(
+    engine: &Engine,
+    cursors: &mut [Cursor],
+    level: usize,
+    binding: &mut [Sym],
+    ticker: &mut Ticker,
+    meter: &mut MemMeter,
+    out: &mut Vec<Vec<Sym>>,
+) -> Result<(), Interrupt> {
+    if level == engine.nvars {
+        meter.charge((binding.len() * 4 + 24) as u64)?;
+        out.push(binding.to_vec());
+        return Ok(());
+    }
+    let parts = &engine.level_parts[level];
+    for &pi in parts {
+        cursors[pi].reset();
+    }
+    loop {
+        let mut max = Sym(0);
+        for &pi in parts {
+            if cursors[pi].at_end() {
+                return Ok(());
+            }
+            max = max.max(cursors[pi].key());
+        }
+        let mut all_eq = true;
+        for &pi in parts {
+            if cursors[pi].key() < max {
+                ticker.tick()?;
+                cursors[pi].seek(max);
+                if cursors[pi].at_end() {
+                    return Ok(());
+                }
+                if cursors[pi].key() != max {
+                    all_eq = false;
+                }
+            }
+        }
+        if !all_eq {
+            continue;
+        }
+        binding[level] = max;
+        for &pi in parts {
+            cursors[pi].open();
+        }
+        let r = join_level(engine, cursors, level + 1, binding, ticker, meter, out);
+        for &pi in parts {
+            cursors[pi].up();
+        }
+        r?;
+        ticker.tick()?;
+        let pi0 = parts[0];
+        cursors[pi0].next();
+        if cursors[pi0].at_end() {
+            return Ok(());
+        }
+    }
+}
+
+/// Runs one contiguous chunk of the first variable's candidate domain
+/// with private cursors. Returns the rows produced (in global order
+/// within the chunk) and the interrupt that stopped it, if any — a
+/// stopped chunk's rows are still an exact prefix of its full output.
+fn run_chunk(
+    engine: &Engine,
+    candidates: &[Sym],
+    gov: Option<&Governor>,
+) -> (Vec<Vec<Sym>>, Option<Interrupt>) {
+    let mut out = Vec::new();
+    let err = run_chunk_inner(engine, candidates, gov, &mut out).err();
+    (out, err)
+}
+
+fn run_chunk_inner(
+    engine: &Engine,
+    candidates: &[Sym],
+    gov: Option<&Governor>,
+    out: &mut Vec<Vec<Sym>>,
+) -> Result<(), Interrupt> {
+    let mut cursors: Vec<Cursor> = engine.specs.iter().map(Cursor::new).collect();
+    let mut ticker = Ticker::maybe(gov);
+    let mut meter = MemMeter::maybe(gov);
+    let mut binding = vec![Sym(0); engine.nvars];
+    let parts = engine.level_parts[0].clone();
+    for &v in candidates {
+        ticker.tick()?;
+        for &pi in &parts {
+            cursors[pi].seek(v);
+            debug_assert!(!cursors[pi].at_end() && cursors[pi].key() == v);
+            cursors[pi].open();
+        }
+        binding[0] = v;
+        join_level(
+            engine,
+            &mut cursors,
+            1,
+            &mut binding,
+            &mut ticker,
+            &mut meter,
+            out,
+        )?;
+        for &pi in &parts {
+            cursors[pi].up();
+        }
+    }
+    ticker.flush()?;
+    meter.flush()?;
+    Ok(())
+}
+
+/// The answer table: variables in elimination order (the row column
+/// order) and one row per binding, in the engine's canonical order —
+/// lexicographic in the elimination order, identical at any thread count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    /// Column names, in elimination order.
+    pub vars: Vec<VarName>,
+    /// Bound values, one row per answer.
+    pub rows: Vec<Vec<Sym>>,
+}
+
+impl Solution {
+    /// Converts rows to the [`crate::bgp`] binding representation.
+    pub fn bindings(&self) -> Vec<Binding> {
+        self.rows
+            .iter()
+            .map(|row| self.vars.iter().cloned().zip(row.iter().copied()).collect())
+            .collect()
+    }
+}
+
+fn chunk_bounds(len: usize, chunks: usize, i: usize) -> Range<usize> {
+    (i * len / chunks)..((i + 1) * len / chunks)
+}
+
+/// One partition's outcome: its rows plus the interrupt that cut it
+/// short, if any. A panic inside an isolated worker becomes the `Err`.
+type ChunkResult = Result<(Vec<Vec<Sym>>, Option<Interrupt>), EvalError>;
+
+/// Shared implementation: plan-driven execution over `chunks` contiguous
+/// partitions of the first variable's domain, optionally governed.
+fn run(
+    st: &TripleStore,
+    bgp: &Bgp,
+    plan: &Plan,
+    chunks: usize,
+    gov: Option<&Governor>,
+) -> Result<Governed<Solution>, EvalError> {
+    let empty_solution = || Solution {
+        vars: plan.vars.clone(),
+        rows: Vec::new(),
+    };
+    if plan.empty.is_some() {
+        return Ok(Governed::complete(empty_solution()));
+    }
+    if plan.vars.is_empty() {
+        // All-constant patterns, all present (the planner short-circuits
+        // misses): exactly one empty binding, like the empty BGP.
+        let sol = Solution {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        };
+        if let Some(gov) = gov {
+            if let Err(why) = gov.charge_results(1) {
+                return Ok(Governed::partial(empty_solution(), why));
+            }
+        }
+        return Ok(Governed::complete(sol));
+    }
+
+    // Materialize filtered (repeated-variable) patterns once, shared by
+    // all workers.
+    let var_level = |name: &str| plan.vars.iter().position(|v| v == name).unwrap_or(0);
+    let mut tables: Vec<Vec<[Sym; 3]>> = Vec::new();
+    for (pp, pat) in plan.patterns.iter().zip(&bgp.patterns) {
+        if pp.filtered {
+            let rows = materialize_filtered(st, pat, &pp.levels, var_level);
+            if let Some(gov) = gov {
+                if let Err(why) = gov.charge_memory((rows.len() * 24 + 24) as u64) {
+                    return Ok(Governed::partial(empty_solution(), why));
+                }
+            }
+            tables.push(rows);
+        }
+    }
+    let engine = Engine::build(st, plan, &tables);
+
+    // The first join variable's matched domain, then contiguous chunks.
+    let mut ticker = Ticker::maybe(gov);
+    let candidates = match level0_candidates(&engine, &mut ticker) {
+        Ok(c) => c,
+        Err(why) => return Ok(Governed::partial(empty_solution(), why)),
+    };
+    if let Err(why) = ticker.flush() {
+        return Ok(Governed::partial(empty_solution(), why));
+    }
+    let chunks = chunks.clamp(1, candidates.len().max(1));
+
+    let worker = |i: usize| -> ChunkResult {
+        let slice = &candidates[chunk_bounds(candidates.len(), chunks, i)];
+        match gov {
+            Some(gov) => isolate(|| {
+                #[cfg(feature = "fault-injection")]
+                kgq_core::govern::fault::hit("lftj::join");
+                if let Some(t) = gov.trip_state() {
+                    return Err(t);
+                }
+                Ok(run_chunk(&engine, slice, Some(gov)))
+            }),
+            None => Ok(run_chunk(&engine, slice, None)),
+        }
+    };
+    let per_chunk: Vec<ChunkResult> = if chunks == 1 {
+        vec![worker(0)]
+    } else {
+        (0..chunks).into_par_iter().map(worker).collect()
+    };
+
+    // Deterministic merge: concatenate chunks in domain order, cutting at
+    // the first interrupted chunk so the result is an exact prefix of the
+    // ungoverned answer.
+    let mut rows = Vec::new();
+    let mut why: Option<Interrupt> = None;
+    'merge: for res in per_chunk {
+        match res {
+            Err(EvalError::Interrupted(i)) => {
+                why = Some(i);
+                break 'merge;
+            }
+            Err(e) => return Err(e),
+            Ok((chunk_rows, interrupted)) => {
+                for row in chunk_rows {
+                    if let Some(gov) = gov {
+                        if let Err(i) = gov.charge_results(1) {
+                            why = Some(i);
+                            break 'merge;
+                        }
+                    }
+                    rows.push(row);
+                }
+                if let Some(i) = interrupted {
+                    why = Some(i);
+                    break 'merge;
+                }
+            }
+        }
+    }
+    let sol = Solution {
+        vars: plan.vars.clone(),
+        rows,
+    };
+    Ok(match why {
+        None => Governed::complete(sol),
+        Some(i) => Governed::partial(sol, i),
+    })
+}
+
+/// Evaluates a BGP with the leapfrog triejoin, parallelized over
+/// `KGQ_THREADS` workers (byte-identical output at any thread count).
+pub fn solve(st: &TripleStore, bgp: &Bgp) -> Solution {
+    solve_partitioned(st, bgp, effective_threads())
+}
+
+/// [`solve`] with an explicit partition count — the determinism tests
+/// compare 1/2/4 directly without touching the global thread pool.
+pub fn solve_partitioned(st: &TripleStore, bgp: &Bgp, chunks: usize) -> Solution {
+    let plan = plan(st, bgp);
+    solve_planned(st, bgp, &plan, chunks)
+}
+
+/// Executes a previously computed [`Plan`] (e.g. after rendering it for
+/// `--explain`) over `chunks` partitions.
+pub fn solve_planned(st: &TripleStore, bgp: &Bgp, plan: &Plan, chunks: usize) -> Solution {
+    match run(st, bgp, plan, chunks.max(1), None) {
+        Ok(g) => g.value,
+        // Unreachable: ungoverned runs cannot be interrupted or panic.
+        Err(_) => Solution {
+            vars: plan.vars.clone(),
+            rows: Vec::new(),
+        },
+    }
+}
+
+/// Governed evaluation: every seek/next ticks the governor at batch
+/// granularity, workers are panic-isolated, and exhaustion returns an
+/// exact-prefix [`Governed`] `Partial` with the typed interrupt reason.
+/// An unlimited governor is byte-identical to [`solve`].
+pub fn solve_governed(
+    st: &TripleStore,
+    bgp: &Bgp,
+    gov: &Governor,
+) -> Result<Governed<Solution>, EvalError> {
+    let plan = plan(st, bgp);
+    run(st, bgp, &plan, effective_threads(), Some(gov))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_core::govern::Budget;
+
+    fn sample() -> TripleStore {
+        let mut st = TripleStore::new();
+        st.insert_strs("alice", "knows", "bob");
+        st.insert_strs("bob", "knows", "carol");
+        st.insert_strs("carol", "knows", "alice");
+        st.insert_strs("alice", "type", "Person");
+        st.insert_strs("bob", "type", "Person");
+        st.insert_strs("carol", "type", "Robot");
+        st
+    }
+
+    fn sorted_bindings(mut v: Vec<Vec<(String, u32)>>) -> Vec<Vec<(String, u32)>> {
+        for b in &mut v {
+            b.sort();
+        }
+        v.sort();
+        v
+    }
+
+    fn canon(bindings: Vec<Binding>) -> Vec<Vec<(String, u32)>> {
+        sorted_bindings(
+            bindings
+                .into_iter()
+                .map(|b| b.into_iter().map(|(k, v)| (k, v.0)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn triangle_matches_baseline() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?a", "knows", "?b");
+        q.add(&mut st, "?b", "knows", "?c");
+        q.add(&mut st, "?c", "knows", "?a");
+        let fast = solve(&st, &q);
+        assert_eq!(fast.rows.len(), 3);
+        assert_eq!(canon(fast.bindings()), canon(q.solve_baseline(&st)));
+    }
+
+    #[test]
+    fn join_with_constants_matches_baseline() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?x", "knows", "?y");
+        q.add(&mut st, "?y", "type", "Person");
+        let fast = solve(&st, &q);
+        assert_eq!(canon(fast.bindings()), canon(q.solve_baseline(&st)));
+    }
+
+    #[test]
+    fn repeated_variable_pattern() {
+        let mut st = sample();
+        st.insert_strs("n", "knows", "n");
+        let mut q = Bgp::new();
+        q.add(&mut st, "?x", "knows", "?x");
+        let fast = solve(&st, &q);
+        assert_eq!(fast.rows.len(), 1);
+        assert_eq!(st.term_str(fast.rows[0][0]), "n");
+    }
+
+    #[test]
+    fn empty_bgp_yields_one_empty_binding() {
+        let st = sample();
+        let q = Bgp::new();
+        let sol = solve(&st, &q);
+        assert_eq!(sol.rows, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn constant_only_patterns() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "alice", "knows", "bob");
+        assert_eq!(solve(&st, &q).rows.len(), 1);
+        let mut q2 = Bgp::new();
+        q2.add(&mut st, "alice", "knows", "carol");
+        let plan2 = plan(&st, &q2);
+        assert!(plan2.empty.is_some());
+        assert!(solve(&st, &q2).rows.is_empty());
+    }
+
+    #[test]
+    fn partition_counts_agree() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?a", "knows", "?b");
+        q.add(&mut st, "?b", "type", "?t");
+        let one = solve_partitioned(&st, &q, 1);
+        for chunks in [2, 3, 4, 16] {
+            assert_eq!(one, solve_partitioned(&st, &q, chunks));
+        }
+    }
+
+    #[test]
+    fn unlimited_governor_is_identical() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?a", "knows", "?b");
+        q.add(&mut st, "?b", "knows", "?c");
+        let plain = solve(&st, &q);
+        let gov = Governor::unlimited();
+        let governed = solve_governed(&st, &q, &gov).expect("governed eval");
+        assert!(governed.completion.is_complete());
+        assert_eq!(governed.value, plain);
+    }
+
+    #[test]
+    fn result_budget_yields_exact_prefix() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?a", "knows", "?b");
+        let full = solve(&st, &q);
+        let gov = Governor::new(&Budget::unlimited().with_max_results(2));
+        let partial = solve_governed(&st, &q, &gov).expect("governed eval");
+        assert_eq!(
+            partial.completion,
+            kgq_core::govern::Completion::Partial(Interrupt::ResultBudget)
+        );
+        assert_eq!(partial.value.rows, full.rows[..2].to_vec());
+    }
+
+    #[test]
+    fn cancel_token_interrupts() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?a", "knows", "?b");
+        let gov = Governor::unlimited();
+        gov.cancel_token().cancel();
+        let out = solve_governed(&st, &q, &gov).expect("governed eval");
+        assert_eq!(
+            out.completion,
+            kgq_core::govern::Completion::Partial(Interrupt::Cancelled)
+        );
+    }
+
+    #[test]
+    fn explain_renders_order_and_cardinalities() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?x", "knows", "?y");
+        q.add(&mut st, "?y", "type", "Person");
+        let p = plan(&st, &q);
+        let text = p.render(&st, &q);
+        assert!(text.contains("variable order:"), "{text}");
+        assert!(text.contains("card"), "{text}");
+        assert!(text.contains("?y"), "{text}");
+    }
+
+    #[test]
+    fn disconnected_patterns_form_cross_product() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?x", "knows", "?y");
+        q.add(&mut st, "?u", "type", "?t");
+        let fast = solve(&st, &q);
+        assert_eq!(fast.rows.len(), 9);
+        assert_eq!(canon(fast.bindings()), canon(q.solve_baseline(&st)));
+    }
+
+    #[test]
+    fn variable_predicate_matches_baseline() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "alice", "?p", "?o");
+        let fast = solve(&st, &q);
+        assert_eq!(canon(fast.bindings()), canon(q.solve_baseline(&st)));
+    }
+}

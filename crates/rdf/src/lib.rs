@@ -5,12 +5,22 @@
 //! triples `(s, p, o)` without edge identifiers, and constants are IRIs
 //! with a universal interpretation. This crate provides:
 //!
-//! * [`store`] — a [`store::TripleStore`] with SPO/POS/OSP B-tree indexes
-//!   and index-selected single-pattern scans;
+//! * [`store`] — a [`store::TripleStore`] keeping every triple in all
+//!   six sorted orderings (SPO, POS, OSP, SOP, PSO, OPS), with
+//!   index-selected scans, binary-search lookups, exact prefix counts
+//!   and bulk [`store::TripleStore::extend`] loading;
 //! * [`ntriples`] — a reader/writer for an N-Triples subset;
 //! * [`bgp`] — basic graph pattern matching (the conjunctive core of
-//!   SPARQL \[38\]) by backtracking with greedy most-bound-first join
-//!   ordering;
+//!   SPARQL \[38\]); [`bgp::Bgp::solve`] runs on the worst-case optimal
+//!   leapfrog triejoin in [`lftj`], with the original backtracking
+//!   matcher kept as [`bgp::Bgp::solve_baseline`], the testing oracle;
+//! * [`lftj`] — the triejoin itself: cardinality-driven variable
+//!   elimination order, galloping trie cursors over the sorted
+//!   orderings, deterministic partitioned parallelism, and governed
+//!   execution yielding exact-prefix partial answers;
+//! * [`analyze`] — static BGP checks (provable emptiness, unused
+//!   variables, cartesian products) surfaced by `kgq sparql --explain`
+//!   and short-circuited before planning;
 //! * [`convert`] — the correspondence with labeled graphs used throughout
 //!   the paper: predicates become edge labels, `rdf:type` triples become
 //!   node labels, so the path-query machinery of `kgq-core` applies to
@@ -33,20 +43,26 @@
 //! assert!(closure.contains(&("ana".to_string(), "cal".to_string())));
 //! ```
 
+pub mod analyze;
 pub mod bgp;
 pub mod convert;
+pub mod lftj;
 pub mod ntriples;
 pub mod query;
 pub mod reason;
 pub mod sparql;
 pub mod store;
 
+pub use analyze::{analyze_bgp, BgpReport};
 pub use bgp::{Bgp, Binding, TermPattern, TriplePattern};
 pub use convert::{labeled_to_rdf, rdf_to_labeled, RDF_TYPE};
+pub use lftj::{Plan, Solution};
 pub use ntriples::{parse_ntriples, write_ntriples};
 pub use query::{rpq_pairs, rpq_starts, RpqError};
 pub use reason::{
     materialize_rdfs, InferenceStats, RDFS_DOMAIN, RDFS_RANGE, RDFS_SUBCLASS, RDFS_SUBPROPERTY,
 };
-pub use sparql::{parse_select, select, SelectQuery, SparqlParseError};
-pub use store::{Triple, TripleStore};
+pub use sparql::{
+    explain_select, parse_select, select, select_governed, SelectQuery, SparqlParseError,
+};
+pub use store::{IndexOrder, Triple, TripleStore};

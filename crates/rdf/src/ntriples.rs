@@ -80,6 +80,7 @@ fn parse_term(input: &str, pos: &mut usize, line: usize) -> Result<String, Graph
 /// Parses N-Triples text into a store.
 pub fn parse_ntriples(input: &str) -> Result<TripleStore, GraphError> {
     let mut st = TripleStore::new();
+    let mut batch = Vec::new();
     for (lineno, raw) in input.lines().enumerate() {
         let lineno = lineno + 1;
         let line = raw.trim();
@@ -97,8 +98,14 @@ pub fn parse_ntriples(input: &str) -> Result<TripleStore, GraphError> {
                 message: format!("expected terminating `.`, found `{rest}`"),
             });
         }
-        st.insert_strs(&s, &p, &o);
+        batch.push(crate::store::Triple {
+            s: st.term(&s),
+            p: st.term(&p),
+            o: st.term(&o),
+        });
     }
+    // One bulk sort per ordering instead of a point insert per line.
+    st.extend(batch);
     Ok(st)
 }
 

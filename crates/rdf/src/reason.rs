@@ -137,12 +137,8 @@ pub fn materialize_rdfs(st: &mut TripleStore) -> InferenceStats {
             }
         }
 
-        let mut added_this_round = 0usize;
-        for t in fresh {
-            if st.insert(t) {
-                added_this_round += 1;
-            }
-        }
+        // One bulk sort per ordering instead of a point insert per triple.
+        let added_this_round = st.extend(fresh);
         inferred += added_this_round;
         if added_this_round == 0 {
             break;

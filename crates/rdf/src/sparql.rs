@@ -13,11 +13,17 @@
 //! * triple patterns are separated by `.` (trailing dot optional);
 //! * `SELECT *` projects every variable in order of first appearance.
 //!
-//! Evaluation delegates to the [`crate::bgp`] engine.
+//! Evaluation runs the static checks of [`crate::analyze`] (a provably
+//! empty pattern short-circuits before planning), then the leapfrog
+//! triejoin of [`crate::lftj`]; [`explain_select`] surfaces the
+//! diagnostics and the chosen plan, and [`select_governed`] threads the
+//! `kgq-core` governance contract through evaluation.
 
+use crate::analyze::analyze_bgp;
 use crate::bgp::{Bgp, TermPattern, TriplePattern};
 use crate::convert::RDF_TYPE;
 use crate::store::TripleStore;
+use kgq_core::govern::{EvalError, Governed, Governor};
 use std::fmt;
 
 /// Parse error for SELECT queries.
@@ -227,24 +233,78 @@ pub fn parse_select(input: &str, st: &mut TripleStore) -> Result<SelectQuery, Sp
     Ok(SelectQuery { vars, pattern })
 }
 
-/// Parses and evaluates a SELECT query, returning rows of term strings
-/// in projection order, sorted for determinism.
-pub fn select(st: &mut TripleStore, query: &str) -> Result<Vec<Vec<String>>, SparqlParseError> {
-    let q = parse_select(query, st)?;
-    let mut rows: Vec<Vec<String>> = q
-        .pattern
-        .solve(st)
-        .into_iter()
-        .map(|binding| {
-            q.vars
-                .iter()
-                .map(|v| st.term_str(binding[v]).to_owned())
+/// Projects a join result onto the query's SELECT list, resolving terms
+/// to strings, sorted and deduplicated for a deterministic row surface.
+fn project(st: &TripleStore, q: &SelectQuery, sol: &crate::lftj::Solution) -> Vec<Vec<String>> {
+    let idx: Vec<usize> = q
+        .vars
+        .iter()
+        .map(|v| sol.vars.iter().position(|u| u == v).unwrap_or(0))
+        .collect();
+    let mut rows: Vec<Vec<String>> = sol
+        .rows
+        .iter()
+        .map(|row| {
+            idx.iter()
+                .map(|&i| st.term_str(row[i]).to_owned())
                 .collect()
         })
         .collect();
     rows.sort();
     rows.dedup();
-    Ok(rows)
+    rows
+}
+
+/// Parses and evaluates a SELECT query, returning rows of term strings
+/// in projection order, sorted for determinism. A provably empty
+/// pattern (static analysis) short-circuits before planning.
+pub fn select(st: &mut TripleStore, query: &str) -> Result<Vec<Vec<String>>, SparqlParseError> {
+    let q = parse_select(query, st)?;
+    if analyze_bgp(st, &q.pattern, Some(&q.vars)).provably_empty {
+        return Ok(Vec::new());
+    }
+    let sol = crate::lftj::solve(st, &q.pattern);
+    Ok(project(st, &q, &sol))
+}
+
+/// Evaluates an already-parsed SELECT query under a governor: batched
+/// step accounting through every trie seek, panic-isolated workers, and
+/// an exact-prefix `Partial` (of the unprojected binding set) on budget
+/// exhaustion.
+pub fn select_governed(
+    st: &TripleStore,
+    q: &SelectQuery,
+    gov: &Governor,
+) -> Result<Governed<Vec<Vec<String>>>, EvalError> {
+    if analyze_bgp(st, &q.pattern, Some(&q.vars)).provably_empty {
+        return Ok(Governed::complete(Vec::new()));
+    }
+    let governed = crate::lftj::solve_governed(st, &q.pattern, gov)?;
+    Ok(Governed {
+        value: project(st, q, &governed.value),
+        completion: governed.completion,
+        degraded: governed.degraded,
+    })
+}
+
+/// Renders the static diagnostics and the join plan for a SELECT query —
+/// the `kgq sparql --explain` surface. Shows the chosen variable
+/// elimination order and per-pattern index orderings with exact
+/// cardinalities; a denied (provably empty) query shows the
+/// short-circuit instead of a plan.
+pub fn explain_select(st: &mut TripleStore, query: &str) -> Result<String, SparqlParseError> {
+    let q = parse_select(query, st)?;
+    let report = analyze_bgp(st, &q.pattern, Some(&q.vars));
+    let mut out = String::from("== diagnostics ==\n");
+    out.push_str(&report.render());
+    out.push_str("== plan ==\n");
+    if report.provably_empty {
+        out.push_str("short-circuit: empty answer before planning\n");
+    } else {
+        let plan = crate::lftj::plan(st, &q.pattern);
+        out.push_str(&plan.render(st, &q.pattern));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -323,5 +383,38 @@ mod tests {
         // `a` in subject/object position is NOT the type keyword.
         let rows = select(&mut st, "select ?a where { ?a a <bus> }").unwrap();
         assert_eq!(rows, vec![vec!["b7"]]);
+    }
+
+    #[test]
+    fn unlimited_governed_select_matches_plain() {
+        let mut st = sample();
+        let query = "SELECT ?p ?b WHERE { ?p <rides> ?b . ?p a <person> }";
+        let plain = select(&mut st, query).unwrap();
+        let q = parse_select(query, &mut st).unwrap();
+        let gov = Governor::unlimited();
+        let governed = select_governed(&st, &q, &gov).unwrap();
+        assert!(governed.completion.is_complete());
+        assert_eq!(governed.value, plain);
+    }
+
+    #[test]
+    fn explain_shows_diagnostics_and_plan() {
+        let mut st = sample();
+        let text =
+            explain_select(&mut st, "SELECT ?p WHERE { ?p <rides> ?b . ?p a <person> }").unwrap();
+        assert!(text.contains("== diagnostics =="), "{text}");
+        assert!(text.contains("== plan =="), "{text}");
+        assert!(text.contains("variable order:"), "{text}");
+        assert!(text.contains("card"), "{text}");
+    }
+
+    #[test]
+    fn provably_empty_select_short_circuits() {
+        let mut st = sample();
+        let rows = select(&mut st, "SELECT ?x WHERE { ?x <flies> ?y }").unwrap();
+        assert!(rows.is_empty());
+        let text = explain_select(&mut st, "SELECT ?x WHERE { ?x <flies> ?y }").unwrap();
+        assert!(text.contains("short-circuit"), "{text}");
+        assert!(text.contains("empty-pattern"), "{text}");
     }
 }

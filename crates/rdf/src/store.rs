@@ -2,13 +2,26 @@
 //!
 //! An RDF graph is "a set of triples `(s, p, o)` such that
 //! `s, p, o ∈ Const`" (paper, §3). Terms are interned strings; the store
-//! keeps three clustered B-tree indexes (SPO, POS, OSP) so that any
-//! single triple pattern is answered by a range scan on the index whose
-//! prefix covers the bound positions.
+//! keeps **all six** clustered orderings of the triple positions —
+//! SPO, POS, OSP, SOP, PSO, OPS — as sorted arrays, so that
+//!
+//! * any single triple pattern is answered by a binary-searched range
+//!   scan on an ordering whose prefix covers the bound positions (no
+//!   post-filtering for any bound combination), and
+//! * every triple pattern exposes a *trie iterator* for **any** variable
+//!   order, which is exactly what the leapfrog-triejoin engine
+//!   ([`crate::lftj`]) needs to pick a global variable elimination order
+//!   freely.
+//!
+//! Sorted arrays beat B-trees here: lookups are two `partition_point`
+//! calls, range scans are contiguous slices, and prefix cardinalities
+//! (the planner's cost estimates) are exact subtractions of two binary
+//! searches. Point inserts splice into all six orderings (O(n) memmove
+//! each — fine for incremental use); bulk loads go through
+//! [`TripleStore::extend`], which appends and re-sorts once (O(n log n)).
 
 use kgq_graph::{Interner, Sym};
-use std::collections::BTreeSet;
-use std::ops::Bound;
+use std::ops::Range;
 
 /// A triple `(subject, predicate, object)` of interned terms.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -21,13 +34,134 @@ pub struct Triple {
     pub o: Sym,
 }
 
-/// An RDF graph with SPO/POS/OSP indexes.
+impl Triple {
+    /// Position accessor: 0 = subject, 1 = predicate, 2 = object.
+    #[inline]
+    pub fn position(&self, i: usize) -> Sym {
+        match i {
+            0 => self.s,
+            1 => self.p,
+            _ => self.o,
+        }
+    }
+}
+
+/// One of the six clustered orderings of the triple positions.
+///
+/// The name spells the key column order: [`IndexOrder::Pos`] keys rows
+/// as `(predicate, object, subject)`. Between them the six orderings
+/// cover every bound-prefix combination and every variable order a trie
+/// iterator can ask for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexOrder {
+    /// subject, predicate, object.
+    Spo,
+    /// predicate, object, subject.
+    Pos,
+    /// object, subject, predicate.
+    Osp,
+    /// subject, object, predicate.
+    Sop,
+    /// predicate, subject, object.
+    Pso,
+    /// object, predicate, subject.
+    Ops,
+}
+
+impl IndexOrder {
+    /// All six orderings, [`IndexOrder::Spo`] first.
+    pub const ALL: [IndexOrder; 6] = [
+        IndexOrder::Spo,
+        IndexOrder::Pos,
+        IndexOrder::Osp,
+        IndexOrder::Sop,
+        IndexOrder::Pso,
+        IndexOrder::Ops,
+    ];
+
+    /// `perm()[i]` is the triple position (0 = s, 1 = p, 2 = o) stored
+    /// in key column `i`.
+    #[inline]
+    pub fn perm(self) -> [usize; 3] {
+        match self {
+            IndexOrder::Spo => [0, 1, 2],
+            IndexOrder::Pos => [1, 2, 0],
+            IndexOrder::Osp => [2, 0, 1],
+            IndexOrder::Sop => [0, 2, 1],
+            IndexOrder::Pso => [1, 0, 2],
+            IndexOrder::Ops => [2, 1, 0],
+        }
+    }
+
+    /// The ordering whose key columns are exactly `perm` (a permutation
+    /// of `[0, 1, 2]` naming triple positions).
+    pub fn from_perm(perm: [usize; 3]) -> IndexOrder {
+        match perm {
+            [0, 1, 2] => IndexOrder::Spo,
+            [1, 2, 0] => IndexOrder::Pos,
+            [2, 0, 1] => IndexOrder::Osp,
+            [0, 2, 1] => IndexOrder::Sop,
+            [1, 0, 2] => IndexOrder::Pso,
+            _ => IndexOrder::Ops,
+        }
+    }
+
+    /// Display name (`"spo"`, `"pos"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexOrder::Spo => "spo",
+            IndexOrder::Pos => "pos",
+            IndexOrder::Osp => "osp",
+            IndexOrder::Sop => "sop",
+            IndexOrder::Pso => "pso",
+            IndexOrder::Ops => "ops",
+        }
+    }
+
+    /// Index of this ordering in [`IndexOrder::ALL`].
+    #[inline]
+    fn slot(self) -> usize {
+        match self {
+            IndexOrder::Spo => 0,
+            IndexOrder::Pos => 1,
+            IndexOrder::Osp => 2,
+            IndexOrder::Sop => 3,
+            IndexOrder::Pso => 4,
+            IndexOrder::Ops => 5,
+        }
+    }
+
+    /// Permutes a triple into this ordering's key layout.
+    #[inline]
+    pub fn key(self, t: Triple) -> [Sym; 3] {
+        let p = self.perm();
+        [t.position(p[0]), t.position(p[1]), t.position(p[2])]
+    }
+
+    /// Recovers the triple from one of this ordering's keys.
+    #[inline]
+    pub fn triple(self, key: [Sym; 3]) -> Triple {
+        let p = self.perm();
+        let mut pos = [Sym(0); 3];
+        pos[p[0]] = key[0];
+        pos[p[1]] = key[1];
+        pos[p[2]] = key[2];
+        Triple {
+            s: pos[0],
+            p: pos[1],
+            o: pos[2],
+        }
+    }
+}
+
+/// An RDF graph with all six sorted orderings as indexes.
 #[derive(Clone, Debug, Default)]
 pub struct TripleStore {
     terms: Interner,
-    spo: BTreeSet<(Sym, Sym, Sym)>,
-    pos: BTreeSet<(Sym, Sym, Sym)>,
-    osp: BTreeSet<(Sym, Sym, Sym)>,
+    /// `orders[i]` holds every triple permuted into
+    /// `IndexOrder::ALL[i]`'s key layout, sorted ascending, deduped.
+    /// All six hold the same triple set.
+    orders: [Vec<[Sym; 3]>; 6],
 }
 
 impl TripleStore {
@@ -59,15 +193,30 @@ impl TripleStore {
         &self.terms
     }
 
+    /// The sorted key rows of one ordering. Rows are `[Sym; 3]` in the
+    /// ordering's column layout; the slice is sorted ascending with no
+    /// duplicates. This is the raw surface the trie iterators walk.
+    #[inline]
+    pub fn order(&self, o: IndexOrder) -> &[[Sym; 3]] {
+        &self.orders[o.slot()]
+    }
+
     /// Inserts a triple of already-interned terms. Returns `false` if it
-    /// was already present (RDF graphs are sets).
+    /// was already present (RDF graphs are sets). Presence is decided by
+    /// one binary search; a fresh triple is spliced into all six
+    /// orderings so they never disagree.
     pub fn insert(&mut self, t: Triple) -> bool {
-        let fresh = self.spo.insert((t.s, t.p, t.o));
-        if fresh {
-            self.pos.insert((t.p, t.o, t.s));
-            self.osp.insert((t.o, t.s, t.p));
+        let spo_key = IndexOrder::Spo.key(t);
+        if self.orders[0].binary_search(&spo_key).is_ok() {
+            return false;
         }
-        fresh
+        for (slot, ord) in IndexOrder::ALL.iter().enumerate() {
+            let key = ord.key(t);
+            if let Err(i) = self.orders[slot].binary_search(&key) {
+                self.orders[slot].insert(i, key);
+            }
+        }
+        true
     }
 
     /// Convenience: intern three strings and insert.
@@ -80,106 +229,120 @@ impl TripleStore {
         self.insert(t)
     }
 
-    /// Removes a triple. Returns `true` if it was present.
-    pub fn remove(&mut self, t: Triple) -> bool {
-        let was = self.spo.remove(&(t.s, t.p, t.o));
-        if was {
-            self.pos.remove(&(t.p, t.o, t.s));
-            self.osp.remove(&(t.o, t.s, t.p));
+    /// Bulk insert: appends the batch to every ordering and re-sorts
+    /// each once (O((n + b) log (n + b)) total instead of O(n·b) for b
+    /// point inserts). Returns how many triples were actually new.
+    pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
+        let before = self.orders[0].len();
+        let batch: Vec<Triple> = triples.into_iter().collect();
+        if batch.is_empty() {
+            return 0;
         }
-        was
+        for (slot, ord) in IndexOrder::ALL.iter().enumerate() {
+            let rows = &mut self.orders[slot];
+            rows.extend(batch.iter().map(|&t| ord.key(t)));
+            rows.sort_unstable();
+            rows.dedup();
+        }
+        self.orders[0].len() - before
     }
 
-    /// Membership test.
+    /// Removes a triple. Returns `true` if it was present. Removal binary
+    /// searches each ordering, so the six stay consistent.
+    pub fn remove(&mut self, t: Triple) -> bool {
+        let spo_key = IndexOrder::Spo.key(t);
+        if self.orders[0].binary_search(&spo_key).is_err() {
+            return false;
+        }
+        for (slot, ord) in IndexOrder::ALL.iter().enumerate() {
+            let key = ord.key(t);
+            if let Ok(i) = self.orders[slot].binary_search(&key) {
+                self.orders[slot].remove(i);
+            }
+        }
+        true
+    }
+
+    /// Membership test — one binary search on the SPO ordering.
     pub fn contains(&self, t: Triple) -> bool {
-        self.spo.contains(&(t.s, t.p, t.o))
+        self.orders[0]
+            .binary_search(&IndexOrder::Spo.key(t))
+            .is_ok()
     }
 
     /// Number of triples.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.orders[0].len()
     }
 
     /// True if the graph has no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.orders[0].is_empty()
     }
 
-    /// All triples matching a pattern with optionally bound positions,
-    /// using the best index for the bound prefix:
+    /// The contiguous row range of `order` whose keys start with
+    /// `prefix` (at most 3 values). Two `partition_point`s.
+    pub fn prefix_range(&self, order: IndexOrder, prefix: &[Sym]) -> Range<usize> {
+        let rows = self.order(order);
+        let k = prefix.len().min(3);
+        let lo = rows.partition_point(|row| row[..k] < prefix[..k]);
+        let hi = rows.partition_point(|row| row[..k] <= prefix[..k]);
+        lo..hi
+    }
+
+    /// Exact number of triples whose `order`-key starts with `prefix` —
+    /// the planner's cardinality estimate, exact for any bound prefix.
+    pub fn prefix_count(&self, order: IndexOrder, prefix: &[Sym]) -> usize {
+        self.prefix_range(order, prefix).len()
+    }
+
+    /// The ordering whose key prefix covers exactly the bound positions
+    /// of a `(s?, p?, o?)` pattern, and the bound prefix values in that
+    /// ordering's column order.
+    fn covering(s: Option<Sym>, p: Option<Sym>, o: Option<Sym>) -> (IndexOrder, Vec<Sym>) {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => (IndexOrder::Spo, vec![s, p, o]),
+            (Some(s), Some(p), None) => (IndexOrder::Spo, vec![s, p]),
+            (Some(s), None, Some(o)) => (IndexOrder::Sop, vec![s, o]),
+            (None, Some(p), Some(o)) => (IndexOrder::Pos, vec![p, o]),
+            (Some(s), None, None) => (IndexOrder::Spo, vec![s]),
+            (None, Some(p), None) => (IndexOrder::Pos, vec![p]),
+            (None, None, Some(o)) => (IndexOrder::Osp, vec![o]),
+            (None, None, None) => (IndexOrder::Spo, Vec::new()),
+        }
+    }
+
+    /// All triples matching a pattern with optionally bound positions.
+    /// With six orderings every bound combination is a pure range scan
+    /// on a covering prefix — no post-filtering anywhere:
     ///
-    /// | bound            | index | cost               |
-    /// |------------------|-------|--------------------|
-    /// | s, s+p, s+p+o    | SPO   | range scan         |
-    /// | p, p+o           | POS   | range scan         |
-    /// | o, o+s           | OSP   | range scan         |
-    /// | none             | SPO   | full scan          |
-    /// | s+o              | OSP   | range scan + filter|
+    /// | bound            | index | bound   | index |
+    /// |------------------|-------|---------|-------|
+    /// | s, s+p, s+p+o    | SPO   | p, p+o  | POS   |
+    /// | s+o              | SOP   | o       | OSP   |
+    /// | none             | SPO   |         |       |
     pub fn scan(
         &self,
         s: Option<Sym>,
         p: Option<Sym>,
         o: Option<Sym>,
-    ) -> Box<dyn Iterator<Item = Triple> + '_> {
-        const MIN: Sym = Sym(0);
-        const MAX: Sym = Sym(u32::MAX);
-        fn range3(
-            set: &BTreeSet<(Sym, Sym, Sym)>,
-            a: Option<Sym>,
-            b: Option<Sym>,
-            c: Option<Sym>,
-        ) -> impl Iterator<Item = (Sym, Sym, Sym)> + '_ {
-            let lo = (
-                a.unwrap_or(MIN),
-                if a.is_some() { b.unwrap_or(MIN) } else { MIN },
-                if a.is_some() && b.is_some() {
-                    c.unwrap_or(MIN)
-                } else {
-                    MIN
-                },
-            );
-            let hi = (
-                a.unwrap_or(MAX),
-                if a.is_some() { b.unwrap_or(MAX) } else { MAX },
-                if a.is_some() && b.is_some() {
-                    c.unwrap_or(MAX)
-                } else {
-                    MAX
-                },
-            );
-            set.range((Bound::Included(lo), Bound::Included(hi)))
-                .copied()
-        }
-        match (s, p, o) {
-            // s + o bound (p free): OSP covers (o, s).
-            (Some(_), None, Some(_)) => {
-                Box::new(range3(&self.osp, o, s, None).map(|(o, s, p)| Triple { s, p, o }))
-            }
-            // Any other s-bound combination: SPO prefix.
-            (Some(_), _, _) => {
-                Box::new(range3(&self.spo, s, p, o).map(|(s, p, o)| Triple { s, p, o }))
-            }
-            // p (+ o) bound: POS.
-            (None, Some(_), _) => {
-                Box::new(range3(&self.pos, p, o, None).map(|(p, o, s)| Triple { s, p, o }))
-            }
-            // o bound only: OSP.
-            (None, None, Some(_)) => {
-                Box::new(range3(&self.osp, o, None, None).map(|(o, s, p)| Triple { s, p, o }))
-            }
-            // Nothing bound: full scan.
-            (None, None, None) => Box::new(self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })),
-        }
+    ) -> impl Iterator<Item = Triple> + '_ {
+        let (order, prefix) = Self::covering(s, p, o);
+        let range = self.prefix_range(order, &prefix);
+        self.order(order)[range]
+            .iter()
+            .map(move |&key| order.triple(key))
     }
 
-    /// Count of matches for a pattern (consumes the scan).
+    /// Count of matches for a pattern — pure binary search, no scan.
     pub fn count(&self, s: Option<Sym>, p: Option<Sym>, o: Option<Sym>) -> usize {
-        self.scan(s, p, o).count()
+        let (order, prefix) = Self::covering(s, p, o);
+        self.prefix_count(order, &prefix)
     }
 
-    /// Iterates over all triples.
+    /// Iterates over all triples in SPO order.
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })
+        self.orders[0].iter().map(|&[s, p, o]| Triple { s, p, o })
     }
 }
 
@@ -262,5 +425,84 @@ mod tests {
         let a1 = st.term("http://ex.org/alice");
         let a2 = st.term("http://ex.org/alice");
         assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn six_orderings_stay_consistent() {
+        let mut st = sample();
+        let t = Triple {
+            s: st.term("carol"),
+            p: st.term("knows"),
+            o: st.term("alice"),
+        };
+        st.insert(t);
+        st.remove(Triple {
+            s: st.get_term("alice").unwrap(),
+            p: st.get_term("type").unwrap(),
+            o: st.get_term("Person").unwrap(),
+        });
+        let spo: Vec<Triple> = st.iter().collect();
+        for ord in IndexOrder::ALL {
+            let mut via: Vec<Triple> = st.order(ord).iter().map(|&k| ord.triple(k)).collect();
+            via.sort();
+            let mut want = spo.clone();
+            want.sort();
+            assert_eq!(via, want, "ordering {} diverged", ord.name());
+            assert!(st.order(ord).windows(2).all(|w| w[0] < w[1]), "unsorted");
+        }
+    }
+
+    #[test]
+    fn bulk_extend_matches_point_inserts() {
+        let mut a = TripleStore::new();
+        let mut b = TripleStore::new();
+        let triples = [
+            ("x", "p", "y"),
+            ("y", "p", "z"),
+            ("x", "p", "y"), // duplicate inside the batch
+            ("z", "q", "x"),
+        ];
+        for (s, p, o) in triples {
+            a.insert_strs(s, p, o);
+        }
+        let batch: Vec<Triple> = triples
+            .iter()
+            .map(|(s, p, o)| Triple {
+                s: b.term(s),
+                p: b.term(p),
+                o: b.term(o),
+            })
+            .collect();
+        let added = b.extend(batch);
+        assert_eq!(added, 3);
+        assert_eq!(a.len(), b.len());
+        let left: Vec<Triple> = a.iter().collect();
+        let right: Vec<Triple> = b.iter().collect();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn prefix_counts_are_exact() {
+        let st = sample();
+        let knows = st.get_term("knows").unwrap();
+        let alice = st.get_term("alice").unwrap();
+        assert_eq!(st.prefix_count(IndexOrder::Pos, &[knows]), 3);
+        assert_eq!(st.prefix_count(IndexOrder::Spo, &[alice, knows]), 2);
+        assert_eq!(st.prefix_count(IndexOrder::Spo, &[]), 6);
+        let ghost = Sym(u32::MAX);
+        assert_eq!(st.prefix_count(IndexOrder::Pos, &[ghost]), 0);
+    }
+
+    #[test]
+    fn index_order_round_trips() {
+        let t = Triple {
+            s: Sym(3),
+            p: Sym(5),
+            o: Sym(7),
+        };
+        for ord in IndexOrder::ALL {
+            assert_eq!(ord.triple(ord.key(t)), t);
+            assert_eq!(IndexOrder::from_perm(ord.perm()), ord);
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! kgq cypher GRAPH 'MATCH ... RETURN ...'
 //! kgq analytics GRAPH [pagerank|betweenness|components|diameter|densest]
 //! kgq rdf FILE.nt path 'EXPR' | infer
+//! kgq sparql FILE.nt 'SELECT ... WHERE { ... }' [--explain]
 //! ```
 //!
 //! Graphs use the text format of `kgq::graph::io` (`node`/`edge`/`nprop`/
@@ -31,7 +32,8 @@ fn usage() -> ExitCode {
          kgq query GRAPH EXPR [pairs|starts|count K|enumerate K|sample K N] [GOVERN]\n  \
          kgq cypher GRAPH QUERY [GOVERN]\n  \
          kgq analytics GRAPH (pagerank|betweenness|components|diameter|densest)\n  \
-         kgq rdf FILE (path EXPR|select QUERY|infer)\n\n  \
+         kgq rdf FILE (path EXPR|select QUERY|infer)\n  \
+         kgq sparql FILE QUERY [--explain] [GOVERN]\n\n  \
          GOVERN: --timeout MS | --max-steps N | --max-results N\n  \
          query/cypher also take --explain (print the static-analysis\n  \
          verdict instead of executing), --verbose (cache stats on\n  \
@@ -445,6 +447,40 @@ fn cmd_rdf(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// `kgq sparql FILE QUERY [--explain] [GOVERN]` — SELECT evaluation by
+/// the leapfrog triejoin, with the analyzer + plan report behind
+/// `--explain` and the standard governance flags.
+fn cmd_sparql(args: &[String]) -> Result<String, String> {
+    let [path, query, rest @ ..] = args else {
+        return Err("sparql needs FILE and QUERY".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut st = rdf::parse_ntriples(&text).map_err(|e| e.to_string())?;
+    if rest.iter().any(|a| a == "--explain") {
+        return rdf::explain_select(&mut st, query).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    match budget_from(rest)? {
+        Some(budget) => {
+            let q = rdf::parse_select(query, &mut st).map_err(|e| e.to_string())?;
+            let gov = Governor::new(&budget);
+            let res = rdf::select_governed(&st, &q, &gov).map_err(|e| e.to_string())?;
+            for row in &res.value {
+                out.push_str(&row.join("\t"));
+                out.push('\n');
+            }
+            completion_marker(&mut out, &res);
+        }
+        None => {
+            for row in rdf::select(&mut st, query).map_err(|e| e.to_string())? {
+                out.push_str(&row.join("\t"));
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -456,6 +492,7 @@ fn main() -> ExitCode {
         "cypher" => cmd_cypher(&args[1..]),
         "analytics" => cmd_analytics(&args[1..]),
         "rdf" => cmd_rdf(&args[1..]),
+        "sparql" => cmd_sparql(&args[1..]),
         _ => return usage(),
     };
     match result {

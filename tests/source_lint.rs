@@ -28,6 +28,7 @@ const UNWRAP_BASELINE: &[(&str, usize)] = &[
     ("crates/analytics/src/kcore.rs", 1),
     ("crates/analytics/src/weighted.rs", 1),
     ("crates/bench/src/bin/exp_bcr.rs", 8),
+    ("crates/bench/src/bin/exp_bgp.rs", 2),
     ("crates/bench/src/bin/exp_count.rs", 2),
     ("crates/bench/src/bin/exp_embed.rs", 1),
     ("crates/bench/src/bin/exp_enum.rs", 2),
