@@ -45,12 +45,12 @@ fn bench_product(c: &mut Criterion) {
 
     group.bench_function("query_cold_compile", |b| {
         b.iter(|| {
-            let mut cache = QueryCache::new();
+            let cache = QueryCache::new();
             black_box(cache.get_or_compile(&view, 0, &expr))
         })
     });
     group.bench_function("query_warm_hit", |b| {
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         cache.get_or_compile(&view, 0, &expr);
         b.iter(|| black_box(cache.get_or_compile(&view, 0, &expr)));
         assert_eq!(cache.misses(), 1, "warm iterations must all hit");

@@ -1,0 +1,270 @@
+//! Experiment `exp_serve` — sustained mixed traffic against the
+//! concurrent query server, emitted as `BENCH_serve.json`.
+//!
+//! Boots a `kgq-serve` server (in-process by default; `--addr H:P`
+//! drives an already-running `kgq serve` binary instead), then runs a
+//! fleet of concurrent clients over real TCP:
+//!
+//! - well-behaved clients issue a rotating mix of RPQ, Cypher and
+//!   SPARQL requests and assert every response is **byte-identical** to
+//!   a solo baseline of the same query;
+//! - one deliberate **budget-tripping** client hammers an expensive
+//!   reachability query under a tiny result cap and asserts every
+//!   response is a typed exact-prefix `Partial` (CLI trailer format);
+//! - sustained QPS plus p50/p99 latency, trip/error counts and shared
+//!   cache hit rates are recorded in the JSON report.
+//!
+//! In in-process mode the run finishes with a clean [`ServerHandle::
+//! shutdown`] and asserts **no leaked threads** via `/proc/self/status`
+//! — the same bar the serve-smoke CI job enforces. Any divergence
+//! (wrong bytes, missing partial, leaked thread) aborts with a nonzero
+//! exit, so the binary doubles as a smoke test. `--quick` trims the
+//! fleet and the per-client request count; `--shutdown` additionally
+//! sends the `SHUTDOWN` verb at the end (used against an external
+//! server to prove the binary exits cleanly).
+
+use kgq_graph::generate::{contact_network, ContactParams};
+use kgq_rdf::parse_ntriples;
+use kgq_serve::stats::percentile;
+use kgq_serve::{process_thread_count, serve, stat, Caps, Client, ServerConfig, Verb};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const NT: &str = "<a> <knows> <b> .\n<b> <knows> <c> .\n<c> <knows> <a> .\n\
+                  <a> <type> <P> .\n<b> <type> <P> .\n<c> <rel> <a> .\n";
+
+const RPQ_EXPR: &str = "?person/rides/?bus/rides^-/?infected";
+const TRIP_EXPR: &str = "(rides + contact + lives)*";
+const CYPHER_Q: &str = "MATCH (p:person)-[:rides]->(b:bus) RETURN p, b";
+const SPARQL_Q: &str = "SELECT ?x ?y WHERE { ?x <knows> ?y . ?y <type> <P> . }";
+
+struct Baselines {
+    rpq: String,
+    trip_full: String,
+    cypher: String,
+    sparql: String,
+}
+
+/// Exits with a message instead of panicking: a failed experiment run
+/// should read like a diagnosis, not a backtrace.
+fn orfail<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("exp_serve: {what}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn connect(addr: &str) -> Client {
+    let c = orfail(Client::connect(addr), "connect");
+    orfail(
+        c.set_timeout(Some(Duration::from_secs(120))),
+        "set socket timeout",
+    );
+    c
+}
+
+fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let external_addr = str_flag(&args, "--addr").map(String::from);
+    let send_shutdown = args.iter().any(|a| a == "--shutdown");
+    let (clients, rounds) = if quick { (4, 12) } else { (8, 40) };
+    let workers = 4;
+
+    let baseline_threads = process_thread_count();
+    // In-process server unless --addr points at a running one.
+    let (handle, addr) = if let Some(addr) = external_addr.clone() {
+        (None, addr)
+    } else {
+        let g = contact_network(&ContactParams {
+            people: if quick { 60 } else { 200 },
+            buses: 8,
+            addresses: 25,
+            seed: 31,
+            ..ContactParams::default()
+        });
+        let st = orfail(parse_ntriples(NT), "parse embedded N-Triples");
+        let handle = orfail(
+            serve(
+                g,
+                st,
+                ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    workers,
+                    caps: kgq_core::Budget::unlimited(),
+                },
+            ),
+            "boot server",
+        );
+        let addr = handle.addr().to_string();
+        (Some(handle), addr)
+    };
+    eprintln!("exp_serve: driving {addr} with {clients} clients x {rounds} rounds");
+
+    // Solo baselines over the wire — the byte-identity reference.
+    let mut solo = connect(&addr);
+    let base = Baselines {
+        rpq: expect_ok(solo.rpq("pairs", RPQ_EXPR, &Caps::none())),
+        trip_full: expect_ok(solo.rpq("pairs", TRIP_EXPR, &Caps::none())),
+        cypher: expect_ok(solo.cypher(CYPHER_Q, &Caps::none())),
+        sparql: expect_ok(solo.sparql(SPARQL_Q, &Caps::none())),
+    };
+    assert!(
+        !base.rpq.is_empty() && !base.trip_full.is_empty(),
+        "baselines must be non-empty for the prefix checks to mean anything"
+    );
+
+    // The storm: `clients` well-behaved + 1 tripper, all concurrent.
+    let latencies = Mutex::new(Vec::<u64>::new());
+    let sent = AtomicU64::new(0);
+    let tripper_partials = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..clients {
+            let (addr, base, latencies, sent) = (&addr, &base, &latencies, &sent);
+            scope.spawn(move || {
+                let mut c = connect(addr);
+                let mut local = Vec::with_capacity(rounds);
+                for r in 0..rounds {
+                    let t0 = Instant::now();
+                    let (resp, want) = match (t + r) % 3 {
+                        0 => (c.rpq("pairs", RPQ_EXPR, &Caps::none()), &base.rpq),
+                        1 => (c.cypher(CYPHER_Q, &Caps::none()), &base.cypher),
+                        _ => (c.sparql(SPARQL_Q, &Caps::none()), &base.sparql),
+                    };
+                    local.push(t0.elapsed().as_micros() as u64);
+                    let resp = orfail(resp, "transport");
+                    assert!(resp.ok, "client {t} round {r}: {}", resp.body);
+                    assert_eq!(
+                        &resp.body, want,
+                        "client {t} round {r}: bytes diverged from the solo baseline"
+                    );
+                    sent.fetch_add(1, Ordering::Relaxed);
+                }
+                latencies
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
+            });
+        }
+        // The deliberate budget-tripper.
+        let (addr, base, sent, tripper_partials) = (&addr, &base, &sent, &tripper_partials);
+        scope.spawn(move || {
+            let mut c = connect(addr);
+            let caps = Caps {
+                max_results: Some(5),
+                ..Caps::default()
+            };
+            for r in 0..rounds {
+                let resp = orfail(c.rpq("pairs", TRIP_EXPR, &caps), "transport");
+                assert!(resp.ok, "tripper round {r}: {}", resp.body);
+                assert!(resp.is_partial(), "tripper round {r}: budget did not trip");
+                let trailer = "# partial: result budget reached\n";
+                let prefix = resp
+                    .body
+                    .strip_suffix(trailer)
+                    .unwrap_or_else(|| panic!("tripper round {r}: unexpected trailer"));
+                assert!(
+                    base.trip_full.starts_with(prefix),
+                    "tripper round {r}: partial is not an exact prefix"
+                );
+                sent.fetch_add(1, Ordering::Relaxed);
+                tripper_partials.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let total = sent.load(Ordering::Relaxed);
+    let qps = total as f64 / wall.max(1e-9);
+    let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    lat.sort_unstable();
+    let (p50, p99) = (percentile(&lat, 50), percentile(&lat, 99));
+
+    // Server-side counters (includes the solo + storm requests).
+    let mut c = connect(&addr);
+    let stats = orfail(c.stats(), "fetch server stats");
+    let grab = |k| stat(&stats, k).unwrap_or(0);
+    let (srv_partials, srv_errors) = (grab("partials"), grab("errors"));
+    let (cache_hits, cache_misses) = (grab("cache_hits"), grab("cache_misses"));
+    assert!(
+        srv_partials >= rounds as u64,
+        "server saw {srv_partials} partials, expected at least the tripper's {rounds}"
+    );
+    assert_eq!(srv_errors, 0, "no request in the mix should hard-error");
+    assert!(
+        cache_hits > 0,
+        "repeated identical queries must hit the shared cache"
+    );
+    if send_shutdown {
+        let _ = c.request(Verb::Shutdown, &Caps::none(), "");
+    }
+    drop(c);
+    drop(solo);
+
+    // Clean shutdown + leak check (in-process mode only: for --addr the
+    // server's own exit status is the check, enforced by the CI job).
+    if let Some(handle) = handle {
+        handle.shutdown();
+        if let (Some(before), Some(after)) = (baseline_threads, process_thread_count()) {
+            assert_eq!(
+                after, before,
+                "thread leak: {before} threads before the server, {after} after shutdown"
+            );
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if external_addr.is_some() {
+            "external"
+        } else {
+            "in-process"
+        }
+    );
+    let _ = writeln!(json, "  \"clients\": {},", clients + 1);
+    let _ = writeln!(json, "  \"trippers\": 1,");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"rounds_per_client\": {rounds},");
+    let _ = writeln!(json, "  \"requests\": {total},");
+    let _ = writeln!(json, "  \"wall_s\": {wall:.6},");
+    let _ = writeln!(json, "  \"qps\": {qps:.2},");
+    let _ = writeln!(json, "  \"p50_us\": {p50},");
+    let _ = writeln!(json, "  \"p99_us\": {p99},");
+    let _ = writeln!(
+        json,
+        "  \"tripper_partials\": {},",
+        tripper_partials.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(json, "  \"server_partials\": {srv_partials},");
+    let _ = writeln!(json, "  \"server_errors\": {srv_errors},");
+    let _ = writeln!(json, "  \"cache_hits\": {cache_hits},");
+    let _ = writeln!(json, "  \"cache_misses\": {cache_misses}");
+    json.push_str("}\n");
+
+    let out = str_flag(&args, "--out").unwrap_or("BENCH_serve.json");
+    orfail(std::fs::write(out, &json), "write report");
+    print!("{json}");
+    eprintln!(
+        "exp_serve: {total} requests in {wall:.2}s ({qps:.0} QPS), \
+         p50 {p50}us p99 {p99}us, {srv_partials} partials, clean shutdown"
+    );
+}
+
+fn expect_ok(resp: std::io::Result<kgq_serve::Response>) -> String {
+    let resp = orfail(resp, "transport");
+    assert!(resp.ok, "baseline failed: {}", resp.body);
+    resp.body
+}

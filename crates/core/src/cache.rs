@@ -14,10 +14,29 @@
 //!
 //! Eviction is LRU over a logical tick counter; capacity is configurable
 //! (`QueryCache::with_capacity`, default 64; `QueryCache::from_env` reads
-//! the `KGQ_CACHE_CAP` environment variable). A cache is meant to be
-//! bound to one graph's history: generation stamps are strictly
-//! increasing per mutation *within one graph*, not globally unique across
-//! graphs.
+//! the `KGQ_CACHE_CAP` environment variable — values that do not parse
+//! as a positive integer fall back with a one-time warning, and `0` is
+//! clamped to 1, the smallest capacity the LRU supports). A cache is
+//! meant to be bound to one graph's history: generation stamps are
+//! strictly increasing per mutation *within one graph*, not globally
+//! unique across graphs.
+//!
+//! ## Sharing across threads
+//!
+//! Every method takes `&self`: the mutable state (map, LRU ticks,
+//! counters) lives behind an internal mutex, so one cache can be shared
+//! by reference — or inside an `Arc` — across concurrent clients (the
+//! `kgq serve` server holds exactly one per store snapshot). The lock is
+//! held only for lookups and inserts, **never during compilation**: a
+//! miss releases the lock, compiles, then re-locks to insert, so a slow
+//! (or budget-tripping) compile cannot stall other clients' cache hits.
+//! Two threads racing on the same miss may both compile; the first
+//! insert wins and the loser adopts the winner's entry, so hits after
+//! the race share one product. Generation stamps make the snapshot
+//! contract hold under concurrency too: entries compiled against
+//! generation `g` are unreachable from any lookup at `g' ≠ g`, so a
+//! store mutation (which bumps the generation) can never leak a stale
+//! product to a reader of the new snapshot.
 
 use crate::analyze::Report;
 use crate::automata::{MinimizedNfa, Nfa, NfaSignature};
@@ -28,7 +47,7 @@ use crate::model::PathGraph;
 use crate::product::Product;
 use crate::simplify::simplify;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, Once};
 
 /// Default number of compiled queries retained.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
@@ -108,8 +127,10 @@ pub struct CacheStats {
     /// Entries dropped to stay within capacity.
     pub evictions: u64,
     /// Lookups the static analyzer resolved without a cache slot: a
-    /// provably-empty query answered with no compilation at all, or a
-    /// `Deny`-flagged query compiled but deliberately not inserted.
+    /// provably-empty query answered with no compilation at all, a
+    /// `Deny`-flagged query compiled but deliberately not inserted, or a
+    /// detached compile requested by the caller (see
+    /// [`QueryCache::compile_detached`]).
     pub short_circuits: u64,
     /// Compiled queries currently held.
     pub len: usize,
@@ -132,16 +153,25 @@ struct Entry {
     last_used: u64,
 }
 
-/// LRU cache of [`CompiledQuery`] entries keyed by
-/// `(graph generation, canonicalized expression)`.
-pub struct QueryCache {
-    capacity: usize,
+/// The lock-protected mutable state: map, LRU clock, counters.
+struct Inner {
     tick: u64,
     map: HashMap<CacheKey, Entry>,
     hits: u64,
     misses: u64,
     evictions: u64,
     short_circuits: u64,
+}
+
+/// LRU cache of [`CompiledQuery`] entries keyed by
+/// `(graph generation, canonicalized expression)`.
+///
+/// Share-safe: all methods take `&self` (see the module docs for the
+/// locking discipline), so a `QueryCache` can back one CLI invocation
+/// and a multi-client server with the same code.
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
 }
 
 impl Default for QueryCache {
@@ -157,36 +187,74 @@ impl QueryCache {
     }
 
     /// A cache retaining at most `capacity` compiled queries
-    /// (`capacity` is clamped to at least 1).
+    /// (`capacity` is clamped to at least 1 — an LRU of capacity 0
+    /// could never answer a hit).
     pub fn with_capacity(capacity: usize) -> QueryCache {
         QueryCache {
             capacity: capacity.max(1),
-            tick: 0,
-            map: HashMap::new(),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-            short_circuits: 0,
+            inner: Mutex::new(Inner {
+                tick: 0,
+                map: HashMap::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                short_circuits: 0,
+            }),
         }
     }
 
     /// A cache sized by the `KGQ_CACHE_CAP` environment variable, falling
-    /// back to [`DEFAULT_CACHE_CAPACITY`] when unset or unparseable.
+    /// back to [`DEFAULT_CACHE_CAPACITY`] when unset or unparseable and
+    /// clamping `0` to 1 (the smallest capacity the LRU supports). A
+    /// value that is set but not a usable positive integer is reported
+    /// once per process on stderr, naming the bad value and the
+    /// fallback, instead of being silently ignored.
     pub fn from_env() -> QueryCache {
-        let capacity = std::env::var(CACHE_CAP_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_CACHE_CAPACITY);
+        static WARN: Once = Once::new();
+        let capacity = match std::env::var(CACHE_CAP_ENV) {
+            Err(_) => DEFAULT_CACHE_CAPACITY,
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) => {
+                    WARN.call_once(|| {
+                        eprintln!(
+                            "warning: {CACHE_CAP_ENV}=0 is not a usable capacity; \
+                             clamping to 1 (the smallest LRU capacity)"
+                        );
+                    });
+                    0 // with_capacity clamps to 1
+                }
+                Ok(n) => n,
+                Err(_) => {
+                    WARN.call_once(|| {
+                        eprintln!(
+                            "warning: {CACHE_CAP_ENV}=`{v}` is not a positive integer; \
+                             using the default capacity of {DEFAULT_CACHE_CAPACITY}"
+                        );
+                    });
+                    DEFAULT_CACHE_CAPACITY
+                }
+            },
+        };
         QueryCache::with_capacity(capacity)
+    }
+
+    /// Acquires the internal lock. A poisoned mutex is recovered rather
+    /// than propagated: compilation runs *outside* the lock (and under
+    /// [`isolate`] on the governed paths), so the map is structurally
+    /// consistent at every unlock point even if a holder panicked.
+    fn inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Returns the compiled form of `expr` against `g` at `generation`,
     /// compiling (and caching) it on a miss. The expression is
     /// canonicalized with [`simplify`] and then keyed by its minimal
     /// automaton's signature, so every spelling of one path language
-    /// shares one entry.
+    /// shares one entry. Compilation happens outside the internal lock;
+    /// concurrent misses on one key may compile twice, but only one
+    /// entry survives and all callers share it from then on.
     pub fn get_or_compile<G: PathGraph>(
-        &mut self,
+        &self,
         g: &G,
         generation: u64,
         expr: &PathExpr,
@@ -197,26 +265,11 @@ impl QueryCache {
             generation,
             sig: min.signature.clone(),
         };
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(entry) = self.map.get_mut(&key) {
-            entry.last_used = tick;
-            self.hits += 1;
-            return Arc::clone(&entry.compiled);
+        if let Some(compiled) = self.lookup(&key) {
+            return compiled;
         }
-        self.misses += 1;
         let compiled = Arc::new(CompiledQuery::compile(g, expr, min));
-        if self.map.len() >= self.capacity {
-            self.evict_lru();
-        }
-        self.map.insert(
-            key,
-            Entry {
-                compiled: Arc::clone(&compiled),
-                last_used: tick,
-            },
-        );
-        compiled
+        self.insert_if_absent(key, compiled)
     }
 
     /// Governed [`QueryCache::get_or_compile`]: compilation runs under
@@ -226,7 +279,7 @@ impl QueryCache {
     /// panicking compile leaves the map untouched (no partial entry to
     /// poison later hits); only the hit/miss counters record the attempt.
     pub fn get_or_compile_governed<G: PathGraph>(
-        &mut self,
+        &self,
         g: &G,
         generation: u64,
         expr: &PathExpr,
@@ -238,29 +291,14 @@ impl QueryCache {
             generation,
             sig: min.signature.clone(),
         };
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(entry) = self.map.get_mut(&key) {
-            entry.last_used = tick;
-            self.hits += 1;
-            return Ok(Arc::clone(&entry.compiled));
+        if let Some(compiled) = self.lookup(&key) {
+            return Ok(compiled);
         }
-        self.misses += 1;
         let compiled = Arc::new(isolate(|| {
             fault_point!("cache::compile");
             CompiledQuery::compile_governed(g, expr, min, gov)
         })?);
-        if self.map.len() >= self.capacity {
-            self.evict_lru();
-        }
-        self.map.insert(
-            key,
-            Entry {
-                compiled: Arc::clone(&compiled),
-                last_used: tick,
-            },
-        );
-        Ok(compiled)
+        Ok(self.insert_if_absent(key, compiled))
     }
 
     /// Analyzer-aware [`QueryCache::get_or_compile`]: consults a static
@@ -277,50 +315,123 @@ impl QueryCache {
     /// reported by [`QueryCache::stats`] (and by the CLI under
     /// `--verbose`).
     pub fn get_or_compile_checked<G: PathGraph>(
-        &mut self,
+        &self,
         g: &G,
         generation: u64,
         expr: &PathExpr,
         report: &Report,
     ) -> Option<Arc<CompiledQuery>> {
         if report.is_provably_empty() {
-            self.short_circuits += 1;
+            self.inner().short_circuits += 1;
             return None;
         }
         if report.denied() {
-            self.short_circuits += 1;
-            let expr = simplify(expr);
-            let min = Nfa::compile_min(&expr);
-            return Some(Arc::new(CompiledQuery::compile(g, expr, min)));
+            return Some(self.compile_detached(g, expr));
         }
         Some(self.get_or_compile(g, generation, expr))
     }
 
-    fn evict_lru(&mut self) {
-        if let Some(key) = self
-            .map
-            .iter()
-            .min_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| k.clone())
-        {
-            self.map.remove(&key);
-            self.evictions += 1;
+    /// Compiles `expr` without consulting or populating the map. Used
+    /// when an entry must not occupy a slot: analyzer-denied blowups,
+    /// and server queries whose constants were interned *after* the
+    /// shared snapshot was frozen (their symbol ids are request-local,
+    /// so a cache keyed on them could collide across requests). Counted
+    /// under `short_circuits`.
+    pub fn compile_detached<G: PathGraph>(&self, g: &G, expr: &PathExpr) -> Arc<CompiledQuery> {
+        self.inner().short_circuits += 1;
+        let expr = simplify(expr);
+        let min = Nfa::compile_min(&expr);
+        Arc::new(CompiledQuery::compile(g, expr, min))
+    }
+
+    /// Governed [`QueryCache::compile_detached`]: same no-slot contract,
+    /// with compilation under `gov` and panics isolated.
+    pub fn compile_detached_governed<G: PathGraph>(
+        &self,
+        g: &G,
+        expr: &PathExpr,
+        gov: &Governor,
+    ) -> Result<Arc<CompiledQuery>, EvalError> {
+        self.inner().short_circuits += 1;
+        let expr = simplify(expr);
+        let min = Nfa::compile_min(&expr);
+        Ok(Arc::new(isolate(|| {
+            fault_point!("cache::compile");
+            CompiledQuery::compile_governed(g, expr, min, gov)
+        })?))
+    }
+
+    /// The lookup half: under the lock, touch + count a hit, or count a
+    /// miss and return `None` (the caller compiles outside the lock).
+    fn lookup(&self, key: &CacheKey) -> Option<Arc<CompiledQuery>> {
+        let mut inner = self.inner();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let found = inner.map.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.compiled)
+        });
+        match found {
+            Some(compiled) => {
+                inner.hits += 1;
+                Some(compiled)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
         }
     }
 
+    /// The insert half: under the lock, adopt a racing thread's entry if
+    /// one appeared since [`QueryCache::lookup`], otherwise evict to
+    /// capacity and insert `compiled`. Returns the entry that won.
+    fn insert_if_absent(&self, key: CacheKey, compiled: Arc<CompiledQuery>) -> Arc<CompiledQuery> {
+        let mut inner = self.inner();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            // A racing compile of the same key landed first; share it so
+            // every caller holds the same product from here on. The race
+            // was already counted as two misses — honest, since both
+            // threads did compile.
+            entry.last_used = tick;
+            return Arc::clone(&entry.compiled);
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some(key) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&key);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                compiled: Arc::clone(&compiled),
+                last_used: tick,
+            },
+        );
+        compiled
+    }
+
     /// Drops every cached entry (counters are kept).
-    pub fn clear(&mut self) {
-        self.map.clear();
+    pub fn clear(&self) {
+        self.inner().map.clear();
     }
 
     /// Number of compiled queries currently held.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.inner().map.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.inner().map.is_empty()
     }
 
     /// Configured capacity.
@@ -330,41 +441,43 @@ impl QueryCache {
 
     /// Lookups answered from the cache.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.inner().hits
     }
 
     /// Lookups that required compilation.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.inner().misses
     }
 
     /// Entries dropped to stay within capacity.
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.inner().evictions
     }
 
-    /// Lookups resolved by the static analyzer without occupying a cache
-    /// slot (see [`QueryCache::get_or_compile_checked`]).
+    /// Lookups resolved without occupying a cache slot (see
+    /// [`QueryCache::get_or_compile_checked`] and
+    /// [`QueryCache::compile_detached`]).
     pub fn short_circuits(&self) -> u64 {
-        self.short_circuits
+        self.inner().short_circuits
     }
 
     /// Records an analyzer short-circuit that happened outside the cache
     /// (e.g. a Cypher query proven empty before any pattern compiled), so
     /// `--verbose` statistics account for it.
-    pub fn note_short_circuit(&mut self) {
-        self.short_circuits += 1;
+    pub fn note_short_circuit(&self) {
+        self.inner().short_circuits += 1;
     }
 
     /// Snapshot of the effectiveness counters (printed by the CLI under
-    /// `--verbose`).
+    /// `--verbose` and served by the `STATS` endpoint).
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner();
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
-            short_circuits: self.short_circuits,
-            len: self.map.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            short_circuits: inner.short_circuits,
+            len: inner.map.len(),
             capacity: self.capacity,
         }
     }
@@ -389,7 +502,7 @@ mod tests {
     fn hit_skips_recompilation_and_shares_the_product() {
         let (g, e1, _) = setup();
         let view = LabeledView::new(&g);
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let c1 = cache.get_or_compile(&view, 0, &e1);
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
         let c2 = cache.get_or_compile(&view, 0, &e1);
@@ -402,7 +515,7 @@ mod tests {
     fn canonicalization_merges_equivalent_spellings() {
         let (g, e1, e2) = setup();
         let view = LabeledView::new(&g);
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let c1 = cache.get_or_compile(&view, 0, &e1);
         let c2 = cache.get_or_compile(&view, 0, &e2);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
@@ -418,7 +531,7 @@ mod tests {
         let d2 = parse_expr("a/p + a/q", g.consts_mut()).unwrap();
         assert_ne!(simplify(&d1), simplify(&d2), "rewrites must not merge");
         let view = LabeledView::new(&g);
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let c1 = cache.get_or_compile(&view, 0, &d1);
         let c2 = cache.get_or_compile(&view, 0, &d2);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
@@ -439,11 +552,26 @@ mod tests {
     }
 
     #[test]
+    fn from_env_clamps_zero_and_rejects_garbage() {
+        // `0` is clamped to the smallest usable capacity…
+        std::env::set_var(CACHE_CAP_ENV, "0");
+        let cache = QueryCache::from_env();
+        assert_eq!(cache.capacity(), 1);
+        // …and garbage falls back to the default. Both paths emit a
+        // one-time stderr warning (not capturable here; the CLI test
+        // suite asserts the message text).
+        std::env::set_var(CACHE_CAP_ENV, "lots");
+        let cache = QueryCache::from_env();
+        std::env::remove_var(CACHE_CAP_ENV);
+        assert_eq!(cache.capacity(), DEFAULT_CACHE_CAPACITY);
+    }
+
+    #[test]
     fn warm_results_are_identical_to_cold_evaluation() {
         let (g, e1, _) = setup();
         let view = LabeledView::new(&g);
         let cold = Evaluator::new(&view, &e1).pairs();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         cache.get_or_compile(&view, 0, &e1);
         let warm = cache.get_or_compile(&view, 0, &e1).evaluator().pairs();
         assert_eq!(cold, warm);
@@ -454,7 +582,7 @@ mod tests {
     fn generation_bump_invalidates() {
         let (g, e1, _) = setup();
         let view = LabeledView::new(&g);
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let c1 = cache.get_or_compile(&view, 0, &e1);
         let c2 = cache.get_or_compile(&view, 1, &e1);
         assert_eq!((cache.hits(), cache.misses()), (0, 2));
@@ -468,7 +596,7 @@ mod tests {
         let view = LabeledView::new(&g);
         // Cold reference: a plain compile on an untouched cache.
         let cold = Evaluator::new(&view, &e1).pairs();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let cancel = CancelToken::new();
         cancel.cancel();
         let gov = Governor::with_cancel(&Budget::default(), cancel);
@@ -499,7 +627,7 @@ mod tests {
         let (g, e1, _) = setup();
         let view = LabeledView::new(&g);
         let gov = Governor::new(&Budget::default().with_max_steps(1));
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let err = cache
             .get_or_compile_governed(&view, 0, &e1, &gov)
             .unwrap_err();
@@ -520,7 +648,7 @@ mod tests {
         let live = parse_expr("p/q", g.consts_mut()).unwrap();
         let schema = SchemaSummary::from_labeled(&g);
         let view = LabeledView::new(&g);
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
 
         let dead_report = analyze_expr(&dead, &schema, None);
         assert!(dead_report.is_provably_empty());
@@ -561,7 +689,7 @@ mod tests {
         let report = analyze_expr(&blowup, &schema, None);
         assert!(report.denied() && !report.is_provably_empty());
         let view = LabeledView::new(&g);
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let compiled = cache
             .get_or_compile_checked(&view, 0, &blowup, &report)
             .expect("denied queries still compile");
@@ -572,6 +700,27 @@ mod tests {
     }
 
     #[test]
+    fn detached_compiles_never_occupy_a_slot() {
+        let (g, e1, _) = setup();
+        let view = LabeledView::new(&g);
+        let cache = QueryCache::new();
+        let detached = cache.compile_detached(&view, &e1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.short_circuits(), 1);
+        let governed = cache
+            .compile_detached_governed(&view, &e1, &Governor::unlimited())
+            .unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.short_circuits(), 2);
+        // Both produce working, agreeing evaluators.
+        assert_eq!(detached.evaluator().pairs(), governed.evaluator().pairs());
+        // And a later cached compile is unaffected by the detached ones.
+        let cached = cache.get_or_compile(&view, 0, &e1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cached.evaluator().pairs(), detached.evaluator().pairs());
+    }
+
+    #[test]
     fn lru_evicts_the_least_recently_used() {
         let (g, _, _) = setup();
         let mut g = g;
@@ -579,7 +728,7 @@ mod tests {
         let eb = parse_expr("q", g.consts_mut()).unwrap();
         let ec = parse_expr("p/q", g.consts_mut()).unwrap();
         let view = LabeledView::new(&g);
-        let mut cache = QueryCache::with_capacity(2);
+        let cache = QueryCache::with_capacity(2);
         cache.get_or_compile(&view, 0, &ea);
         cache.get_or_compile(&view, 0, &eb);
         // Touch `ea` so `eb` becomes LRU, then insert a third entry.
@@ -592,5 +741,118 @@ mod tests {
         assert_eq!(cache.hits(), 2);
         cache.get_or_compile(&view, 0, &eb);
         assert_eq!(cache.misses(), 4);
+    }
+
+    /// The shared-cache concurrency contract (ISSUE 6 satellite):
+    /// N threads hammering one cache across a generation bump never see
+    /// a stale entry (no product compiled at generation 0 is ever
+    /// returned for a generation-1 lookup), racing misses converge on a
+    /// single shared entry, and every thread's results are byte-identical
+    /// to a solo evaluation.
+    #[test]
+    fn concurrent_lookups_share_entries_and_respect_generation_bumps() {
+        use std::collections::HashSet;
+        let mut g = gnm_labeled(24, 90, &["a", "b"], &["p", "q"], 5);
+        let exprs: Vec<PathExpr> = ["p", "q", "(p+q)*", "p/q", "q/p*"]
+            .iter()
+            .map(|t| parse_expr(t, g.consts_mut()).unwrap())
+            .collect();
+        let view = LabeledView::new(&g);
+        let solo: Vec<_> = exprs
+            .iter()
+            .map(|e| Evaluator::new(&view, e).pairs())
+            .collect();
+        let cache = QueryCache::new();
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 20;
+
+        let run_generation = |generation: u64| -> HashSet<usize> {
+            let mut ptrs = HashSet::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..THREADS)
+                    .map(|t| {
+                        let cache = &cache;
+                        let view = &view;
+                        let exprs = &exprs;
+                        let solo = &solo;
+                        s.spawn(move || {
+                            let mut seen = Vec::new();
+                            for round in 0..ROUNDS {
+                                let i = (t + round) % exprs.len();
+                                let c = cache.get_or_compile(view, generation, &exprs[i]);
+                                assert_eq!(
+                                    c.evaluator().pairs(),
+                                    solo[i],
+                                    "thread {t} expr {i} diverged from the solo run"
+                                );
+                                seen.push(Arc::as_ptr(c.product()) as usize);
+                            }
+                            seen
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    ptrs.extend(h.join().expect("no worker panic"));
+                }
+            });
+            ptrs
+        };
+
+        let gen0 = run_generation(0);
+        // Racing misses converged: one product per expression survives
+        // as the shared entry (transient race losers may appear in the
+        // observed pointer set, but the *cache* holds exactly one entry
+        // per signature).
+        assert_eq!(cache.len(), exprs.len());
+
+        // "Bump": all clients move to generation 1, as after a store
+        // mutation. No generation-0 product may ever be served again.
+        let gen1 = run_generation(1);
+        let survivors: HashSet<usize> = gen1.intersection(&gen0).copied().collect();
+        assert!(
+            survivors.is_empty(),
+            "stale products served after the generation bump: {survivors:?}"
+        );
+        assert_eq!(cache.len(), 2 * exprs.len());
+    }
+
+    /// Concurrent governed compiles where some clients' budgets trip:
+    /// tripped compiles leave the map untouched and other clients still
+    /// converge on healthy shared entries.
+    #[test]
+    fn concurrent_governed_misses_with_trips_leave_healthy_entries() {
+        use crate::govern::Budget;
+        let (g, e1, _) = setup();
+        let view = LabeledView::new(&g);
+        let solo = Evaluator::new(&view, &e1).pairs();
+        let cache = QueryCache::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                let view = &view;
+                let e1 = &e1;
+                let solo = &solo;
+                s.spawn(move || {
+                    let budget = if t % 2 == 0 {
+                        Budget::default().with_max_steps(1) // trips during compile
+                    } else {
+                        Budget::default()
+                    };
+                    let gov = Governor::new(&budget);
+                    match cache.get_or_compile_governed(view, 0, e1, &gov) {
+                        Ok(c) => assert_eq!(&c.evaluator().pairs(), solo),
+                        Err(EvalError::Interrupted(Interrupt::StepBudget)) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                });
+            }
+        });
+        // The tripped compiles never inserted; the successful ones share
+        // one healthy entry.
+        assert_eq!(cache.len(), 1);
+        let c = cache
+            .get_or_compile_governed(&view, 0, &e1, &Governor::unlimited())
+            .unwrap();
+        assert_eq!(c.evaluator().pairs(), solo);
     }
 }

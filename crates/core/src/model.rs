@@ -99,16 +99,22 @@ impl PathGraph for LabeledView<'_> {
 ///
 /// Label tests compare against `λ`; `(p = v)` tests consult `σ`; feature
 /// tests are false.
+///
+/// The CSR adjacency snapshot is built **lazily**, on the first
+/// adjacency access: callers that end up on a cached product (a
+/// [`crate::cache::QueryCache`] hit never touches the view) or on an
+/// analyzer short-circuit skip the O(E) build entirely. The lazy cell is
+/// thread-safe, so one view can be probed from concurrent workers.
 pub struct PropertyView<'a> {
     g: &'a PropertyGraph,
-    csr: Csr,
+    csr: std::sync::OnceLock<Csr>,
 }
 
 impl<'a> PropertyView<'a> {
-    /// Builds the view.
+    /// Builds the view (the CSR snapshot is deferred to first use).
     pub fn new(g: &'a PropertyGraph) -> Self {
         PropertyView {
-            csr: Csr::build(g.labeled().base()),
+            csr: std::sync::OnceLock::new(),
             g,
         }
     }
@@ -116,6 +122,10 @@ impl<'a> PropertyView<'a> {
     /// The wrapped graph.
     pub fn graph(&self) -> &PropertyGraph {
         self.g
+    }
+
+    fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::build(self.g.labeled().base()))
     }
 }
 
@@ -130,10 +140,10 @@ impl PathGraph for PropertyView<'_> {
         self.g.labeled().base().endpoints(e)
     }
     fn out(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
-        self.csr.out(n)
+        self.csr().out(n)
     }
     fn inc(&self, n: NodeId) -> &[(EdgeId, NodeId)] {
-        self.csr.inc(n)
+        self.csr().inc(n)
     }
     fn node_test(&self, n: NodeId, test: &Test) -> bool {
         eval_bool(test, &|leaf| match leaf {

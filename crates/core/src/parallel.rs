@@ -44,16 +44,29 @@ use std::sync::Once;
 static INIT: Once = Once::new();
 
 /// Applies `KGQ_THREADS` (if set and valid) to the global rayon pool.
-/// Idempotent; called automatically by [`effective_threads`].
+/// Idempotent; called automatically by [`effective_threads`]. A value
+/// that is set but not a positive integer (`0`, empty, non-numeric) is
+/// reported once on stderr — naming the bad value and the fallback —
+/// instead of being silently ignored.
 pub fn init_threads() {
     INIT.call_once(|| {
         if let Ok(v) = std::env::var("KGQ_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => {
                     let _ = rayon::ThreadPoolBuilder::new()
                         .num_threads(n)
                         .build_global();
                 }
+                Ok(_) => eprintln!(
+                    "warning: KGQ_THREADS=0 is not a valid thread count; \
+                     using the pool default ({} threads)",
+                    rayon::current_num_threads()
+                ),
+                Err(_) => eprintln!(
+                    "warning: KGQ_THREADS=`{v}` is not a positive integer; \
+                     using the pool default ({} threads)",
+                    rayon::current_num_threads()
+                ),
             }
         }
     });

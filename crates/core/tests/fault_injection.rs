@@ -99,7 +99,7 @@ fn injected_compile_panic_is_typed_and_never_poisons_the_cache() {
     let (g, e) = setup();
     let view = LabeledView::new(&g);
     let cold = Evaluator::new(&view, &e).pairs();
-    let mut cache = QueryCache::new();
+    let cache = QueryCache::new();
     fault::arm("cache::compile", fault::Action::Panic, 0);
     let err = cache
         .get_or_compile_governed(&view, 0, &e, &Governor::unlimited())
@@ -122,7 +122,7 @@ fn injected_product_panic_inside_compile_is_typed() {
     let _guard = serial();
     let (g, e) = setup();
     let view = LabeledView::new(&g);
-    let mut cache = QueryCache::new();
+    let cache = QueryCache::new();
     fault::arm("product::build", fault::Action::Panic, 0);
     let err = cache
         .get_or_compile_governed(&view, 0, &e, &Governor::unlimited())
@@ -161,7 +161,7 @@ fn injected_delay_trips_the_deadline() {
     let view = LabeledView::new(&g);
     fault::arm("product::build", fault::Action::DelayMs(30), 0);
     let gov = Governor::new(&Budget::default().with_deadline(Duration::from_millis(5)));
-    let mut cache = QueryCache::new();
+    let cache = QueryCache::new();
     let err = cache
         .get_or_compile_governed(&view, 0, &e, &gov)
         .unwrap_err();
@@ -223,7 +223,7 @@ fn campaign(seed: u64) -> Vec<String> {
     let view = LabeledView::new(&g);
     let mut out = Vec::new();
 
-    let mut cache = QueryCache::new();
+    let cache = QueryCache::new();
     let compile = cache.get_or_compile_governed(&view, 0, &e, &Governor::unlimited());
     out.push(match &compile {
         Ok(c) => format!("compile: ok ({} states)", c.product().state_count()),

@@ -219,7 +219,7 @@ proptest! {
         let (g, expr) = build(&spec);
         let view = LabeledView::new(&g);
         let cold_pairs = Evaluator::new(&view, &expr).pairs();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         cache
             .get_or_compile_governed(&view, 0, &expr, &Governor::unlimited())
             .unwrap();

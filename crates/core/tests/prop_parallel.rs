@@ -151,7 +151,7 @@ proptest! {
         let view = LabeledView::new(&g);
         let cold_pairs = Evaluator::new(&view, &expr).pairs();
         let cold_starts = Evaluator::new(&view, &expr).matching_starts();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         cache.get_or_compile(&view, 0, &expr);
         let warm = cache.get_or_compile(&view, 0, &expr);
         prop_assert_eq!(cache.hits(), 1);

@@ -112,7 +112,7 @@ fn pattern_prefilter(g: &PropertyGraph, pattern: &PathPattern) -> Prefilter {
 /// start candidates are restricted to its `matching_starts` set. Falls
 /// back to plain [`execute`] behavior for chains with unlabeled
 /// elements. Results are identical to [`execute`].
-pub fn execute_cached(g: &PropertyGraph, query: &Query, cache: &mut QueryCache) -> Vec<Row> {
+pub fn execute_cached(g: &PropertyGraph, query: &Query, cache: &QueryCache) -> Vec<Row> {
     // Static analysis first: a provably-empty query (unknown label,
     // contradictory WHERE, …) returns without compiling anything, and
     // the skipped compilation is visible in the cache stats.
@@ -179,7 +179,7 @@ fn execute_with_filters(
 pub fn execute_governed(
     g: &PropertyGraph,
     query: &Query,
-    cache: &mut QueryCache,
+    cache: &QueryCache,
     gov: &Governor,
 ) -> Result<Governed<Vec<Row>>, EvalError> {
     // Same analyzer short-circuit as `execute_cached`: a provably-empty
@@ -533,7 +533,7 @@ mod tests {
     #[test]
     fn cached_execution_matches_plain_execution() {
         let g = figure2_property();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         for query in [
             "MATCH (p:person) RETURN p",
             "MATCH (p:person)-[:rides]->(b:bus) RETURN p, b",
@@ -544,31 +544,27 @@ mod tests {
             "MATCH (:company)-[:owns]->(b) RETURN b",
         ] {
             let q = parse_query(query).unwrap();
-            assert_eq!(
-                execute_cached(&g, &q, &mut cache),
-                execute(&g, &q),
-                "{query}"
-            );
+            assert_eq!(execute_cached(&g, &q, &cache), execute(&g, &q), "{query}");
         }
     }
 
     #[test]
     fn cached_execution_reuses_compiled_patterns() {
         let g = figure2_property();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let q = parse_query("MATCH (p:person)-[:rides]->(b:bus) RETURN p, b").unwrap();
-        execute_cached(&g, &q, &mut cache);
+        execute_cached(&g, &q, &cache);
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
-        execute_cached(&g, &q, &mut cache);
+        execute_cached(&g, &q, &cache);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]
     fn unknown_label_short_circuits_to_empty() {
         let g = figure2_property();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let q = parse_query("MATCH (p:ghost)-[:rides]->(b:bus) RETURN p").unwrap();
-        assert!(execute_cached(&g, &q, &mut cache).is_empty());
+        assert!(execute_cached(&g, &q, &cache).is_empty());
         // Nothing was compiled: the label is not even in the universe.
         assert_eq!(cache.misses(), 0);
     }
@@ -576,13 +572,13 @@ mod tests {
     #[test]
     fn mutation_invalidates_cached_patterns() {
         let mut g = figure2_property();
-        let mut cache = QueryCache::new();
+        let cache = QueryCache::new();
         let q = parse_query("MATCH (p:person)-[:rides]->(b:bus) RETURN p, b").unwrap();
-        let before = execute_cached(&g, &q, &mut cache);
+        let before = execute_cached(&g, &q, &cache);
         let p9 = g.add_node("n9", "person").unwrap();
         let bus = g.labeled().node_named("n3").unwrap();
         g.add_edge("e9", p9, bus, "rides").unwrap();
-        let after = execute_cached(&g, &q, &mut cache);
+        let after = execute_cached(&g, &q, &cache);
         // The new rider is visible: the stale product was not reused.
         assert_eq!(after.len(), before.len() + 1);
         assert_eq!(cache.misses(), 2);

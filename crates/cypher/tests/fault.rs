@@ -13,11 +13,11 @@ use kgq_graph::figures::figure2_property;
 fn injected_match_panic_is_typed_and_the_cache_survives() {
     let g = figure2_property();
     let q = parse_query("MATCH (p:person)-[:rides]->(b:bus) RETURN p, b").unwrap();
-    let mut cache = QueryCache::new();
-    let reference = execute_cached(&g, &q, &mut cache);
+    let cache = QueryCache::new();
+    let reference = execute_cached(&g, &q, &cache);
 
     fault::arm("cypher::match", fault::Action::Panic, 0);
-    let err = execute_governed(&g, &q, &mut cache, &Governor::unlimited()).unwrap_err();
+    let err = execute_governed(&g, &q, &cache, &Governor::unlimited()).unwrap_err();
     fault::clear();
     match err {
         EvalError::Panic(msg) => assert!(msg.contains("injected fault at cypher::match")),
@@ -25,7 +25,7 @@ fn injected_match_panic_is_typed_and_the_cache_survives() {
     }
 
     // The cache kept its compiled prefilter and the next run is correct.
-    let again = execute_governed(&g, &q, &mut cache, &Governor::unlimited()).unwrap();
+    let again = execute_governed(&g, &q, &cache, &Governor::unlimited()).unwrap();
     assert!(!again.is_partial());
     assert_eq!(again.value, reference);
 }

@@ -656,8 +656,14 @@ impl Solution {
     }
 }
 
+/// Bounds of partition `i` of `len` items split into `chunks` contiguous
+/// near-equal pieces. The product `i * len` is computed in u128 so the
+/// split stays exact for domains near `usize::MAX` (the naive
+/// `i * len / chunks` overflows long before dividing).
 fn chunk_bounds(len: usize, chunks: usize, i: usize) -> Range<usize> {
-    (i * len / chunks)..((i + 1) * len / chunks)
+    let lo = (i as u128 * len as u128 / chunks as u128) as usize;
+    let hi = ((i + 1) as u128 * len as u128 / chunks as u128) as usize;
+    lo..hi
 }
 
 /// One partition's outcome: its rows plus the interrupt that cut it
@@ -852,6 +858,45 @@ mod tests {
                 .map(|b| b.into_iter().map(|(k, v)| (k, v.0)).collect())
                 .collect(),
         )
+    }
+
+    #[test]
+    fn chunk_bounds_is_exact_near_usize_max() {
+        // Partitions tile the whole range with no overflow, no gaps and
+        // no overlap, even when `i * len` exceeds usize::MAX.
+        for (len, chunks) in [
+            (usize::MAX, 8),
+            (usize::MAX - 1, 3),
+            (usize::MAX / 2 + 7, 16),
+            (1_000_000, 7),
+        ] {
+            assert_eq!(chunk_bounds(len, chunks, 0).start, 0);
+            assert_eq!(chunk_bounds(len, chunks, chunks - 1).end, len);
+            for i in 1..chunks {
+                let prev = chunk_bounds(len, chunks, i - 1);
+                let cur = chunk_bounds(len, chunks, i);
+                assert_eq!(prev.end, cur.start, "len={len} chunks={chunks} i={i}");
+                assert!(cur.start <= cur.end);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_with_more_chunks_than_items() {
+        // chunks > len: every item lands in exactly one (possibly empty)
+        // partition and total coverage is still exact.
+        let (len, chunks) = (3, 10);
+        let mut covered = 0;
+        for i in 0..chunks {
+            let r = chunk_bounds(len, chunks, i);
+            assert!(r.start <= r.end && r.end <= len);
+            covered += r.end - r.start;
+        }
+        assert_eq!(covered, len);
+        // Degenerate but legal: zero items.
+        for i in 0..4 {
+            assert_eq!(chunk_bounds(0, 4, i), 0..0);
+        }
     }
 
     #[test]

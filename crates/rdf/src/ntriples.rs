@@ -1,11 +1,30 @@
 //! A reader/writer for an N-Triples subset.
 //!
-//! Supported terms: IRIs `<...>`, simple literals `"..."` (with `\"` and
-//! `\\` escapes), and blank nodes `_:name`. Each line is
-//! `subject predicate object .`; `#` starts a comment.
+//! Supported terms: IRIs `<...>`, simple literals `"..."`, and blank
+//! nodes `_:name`. Each line is `subject predicate object .`; `#` starts
+//! a comment. Literals decode the full W3C N-Triples string escape set:
+//! the `ECHAR` escapes `\t \b \n \r \f \" \' \\` and the `UCHAR` forms
+//! `\uXXXX` / `\UXXXXXXXX`; the writer re-encodes the characters the
+//! grammar forbids raw inside a literal (`"`, `\`, LF, CR) plus the
+//! remaining single-character `ECHAR`s, so every parsed store
+//! round-trips byte-exactly through [`write_ntriples`].
 
 use crate::store::TripleStore;
 use kgq_graph::GraphError;
+
+/// Decodes a `\uXXXX` (`digits == 4`) or `\UXXXXXXXX` (`digits == 8`)
+/// escape starting at the first hex digit. Returns the scalar value and
+/// the number of bytes consumed.
+fn parse_uchar(input: &str, start: usize, digits: usize) -> Result<(char, usize), String> {
+    let hex = input
+        .get(start..start + digits)
+        .ok_or_else(|| format!("truncated \\{} escape", if digits == 4 { 'u' } else { 'U' }))?;
+    let code = u32::from_str_radix(hex, 16)
+        .map_err(|_| format!("invalid hex in unicode escape `\\u{hex}`"))?;
+    let ch =
+        char::from_u32(code).ok_or_else(|| format!("`\\u{hex}` is not a Unicode scalar value"))?;
+    Ok((ch, digits))
+}
 
 fn parse_term(input: &str, pos: &mut usize, line: usize) -> Result<String, GraphError> {
     let bytes = input.as_bytes();
@@ -41,11 +60,23 @@ fn parse_term(input: &str, pos: &mut usize, line: usize) -> Result<String, Graph
                         if i + 1 >= bytes.len() {
                             return Err(err("dangling escape".into()));
                         }
+                        // ECHAR and UCHAR productions of the W3C
+                        // N-Triples grammar.
                         match bytes[i + 1] {
                             b'"' => out.push('"'),
+                            b'\'' => out.push('\''),
                             b'\\' => out.push('\\'),
                             b'n' => out.push('\n'),
                             b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000C}'),
+                            u @ (b'u' | b'U') => {
+                                let digits = if u == b'u' { 4 } else { 8 };
+                                let (ch, used) = parse_uchar(input, i + 2, digits).map_err(&err)?;
+                                out.push(ch);
+                                i += used;
+                            }
                             c => return Err(err(format!("unknown escape \\{}", c as char))),
                         }
                         i += 2;
@@ -116,10 +147,15 @@ fn write_term(term: &str, out: &mut String) {
         out.push('"');
         for c in body.chars() {
             match c {
+                // The grammar forbids these four raw inside a literal…
                 '"' => out.push_str("\\\""),
                 '\\' => out.push_str("\\\\"),
                 '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                // …and these ECHARs are escaped for line-safe output.
                 '\t' => out.push_str("\\t"),
+                '\u{0008}' => out.push_str("\\b"),
+                '\u{000C}' => out.push_str("\\f"),
                 c => out.push(c),
             }
         }
@@ -196,6 +232,66 @@ _:b0 <http://ex.org/age> "33" .
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
         let err = parse_ntriples("<a> <p> <b> .\nbogus\n").unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn decodes_all_w3c_string_escapes() {
+        let text = "<a> <p> \"tab:\\t cr:\\r lf:\\n bs:\\b ff:\\f sq:\\' dq:\\\" bsl:\\\\\" .\n\
+                    <a> <q> \"e-acute:\\u00E9 snowman:\\u2603 rocket:\\U0001F680\" .\n";
+        let st = parse_ntriples(text).unwrap();
+        assert!(st
+            .get_term("\"tab:\t cr:\r lf:\n bs:\u{0008} ff:\u{000C} sq:' dq:\" bsl:\\\"")
+            .is_some());
+        assert!(st
+            .get_term("\"e-acute:\u{00E9} snowman:\u{2603} rocket:\u{1F680}\"")
+            .is_some());
+    }
+
+    #[test]
+    fn escape_round_trip_is_byte_exact() {
+        // Unicode and CR-bearing literals survive parse → write → parse,
+        // and the second write is byte-identical to the first (the
+        // writer is a fixed point).
+        let text =
+            "<a> <p> \"line1\\nline2\\rcr\\ttab \\u00E9\\U0001F600 quote:\\\" back:\\\\\" .\n\
+                    <a> <q> \"\\b\\f\\u0007bell\" .\n";
+        let st = parse_ntriples(text).unwrap();
+        let out1 = write_ntriples(&st);
+        let st2 = parse_ntriples(&out1).unwrap();
+        assert_eq!(st.len(), st2.len());
+        let out2 = write_ntriples(&st2);
+        assert_eq!(out1, out2);
+        // The decoded content is the real characters, not the escapes.
+        assert!(st2
+            .get_term("\"line1\nline2\rcr\ttab \u{00E9}\u{1F600} quote:\" back:\\\"")
+            .is_some());
+    }
+
+    #[test]
+    fn writer_escapes_grammar_forbidden_characters() {
+        let mut st = TripleStore::new();
+        st.insert_strs("a", "p", "\"cr\rlf\nquote\"backslash\\\"");
+        let out = write_ntriples(&st);
+        // One triple, one line: CR and LF must have been escaped.
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("\\r") && out.contains("\\n"));
+        assert!(out.contains("\\\"") && out.contains("\\\\"));
+        let st2 = parse_ntriples(&out).unwrap();
+        assert!(st2.get_term("\"cr\rlf\nquote\"backslash\\\"").is_some());
+    }
+
+    #[test]
+    fn invalid_unicode_escapes_are_rejected_with_line_numbers() {
+        for bad in [
+            "<a> <p> \"\\uZZZZ\" .\n",     // non-hex digits
+            "<a> <p> \"\\u12\" .\n",       // truncated
+            "<a> <p> \"\\UDEADBEEF\" .\n", // beyond the scalar range
+            "<a> <p> \"\\uD800\" .\n",     // lone surrogate
+            "<a> <p> \"\\x41\" .\n",       // unknown escape letter
+        ] {
+            let err = parse_ntriples(bad).unwrap_err();
+            assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{bad}");
+        }
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! A small blocking client for the serve protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (`request` writes a frame and blocks for its response). The
+//! server supports pipelining via request ids; this client deliberately
+//! keeps the simple lock-step discipline — concurrency in the tests and
+//! the load generator comes from many clients, matching the
+//! "millions of users, one connection each" traffic shape.
+
+use crate::protocol::{read_response, write_request, Caps, Request, Response, Verb};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sets a read timeout so a hung server cannot block a test forever.
+    pub fn set_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(d)
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, verb: Verb, caps: &Caps, payload: &str) -> std::io::Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_request(
+            &mut self.writer,
+            &Request {
+                id,
+                verb,
+                caps: caps.clone(),
+                payload: payload.into(),
+            },
+        )?;
+        let resp = read_response(&mut self.reader)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            )
+        })?;
+        if resp.id != id {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response id {} for request {id}", resp.id),
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// RPQ over the server's property graph. `op` is `pairs`, `starts`
+    /// or `count K`.
+    pub fn rpq(&mut self, op: &str, expr: &str, caps: &Caps) -> std::io::Result<Response> {
+        self.request(Verb::Query, caps, &format!("{op}\n{expr}"))
+    }
+
+    /// Cypher query.
+    pub fn cypher(&mut self, query: &str, caps: &Caps) -> std::io::Result<Response> {
+        self.request(Verb::Cypher, caps, query)
+    }
+
+    /// SPARQL SELECT.
+    pub fn sparql(&mut self, query: &str, caps: &Caps) -> std::io::Result<Response> {
+        self.request(Verb::Sparql, caps, query)
+    }
+
+    /// Server counters as the raw `STATS` body.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        Ok(self.request(Verb::Stats, &Caps::none(), "")?.body)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> std::io::Result<bool> {
+        let resp = self.request(Verb::Ping, &Caps::none(), "hello")?;
+        Ok(resp.ok && resp.body == "hello")
+    }
+
+    /// Asks the server to shut down cleanly.
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request(Verb::Shutdown, &Caps::none(), "")
+    }
+}
+
+/// Parses one counter out of a `STATS` body.
+pub fn stat(body: &str, key: &str) -> Option<u64> {
+    body.lines()
+        .find_map(|l| l.strip_prefix(key).and_then(|r| r.trim().parse().ok()))
+}

@@ -1,0 +1,447 @@
+//! Request execution against the shared snapshot.
+//!
+//! The server holds **one** property graph, **one** triple store and
+//! **one** [`QueryCache`] for its whole lifetime. Reads (every
+//! evaluation) take a shared `RwLock` guard and run concurrently;
+//! the only writes are query parsing, which may intern previously
+//! unseen constants into the graph's/store's symbol table. Interning is
+//! append-only and does **not** bump the generation stamp, so cache
+//! entries stay valid and a constant spelled the same way in two
+//! requests resolves to the same [`kgq_graph::Sym`] — which is what
+//! makes the shared cache's signature keys sound across clients.
+//!
+//! Output formats are byte-identical to the CLI's governed paths,
+//! including the `# partial: REASON` trailer, so a response body can be
+//! diffed directly against `kgq query`/`kgq cypher`/`kgq sparql`
+//! output.
+
+use crate::protocol::{effective_budget, Caps, Verb};
+use crate::stats::ServerStats;
+use kgq_core::{
+    count_paths_governed, parse_expr, Budget, CancelToken, Completion, EvalError, Governed,
+    Governor, PropertyView, QueryCache,
+};
+use kgq_graph::PropertyGraph;
+use kgq_rdf::TripleStore;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The state one server instance shares across all connections.
+pub struct Snapshot {
+    graph: RwLock<PropertyGraph>,
+    store: RwLock<TripleStore>,
+    cache: QueryCache,
+    /// Server-side caps; intersected with each request's own.
+    caps: Budget,
+    /// Aggregate counters.
+    pub stats: ServerStats,
+}
+
+/// Outcome of one executed request.
+pub struct Outcome {
+    /// Response body (already CLI-formatted).
+    pub body: String,
+    /// `OK` vs `ERR` on the wire.
+    pub ok: bool,
+    /// Whether the body carries a `# partial:` trailer.
+    pub partial: bool,
+}
+
+impl Outcome {
+    fn ok(body: String, partial: bool) -> Outcome {
+        Outcome {
+            body,
+            ok: true,
+            partial,
+        }
+    }
+
+    fn err(message: String) -> Outcome {
+        Outcome {
+            body: message,
+            ok: false,
+            partial: false,
+        }
+    }
+}
+
+impl Snapshot {
+    /// Wraps the data a server will share. `caps` bounds every request
+    /// (a client can tighten but never exceed it).
+    pub fn new(graph: PropertyGraph, store: TripleStore, caps: Budget) -> Snapshot {
+        Snapshot {
+            graph: RwLock::new(graph),
+            store: RwLock::new(store),
+            cache: QueryCache::from_env(),
+            caps,
+            stats: ServerStats::new(),
+        }
+    }
+
+    /// The shared compiled-query cache.
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    fn graph_read(&self) -> RwLockReadGuard<'_, PropertyGraph> {
+        self.graph.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn graph_write(&self) -> RwLockWriteGuard<'_, PropertyGraph> {
+        self.graph.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn store_read(&self) -> RwLockReadGuard<'_, TripleStore> {
+        self.store.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn store_write(&self) -> RwLockWriteGuard<'_, TripleStore> {
+        self.store.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Executes one query request under its effective budget. `cancel`
+    /// is the connection's token: a disconnect trips in-flight work at
+    /// its next governed batch boundary.
+    pub fn execute(&self, verb: Verb, caps: &Caps, payload: &str, cancel: CancelToken) -> Outcome {
+        let budget = effective_budget(&self.caps, caps);
+        let res = match verb {
+            Verb::Query => self.run_rpq(&budget, payload, cancel),
+            Verb::Cypher => self.run_cypher(&budget, payload, cancel),
+            Verb::Sparql => self.run_sparql(&budget, payload, cancel),
+            // STATS/PING/SHUTDOWN are handled by the server loop, not
+            // the snapshot executor.
+            _ => Err(format!("verb {} is not a query", verb.as_str())),
+        };
+        match res {
+            Ok(outcome) => outcome,
+            Err(message) => Outcome::err(message),
+        }
+    }
+
+    /// `QUERY` payload: first line `pairs` | `starts` | `count K`, the
+    /// remainder is the path expression.
+    fn run_rpq(
+        &self,
+        budget: &Budget,
+        payload: &str,
+        cancel: CancelToken,
+    ) -> Result<Outcome, String> {
+        let (op, expr_text) = payload
+            .split_once('\n')
+            .ok_or("QUERY payload needs an op line and an expression line")?;
+        let expr = {
+            // Parse under the write lock: interning new constants is the
+            // one mutation queries perform.
+            let mut g = self.graph_write();
+            parse_expr(expr_text, g.labeled_mut().consts_mut()).map_err(|e| e.render(expr_text))?
+        };
+        let g = self.graph_read();
+        let view = PropertyView::new(&g);
+        let gov = Governor::with_cancel(budget, cancel.clone());
+        let mut out = String::new();
+        match op.split_ascii_whitespace().next().unwrap_or("") {
+            "pairs" => {
+                let compiled =
+                    match self
+                        .cache
+                        .get_or_compile_governed(&view, g.generation(), &expr, &gov)
+                    {
+                        Ok(c) => c,
+                        // Budget exhausted before the automaton built:
+                        // the answer is the empty prefix, reported as a
+                        // typed partial (same as the CLI).
+                        Err(EvalError::Interrupted(why)) => {
+                            out.push_str(&format!("# partial: {why}\n"));
+                            return Ok(Outcome::ok(out, true));
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
+                let res = compiled
+                    .evaluator()
+                    .pairs_governed(&gov)
+                    .map_err(|e| e.to_string())?;
+                for (a, b) in &res.value {
+                    out.push_str(&format!(
+                        "{}\t{}\n",
+                        g.labeled().node_name(*a),
+                        g.labeled().node_name(*b)
+                    ));
+                }
+                let partial = marker(&mut out, &res);
+                Ok(Outcome::ok(out, partial))
+            }
+            "starts" => {
+                let compiled =
+                    match self
+                        .cache
+                        .get_or_compile_governed(&view, g.generation(), &expr, &gov)
+                    {
+                        Ok(c) => c,
+                        Err(EvalError::Interrupted(why)) => {
+                            out.push_str(&format!("# partial: {why}\n"));
+                            return Ok(Outcome::ok(out, true));
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
+                let res = compiled
+                    .evaluator()
+                    .matching_starts_governed(&gov)
+                    .map_err(|e| e.to_string())?;
+                for n in &res.value {
+                    out.push_str(g.labeled().node_name(*n));
+                    out.push('\n');
+                }
+                let partial = marker(&mut out, &res);
+                Ok(Outcome::ok(out, partial))
+            }
+            "count" => {
+                let k: usize = op
+                    .split_ascii_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("count needs K")?;
+                let res = count_paths_governed(&view, &expr, k, budget, cancel)
+                    .map_err(|e| e.to_string())?;
+                out.push_str(&format!("{}\n", res.value));
+                let partial = marker(&mut out, &res);
+                Ok(Outcome::ok(out, partial))
+            }
+            other => Err(format!("unknown query op `{other}`")),
+        }
+    }
+
+    fn run_cypher(
+        &self,
+        budget: &Budget,
+        payload: &str,
+        cancel: CancelToken,
+    ) -> Result<Outcome, String> {
+        let q = kgq_cypher::parse_query(payload).map_err(|e| e.render(payload))?;
+        let g = self.graph_read();
+        let gov = Governor::with_cancel(budget, cancel);
+        let res =
+            kgq_cypher::execute_governed(&g, &q, &self.cache, &gov).map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for row in &res.value {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        let partial = marker(&mut out, &res);
+        Ok(Outcome::ok(out, partial))
+    }
+
+    fn run_sparql(
+        &self,
+        budget: &Budget,
+        payload: &str,
+        cancel: CancelToken,
+    ) -> Result<Outcome, String> {
+        let q = {
+            let mut st = self.store_write();
+            kgq_rdf::parse_select(payload, &mut st).map_err(|e| e.to_string())?
+        };
+        let st = self.store_read();
+        let gov = Governor::with_cancel(budget, cancel);
+        let res = kgq_rdf::select_governed(&st, &q, &gov).map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for row in &res.value {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        let partial = marker(&mut out, &res);
+        Ok(Outcome::ok(out, partial))
+    }
+}
+
+/// Appends the CLI's `# partial:` / `# degraded:` trailer lines; returns
+/// whether the result was partial.
+fn marker<T>(out: &mut String, res: &Governed<T>) -> bool {
+    let mut partial = false;
+    if let Completion::Partial(why) = &res.completion {
+        out.push_str(&format!("# partial: {why}\n"));
+        partial = true;
+    }
+    if res.degraded {
+        out.push_str("# degraded: exact budget exhausted, approximate estimate\n");
+    }
+    partial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgq_graph::generate::{contact_network, ContactParams};
+    use kgq_rdf::parse_ntriples;
+
+    fn snapshot(caps: Budget) -> Snapshot {
+        let g = contact_network(&ContactParams {
+            people: 30,
+            buses: 4,
+            addresses: 12,
+            seed: 11,
+            ..ContactParams::default()
+        });
+        let st = parse_ntriples(
+            "<a> <knows> <b> .\n<b> <knows> <c> .\n<c> <knows> <a> .\n\
+             <a> <type> <P> .\n<b> <type> <P> .\n",
+        )
+        .unwrap();
+        Snapshot::new(g, st, caps)
+    }
+
+    #[test]
+    fn rpq_pairs_match_direct_evaluation() {
+        let snap = snapshot(Budget::unlimited());
+        let out = snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "pairs\nrides/rides^-",
+            CancelToken::new(),
+        );
+        assert!(out.ok, "{}", out.body);
+        assert!(!out.partial);
+        assert!(out.body.lines().count() > 0);
+        // Identical second run: answered from the shared cache.
+        let again = snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "pairs\nrides/rides^-",
+            CancelToken::new(),
+        );
+        assert_eq!(out.body, again.body);
+        assert!(snap.cache().hits() >= 1);
+    }
+
+    #[test]
+    fn tripped_rpq_returns_typed_exact_prefix() {
+        let snap = snapshot(Budget::unlimited());
+        let full = snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "pairs\n(rides + contact + lives)*",
+            CancelToken::new(),
+        );
+        let tripped = snap.execute(
+            Verb::Query,
+            &Caps {
+                max_results: Some(3),
+                ..Caps::default()
+            },
+            "pairs\n(rides + contact + lives)*",
+            CancelToken::new(),
+        );
+        assert!(tripped.ok && tripped.partial, "{}", tripped.body);
+        let trailer = "# partial: result budget reached\n";
+        assert!(tripped.body.ends_with(trailer), "{}", tripped.body);
+        // Exact prefix of the untripped answer.
+        let prefix = tripped.body.strip_suffix(trailer).unwrap();
+        assert!(full.body.starts_with(prefix));
+        assert_eq!(prefix.lines().count(), 3);
+    }
+
+    #[test]
+    fn server_caps_bound_client_requests() {
+        // Server caps at 2 results; the client asks for 1000.
+        let snap = snapshot(Budget::unlimited().with_max_results(2));
+        let out = snap.execute(
+            Verb::Query,
+            &Caps {
+                max_results: Some(1000),
+                ..Caps::default()
+            },
+            "pairs\n(rides + contact + lives)*",
+            CancelToken::new(),
+        );
+        assert!(out.ok && out.partial);
+        assert_eq!(out.body.lines().count(), 3); // 2 rows + trailer
+    }
+
+    #[test]
+    fn sparql_and_cypher_and_count_run_governed() {
+        let snap = snapshot(Budget::unlimited());
+        let s = snap.execute(
+            Verb::Sparql,
+            &Caps::none(),
+            "SELECT ?x ?y WHERE { ?x <knows> ?y . ?y <type> <P> . }",
+            CancelToken::new(),
+        );
+        assert!(s.ok, "{}", s.body);
+        assert_eq!(s.body.lines().count(), 2); // c→a, a→b
+        let c = snap.execute(
+            Verb::Cypher,
+            &Caps::none(),
+            "MATCH (p:person)-[:rides]->(b:bus) RETURN p, b",
+            CancelToken::new(),
+        );
+        assert!(c.ok, "{}", c.body);
+        let n = snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "count 3\nrides/rides^-",
+            CancelToken::new(),
+        );
+        assert!(n.ok, "{}", n.body);
+        n.body.trim().parse::<u128>().expect("count is a number");
+    }
+
+    #[test]
+    fn cancelled_connection_trips_the_request() {
+        let snap = snapshot(Budget::unlimited());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "pairs\n(rides + contact + lives)*",
+            cancel,
+        );
+        // Already-cancelled work degrades to an empty typed partial.
+        assert!(out.ok && out.partial, "{}", out.body);
+        assert!(out.body.contains("# partial: cancelled"), "{}", out.body);
+    }
+
+    #[test]
+    fn parse_errors_are_err_frames_not_panics() {
+        let snap = snapshot(Budget::unlimited());
+        for (verb, payload) in [
+            (Verb::Query, "pairs\n(((("),
+            (Verb::Query, "no-newline-payload"),
+            (Verb::Query, "bogus-op\nrides"),
+            (Verb::Cypher, "MATCH ("),
+            (Verb::Sparql, "SELECT WHERE"),
+        ] {
+            let out = snap.execute(verb, &Caps::none(), payload, CancelToken::new());
+            assert!(!out.ok, "{payload} should be an error");
+        }
+    }
+
+    #[test]
+    fn new_constants_intern_without_invalidating_the_cache() {
+        let snap = snapshot(Budget::unlimited());
+        snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "pairs\nrides",
+            CancelToken::new(),
+        );
+        let misses_before = snap.cache().misses();
+        // A query over a label the graph has never seen: interns a new
+        // constant (graph write), still evaluates (empty), and the
+        // earlier cache entry survives.
+        let out = snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "pairs\nnever_seen_label_xyz",
+            CancelToken::new(),
+        );
+        assert!(out.ok && out.body.is_empty(), "{}", out.body);
+        let cached = snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "pairs\nrides",
+            CancelToken::new(),
+        );
+        assert!(cached.ok);
+        assert!(snap.cache().hits() >= 1);
+        assert!(snap.cache().misses() >= misses_before);
+    }
+}

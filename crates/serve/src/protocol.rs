@@ -1,0 +1,443 @@
+//! Wire protocol: length-prefixed request/response frames over TCP.
+//!
+//! One connection carries any number of requests. Each request is a
+//! single header line followed by a length-prefixed payload:
+//!
+//! ```text
+//! <id> <verb> <caps> <len>\n<payload: len bytes>
+//! ```
+//!
+//! - `id` — a client-chosen `u64`, echoed on the response so pipelined
+//!   requests can be matched up even when the server completes them out
+//!   of order.
+//! - `verb` — `QUERY` (RPQ over the property graph; the payload's first
+//!   line is the operation — `pairs`, `starts` or `count K` — and the
+//!   rest is the path expression), `CYPHER`, `SPARQL`, `STATS`, `PING`,
+//!   or `SHUTDOWN`.
+//! - `caps` — the client's requested resource caps: `-` for none, or a
+//!   comma list of `timeout=MS`, `steps=N`, `results=N`, `memory=BYTES`.
+//!   The server intersects these with its own caps (componentwise min)
+//!   before admission; a client can therefore only tighten its budget,
+//!   never exceed the server's.
+//! - `len` — payload byte length (the payload itself may contain tabs
+//!   and newlines; no in-band escaping is needed).
+//!
+//! Responses mirror the shape:
+//!
+//! ```text
+//! <id> OK <len>\n<body>
+//! <id> ERR <len>\n<message>
+//! ```
+//!
+//! A governed request that trips its budget is *not* an error: the body
+//! is the exact answer prefix computed so far, terminated by the same
+//! `# partial: REASON` trailer the CLI prints, so clients parse one
+//! format everywhere.
+
+use kgq_core::Budget;
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+/// Request verbs understood by the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// RPQ over the shared property graph.
+    Query,
+    /// Cypher query over the shared property graph.
+    Cypher,
+    /// SPARQL SELECT over the shared triple store.
+    Sparql,
+    /// Server counters (requests, trips, cache stats, latency).
+    Stats,
+    /// Liveness check; echoes the payload.
+    Ping,
+    /// Ask the server to shut down cleanly.
+    Shutdown,
+}
+
+impl Verb {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verb::Query => "QUERY",
+            Verb::Cypher => "CYPHER",
+            Verb::Sparql => "SPARQL",
+            Verb::Stats => "STATS",
+            Verb::Ping => "PING",
+            Verb::Shutdown => "SHUTDOWN",
+        }
+    }
+
+    /// Parses a wire spelling.
+    pub fn parse(s: &str) -> Option<Verb> {
+        Some(match s {
+            "QUERY" => Verb::Query,
+            "CYPHER" => Verb::Cypher,
+            "SPARQL" => Verb::Sparql,
+            "STATS" => Verb::Stats,
+            "PING" => Verb::Ping,
+            "SHUTDOWN" => Verb::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Client-requested resource caps, as carried on the request header.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Caps {
+    /// Wall-clock limit in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Step budget.
+    pub max_steps: Option<u64>,
+    /// Result budget.
+    pub max_results: Option<u64>,
+    /// Memory budget in bytes.
+    pub max_memory: Option<u64>,
+}
+
+impl Caps {
+    /// No caps requested.
+    pub fn none() -> Caps {
+        Caps::default()
+    }
+
+    /// Wire encoding (`-` when empty).
+    pub fn encode(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(v) = self.timeout_ms {
+            parts.push(format!("timeout={v}"));
+        }
+        if let Some(v) = self.max_steps {
+            parts.push(format!("steps={v}"));
+        }
+        if let Some(v) = self.max_results {
+            parts.push(format!("results={v}"));
+        }
+        if let Some(v) = self.max_memory {
+            parts.push(format!("memory={v}"));
+        }
+        if parts.is_empty() {
+            "-".into()
+        } else {
+            parts.join(",")
+        }
+    }
+
+    /// Parses the wire encoding.
+    pub fn parse(s: &str) -> Result<Caps, String> {
+        let mut caps = Caps::default();
+        if s == "-" {
+            return Ok(caps);
+        }
+        for part in s.split(',') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed cap `{part}` (expected key=value)"))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("cap `{key}` needs a number, got `{value}`"))?;
+            match key {
+                "timeout" => caps.timeout_ms = Some(n),
+                "steps" => caps.max_steps = Some(n),
+                "results" => caps.max_results = Some(n),
+                "memory" => caps.max_memory = Some(n),
+                other => return Err(format!("unknown cap `{other}`")),
+            }
+        }
+        Ok(caps)
+    }
+
+    /// The caps as a [`Budget`] (no server intersection applied).
+    pub fn to_budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.timeout_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_steps {
+            b = b.with_max_steps(n);
+        }
+        if let Some(n) = self.max_results {
+            b = b.with_max_results(n);
+        }
+        if let Some(n) = self.max_memory {
+            b = b.with_max_memory(n);
+        }
+        b
+    }
+}
+
+/// Componentwise minimum of the server's caps and the client's request:
+/// the *effective* budget a request is admitted under. `None` means
+/// unlimited on that axis, so `min(None, x) = x`.
+pub fn effective_budget(server: &Budget, client: &Caps) -> Budget {
+    fn min_opt<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
+    }
+    let c = client.to_budget();
+    Budget {
+        deadline: min_opt(server.deadline, c.deadline),
+        max_steps: min_opt(server.max_steps, c.max_steps),
+        max_memory_bytes: min_opt(server.max_memory_bytes, c.max_memory_bytes),
+        max_results: min_opt(server.max_results, c.max_results),
+    }
+}
+
+/// A parsed request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id, echoed on the response.
+    pub id: u64,
+    /// What to do.
+    pub verb: Verb,
+    /// Client-requested caps.
+    pub caps: Caps,
+    /// Verb-specific payload.
+    pub payload: String,
+}
+
+/// A parsed response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// `OK` vs `ERR`.
+    pub ok: bool,
+    /// Result body (for `OK`) or error message (for `ERR`).
+    pub body: String,
+}
+
+impl Response {
+    /// True when the body carries a governed partial-result trailer.
+    pub fn is_partial(&self) -> bool {
+        self.body.lines().any(|l| l.starts_with("# partial: "))
+    }
+}
+
+/// Payload size cap: a defensive bound so a garbage header cannot make
+/// the server allocate unbounded memory.
+pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// Writes one request frame.
+pub fn write_request(w: &mut impl Write, req: &Request) -> std::io::Result<()> {
+    write!(
+        w,
+        "{} {} {} {}\n{}",
+        req.id,
+        req.verb.as_str(),
+        req.caps.encode(),
+        req.payload.len(),
+        req.payload
+    )?;
+    w.flush()
+}
+
+/// Reads one request frame. `Ok(None)` on clean EOF before a header.
+pub fn read_request(r: &mut impl BufRead) -> std::io::Result<Option<Request>> {
+    let Some(line) = read_header_line(r)? else {
+        return Ok(None);
+    };
+    let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+    let mut it = line.split_ascii_whitespace();
+    let (Some(id), Some(verb), Some(caps), Some(len), None) =
+        (it.next(), it.next(), it.next(), it.next(), it.next())
+    else {
+        return Err(bad(format!("malformed request header `{line}`")));
+    };
+    let id: u64 = id.parse().map_err(|_| bad(format!("bad id `{id}`")))?;
+    let verb = Verb::parse(verb).ok_or_else(|| bad(format!("unknown verb `{verb}`")))?;
+    let caps = Caps::parse(caps).map_err(bad)?;
+    let payload = read_payload(r, len).map_err(|e| match e {
+        PayloadError::Header(m) => bad(m),
+        PayloadError::Io(e) => e,
+    })?;
+    Ok(Some(Request {
+        id,
+        verb,
+        caps,
+        payload,
+    }))
+}
+
+/// Writes one response frame.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    write!(
+        w,
+        "{} {} {}\n{}",
+        resp.id,
+        if resp.ok { "OK" } else { "ERR" },
+        resp.body.len(),
+        resp.body
+    )?;
+    w.flush()
+}
+
+/// Reads one response frame. `Ok(None)` on clean EOF before a header.
+pub fn read_response(r: &mut impl BufRead) -> std::io::Result<Option<Response>> {
+    let Some(line) = read_header_line(r)? else {
+        return Ok(None);
+    };
+    let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+    let mut it = line.split_ascii_whitespace();
+    let (Some(id), Some(status), Some(len), None) = (it.next(), it.next(), it.next(), it.next())
+    else {
+        return Err(bad(format!("malformed response header `{line}`")));
+    };
+    let id: u64 = id.parse().map_err(|_| bad(format!("bad id `{id}`")))?;
+    let ok = match status {
+        "OK" => true,
+        "ERR" => false,
+        other => return Err(bad(format!("bad status `{other}`"))),
+    };
+    let body = read_payload(r, len).map_err(|e| match e {
+        PayloadError::Header(m) => bad(m),
+        PayloadError::Io(e) => e,
+    })?;
+    Ok(Some(Response { id, ok, body }))
+}
+
+enum PayloadError {
+    Header(String),
+    Io(std::io::Error),
+}
+
+fn read_payload(r: &mut impl BufRead, len: &str) -> Result<String, PayloadError> {
+    let len: usize = len
+        .parse()
+        .map_err(|_| PayloadError::Header(format!("bad length `{len}`")))?;
+    if len > MAX_PAYLOAD {
+        return Err(PayloadError::Header(format!(
+            "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).map_err(PayloadError::Io)?;
+    String::from_utf8(buf).map_err(|_| PayloadError::Header("payload is not UTF-8".into()))
+}
+
+/// Reads one `\n`-terminated header line; `None` on EOF at a frame
+/// boundary (i.e. a clean close).
+fn read_header_line(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let req = Request {
+            id: 7,
+            verb: Verb::Sparql,
+            caps: Caps {
+                timeout_ms: Some(250),
+                max_steps: Some(1_000),
+                max_results: None,
+                max_memory: None,
+            },
+            payload: "SELECT ?x WHERE { ?x <knows> ?y . }\nwith a second line\tand tabs".into(),
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        assert_eq!(read_request(&mut r).unwrap(), Some(req));
+        assert_eq!(read_request(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn response_frames_round_trip_and_flag_partials() {
+        let resp = Response {
+            id: 9,
+            ok: true,
+            body: "a\tb\n# partial: step budget exhausted\n".into(),
+        };
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let back = read_response(&mut r).unwrap().unwrap();
+        assert_eq!(back, resp);
+        assert!(back.is_partial());
+        assert!(!Response {
+            id: 0,
+            ok: true,
+            body: "a\tb\n".into()
+        }
+        .is_partial());
+    }
+
+    #[test]
+    fn caps_encode_parse_round_trip() {
+        for caps in [
+            Caps::none(),
+            Caps {
+                timeout_ms: Some(10),
+                max_steps: Some(20),
+                max_results: Some(30),
+                max_memory: Some(40),
+            },
+            Caps {
+                max_steps: Some(5),
+                ..Caps::default()
+            },
+        ] {
+            assert_eq!(Caps::parse(&caps.encode()).unwrap(), caps);
+        }
+        assert!(Caps::parse("steps=abc").is_err());
+        assert!(Caps::parse("bogus=1").is_err());
+        assert!(Caps::parse("steps").is_err());
+    }
+
+    #[test]
+    fn effective_budget_is_componentwise_min() {
+        let server = Budget::unlimited()
+            .with_max_steps(1_000)
+            .with_deadline(Duration::from_millis(500));
+        // Client tightens steps, requests looser deadline, adds results.
+        let client = Caps {
+            max_steps: Some(10),
+            timeout_ms: Some(60_000),
+            max_results: Some(3),
+            max_memory: None,
+        };
+        let eff = effective_budget(&server, &client);
+        assert_eq!(eff.max_steps, Some(10)); // client tighter
+        assert_eq!(eff.deadline, Some(Duration::from_millis(500))); // server tighter
+        assert_eq!(eff.max_results, Some(3)); // only client
+        assert_eq!(eff.max_memory_bytes, None); // neither
+    }
+
+    #[test]
+    fn malformed_headers_are_io_errors_not_panics() {
+        for wire in [
+            "nonsense\nxx",
+            "1 QUERY -\n",                       // missing length
+            "1 BOGUS - 0\n",                     // unknown verb
+            "x QUERY - 0\n",                     // bad id
+            "1 QUERY steps=z 0\n",               // bad cap
+            "1 QUERY - 999999999999999999999\n", // bad length
+        ] {
+            let mut r = BufReader::new(wire.as_bytes());
+            assert!(read_request(&mut r).is_err(), "{wire:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let wire = format!("1 PING - {}\n", MAX_PAYLOAD + 1);
+        let mut r = BufReader::new(wire.as_bytes());
+        assert!(read_request(&mut r).is_err());
+    }
+}

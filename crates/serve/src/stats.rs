@@ -1,0 +1,168 @@
+//! Per-request and aggregate server counters, exposed via `STATS`.
+
+use kgq_core::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Aggregate counters for one server lifetime. All methods are `&self`;
+/// update paths are atomics plus one short-lived mutex for the latency
+/// reservoir.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    partials: AtomicU64,
+    cancelled: AtomicU64,
+    /// Completed-request latencies in microseconds.
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> ServerStats {
+        ServerStats::default()
+    }
+
+    /// Counts an admitted request.
+    pub fn request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a completed request: outcome plus wall latency.
+    pub fn finish(&self, ok: bool, partial: bool, latency_us: u64) {
+        if ok {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if partial {
+            self.partials.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latencies_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(latency_us);
+    }
+
+    /// Counts a request reclaimed unrun because its client disconnected.
+    pub fn cancel(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests admitted so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests finished with `OK`.
+    pub fn ok(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    /// Requests finished with `ERR`.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose body carried a `# partial:` trailer (budget trips).
+    pub fn partials(&self) -> u64 {
+        self.partials.load(Ordering::Relaxed)
+    }
+
+    /// `(p50, p99)` completed-request latency in microseconds.
+    pub fn latency_percentiles(&self) -> (u64, u64) {
+        let mut lat = self
+            .latencies_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if lat.is_empty() {
+            return (0, 0);
+        }
+        lat.sort_unstable();
+        (percentile(&lat, 50), percentile(&lat, 99))
+    }
+
+    /// Renders the `STATS` response body. One `key value` pair per
+    /// line, stable order, so shell tests can `grep '^partials '`.
+    pub fn render(&self, cache: &CacheStats, workers: usize) -> String {
+        let (p50, p99) = self.latency_percentiles();
+        format!(
+            "requests {}\nok {}\nerrors {}\npartials {}\ncancelled {}\n\
+             p50_us {p50}\np99_us {p99}\nworkers {workers}\n\
+             cache_hits {}\ncache_misses {}\ncache_evictions {}\n\
+             cache_short_circuits {}\ncache_len {}\ncache_capacity {}\n",
+            self.requests(),
+            self.ok(),
+            self.errors(),
+            self.partials(),
+            self.cancelled.load(Ordering::Relaxed),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.short_circuits,
+            cache.len,
+            cache.capacity,
+        )
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted non-empty slice.
+pub fn percentile(sorted: &[u64], p: u64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p as usize * sorted.len()).div_ceil(100);
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn counters_and_render() {
+        let s = ServerStats::new();
+        s.request();
+        s.request();
+        s.request();
+        s.finish(true, false, 100);
+        s.finish(true, true, 300);
+        s.finish(false, false, 200);
+        s.cancel();
+        assert_eq!(s.requests(), 3);
+        assert_eq!(s.ok(), 2);
+        assert_eq!(s.errors(), 1);
+        assert_eq!(s.partials(), 1);
+        assert_eq!(s.latency_percentiles(), (200, 300));
+        let cache = CacheStats {
+            hits: 5,
+            misses: 2,
+            evictions: 1,
+            short_circuits: 0,
+            len: 2,
+            capacity: 64,
+        };
+        let text = s.render(&cache, 4);
+        assert!(text.contains("requests 3\n"));
+        assert!(text.contains("partials 1\n"));
+        assert!(text.contains("cancelled 1\n"));
+        assert!(text.contains("p99_us 300\n"));
+        assert!(text.contains("cache_hits 5\n"));
+        assert!(text.contains("workers 4\n"));
+    }
+
+    #[test]
+    fn empty_latency_reservoir_reports_zero() {
+        assert_eq!(ServerStats::new().latency_percentiles(), (0, 0));
+    }
+}

@@ -33,7 +33,8 @@ fn usage() -> ExitCode {
          kgq cypher GRAPH QUERY [GOVERN]\n  \
          kgq analytics GRAPH (pagerank|betweenness|components|diameter|densest)\n  \
          kgq rdf FILE (path EXPR|select QUERY|infer)\n  \
-         kgq sparql FILE QUERY [--explain] [GOVERN]\n\n  \
+         kgq sparql FILE QUERY [--explain] [GOVERN]\n  \
+         kgq serve GRAPH [--nt FILE] [--port P] [--workers W] [GOVERN]\n\n  \
          GOVERN: --timeout MS | --max-steps N | --max-results N\n  \
          query/cypher also take --explain (print the static-analysis\n  \
          verdict instead of executing), --verbose (cache stats on\n  \
@@ -163,7 +164,7 @@ fn cmd_query(args: &[String]) -> Result<String, String> {
     // Reachability-style ops share one compiled product via the query
     // cache (keyed by the graph's generation stamp and the query's
     // minimal-DFA signature). Capacity honors KGQ_CACHE_CAP.
-    let mut cache = QueryCache::from_env();
+    let cache = QueryCache::from_env();
     let verbose = rest.iter().any(|a| a == "--verbose");
     let mut out = String::new();
     match op {
@@ -336,19 +337,19 @@ fn cmd_cypher(args: &[String]) -> Result<String, String> {
         let report = cypher::analyze_query(&g, &q, Some(query_text));
         return Ok(report.render(query_text));
     }
-    let mut cache = QueryCache::from_env();
+    let cache = QueryCache::from_env();
     let verbose = rest.iter().any(|a| a == "--verbose");
     let mut out = String::new();
     if let Some(b) = budget_from(rest)? {
         let gov = Governor::new(&b);
-        let res = cypher::execute_governed(&g, &q, &mut cache, &gov).map_err(|e| e.to_string())?;
+        let res = cypher::execute_governed(&g, &q, &cache, &gov).map_err(|e| e.to_string())?;
         for row in &res.value {
             out.push_str(&row.join("\t"));
             out.push('\n');
         }
         completion_marker(&mut out, &res);
     } else {
-        for row in cypher::execute_cached(&g, &q, &mut cache) {
+        for row in cypher::execute_cached(&g, &q, &cache) {
             out.push_str(&row.join("\t"));
             out.push('\n');
         }
@@ -481,6 +482,44 @@ fn cmd_sparql(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `kgq serve GRAPH [--nt FILE] [--port P] [--workers W] [GOVERN]` —
+/// long-lived multi-client query server over the loaded snapshot.
+/// GOVERN flags become the *server-side* caps every request is admitted
+/// under (componentwise min with the client's own caps). Prints
+/// `listening on ADDR` once bound, then blocks until a client sends
+/// `SHUTDOWN`; shuts down cleanly (all threads joined) and reports
+/// final stats on stderr.
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    let [path, rest @ ..] = args else {
+        return Err("serve needs GRAPH".into());
+    };
+    let g = load_graph(path)?;
+    let st = match str_flag(rest, "--nt") {
+        Some(nt_path) => {
+            let text = std::fs::read_to_string(nt_path).map_err(|e| format!("{nt_path}: {e}"))?;
+            rdf::parse_ntriples(&text).map_err(|e| e.to_string())?
+        }
+        None => rdf::TripleStore::new(),
+    };
+    let cfg = kgq_serve::ServerConfig {
+        addr: format!("127.0.0.1:{}", flag(rest, "--port", 0)),
+        workers: flag(rest, "--workers", 4),
+        caps: budget_from(rest)?.unwrap_or_default(),
+    };
+    let handle = kgq_serve::serve(g, st, cfg).map_err(|e| e.to_string())?;
+    println!("listening on {}", handle.addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    handle.wait();
+    let stats = handle.snapshot().stats.render(
+        &handle.snapshot().cache().stats(),
+        flag(rest, "--workers", 4),
+    );
+    handle.shutdown();
+    eprintln!("kgq serve: shut down cleanly; final stats:\n{stats}");
+    Ok(String::new())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -493,6 +532,7 @@ fn main() -> ExitCode {
         "analytics" => cmd_analytics(&args[1..]),
         "rdf" => cmd_rdf(&args[1..]),
         "sparql" => cmd_sparql(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         _ => return usage(),
     };
     match result {
