@@ -1,0 +1,310 @@
+//! Experiment `exp_store` — the durable write path under honest fsync,
+//! emitted as `BENCH_store.json`.
+//!
+//! Four measurements over `kgq-store` (DESIGN.md §13), all on a single
+//! box against a real filesystem:
+//!
+//! 1. **batched append throughput** — triples committed per second when
+//!    ops are batched before each fsynced commit, plus WAL bytes per
+//!    op. This is the bulk-load shape.
+//! 2. **single-op commit latency** — p50/p99 µs for a commit of one
+//!    triple. Each commit pays a full fsync, so this is the *honest*
+//!    durability floor of the box, not a page-cache number.
+//! 3. **recovery time vs WAL length** — wall time for
+//!    [`DurableStore::open`] (scan + CRC check + replay) at increasing
+//!    committed WAL sizes, and the same store reopened after
+//!    compaction (segment load, near-empty WAL).
+//! 4. **overlay read overhead** — full scans and pattern counts through
+//!    the delta overlay (base segment + added + tombstoned) versus the
+//!    same state materialized into a plain [`TripleStore`], reported as
+//!    a ratio.
+//!
+//! Correctness is asserted before anything is timed: every recovery
+//! must reproduce the exact committed triple set, and the overlay scan
+//! must agree with its materialization byte-for-byte. `--quick` trims
+//! sizes for CI; `--out FILE` overrides the report path.
+
+use kgq_bench::{fmt_duration, mean, percentile, print_table, timed};
+use kgq_store::DurableStore;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Exits with a message instead of panicking: a failed experiment run
+/// should read like a diagnosis, not a backtrace.
+fn orfail<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("exp_store: {what}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic triple `i` over a closed vocabulary: enough distinct
+/// subjects to exercise the orderings, few predicates (as in RDF data).
+fn triple(i: u64) -> (String, String, String) {
+    let mut s = i.wrapping_mul(0x0360_3AB5);
+    let r = splitmix64(&mut s);
+    (
+        format!("s{}", r % 5_000),
+        format!("p{}", (r >> 16) % 12),
+        format!("o{i}"),
+    )
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kgq-exp-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &Path) -> DurableStore {
+    orfail(DurableStore::open(dir), "open store").0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // (batches, ops per batch, single-op commits, overlay base size)
+    let (batches, batch_ops, singles, base_n) = if quick {
+        (60, 50, 60, 20_000)
+    } else {
+        (200, 100, 200, 100_000)
+    };
+
+    // -- 1. batched append throughput ------------------------------------
+    let dir = fresh_dir("append");
+    let mut store = open(&dir);
+    let mut next = 0u64;
+    let start = Instant::now();
+    for _ in 0..batches {
+        for _ in 0..batch_ops {
+            let (s, p, o) = triple(next);
+            store.stage_insert(&s, &p, &o);
+            next += 1;
+        }
+        orfail(store.commit(), "commit batch");
+    }
+    let append_wall = start.elapsed();
+    let total_ops = (batches * batch_ops) as f64;
+    let append_ops_s = total_ops / append_wall.as_secs_f64();
+    let wal_bytes = store.wal_len();
+    let bytes_per_op = wal_bytes as f64 / total_ops;
+    let committed_len = store.len();
+
+    // -- 2. single-op commit latency (one fsync per triple) ---------------
+    let mut lat_us = Vec::with_capacity(singles);
+    for i in 0..singles {
+        let (s, p, o) = triple(1_000_000 + i as u64);
+        store.stage_insert(&s, &p, &o);
+        let (r, d) = timed(|| store.commit());
+        orfail(r, "single-op commit");
+        lat_us.push(d.as_micros() as f64);
+    }
+    let p50 = percentile(&lat_us, 50.0);
+    let p99 = percentile(&lat_us, 99.0);
+    let expected = store.scan_all();
+    let expected_generation = store.generation();
+    drop(store);
+
+    // -- 3. recovery time vs WAL length -----------------------------------
+    // Reopen the same directory at increasing replay lengths by copying
+    // WAL prefixes: recovery cost must scale with the log, not the data.
+    let mut recovery_rows = Vec::new();
+    let mut recovery_json = String::new();
+    let wal = orfail(std::fs::read(dir.join("wal.log")), "read wal");
+    for frac in [0.25f64, 0.5, 1.0] {
+        let keep = kgq_store::wal::scan(&wal[..(wal.len() as f64 * frac) as usize], 0);
+        let cut_dir = fresh_dir(&format!("recover-{}", (frac * 100.0) as u32));
+        orfail(std::fs::create_dir_all(&cut_dir), "create recovery dir");
+        orfail(
+            std::fs::write(cut_dir.join("wal.log"), &wal[..keep.committed_len as usize]),
+            "write wal prefix",
+        );
+        let ((recovered, replay), d) =
+            timed(|| orfail(DurableStore::open(&cut_dir), "recover prefix"));
+        let ops: usize = replay.batches.iter().map(|(_, b)| b.len()).sum();
+        if frac == 1.0 {
+            let got = recovered.scan_all();
+            assert_eq!(
+                got, expected,
+                "full-WAL recovery diverged from writer state"
+            );
+            assert_eq!(recovered.generation(), expected_generation);
+        }
+        recovery_rows.push(vec![
+            format!("{}%", (frac * 100.0) as u32),
+            keep.committed_len.to_string(),
+            ops.to_string(),
+            fmt_duration(d),
+            format!("{:.0}", ops as f64 / d.as_secs_f64().max(1e-9)),
+        ]);
+        let _ = writeln!(
+            recovery_json,
+            "    {{ \"wal_bytes\": {}, \"ops\": {}, \"recover_ms\": {:.3} }},",
+            keep.committed_len,
+            ops,
+            d.as_secs_f64() * 1e3
+        );
+        let _ = std::fs::remove_dir_all(&cut_dir);
+    }
+    // After compaction the same state must reopen from the segment in
+    // near-constant time regardless of how long the log had grown.
+    let mut store = open(&dir);
+    orfail(store.compact(), "compact");
+    drop(store);
+    let ((compacted, _), seg_open) = timed(|| orfail(DurableStore::open(&dir), "reopen segment"));
+    assert_eq!(compacted.scan_all(), expected, "compacted state diverged");
+    drop(compacted);
+
+    // -- 4. overlay read overhead ----------------------------------------
+    // A compacted base of `base_n` triples, then 10% inserts and 10%
+    // deletes living in the overlay — the steady state between flushes.
+    let dir2 = fresh_dir("overlay");
+    let mut store = open(&dir2);
+    for i in 0..base_n as u64 {
+        let (s, p, o) = triple(i);
+        store.stage_insert(&s, &p, &o);
+    }
+    orfail(store.commit(), "commit base");
+    orfail(store.compact(), "compact base");
+    let tenth = (base_n / 10) as u64;
+    for i in 0..tenth {
+        let (s, p, o) = triple(2_000_000 + i);
+        store.stage_insert(&s, &p, &o);
+        let (s, p, o) = triple(i * 7 % base_n as u64);
+        store.stage_delete(&s, &p, &o);
+    }
+    orfail(store.commit(), "commit overlay");
+    let plain = store.materialize();
+    let (via_overlay, scan_overlay) = timed(|| store.scan_all());
+    let (via_plain, scan_plain) = timed(|| {
+        let mut v: Vec<(String, String, String)> = plain
+            .iter()
+            .map(|t| {
+                (
+                    plain.term_str(t.s).to_string(),
+                    plain.term_str(t.p).to_string(),
+                    plain.term_str(t.o).to_string(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    });
+    assert_eq!(
+        via_overlay, via_plain,
+        "overlay scan diverged from materialization"
+    );
+    let probes: Vec<(String, Option<String>)> = (0..1_000u64)
+        .map(|i| {
+            let (s, p, _) = triple(i * 97 % base_n as u64);
+            (s, if i % 2 == 0 { Some(p) } else { None })
+        })
+        .collect();
+    let (n_overlay, count_overlay) = timed(|| {
+        probes
+            .iter()
+            .map(|(s, p)| store.count(Some(s.as_str()), p.as_deref(), None))
+            .sum::<usize>()
+    });
+    let (n_plain, count_plain) = timed(|| {
+        probes
+            .iter()
+            .map(|(s, p)| {
+                let sym = plain.get_term(s);
+                let psym = p.as_deref().map(|p| plain.get_term(p));
+                match (sym, psym) {
+                    (None, _) | (_, Some(None)) => 0,
+                    (Some(s), p) => plain.count(Some(s), p.flatten(), None),
+                }
+            })
+            .sum::<usize>()
+    });
+    assert_eq!(
+        n_overlay, n_plain,
+        "overlay counts diverged from materialization"
+    );
+    let scan_ratio = scan_overlay.as_secs_f64() / scan_plain.as_secs_f64().max(1e-9);
+    let count_ratio = count_overlay.as_secs_f64() / count_plain.as_secs_f64().max(1e-9);
+
+    // -- report -----------------------------------------------------------
+    print_table(
+        "durable append path (fsync on every commit)",
+        &["metric", "value"],
+        &[
+            vec!["batched ops/s".into(), format!("{append_ops_s:.0}")],
+            vec!["WAL bytes/op".into(), format!("{bytes_per_op:.1}")],
+            vec!["triples after load".into(), committed_len.to_string()],
+            vec!["1-op commit p50".into(), format!("{p50:.0}µs")],
+            vec!["1-op commit p99".into(), format!("{p99:.0}µs")],
+            vec!["reopen after compact".into(), fmt_duration(seg_open)],
+        ],
+    );
+    print_table(
+        "recovery time vs WAL length",
+        &["wal", "bytes", "ops", "open", "ops/s"],
+        &recovery_rows,
+    );
+    print_table(
+        "overlay read overhead (vs materialized store)",
+        &["operation", "overlay", "plain", "ratio"],
+        &[
+            vec![
+                "full sorted scan".into(),
+                fmt_duration(scan_overlay),
+                fmt_duration(scan_plain),
+                format!("{scan_ratio:.2}x"),
+            ],
+            vec![
+                "1000 pattern counts".into(),
+                fmt_duration(count_overlay),
+                fmt_duration(count_plain),
+                format!("{count_ratio:.2}x"),
+            ],
+        ],
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"append_batches\": {batches},");
+    let _ = writeln!(json, "  \"append_batch_ops\": {batch_ops},");
+    let _ = writeln!(json, "  \"append_ops_per_s\": {append_ops_s:.1},");
+    let _ = writeln!(json, "  \"wal_bytes_per_op\": {bytes_per_op:.2},");
+    let _ = writeln!(json, "  \"commit_1op_p50_us\": {p50:.0},");
+    let _ = writeln!(json, "  \"commit_1op_p99_us\": {p99:.0},");
+    let _ = writeln!(json, "  \"commit_1op_mean_us\": {:.1},", mean(&lat_us));
+    let _ = writeln!(json, "  \"recovery\": [");
+    json.push_str(recovery_json.trim_end().trim_end_matches(','));
+    json.push_str("\n  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"segment_reopen_ms\": {:.3},",
+        seg_open.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(json, "  \"overlay_base_triples\": {base_n},");
+    let _ = writeln!(json, "  \"overlay_scan_ratio\": {scan_ratio:.3},");
+    let _ = writeln!(json, "  \"overlay_count_ratio\": {count_ratio:.3}");
+    json.push_str("}\n");
+
+    let out = str_flag(&args, "--out").unwrap_or("BENCH_store.json");
+    orfail(std::fs::write(out, &json), "write report");
+    print!("{json}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}

@@ -654,6 +654,20 @@ pub mod fault {
         /// exhausted at the next check (only meaningful at the
         /// `"govern::tick"` site).
         Starve,
+        /// I/O fault: a write persists only its first `n` bytes and then
+        /// reports failure (models a torn write / full disk mid-record).
+        /// Only meaningful at sites consulted via [`io`].
+        TornWrite(u64),
+        /// I/O fault: a read returns only its first `n` bytes (models a
+        /// short read of a truncated or still-in-flight file).
+        ShortRead(u64),
+        /// I/O fault: `fsync` reports failure; the durability layer must
+        /// treat the batch as uncommitted.
+        FsyncFail,
+        /// I/O fault: the process "crashes" (panics with a recognizable
+        /// payload) after the first `n` bytes of the write have reached
+        /// the file — the torn-tail shape a power loss leaves behind.
+        CrashAfter(u64),
     }
 
     struct Arm {
@@ -745,12 +759,32 @@ pub mod fault {
 
     /// Executes `site`'s armed action if it fires on this hit. Called
     /// from `fault_point!` sites; panics / sleeps in the caller's
-    /// context. [`Action::Starve`] is handled by [`starved`] instead.
+    /// context. [`Action::Starve`] is handled by [`starved`] instead,
+    /// and the I/O actions by [`io`].
     pub fn hit(site: &str) {
         match firing(site) {
             Some(Action::Panic) => panic!("injected fault at {site}"),
             Some(Action::DelayMs(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
-            Some(Action::Starve) | None => {}
+            _ => {}
+        }
+    }
+
+    /// Consults `site` for an I/O fault. Returns the fired action —
+    /// [`Action::TornWrite`], [`Action::ShortRead`], [`Action::FsyncFail`]
+    /// or [`Action::CrashAfter`] — for the I/O layer to interpret
+    /// (truncate the write, clip the read, fail the fsync, panic after
+    /// N bytes). Non-I/O actions armed at an `io`-consulted site keep
+    /// their usual semantics: `Panic` panics here, `DelayMs` sleeps,
+    /// `Starve` is ignored.
+    pub fn io(site: &str) -> Option<Action> {
+        match firing(site) {
+            Some(Action::Panic) => panic!("injected fault at {site}"),
+            Some(Action::DelayMs(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            Some(Action::Starve) | None => None,
+            fired => fired,
         }
     }
 

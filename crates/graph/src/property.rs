@@ -68,6 +68,16 @@ impl PropertyGraph {
         self.labeled.generation() + self.prop_writes
     }
 
+    /// Advances the generation stamp without changing the graph — the
+    /// external-invalidation hook for callers whose query answers
+    /// depend on state *outside* this graph (e.g. `kgq serve` bumps the
+    /// shared stamp when a committed mutation changes the triple store,
+    /// so every cache entry keyed at the old generation becomes
+    /// unreachable).
+    pub fn touch(&mut self) {
+        self.prop_writes += 1;
+    }
+
     /// Adds a node with identifier `id` and label `label`.
     pub fn add_node(&mut self, id: &str, label: &str) -> Result<NodeId, GraphError> {
         let n = self.labeled.add_node(id, label)?;

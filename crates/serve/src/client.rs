@@ -81,6 +81,22 @@ impl Client {
         self.request(Verb::Sparql, caps, query)
     }
 
+    /// Commits a mutation batch: N-Triples lines and/or
+    /// `edge SRC LABEL DST [SRC_LABEL [DST_LABEL]]` lines.
+    pub fn insert(&mut self, mutations: &str) -> std::io::Result<Response> {
+        self.request(Verb::Insert, &Caps::none(), mutations)
+    }
+
+    /// Commits a batch of triple deletes (N-Triples lines).
+    pub fn delete(&mut self, triples: &str) -> std::io::Result<Response> {
+        self.request(Verb::Delete, &Caps::none(), triples)
+    }
+
+    /// Asks the server to compact its durable store.
+    pub fn flush(&mut self) -> std::io::Result<Response> {
+        self.request(Verb::Flush, &Caps::none(), "")
+    }
+
     /// Server counters as the raw `STATS` body.
     pub fn stats(&mut self) -> std::io::Result<String> {
         Ok(self.request(Verb::Stats, &Caps::none(), "")?.body)

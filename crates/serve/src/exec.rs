@@ -23,13 +23,19 @@ use kgq_core::{
 };
 use kgq_graph::PropertyGraph;
 use kgq_rdf::TripleStore;
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use kgq_store::{DurableStore, EdgeRec};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The state one server instance shares across all connections.
 pub struct Snapshot {
     graph: RwLock<PropertyGraph>,
     store: RwLock<TripleStore>,
     cache: QueryCache,
+    /// The durable write path, when the server was started with a store
+    /// directory. Mutations are WAL-committed (fsynced) here *before*
+    /// they are applied to the live graph/store or acknowledged; the
+    /// mutex also serializes mutation batches into a total order.
+    durable: Option<Mutex<DurableStore>>,
     /// Server-side caps; intersected with each request's own.
     caps: Budget,
     /// Aggregate counters.
@@ -72,14 +78,50 @@ impl Snapshot {
             graph: RwLock::new(graph),
             store: RwLock::new(store),
             cache: QueryCache::from_env(),
+            durable: None,
             caps,
             stats: ServerStats::new(),
         }
     }
 
+    /// Attaches a durable store: every `INSERT`/`DELETE` batch is
+    /// WAL-committed to it before being applied, and `FLUSH` compacts
+    /// it. The caller is responsible for having already loaded the
+    /// store's recovered state into `graph`/`store` (see
+    /// [`apply_edges`] and `DurableStore::materialize`).
+    pub fn with_durable(mut self, durable: DurableStore) -> Snapshot {
+        self.durable = Some(Mutex::new(durable));
+        self
+    }
+
     /// The shared compiled-query cache.
     pub fn cache(&self) -> &QueryCache {
         &self.cache
+    }
+
+    /// The current cache-generation stamp (the live graph's). Every
+    /// committed mutation advances it, so cached results keyed at an
+    /// older stamp are unreachable — the same contract `QueryCache`
+    /// documents for single-process use.
+    pub fn generation(&self) -> u64 {
+        self.graph_read().generation()
+    }
+
+    /// One-line durability summary for `STATS`: the live generation
+    /// plus, when a durable store is attached, its committed generation,
+    /// WAL size and overlay shape.
+    pub fn durability_stats(&self) -> String {
+        let mut out = format!("generation {}\n", self.generation());
+        if let Some(durable) = &self.durable {
+            let d = durable.lock().unwrap_or_else(|e| e.into_inner());
+            let (added, tombstoned) = d.overlay_sizes();
+            out.push_str(&format!(
+                "store_generation {}\nwal_bytes {}\noverlay_added {added}\noverlay_tombstoned {tombstoned}\n",
+                d.generation(),
+                d.wal_len(),
+            ));
+        }
+        out
     }
 
     fn graph_read(&self) -> RwLockReadGuard<'_, PropertyGraph> {
@@ -107,6 +149,9 @@ impl Snapshot {
             Verb::Query => self.run_rpq(&budget, payload, cancel),
             Verb::Cypher => self.run_cypher(&budget, payload, cancel),
             Verb::Sparql => self.run_sparql(&budget, payload, cancel),
+            Verb::Insert => self.run_insert(payload),
+            Verb::Delete => self.run_delete(payload),
+            Verb::Flush => self.run_flush(),
             // STATS/PING/SHUTDOWN are handled by the server loop, not
             // the snapshot executor.
             _ => Err(format!("verb {} is not a query", verb.as_str())),
@@ -250,6 +295,221 @@ impl Snapshot {
         let partial = marker(&mut out, &res);
         Ok(Outcome::ok(out, partial))
     }
+
+    /// `INSERT` payload: one mutation per line — an N-Triples line or
+    /// `edge SRC LABEL DST [SRC_LABEL [DST_LABEL]]`. The batch is
+    /// durably committed (when a store is attached) before it is
+    /// applied to the live snapshot; the cache generation advances
+    /// exactly once per committed batch.
+    fn run_insert(&self, payload: &str) -> Result<Outcome, String> {
+        let (triples, edge_specs) = parse_mutations(payload, true)?;
+        if triples.is_empty() && edge_specs.is_empty() {
+            return Err("INSERT payload holds no mutations".into());
+        }
+        // Serialize mutations and make the batch durable first: if the
+        // WAL commit fails, nothing is applied and nothing acknowledged.
+        let mut durable = self.durable_lock();
+        let mut edges: Vec<EdgeRec> = Vec::new();
+        {
+            // Unique, stable edge ids: continue the committed sequence.
+            let next_seq = match durable.as_deref() {
+                Some(d) => d.all_edges().count(),
+                None => self.graph_read().edge_count(),
+            };
+            for (i, (src, label, dst, src_label, dst_label)) in edge_specs.into_iter().enumerate() {
+                edges.push(EdgeRec {
+                    id: format!("srv-e{}", next_seq + i),
+                    src,
+                    src_label,
+                    label,
+                    dst,
+                    dst_label,
+                });
+            }
+        }
+        if let Some(d) = durable.as_deref_mut() {
+            for (s, p, o) in &triples {
+                d.stage_insert(s, p, o);
+            }
+            for e in &edges {
+                d.stage_edge(e.clone());
+            }
+            d.commit()
+                .map_err(|e| format!("durable commit failed: {e}"))?;
+        }
+        // Apply to the live snapshot and bump the shared generation.
+        let mut g = self.graph_write();
+        let applied_edges = apply_edges(&mut g, edges.iter());
+        let mut st = self.store_write();
+        let mut applied_triples = 0;
+        for (s, p, o) in &triples {
+            if st.insert_strs(s, p, o) {
+                applied_triples += 1;
+            }
+        }
+        g.touch();
+        let body = format!(
+            "inserted {applied_triples} triple(s), {applied_edges} edge(s)\ngeneration {}\n",
+            g.generation()
+        );
+        Ok(Outcome::ok(body, false))
+    }
+
+    /// `DELETE` payload: N-Triples lines naming the triples to remove.
+    fn run_delete(&self, payload: &str) -> Result<Outcome, String> {
+        let (triples, edge_specs) = parse_mutations(payload, false)?;
+        if !edge_specs.is_empty() {
+            return Err("DELETE supports triples only".into());
+        }
+        if triples.is_empty() {
+            return Err("DELETE payload holds no triples".into());
+        }
+        let mut durable = self.durable_lock();
+        if let Some(d) = durable.as_deref_mut() {
+            for (s, p, o) in &triples {
+                d.stage_delete(s, p, o);
+            }
+            d.commit()
+                .map_err(|e| format!("durable commit failed: {e}"))?;
+        }
+        let mut g = self.graph_write();
+        let mut st = self.store_write();
+        let mut removed = 0;
+        for (s, p, o) in &triples {
+            let t = (st.get_term(s), st.get_term(p), st.get_term(o));
+            if let (Some(s), Some(p), Some(o)) = t {
+                if st.remove(kgq_rdf::Triple { s, p, o }) {
+                    removed += 1;
+                }
+            }
+        }
+        g.touch();
+        let body = format!(
+            "deleted {removed} triple(s)\ngeneration {}\n",
+            g.generation()
+        );
+        Ok(Outcome::ok(body, false))
+    }
+
+    /// `FLUSH`: compacts the durable store (fold the overlay into a
+    /// fresh segment, truncate the WAL). A server without a durable
+    /// store reports that there is nothing to flush.
+    fn run_flush(&self) -> Result<Outcome, String> {
+        let mut durable = self.durable_lock();
+        let Some(d) = durable.as_deref_mut() else {
+            return Ok(Outcome::ok(
+                "flush: no durable store attached; state is in-memory only\n".into(),
+                false,
+            ));
+        };
+        let before = d.wal_len();
+        d.compact().map_err(|e| format!("compaction failed: {e}"))?;
+        let body = format!(
+            "compacted at generation {}; wal {} -> {} bytes\n",
+            d.generation(),
+            before,
+            d.wal_len()
+        );
+        Ok(Outcome::ok(body, false))
+    }
+
+    fn durable_lock(&self) -> Option<std::sync::MutexGuard<'_, DurableStore>> {
+        self.durable
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Applies recovered or freshly committed edge records to a live
+/// property graph: endpoints are created on demand (with the record's
+/// labels), and an edge whose id already exists is skipped — which is
+/// what makes replaying the same records idempotent. Returns the number
+/// of edges actually added.
+pub fn apply_edges<'a>(g: &mut PropertyGraph, edges: impl Iterator<Item = &'a EdgeRec>) -> usize {
+    let mut applied = 0;
+    for e in edges {
+        let src = match g.labeled().node_named(&e.src) {
+            Some(n) => n,
+            None => match g.add_node(&e.src, &e.src_label) {
+                Ok(n) => n,
+                Err(_) => continue,
+            },
+        };
+        let dst = match g.labeled().node_named(&e.dst) {
+            Some(n) => n,
+            None => match g.add_node(&e.dst, &e.dst_label) {
+                Ok(n) => n,
+                Err(_) => continue,
+            },
+        };
+        if g.add_edge(&e.id, src, dst, &e.label).is_ok() {
+            applied += 1;
+        }
+    }
+    applied
+}
+
+/// Splits a mutation payload into triples (via the N-Triples parser)
+/// and `edge` specs. `allow_edges` gates the edge syntax (DELETE is
+/// triples-only).
+#[allow(clippy::type_complexity)]
+fn parse_mutations(
+    payload: &str,
+    allow_edges: bool,
+) -> Result<
+    (
+        Vec<(String, String, String)>,
+        Vec<(String, String, String, String, String)>,
+    ),
+    String,
+> {
+    let mut nt = String::new();
+    let mut edges = Vec::new();
+    for (no, line) in payload.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(spec) = trimmed.strip_prefix("edge ") {
+            if !allow_edges {
+                return Err(format!("line {}: edge mutations not allowed here", no + 1));
+            }
+            let parts: Vec<&str> = spec.split_ascii_whitespace().collect();
+            let (src, label, dst) = match parts.as_slice() {
+                [s, l, d, ..] if parts.len() <= 5 => (*s, *l, *d),
+                _ => {
+                    return Err(format!(
+                        "line {}: expected `edge SRC LABEL DST [SRC_LABEL [DST_LABEL]]`",
+                        no + 1
+                    ))
+                }
+            };
+            let src_label = parts.get(3).copied().unwrap_or("node");
+            let dst_label = parts.get(4).copied().unwrap_or("node");
+            edges.push((
+                src.to_owned(),
+                label.to_owned(),
+                dst.to_owned(),
+                src_label.to_owned(),
+                dst_label.to_owned(),
+            ));
+        } else {
+            nt.push_str(line);
+            nt.push('\n');
+        }
+    }
+    let parsed = kgq_rdf::parse_ntriples(&nt).map_err(|e| e.to_string())?;
+    let triples = parsed
+        .iter()
+        .map(|t| {
+            (
+                parsed.term_str(t.s).to_owned(),
+                parsed.term_str(t.p).to_owned(),
+                parsed.term_str(t.o).to_owned(),
+            )
+        })
+        .collect();
+    Ok((triples, edges))
 }
 
 /// Appends the CLI's `# partial:` / `# degraded:` trailer lines; returns

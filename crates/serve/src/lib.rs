@@ -33,8 +33,8 @@ pub mod server;
 pub mod stats;
 
 pub use client::{stat, Client};
-pub use exec::{Outcome, Snapshot};
+pub use exec::{apply_edges, Outcome, Snapshot};
 pub use protocol::{effective_budget, Caps, Request, Response, Verb};
 pub use sched::FairScheduler;
-pub use server::{process_thread_count, serve, ServerConfig, ServerHandle};
+pub use server::{process_thread_count, serve, serve_with_store, ServerConfig, ServerHandle};
 pub use stats::ServerStats;

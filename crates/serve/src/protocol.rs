@@ -13,7 +13,8 @@
 //! - `verb` — `QUERY` (RPQ over the property graph; the payload's first
 //!   line is the operation — `pairs`, `starts` or `count K` — and the
 //!   rest is the path expression), `CYPHER`, `SPARQL`, `STATS`, `PING`,
-//!   or `SHUTDOWN`.
+//!   `SHUTDOWN`, or the mutation verbs `INSERT`, `DELETE` and `FLUSH`
+//!   (committed as one durable batch; see [`Verb::Insert`]).
 //! - `caps` — the client's requested resource caps: `-` for none, or a
 //!   comma list of `timeout=MS`, `steps=N`, `results=N`, `memory=BYTES`.
 //!   The server intersects these with its own caps (componentwise min)
@@ -53,6 +54,18 @@ pub enum Verb {
     Ping,
     /// Ask the server to shut down cleanly.
     Shutdown,
+    /// Commit triple inserts and/or property-graph edges. The payload
+    /// is one mutation per line: an N-Triples line (`<s> <p> <o> .`) or
+    /// `edge SRC LABEL DST [SRC_LABEL [DST_LABEL]]`. The whole payload
+    /// is one atomic batch: with a durable store attached it is WAL-
+    /// logged and fsynced before it is applied or acknowledged.
+    Insert,
+    /// Commit triple deletes; the payload is N-Triples lines. Same
+    /// atomic-batch and durability contract as `INSERT`.
+    Delete,
+    /// Compact the durable store: fold the delta overlay into a fresh
+    /// immutable segment and truncate the write-ahead log.
+    Flush,
 }
 
 impl Verb {
@@ -65,6 +78,9 @@ impl Verb {
             Verb::Stats => "STATS",
             Verb::Ping => "PING",
             Verb::Shutdown => "SHUTDOWN",
+            Verb::Insert => "INSERT",
+            Verb::Delete => "DELETE",
+            Verb::Flush => "FLUSH",
         }
     }
 
@@ -77,6 +93,9 @@ impl Verb {
             "STATS" => Verb::Stats,
             "PING" => Verb::Ping,
             "SHUTDOWN" => Verb::Shutdown,
+            "INSERT" => Verb::Insert,
+            "DELETE" => Verb::Delete,
+            "FLUSH" => Verb::Flush,
             _ => return None,
         })
     }

@@ -120,14 +120,32 @@ pub fn serve(
     store: TripleStore,
     cfg: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_with_store(graph, store, None, cfg)
+}
+
+/// [`serve`], with a durable store attached: `INSERT`/`DELETE` batches
+/// are WAL-committed (fsynced) before they are applied or acknowledged,
+/// and `FLUSH` compacts the store. The caller should already have
+/// folded the store's recovered state into `graph`/`store` (the CLI
+/// does this via `DurableStore::materialize` + [`crate::apply_edges`]).
+pub fn serve_with_store(
+    graph: PropertyGraph,
+    store: TripleStore,
+    durable: Option<kgq_store::DurableStore>,
+    cfg: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     // Non-blocking accept so the loop can observe the stop flag; real
     // connections switch back to blocking mode.
     listener.set_nonblocking(true)?;
     let workers = cfg.workers.max(1);
+    let mut snapshot = Snapshot::new(graph, store, cfg.caps);
+    if let Some(durable) = durable {
+        snapshot = snapshot.with_durable(durable);
+    }
     let shared = Arc::new(Shared {
-        snapshot: Snapshot::new(graph, store, cfg.caps),
+        snapshot,
         sched: FairScheduler::new(),
         stop: AtomicBool::new(false),
         shutdown_requested: Mutex::new(false),
@@ -326,10 +344,14 @@ fn worker_loop(shared: &Arc<Shared>) {
             Verb::Stats => Response {
                 id: req.id,
                 ok: true,
-                body: shared
-                    .snapshot
-                    .stats
-                    .render(&shared.snapshot.cache().stats(), shared.workers),
+                body: {
+                    let mut body = shared
+                        .snapshot
+                        .stats
+                        .render(&shared.snapshot.cache().stats(), shared.workers);
+                    body.push_str(&shared.snapshot.durability_stats());
+                    body
+                },
             },
             Verb::Shutdown => {
                 let resp = Response {

@@ -1,0 +1,72 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven.
+//!
+//! Every WAL record and every segment file carries a CRC over its
+//! payload so recovery can distinguish "valid record" from "torn or
+//! corrupt bytes" without trusting lengths alone. The reflected
+//! polynomial `0xEDB88320` is the one every other storage engine uses,
+//! which makes the on-disk format checkable with standard tools
+//! (`python -c 'import zlib; print(zlib.crc32(...))'`).
+
+/// The 256-entry lookup table for the reflected polynomial, built at
+/// compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value `!0`, final complement — the
+/// standard zlib convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"kgq"), crc32(b"kgq"));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&flipped),
+                    reference,
+                    "flip at {byte}:{bit} undetected"
+                );
+            }
+        }
+    }
+}

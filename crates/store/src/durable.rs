@@ -1,0 +1,535 @@
+//! [`DurableStore`]: the crash-recoverable store directory.
+//!
+//! On disk a store is a directory holding two files:
+//!
+//! * `base.seg` — the immutable compacted segment (absent = empty base);
+//! * `wal.log` — the write-ahead log of batches committed since.
+//!
+//! In memory it is the base [`TripleStore`] plus a [`DeltaOverlay`] and
+//! the committed-but-uncompacted edge records. The lifecycle is
+//! stage → [`commit`](DurableStore::commit) (WAL append + fsync, *then*
+//! apply to the overlay, *then* advance the generation) →
+//! [`compact`](DurableStore::compact) (fold overlay into a fresh
+//! segment written atomically, truncate the log).
+//!
+//! ## Recovery invariant
+//!
+//! Opening a store directory after a crash at *any* point yields
+//! exactly the state of some committed prefix of its history:
+//!
+//! * a batch whose commit marker never became durable is discarded;
+//! * a torn WAL tail is truncated, never replayed, never a panic;
+//! * a crash between segment rename and WAL truncation is healed by
+//!   the generation monotonicity check — replay refuses batches whose
+//!   stamp does not exceed the segment's, which is precisely the set
+//!   compaction already folded in.
+
+use crate::overlay::{DeltaOverlay, StrTriple};
+use crate::segment::{self, Segment};
+use crate::wal::{EdgeRec, Replay, StoreOp, TailState, Wal};
+use kgq_rdf::TripleStore;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+const SEGMENT_FILE: &str = "base.seg";
+const WAL_FILE: &str = "wal.log";
+
+/// A durable triple + edge store rooted at a directory.
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: Wal,
+    base: TripleStore,
+    base_edges: Vec<EdgeRec>,
+    overlay: DeltaOverlay,
+    edges: Vec<EdgeRec>,
+    edge_ids: BTreeSet<String>,
+    pending: Vec<StoreOp>,
+    generation: u64,
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.dir)
+            .field("generation", &self.generation)
+            .field("base_len", &self.base.len())
+            .field("overlay_added", &self.overlay.added_len())
+            .field("overlay_tombstoned", &self.overlay.tombstoned_len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl DurableStore {
+    /// Opens the store at `dir`, creating it (and the directory) if
+    /// absent, and recovers: loads the segment, replays the WAL's
+    /// committed prefix, truncates any torn tail. Returns the store
+    /// and the WAL [`Replay`] forensics.
+    pub fn open(dir: &Path) -> std::io::Result<(DurableStore, Replay)> {
+        std::fs::create_dir_all(dir)?;
+        let seg_path = dir.join(SEGMENT_FILE);
+        let seg = if seg_path.exists() {
+            segment::read(&seg_path)?
+        } else {
+            Segment::default()
+        };
+        let (wal, replay) = Wal::open(&dir.join(WAL_FILE), seg.generation)?;
+        let mut base = TripleStore::new();
+        for (s, p, o) in &seg.triples {
+            base.insert_strs(s, p, o);
+        }
+        let mut store = DurableStore {
+            dir: dir.to_path_buf(),
+            wal,
+            base,
+            base_edges: Vec::new(),
+            overlay: DeltaOverlay::new(),
+            edges: Vec::new(),
+            edge_ids: seg.edges.iter().map(|e| e.id.clone()).collect(),
+            pending: Vec::new(),
+            generation: seg.generation,
+        };
+        store.base_edges = seg.edges;
+        for (generation, ops) in &replay.batches {
+            for op in ops {
+                store.apply(op.clone());
+            }
+            store.generation = *generation;
+        }
+        Ok((store, replay))
+    }
+
+    fn apply(&mut self, op: StoreOp) {
+        match op {
+            StoreOp::Insert { s, p, o } => {
+                self.overlay.insert(&self.base, &s, &p, &o);
+            }
+            StoreOp::Delete { s, p, o } => {
+                self.overlay.delete(&self.base, &s, &p, &o);
+            }
+            StoreOp::EdgeAdd(e) => {
+                if self.edge_ids.insert(e.id.clone()) {
+                    self.edges.push(e);
+                }
+            }
+        }
+    }
+
+    /// Stages a triple insert into the pending batch (not yet durable).
+    pub fn stage_insert(&mut self, s: &str, p: &str, o: &str) {
+        self.pending.push(StoreOp::Insert {
+            s: s.to_owned(),
+            p: p.to_owned(),
+            o: o.to_owned(),
+        });
+    }
+
+    /// Stages a triple delete into the pending batch (not yet durable).
+    pub fn stage_delete(&mut self, s: &str, p: &str, o: &str) {
+        self.pending.push(StoreOp::Delete {
+            s: s.to_owned(),
+            p: p.to_owned(),
+            o: o.to_owned(),
+        });
+    }
+
+    /// Stages an edge add into the pending batch (not yet durable).
+    pub fn stage_edge(&mut self, e: EdgeRec) {
+        self.pending.push(StoreOp::EdgeAdd(e));
+    }
+
+    /// Number of staged, uncommitted operations.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Commits the pending batch: appends it to the WAL with the next
+    /// generation stamp, fsyncs, and only then applies it to the
+    /// overlay and advances the generation. On error the batch is
+    /// discarded (it was never acknowledged) and the in-memory state is
+    /// unchanged. Returns the new generation; an empty batch commits
+    /// nothing and returns the current one.
+    pub fn commit(&mut self) -> std::io::Result<u64> {
+        if self.pending.is_empty() {
+            return Ok(self.generation);
+        }
+        let next = self.generation + 1;
+        let ops = std::mem::take(&mut self.pending);
+        self.wal.append_batch(&ops, next)?;
+        for op in ops {
+            self.apply(op);
+        }
+        self.generation = next;
+        Ok(next)
+    }
+
+    /// Generation of the last committed batch (0 for a fresh store).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bytes of committed WAL (including the header).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.committed_len()
+    }
+
+    /// Overlay sizes `(added, tombstoned)`.
+    pub fn overlay_sizes(&self) -> (usize, usize) {
+        (self.overlay.added_len(), self.overlay.tombstoned_len())
+    }
+
+    /// Merged triple count (committed view; staged ops are invisible).
+    pub fn len(&self) -> usize {
+        self.overlay.merged_len(&self.base)
+    }
+
+    /// True when the merged view holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Does the committed merged view contain the triple?
+    pub fn contains(&self, s: &str, p: &str, o: &str) -> bool {
+        self.overlay.contains(&self.base, s, p, o)
+    }
+
+    /// Merged pattern count: base prefix counts corrected by the
+    /// overlay, without materializing. `None` = wildcard.
+    pub fn count(&self, s: Option<&str>, p: Option<&str>, o: Option<&str>) -> usize {
+        let matches = |ts: &str, tp: &str, to: &str| -> bool {
+            s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) && o.is_none_or(|o| o == to)
+        };
+        let base_count = {
+            let sym = |t: Option<&str>| t.map(|t| self.base.get_term(t));
+            match (sym(s), sym(p), sym(o)) {
+                // A bound term the base never interned matches nothing.
+                (Some(None), _, _) | (_, Some(None), _) | (_, _, Some(None)) => 0,
+                (s, p, o) => self.base.count(s.flatten(), p.flatten(), o.flatten()),
+            }
+        };
+        let added = self
+            .overlay
+            .added()
+            .filter(|(ts, tp, to)| matches(ts, tp, to))
+            .count();
+        let dead = self
+            .overlay
+            .tombstoned()
+            .filter(|(ts, tp, to)| matches(ts, tp, to))
+            .count();
+        base_count + added - dead
+    }
+
+    /// All triples of the committed merged view, sorted, as strings.
+    pub fn scan_all(&self) -> Vec<StrTriple> {
+        let merged = self.materialize();
+        let mut out: Vec<StrTriple> = merged
+            .iter()
+            .map(|t| {
+                (
+                    merged.term_str(t.s).to_owned(),
+                    merged.term_str(t.p).to_owned(),
+                    merged.term_str(t.o).to_owned(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Folds base + overlay into a fresh read-optimised [`TripleStore`]
+    /// (the snapshot handed to SPARQL / LFTJ execution).
+    pub fn materialize(&self) -> TripleStore {
+        self.overlay.materialize(&self.base)
+    }
+
+    /// All committed edge records, base first, in commit order.
+    pub fn all_edges(&self) -> impl Iterator<Item = &EdgeRec> {
+        self.base_edges.iter().chain(self.edges.iter())
+    }
+
+    /// Compacts: folds the overlay and uncompacted edges into a fresh
+    /// segment written atomically, then truncates the WAL. A crash
+    /// anywhere in between recovers to the same committed state (see
+    /// the module docs). No-op (but still truncate-safe) when nothing
+    /// has been committed since the last compaction.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let merged = self.materialize();
+        let triples: Vec<StrTriple> = merged
+            .iter()
+            .map(|t| {
+                (
+                    merged.term_str(t.s).to_owned(),
+                    merged.term_str(t.p).to_owned(),
+                    merged.term_str(t.o).to_owned(),
+                )
+            })
+            .collect();
+        let edges: Vec<EdgeRec> = self.all_edges().cloned().collect();
+        let seg = Segment {
+            generation: self.generation,
+            triples,
+            edges,
+        };
+        segment::write_atomic(&self.dir.join(SEGMENT_FILE), &seg)?;
+        // The segment is durable; the log's batches are now redundant.
+        self.wal.reset()?;
+        self.base = merged;
+        self.base_edges = seg.edges;
+        self.edges.clear();
+        self.overlay.clear();
+        Ok(())
+    }
+
+    /// Read-only integrity check of the store at `dir`: decodes the
+    /// segment, scans the WAL, and reports what recovery would do —
+    /// without truncating or mutating anything.
+    pub fn verify(dir: &Path) -> std::io::Result<VerifyReport> {
+        let seg_path = dir.join(SEGMENT_FILE);
+        let seg = if seg_path.exists() {
+            segment::read(&seg_path)?
+        } else {
+            Segment::default()
+        };
+        let wal_path = dir.join(WAL_FILE);
+        let replay = if wal_path.exists() {
+            let image = crate::wal::read_file_faulted(&wal_path)?;
+            if image.len() < crate::wal::WAL_MAGIC.len()
+                || &image[..crate::wal::WAL_MAGIC.len()] != crate::wal::WAL_MAGIC
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: not a kgq WAL (bad magic)", wal_path.display()),
+                ));
+            }
+            crate::wal::scan(&image, seg.generation)
+        } else {
+            crate::wal::scan(crate::wal::WAL_MAGIC, seg.generation)
+        };
+        Ok(VerifyReport {
+            segment_generation: seg.generation,
+            segment_triples: seg.triples.len(),
+            segment_edges: seg.edges.len(),
+            wal_batches: replay.batches.len(),
+            wal_generation: replay.generation,
+            wal_total_len: replay.total_len,
+            wal_committed_len: replay.committed_len,
+            uncommitted_ops: replay.uncommitted_ops,
+            tail: replay.tail,
+        })
+    }
+
+    /// Checks the overlay invariants (testing / `verify` support).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.overlay.check_invariants(&self.base)
+    }
+}
+
+/// What `kgq store verify` reports: segment shape, WAL health, and the
+/// committed boundary recovery would truncate to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Generation stamped into the segment.
+    pub segment_generation: u64,
+    /// Triples in the segment.
+    pub segment_triples: usize,
+    /// Edge records in the segment.
+    pub segment_edges: usize,
+    /// Committed batches recoverable from the WAL.
+    pub wal_batches: usize,
+    /// Generation after replaying those batches.
+    pub wal_generation: u64,
+    /// Total bytes in the WAL file.
+    pub wal_total_len: u64,
+    /// Bytes up to the last intact commit marker.
+    pub wal_committed_len: u64,
+    /// Valid op records past the last commit marker (discarded).
+    pub uncommitted_ops: usize,
+    /// Why the WAL scan stopped.
+    pub tail: TailState,
+}
+
+impl VerifyReport {
+    /// True when the store is fully clean: no torn tail, no
+    /// uncommitted residue.
+    pub fn is_clean(&self) -> bool {
+        self.tail == TailState::Clean && self.uncommitted_ops == 0
+    }
+
+    /// Multi-line human-readable rendering for the CLI.
+    pub fn render(&self) -> String {
+        format!(
+            "segment: generation {} ({} triples, {} edges)\n\
+             wal: {} committed batch(es), generation {}, {}/{} bytes committed\n\
+             tail: {}{}\n\
+             verdict: {}",
+            self.segment_generation,
+            self.segment_triples,
+            self.segment_edges,
+            self.wal_batches,
+            self.wal_generation,
+            self.wal_committed_len,
+            self.wal_total_len,
+            self.tail.describe(),
+            if self.uncommitted_ops > 0 {
+                format!(
+                    " ({} uncommitted op(s) will be discarded)",
+                    self.uncommitted_ops
+                )
+            } else {
+                String::new()
+            },
+            if self.is_clean() {
+                "clean"
+            } else {
+                "recoverable (open will truncate to the committed prefix)"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kgq-durable-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn commit_reopen_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let (mut store, _) = DurableStore::open(&dir).unwrap();
+            store.stage_insert("a", "knows", "b");
+            store.stage_insert("b", "knows", "c");
+            assert_eq!(store.commit().unwrap(), 1);
+            store.stage_delete("a", "knows", "b");
+            store.stage_edge(EdgeRec {
+                id: "e1".into(),
+                src: "x".into(),
+                src_label: "person".into(),
+                label: "rides".into(),
+                dst: "y".into(),
+                dst_label: "bus".into(),
+            });
+            assert_eq!(store.commit().unwrap(), 2);
+            assert_eq!(store.len(), 1);
+        }
+        let (store, replay) = DurableStore::open(&dir).unwrap();
+        assert_eq!(replay.batches.len(), 2);
+        assert_eq!(store.generation(), 2);
+        assert_eq!(store.len(), 1);
+        assert!(store.contains("b", "knows", "c"));
+        assert!(!store.contains("a", "knows", "b"));
+        assert_eq!(store.all_edges().count(), 1);
+        store.check_invariants().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_folds_and_truncates() {
+        let dir = tmp_dir("compact");
+        {
+            let (mut store, _) = DurableStore::open(&dir).unwrap();
+            for i in 0..10 {
+                store.stage_insert(&format!("n{i}"), "knows", &format!("n{}", i + 1));
+            }
+            store.commit().unwrap();
+            store.stage_delete("n0", "knows", "n1");
+            store.commit().unwrap();
+            let wal_before = store.wal_len();
+            store.compact().unwrap();
+            assert!(store.wal_len() < wal_before);
+            assert_eq!(store.overlay_sizes(), (0, 0));
+            assert_eq!(store.len(), 9);
+            assert_eq!(store.generation(), 2);
+        }
+        // Reopen: state comes from the segment alone.
+        let (store, replay) = DurableStore::open(&dir).unwrap();
+        assert!(replay.batches.is_empty());
+        assert_eq!(store.generation(), 2);
+        assert_eq!(store.len(), 9);
+        assert!(!store.contains("n0", "knows", "n1"));
+        // Committing after compaction continues the generation line.
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        store.stage_insert("z", "knows", "w");
+        assert_eq!(store.commit().unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_wal_after_compaction_is_ignored() {
+        // Simulate a crash between segment rename and WAL truncation:
+        // the WAL still holds batches the segment already folded in.
+        let dir = tmp_dir("stalewal");
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        store.stage_insert("a", "knows", "b");
+        store.commit().unwrap();
+        let wal_bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        store.compact().unwrap();
+        drop(store);
+        std::fs::write(dir.join(WAL_FILE), &wal_bytes).unwrap(); // resurrect stale log
+        let (store, replay) = DurableStore::open(&dir).unwrap();
+        assert!(replay.batches.is_empty(), "stale batches must be refused");
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.contains("a", "knows", "b"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counts_consult_the_overlay() {
+        let dir = tmp_dir("counts");
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        store.stage_insert("a", "knows", "b");
+        store.stage_insert("a", "knows", "c");
+        store.stage_insert("b", "likes", "c");
+        store.commit().unwrap();
+        store.compact().unwrap(); // into base
+        store.stage_insert("a", "knows", "d"); // overlay add
+        store.stage_delete("a", "knows", "b"); // overlay tombstone
+        store.commit().unwrap();
+        assert_eq!(store.count(Some("a"), Some("knows"), None), 2);
+        assert_eq!(store.count(None, None, None), 3);
+        assert_eq!(store.count(Some("zzz"), None, None), 0);
+        assert_eq!(
+            store.scan_all(),
+            vec![
+                ("a".into(), "knows".into(), "c".into()),
+                ("a".into(), "knows".into(), "d".into()),
+                ("b".into(), "likes".into(), "c".into()),
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_reports_torn_tail() {
+        let dir = tmp_dir("verify");
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        store.stage_insert("a", "knows", "b");
+        store.commit().unwrap();
+        drop(store);
+        let clean = DurableStore::verify(&dir).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.wal_batches, 1);
+        // Tear the tail.
+        let mut bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        bytes.extend_from_slice(&[0x07, 0x00]);
+        std::fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+        let torn = DurableStore::verify(&dir).unwrap();
+        assert!(!torn.is_clean());
+        assert_eq!(torn.tail, TailState::TornLength);
+        assert_eq!(torn.wal_batches, 1, "committed prefix still recoverable");
+        assert!(torn.render().contains("recoverable"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

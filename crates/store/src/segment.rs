@@ -1,0 +1,254 @@
+//! Immutable base segments.
+//!
+//! A segment is the compacted, read-only image of the store at some
+//! generation: every triple and every edge record, string-encoded,
+//! with a single CRC over the whole payload. Segments are written
+//! atomically — tmp file, fsync, rename over the live name, directory
+//! fsync — so a crash during compaction leaves either the old segment
+//! or the new one, never a hybrid. That is why, unlike the WAL's
+//! tolerated torn tail, a segment that fails its checksum is a *hard
+//! error*: it cannot be the residue of a crash, only real corruption.
+//!
+//! ```text
+//! file    := "KGQSEG01" payload crc:u32le      (crc over payload)
+//! payload := generation:u64le n_triples:u32le n_edges:u32le
+//!            (s p o){n_triples} (id src src_label label dst dst_label){n_edges}
+//! s/p/…   := strlen:u32le utf8-bytes
+//! ```
+
+use crate::crc::crc32;
+use crate::io_fault;
+use crate::wal::{EdgeRec, IoFault};
+use std::io::Write;
+use std::path::Path;
+
+/// Leading magic of every segment file.
+pub const SEG_MAGIC: &[u8; 8] = b"KGQSEG01";
+
+/// A decoded segment: the immutable base state at `generation`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Segment {
+    /// Generation the segment was compacted at.
+    pub generation: u64,
+    /// All base triples as term strings.
+    pub triples: Vec<(String, String, String)>,
+    /// All base edge records (unique ids).
+    pub edges: Vec<EdgeRec>,
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes the segment to its full file image (magic + payload + CRC).
+pub fn encode(seg: &Segment) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&seg.generation.to_le_bytes());
+    payload.extend_from_slice(&(seg.triples.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&(seg.edges.len() as u32).to_le_bytes());
+    for (s, p, o) in &seg.triples {
+        push_str(&mut payload, s);
+        push_str(&mut payload, p);
+        push_str(&mut payload, o);
+    }
+    for e in &seg.edges {
+        for part in [&e.id, &e.src, &e.src_label, &e.label, &e.dst, &e.dst_label] {
+            push_str(&mut payload, part);
+        }
+    }
+    let mut image = SEG_MAGIC.to_vec();
+    image.extend_from_slice(&payload);
+    image.extend_from_slice(&crc32(&payload).to_le_bytes());
+    image
+}
+
+fn data_err(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn take<'a>(rest: &mut &'a [u8], n: usize) -> std::io::Result<&'a [u8]> {
+    if rest.len() < n {
+        return Err(data_err("segment payload truncated".into()));
+    }
+    let (head, tail) = rest.split_at(n);
+    *rest = tail;
+    Ok(head)
+}
+
+fn take_u32(rest: &mut &[u8]) -> std::io::Result<u32> {
+    let b = take(rest, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn take_str(rest: &mut &[u8]) -> std::io::Result<String> {
+    let len = take_u32(rest)? as usize;
+    let bytes = take(rest, len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| data_err("segment term is not UTF-8".into()))
+}
+
+/// Decodes a segment file image. Any structural defect — bad magic,
+/// bad CRC, truncated strings, trailing bytes — is an error, because
+/// atomic replacement means a valid store never exposes a torn segment.
+pub fn decode(image: &[u8]) -> std::io::Result<Segment> {
+    if image.len() < SEG_MAGIC.len() + 4 || &image[..SEG_MAGIC.len()] != SEG_MAGIC {
+        return Err(data_err("not a kgq segment (bad magic)".into()));
+    }
+    let payload = &image[SEG_MAGIC.len()..image.len() - 4];
+    let stored = u32::from_le_bytes([
+        image[image.len() - 4],
+        image[image.len() - 3],
+        image[image.len() - 2],
+        image[image.len() - 1],
+    ]);
+    if crc32(payload) != stored {
+        return Err(data_err("segment checksum mismatch".into()));
+    }
+    let mut rest = payload;
+    let generation = {
+        let b = take(&mut rest, 8)?;
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    };
+    let n_triples = take_u32(&mut rest)? as usize;
+    let n_edges = take_u32(&mut rest)? as usize;
+    let mut triples = Vec::with_capacity(n_triples.min(1 << 20));
+    for _ in 0..n_triples {
+        triples.push((
+            take_str(&mut rest)?,
+            take_str(&mut rest)?,
+            take_str(&mut rest)?,
+        ));
+    }
+    let mut edges = Vec::with_capacity(n_edges.min(1 << 20));
+    for _ in 0..n_edges {
+        edges.push(EdgeRec {
+            id: take_str(&mut rest)?,
+            src: take_str(&mut rest)?,
+            src_label: take_str(&mut rest)?,
+            label: take_str(&mut rest)?,
+            dst: take_str(&mut rest)?,
+            dst_label: take_str(&mut rest)?,
+        });
+    }
+    if !rest.is_empty() {
+        return Err(data_err("segment has trailing bytes".into()));
+    }
+    Ok(Segment {
+        generation,
+        triples,
+        edges,
+    })
+}
+
+/// Writes the segment atomically to `path`: encode to `path.tmp`,
+/// fsync the file, rename over `path`, fsync the parent directory.
+/// Injected fault site `segment::write` can tear the tmp-file write or
+/// crash after N bytes — both leave `path` untouched.
+pub fn write_atomic(path: &Path, seg: &Segment) -> std::io::Result<()> {
+    let image = encode(seg);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        match io_fault!("segment::write") {
+            Some(IoFault::Torn(n)) => {
+                let n = n.min(image.len());
+                f.write_all(&image[..n])?;
+                let _ = f.sync_all();
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected torn write at segment::write",
+                ));
+            }
+            Some(IoFault::Crash(n)) => {
+                let n = n.min(image.len());
+                let _ = f.write_all(&image[..n]);
+                let _ = f.sync_all();
+                panic!("injected crash at segment::write after {n} bytes");
+            }
+            Some(IoFault::Fsync) => {
+                f.write_all(&image)?;
+                return Err(std::io::Error::other(
+                    "injected fsync failure at segment::write",
+                ));
+            }
+            _ => {}
+        }
+        f.write_all(&image)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself.
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Reads and decodes the segment at `path`.
+pub fn read(path: &Path) -> std::io::Result<Segment> {
+    let image = std::fs::read(path)?;
+    decode(&image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Segment {
+        Segment {
+            generation: 7,
+            triples: vec![
+                ("a".into(), "knows".into(), "b".into()),
+                ("b".into(), "knows".into(), "c".into()),
+            ],
+            edges: vec![EdgeRec {
+                id: "e1".into(),
+                src: "x".into(),
+                src_label: "person".into(),
+                label: "rides".into(),
+                dst: "y".into(),
+                dst_label: "bus".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let seg = sample();
+        assert_eq!(decode(&encode(&seg)).unwrap(), seg);
+        let empty = Segment::default();
+        assert_eq!(decode(&encode(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn any_bit_flip_is_rejected() {
+        let image = encode(&sample());
+        for byte in SEG_MAGIC.len()..image.len() {
+            let mut corrupt = image.clone();
+            corrupt[byte] ^= 0x40;
+            assert!(
+                decode(&corrupt).is_err(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let image = encode(&sample());
+        for cut in 0..image.len() {
+            assert!(decode(&image[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let dir = std::env::temp_dir().join(format!("kgq-seg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("segment");
+        let seg = sample();
+        write_atomic(&path, &seg).unwrap();
+        assert_eq!(read(&path).unwrap(), seg);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -48,3 +48,4 @@ pub use kgq_graph as graph;
 pub use kgq_logic as logic;
 pub use kgq_rdf as rdf;
 pub use kgq_relbase as relbase;
+pub use kgq_store as store;

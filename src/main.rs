@@ -34,7 +34,8 @@ fn usage() -> ExitCode {
          kgq analytics GRAPH (pagerank|betweenness|components|diameter|densest)\n  \
          kgq rdf FILE (path EXPR|select QUERY|infer)\n  \
          kgq sparql FILE QUERY [--explain] [GOVERN]\n  \
-         kgq serve GRAPH [--nt FILE] [--port P] [--workers W] [GOVERN]\n\n  \
+         kgq serve GRAPH [--nt FILE] [--store DIR] [--port P] [--workers W] [GOVERN]\n  \
+         kgq store (init DIR [--nt FILE]|append DIR FILE [--delete]|compact DIR|verify DIR|dump DIR)\n\n  \
          GOVERN: --timeout MS | --max-steps N | --max-results N\n  \
          query/cypher also take --explain (print the static-analysis\n  \
          verdict instead of executing), --verbose (cache stats on\n  \
@@ -482,6 +483,97 @@ fn cmd_sparql(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `kgq store (init|append|compact|verify|dump)` — manage a durable
+/// store directory (checksummed WAL + immutable segment; see
+/// DESIGN.md §13). `verify` is read-only: it reports segment shape, WAL
+/// health and what recovery would truncate, without mutating anything.
+fn cmd_store(args: &[String]) -> Result<String, String> {
+    let [sub, dir, rest @ ..] = args else {
+        return Err("store needs (init|append|compact|verify|dump) and DIR".into());
+    };
+    let path = std::path::Path::new(dir);
+    let io_err = |e: std::io::Error| format!("{dir}: {e}");
+    match sub.as_str() {
+        "init" => {
+            let (mut store, _) = kgq_store::DurableStore::open(path).map_err(io_err)?;
+            if let Some(nt_path) = str_flag(rest, "--nt") {
+                let text =
+                    std::fs::read_to_string(nt_path).map_err(|e| format!("{nt_path}: {e}"))?;
+                let parsed = rdf::parse_ntriples(&text).map_err(|e| e.to_string())?;
+                for t in parsed.iter() {
+                    store.stage_insert(
+                        parsed.term_str(t.s),
+                        parsed.term_str(t.p),
+                        parsed.term_str(t.o),
+                    );
+                }
+                store.commit().map_err(io_err)?;
+                // Bulk loads go straight to a compact segment.
+                store.compact().map_err(io_err)?;
+            }
+            Ok(format!(
+                "initialized {dir} at generation {} ({} triples)\n",
+                store.generation(),
+                store.len()
+            ))
+        }
+        "append" => {
+            let [file, ..] = rest else {
+                return Err("store append needs DIR and FILE.nt".into());
+            };
+            let delete = rest.iter().any(|a| a == "--delete");
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let parsed = rdf::parse_ntriples(&text).map_err(|e| e.to_string())?;
+            let (mut store, _) = kgq_store::DurableStore::open(path).map_err(io_err)?;
+            for t in parsed.iter() {
+                let (s, p, o) = (
+                    parsed.term_str(t.s),
+                    parsed.term_str(t.p),
+                    parsed.term_str(t.o),
+                );
+                if delete {
+                    store.stage_delete(s, p, o);
+                } else {
+                    store.stage_insert(s, p, o);
+                }
+            }
+            let ops = store.pending_len();
+            let generation = store.commit().map_err(io_err)?;
+            Ok(format!(
+                "committed generation {generation} ({ops} op(s)); {} triples, wal {} bytes\n",
+                store.len(),
+                store.wal_len()
+            ))
+        }
+        "compact" => {
+            let (mut store, _) = kgq_store::DurableStore::open(path).map_err(io_err)?;
+            store.compact().map_err(io_err)?;
+            Ok(format!(
+                "compacted {dir} at generation {} ({} triples, {} edges); wal {} bytes\n",
+                store.generation(),
+                store.len(),
+                store.all_edges().count(),
+                store.wal_len()
+            ))
+        }
+        "verify" => {
+            let report = kgq_store::DurableStore::verify(path).map_err(io_err)?;
+            Ok(format!("{}\n", report.render()))
+        }
+        "dump" => {
+            let (store, _) = kgq_store::DurableStore::open(path).map_err(io_err)?;
+            let mut out = String::new();
+            for (s, p, o) in store.scan_all() {
+                out.push_str(&format!("<{s}> <{p}> <{o}> .\n"));
+            }
+            Ok(out)
+        }
+        other => Err(format!(
+            "unknown store subcommand `{other}` (expected init|append|compact|verify|dump)"
+        )),
+    }
+}
+
 /// `kgq serve GRAPH [--nt FILE] [--port P] [--workers W] [GOVERN]` —
 /// long-lived multi-client query server over the loaded snapshot.
 /// GOVERN flags become the *server-side* caps every request is admitted
@@ -493,20 +585,50 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     let [path, rest @ ..] = args else {
         return Err("serve needs GRAPH".into());
     };
-    let g = load_graph(path)?;
-    let st = match str_flag(rest, "--nt") {
+    let mut g = load_graph(path)?;
+    let mut st = match str_flag(rest, "--nt") {
         Some(nt_path) => {
             let text = std::fs::read_to_string(nt_path).map_err(|e| format!("{nt_path}: {e}"))?;
             rdf::parse_ntriples(&text).map_err(|e| e.to_string())?
         }
         None => rdf::TripleStore::new(),
     };
+    // `--store DIR`: recover the durable store and fold its committed
+    // state into the snapshot; INSERT/DELETE batches are then
+    // WAL-committed (fsynced) before acknowledgement, and FLUSH
+    // compacts. Without it mutations stay in-memory only.
+    let durable = match str_flag(rest, "--store") {
+        Some(dir) => {
+            let (durable, replay) = kgq_store::DurableStore::open(std::path::Path::new(dir))
+                .map_err(|e| format!("{dir}: {e}"))?;
+            if replay.total_len > replay.committed_len {
+                eprintln!(
+                    "kgq serve: {dir}: WAL tail was {}; truncated to the committed prefix \
+                     ({} uncommitted op(s) discarded)",
+                    replay.tail.describe(),
+                    replay.uncommitted_ops
+                );
+            }
+            for (s, p, o) in durable.scan_all() {
+                st.insert_strs(&s, &p, &o);
+            }
+            kgq_serve::apply_edges(&mut g, durable.all_edges());
+            eprintln!(
+                "kgq serve: {dir}: recovered generation {} ({} triples, {} edges)",
+                durable.generation(),
+                durable.len(),
+                durable.all_edges().count()
+            );
+            Some(durable)
+        }
+        None => None,
+    };
     let cfg = kgq_serve::ServerConfig {
         addr: format!("127.0.0.1:{}", flag(rest, "--port", 0)),
         workers: flag(rest, "--workers", 4),
         caps: budget_from(rest)?.unwrap_or_default(),
     };
-    let handle = kgq_serve::serve(g, st, cfg).map_err(|e| e.to_string())?;
+    let handle = kgq_serve::serve_with_store(g, st, durable, cfg).map_err(|e| e.to_string())?;
     println!("listening on {}", handle.addr());
     use std::io::Write;
     std::io::stdout().flush().ok();
@@ -533,6 +655,7 @@ fn main() -> ExitCode {
         "rdf" => cmd_rdf(&args[1..]),
         "sparql" => cmd_sparql(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "store" => cmd_store(&args[1..]),
         _ => return usage(),
     };
     match result {

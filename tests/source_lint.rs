@@ -1,6 +1,6 @@
 //! In-repo source lints, run as tier-1 tests and in CI.
 //!
-//! Three invariants over `crates/*/src`, enforced with std-only file
+//! Four invariants over `crates/*/src`, enforced with std-only file
 //! walking (no extra dependencies):
 //!
 //! 1. **unwrap/expect ratchet** — non-test library code must not grow
@@ -8,11 +8,16 @@
 //!    grandfathered in a per-file baseline that may only shrink; files
 //!    not listed are held at zero.
 //! 2. **fault-site registry** — every fault-injection site name used by
-//!    `fault_point!` / `fault::hit` / `fault::starved` appears exactly
-//!    once in `docs/FAULT_SITES.md`, and the registry lists no phantom
-//!    sites.
+//!    `fault_point!` / `fault::hit` / `fault::starved` / `io_fault!`
+//!    appears exactly once in `docs/FAULT_SITES.md`, and the registry
+//!    lists no phantom sites.
 //! 3. **doc coverage** — every `pub fn` in `kgq-core`'s `analyze` and
 //!    `govern` modules carries a doc comment.
+//! 4. **durable-path strictness** — `kgq-store` shipping code may never
+//!    unwrap or expect anything: every `std::io` result on the write
+//!    path must be propagated, because a swallowed I/O error there is
+//!    silent data loss. Unlike the general ratchet, no baseline entry
+//!    can ever admit one.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
@@ -189,11 +194,41 @@ fn unwrap_expect_ratchet_only_turns_down() {
     assert!(problems.is_empty(), "\n{}", problems.join("\n"));
 }
 
+/// The durable write path refuses the grandfather clause: a panic on an
+/// I/O error in `kgq-store` would turn a recoverable torn write into
+/// data loss, so its shipping code is held at zero unwrap/expect sites
+/// unconditionally — adding a `crates/store/…` UNWRAP_BASELINE entry
+/// does not help, this test ignores the baseline entirely.
+#[test]
+fn store_never_unwraps_io_results() {
+    let mut problems = Vec::new();
+    for path in crate_sources() {
+        let file = rel(&path);
+        if !file.starts_with("crates/store/src") {
+            continue;
+        }
+        let src = fs::read_to_string(&path).expect("readable source file");
+        let count: usize = non_test_lines(&src).iter().map(|l| unwrap_sites(l)).sum();
+        if count > 0 {
+            problems.push(format!(
+                "{file}: {count} unwrap/expect site(s) in durable-store shipping code; \
+                 propagate the io::Result instead (a panic here loses committed data)"
+            ));
+        }
+    }
+    assert!(problems.is_empty(), "\n{}", problems.join("\n"));
+}
+
 /// Fault-site names invoked in source: `fault_point!("…")`,
-/// `fault::hit("…")`, `fault::starved("…")`.
+/// `fault::hit("…")`, `fault::starved("…")`, `io_fault!("…")`.
 fn fault_names_in(src: &str) -> Vec<String> {
     let mut names = Vec::new();
-    for pat in ["fault_point!(\"", "fault::hit(\"", "fault::starved(\""] {
+    for pat in [
+        "fault_point!(\"",
+        "fault::hit(\"",
+        "fault::starved(\"",
+        "io_fault!(\"",
+    ] {
         let mut rest = src;
         while let Some(i) = rest.find(pat) {
             let tail = &rest[i + pat.len()..];
