@@ -52,6 +52,7 @@ pub mod parallel;
 pub mod parser;
 pub mod path;
 pub mod product;
+pub mod scale;
 pub mod simplify;
 
 pub use analyze::{
@@ -82,4 +83,8 @@ pub use model::{LabeledView, PathGraph, PropertyView, VectorView};
 pub use parser::{parse_expr, ParseError};
 pub use path::Path;
 pub use product::{DetProduct, Product};
+pub use scale::{
+    triangle_count, LabelAdjacency, LabelDfa, PackedAdjacency, RawAdjacency, ScaleError,
+    ScaleEvaluator, TriangleCount,
+};
 pub use simplify::{simplify, simplify_test};

@@ -1,0 +1,1017 @@
+//! Source-range sharded evaluation over packed adjacency — the
+//! out-of-core scale path.
+//!
+//! The standard pipeline ([`crate::product`] + [`crate::eval`])
+//! materializes the graph × NFA product with a hash-interned state
+//! table: ~48 bytes per product state plus 16 per transition. At 10⁸
+//! edges that table alone dwarfs the graph. This module is the scale
+//! alternative for **label-only** path expressions (labels, `ℓ⁻`,
+//! concatenation, alternation, star — no node tests, no property or
+//! feature tests):
+//!
+//! * the expression compiles to a tiny [`LabelDfa`] (the minimized
+//!   automaton of [`crate::automata`], restricted to label letters and
+//!   flattened over its ε-closures);
+//! * product states are **implicit** — `state = v · |Q| + q` — so the
+//!   only per-sweep allocation is a `|V| · |Q|` bitmask matrix, reused
+//!   across batches with touched-list clearing;
+//! * adjacency is abstracted by [`LabelAdjacency`], with adapters for
+//!   the raw [`LabelIndex`] and the bit-packed [`PackedView`] — the
+//!   "slice or iterate" seam: one decode per `(node, label)` expansion
+//!   feeds all 64 source lanes of the batch, which is what amortizes
+//!   packed-decode cost to ≈ the raw slice walk;
+//! * evaluation is sharded by source range into 64-lane batches;
+//!   batch results are concatenated in batch order, so output is
+//!   byte-identical at any `chunks`/thread count;
+//! * governance: the sweep matrix is charged to the governor's memory
+//!   budget up front per worker (released after), expansions tick the
+//!   step budget, result extraction charges per pair and truncates to
+//!   an exact prefix, and scratch growth is charged at its **high-water
+//!   mark** (the worklists are reused between batches, so their
+//!   footprint is the peak, not the per-batch sum) — a tripped batch is
+//!   dropped whole so the returned prefix always ends on a batch
+//!   boundary.
+//!
+//! The wedge-closing triangle count ([`triangle_count`]) reuses the
+//! same adjacency seam with the packed skip-table point probes
+//! ([`kgq_graph::packed::Run::contains`]) as its galloping
+//! intersection primitive.
+
+use crate::automata::{Nfa, Trans};
+use crate::expr::{PathExpr, Test};
+use crate::govern::{isolate, EvalError, Governed, Governor, Interrupt, Ticker};
+use kgq_graph::packed::PackedView;
+use kgq_graph::{LabelIndex, NodeId, Sym};
+use std::fmt;
+use std::ops::Range;
+
+/// Cap on label-DFA states: keeps the implicit-state index `v·|Q| + q`
+/// inside `u32` for any `u32` node count and bounds the sweep matrix.
+pub const MAX_SCALE_STATES: usize = 64;
+
+/// Sources advanced per sweep (one bitmask lane each).
+pub const BATCH: usize = 64;
+
+/// Why an expression cannot take the scale path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScaleError {
+    /// The expression uses a feature the scale path does not support
+    /// (node tests, property/feature tests, boolean label tests).
+    Unsupported(String),
+    /// The compiled automaton exceeds [`MAX_SCALE_STATES`].
+    TooManyStates(usize),
+}
+
+impl fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleError::Unsupported(what) => {
+                write!(f, "scale path supports label-only expressions: {what}")
+            }
+            ScaleError::TooManyStates(n) => {
+                write!(
+                    f,
+                    "automaton has {n} states, above the scale cap {MAX_SCALE_STATES}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
+/// A label-only automaton with ε-closures flattened away: `step[q]`
+/// lists the consuming transitions `(dense label, forward?, target)`
+/// reachable from `q` through structural ε, and `accepting[q]` says
+/// whether `q`'s closure touches the accept state.
+#[derive(Clone, Debug)]
+pub struct LabelDfa {
+    nq: u32,
+    start: u32,
+    step: Vec<Vec<(u32, bool, u32)>>,
+    accepting: Vec<bool>,
+    uses_inverse: bool,
+}
+
+impl LabelDfa {
+    /// Compiles `expr` through the minimized automaton, mapping label
+    /// symbols to dense graph label ids via `label_of` (`None` = the
+    /// label never occurs in the graph, so the transition is dropped).
+    pub fn compile(
+        expr: &PathExpr,
+        label_of: impl Fn(Sym) -> Option<u32>,
+    ) -> Result<LabelDfa, ScaleError> {
+        let nfa = Nfa::compile_min(expr).nfa;
+        let nq = nfa.state_count();
+        if nq > MAX_SCALE_STATES {
+            return Err(ScaleError::TooManyStates(nq));
+        }
+        // ε-closure per state (structural Eps only; the minimized
+        // automaton usually has none, but the fallback path may).
+        let mut closures: Vec<Vec<u32>> = Vec::with_capacity(nq);
+        for q0 in 0..nq as u32 {
+            let mut seen = vec![false; nq];
+            let mut stack = vec![q0];
+            seen[q0 as usize] = true;
+            while let Some(q) = stack.pop() {
+                for &(t, to) in &nfa.edges[q as usize] {
+                    if t == Trans::Eps && !seen[to as usize] {
+                        seen[to as usize] = true;
+                        stack.push(to);
+                    }
+                }
+            }
+            closures.push((0..nq as u32).filter(|&q| seen[q as usize]).collect());
+        }
+        let label_sym = |t: u32| -> Result<Sym, ScaleError> {
+            match &nfa.tests[t as usize] {
+                Test::Label(l) => Ok(*l),
+                other => Err(ScaleError::Unsupported(format!(
+                    "edge test {other:?} is not a plain label"
+                ))),
+            }
+        };
+        let mut step = Vec::with_capacity(nq);
+        let mut accepting = Vec::with_capacity(nq);
+        let mut uses_inverse = false;
+        for q in 0..nq {
+            let mut out: Vec<(u32, bool, u32)> = Vec::new();
+            for &qc in &closures[q] {
+                for &(t, to) in &nfa.edges[qc as usize] {
+                    match t {
+                        Trans::Eps => {}
+                        Trans::Node(_) => {
+                            return Err(ScaleError::Unsupported(
+                                "node tests (`?t`) are not label steps".into(),
+                            ))
+                        }
+                        Trans::Fwd(i) => {
+                            if let Some(l) = label_of(label_sym(i)?) {
+                                out.push((l, true, to));
+                            }
+                        }
+                        Trans::Bwd(i) => {
+                            if let Some(l) = label_of(label_sym(i)?) {
+                                uses_inverse = true;
+                                out.push((l, false, to));
+                            }
+                        }
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            accepting.push(closures[q].contains(&nfa.accept));
+            step.push(out);
+        }
+        Ok(LabelDfa {
+            nq: nq as u32,
+            start: nfa.start,
+            step,
+            accepting,
+            uses_inverse,
+        })
+    }
+
+    /// Number of automaton states `|Q|`.
+    pub fn state_count(&self) -> usize {
+        self.nq as usize
+    }
+
+    /// Whether any transition steps an edge backwards (`ℓ⁻`).
+    pub fn uses_inverse(&self) -> bool {
+        self.uses_inverse
+    }
+
+    /// Bytes one sweep worker allocates for `n` nodes: the visited
+    /// bitmask matrix plus the queued bitset. This is what
+    /// [`ScaleEvaluator::pairs_governed`] charges per worker.
+    pub fn sweep_bytes(&self, n: u32) -> u64 {
+        let states = n as u64 * self.nq as u64;
+        states * 8 + states.div_ceil(64) * 8
+    }
+}
+
+/// The adjacency seam the scale sweep steps on: either raw
+/// [`LabelIndex`] slices or packed runs decoded into a reused scratch
+/// buffer — one decode per `(node, label)` expansion, shared by all 64
+/// lanes of the batch.
+pub trait LabelAdjacency: Sync {
+    /// Number of nodes.
+    fn node_count(&self) -> u32;
+    /// Appends the out-neighbors of `v` under dense label `l`.
+    fn out_into(&self, v: u32, l: u32, buf: &mut Vec<u32>);
+    /// Appends the in-neighbors of `v` under dense label `l`.
+    fn in_into(&self, v: u32, l: u32, buf: &mut Vec<u32>);
+    /// Out-degree restricted to `l` (no decode where avoidable).
+    fn out_degree(&self, v: u32, l: u32) -> usize;
+    /// Point probe: is `v --l--> x` an edge?
+    fn contains_out(&self, v: u32, l: u32, x: u32) -> bool;
+    /// Whether `out_into` yields sorted neighbors (packed runs do; raw
+    /// label runs are `(label, edge)`-ordered).
+    fn out_sorted(&self) -> bool;
+}
+
+/// [`LabelAdjacency`] over the raw flat [`LabelIndex`].
+pub struct RawAdjacency<'a>(pub &'a LabelIndex);
+
+impl LabelAdjacency for RawAdjacency<'_> {
+    fn node_count(&self) -> u32 {
+        self.0.node_count() as u32
+    }
+    #[inline]
+    fn out_into(&self, v: u32, l: u32, buf: &mut Vec<u32>) {
+        buf.extend(
+            self.0
+                .out_with_dense(NodeId(v), l)
+                .iter()
+                .map(|&(_, _, d)| d.0),
+        );
+    }
+    #[inline]
+    fn in_into(&self, v: u32, l: u32, buf: &mut Vec<u32>) {
+        buf.extend(
+            self.0
+                .in_with_dense(NodeId(v), l)
+                .iter()
+                .map(|&(_, _, s)| s.0),
+        );
+    }
+    fn out_degree(&self, v: u32, l: u32) -> usize {
+        self.0.out_with_dense(NodeId(v), l).len()
+    }
+    fn contains_out(&self, v: u32, l: u32, x: u32) -> bool {
+        self.0
+            .out_with_dense(NodeId(v), l)
+            .iter()
+            .any(|&(_, _, d)| d.0 == x)
+    }
+    fn out_sorted(&self) -> bool {
+        false
+    }
+}
+
+/// [`LabelAdjacency`] over a packed blob (owned or mmap'd).
+pub struct PackedAdjacency<'a>(pub PackedView<'a>);
+
+impl LabelAdjacency for PackedAdjacency<'_> {
+    fn node_count(&self) -> u32 {
+        self.0.node_count() as u32
+    }
+    #[inline]
+    fn out_into(&self, v: u32, l: u32, buf: &mut Vec<u32>) {
+        self.0.decode_out_into(v, l, buf);
+    }
+    #[inline]
+    fn in_into(&self, v: u32, l: u32, buf: &mut Vec<u32>) {
+        self.0.decode_in_into(v, l, buf);
+    }
+    fn out_degree(&self, v: u32, l: u32) -> usize {
+        self.0.out_degree(v, l)
+    }
+    fn contains_out(&self, v: u32, l: u32, x: u32) -> bool {
+        self.0.out_run(v, l).is_some_and(|r| r.contains(x))
+    }
+    fn out_sorted(&self) -> bool {
+        true
+    }
+}
+
+/// Reusable per-worker sweep state: the full `|V|·|Q|` bitmask matrix
+/// plus worklists, cleared between batches via the touched list (so a
+/// sparse sweep never pays an O(|V|·|Q|) memset).
+struct Sweep {
+    nq: u32,
+    visited: Vec<u64>,
+    queued: Vec<u64>,
+    touched: Vec<u32>,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+    buf: Vec<u32>,
+}
+
+impl Sweep {
+    fn new(n: u32, nq: u32) -> Sweep {
+        let states = n as usize * nq as usize;
+        Sweep {
+            nq,
+            visited: vec![0u64; states],
+            queued: vec![0u64; states.div_ceil(64)],
+            touched: Vec::new(),
+            frontier: Vec::new(),
+            next: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, idx: u32) {
+        let (w, b) = ((idx / 64) as usize, idx % 64);
+        if self.queued[w] & (1 << b) == 0 {
+            self.queued[w] |= 1 << b;
+            self.next.push(idx);
+        }
+    }
+
+    fn clear(&mut self) {
+        for &idx in &self.touched {
+            self.visited[idx as usize] = 0;
+        }
+        self.touched.clear();
+        self.frontier.clear();
+        self.next.clear();
+    }
+
+    /// Runs one 64-lane sweep from sources `[s0, s1)`. Ticks `ticker`
+    /// per expanded edge; a trip aborts the sweep (the caller drops the
+    /// batch, keeping results an exact batch-boundary prefix).
+    fn run<A: LabelAdjacency>(
+        &mut self,
+        adj: &A,
+        dfa: &LabelDfa,
+        s0: u32,
+        s1: u32,
+        ticker: &mut Ticker<'_>,
+    ) -> Result<(), Interrupt> {
+        self.clear();
+        let nq = self.nq;
+        for (lane, v) in (s0..s1).enumerate() {
+            let idx = v * nq + dfa.start;
+            if self.visited[idx as usize] == 0 {
+                self.touched.push(idx);
+            }
+            self.visited[idx as usize] |= 1u64 << lane;
+            self.enqueue(idx);
+        }
+        while !self.next.is_empty() {
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            for i in 0..self.frontier.len() {
+                let idx = self.frontier[i];
+                self.queued[(idx / 64) as usize] &= !(1 << (idx % 64));
+            }
+            for i in 0..self.frontier.len() {
+                let idx = self.frontier[i];
+                let mask = self.visited[idx as usize];
+                let (v, q) = (idx / nq, idx % nq);
+                for t in 0..dfa.step[q as usize].len() {
+                    let (l, fwd, q2) = dfa.step[q as usize][t];
+                    self.buf.clear();
+                    if fwd {
+                        adj.out_into(v, l, &mut self.buf);
+                    } else {
+                        adj.in_into(v, l, &mut self.buf);
+                    }
+                    ticker.tick_n(self.buf.len() as u32 + 1)?;
+                    for k in 0..self.buf.len() {
+                        let w = self.buf[k];
+                        let j = w * nq + q2;
+                        let old = self.visited[j as usize];
+                        let new = old | mask;
+                        if new != old {
+                            if old == 0 {
+                                self.touched.push(j);
+                            }
+                            self.visited[j as usize] = new;
+                            self.enqueue(j);
+                        }
+                    }
+                }
+            }
+            self.frontier.clear();
+        }
+        Ok(())
+    }
+
+    /// Extracts the batch's `(source, target)` pairs in lane-major,
+    /// target-ascending order. `limit` bounds how many pairs may still
+    /// be emitted (result budget); emission stops exactly there.
+    fn extract_pairs(
+        &mut self,
+        dfa: &LabelDfa,
+        s0: u32,
+        lanes: u32,
+        out: &mut Vec<(u32, u32)>,
+        gov: Option<&Governor>,
+    ) -> Result<(), Interrupt> {
+        self.touched.sort_unstable();
+        let nq = self.nq;
+        // Per-lane target lists; touched is sorted by v·|Q|+q so each
+        // lane's targets come out ascending, deduped across accepting
+        // states of the same node.
+        let mut per_lane: Vec<Vec<u32>> = vec![Vec::new(); lanes as usize];
+        for &idx in &self.touched {
+            let (v, q) = (idx / nq, idx % nq);
+            if !dfa.accepting[q as usize] {
+                continue;
+            }
+            let mask = self.visited[idx as usize];
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if lane < lanes as usize {
+                    let list = &mut per_lane[lane];
+                    if list.last() != Some(&v) {
+                        list.push(v);
+                    }
+                }
+            }
+        }
+        for (lane, targets) in per_lane.into_iter().enumerate() {
+            for v in targets {
+                if let Some(gov) = gov {
+                    gov.charge_results(1)?;
+                }
+                out.push((s0 + lane as u32, v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lanes (relative to `s0`) whose source matches the expression.
+    fn extract_starts(&mut self, dfa: &LabelDfa, lanes: u32) -> u64 {
+        let nq = self.nq;
+        let mut matched = 0u64;
+        for &idx in &self.touched {
+            if dfa.accepting[(idx % nq) as usize] {
+                matched |= self.visited[idx as usize];
+            }
+        }
+        if lanes < 64 {
+            matched &= (1u64 << lanes) - 1;
+        }
+        matched
+    }
+}
+
+/// Sharded evaluator: a [`LabelDfa`] over a [`LabelAdjacency`].
+pub struct ScaleEvaluator<'a, A: LabelAdjacency> {
+    adj: &'a A,
+    dfa: LabelDfa,
+}
+
+/// Contiguous `i`-th of `chunks` slices of `len` items (same splitting
+/// as the LFTJ domain partitioner).
+fn chunk_bounds(len: usize, chunks: usize, i: usize) -> Range<usize> {
+    let chunks = chunks.max(1);
+    let lo = (len as u128 * i as u128 / chunks as u128) as usize;
+    let hi = (len as u128 * (i + 1) as u128 / chunks as u128) as usize;
+    lo..hi
+}
+
+impl<'a, A: LabelAdjacency> ScaleEvaluator<'a, A> {
+    /// Pairs an adjacency with a compiled label automaton.
+    pub fn new(adj: &'a A, dfa: LabelDfa) -> Self {
+        ScaleEvaluator { adj, dfa }
+    }
+
+    /// The compiled automaton.
+    pub fn dfa(&self) -> &LabelDfa {
+        &self.dfa
+    }
+
+    /// All `(source, target)` pairs with `source ∈ sources`, evaluated
+    /// in 64-lane batches over `chunks` workers. Output is concatenated
+    /// in batch order: byte-identical for every `chunks` value.
+    pub fn pairs(&self, sources: Range<u32>, chunks: usize) -> Vec<(u32, u32)> {
+        match self.pairs_governed(sources, chunks, &Governor::unlimited()) {
+            Ok(g) => g.value,
+            // Unreachable: an unlimited governor cannot trip, and
+            // worker panics surface as Err.
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Governed [`ScaleEvaluator::pairs`]: exact-prefix results, with
+    /// the sweep matrix charged to the memory budget per worker.
+    pub fn pairs_governed(
+        &self,
+        sources: Range<u32>,
+        chunks: usize,
+        gov: &Governor,
+    ) -> Result<Governed<Vec<(u32, u32)>>, EvalError> {
+        let per_batch = self.run_batches(sources, chunks, gov, |sweep, dfa, s0, lanes, gov| {
+            let mut out = Vec::new();
+            let trip = sweep
+                .extract_pairs(dfa, s0, lanes, &mut out, Some(gov))
+                .err();
+            (out, trip)
+        })?;
+        let mut all = Vec::new();
+        let mut why = None;
+        for (pairs, trip) in per_batch {
+            if let Some(pairs) = pairs {
+                all.extend(pairs);
+            }
+            if let Some(t) = trip {
+                why = Some(t);
+                break;
+            }
+        }
+        Ok(match why {
+            None => Governed::complete(all),
+            Some(t) => Governed::partial(all, t),
+        })
+    }
+
+    /// Sources in `sources` that start at least one matching path.
+    pub fn matching_starts(&self, sources: Range<u32>, chunks: usize) -> Vec<u32> {
+        match self.matching_starts_governed(sources, chunks, &Governor::unlimited()) {
+            Ok(g) => g.value,
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Governed [`ScaleEvaluator::matching_starts`].
+    pub fn matching_starts_governed(
+        &self,
+        sources: Range<u32>,
+        chunks: usize,
+        gov: &Governor,
+    ) -> Result<Governed<Vec<u32>>, EvalError> {
+        let per_batch = self.run_batches(sources, chunks, gov, |sweep, dfa, s0, lanes, gov| {
+            let matched = sweep.extract_starts(dfa, lanes);
+            let mut out = Vec::new();
+            let mut trip = None;
+            let mut m = matched;
+            while m != 0 {
+                let lane = m.trailing_zeros();
+                m &= m - 1;
+                if let Err(t) = gov.charge_results(1) {
+                    trip = Some(t);
+                    break;
+                }
+                out.push(s0 + lane);
+            }
+            (out, trip)
+        })?;
+        let mut all = Vec::new();
+        let mut why = None;
+        for (starts, trip) in per_batch {
+            if let Some(starts) = starts {
+                all.extend(starts);
+            }
+            if let Some(t) = trip {
+                why = Some(t);
+                break;
+            }
+        }
+        Ok(match why {
+            None => Governed::complete(all),
+            Some(t) => Governed::partial(all, t),
+        })
+    }
+
+    /// Runs every 64-lane batch of `sources` across `chunks` workers,
+    /// applying `extract` to each completed sweep. Returns per-batch
+    /// results in batch order; a tripped batch contributes `None` and
+    /// its [`Interrupt`] (its sweep output is dropped whole, so the
+    /// assembled prefix ends on a batch boundary), while `extract`'s
+    /// own trip keeps its partial output so result exhaustion can end
+    /// *inside* a batch with an exact pair count.
+    #[allow(clippy::type_complexity)]
+    fn run_batches<T: Send>(
+        &self,
+        sources: Range<u32>,
+        chunks: usize,
+        gov: &Governor,
+        extract: impl Fn(&mut Sweep, &LabelDfa, u32, u32, &Governor) -> (T, Option<Interrupt>) + Sync,
+    ) -> Result<Vec<(Option<T>, Option<Interrupt>)>, EvalError> {
+        let n = self.adj.node_count();
+        let sources = sources.start.min(n)..sources.end.min(n);
+        let nbatches = (sources.len() as u64).div_ceil(BATCH as u64) as usize;
+        let chunks = chunks.max(1).min(nbatches.max(1));
+        let worker = |c: usize| -> Result<Vec<(Option<T>, Option<Interrupt>)>, EvalError> {
+            isolate(|| {
+                let range = chunk_bounds(nbatches, chunks, c);
+                if range.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let sweep_bytes = self.dfa.sweep_bytes(n);
+                if let Err(t) = gov.charge_memory(sweep_bytes) {
+                    return Ok(vec![(None, Some(t))]);
+                }
+                let mut sweep = Sweep::new(n, self.dfa.nq);
+                let mut ticker = Ticker::new(gov);
+                // The worklists are reused scratch: their footprint is
+                // the high-water mark across batches, not the sum, so
+                // only growth beyond the previous peak is charged.
+                let mut touched_hw = 0u64;
+                let mut results = Vec::with_capacity(range.len());
+                for b in range {
+                    // Another worker (or an earlier batch) tripped the
+                    // shared governor: stop before sweeping.
+                    if let Some(t) = gov.trip_state() {
+                        results.push((None, Some(t)));
+                        break;
+                    }
+                    let s0 = sources.start + (b * BATCH) as u32;
+                    let s1 = sources.end.min(s0 + BATCH as u32);
+                    let swept = sweep
+                        .run(self.adj, &self.dfa, s0, s1, &mut ticker)
+                        .and_then(|()| {
+                            let bytes = sweep.touched.len() as u64 * 8;
+                            if bytes > touched_hw {
+                                // Record the peak before charging: the
+                                // ledger counts the bytes even when the
+                                // charge trips, and the final release
+                                // must match either way.
+                                let grown = bytes - touched_hw;
+                                touched_hw = bytes;
+                                gov.charge_memory(grown)
+                            } else {
+                                Ok(())
+                            }
+                        });
+                    match swept {
+                        Ok(()) => {
+                            let (out, trip) = extract(&mut sweep, &self.dfa, s0, s1 - s0, gov);
+                            let stop = trip.is_some();
+                            results.push((Some(out), trip));
+                            if stop {
+                                break;
+                            }
+                        }
+                        Err(t) => {
+                            // Drop the incomplete batch; record why.
+                            results.push((None, Some(t)));
+                            break;
+                        }
+                    }
+                }
+                gov.release_memory(sweep_bytes + touched_hw);
+                Ok(results)
+            })
+        };
+        let per_chunk: Vec<Result<Vec<(Option<T>, Option<Interrupt>)>, EvalError>> = if chunks == 1
+        {
+            vec![worker(0)]
+        } else {
+            use rayon::prelude::*;
+            (0..chunks).into_par_iter().map(worker).collect()
+        };
+        let mut flat = Vec::with_capacity(nbatches);
+        for r in per_chunk {
+            flat.extend(r?);
+        }
+        Ok(flat)
+    }
+}
+
+/// Result of [`triangle_count`]: the total plus the first few matches.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TriangleCount {
+    /// Number of `(a, b, c)` triples matching the wedge pattern.
+    pub count: u64,
+    /// The first matches in `a`-ascending order, capped by the caller.
+    pub sample: Vec<(u32, u32, u32)>,
+}
+
+/// Closes wedges for one apex `a`: every `b ∈ out(a, l_ab)` and
+/// `c ∈ out(b, l_bc)` with the closing edge `a --l_ac--> c` probed via
+/// [`LabelAdjacency::contains_out`] (a skip-table gallop on packed
+/// adjacency). Trips mid-apex leave `tc` untouched by the caller's
+/// rollback.
+#[allow(clippy::too_many_arguments)]
+fn close_wedges<A: LabelAdjacency>(
+    adj: &A,
+    a: u32,
+    (l_ab, l_bc, l_ac): (u32, u32, u32),
+    bufb: &mut Vec<u32>,
+    bufc: &mut Vec<u32>,
+    ticker: &mut Ticker<'_>,
+    gov: &Governor,
+    scratch_hw: &mut u64,
+    tc: &mut TriangleCount,
+    sample_cap: usize,
+) -> Result<(), Interrupt> {
+    // The two decode buffers are reused across apexes: charge only
+    // growth past the peak so far, mirroring their real footprint.
+    let charge_scratch = |bufb: &Vec<u32>, bufc: &Vec<u32>, hw: &mut u64| {
+        let cur = (bufb.len() + bufc.len()) as u64 * 4;
+        if cur > *hw {
+            let grown = cur - *hw;
+            *hw = cur;
+            gov.charge_memory(grown)
+        } else {
+            Ok(())
+        }
+    };
+    bufb.clear();
+    adj.out_into(a, l_ab, bufb);
+    ticker.tick_n(bufb.len() as u32 + 1)?;
+    charge_scratch(bufb, bufc, scratch_hw)?;
+    for i in 0..bufb.len() {
+        let b = bufb[i];
+        bufc.clear();
+        adj.out_into(b, l_bc, bufc);
+        ticker.tick_n(bufc.len() as u32 + 1)?;
+        charge_scratch(bufb, bufc, scratch_hw)?;
+        for k in 0..bufc.len() {
+            let c = bufc[k];
+            if adj.contains_out(a, l_ac, c) {
+                tc.count += 1;
+                if tc.sample.len() < sample_cap {
+                    tc.sample.push((a, b, c));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Counts the labeled triangle pattern `a --l_ab--> b --l_bc--> c` with
+/// closing edge `a --l_ac--> c`, for apexes `a ∈ arange`, sharded into
+/// `chunks` contiguous apex ranges. The count and the (capped) sample
+/// are identical for every `chunks` value; under a tripping governor
+/// the result is an exact prefix ending on an apex boundary.
+pub fn triangle_count<A: LabelAdjacency>(
+    adj: &A,
+    labels: (u32, u32, u32),
+    arange: Range<u32>,
+    chunks: usize,
+    gov: &Governor,
+    sample_cap: usize,
+) -> Result<Governed<TriangleCount>, EvalError> {
+    let n = adj.node_count();
+    let arange = arange.start.min(n)..arange.end.min(n);
+    let len = arange.len();
+    let chunks = chunks.max(1).min(len.max(1));
+    let worker = |ci: usize| -> Result<(TriangleCount, Option<Interrupt>), EvalError> {
+        isolate(|| {
+            let r = chunk_bounds(len, chunks, ci);
+            let mut ticker = Ticker::new(gov);
+            let mut scratch_hw = 0u64;
+            let (mut bufb, mut bufc) = (Vec::new(), Vec::new());
+            let mut tc = TriangleCount::default();
+            let mut why = None;
+            for off in r {
+                if let Some(t) = gov.trip_state() {
+                    why = Some(t);
+                    break;
+                }
+                let a = arange.start + off as u32;
+                let (count0, sample0) = (tc.count, tc.sample.len());
+                if let Err(t) = close_wedges(
+                    adj,
+                    a,
+                    labels,
+                    &mut bufb,
+                    &mut bufc,
+                    &mut ticker,
+                    gov,
+                    &mut scratch_hw,
+                    &mut tc,
+                    sample_cap,
+                ) {
+                    // Roll the partial apex back so the prefix ends on
+                    // an apex boundary.
+                    tc.count = count0;
+                    tc.sample.truncate(sample0);
+                    why = Some(t);
+                    break;
+                }
+            }
+            gov.release_memory(scratch_hw);
+            Ok((tc, why))
+        })
+    };
+    let per_chunk: Vec<Result<(TriangleCount, Option<Interrupt>), EvalError>> = if chunks == 1 {
+        vec![worker(0)]
+    } else {
+        use rayon::prelude::*;
+        (0..chunks).into_par_iter().map(worker).collect()
+    };
+    let mut total = TriangleCount::default();
+    let mut why = None;
+    for r in per_chunk {
+        let (tc, trip) = r?;
+        total.count += tc.count;
+        for t in tc.sample {
+            if total.sample.len() < sample_cap {
+                total.sample.push(t);
+            }
+        }
+        if let Some(t) = trip {
+            why = Some(t);
+            break;
+        }
+    }
+    Ok(match why {
+        None => Governed::complete(total),
+        Some(t) => Governed::partial(total, t),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_pairs;
+    use crate::govern::Budget;
+    use crate::model::LabeledView;
+    use crate::parser::parse_expr;
+    use kgq_graph::generate::gnm_labeled;
+    use kgq_graph::{LabeledGraph, PackedLabelIndex};
+
+    fn test_graph(seed: u64) -> LabeledGraph {
+        gnm_labeled(60, 240, &["node"], &["a", "b", "c"], seed)
+    }
+
+    fn dfa_for(g: &mut LabeledGraph, idx: &LabelIndex, expr_src: &str) -> LabelDfa {
+        let expr = parse_expr(expr_src, g.consts_mut()).expect("parse");
+        LabelDfa::compile(&expr, |s| idx.dense_id(s)).expect("compile")
+    }
+
+    #[test]
+    fn label_dfa_rejects_node_tests_and_accepts_label_algebra() {
+        let mut g = test_graph(1);
+        let idx = LabelIndex::build(&g);
+        for src in ["a", "a/b", "(a+b)*/c", "a^-/b", "a*"] {
+            let expr = parse_expr(src, g.consts_mut()).expect("parse");
+            assert!(
+                LabelDfa::compile(&expr, |s| idx.dense_id(s)).is_ok(),
+                "{src} should compile"
+            );
+        }
+        let expr = parse_expr("?node/a", g.consts_mut()).expect("parse");
+        assert!(matches!(
+            LabelDfa::compile(&expr, |s| idx.dense_id(s)),
+            Err(ScaleError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn inverse_flag_tracks_backward_steps() {
+        let mut g = test_graph(2);
+        let idx = LabelIndex::build(&g);
+        assert!(!dfa_for(&mut g, &idx, "a/b*").uses_inverse());
+        assert!(dfa_for(&mut g, &idx, "a/b^-").uses_inverse());
+    }
+
+    /// Oracle pairs via the product-automaton evaluator, as a sorted set.
+    fn oracle_pairs(g: &LabeledGraph, expr_src: &str) -> Vec<(u32, u32)> {
+        let mut g = g.clone();
+        let expr = parse_expr(expr_src, g.consts_mut()).expect("parse");
+        let view = LabeledView::new(&g);
+        let mut pairs: Vec<(u32, u32)> = eval_pairs(&view, &expr)
+            .into_iter()
+            .map(|(s, t)| (s.0, t.0))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    #[test]
+    fn raw_and_packed_agree_with_the_product_oracle() {
+        for seed in [3, 4, 5] {
+            let mut g = test_graph(seed);
+            let idx = LabelIndex::build(&g);
+            let packed = PackedLabelIndex::from_labeled(&g).expect("pack");
+            let n = g.node_count() as u32;
+            for src in ["a", "a/b", "(a+b)*/c", "a/b^-", "c*"] {
+                let dfa = dfa_for(&mut g, &idx, src);
+                let raw = RawAdjacency(&idx);
+                let pview = packed.view();
+                let pk = PackedAdjacency(pview);
+                let ev_raw = ScaleEvaluator::new(&raw, dfa.clone());
+                let ev_pk = ScaleEvaluator::new(&pk, dfa);
+                let pairs_raw = ev_raw.pairs(0..n, 1);
+                let pairs_pk = ev_pk.pairs(0..n, 1);
+                assert_eq!(pairs_raw, pairs_pk, "raw vs packed on {src} seed {seed}");
+                let mut sorted = pairs_raw.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted, oracle_pairs(&g, src), "oracle on {src} seed {seed}");
+                let starts_raw = ev_raw.matching_starts(0..n, 1);
+                let starts_pk = ev_pk.matching_starts(0..n, 1);
+                assert_eq!(starts_raw, starts_pk, "starts on {src} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_byte_identical_across_chunk_counts() {
+        let mut g = test_graph(6);
+        let idx = LabelIndex::build(&g);
+        let packed = PackedLabelIndex::from_labeled(&g).expect("pack");
+        let n = g.node_count() as u32;
+        let dfa = dfa_for(&mut g, &idx, "(a+b)*/c");
+        let pview = packed.view();
+        let pk = PackedAdjacency(pview);
+        let ev = ScaleEvaluator::new(&pk, dfa);
+        let one = ev.pairs(0..n, 1);
+        for chunks in [2, 3, 4, 7] {
+            assert_eq!(one, ev.pairs(0..n, chunks), "chunks={chunks}");
+        }
+        let starts = ev.matching_starts(0..n, 1);
+        for chunks in [2, 4] {
+            assert_eq!(starts, ev.matching_starts(0..n, chunks), "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn governed_results_truncate_to_an_exact_prefix() {
+        let mut g = test_graph(7);
+        let idx = LabelIndex::build(&g);
+        let n = g.node_count() as u32;
+        let dfa = dfa_for(&mut g, &idx, "(a+b)*/c");
+        let raw = RawAdjacency(&idx);
+        let ev = ScaleEvaluator::new(&raw, dfa);
+        let full = ev.pairs(0..n, 1);
+        assert!(full.len() > 8, "need enough answers to truncate");
+        let budget = Budget::unlimited().with_max_results(5);
+        let got = ev
+            .pairs_governed(0..n, 1, &Governor::new(&budget))
+            .expect("governed");
+        assert!(got.is_partial());
+        assert_eq!(got.value, full[..5].to_vec(), "exact 5-pair prefix");
+        // A step budget trips mid-sweep: the result is a batch-boundary
+        // prefix of the full answer.
+        let budget = Budget::unlimited().with_max_steps(40);
+        let got = ev
+            .pairs_governed(0..n, 1, &Governor::new(&budget))
+            .expect("governed");
+        assert!(got.is_partial());
+        assert!(full.starts_with(&got.value));
+    }
+
+    #[test]
+    fn sweep_memory_budget_trips_before_allocation() {
+        let mut g = test_graph(8);
+        let idx = LabelIndex::build(&g);
+        let n = g.node_count() as u32;
+        let dfa = dfa_for(&mut g, &idx, "a/b");
+        let need = dfa.sweep_bytes(n);
+        let raw = RawAdjacency(&idx);
+        let ev = ScaleEvaluator::new(&raw, dfa);
+        let budget = Budget::unlimited().with_max_memory(need / 2);
+        let got = ev
+            .pairs_governed(0..n, 1, &Governor::new(&budget))
+            .expect("governed");
+        assert!(got.is_partial());
+        assert!(got.value.is_empty());
+    }
+
+    /// Brute-force triangle oracle over the raw adjacency.
+    fn oracle_triangles(idx: &LabelIndex, labels: (u32, u32, u32), n: u32) -> u64 {
+        let raw = RawAdjacency(idx);
+        let (mut count, mut bb, mut bc) = (0u64, Vec::new(), Vec::new());
+        for a in 0..n {
+            bb.clear();
+            raw.out_into(a, labels.0, &mut bb);
+            for &b in &bb {
+                bc.clear();
+                raw.out_into(b, labels.1, &mut bc);
+                for &c in &bc {
+                    if raw.contains_out(a, labels.2, c) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn triangle_count_matches_brute_force_at_any_chunking() {
+        let g = test_graph(9);
+        let idx = LabelIndex::build(&g);
+        let packed = PackedLabelIndex::from_labeled(&g).expect("pack");
+        let n = g.node_count() as u32;
+        let la = idx.dense_id(g.consts().get("a").expect("a")).expect("a");
+        let lb = idx.dense_id(g.consts().get("b").expect("b")).expect("b");
+        let lc = idx.dense_id(g.consts().get("c").expect("c")).expect("c");
+        let labels = (la, lb, lc);
+        let expect = oracle_triangles(&idx, labels, n);
+        let pview = packed.view();
+        let pk = PackedAdjacency(pview);
+        let gov = Governor::unlimited();
+        let base = triangle_count(&pk, labels, 0..n, 1, &gov, 8).expect("count");
+        assert!(base.completion.is_complete());
+        assert_eq!(base.value.count, expect);
+        for chunks in [2, 4] {
+            let got = triangle_count(&pk, labels, 0..n, chunks, &gov, 8).expect("count");
+            assert_eq!(got.value, base.value, "chunks={chunks}");
+        }
+        // Raw adjacency agrees too.
+        let raw = RawAdjacency(&idx);
+        let got = triangle_count(&raw, labels, 0..n, 2, &gov, 8).expect("count");
+        assert_eq!(got.value, base.value);
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for len in [0usize, 1, 63, 64, 65, 1000] {
+            for chunks in [1usize, 2, 3, 7] {
+                let mut covered = 0;
+                for i in 0..chunks {
+                    let r = chunk_bounds(len, chunks, i);
+                    assert_eq!(r.start, covered);
+                    covered = r.end;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

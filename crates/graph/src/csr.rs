@@ -9,9 +9,25 @@
 //! evaluation (paper, Section 4) — is a single O(1) slot lookup plus a
 //! slice, with no per-step binary search.
 
+use crate::error::GraphError;
 use crate::labeled::LabeledGraph;
 use crate::multigraph::{EdgeId, Multigraph, NodeId};
 use crate::sym::Sym;
+
+/// Checked conversion of an adjacency-array length to a `u32` offset.
+///
+/// The CSR offset arrays store `u32`; past 2³² entries an `as u32` cast
+/// would silently wrap and make every subsequent slice lookup read the
+/// wrong run. This is the single choke point all CSR builders go
+/// through, so overflow surfaces as a typed [`GraphError::TooLarge`]
+/// instead.
+#[inline]
+pub(crate) fn offset32(len: usize, what: &'static str) -> Result<u32, GraphError> {
+    u32::try_from(len).map_err(|_| GraphError::TooLarge {
+        what,
+        entries: len as u64,
+    })
+}
 
 /// Flat forward/backward adjacency for a multigraph.
 #[derive(Clone, Debug)]
@@ -24,7 +40,21 @@ pub struct Csr {
 
 impl Csr {
     /// Builds a CSR snapshot of `g`.
+    ///
+    /// Convenience wrapper over [`Csr::try_build`] for the in-memory
+    /// views, whose graphs are bounded far below the offset width by
+    /// construction; an overflow here aborts with the typed error's
+    /// message rather than wrapping silently.
     pub fn build(g: &Multigraph) -> Self {
+        match Self::try_build(g) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a CSR snapshot of `g`, reporting offset overflow as a
+    /// typed error instead of wrapping past 2³² adjacency entries.
+    pub fn try_build(g: &Multigraph) -> Result<Self, GraphError> {
         let n = g.node_count();
         let mut out_off = Vec::with_capacity(n + 1);
         let mut out_list = Vec::with_capacity(g.edge_count());
@@ -36,18 +66,18 @@ impl Csr {
             for &e in g.out_edges(v) {
                 out_list.push((e, g.target(e)));
             }
-            out_off.push(out_list.len() as u32);
+            out_off.push(offset32(out_list.len(), "CSR out adjacency")?);
             for &e in g.in_edges(v) {
                 in_list.push((e, g.source(e)));
             }
-            in_off.push(in_list.len() as u32);
+            in_off.push(offset32(in_list.len(), "CSR in adjacency")?);
         }
-        Csr {
+        Ok(Csr {
             out_off,
             out_list,
             in_off,
             in_list,
-        }
+        })
     }
 
     /// Outgoing `(edge, target)` pairs of `v`.
@@ -69,6 +99,16 @@ impl Csr {
     /// Number of nodes covered by the snapshot.
     pub fn node_count(&self) -> usize {
         self.out_off.len() - 1
+    }
+
+    /// Heap footprint of the snapshot in bytes (offset + list arrays) —
+    /// the raw-CSR baseline the packed format is measured against.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (self.out_off.len() * size_of::<u32>()
+            + self.in_off.len() * size_of::<u32>()
+            + self.out_list.len() * size_of::<(EdgeId, NodeId)>()
+            + self.in_list.len() * size_of::<(EdgeId, NodeId)>()) as u64
     }
 }
 
@@ -104,7 +144,21 @@ pub struct LabelIndex {
 
 impl LabelIndex {
     /// Builds a label-sorted adjacency index for `g`.
+    ///
+    /// Convenience wrapper over [`LabelIndex::try_build`]; an offset
+    /// overflow aborts with the typed error's message rather than
+    /// wrapping silently.
     pub fn build(g: &LabeledGraph) -> Self {
+        match Self::try_build(g) {
+            Ok(idx) => idx,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a label-sorted adjacency index for `g`, reporting offset
+    /// overflow as a typed error instead of wrapping past 2³²
+    /// adjacency entries.
+    pub fn try_build(g: &LabeledGraph) -> Result<Self, GraphError> {
         let base = g.base();
         let n = base.node_count();
 
@@ -168,8 +222,9 @@ impl LabelIndex {
             scratch.sort_unstable();
             let start = out_list.len();
             out_list.extend_from_slice(&scratch);
+            let end = offset32(out_list.len(), "label-index out adjacency")?;
             fill_slots(&mut out_slot, &out_list, start);
-            out_off.push(out_list.len() as u32);
+            out_off.push(end);
 
             scratch.clear();
             scratch.extend(
@@ -180,10 +235,11 @@ impl LabelIndex {
             scratch.sort_unstable();
             let start = in_list.len();
             in_list.extend_from_slice(&scratch);
+            let end = offset32(in_list.len(), "label-index in adjacency")?;
             fill_slots(&mut in_slot, &in_list, start);
-            in_off.push(in_list.len() as u32);
+            in_off.push(end);
         }
-        LabelIndex {
+        Ok(LabelIndex {
             out_off,
             out_list,
             in_off,
@@ -192,7 +248,7 @@ impl LabelIndex {
             nlabels,
             out_slot,
             in_slot,
-        }
+        })
     }
 
     /// All outgoing `(label, edge, target)` triples of `v`, label-sorted.
@@ -256,6 +312,42 @@ impl LabelIndex {
     #[inline]
     pub fn label_count(&self) -> usize {
         self.nlabels as usize
+    }
+
+    /// Number of nodes covered by the index.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_off.len() - 1
+    }
+
+    /// Dense id of `label`, if it labels at least one edge. Matches the
+    /// dense numbering of [`crate::packed::PackedLabelIndex`] built
+    /// from the same graph (both number used labels in `Sym` order).
+    #[inline]
+    pub fn dense_id(&self, label: Sym) -> Option<u32> {
+        self.dense(label).map(|l| l as u32)
+    }
+
+    /// Outgoing run of `v` for the **dense** label id `l`.
+    #[inline]
+    pub fn out_with_dense(&self, v: NodeId, l: u32) -> &[(Sym, EdgeId, NodeId)] {
+        self.run(&self.out_slot, &self.out_list, v, l as usize)
+    }
+
+    /// Incoming run of `v` for the **dense** label id `l`.
+    #[inline]
+    pub fn in_with_dense(&self, v: NodeId, l: u32) -> &[(Sym, EdgeId, NodeId)] {
+        self.run(&self.in_slot, &self.in_list, v, l as usize)
+    }
+
+    /// Heap footprint in bytes (lists, offsets, slot tables) — the raw
+    /// baseline the packed format is measured against.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        ((self.out_off.len() + self.in_off.len()) * size_of::<u32>()
+            + (self.out_list.len() + self.in_list.len()) * size_of::<(Sym, EdgeId, NodeId)>()
+            + (self.label_id.len() + self.out_slot.len() + self.in_slot.len()) * size_of::<u32>())
+            as u64
     }
 }
 
@@ -363,6 +455,33 @@ mod tests {
             }
         }
         assert!(idx.label_count() >= 2);
+    }
+
+    #[test]
+    fn offset_overflow_is_a_typed_error_not_a_wrap() {
+        // 2³² entries cannot be materialized in a test, so the checked
+        // conversion itself is the unit under test: it is the single
+        // choke point every CSR builder routes its offsets through.
+        assert_eq!(offset32(u32::MAX as usize, "x"), Ok(u32::MAX));
+        let too_big = u32::MAX as usize + 1;
+        let err = offset32(too_big, "CSR out adjacency").unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::TooLarge {
+                what: "CSR out adjacency",
+                entries: too_big as u64,
+            }
+        );
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn try_build_round_trips_on_small_graphs() {
+        let g = sample();
+        let csr = Csr::try_build(g.base()).unwrap();
+        assert_eq!(csr.node_count(), 3);
+        let idx = LabelIndex::try_build(&g).unwrap();
+        assert_eq!(idx.label_count(), 3);
     }
 
     #[test]

@@ -17,6 +17,14 @@ pub enum GraphError {
     DimensionMismatch { expected: usize, got: usize },
     /// Malformed input in the text exchange format.
     Parse { line: usize, message: String },
+    /// A flat-array structure outgrew its offset width: `what` names the
+    /// array, `entries` is the size that no longer fits in `u32`. Raised
+    /// by the checked CSR/packed builders instead of silently wrapping
+    /// offsets past 2³² entries.
+    TooLarge { what: &'static str, entries: u64 },
+    /// A packed adjacency image failed structural validation (bad magic,
+    /// truncated section, offset out of bounds).
+    BadImage(String),
 }
 
 impl fmt::Display for GraphError {
@@ -37,6 +45,13 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
+            GraphError::TooLarge { what, entries } => {
+                write!(
+                    f,
+                    "{what} needs {entries} entries, which overflows its u32 offsets"
+                )
+            }
+            GraphError::BadImage(msg) => write!(f, "bad packed graph image: {msg}"),
         }
     }
 }

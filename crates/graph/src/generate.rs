@@ -103,6 +103,61 @@ pub fn barabasi_albert(
     g
 }
 
+/// Barabási–Albert preferential attachment as a raw `u32` edge stream
+/// `(src, label, dst)` — no string names, no interner, no per-edge
+/// allocation — for graphs far beyond what [`barabasi_albert`]'s
+/// `format!("v{i}")` naming can reach (10⁸ edges in seconds instead of
+/// minutes and gigabytes of id strings). Same sampling scheme:
+/// repeated-endpoint pool, `m_per` distinct targets per new node,
+/// starting from an `(m_per + 1)`-clique. Labels are assigned
+/// deterministically from the rng over `0..n_labels`.
+///
+/// Node ids are `0..n`, edge ids are implicit stream positions; the
+/// result feeds [`crate::packed::PackedLabelIndex::from_quads`]
+/// directly.
+pub fn ba_edge_stream(n: u32, m_per: u32, n_labels: u32, seed: u64) -> Vec<(u32, u32, u32)> {
+    assert!(m_per >= 1 && n > m_per, "need n > m_per >= 1");
+    assert!(n_labels >= 1, "need at least one label");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let core = m_per + 1;
+    let n_edges = (core as usize * m_per as usize) + (n - core) as usize * m_per as usize;
+    let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(n_edges);
+    let mut endpoint_pool: Vec<u32> = Vec::with_capacity(2 * n_edges);
+    let label = move |rng: &mut StdRng| {
+        if n_labels == 1 {
+            0
+        } else {
+            rng.gen_range(0..n_labels)
+        }
+    };
+    for i in 0..core {
+        for j in 0..core {
+            if i != j {
+                edges.push((i, label(&mut rng), j));
+                endpoint_pool.push(i);
+                endpoint_pool.push(j);
+            }
+        }
+    }
+    let mut chosen: Vec<u32> = Vec::with_capacity(m_per as usize);
+    for v in core..n {
+        chosen.clear();
+        while chosen.len() < m_per as usize {
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for k in 0..chosen.len() {
+            let t = chosen[k];
+            edges.push((v, label(&mut rng), t));
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    edges
+}
+
 /// A directed path `v0 → v1 → … → v{n-1}`.
 pub fn path_graph(n: usize, node_label: &str, edge_label: &str) -> LabeledGraph {
     let mut g = LabeledGraph::new();

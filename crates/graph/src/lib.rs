@@ -33,6 +33,7 @@ pub mod generate;
 pub mod io;
 pub mod labeled;
 pub mod multigraph;
+pub mod packed;
 pub mod property;
 pub mod schema;
 pub mod subgraph;
@@ -43,6 +44,7 @@ pub use csr::{Csr, LabelIndex};
 pub use error::GraphError;
 pub use labeled::LabeledGraph;
 pub use multigraph::{EdgeId, Multigraph, NodeId};
+pub use packed::{PackOptions, PackedCsr, PackedLabelIndex, PackedView, Run};
 pub use property::PropertyGraph;
 pub use schema::{GraphModel, SchemaSummary};
 pub use subgraph::{induced_subgraph, induced_subgraph_property};

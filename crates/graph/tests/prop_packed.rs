@@ -1,0 +1,150 @@
+//! Property-based parity tests for the bit-packed adjacency
+//! (`kgq_graph::packed`): on arbitrary random multigraphs the packed
+//! decode must agree with the raw [`LabelIndex`] runs — neighbors,
+//! edge ids, degrees and point probes — and the blob must survive a
+//! serialization round trip byte-for-byte.
+
+use kgq_graph::generate::ba_edge_stream;
+use kgq_graph::packed::{PackOptions, Quad};
+use kgq_graph::{LabelIndex, LabeledGraph, NodeId, PackedLabelIndex};
+use proptest::prelude::*;
+
+const EDGE_LABELS: [&str; 3] = ["a", "b", "c"];
+
+#[derive(Clone, Debug)]
+struct Spec {
+    n: usize,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (1usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0..EDGE_LABELS.len()), 0..120)
+            .prop_map(move |edges| Spec { n, edges })
+    })
+}
+
+fn build(spec: &Spec) -> LabeledGraph {
+    let mut g = LabeledGraph::new();
+    let nodes: Vec<NodeId> = (0..spec.n)
+        .map(|i| g.add_node(&format!("n{i}"), "v").unwrap())
+        .collect();
+    for (i, &(s, d, l)) in spec.edges.iter().enumerate() {
+        g.add_edge(&format!("e{i}"), nodes[s], nodes[d], EDGE_LABELS[l])
+            .unwrap();
+    }
+    g
+}
+
+/// Sorted `(neighbor, edge id)` multiset of a raw run.
+fn raw_pairs(run: &[(kgq_graph::Sym, kgq_graph::EdgeId, NodeId)]) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> = run.iter().map(|&(_, e, d)| (d.0, e.0)).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packed adjacency (with edge ids and the inverse direction)
+    /// equals the raw LabelIndex on every `(node, label)` run.
+    #[test]
+    fn packed_decode_matches_raw_label_index(spec in spec_strategy()) {
+        let g = build(&spec);
+        let idx = LabelIndex::build(&g);
+        let packed = PackedLabelIndex::from_labeled(&g).unwrap();
+        let view = packed.view();
+        prop_assert_eq!(view.node_count(), spec.n);
+        prop_assert_eq!(view.edge_count(), spec.edges.len() as u64);
+        let n_labels = view.label_count() as u32;
+        let mut neigh = Vec::new();
+        let mut pairs = Vec::new();
+        for v in 0..spec.n as u32 {
+            for l in 0..n_labels {
+                // Out direction: neighbors, (neighbor, eid) pairs,
+                // degree, and point probes.
+                let raw = raw_pairs(idx.out_with_dense(NodeId(v), l));
+                pairs.clear();
+                view.decode_out_pairs_into(v, l, &mut pairs);
+                pairs.sort_unstable();
+                prop_assert_eq!(&pairs, &raw, "out pairs at v={} l={}", v, l);
+                neigh.clear();
+                view.decode_out_into(v, l, &mut neigh);
+                let mut expect: Vec<u32> = raw.iter().map(|&(d, _)| d).collect();
+                expect.sort_unstable();
+                prop_assert_eq!(&neigh, &expect, "out neighbors at v={} l={}", v, l);
+                prop_assert_eq!(view.out_degree(v, l), expect.len());
+                if let Some(run) = view.out_run(v, l) {
+                    for &x in expect.iter() {
+                        prop_assert!(run.contains(x));
+                    }
+                    for probe in [0u32, spec.n as u32 / 2, spec.n as u32 - 1] {
+                        prop_assert_eq!(
+                            run.contains(probe),
+                            expect.binary_search(&probe).is_ok(),
+                            "contains({}) at v={} l={}", probe, v, l
+                        );
+                    }
+                } else {
+                    prop_assert!(expect.is_empty());
+                }
+                // In direction.
+                let raw_in = raw_pairs(idx.in_with_dense(NodeId(v), l));
+                pairs.clear();
+                view.decode_in_pairs_into(v, l, &mut pairs);
+                pairs.sort_unstable();
+                prop_assert_eq!(&pairs, &raw_in, "in pairs at v={} l={}", v, l);
+            }
+        }
+    }
+
+    /// The blob is self-describing: `from_bytes(as_bytes)` re-validates
+    /// and decodes identically, and label names survive.
+    #[test]
+    fn packed_blob_round_trips(spec in spec_strategy()) {
+        let g = build(&spec);
+        let packed = PackedLabelIndex::from_labeled(&g).unwrap();
+        let bytes = packed.as_bytes().to_vec();
+        let re = PackedLabelIndex::from_bytes(bytes.clone()).unwrap();
+        prop_assert_eq!(re.as_bytes(), &bytes[..]);
+        let names = packed.view().label_names();
+        for (i, name) in names.iter().enumerate() {
+            prop_assert_eq!(re.view().label_by_name(name), Some(i as u32));
+        }
+    }
+
+    /// The minimal scale build (no edge ids) still decodes the same
+    /// neighbor sets, only dropping the id stream.
+    #[test]
+    fn no_edge_id_build_keeps_neighbors(seed in 0u64..500, n in 20u32..200) {
+        let stream = ba_edge_stream(n, 3, 2, seed);
+        let quads: Vec<Quad> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, l, d))| (s, l, d, i as u32))
+            .collect();
+        let labels = vec!["l0".to_string(), "l1".to_string()];
+        let full = PackedLabelIndex::from_quads(
+            n, &labels, quads.clone(), PackOptions::default()).unwrap();
+        let lean = PackedLabelIndex::from_quads(
+            n, &labels, quads, PackOptions { edge_ids: false, inverse: true }).unwrap();
+        prop_assert!(lean.as_bytes().len() < full.as_bytes().len());
+        let (fv, lv) = (full.view(), lean.view());
+        prop_assert!(!lv.has_edge_ids());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for v in 0..n {
+            for l in 0..2 {
+                a.clear();
+                fv.decode_out_into(v, l, &mut a);
+                b.clear();
+                lv.decode_out_into(v, l, &mut b);
+                prop_assert_eq!(&a, &b, "out at v={} l={}", v, l);
+                a.clear();
+                fv.decode_in_into(v, l, &mut a);
+                b.clear();
+                lv.decode_in_into(v, l, &mut b);
+                prop_assert_eq!(&a, &b, "in at v={} l={}", v, l);
+            }
+        }
+    }
+}

@@ -229,20 +229,25 @@ impl TripleStore {
         self.insert(t)
     }
 
-    /// Bulk insert: appends the batch to every ordering and re-sorts
-    /// each once (O((n + b) log (n + b)) total instead of O(n·b) for b
-    /// point inserts). Returns how many triples were actually new.
+    /// Bulk insert: sorts the batch once per ordering (O(b log b)) and
+    /// merges it into the existing sorted run with one backward pass
+    /// (O(b log n) membership probes + O(n + b) moves) — the base is
+    /// never re-sorted, so a big store absorbs a small batch without
+    /// paying O((n + b) log (n + b)). Returns how many triples were
+    /// actually new.
     pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
         let before = self.orders[0].len();
         let batch: Vec<Triple> = triples.into_iter().collect();
         if batch.is_empty() {
             return 0;
         }
+        let mut keys: Vec<[Sym; 3]> = Vec::with_capacity(batch.len());
         for (slot, ord) in IndexOrder::ALL.iter().enumerate() {
-            let rows = &mut self.orders[slot];
-            rows.extend(batch.iter().map(|&t| ord.key(t)));
-            rows.sort_unstable();
-            rows.dedup();
+            keys.clear();
+            keys.extend(batch.iter().map(|&t| ord.key(t)));
+            keys.sort_unstable();
+            keys.dedup();
+            merge_into_sorted(&mut self.orders[slot], &keys);
         }
         self.orders[0].len() - before
     }
@@ -343,6 +348,38 @@ impl TripleStore {
     /// Iterates over all triples in SPO order.
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
         self.orders[0].iter().map(|&[s, p, o]| Triple { s, p, o })
+    }
+}
+
+/// Merges sorted, deduped `new` keys into the sorted, deduped `rows`,
+/// dropping keys already present. Membership is decided by galloping
+/// `partition_point` probes from a monotone cursor (O(b log n)); the
+/// surviving keys are then woven in with a single backward two-pointer
+/// pass over one `resize`d allocation, so no element moves twice.
+fn merge_into_sorted(rows: &mut Vec<[Sym; 3]>, new: &[[Sym; 3]]) {
+    let mut fresh: Vec<[Sym; 3]> = Vec::with_capacity(new.len());
+    let mut cursor = 0usize;
+    for &k in new {
+        cursor += rows[cursor..].partition_point(|r| *r < k);
+        if cursor >= rows.len() || rows[cursor] != k {
+            fresh.push(k);
+        }
+    }
+    if fresh.is_empty() {
+        return;
+    }
+    let old = rows.len();
+    rows.resize(old + fresh.len(), fresh[0]);
+    let (mut i, mut j, mut w) = (old, fresh.len(), old + fresh.len());
+    while j > 0 {
+        if i > 0 && rows[i - 1] > fresh[j - 1] {
+            rows[w - 1] = rows[i - 1];
+            i -= 1;
+        } else {
+            rows[w - 1] = fresh[j - 1];
+            j -= 1;
+        }
+        w -= 1;
     }
 }
 

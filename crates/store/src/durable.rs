@@ -69,7 +69,9 @@ impl DurableStore {
         std::fs::create_dir_all(dir)?;
         let seg_path = dir.join(SEGMENT_FILE);
         let seg = if seg_path.exists() {
-            segment::read(&seg_path)?
+            // Map rather than read: the CRC is verified once against
+            // the mapping and recovery decodes straight out of it.
+            crate::mmap::SegmentMap::open(&seg_path)?.to_segment()?
         } else {
             Segment::default()
         };
@@ -275,6 +277,9 @@ impl DurableStore {
             generation: self.generation,
             triples,
             edges,
+            // Derived data: a packed image reflects an older base, so
+            // compaction drops it; the scale pipeline regenerates it.
+            packed: None,
         };
         segment::write_atomic(&self.dir.join(SEGMENT_FILE), &seg)?;
         // The segment is durable; the log's batches are now redundant.

@@ -22,21 +22,23 @@
 //!    moment a commit lands.
 //!
 //! Fault injection: with the `fault-injection` feature the I/O layer
-//! exposes sites `wal::append`, `wal::fsync`, `wal::read` and
-//! `segment::write` (see `docs/FAULT_SITES.md`) which the crash-torture
-//! suite uses to kill the writer at every byte offset and prove that
-//! recovery always equals a committed prefix.
+//! exposes sites `wal::append`, `wal::fsync`, `wal::read`,
+//! `segment::write` and `segment::mmap` (see `docs/FAULT_SITES.md`)
+//! which the crash-torture suite uses to kill the writer at every byte
+//! offset and prove that recovery always equals a committed prefix.
 
 #![deny(missing_docs)]
 
 pub mod crc;
 pub mod durable;
+pub mod mmap;
 pub mod overlay;
 pub mod segment;
 pub mod wal;
 
 pub use crc::crc32;
 pub use durable::{DurableStore, VerifyReport};
+pub use mmap::SegmentMap;
 pub use overlay::DeltaOverlay;
 pub use wal::{EdgeRec, Replay, StoreOp, TailState, Wal};
 

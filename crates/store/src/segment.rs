@@ -13,8 +13,17 @@
 //! file    := "KGQSEG01" payload crc:u32le      (crc over payload)
 //! payload := generation:u64le n_triples:u32le n_edges:u32le
 //!            (s p o){n_triples} (id src src_label label dst dst_label){n_edges}
+//!            [ packed_len:u32le packed-bytes ]              (optional)
 //! s/p/…   := strlen:u32le utf8-bytes
 //! ```
+//!
+//! The optional trailing *packed section* carries a bit-packed
+//! adjacency image (`kgq_graph::packed`, magic `KGQPIDX1`) so a scale
+//! graph can live in one immutable, CRC-guarded file and be queried
+//! straight out of an mmap ([`crate::mmap::SegmentMap`]) without
+//! decoding. Segments written before this section existed simply end
+//! after the edge records and decode as `packed: None`; any *other*
+//! trailing bytes remain a hard error.
 
 use crate::crc::crc32;
 use crate::io_fault;
@@ -34,6 +43,9 @@ pub struct Segment {
     pub triples: Vec<(String, String, String)>,
     /// All base edge records (unique ids).
     pub edges: Vec<EdgeRec>,
+    /// Optional bit-packed adjacency image (`KGQPIDX1` bytes). Derived
+    /// data: compaction drops it, the scale pipeline regenerates it.
+    pub packed: Option<Vec<u8>>,
 }
 
 fn push_str(buf: &mut Vec<u8>, s: &str) {
@@ -56,6 +68,10 @@ pub fn encode(seg: &Segment) -> Vec<u8> {
         for part in [&e.id, &e.src, &e.src_label, &e.label, &e.dst, &e.dst_label] {
             push_str(&mut payload, part);
         }
+    }
+    if let Some(packed) = &seg.packed {
+        payload.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+        payload.extend_from_slice(packed);
     }
     let mut image = SEG_MAGIC.to_vec();
     image.extend_from_slice(&payload);
@@ -130,13 +146,21 @@ pub fn decode(image: &[u8]) -> std::io::Result<Segment> {
             dst_label: take_str(&mut rest)?,
         });
     }
-    if !rest.is_empty() {
-        return Err(data_err("segment has trailing bytes".into()));
-    }
+    let packed = if rest.is_empty() {
+        None
+    } else {
+        let len = take_u32(&mut rest)? as usize;
+        let bytes = take(&mut rest, len)?;
+        if !rest.is_empty() {
+            return Err(data_err("segment has trailing bytes".into()));
+        }
+        Some(bytes.to_vec())
+    };
     Ok(Segment {
         generation,
         triples,
         edges,
+        packed,
     })
 }
 
@@ -177,10 +201,13 @@ pub fn write_atomic(path: &Path, seg: &Segment) -> std::io::Result<()> {
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
-    if let Some(dir) = path.parent() {
-        // Persist the rename itself.
-        std::fs::File::open(dir)?.sync_all()?;
-    }
+    // Persist the rename itself. `parent()` yields "" for a bare
+    // relative filename, which does not open — that means the cwd.
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(dir)?.sync_all()?;
     Ok(())
 }
 
@@ -209,7 +236,21 @@ mod tests {
                 dst: "y".into(),
                 dst_label: "bus".into(),
             }],
+            packed: None,
         }
+    }
+
+    #[test]
+    fn packed_section_round_trips_and_legacy_images_decode() {
+        let mut seg = sample();
+        seg.packed = Some(vec![0xAB; 37]);
+        assert_eq!(decode(&encode(&seg)).unwrap(), seg);
+        // An empty packed section survives too.
+        seg.packed = Some(Vec::new());
+        assert_eq!(decode(&encode(&seg)).unwrap(), seg);
+        // A legacy image (no section) decodes with `packed: None`.
+        let legacy = encode(&sample());
+        assert_eq!(decode(&legacy).unwrap().packed, None);
     }
 
     #[test]

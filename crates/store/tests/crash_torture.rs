@@ -388,4 +388,40 @@ mod injected {
             let _ = std::fs::remove_dir_all(&dir);
         }
     }
+
+    /// A shortened mapping at `segment::mmap` must be caught by the
+    /// open-time CRC — a torn view is never served, and a clean reopen
+    /// sees the full committed state.
+    #[test]
+    fn short_mapping_fails_crc_at_open() {
+        let _guard = serial();
+        fault::clear();
+        let dir = tmp_dir("mmap-short");
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        for batch in &history() {
+            stage(&mut store, batch);
+            store.commit().unwrap();
+        }
+        store.compact().unwrap();
+        let committed = state(&store);
+        drop(store);
+        let seg_path = dir.join("base.seg");
+        let full = std::fs::metadata(&seg_path).unwrap().len();
+        for cut in [0u64, 7, 12, full / 2, full - 1] {
+            fault::arm("segment::mmap", Action::ShortRead(cut), 0);
+            assert!(
+                kgq_store::SegmentMap::open(&seg_path).is_err(),
+                "cut at {cut} of {full} served a torn mapping"
+            );
+            fault::arm("segment::mmap", Action::ShortRead(cut), 0);
+            assert!(
+                DurableStore::open(&dir).is_err(),
+                "recovery at cut {cut} accepted a torn segment"
+            );
+            fault::clear();
+        }
+        let (recovered, _) = DurableStore::open(&dir).unwrap();
+        assert_eq!(state(&recovered), committed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -35,8 +35,12 @@ fn usage() -> ExitCode {
          kgq rdf FILE (path EXPR|select QUERY|infer)\n  \
          kgq sparql FILE QUERY [--explain] [GOVERN]\n  \
          kgq serve GRAPH [--nt FILE] [--store DIR] [--port P] [--workers W] [GOVERN]\n  \
-         kgq store (init DIR [--nt FILE]|append DIR FILE [--delete]|compact DIR|verify DIR|dump DIR)\n\n  \
-         GOVERN: --timeout MS | --max-steps N | --max-results N\n  \
+         kgq store (init DIR [--nt FILE]|append DIR FILE [--delete]|compact DIR|verify DIR|dump DIR)\n  \
+         kgq scale gen FILE.seg [--nodes N] [--m M] [--labels L] [--seed S] [--edge-ids]\n  \
+         kgq scale stats FILE.seg\n  \
+         kgq scale query FILE.seg EXPR [pairs|starts] [--from V] [--span K] [--chunks C] [GOVERN]\n  \
+         kgq scale triangles FILE.seg LAB LBC LAC [--from V] [--span K] [--chunks C] [GOVERN]\n\n  \
+         GOVERN: --timeout MS | --max-steps N | --max-results N | --max-memory-mb N\n  \
          query/cypher also take --explain (print the static-analysis\n  \
          verdict instead of executing), --verbose (cache stats on\n  \
          stderr) and honor KGQ_CACHE_CAP (compiled-query cache capacity)\n  \
@@ -87,6 +91,10 @@ fn budget_from(args: &[String]) -> Result<Option<Budget>, String> {
     }
     if let Some(n) = num_flag(args, "--max-results")? {
         budget = budget.with_max_results(n);
+        any = true;
+    }
+    if let Some(n) = num_flag(args, "--max-memory-mb")? {
+        budget = budget.with_max_memory(n.saturating_mul(1 << 20));
         any = true;
     }
     Ok(any.then_some(budget))
@@ -642,6 +650,191 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     Ok(String::new())
 }
 
+/// `kgq scale (gen|stats|query|triangles)` — the compressed out-of-core
+/// data plane (DESIGN.md §14). `gen` builds a bit-packed BA graph and
+/// writes it as the packed section of an immutable segment; `stats`,
+/// `query` and `triangles` open the segment through the mmap reader and
+/// evaluate label-only RPQs / the wedge triangle pattern straight off
+/// the mapping, sharded by source range, under the standard governance
+/// flags plus `--max-memory-mb`.
+fn cmd_scale(args: &[String]) -> Result<String, String> {
+    use kgq::core::scale::{triangle_count, LabelDfa, PackedAdjacency, ScaleEvaluator};
+    use kgq::graph::packed::{PackOptions, PackedLabelIndex, PackedView};
+
+    let [sub, file, rest @ ..] = args else {
+        return Err("scale needs (gen|stats|query|triangles) and FILE.seg".into());
+    };
+    let path = std::path::Path::new(file);
+    let io_err = |e: std::io::Error| format!("{file}: {e}");
+
+    // Everything except `gen` starts from a validated mapping.
+    let open_packed = || -> Result<kgq_store::SegmentMap, String> {
+        kgq_store::SegmentMap::open(path).map_err(io_err)
+    };
+    fn packed_view<'m>(
+        file: &str,
+        map: &'m kgq_store::SegmentMap,
+    ) -> Result<PackedView<'m>, String> {
+        let bytes = map.packed_bytes().ok_or_else(|| {
+            format!("{file}: segment has no packed section (run `kgq scale gen`)")
+        })?;
+        PackedView::parse(bytes).map_err(|e| e.to_string())
+    }
+
+    match sub.as_str() {
+        "gen" => {
+            let n = flag(rest, "--nodes", 100_000) as u32;
+            let m = flag(rest, "--m", 10) as u32;
+            let n_labels = flag(rest, "--labels", 4) as u32;
+            let seed = flag(rest, "--seed", 42) as u64;
+            let edge_ids = rest.iter().any(|a| a == "--edge-ids");
+            let stream = kgq::graph::generate::ba_edge_stream(n, m, n_labels, seed);
+            let n_edges = stream.len();
+            let quads = stream
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, l, d))| (s, l, d, i as u32))
+                .collect();
+            let labels: Vec<String> = (0..n_labels).map(|i| format!("l{i}")).collect();
+            let packed = PackedLabelIndex::from_quads(
+                n,
+                &labels,
+                quads,
+                PackOptions {
+                    edge_ids,
+                    inverse: true,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let bytes = packed.into_bytes();
+            let packed_len = bytes.len();
+            let seg = kgq_store::segment::Segment {
+                generation: 1,
+                triples: Vec::new(),
+                edges: Vec::new(),
+                packed: Some(bytes),
+            };
+            kgq_store::segment::write_atomic(path, &seg).map_err(io_err)?;
+            Ok(format!(
+                "packed {n} nodes, {n_edges} edges, {n_labels} labels into {file}: \
+                 {packed_len} packed bytes ({:.2} bytes/edge)\n",
+                packed_len as f64 / n_edges as f64
+            ))
+        }
+        "stats" => {
+            let map = open_packed()?;
+            let view = packed_view(file, &map)?;
+            Ok(format!(
+                "{file}: generation {} | {} nodes, {} edges, {} labels | packed {} bytes \
+                 ({:.2} bytes/edge) | file {} bytes | {} | edge ids: {} | inverse: {}\n",
+                map.generation(),
+                view.node_count(),
+                view.edge_count(),
+                view.label_count(),
+                view.byte_len(),
+                view.byte_len() as f64 / view.edge_count().max(1) as f64,
+                map.file_len(),
+                if map.is_mapped() { "mmap" } else { "heap" },
+                view.has_edge_ids(),
+                view.has_inverse(),
+            ))
+        }
+        "query" => {
+            let [expr_text, more @ ..] = rest else {
+                return Err("scale query needs FILE.seg and EXPR".into());
+            };
+            let map = open_packed()?;
+            let view = packed_view(file, &map)?;
+            let mut consts = kgq::graph::Interner::new();
+            let expr =
+                kgq::core::parse_expr(expr_text, &mut consts).map_err(|e| e.render(expr_text))?;
+            let dfa = LabelDfa::compile(&expr, |s| view.label_by_name(consts.resolve(s)))
+                .map_err(|e| e.to_string())?;
+            let n = view.node_count() as u32;
+            let from = flag(more, "--from", 0) as u32;
+            let span = flag(more, "--span", n as usize) as u32;
+            let sources = from..from.saturating_add(span).min(n);
+            let chunks = flag(more, "--chunks", kgq::core::parallel::effective_threads());
+            let op = more
+                .first()
+                .map(String::as_str)
+                .filter(|s| !s.starts_with("--"))
+                .unwrap_or("pairs");
+            let adj = PackedAdjacency(view);
+            let ev = ScaleEvaluator::new(&adj, dfa);
+            let budget = budget_from(more)?;
+            let mut out = String::new();
+            match op {
+                "pairs" => {
+                    let res = ev
+                        .pairs_governed(
+                            sources,
+                            chunks,
+                            &Governor::new(&budget.unwrap_or_default()),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    for (s, t) in &res.value {
+                        out.push_str(&format!("{s}\t{t}\n"));
+                    }
+                    completion_marker(&mut out, &res);
+                }
+                "starts" => {
+                    let res = ev
+                        .matching_starts_governed(
+                            sources,
+                            chunks,
+                            &Governor::new(&budget.unwrap_or_default()),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    for s in &res.value {
+                        out.push_str(&format!("{s}\n"));
+                    }
+                    completion_marker(&mut out, &res);
+                }
+                other => return Err(format!("unknown scale query op `{other}`")),
+            }
+            Ok(out)
+        }
+        "triangles" => {
+            let [la, lb, lc, more @ ..] = rest else {
+                return Err("scale triangles needs FILE.seg and three labels".into());
+            };
+            let map = open_packed()?;
+            let view = packed_view(file, &map)?;
+            let dense = |name: &str| -> Result<u32, String> {
+                view.label_by_name(name)
+                    .ok_or_else(|| format!("label `{name}` not in segment"))
+            };
+            let labels = (dense(la)?, dense(lb)?, dense(lc)?);
+            let n = view.node_count() as u32;
+            let from = flag(more, "--from", 0) as u32;
+            let span = flag(more, "--span", n as usize) as u32;
+            let arange = from..from.saturating_add(span).min(n);
+            let chunks = flag(more, "--chunks", kgq::core::parallel::effective_threads());
+            let budget = budget_from(more)?;
+            let adj = PackedAdjacency(view);
+            let res = triangle_count(
+                &adj,
+                labels,
+                arange,
+                chunks,
+                &Governor::new(&budget.unwrap_or_default()),
+                10,
+            )
+            .map_err(|e| e.to_string())?;
+            let mut out = format!("{} triangles\n", res.value.count);
+            for (a, b, c) in &res.value.sample {
+                out.push_str(&format!("{a}\t{b}\t{c}\n"));
+            }
+            completion_marker(&mut out, &res);
+            Ok(out)
+        }
+        other => Err(format!(
+            "unknown scale subcommand `{other}` (expected gen|stats|query|triangles)"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -656,6 +849,7 @@ fn main() -> ExitCode {
         "sparql" => cmd_sparql(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "store" => cmd_store(&args[1..]),
+        "scale" => cmd_scale(&args[1..]),
         _ => return usage(),
     };
     match result {
