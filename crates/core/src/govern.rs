@@ -166,6 +166,9 @@ pub enum EvalError {
     /// User-supplied input (e.g. a continuation cursor) failed
     /// validation.
     InvalidInput(String),
+    /// A query plan failed independent soundness verification before
+    /// execution; running it could have produced wrong answers.
+    PlanUnsound(String),
 }
 
 impl fmt::Display for EvalError {
@@ -175,6 +178,9 @@ impl fmt::Display for EvalError {
             EvalError::Overflow => f.write_str("path count overflows u128"),
             EvalError::Panic(msg) => write!(f, "worker panicked: {msg}"),
             EvalError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            EvalError::PlanUnsound(msg) => {
+                write!(f, "plan failed soundness verification: {msg}")
+            }
         }
     }
 }

@@ -14,7 +14,7 @@
 //! body), the classic safety condition guaranteeing derived triples are
 //! ground.
 
-use kgq_core::govern::{Completion, EvalError, Governed, Governor};
+use kgq_core::govern::{Completion, EvalError, Governed, Governor, Interrupt};
 use kgq_rdf::bgp::{Bgp, TermPattern, TriplePattern};
 use kgq_rdf::store::{Triple, TripleStore};
 use kgq_rdf::{lftj, Binding};
@@ -121,13 +121,28 @@ pub struct FixpointStats {
 /// Applies `rules` to a fixpoint, materializing derived triples into
 /// `st`. Every body is matched by the leapfrog triejoin; each round's
 /// derivations are bulk-inserted ([`TripleStore::extend`]).
+///
+/// The program is statically analyzed first
+/// ([`crate::analyze::analyze_program`]): rules the analyzer proves dead
+/// are skipped (they can never fire, so skipping is sound), and the
+/// iteration is capped at the analyzer's round bound — a defensive
+/// backstop that turns a bound-analysis bug into early termination of a
+/// monotone (hence still sound, merely incomplete) materialization
+/// rather than an infinite loop.
 pub fn fixpoint(st: &mut TripleStore, rules: &[Rule]) -> FixpointStats {
+    let analysis = crate::analyze::analyze_program(st, rules);
+    let live: Vec<&Rule> = rules
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !analysis.dead_rules.contains(i))
+        .map(|(_, r)| r)
+        .collect();
     let mut derived = 0usize;
     let mut rounds = 0usize;
     loop {
         rounds += 1;
         let mut fresh: Vec<Triple> = Vec::new();
-        for rule in rules {
+        for rule in &live {
             let sol = lftj::solve(st, &rule.body);
             for binding in sol.bindings() {
                 if let Some(t) = rule.instantiate(&binding) {
@@ -137,7 +152,7 @@ pub fn fixpoint(st: &mut TripleStore, rules: &[Rule]) -> FixpointStats {
         }
         let added = st.extend(fresh);
         derived += added;
-        if added == 0 {
+        if added == 0 || rounds as u64 >= analysis.round_bound {
             break;
         }
     }
@@ -149,18 +164,38 @@ pub fn fixpoint(st: &mut TripleStore, rules: &[Rule]) -> FixpointStats {
 /// triples derived so far are still sound (rule application is
 /// monotone), so they stay materialized and the result reports
 /// `Partial` with the interrupt reason.
+///
+/// Like [`fixpoint`], consults the static program analysis first: a
+/// [`kgq_core::analyze::Severity::Deny`] verdict (an unsafe rule built
+/// by hand around [`Rule::new`]) is refused up front as
+/// [`EvalError::InvalidInput`], dead rules are skipped, and the round
+/// bound pre-sizes the iteration budget.
 pub fn fixpoint_governed(
     st: &mut TripleStore,
     rules: &[Rule],
     gov: &Governor,
 ) -> Result<Governed<FixpointStats>, EvalError> {
+    let analysis = crate::analyze::analyze_program(st, rules);
+    if let Some(denied) = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == kgq_core::analyze::Severity::Deny)
+    {
+        return Err(EvalError::InvalidInput(denied.message.clone()));
+    }
+    let live: Vec<&Rule> = rules
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !analysis.dead_rules.contains(i))
+        .map(|(_, r)| r)
+        .collect();
     let mut derived = 0usize;
     let mut rounds = 0usize;
     loop {
         rounds += 1;
         let mut fresh: Vec<Triple> = Vec::new();
         let mut interrupted = None;
-        for rule in rules {
+        for rule in &live {
             let governed = lftj::solve_governed(st, &rule.body, gov)?;
             for binding in governed.value.bindings() {
                 if let Some(t) = rule.instantiate(&binding) {
@@ -181,7 +216,116 @@ pub fn fixpoint_governed(
         if added == 0 {
             return Ok(Governed::complete(stats));
         }
+        // Defensive: the analyzer's round bound is the iteration budget.
+        // A sound bound is never hit (every productive round derives at
+        // least one triple); hitting it means a bound-analysis bug, and
+        // the monotone partial materialization is reported honestly.
+        if rounds as u64 >= analysis.round_bound {
+            return Ok(Governed::partial(stats, Interrupt::StepBudget));
+        }
     }
+}
+
+/// Why a rule program text failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleParseError {
+    /// 1-based line number of the offending rule.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+fn rule_tokens(line: usize, atom: &str) -> Result<[String; 3], RuleParseError> {
+    let toks: Vec<&str> = atom.split_whitespace().collect();
+    if toks.len() != 3 {
+        return Err(RuleParseError {
+            line,
+            message: format!(
+                "atom `{}` must have exactly three terms, found {}",
+                atom.trim(),
+                toks.len()
+            ),
+        });
+    }
+    Ok([0, 1, 2].map(|i| {
+        let t = toks[i];
+        // `<iri>` brackets are cosmetic; strip them like the N-Triples
+        // reader so rule constants line up with loaded data.
+        match t.strip_prefix('<').and_then(|u| u.strip_suffix('>')) {
+            Some(inner) => inner.to_owned(),
+            None => t.to_owned(),
+        }
+    }))
+}
+
+/// Parses a rule program in the textual syntax used by `kgq analyze
+/// rules` and the `ANALYZE` server verb: one rule per line,
+///
+/// ```text
+/// # transitive closure
+/// ?x path ?y :- ?x edge ?y .
+/// ?x path ?z :- ?x path ?y, ?y edge ?z .
+/// ```
+///
+/// Terms are whitespace-separated; `?name` is a variable, `<iri>`
+/// brackets are stripped, anything else is a constant. `#` starts a
+/// comment, the trailing `.` is optional, blank lines are skipped. Every
+/// rule is validated by [`Rule::new`] (range restriction).
+pub fn parse_program(st: &mut TripleStore, text: &str) -> Result<Vec<Rule>, RuleParseError> {
+    let mut rules = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let stripped = match raw.split_once('#') {
+            Some((code, _comment)) => code,
+            None => raw,
+        };
+        let stripped = stripped.trim();
+        let stripped = stripped.strip_suffix('.').unwrap_or(stripped).trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let Some((head_text, body_text)) = stripped.split_once(":-") else {
+            return Err(RuleParseError {
+                line,
+                message: "expected `head :- body` (missing `:-`)".to_owned(),
+            });
+        };
+        let head = rule_tokens(line, head_text)?;
+        let mut head_holder = Bgp::new();
+        head_holder.add(st, &head[0], &head[1], &head[2]);
+        let head_pat = head_holder.patterns.remove(0);
+        let mut body = Bgp::new();
+        for atom in body_text.split(',') {
+            if atom.trim().is_empty() {
+                return Err(RuleParseError {
+                    line,
+                    message: "empty atom in rule body".to_owned(),
+                });
+            }
+            let t = rule_tokens(line, atom)?;
+            body.add(st, &t[0], &t[1], &t[2]);
+        }
+        if body.patterns.is_empty() {
+            return Err(RuleParseError {
+                line,
+                message: "rule body needs at least one atom".to_owned(),
+            });
+        }
+        let rule = Rule::new(head_pat, body).map_err(|e| RuleParseError {
+            line,
+            message: e.to_string(),
+        })?;
+        rules.push(rule);
+    }
+    Ok(rules)
 }
 
 #[cfg(test)]
@@ -304,6 +448,83 @@ mod tests {
         assert!(governed.completion.is_complete());
         assert_eq!(governed.value, plain);
         assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn parse_program_round_trips_closure() {
+        let mut st = chain_store(4);
+        let text = "# transitive closure\n\
+                    ?x path ?y :- ?x edge ?y .\n\
+                    \n\
+                    ?x path ?z :- ?x path ?y, ?y edge ?z .\n";
+        let rules = parse_program(&mut st, text).unwrap();
+        assert_eq!(rules.len(), 2);
+        let stats = fixpoint(&mut st, &rules);
+        assert_eq!(stats.derived, 10);
+    }
+
+    #[test]
+    fn parse_program_strips_iri_brackets() {
+        let mut st = TripleStore::new();
+        st.insert_strs("http://x.test/a", "http://x.test/p", "b");
+        let rules = parse_program(
+            &mut st,
+            "?s <http://x.test/q> ?o :- ?s <http://x.test/p> ?o",
+        )
+        .unwrap();
+        let stats = fixpoint(&mut st, &rules);
+        assert_eq!(stats.derived, 1);
+        let q = st.get_term("http://x.test/q").unwrap();
+        assert_eq!(st.count(None, Some(q), None), 1);
+    }
+
+    #[test]
+    fn parse_program_reports_errors_with_lines() {
+        let mut st = TripleStore::new();
+        let err = parse_program(&mut st, "\n?x p ?y ?z :- ?x q ?y").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("three terms"));
+        let err = parse_program(&mut st, "?x p ?y").unwrap_err();
+        assert!(err.message.contains(":-"));
+        let err = parse_program(&mut st, "?x p ?ghost :- ?x q ?y").unwrap_err();
+        assert!(err.message.contains("?ghost"));
+        let err = parse_program(&mut st, "?x p ?y :- ?x q ?y,").unwrap_err();
+        assert!(err.message.contains("empty atom"));
+    }
+
+    #[test]
+    fn fixpoint_skips_dead_rules_without_changing_results() {
+        let mut st = chain_store(3);
+        let rules = vec![
+            Rule::parse(&mut st, ("?x", "hop", "?y"), &[("?x", "edge", "?y")]).unwrap(),
+            // Dead: `ghost` never appears and nothing derives it.
+            Rule::parse(&mut st, ("?x", "haunt", "?y"), &[("?x", "ghost", "?y")]).unwrap(),
+        ];
+        let stats = fixpoint(&mut st, &rules);
+        assert_eq!(stats.derived, 3);
+        assert!(
+            st.get_term("haunt").is_none() || {
+                let h = st.get_term("haunt").unwrap();
+                st.count(None, Some(h), None) == 0
+            }
+        );
+    }
+
+    #[test]
+    fn governed_fixpoint_denies_hand_built_unsafe_rule() {
+        let mut st = chain_store(2);
+        let mut body = Bgp::new();
+        body.add(&mut st, "?x", "edge", "?y");
+        let mut head_holder = Bgp::new();
+        head_holder.add(&mut st, "?x", "edge", "?ghost");
+        let rule = Rule {
+            head: head_holder.patterns.remove(0),
+            body,
+        };
+        let gov = Governor::unlimited();
+        let err = fixpoint_governed(&mut st, &[rule], &gov).unwrap_err();
+        assert!(matches!(err, EvalError::InvalidInput(_)));
+        assert!(err.to_string().contains("?ghost"));
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct Plan {
     pub vars: Vec<VarName>,
     /// One entry per BGP pattern, in input order.
     pub patterns: Vec<PatternPlan>,
+    /// Per-variable exact prefix count at the moment the greedy planner
+    /// chose it: the smallest cardinality over the patterns containing
+    /// the variable. Parallel to `vars`.
+    pub var_cards: Vec<usize>,
     /// `Some(reason)` when the BGP is provably empty before execution
     /// (a constant prefix matches nothing).
     pub empty: Option<String>,
@@ -94,7 +98,17 @@ impl Plan {
         if self.vars.is_empty() {
             out.push_str("  variable order: (none)\n");
         } else {
-            let vars: Vec<String> = self.vars.iter().map(|v| format!("?{v}")).collect();
+            // Each variable carries the exact prefix count that drove its
+            // greedy selection — the planner's own cost evidence.
+            let vars: Vec<String> = self
+                .vars
+                .iter()
+                .enumerate()
+                .map(|(i, v)| match self.var_cards.get(i) {
+                    Some(c) => format!("?{v} (card {c})"),
+                    None => format!("?{v}"),
+                })
+                .collect();
             out.push_str(&format!("  variable order: {}\n", vars.join(" < ")));
         }
         for (pat, pp) in bgp.patterns.iter().zip(&self.patterns) {
@@ -193,6 +207,7 @@ pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
     // coverage, then first appearance.
     let nvars = vars.len();
     let mut order: Vec<usize> = Vec::with_capacity(nvars);
+    let mut var_cards: Vec<usize> = Vec::with_capacity(nvars);
     let mut placed = vec![false; nvars];
     while order.len() < nvars {
         let mut best: Option<(usize, usize, usize, usize)> = None;
@@ -222,6 +237,9 @@ pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
         }
         placed[best_var] = true;
         order.push(best_var);
+        // Record the winning variable's smallest containing-pattern count
+        // — the exact cardinality evidence the choice was based on.
+        var_cards.push(best.map(|(_, card, _, _)| card).unwrap_or(0));
     }
     let level_of = |id: usize| -> usize { order.iter().position(|&v| v == id).unwrap_or(0) };
 
@@ -265,8 +283,175 @@ pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
     Plan {
         vars: order.into_iter().map(|id| vars[id].clone()).collect(),
         patterns,
+        var_cards,
         empty,
     }
+}
+
+/// Independent soundness check of a [`Plan`] against the BGP and store it
+/// claims to serve, re-deriving the elimination order's validity from
+/// scratch: the variable order must be a permutation of the BGP's
+/// variables, every indexed pattern's key columns must put its constants
+/// first and its variables in ascending elimination order (the legal
+/// prefix condition leapfrogging relies on), filtered flags must match
+/// repeated-variable shapes, and recorded cardinalities must equal the
+/// store's exact counts. [`solve_planned`] and every governed run call
+/// this before joining, so a planner bug surfaces as a structured
+/// [`EvalError::PlanUnsound`] instead of wrong answers.
+pub fn verify_plan(st: &TripleStore, bgp: &Bgp, plan: &Plan) -> Result<(), String> {
+    if plan.patterns.len() != bgp.patterns.len() {
+        return Err(format!(
+            "plan covers {} patterns but the BGP has {}",
+            plan.patterns.len(),
+            bgp.patterns.len()
+        ));
+    }
+    // The elimination order must list each BGP variable exactly once.
+    let mut bgp_vars: Vec<&VarName> = Vec::new();
+    for pat in &bgp.patterns {
+        for t in [&pat.s, &pat.p, &pat.o] {
+            if let TermPattern::Var(v) = t {
+                if !bgp_vars.contains(&v) {
+                    bgp_vars.push(v);
+                }
+            }
+        }
+    }
+    for (i, v) in plan.vars.iter().enumerate() {
+        if plan.vars[..i].contains(v) {
+            return Err(format!(
+                "variable ?{v} appears twice in the elimination order"
+            ));
+        }
+    }
+    if plan.vars.len() != bgp_vars.len() || bgp_vars.iter().any(|v| !plan.vars.contains(v)) {
+        return Err(format!(
+            "elimination order [{}] is not a permutation of the BGP's variables",
+            plan.vars.join(", ")
+        ));
+    }
+    if !plan.var_cards.is_empty() && plan.var_cards.len() != plan.vars.len() {
+        return Err(format!(
+            "{} per-variable cardinalities recorded for {} variables",
+            plan.var_cards.len(),
+            plan.vars.len()
+        ));
+    }
+    let level_of = |name: &VarName| plan.vars.iter().position(|v| v == name);
+
+    let mut saw_zero_card = false;
+    for (idx, (pat, pp)) in bgp.patterns.iter().zip(&plan.patterns).enumerate() {
+        // Re-derive the pattern's shape.
+        let terms = [&pat.s, &pat.p, &pat.o];
+        let mut const_pos: Vec<(usize, Sym)> = Vec::new();
+        let mut var_levels: Vec<(usize, usize)> = Vec::new(); // (position, level)
+        let mut levels: Vec<usize> = Vec::new();
+        let mut repeated = false;
+        for (pos, t) in terms.into_iter().enumerate() {
+            match t {
+                TermPattern::Const(c) => const_pos.push((pos, *c)),
+                TermPattern::Var(name) => {
+                    let Some(l) = level_of(name) else {
+                        return Err(format!(
+                            "pattern {idx}: variable ?{name} is missing from the elimination order"
+                        ));
+                    };
+                    if levels.contains(&l) {
+                        repeated = true;
+                    } else {
+                        levels.push(l);
+                    }
+                    var_levels.push((pos, l));
+                }
+            }
+        }
+        levels.sort_unstable();
+        if pp.levels != levels {
+            return Err(format!(
+                "pattern {idx}: plan joins on levels {:?}, pattern binds {:?}",
+                pp.levels, levels
+            ));
+        }
+        if pp.filtered != repeated {
+            return Err(format!(
+                "pattern {idx}: filtered={} but the pattern {} a repeated variable",
+                pp.filtered,
+                if repeated { "has" } else { "does not have" }
+            ));
+        }
+        match pp.order {
+            None => {
+                if !repeated {
+                    return Err(format!(
+                        "pattern {idx}: no repeated variable, yet the plan materializes it"
+                    ));
+                }
+            }
+            Some(order) => {
+                if repeated {
+                    return Err(format!(
+                        "pattern {idx}: repeated variable must be materialized, not indexed"
+                    ));
+                }
+                let perm = order.perm();
+                if pp.consts.len() != const_pos.len() {
+                    return Err(format!(
+                        "pattern {idx}: {} constants recorded, pattern has {}",
+                        pp.consts.len(),
+                        const_pos.len()
+                    ));
+                }
+                // Leading key columns: the constants, value-matched.
+                for (k, &col) in perm.iter().enumerate().take(const_pos.len()) {
+                    let Some(&(_, val)) = const_pos.iter().find(|&&(p, _)| p == col) else {
+                        return Err(format!(
+                            "pattern {idx}: key column {k} of index {} is not a constant position",
+                            order.name()
+                        ));
+                    };
+                    if pp.consts[k] != val {
+                        return Err(format!(
+                            "pattern {idx}: constant {k} mismatches the pattern's value",
+                        ));
+                    }
+                }
+                // Remaining key columns: variable positions in strictly
+                // ascending elimination level — the legal prefix order.
+                let mut prev: Option<usize> = None;
+                for &pos in perm.iter().skip(const_pos.len()) {
+                    let Some(&(_, l)) = var_levels.iter().find(|&&(p, _)| p == pos) else {
+                        return Err(format!(
+                            "pattern {idx}: key column at position {pos} is not a variable position"
+                        ));
+                    };
+                    if prev.is_some_and(|pl| l <= pl) {
+                        return Err(format!(
+                            "pattern {idx}: index {} binds variables out of elimination order",
+                            order.name()
+                        ));
+                    }
+                    prev = Some(l);
+                }
+            }
+        }
+        // Cardinality: must equal the store's exact count.
+        let at = |p: usize| match terms[p] {
+            TermPattern::Const(c) => Some(*c),
+            TermPattern::Var(_) => None,
+        };
+        let card = st.count(at(0), at(1), at(2));
+        if pp.cardinality != card {
+            return Err(format!(
+                "pattern {idx}: recorded cardinality {} but the store counts {}",
+                pp.cardinality, card
+            ));
+        }
+        saw_zero_card |= card == 0;
+    }
+    if plan.empty.is_some() && !saw_zero_card {
+        return Err("plan claims emptiness but every pattern has matches".to_owned());
+    }
+    Ok(())
 }
 
 /// One pattern's trie surface: sorted rows, the column of its first
@@ -679,6 +864,10 @@ fn run(
     chunks: usize,
     gov: Option<&Governor>,
 ) -> Result<Governed<Solution>, EvalError> {
+    // Soundness gate: every execution re-derives the plan's validity
+    // independently of the planner. O(patterns × vars), negligible next
+    // to the join itself.
+    verify_plan(st, bgp, plan).map_err(EvalError::PlanUnsound)?;
     let empty_solution = || Solution {
         vars: plan.vars.clone(),
         rows: Vec::new(),
@@ -806,11 +995,10 @@ pub fn solve_partitioned(st: &TripleStore, bgp: &Bgp, chunks: usize) -> Solution
 pub fn solve_planned(st: &TripleStore, bgp: &Bgp, plan: &Plan, chunks: usize) -> Solution {
     match run(st, bgp, plan, chunks.max(1), None) {
         Ok(g) => g.value,
-        // Unreachable: ungoverned runs cannot be interrupted or panic.
-        Err(_) => Solution {
-            vars: plan.vars.clone(),
-            rows: Vec::new(),
-        },
+        // Ungoverned runs cannot be interrupted or panic, so the only
+        // reachable error is a plan that failed soundness verification —
+        // and executing it anyway would mean wrong answers.
+        Err(e) => panic!("refusing to execute an unsound plan: {e}"),
     }
 }
 
@@ -1018,6 +1206,74 @@ mod tests {
         assert!(text.contains("variable order:"), "{text}");
         assert!(text.contains("card"), "{text}");
         assert!(text.contains("?y"), "{text}");
+        // The elimination order carries each variable's exact prefix
+        // count from the greedy selection.
+        assert!(text.contains("?y (card 2)"), "{text}");
+        assert_eq!(p.var_cards.len(), p.vars.len());
+    }
+
+    #[test]
+    fn planner_output_passes_verification() {
+        let mut st = sample();
+        st.insert_strs("n", "knows", "n");
+        let queries: Vec<Bgp> = {
+            let mut qs = Vec::new();
+            let mut tri = Bgp::new();
+            tri.add(&mut st, "?a", "knows", "?b");
+            tri.add(&mut st, "?b", "knows", "?c");
+            tri.add(&mut st, "?c", "knows", "?a");
+            qs.push(tri);
+            let mut rep = Bgp::new();
+            rep.add(&mut st, "?x", "knows", "?x");
+            qs.push(rep);
+            let mut consts = Bgp::new();
+            consts.add(&mut st, "alice", "knows", "bob");
+            qs.push(consts);
+            let mut missing = Bgp::new();
+            missing.add(&mut st, "?x", "likes", "?y");
+            qs.push(missing);
+            qs.push(Bgp::new());
+            qs
+        };
+        for q in &queries {
+            let p = plan(&st, q);
+            assert_eq!(verify_plan(&st, q, &p), Ok(()));
+        }
+    }
+
+    #[test]
+    fn tampered_plans_are_rejected() {
+        let mut st = sample();
+        let mut q = Bgp::new();
+        q.add(&mut st, "?x", "knows", "?y");
+        q.add(&mut st, "?y", "type", "?t");
+        let good = plan(&st, &q);
+
+        // Swapping the elimination order invalidates every index choice.
+        let mut swapped = good.clone();
+        swapped.vars.swap(0, 1);
+        assert!(verify_plan(&st, &q, &swapped).is_err());
+
+        // A wrong cardinality is a stale or fabricated estimate.
+        let mut stale = good.clone();
+        stale.patterns[0].cardinality += 1;
+        assert!(verify_plan(&st, &q, &stale).is_err());
+
+        // Claiming emptiness over a satisfiable BGP would drop answers.
+        let mut lying = good.clone();
+        lying.empty = Some("fabricated".to_owned());
+        assert!(verify_plan(&st, &q, &lying).is_err());
+
+        // Flipping a filtered flag breaks the access path contract.
+        let mut flipped = good.clone();
+        flipped.patterns[0].filtered = true;
+        flipped.patterns[0].order = None;
+        assert!(verify_plan(&st, &q, &flipped).is_err());
+
+        // The execution gate surfaces the same failure as a panic rather
+        // than silently returning wrong rows.
+        let res = std::panic::catch_unwind(|| solve_planned(&st, &q, &swapped, 1));
+        assert!(res.is_err());
     }
 
     #[test]

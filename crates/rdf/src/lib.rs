@@ -53,16 +53,17 @@ pub mod reason;
 pub mod sparql;
 pub mod store;
 
-pub use analyze::{analyze_bgp, BgpReport};
+pub use analyze::{analyze_bgp, BgpReport, BgpVerdict};
 pub use bgp::{Bgp, Binding, TermPattern, TriplePattern};
 pub use convert::{labeled_to_rdf, rdf_to_labeled, RDF_TYPE};
-pub use lftj::{Plan, Solution};
+pub use lftj::{verify_plan, Plan, Solution};
 pub use ntriples::{parse_ntriples, write_ntriples};
 pub use query::{rpq_pairs, rpq_starts, RpqError};
 pub use reason::{
     materialize_rdfs, InferenceStats, RDFS_DOMAIN, RDFS_RANGE, RDFS_SUBCLASS, RDFS_SUBPROPERTY,
 };
 pub use sparql::{
-    explain_select, parse_select, select, select_governed, SelectQuery, SparqlParseError,
+    explain_parsed, explain_select, parse_select, select, select_governed, SelectQuery,
+    SparqlParseError,
 };
 pub use store::{IndexOrder, Triple, TripleStore};

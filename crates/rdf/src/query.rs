@@ -6,10 +6,11 @@
 
 use crate::convert::rdf_to_labeled;
 use crate::store::TripleStore;
+use kgq_core::analyze::analyze_expr;
 use kgq_core::eval::Evaluator;
 use kgq_core::model::LabeledView;
 use kgq_core::parser::{parse_expr, ParseError};
-use kgq_graph::GraphError;
+use kgq_graph::{GraphError, SchemaSummary};
 use std::fmt;
 
 /// Errors from RDF path queries.
@@ -45,10 +46,16 @@ impl From<GraphError> for RpqError {
 }
 
 /// All `(start, end)` term pairs connected by a path matching
-/// `expr_text`, as term strings, sorted.
+/// `expr_text`, as term strings, sorted. The static analyzer runs first:
+/// a provably empty language (e.g. a predicate missing from the store
+/// vocabulary) short-circuits to the empty answer before evaluation.
 pub fn rpq_pairs(st: &TripleStore, expr_text: &str) -> Result<Vec<(String, String)>, RpqError> {
     let mut g = rdf_to_labeled(st)?;
     let expr = parse_expr(expr_text, g.consts_mut())?;
+    let schema = SchemaSummary::from_labeled(&g);
+    if analyze_expr(&expr, &schema, Some((expr_text, g.consts()))).provably_empty {
+        return Ok(Vec::new());
+    }
     let view = LabeledView::new(&g);
     let ev = Evaluator::new(&view, &expr);
     let mut pairs: Vec<(String, String)> = ev
@@ -60,10 +67,15 @@ pub fn rpq_pairs(st: &TripleStore, expr_text: &str) -> Result<Vec<(String, Strin
     Ok(pairs)
 }
 
-/// All terms starting a matching path, as term strings, sorted.
+/// All terms starting a matching path, as term strings, sorted. Consults
+/// the static analyzer first, like [`rpq_pairs`].
 pub fn rpq_starts(st: &TripleStore, expr_text: &str) -> Result<Vec<String>, RpqError> {
     let mut g = rdf_to_labeled(st)?;
     let expr = parse_expr(expr_text, g.consts_mut())?;
+    let schema = SchemaSummary::from_labeled(&g);
+    if analyze_expr(&expr, &schema, Some((expr_text, g.consts()))).provably_empty {
+        return Ok(Vec::new());
+    }
     let view = LabeledView::new(&g);
     let ev = Evaluator::new(&view, &expr);
     let mut starts: Vec<String> = ev

@@ -294,6 +294,13 @@ pub fn select_governed(
 /// short-circuit instead of a plan.
 pub fn explain_select(st: &mut TripleStore, query: &str) -> Result<String, SparqlParseError> {
     let q = parse_select(query, st)?;
+    Ok(explain_parsed(st, &q).1)
+}
+
+/// [`explain_select`] for an already-parsed query: returns the analyzer
+/// report alongside the rendered text, so callers (the `ANALYZE` server
+/// verb, `kgq analyze`) can count verdicts without re-analyzing.
+pub fn explain_parsed(st: &TripleStore, q: &SelectQuery) -> (crate::analyze::BgpReport, String) {
     let report = analyze_bgp(st, &q.pattern, Some(&q.vars));
     let mut out = String::from("== diagnostics ==\n");
     out.push_str(&report.render());
@@ -304,7 +311,9 @@ pub fn explain_select(st: &mut TripleStore, query: &str) -> Result<String, Sparq
         let plan = crate::lftj::plan(st, &q.pattern);
         out.push_str(&plan.render(st, &q.pattern));
     }
-    Ok(out)
+    out.push_str("== verdict ==\n");
+    out.push_str(&report.verdict.render());
+    (report, out)
 }
 
 #[cfg(test)]
@@ -406,6 +415,12 @@ mod tests {
         assert!(text.contains("== plan =="), "{text}");
         assert!(text.contains("variable order:"), "{text}");
         assert!(text.contains("card"), "{text}");
+        // The elimination order itself carries per-variable exact prefix
+        // counts, and the complexity verdict closes the report.
+        assert!(text.contains("(card "), "{text}");
+        assert!(text.contains("== verdict =="), "{text}");
+        assert!(text.contains("agm exponent"), "{text}");
+        assert!(text.contains("acyclic"), "{text}");
     }
 
     #[test]

@@ -17,18 +17,24 @@
 
 use crate::protocol::{effective_budget, Caps, Verb};
 use crate::stats::ServerStats;
+use kgq_core::analyze::{Diagnostic, Severity};
 use kgq_core::{
-    count_paths_governed, parse_expr, Budget, CancelToken, Completion, EvalError, Governed,
-    Governor, PropertyView, QueryCache,
+    analyze_expr, count_paths_governed, parse_expr, Budget, CancelToken, Completion, EvalError,
+    Governed, Governor, PropertyView, QueryCache,
 };
-use kgq_graph::PropertyGraph;
+use kgq_graph::{PropertyGraph, SchemaSummary};
 use kgq_rdf::TripleStore;
 use kgq_store::{DurableStore, EdgeRec};
-use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The state one server instance shares across all connections.
 pub struct Snapshot {
     graph: RwLock<PropertyGraph>,
+    /// Schema summary for the static analyzer, memoized per cache
+    /// generation so every query verb can consult the analyzer without
+    /// rescanning the graph. Acquired only while the graph read lock is
+    /// already held (lock order: graph before schema).
+    schema: Mutex<Option<(u64, Arc<SchemaSummary>)>>,
     store: RwLock<TripleStore>,
     cache: QueryCache,
     /// The durable write path, when the server was started with a store
@@ -76,6 +82,7 @@ impl Snapshot {
     pub fn new(graph: PropertyGraph, store: TripleStore, caps: Budget) -> Snapshot {
         Snapshot {
             graph: RwLock::new(graph),
+            schema: Mutex::new(None),
             store: RwLock::new(store),
             cache: QueryCache::from_env(),
             durable: None,
@@ -140,6 +147,32 @@ impl Snapshot {
         self.store.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// The schema summary for the analyzer, memoized against the cache
+    /// generation: mutations invalidate it exactly when they invalidate
+    /// cached query results. The caller already holds the graph read
+    /// lock, so the summary is consistent with the snapshot it queries.
+    fn schema_summary(&self, g: &PropertyGraph) -> Arc<SchemaSummary> {
+        let mut cached = self.schema.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((generation, schema)) = cached.as_ref() {
+            if *generation == g.generation() {
+                return Arc::clone(schema);
+            }
+        }
+        let schema = Arc::new(SchemaSummary::from_property(g));
+        *cached = Some((g.generation(), Arc::clone(&schema)));
+        schema
+    }
+
+    /// Tallies one analyzer run into the server counters.
+    fn record_analysis(&self, diagnostics: &[Diagnostic]) {
+        let count = |s: Severity| diagnostics.iter().filter(|d| d.severity == s).count() as u64;
+        self.stats.analysis(
+            count(Severity::Deny),
+            count(Severity::Warn),
+            count(Severity::Note),
+        );
+    }
+
     /// Executes one query request under its effective budget. `cancel`
     /// is the connection's token: a disconnect trips in-flight work at
     /// its next governed batch boundary.
@@ -152,6 +185,7 @@ impl Snapshot {
             Verb::Insert => self.run_insert(payload),
             Verb::Delete => self.run_delete(payload),
             Verb::Flush => self.run_flush(),
+            Verb::Analyze => self.run_analyze(payload),
             // STATS/PING/SHUTDOWN are handled by the server loop, not
             // the snapshot executor.
             _ => Err(format!("verb {} is not a query", verb.as_str())),
@@ -180,10 +214,21 @@ impl Snapshot {
             parse_expr(expr_text, g.labeled_mut().consts_mut()).map_err(|e| e.render(expr_text))?
         };
         let g = self.graph_read();
+        // Static analysis gate: every RPQ consults the analyzer before
+        // planning. A provably empty language short-circuits to the
+        // byte-identical empty answer without touching the evaluator.
+        let schema = self.schema_summary(&g);
+        let report = analyze_expr(&expr, &schema, Some((expr_text, g.labeled().consts())));
+        self.record_analysis(&report.diagnostics);
+        let op_name = op.split_ascii_whitespace().next().unwrap_or("");
+        if report.provably_empty && matches!(op_name, "pairs" | "starts") {
+            self.stats.deny_short_circuit();
+            return Ok(Outcome::ok(String::new(), false));
+        }
         let view = PropertyView::new(&g);
         let gov = Governor::with_cancel(budget, cancel.clone());
         let mut out = String::new();
-        match op.split_ascii_whitespace().next().unwrap_or("") {
+        match op_name {
             "pairs" => {
                 let compiled =
                     match self
@@ -244,6 +289,12 @@ impl Snapshot {
                     .nth(1)
                     .and_then(|v| v.parse().ok())
                     .ok_or("count needs K")?;
+                if report.provably_empty {
+                    // An empty language admits zero paths of any length.
+                    self.stats.deny_short_circuit();
+                    out.push_str("0\n");
+                    return Ok(Outcome::ok(out, false));
+                }
                 let res = count_paths_governed(&view, &expr, k, budget, cancel)
                     .map_err(|e| e.to_string())?;
                 out.push_str(&format!("{}\n", res.value));
@@ -262,6 +313,15 @@ impl Snapshot {
     ) -> Result<Outcome, String> {
         let q = kgq_cypher::parse_query(payload).map_err(|e| e.render(payload))?;
         let g = self.graph_read();
+        // Analyzer gate (counters + Deny short-circuit). The governed
+        // executor re-checks internally, so its empty return for a
+        // denied query is byte-identical to this one.
+        let report = kgq_cypher::analyze_query(&g, &q, Some(payload));
+        self.record_analysis(&report.diagnostics);
+        if report.provably_empty {
+            self.stats.deny_short_circuit();
+            return Ok(Outcome::ok(String::new(), false));
+        }
         let gov = Governor::with_cancel(budget, cancel);
         let res =
             kgq_cypher::execute_governed(&g, &q, &self.cache, &gov).map_err(|e| e.to_string())?;
@@ -285,6 +345,15 @@ impl Snapshot {
             kgq_rdf::parse_select(payload, &mut st).map_err(|e| e.to_string())?
         };
         let st = self.store_read();
+        // Analyzer gate: tallies BGP verdicts and answers Deny-empty
+        // queries without planning — byte-identical to the governed
+        // evaluator's own short-circuit, which re-checks internally.
+        let report = kgq_rdf::analyze_bgp(&st, &q.pattern, Some(&q.vars));
+        self.record_analysis(&report.diagnostics);
+        if report.provably_empty {
+            self.stats.deny_short_circuit();
+            return Ok(Outcome::ok(String::new(), false));
+        }
         let gov = Governor::with_cancel(budget, cancel);
         let res = kgq_rdf::select_governed(&st, &q, &gov).map_err(|e| e.to_string())?;
         let mut out = String::new();
@@ -388,6 +457,63 @@ impl Snapshot {
             "deleted {removed} triple(s)\ngeneration {}\n",
             g.generation()
         );
+        Ok(Outcome::ok(body, false))
+    }
+
+    /// `ANALYZE` payload: a kind line (`query` | `cypher` | `sparql` |
+    /// `rules`) followed by the query or rule-program text. Runs the
+    /// matching static analyzer and returns its rendered report without
+    /// executing anything; verdicts are tallied into `STATS` like the
+    /// query verbs' own analyzer gates.
+    fn run_analyze(&self, payload: &str) -> Result<Outcome, String> {
+        let (kind, text) = payload
+            .split_once('\n')
+            .ok_or("ANALYZE payload needs a kind line and the query text")?;
+        let body = match kind.trim() {
+            "query" => {
+                let expr = {
+                    let mut g = self.graph_write();
+                    parse_expr(text, g.labeled_mut().consts_mut()).map_err(|e| e.render(text))?
+                };
+                let g = self.graph_read();
+                let schema = self.schema_summary(&g);
+                let report = analyze_expr(&expr, &schema, Some((text, g.labeled().consts())));
+                self.record_analysis(&report.diagnostics);
+                report.render(text)
+            }
+            "cypher" => {
+                let q = kgq_cypher::parse_query(text).map_err(|e| e.render(text))?;
+                let g = self.graph_read();
+                let report = kgq_cypher::analyze_query(&g, &q, Some(text));
+                self.record_analysis(&report.diagnostics);
+                report.render(text)
+            }
+            "sparql" => {
+                let q = {
+                    let mut st = self.store_write();
+                    kgq_rdf::parse_select(text, &mut st).map_err(|e| e.to_string())?
+                };
+                let st = self.store_read();
+                let (report, rendered) = kgq_rdf::explain_parsed(&st, &q);
+                self.record_analysis(&report.diagnostics);
+                rendered
+            }
+            "rules" => {
+                let rules = {
+                    let mut st = self.store_write();
+                    kgq_logic::parse_program(&mut st, text).map_err(|e| e.to_string())?
+                };
+                let st = self.store_read();
+                let report = kgq_logic::analyze_program(&st, &rules);
+                self.record_analysis(&report.diagnostics);
+                report.render()
+            }
+            other => {
+                return Err(format!(
+                    "unknown analyze kind `{other}` (expected query|cypher|sparql|rules)"
+                ))
+            }
+        };
         Ok(Outcome::ok(body, false))
     }
 
@@ -672,6 +798,74 @@ mod tests {
             let out = snap.execute(verb, &Caps::none(), payload, CancelToken::new());
             assert!(!out.ok, "{payload} should be an error");
         }
+    }
+
+    #[test]
+    fn analyze_verb_reports_without_executing() {
+        let snap = snapshot(Budget::unlimited());
+        let q = snap.execute(
+            Verb::Analyze,
+            &Caps::none(),
+            "query\nghost_label",
+            CancelToken::new(),
+        );
+        assert!(q.ok, "{}", q.body);
+        assert!(q.body.contains("deny"), "{}", q.body);
+        let s = snap.execute(
+            Verb::Analyze,
+            &Caps::none(),
+            "sparql\nSELECT ?x WHERE { ?x <knows> ?y . }",
+            CancelToken::new(),
+        );
+        assert!(s.ok && s.body.contains("== verdict =="), "{}", s.body);
+        let r = snap.execute(
+            Verb::Analyze,
+            &Caps::none(),
+            "rules\n?x path ?y :- ?x knows ?y .",
+            CancelToken::new(),
+        );
+        assert!(r.ok && r.body.contains("derivation bound"), "{}", r.body);
+        let c = snap.execute(
+            Verb::Analyze,
+            &Caps::none(),
+            "cypher\nMATCH (p:person)-[:rides]->(b:bus) RETURN p, b",
+            CancelToken::new(),
+        );
+        assert!(c.ok, "{}", c.body);
+        assert!(snap.stats.analyzed() >= 4);
+        let bad = snap.execute(Verb::Analyze, &Caps::none(), "bogus\nx", CancelToken::new());
+        assert!(!bad.ok);
+        let headless = snap.execute(Verb::Analyze, &Caps::none(), "no-kind", CancelToken::new());
+        assert!(!headless.ok);
+    }
+
+    #[test]
+    fn deny_short_circuits_answer_empty_and_count() {
+        let snap = snapshot(Budget::unlimited());
+        let out = snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "pairs\nghost_label_zzz",
+            CancelToken::new(),
+        );
+        assert!(out.ok && out.body.is_empty(), "{}", out.body);
+        assert_eq!(snap.stats.deny_short_circuits(), 1);
+        let counted = snap.execute(
+            Verb::Query,
+            &Caps::none(),
+            "count 3\nghost_label_zzz",
+            CancelToken::new(),
+        );
+        assert!(counted.ok, "{}", counted.body);
+        assert_eq!(counted.body, "0\n");
+        let sparql = snap.execute(
+            Verb::Sparql,
+            &Caps::none(),
+            "SELECT ?x WHERE { ?x <no_such_pred> ?y . }",
+            CancelToken::new(),
+        );
+        assert!(sparql.ok && sparql.body.is_empty(), "{}", sparql.body);
+        assert!(snap.stats.deny_short_circuits() >= 3);
     }
 
     #[test]

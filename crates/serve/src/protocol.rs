@@ -13,8 +13,9 @@
 //! - `verb` — `QUERY` (RPQ over the property graph; the payload's first
 //!   line is the operation — `pairs`, `starts` or `count K` — and the
 //!   rest is the path expression), `CYPHER`, `SPARQL`, `STATS`, `PING`,
-//!   `SHUTDOWN`, or the mutation verbs `INSERT`, `DELETE` and `FLUSH`
-//!   (committed as one durable batch; see [`Verb::Insert`]).
+//!   `SHUTDOWN`, `ANALYZE` (run the static analyzer without executing;
+//!   see [`Verb::Analyze`]), or the mutation verbs `INSERT`, `DELETE`
+//!   and `FLUSH` (committed as one durable batch; see [`Verb::Insert`]).
 //! - `caps` — the client's requested resource caps: `-` for none, or a
 //!   comma list of `timeout=MS`, `steps=N`, `results=N`, `memory=BYTES`.
 //!   The server intersects these with its own caps (componentwise min)
@@ -66,6 +67,12 @@ pub enum Verb {
     /// Compact the durable store: fold the delta overlay into a fresh
     /// immutable segment and truncate the write-ahead log.
     Flush,
+    /// Run the static analyzer without executing. The payload's first
+    /// line is the query kind — `query` (RPQ), `cypher`, `sparql` or
+    /// `rules` — and the rest is the query/program text. The body is the
+    /// analyzer's rendered report: diagnostics on the shared severity
+    /// ladder plus the complexity/termination verdict.
+    Analyze,
 }
 
 impl Verb {
@@ -81,6 +88,7 @@ impl Verb {
             Verb::Insert => "INSERT",
             Verb::Delete => "DELETE",
             Verb::Flush => "FLUSH",
+            Verb::Analyze => "ANALYZE",
         }
     }
 
@@ -96,6 +104,7 @@ impl Verb {
             "INSERT" => Verb::Insert,
             "DELETE" => Verb::Delete,
             "FLUSH" => Verb::Flush,
+            "ANALYZE" => Verb::Analyze,
             _ => return None,
         })
     }

@@ -14,6 +14,16 @@ pub struct ServerStats {
     errors: AtomicU64,
     partials: AtomicU64,
     cancelled: AtomicU64,
+    /// Queries run through a static analyzer (every query verb, plus
+    /// explicit `ANALYZE` requests).
+    analyzed: AtomicU64,
+    /// Diagnostics tallied by severity across all analyzer runs.
+    verdict_deny: AtomicU64,
+    verdict_warn: AtomicU64,
+    verdict_note: AtomicU64,
+    /// Query requests answered empty straight from a Deny verdict,
+    /// skipping planning and evaluation entirely.
+    deny_short_circuits: AtomicU64,
     /// Completed-request latencies in microseconds.
     latencies_us: Mutex<Vec<u64>>,
 }
@@ -48,6 +58,29 @@ impl ServerStats {
     /// Counts a request reclaimed unrun because its client disconnected.
     pub fn cancel(&self) {
         self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one analyzer run and its per-severity diagnostic tallies.
+    pub fn analysis(&self, deny: u64, warn: u64, note: u64) {
+        self.analyzed.fetch_add(1, Ordering::Relaxed);
+        self.verdict_deny.fetch_add(deny, Ordering::Relaxed);
+        self.verdict_warn.fetch_add(warn, Ordering::Relaxed);
+        self.verdict_note.fetch_add(note, Ordering::Relaxed);
+    }
+
+    /// Counts a query answered empty directly from a Deny verdict.
+    pub fn deny_short_circuit(&self) {
+        self.deny_short_circuits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Analyzer runs so far.
+    pub fn analyzed(&self) -> u64 {
+        self.analyzed.load(Ordering::Relaxed)
+    }
+
+    /// Queries answered empty straight from a Deny verdict.
+    pub fn deny_short_circuits(&self) -> u64 {
+        self.deny_short_circuits.load(Ordering::Relaxed)
     }
 
     /// Requests admitted so far.
@@ -92,7 +125,9 @@ impl ServerStats {
             "requests {}\nok {}\nerrors {}\npartials {}\ncancelled {}\n\
              p50_us {p50}\np99_us {p99}\nworkers {workers}\n\
              cache_hits {}\ncache_misses {}\ncache_evictions {}\n\
-             cache_short_circuits {}\ncache_len {}\ncache_capacity {}\n",
+             cache_short_circuits {}\ncache_len {}\ncache_capacity {}\n\
+             analyzed {}\nverdict_deny {}\nverdict_warn {}\nverdict_note {}\n\
+             deny_short_circuits {}\n",
             self.requests(),
             self.ok(),
             self.errors(),
@@ -104,6 +139,11 @@ impl ServerStats {
             cache.short_circuits,
             cache.len,
             cache.capacity,
+            self.analyzed(),
+            self.verdict_deny.load(Ordering::Relaxed),
+            self.verdict_warn.load(Ordering::Relaxed),
+            self.verdict_note.load(Ordering::Relaxed),
+            self.deny_short_circuits(),
         )
     }
 }
@@ -152,7 +192,15 @@ mod tests {
             len: 2,
             capacity: 64,
         };
+        s.analysis(1, 2, 0);
+        s.analysis(0, 0, 1);
+        s.deny_short_circuit();
         let text = s.render(&cache, 4);
+        assert!(text.contains("analyzed 2\n"));
+        assert!(text.contains("verdict_deny 1\n"));
+        assert!(text.contains("verdict_warn 2\n"));
+        assert!(text.contains("verdict_note 1\n"));
+        assert!(text.contains("deny_short_circuits 1\n"));
         assert!(text.contains("requests 3\n"));
         assert!(text.contains("partials 1\n"));
         assert!(text.contains("cancelled 1\n"));

@@ -7,6 +7,7 @@
 //! kgq analytics GRAPH [pagerank|betweenness|components|diameter|densest]
 //! kgq rdf FILE.nt path 'EXPR' | infer
 //! kgq sparql FILE.nt 'SELECT ... WHERE { ... }' [--explain]
+//! kgq analyze (query|cypher|sparql|rules) FILE 'TEXT'
 //! ```
 //!
 //! Graphs use the text format of `kgq::graph::io` (`node`/`edge`/`nprop`/
@@ -34,6 +35,7 @@ fn usage() -> ExitCode {
          kgq analytics GRAPH (pagerank|betweenness|components|diameter|densest)\n  \
          kgq rdf FILE (path EXPR|select QUERY|infer)\n  \
          kgq sparql FILE QUERY [--explain] [GOVERN]\n  \
+         kgq analyze (query|cypher|sparql|rules) FILE TEXT\n  \
          kgq serve GRAPH [--nt FILE] [--store DIR] [--port P] [--workers W] [GOVERN]\n  \
          kgq store (init DIR [--nt FILE]|append DIR FILE [--delete]|compact DIR|verify DIR|dump DIR)\n  \
          kgq scale gen FILE.seg [--nodes N] [--m M] [--labels L] [--seed S] [--edge-ids]\n  \
@@ -491,6 +493,54 @@ fn cmd_sparql(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `kgq analyze (query|cypher|sparql|rules) FILE TEXT` — run the
+/// matching static analyzer and print its report without executing
+/// anything. `query`/`cypher` load a property graph, `sparql`/`rules`
+/// an N-Triples file; for `rules`, TEXT may also name a file holding
+/// the program (one `head :- body .` rule per line).
+fn cmd_analyze(args: &[String]) -> Result<String, String> {
+    let [kind, path, text_arg, ..] = args else {
+        return Err(
+            "analyze needs (query|cypher|sparql|rules), a data FILE and the query text".into(),
+        );
+    };
+    match kind.as_str() {
+        "query" => {
+            let mut g = load_graph(path)?;
+            let expr = parse_expr(text_arg, g.labeled_mut().consts_mut())
+                .map_err(|e| e.render(text_arg))?;
+            let schema = kgq::graph::SchemaSummary::from_property(&g);
+            let report = analyze_expr(&expr, &schema, Some((text_arg, g.labeled().consts())));
+            Ok(report.render(text_arg))
+        }
+        "cypher" => {
+            let g = load_graph(path)?;
+            let q = cypher::parse_query(text_arg).map_err(|e| e.render(text_arg))?;
+            Ok(cypher::analyze_query(&g, &q, Some(text_arg)).render(text_arg))
+        }
+        "sparql" => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut st = rdf::parse_ntriples(&text).map_err(|e| e.to_string())?;
+            let q = rdf::parse_select(text_arg, &mut st).map_err(|e| e.to_string())?;
+            let (_report, rendered) = rdf::explain_parsed(&st, &q);
+            Ok(rendered)
+        }
+        "rules" => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut st = rdf::parse_ntriples(&text).map_err(|e| e.to_string())?;
+            let program = match std::fs::read_to_string(text_arg) {
+                Ok(file_text) => file_text,
+                Err(_) => text_arg.clone(),
+            };
+            let rules = kgq::logic::parse_program(&mut st, &program).map_err(|e| e.to_string())?;
+            Ok(kgq::logic::analyze_program(&st, &rules).render())
+        }
+        other => Err(format!(
+            "unknown analyze kind `{other}` (expected query|cypher|sparql|rules)"
+        )),
+    }
+}
+
 /// `kgq store (init|append|compact|verify|dump)` — manage a durable
 /// store directory (checksummed WAL + immutable segment; see
 /// DESIGN.md §13). `verify` is read-only: it reports segment shape, WAL
@@ -847,6 +897,7 @@ fn main() -> ExitCode {
         "analytics" => cmd_analytics(&args[1..]),
         "rdf" => cmd_rdf(&args[1..]),
         "sparql" => cmd_sparql(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "store" => cmd_store(&args[1..]),
         "scale" => cmd_scale(&args[1..]),

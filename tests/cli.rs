@@ -345,6 +345,54 @@ fn analyzer_short_circuits_are_visible_and_results_unchanged() {
 }
 
 #[test]
+fn analyze_subcommand_reports_all_four_kinds() {
+    let graph = generated_contact();
+    let g = graph.to_str().unwrap();
+    let nt = temp_graph("analyze.nt", "<a> <knows> <b> .\n<b> <knows> <c> .\n");
+    let n = nt.to_str().unwrap();
+
+    let q = stdout(&run(&["analyze", "query", g, "rides/rides^-"]));
+    assert!(q.contains("== verdict =="), "{q}");
+    let ghost = stdout(&run(&["analyze", "query", g, "ghost_label"]));
+    assert!(ghost.contains("deny"), "{ghost}");
+
+    let c = stdout(&run(&[
+        "analyze",
+        "cypher",
+        g,
+        "MATCH (p:person)-[:rides]->(b:bus) RETURN p, b",
+    ]));
+    assert!(c.contains("== verdict =="), "{c}");
+
+    let s = stdout(&run(&[
+        "analyze",
+        "sparql",
+        n,
+        "SELECT ?x ?y WHERE { ?x <knows> ?y . }",
+    ]));
+    assert!(s.contains("== plan =="), "{s}");
+    assert!(s.contains("agm exponent"), "{s}");
+
+    let r = stdout(&run(&[
+        "analyze",
+        "rules",
+        n,
+        "?x path ?y :- ?x knows ?y .\n?x path ?z :- ?x path ?y, ?y knows ?z .",
+    ]));
+    assert!(r.contains("recursive: yes"), "{r}");
+    assert!(r.contains("derivation bound"), "{r}");
+
+    // A rules program may also live in a file.
+    let prog = temp_graph("closure.rules", "?x hop ?y :- ?x knows ?y .\n");
+    let rf = stdout(&run(&["analyze", "rules", n, prog.to_str().unwrap()]));
+    assert!(rf.contains("recursive: no"), "{rf}");
+
+    let bad = run(&["analyze", "bogus", g, "x"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown analyze kind"));
+}
+
+#[test]
 fn parse_errors_render_with_caret_and_expected_token() {
     let path = generated_contact();
     let p = path.to_str().unwrap();

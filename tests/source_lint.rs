@@ -1,6 +1,6 @@
 //! In-repo source lints, run as tier-1 tests and in CI.
 //!
-//! Four invariants over `crates/*/src`, enforced with std-only file
+//! Seven invariants over `crates/*/src`, enforced with std-only file
 //! walking (no extra dependencies):
 //!
 //! 1. **unwrap/expect ratchet** — non-test library code must not grow
@@ -18,6 +18,17 @@
 //!    path must be propagated, because a swallowed I/O error there is
 //!    silent data loss. Unlike the general ratchet, no baseline entry
 //!    can ever admit one.
+//! 5. **unsafe audit ratchet** — `unsafe` is confined to the mmap'd
+//!    segment reader, with a per-file exact count: new sites anywhere
+//!    else fail, and removing one in `mmap.rs` requires ratcheting the
+//!    baseline down so it cannot silently return.
+//! 6. **lock-order monotonicity** — every lock acquisition in the
+//!    server crate carries a rank, and a static walk of the acquisition
+//!    sites proves ranks never decrease while earlier guards are live,
+//!    so the documented order is deadlock-free by construction.
+//! 7. **analyzer coverage** — every query entrypoint (CLI subcommands,
+//!    engine evaluators, the server executor) routes through a static
+//!    analyzer before executing; dropping the consult fails tier-1.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
@@ -341,6 +352,381 @@ fn analyze_and_govern_pub_fns_are_documented() {
         let src = fs::read_to_string(repo_root().join(file)).expect("readable source file");
         for name in undocumented_pub_fns(&non_test_lines(&src)) {
             problems.push(format!("{file}: pub fn `{name}` has no doc comment"));
+        }
+    }
+    assert!(problems.is_empty(), "\n{}", problems.join("\n"));
+}
+
+/// Per-file allowance of `unsafe` sites (`unsafe {`, `unsafe fn`,
+/// `unsafe impl`, `unsafe extern`) in non-test code. `unsafe` lives
+/// only in the mmap'd segment reader, each site carrying a safety
+/// comment; the count is exact in both directions so a removed site
+/// cannot silently come back, and unlisted files are held at zero.
+const UNSAFE_BASELINE: &[(&str, usize)] = &[("crates/store/src/mmap.rs", 6)];
+
+/// Keyword-form `unsafe` sites on a line, ignoring `//` comments. The
+/// four forms cover every way the keyword enters shipping code; prose
+/// uses of the word (diagnostic codes like `unsafe-rule`) don't match.
+fn unsafe_sites(line: &str) -> usize {
+    let code = line.split("//").next().unwrap_or("");
+    ["unsafe {", "unsafe fn", "unsafe impl", "unsafe extern"]
+        .iter()
+        .map(|p| code.matches(p).count())
+        .sum()
+}
+
+#[test]
+fn unsafe_audit_ratchet_is_exact() {
+    let baseline: BTreeMap<&str, usize> = UNSAFE_BASELINE.iter().copied().collect();
+    let mut problems = Vec::new();
+    let mut seen = BTreeSet::new();
+    for path in crate_sources() {
+        let file = rel(&path);
+        let src = fs::read_to_string(&path).expect("readable source file");
+        let count: usize = non_test_lines(&src).iter().map(|l| unsafe_sites(l)).sum();
+        seen.insert(file.clone());
+        let allowed = baseline.get(file.as_str()).copied().unwrap_or(0);
+        if count > allowed {
+            problems.push(format!(
+                "{file}: {count} unsafe site(s) in non-test code (audit baseline allows \
+                 {allowed}); keep unsafe confined to the audited mmap reader, or extend \
+                 UNSAFE_BASELINE after review with a safety comment on every site"
+            ));
+        } else if count < allowed {
+            problems.push(format!(
+                "{file}: only {count} unsafe site(s) remain but the audit baseline expects \
+                 {allowed}; ratchet UNSAFE_BASELINE down so removed sites cannot return"
+            ));
+        }
+    }
+    for file in baseline.keys() {
+        if !seen.contains(*file) {
+            problems.push(format!(
+                "{file}: listed in UNSAFE_BASELINE but no such source file exists; \
+                 remove the stale entry"
+            ));
+        }
+    }
+    assert!(problems.is_empty(), "\n{}", problems.join("\n"));
+}
+
+/// The server crate's lock-rank table: `(normalized pattern, rank,
+/// name)`. Patterns match against comment-stripped, whitespace-free
+/// non-test source text, so multi-line acquisitions normalize to one
+/// token. A thread may only acquire a lock whose rank is **≥** every
+/// rank it already holds (equal ranks never nest in practice — guards
+/// at the same rank are taken in disjoint scopes):
+///
+/// durable(0) < graph(1) < schema(2) < store(3) < sched(4) < conns(5)
+/// < reader_handles(6) < writer(7) < shutdown_requested(8) <
+/// latencies(9)
+const LOCK_RANKS: &[(&str, u32, &str)] = &[
+    ("durable.lock()", 0, "durable"),
+    ("|m|m.lock()", 0, "durable"),
+    ("self.durable_lock()", 0, "durable"),
+    ("self.graph.read()", 1, "graph"),
+    ("self.graph.write()", 1, "graph"),
+    ("self.graph_read()", 1, "graph"),
+    ("self.graph_write()", 1, "graph"),
+    ("self.schema.lock()", 2, "schema"),
+    ("self.schema_summary(", 2, "schema"),
+    ("self.store.read()", 3, "store"),
+    ("self.store.write()", 3, "store"),
+    ("self.store_read()", 3, "store"),
+    ("self.store_write()", 3, "store"),
+    ("self.inner.lock()", 4, "sched"),
+    ("self.lock()", 4, "sched"),
+    (".conns.lock()", 5, "conns"),
+    (".reader_handles.lock()", 6, "reader_handles"),
+    (".writer.lock()", 7, "writer"),
+    (".shutdown_requested.lock()", 8, "shutdown_requested"),
+    (".latencies_us.lock()", 9, "latencies"),
+];
+
+/// Static lock-order violations in one file's source text.
+///
+/// The model: strip comments and all whitespace from non-test lines,
+/// walk the result character by character tracking brace depth, and
+/// keep a stack of live guards `(depth, rank, name)`. A guard is
+/// considered live until the brace depth drops below its acquisition
+/// depth (a conservative over-approximation of Rust guard lifetimes —
+/// temporaries dropped at statement end stay "live" to the block's
+/// close, which only makes the lint stricter). Acquiring a rank lower
+/// than the top of the stack is a violation. Separately, every bare
+/// zero-arg `.lock()` / `.read()` / `.write()` must fall inside some
+/// ranked pattern match, so an unranked acquisition cannot dodge the
+/// walk.
+fn lock_order_violations(file: &str, src: &str) -> Vec<String> {
+    let mut text = String::new();
+    for line in non_test_lines(src) {
+        let code = line.split("//").next().unwrap_or("");
+        text.extend(code.chars().filter(|c| !c.is_whitespace()));
+    }
+
+    // All ranked-pattern match spans, sorted by start position.
+    let mut matches: Vec<(usize, usize, u32, &str)> = Vec::new();
+    for (pat, rank, name) in LOCK_RANKS {
+        let mut from = 0;
+        while let Some(i) = text[from..].find(pat) {
+            let start = from + i;
+            matches.push((start, start + pat.len(), *rank, name));
+            from = start + 1;
+        }
+    }
+    matches.sort();
+
+    let mut problems = Vec::new();
+
+    // Coverage: no bare acquisition outside a ranked span.
+    for bare in [".lock()", ".read()", ".write()"] {
+        let mut from = 0;
+        while let Some(i) = text[from..].find(bare) {
+            let pos = from + i;
+            if !matches.iter().any(|&(s, e, _, _)| s <= pos && pos < e) {
+                let ctx = pos.saturating_sub(24);
+                problems.push(format!(
+                    "{file}: unranked lock acquisition `…{}`; add it to LOCK_RANKS",
+                    &text[ctx..(pos + bare.len()).min(text.len())]
+                ));
+            }
+            from = pos + 1;
+        }
+    }
+
+    // Monotone walk with a live-guard stack.
+    let mut stack: Vec<(i64, u32, &str)> = Vec::new();
+    let mut depth = 0i64;
+    let mut mi = 0;
+    for (i, b) in text.bytes().enumerate() {
+        while mi < matches.len() && matches[mi].0 == i {
+            let (_, _, rank, name) = matches[mi];
+            if let Some(&(_, top_rank, top_name)) = stack.last() {
+                if rank < top_rank {
+                    problems.push(format!(
+                        "{file}: lock `{name}` (rank {rank}) acquired while `{top_name}` \
+                         (rank {top_rank}) may be held; acquisitions must follow the \
+                         LOCK_RANKS order to stay deadlock-free"
+                    ));
+                }
+            }
+            stack.push((depth, rank, name));
+            mi += 1;
+        }
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                while stack.last().is_some_and(|&(d, _, _)| d > depth) {
+                    stack.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+    problems
+}
+
+#[test]
+fn lock_order_walker_detects_inversions() {
+    // Inverted: writer (7) held across a conns (5) acquisition.
+    let bad = "fn broken(&self) {\n    let w = self.writer.lock().unwrap();\n    \
+               let c = self.conns.lock().unwrap();\n}\n";
+    let found = lock_order_violations("synthetic.rs", bad);
+    assert!(
+        found
+            .iter()
+            .any(|p| p.contains("rank 5") && p.contains("rank 7")),
+        "walker missed a rank inversion: {found:?}"
+    );
+    // The same pair in a sound order, in disjoint scopes.
+    let good = "fn fine(&self) {\n    { let c = self.conns.lock().unwrap(); }\n    \
+                { let w = self.writer.lock().unwrap(); }\n}\n";
+    assert!(lock_order_violations("synthetic.rs", good).is_empty());
+    // An acquisition no rank pattern covers is flagged, not ignored.
+    let unranked = "fn sneaky(&self) { let g = self.mystery.lock().unwrap(); }\n";
+    let found = lock_order_violations("synthetic.rs", unranked);
+    assert!(
+        found.iter().any(|p| p.contains("unranked")),
+        "walker missed an unranked acquisition: {found:?}"
+    );
+}
+
+#[test]
+fn serve_lock_acquisitions_follow_the_rank_order() {
+    let mut problems = Vec::new();
+    let mut ranked_sites = 0usize;
+    for path in crate_sources() {
+        let file = rel(&path);
+        if !file.starts_with("crates/serve/src") {
+            continue;
+        }
+        let src = fs::read_to_string(&path).expect("readable source file");
+        let mut text = String::new();
+        for line in non_test_lines(&src) {
+            let code = line.split("//").next().unwrap_or("");
+            text.extend(code.chars().filter(|c| !c.is_whitespace()));
+        }
+        ranked_sites += LOCK_RANKS
+            .iter()
+            .map(|(pat, _, _)| text.matches(pat).count())
+            .sum::<usize>();
+        problems.extend(lock_order_violations(&file, &src));
+    }
+    assert!(
+        ranked_sites >= 10,
+        "only {ranked_sites} ranked lock sites found in crates/serve/src; \
+         the LOCK_RANKS patterns are stale"
+    );
+    assert!(problems.is_empty(), "\n{}", problems.join("\n"));
+}
+
+/// The analyzer-coverage registry: `(file, fn name, tokens)` — every
+/// listed function body must contain **all** of its tokens. The list
+/// pins each query entrypoint to the static-analysis consult it is
+/// required to make before (or instead of) executing:
+///
+/// - CLI subcommands in `src/main.rs` either call an analyzer directly
+///   or route through library evaluators that do;
+/// - the engine evaluators (`kgq-rdf`, `kgq-cypher`, `kgq-logic`)
+///   consult their analyzers on every governed and ungoverned path the
+///   CLI and server reach;
+/// - the LFTJ executor independently re-verifies planner output;
+/// - the server executor analyzes every query verb it dispatches.
+const ANALYZER_COVERAGE: &[(&str, &str, &[&str])] = &[
+    ("src/main.rs", "cmd_query", &["analyze_expr("]),
+    (
+        "src/main.rs",
+        "cmd_cypher",
+        &["analyze_query(", "execute_cached(", "execute_governed("],
+    ),
+    (
+        "src/main.rs",
+        "cmd_sparql",
+        &[
+            "rdf::explain_select(",
+            "rdf::select(",
+            "rdf::select_governed(",
+        ],
+    ),
+    (
+        "src/main.rs",
+        "cmd_rdf",
+        &["rdf::rpq_pairs(", "rdf::select("],
+    ),
+    (
+        "src/main.rs",
+        "cmd_analyze",
+        &[
+            "analyze_expr(",
+            "analyze_query(",
+            "explain_parsed(",
+            "analyze_program(",
+        ],
+    ),
+    (
+        "crates/cypher/src/exec.rs",
+        "execute_cached",
+        &["analyze_query("],
+    ),
+    (
+        "crates/cypher/src/exec.rs",
+        "execute_governed",
+        &["analyze_query("],
+    ),
+    ("crates/rdf/src/sparql.rs", "select", &["analyze_bgp("]),
+    (
+        "crates/rdf/src/sparql.rs",
+        "select_governed",
+        &["analyze_bgp("],
+    ),
+    (
+        "crates/rdf/src/sparql.rs",
+        "explain_parsed",
+        &["analyze_bgp("],
+    ),
+    ("crates/rdf/src/query.rs", "rpq_pairs", &["analyze_expr("]),
+    ("crates/rdf/src/query.rs", "rpq_starts", &["analyze_expr("]),
+    ("crates/rdf/src/lftj.rs", "run", &["verify_plan("]),
+    (
+        "crates/logic/src/rules.rs",
+        "fixpoint",
+        &["analyze_program("],
+    ),
+    (
+        "crates/logic/src/rules.rs",
+        "fixpoint_governed",
+        &["analyze_program("],
+    ),
+    ("crates/serve/src/exec.rs", "run_rpq", &["analyze_expr("]),
+    (
+        "crates/serve/src/exec.rs",
+        "run_cypher",
+        &["analyze_query("],
+    ),
+    ("crates/serve/src/exec.rs", "run_sparql", &["analyze_bgp("]),
+    (
+        "crates/serve/src/exec.rs",
+        "run_analyze",
+        &[
+            "analyze_expr(",
+            "analyze_query(",
+            "explain_parsed(",
+            "analyze_program(",
+        ],
+    ),
+];
+
+/// The body of `fn NAME` in `lines` (first definition, matched by brace
+/// counting from the signature line), or `None` if no such fn exists.
+fn fn_body(lines: &[&str], name: &str) -> Option<String> {
+    let sig_paren = format!("fn {name}(");
+    let sig_generic = format!("fn {name}<");
+    let start = lines
+        .iter()
+        .position(|l| l.contains(&sig_paren) || l.contains(&sig_generic))?;
+    let mut depth = 0i64;
+    let mut started = false;
+    let mut body = String::new();
+    for line in &lines[start..] {
+        body.push_str(line);
+        body.push('\n');
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    started = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if started && depth <= 0 {
+            break;
+        }
+    }
+    Some(body)
+}
+
+#[test]
+fn every_query_entrypoint_consults_an_analyzer() {
+    let mut problems = Vec::new();
+    for (file, func, tokens) in ANALYZER_COVERAGE {
+        let src = fs::read_to_string(repo_root().join(file)).expect("readable source file");
+        let lines = non_test_lines(&src);
+        let Some(body) = fn_body(&lines, func) else {
+            problems.push(format!(
+                "{file}: fn `{func}` not found; update ANALYZER_COVERAGE to track \
+                 where this entrypoint moved"
+            ));
+            continue;
+        };
+        for token in *tokens {
+            if !body.contains(token) {
+                problems.push(format!(
+                    "{file}: fn `{func}` no longer routes through `{token}`; every query \
+                     entrypoint must consult its static analyzer before executing"
+                ));
+            }
         }
     }
     assert!(problems.is_empty(), "\n{}", problems.join("\n"));
