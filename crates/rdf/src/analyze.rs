@@ -48,6 +48,11 @@ pub struct BgpVerdict {
     /// hypergraph, refined to n/2 on components that are a single cycle
     /// (so a triangle reports the tight 1.5).
     pub agm_exponent: f64,
+    /// Sketch-estimated answer count, when a cost-model pass supplied
+    /// one (the `--explain` path plans with [`crate::sketch`] statistics
+    /// and records its final cumulative prefix estimate here). `None`
+    /// when analysis ran without sketches.
+    pub est_answers: Option<f64>,
 }
 
 impl Default for BgpVerdict {
@@ -56,6 +61,7 @@ impl Default for BgpVerdict {
             variables: 0,
             acyclic: true,
             agm_exponent: 0.0,
+            est_answers: None,
         }
     }
 }
@@ -69,7 +75,7 @@ impl BgpVerdict {
         } else {
             format!("{:.1}", self.agm_exponent)
         };
-        format!(
+        let mut out = format!(
             "join variables: {}\nstructure: {}\nagm exponent: {} (worst-case answers <= |store|^{})\n",
             self.variables,
             if self.acyclic {
@@ -79,7 +85,11 @@ impl BgpVerdict {
             },
             exp,
             exp
-        )
+        );
+        if let Some(est) = self.est_answers {
+            out.push_str(&format!("estimated answers: ~{est:.0} (cardinality sketch)\n"));
+        }
+        out
     }
 }
 
@@ -541,6 +551,7 @@ pub fn analyze_bgp(st: &TripleStore, bgp: &Bgp, projected: Option<&[VarName]>) -
         variables: vars.len(),
         acyclic: gyo_acyclic(&edges),
         agm_exponent: agm_exponent(vars.len(), &edges),
+        est_answers: None,
     };
 
     report

@@ -30,6 +30,7 @@
 //!   interrupted chunk, exactly like the kernel scans in `kgq-core`.
 
 use crate::bgp::{Bgp, Binding, TermPattern, TriplePattern, VarName};
+use crate::sketch::{chain_hash, StoreSketch, XorConstraint, ROOT_HASH};
 use crate::store::{IndexOrder, TripleStore};
 use kgq_core::govern::{isolate, EvalError, Governed, Governor, Interrupt, MemMeter, Ticker};
 use kgq_core::parallel::effective_threads;
@@ -143,10 +144,9 @@ struct PatternInfo {
     repeated: bool,
 }
 
-/// Chooses the global variable elimination order and per-pattern access
-/// paths from exact prefix cardinalities.
-pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
-    // Variable universe in first-appearance order.
+/// Extracts the variable universe (first-appearance order) and per-
+/// pattern shapes shared by both planners.
+fn shapes(bgp: &Bgp) -> (Vec<VarName>, Vec<PatternInfo>) {
     let mut vars: Vec<VarName> = Vec::new();
     let mut infos: Vec<PatternInfo> = Vec::new();
     for pat in &bgp.patterns {
@@ -178,10 +178,18 @@ pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
         }
         infos.push(info);
     }
+    (vars, infos)
+}
 
-    // Exact cardinality of each pattern's constant positions (for a
-    // repeated-variable pattern this is an upper bound, still sound for
-    // both ordering and the emptiness short-circuit).
+/// Exact cardinality of each pattern's constant positions (for a
+/// repeated-variable pattern this is an upper bound, still sound for
+/// both ordering and the emptiness short-circuit), plus the provably-
+/// empty reason when some pattern matches nothing.
+fn exact_cards(
+    st: &TripleStore,
+    bgp: &Bgp,
+    infos: &[PatternInfo],
+) -> (Vec<usize>, Option<String>) {
     let mut empty = None;
     let mut cards = Vec::with_capacity(infos.len());
     for (info, pat) in infos.iter().zip(&bgp.patterns) {
@@ -200,6 +208,14 @@ pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
         }
         cards.push(card);
     }
+    (cards, empty)
+}
+
+/// Chooses the global variable elimination order and per-pattern access
+/// paths from exact prefix cardinalities.
+pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
+    let (vars, infos) = shapes(bgp);
+    let (cards, empty) = exact_cards(st, bgp, &infos);
 
     // Greedy elimination order: prefer variables connected to the prefix
     // chosen so far (avoids cartesian interleaving), then the smallest
@@ -241,11 +257,27 @@ pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
         // — the exact cardinality evidence the choice was based on.
         var_cards.push(best.map(|(_, card, _, _)| card).unwrap_or(0));
     }
+    assemble(vars, &infos, &cards, order, var_cards, empty)
+}
+
+/// Builds the per-pattern access paths for a chosen elimination order —
+/// the shared back half of both planners. The access-path rules (consts
+/// first, variables ascending by level, repeated-variable patterns
+/// materialized) are what [`verify_plan`] re-checks, so any order
+/// produced here yields a verifiable plan.
+fn assemble(
+    vars: Vec<VarName>,
+    infos: &[PatternInfo],
+    cards: &[usize],
+    order: Vec<usize>,
+    var_cards: Vec<usize>,
+    empty: Option<String>,
+) -> Plan {
     let level_of = |id: usize| -> usize { order.iter().position(|&v| v == id).unwrap_or(0) };
 
     // Per-pattern access path.
     let mut patterns = Vec::with_capacity(infos.len());
-    for (info, &card) in infos.iter().zip(&cards) {
+    for (info, &card) in infos.iter().zip(cards.iter()) {
         let mut levels: Vec<usize> = info.var_ids.iter().map(|&id| level_of(id)).collect();
         levels.sort_unstable();
         if info.repeated {
@@ -285,6 +317,246 @@ pub fn plan(st: &TripleStore, bgp: &Bgp) -> Plan {
         patterns,
         var_cards,
         empty,
+    }
+}
+
+/// One elimination level's cost-model evidence from the sketch planner:
+/// the estimated extensions per already-bound prefix, the cumulative
+/// prefix-count estimate after this level, and which statistic supplied
+/// the figure.
+#[derive(Clone, Debug)]
+pub struct LevelEstimate {
+    /// The variable chosen at this level.
+    pub var: VarName,
+    /// Estimated extensions per bound prefix.
+    pub ext: f64,
+    /// Estimated prefixes after binding this variable (product of `ext`
+    /// down the order so far).
+    pub prefixes: f64,
+    /// Which statistic the estimate came from.
+    pub basis: String,
+}
+
+/// A sketch-planned [`Plan`] plus the per-level estimates that justified
+/// the order — surfaced by `--explain`.
+#[derive(Clone, Debug)]
+pub struct SketchPlan {
+    /// The executable plan (same invariants as the greedy planner's;
+    /// passes [`verify_plan`]).
+    pub plan: Plan,
+    /// Per-level cost-model evidence, parallel to `plan.vars`.
+    pub estimates: Vec<LevelEstimate>,
+}
+
+impl SketchPlan {
+    /// Renders the per-level estimates for `--explain`.
+    pub fn render_estimates(&self) -> String {
+        let mut out = String::new();
+        if self.estimates.is_empty() {
+            return out;
+        }
+        out.push_str("  sketch estimates:\n");
+        for (i, e) in self.estimates.iter().enumerate() {
+            out.push_str(&format!(
+                "    level {i}: ?{} ext ~{:.1}, prefixes ~{:.1} [{}]\n",
+                e.var, e.ext, e.prefixes, e.basis
+            ));
+        }
+        out
+    }
+
+    /// The final cumulative prefix estimate — an answer-count estimate.
+    pub fn est_answers(&self) -> Option<f64> {
+        self.estimates.last().map(|e| e.prefixes)
+    }
+}
+
+/// Estimated extensions for candidate variable `v` through one pattern,
+/// given the set of already-placed variables: the two-level cost model's
+/// per-pattern term. Returns the estimate, the statistic it used, and —
+/// when the pattern binds `v` with nothing else bound — the ordering
+/// whose leading-column bitmap can refine the estimate by intersection.
+fn sketch_ext(
+    sk: &StoreSketch,
+    info: &PatternInfo,
+    placed: &[bool],
+    v: usize,
+) -> (f64, &'static str, Option<IndexOrder>) {
+    let vpos = info
+        .var_pos
+        .iter()
+        .find(|&&(_, id)| id == v)
+        .map(|&(p, _)| p)
+        .unwrap_or(0);
+    // Bound key columns ahead of v: constants first (their values feed
+    // the heavy-hitter lookup), then already-placed variable positions.
+    let mut bound: Vec<(usize, Option<Sym>)> = info
+        .const_pos
+        .iter()
+        .map(|&(p, c)| (p, Some(c)))
+        .collect();
+    for &(p, id) in &info.var_pos {
+        if id != v && placed[id] && !bound.iter().any(|&(q, _)| q == p) {
+            bound.push((p, None));
+        }
+    }
+    bound.truncate(2);
+    match bound.len() {
+        0 => {
+            let o = match vpos {
+                0 => IndexOrder::Spo,
+                1 => IndexOrder::Pso,
+                _ => IndexOrder::Osp,
+            };
+            (sk.ext_estimate(o, 0, None), "distinct", Some(o))
+        }
+        1 => {
+            let (b, c) = bound[0];
+            let rest = 3 - b - vpos;
+            let o = IndexOrder::from_perm([b, vpos, rest]);
+            let basis = if c.is_some() { "heavy@1" } else { "avg@1" };
+            (sk.ext_estimate(o, 1, c), basis, None)
+        }
+        _ => {
+            let (b0, c0) = bound[0];
+            let (b1, _) = bound[1];
+            let o = IndexOrder::from_perm([b0, b1, vpos]);
+            (sk.ext_estimate(o, 2, c0), "fanout@2", None)
+        }
+    }
+}
+
+/// Sketch-driven planner: same pattern shapes, exact cardinalities and
+/// access-path assembly as [`plan`], but the elimination order is chosen
+/// by a two-level cost model — per-candidate estimated extensions from
+/// the [`StoreSketch`] (distinct counts, per-value heavy-hitter degrees,
+/// leading-column bitmap intersections), still preferring connected
+/// variables and capped by the exact min-cardinality. The sketches only
+/// influence *order*; recorded cardinalities stay exact, so the result
+/// passes [`verify_plan`] by construction.
+pub fn plan_sketched(st: &TripleStore, sk: &StoreSketch, bgp: &Bgp) -> SketchPlan {
+    let (vars, infos) = shapes(bgp);
+    let (cards, empty) = exact_cards(st, bgp, &infos);
+
+    let nvars = vars.len();
+    let mut order: Vec<usize> = Vec::with_capacity(nvars);
+    let mut var_cards: Vec<usize> = Vec::with_capacity(nvars);
+    let mut estimates: Vec<LevelEstimate> = Vec::with_capacity(nvars);
+    let mut placed = vec![false; nvars];
+    let mut prefixes = 1.0f64;
+    while order.len() < nvars {
+        // (¬connected, ⌈log₂ ext⌉, coverage, exact min-card,
+        // appearance) — the greedy score's lexicographic shape with the
+        // sketch estimate inserted as a powers-of-two band. Bands, not
+        // raw estimates: sketch evidence is order-of-magnitude evidence
+        // (distinct counts conflate candidate-set size with downstream
+        // intersection work), so only a genuine magnitude gap overrides
+        // greedy's coverage/appearance tie-breaks. Where every band
+        // ties, the order degenerates to exactly the greedy oracle's —
+        // the sketch planner is a strict refinement, which is what keeps
+        // it from ever regressing materially against greedy.
+        let mut best: Option<(usize, i64, usize, usize, usize)> = None;
+        let mut best_basis = "";
+        let mut best_ext = 0.0f64;
+        for v in 0..nvars {
+            if placed[v] {
+                continue;
+            }
+            let mut connected = false;
+            let mut min_card = usize::MAX;
+            let mut coverage = 0usize;
+            let mut ext = f64::INFINITY;
+            let mut basis = "";
+            let mut leads: Vec<IndexOrder> = Vec::new();
+            for (info, &card) in infos.iter().zip(cards.iter()) {
+                if !info.var_ids.contains(&v) {
+                    continue;
+                }
+                coverage += 1;
+                min_card = min_card.min(card);
+                if info.var_ids.iter().any(|u| placed[*u]) || !info.const_pos.is_empty() {
+                    connected = true;
+                }
+                let (e, b, lead) = sketch_ext(sk, info, &placed, v);
+                if let Some(o) = lead {
+                    leads.push(o);
+                }
+                if e < ext {
+                    ext = e;
+                    basis = b;
+                }
+            }
+            // Two unconstrained patterns meeting on v: the candidate set
+            // is (at most) the intersection of their leading columns.
+            if leads.len() >= 2 {
+                let mut inter = f64::INFINITY;
+                for i in 0..leads.len() {
+                    for j in i + 1..leads.len() {
+                        let a = &sk.ordering(leads[i]).col0;
+                        let b = &sk.ordering(leads[j]).col0;
+                        inter = inter.min(a.intersect_estimate(b));
+                    }
+                }
+                if inter < ext {
+                    ext = inter.max(1.0);
+                    basis = "bitmap-cap";
+                }
+            }
+            // The exact pattern cardinality is a hard upper bound on
+            // extensions; never let an estimate exceed it.
+            if (min_card as f64) < ext {
+                ext = min_card as f64;
+                basis = "card-cap";
+            }
+            let band = ext.max(1.0).log2().ceil() as i64;
+            let score = (
+                usize::from(!connected),
+                band,
+                usize::MAX - coverage,
+                min_card,
+                v,
+            );
+            if best.is_none_or(|b| score < b) {
+                best = Some(score);
+                best_basis = basis;
+                best_ext = ext;
+            }
+        }
+        let (ext, (_, _, _, min_card, v)) = (best_ext, best.unwrap_or((0, 0, 0, 0, 0)));
+        placed[v] = true;
+        order.push(v);
+        var_cards.push(min_card);
+        prefixes = (prefixes * ext.max(if min_card == 0 { 0.0 } else { 1.0 })).min(1e18);
+        estimates.push(LevelEstimate {
+            var: vars[v].clone(),
+            ext,
+            prefixes,
+            basis: best_basis.to_owned(),
+        });
+    }
+
+    SketchPlan {
+        plan: assemble(vars, &infos, &cards, order, var_cards, empty),
+        estimates,
+    }
+}
+
+/// The production planning entry: sketch-driven order, greedy fallback.
+/// Returns the plan, whether the sketch planner supplied it (`false`
+/// means the greedy oracle was used), and the per-level estimates.
+/// The fallback fires only if the sketch plan fails [`verify_plan`] —
+/// which it passes by construction, so this is a safety net, but it is
+/// exactly the "greedy planner stays the oracle" contract.
+pub fn plan_best(
+    st: &TripleStore,
+    sk: &StoreSketch,
+    bgp: &Bgp,
+) -> (Plan, bool, Vec<LevelEstimate>) {
+    let sp = plan_sketched(st, sk, bgp);
+    if verify_plan(st, bgp, &sp.plan).is_ok() {
+        (sp.plan, true, sp.estimates)
+    } else {
+        (plan(st, bgp), false, Vec::new())
     }
 }
 
@@ -1013,6 +1285,280 @@ pub fn solve_governed(
 ) -> Result<Governed<Solution>, EvalError> {
     let plan = plan(st, bgp);
     run(st, bgp, &plan, effective_threads(), Some(gov))
+}
+
+/// Governed execution of a caller-supplied plan (e.g. a sketch-driven
+/// one) — same verification gate, partitioning and partial semantics as
+/// [`solve_governed`].
+pub fn solve_planned_governed(
+    st: &TripleStore,
+    bgp: &Bgp,
+    plan: &Plan,
+    gov: &Governor,
+) -> Result<Governed<Solution>, EvalError> {
+    run(st, bgp, plan, effective_threads(), Some(gov))
+}
+
+/// Per-elimination-level XOR constraints for the counting recursion; an
+/// answer is counted only if, at every level, its prefix hash satisfies
+/// that level's constraints. Empty vectors everywhere means exact
+/// counting.
+#[derive(Clone, Debug, Default)]
+pub struct LevelConstraints {
+    /// Constraints applied to the prefix hash at each level.
+    pub per_level: Vec<Vec<XorConstraint>>,
+}
+
+impl LevelConstraints {
+    /// No constraints: the counter is exact.
+    pub fn none(nlevels: usize) -> LevelConstraints {
+        LevelConstraints {
+            per_level: vec![Vec::new(); nlevels],
+        }
+    }
+
+    /// Total number of constraints across all levels.
+    pub fn total(&self) -> u32 {
+        self.per_level.iter().map(|l| l.len() as u32).sum()
+    }
+
+    fn at(&self, level: usize) -> &[XorConstraint] {
+        self.per_level.get(level).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Why the counting recursion stopped early.
+enum CountStop {
+    /// The count reached the caller's cap.
+    Cap,
+    /// The governor tripped.
+    Interrupt(Interrupt),
+}
+
+/// Counting twin of [`join_level`]: same leapfrog intersection, but no
+/// rows are materialized — matched bindings only bump a counter. Prefix
+/// hashes are chained down the recursion so XOR constraints prune whole
+/// subtrees at the level they bind. At the deepest level, a
+/// single-participant unconstrained intersection is counted as a range
+/// length: the remaining candidates of the one cursor are provably
+/// distinct (triples are unique, and materialized tables are deduped),
+/// so `hi - pos` is the exact extension count without iterating.
+fn count_level(
+    engine: &Engine,
+    cursors: &mut [Cursor],
+    level: usize,
+    hash: u64,
+    cons: &LevelConstraints,
+    cap: u64,
+    count: &mut u64,
+    ticker: &mut Ticker,
+) -> Result<(), CountStop> {
+    let parts = &engine.level_parts[level];
+    let last = level + 1 == engine.nvars;
+    let lcons = cons.at(level);
+    for &pi in parts {
+        cursors[pi].reset();
+    }
+    if last && parts.len() == 1 && lcons.is_empty() {
+        let pi = parts[0];
+        let d = cursors[pi].depth();
+        let n = (cursors[pi].hi[d] - cursors[pi].pos[d]) as u64;
+        let mut left = n;
+        while left > 0 {
+            let step = left.min(u64::from(u32::MAX));
+            ticker
+                .tick_n(step as u32)
+                .map_err(CountStop::Interrupt)?;
+            left -= step;
+        }
+        *count += n;
+        if *count >= cap {
+            return Err(CountStop::Cap);
+        }
+        return Ok(());
+    }
+    loop {
+        let mut max = Sym(0);
+        for &pi in parts {
+            if cursors[pi].at_end() {
+                return Ok(());
+            }
+            max = max.max(cursors[pi].key());
+        }
+        let mut all_eq = true;
+        for &pi in parts {
+            if cursors[pi].key() < max {
+                ticker.tick().map_err(CountStop::Interrupt)?;
+                cursors[pi].seek(max);
+                if cursors[pi].at_end() {
+                    return Ok(());
+                }
+                if cursors[pi].key() != max {
+                    all_eq = false;
+                }
+            }
+        }
+        if !all_eq {
+            continue;
+        }
+        let h = chain_hash(hash, level, max);
+        if lcons.iter().all(|c| c.passes(h)) {
+            if last {
+                *count += 1;
+                if *count >= cap {
+                    return Err(CountStop::Cap);
+                }
+            } else {
+                for &pi in parts {
+                    cursors[pi].open();
+                }
+                let r = count_level(engine, cursors, level + 1, h, cons, cap, count, ticker);
+                for &pi in parts {
+                    cursors[pi].up();
+                }
+                r?;
+            }
+        }
+        ticker.tick().map_err(CountStop::Interrupt)?;
+        let pi0 = parts[0];
+        cursors[pi0].next();
+        if cursors[pi0].at_end() {
+            return Ok(());
+        }
+    }
+}
+
+/// Counts the answers of a planned BGP without materializing them,
+/// subject to per-level XOR constraints and an early-exit cap. Returns
+/// the count (clamped at `cap`) plus the interrupt that stopped it, if
+/// any — a tripped run's count is a lower bound on the constrained
+/// total. The count is a single scalar, so it is trivially identical at
+/// any partition count; the recursion runs single-threaded.
+pub(crate) fn count_planned_capped(
+    st: &TripleStore,
+    bgp: &Bgp,
+    plan: &Plan,
+    cons: &LevelConstraints,
+    cap: u64,
+    gov: Option<&Governor>,
+) -> Result<(u64, Option<Interrupt>), EvalError> {
+    verify_plan(st, bgp, plan).map_err(EvalError::PlanUnsound)?;
+    if plan.empty.is_some() || cap == 0 {
+        return Ok((0, None));
+    }
+    if plan.vars.is_empty() {
+        // All-constant patterns, all present: one empty binding.
+        return Ok((1, None));
+    }
+
+    let var_level = |name: &str| plan.vars.iter().position(|v| v == name).unwrap_or(0);
+    let mut tables: Vec<Vec<[Sym; 3]>> = Vec::new();
+    for (pp, pat) in plan.patterns.iter().zip(&bgp.patterns) {
+        if pp.filtered {
+            let rows = materialize_filtered(st, pat, &pp.levels, var_level);
+            if let Some(gov) = gov {
+                if let Err(why) = gov.charge_memory((rows.len() * 24 + 24) as u64) {
+                    return Ok((0, Some(why)));
+                }
+            }
+            tables.push(rows);
+        }
+    }
+    let engine = Engine::build(st, plan, &tables);
+
+    let mut ticker = Ticker::maybe(gov);
+    let candidates = match level0_candidates(&engine, &mut ticker) {
+        Ok(c) => c,
+        Err(why) => return Ok((0, Some(why))),
+    };
+    let mut cursors: Vec<Cursor> = engine.specs.iter().map(Cursor::new).collect();
+    let parts = engine.level_parts[0].clone();
+    let mut count = 0u64;
+    let mut tripped: Option<Interrupt> = None;
+    'outer: for &v in &candidates {
+        if let Err(why) = ticker.tick() {
+            tripped = Some(why);
+            break;
+        }
+        let h0 = chain_hash(ROOT_HASH, 0, v);
+        if !cons.at(0).iter().all(|c| c.passes(h0)) {
+            continue;
+        }
+        if engine.nvars == 1 {
+            count += 1;
+            if count >= cap {
+                break;
+            }
+            continue;
+        }
+        for &pi in &parts {
+            cursors[pi].seek(v);
+            debug_assert!(!cursors[pi].at_end() && cursors[pi].key() == v);
+            cursors[pi].open();
+        }
+        let r = count_level(
+            &engine,
+            &mut cursors,
+            1,
+            h0,
+            cons,
+            cap,
+            &mut count,
+            &mut ticker,
+        );
+        for &pi in &parts {
+            cursors[pi].up();
+        }
+        match r {
+            Ok(()) => {}
+            Err(CountStop::Cap) => break 'outer,
+            Err(CountStop::Interrupt(why)) => {
+                tripped = Some(why);
+                break 'outer;
+            }
+        }
+    }
+    if tripped.is_none() {
+        if let Err(why) = ticker.flush() {
+            tripped = Some(why);
+        }
+    }
+    Ok((count.min(cap), tripped))
+}
+
+/// Exact number of answers of a BGP, without materializing them.
+pub fn count(st: &TripleStore, bgp: &Bgp) -> u64 {
+    let plan = plan(st, bgp);
+    count_planned(st, bgp, &plan)
+}
+
+/// Exact answer count over a caller-supplied plan (e.g. a sketch-driven
+/// one): same verification gate as [`solve_planned`].
+pub fn count_planned(st: &TripleStore, bgp: &Bgp, plan: &Plan) -> u64 {
+    let none = LevelConstraints::none(plan.vars.len());
+    match count_planned_capped(st, bgp, plan, &none, u64::MAX, None) {
+        Ok((n, _)) => n,
+        // Mirrors `solve_planned`: the only ungoverned failure is an
+        // unsound plan, and counting with one would be a wrong answer.
+        Err(e) => panic!("refusing to execute an unsound plan: {e}"),
+    }
+}
+
+/// Governed exact count over a caller-supplied plan: `Complete` with the
+/// exact count, or `Partial` with the lower bound reached when the
+/// budget tripped.
+pub fn count_planned_governed(
+    st: &TripleStore,
+    bgp: &Bgp,
+    plan: &Plan,
+    gov: &Governor,
+) -> Result<Governed<u64>, EvalError> {
+    let none = LevelConstraints::none(plan.vars.len());
+    let (n, tripped) = count_planned_capped(st, bgp, plan, &none, u64::MAX, Some(gov))?;
+    Ok(match tripped {
+        None => Governed::complete(n),
+        Some(why) => Governed::partial(n, why),
+    })
 }
 
 #[cfg(test)]

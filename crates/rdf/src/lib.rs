@@ -50,20 +50,27 @@ pub mod lftj;
 pub mod ntriples;
 pub mod query;
 pub mod reason;
+pub mod sketch;
 pub mod sparql;
 pub mod store;
 
 pub use analyze::{analyze_bgp, BgpReport, BgpVerdict};
 pub use bgp::{Bgp, Binding, TermPattern, TriplePattern};
 pub use convert::{labeled_to_rdf, rdf_to_labeled, RDF_TYPE};
-pub use lftj::{verify_plan, Plan, Solution};
+pub use lftj::{
+    count, count_planned, count_planned_governed, plan_best, plan_sketched, verify_plan,
+    LevelConstraints, LevelEstimate, Plan, SketchPlan, Solution,
+};
 pub use ntriples::{parse_ntriples, write_ntriples};
 pub use query::{rpq_pairs, rpq_starts, RpqError};
 pub use reason::{
     materialize_rdfs, InferenceStats, RDFS_DOMAIN, RDFS_RANGE, RDFS_SUBCLASS, RDFS_SUBPROPERTY,
 };
+pub use sketch::{
+    approx_count_bgp, approx_count_bgp_governed, BgpCountParams, StoreSketch,
+};
 pub use sparql::{
-    explain_parsed, explain_select, parse_select, select, select_governed, SelectQuery,
-    SparqlParseError,
+    explain_parsed, explain_select, parse_select, select, select_governed, select_governed_with,
+    SelectOutcome, SelectQuery, SparqlParseError,
 };
 pub use store::{IndexOrder, Triple, TripleStore};

@@ -22,8 +22,9 @@
 use crate::analyze::analyze_bgp;
 use crate::bgp::{Bgp, TermPattern, TriplePattern};
 use crate::convert::RDF_TYPE;
+use crate::sketch::{approx_count_bgp_governed, BgpCountParams, StoreSketch};
 use crate::store::TripleStore;
-use kgq_core::govern::{EvalError, Governed, Governor};
+use kgq_core::govern::{Completion, EvalError, Governed, Governor};
 use std::fmt;
 
 /// Parse error for SELECT queries.
@@ -50,10 +51,13 @@ impl std::error::Error for SparqlParseError {}
 /// A parsed SELECT query.
 #[derive(Clone, Debug)]
 pub struct SelectQuery {
-    /// Projection list (resolved, never `*`).
+    /// Projection list (resolved, never `*`; empty for a COUNT query).
     pub vars: Vec<String>,
     /// The WHERE pattern.
     pub pattern: Bgp,
+    /// `Some(name)` for `SELECT (COUNT(*) AS ?name)`: the query asks
+    /// for the number of answers, not the answers themselves.
+    pub count: Option<String>,
 }
 
 struct P<'a> {
@@ -169,21 +173,40 @@ pub fn parse_select(input: &str, st: &mut TripleStore) -> Result<SelectQuery, Sp
         return p.err("query must start with SELECT");
     }
     let mut vars = Vec::new();
-    let star = p.eat("*");
-    if !star {
-        loop {
-            p.skip_ws();
-            if p.src[p.pos..].starts_with('?') {
-                let v = p.variable()?;
-                if !vars.contains(&v) {
-                    vars.push(v);
-                }
-            } else {
-                break;
-            }
+    let mut count = None;
+    let mut star = false;
+    if p.eat("(") {
+        // Aggregate projection: `(COUNT(*) AS ?name)`.
+        if !p.eat_keyword("COUNT") {
+            return p.err("expected COUNT in aggregate projection");
         }
-        if vars.is_empty() {
-            return p.err("SELECT needs at least one variable or `*`");
+        if !p.eat("(") || !p.eat("*") || !p.eat(")") {
+            return p.err("expected `(*)` after COUNT");
+        }
+        if !p.eat_keyword("AS") {
+            return p.err("expected AS in aggregate projection");
+        }
+        count = Some(p.variable()?);
+        if !p.eat(")") {
+            return p.err("expected `)` closing the aggregate projection");
+        }
+    } else {
+        star = p.eat("*");
+        if !star {
+            loop {
+                p.skip_ws();
+                if p.src[p.pos..].starts_with('?') {
+                    let v = p.variable()?;
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                } else {
+                    break;
+                }
+            }
+            if vars.is_empty() {
+                return p.err("SELECT needs at least one variable, `*`, or COUNT(*)");
+            }
         }
     }
     if !p.eat_keyword("WHERE") {
@@ -221,7 +244,8 @@ pub fn parse_select(input: &str, st: &mut TripleStore) -> Result<SelectQuery, Sp
         return p.err("trailing input");
     }
     let vars = if star { seen_vars.clone() } else { vars };
-    // Projected variables must occur in the pattern.
+    // Projected variables must occur in the pattern. (The COUNT output
+    // variable is an aggregate alias, not a pattern binding.)
     for v in &vars {
         if !seen_vars.contains(v) {
             return Err(SparqlParseError {
@@ -230,7 +254,19 @@ pub fn parse_select(input: &str, st: &mut TripleStore) -> Result<SelectQuery, Sp
             });
         }
     }
-    Ok(SelectQuery { vars, pattern })
+    if let Some(c) = &count {
+        if seen_vars.contains(c) {
+            return Err(SparqlParseError {
+                pos: 0,
+                message: format!("COUNT alias ?{c} shadows a pattern variable"),
+            });
+        }
+    }
+    Ok(SelectQuery {
+        vars,
+        pattern,
+        count,
+    })
 }
 
 /// Projects a join result onto the query's SELECT list, resolving terms
@@ -255,15 +291,43 @@ fn project(st: &TripleStore, q: &SelectQuery, sol: &crate::lftj::Solution) -> Ve
     rows
 }
 
+/// Projected variables handed to the analyzer: a COUNT query projects
+/// no bindings, so every pattern variable counts as "used".
+fn projected(q: &SelectQuery) -> Option<&[String]> {
+    if q.count.is_some() {
+        None
+    } else {
+        Some(&q.vars)
+    }
+}
+
 /// Parses and evaluates a SELECT query, returning rows of term strings
 /// in projection order, sorted for determinism. A provably empty
-/// pattern (static analysis) short-circuits before planning.
+/// pattern (static analysis) short-circuits before planning; a COUNT
+/// query returns a single one-column row with the exact answer count.
+/// Planning is sketch-driven ([`crate::lftj::plan_best`]); the sketch
+/// only influences elimination order, so output is byte-identical to
+/// the greedy planner's.
 pub fn select(st: &mut TripleStore, query: &str) -> Result<Vec<Vec<String>>, SparqlParseError> {
     let q = parse_select(query, st)?;
-    if analyze_bgp(st, &q.pattern, Some(&q.vars)).provably_empty {
-        return Ok(Vec::new());
+    if analyze_bgp(st, &q.pattern, projected(&q)).provably_empty {
+        return Ok(match &q.count {
+            Some(_) => vec![vec!["0".to_owned()]],
+            None => Vec::new(),
+        });
     }
-    let sol = crate::lftj::solve(st, &q.pattern);
+    let sk = StoreSketch::build(st);
+    let (plan, _, _) = crate::lftj::plan_best(st, &sk, &q.pattern);
+    if q.count.is_some() {
+        let n = crate::lftj::count_planned(st, &q.pattern, &plan);
+        return Ok(vec![vec![n.to_string()]]);
+    }
+    let sol = crate::lftj::solve_planned(
+        st,
+        &q.pattern,
+        &plan,
+        kgq_core::parallel::effective_threads(),
+    );
     Ok(project(st, &q, &sol))
 }
 
@@ -276,14 +340,98 @@ pub fn select_governed(
     q: &SelectQuery,
     gov: &Governor,
 ) -> Result<Governed<Vec<Vec<String>>>, EvalError> {
-    if analyze_bgp(st, &q.pattern, Some(&q.vars)).provably_empty {
-        return Ok(Governed::complete(Vec::new()));
+    select_governed_with(st, q, None, gov).map(|o| o.rows)
+}
+
+/// What [`select_governed_with`] produced, plus how: whether the
+/// sketch planner supplied the executed plan (vs the greedy fallback)
+/// and whether a COUNT query degraded to the FPRAS estimate — the
+/// evidence the serve layer's STATS counters report.
+pub struct SelectOutcome {
+    /// The projected rows (or the single-row count), governed.
+    pub rows: Governed<Vec<Vec<String>>>,
+    /// True when the sketch-driven plan was executed.
+    pub sketch_planned: bool,
+    /// True when a COUNT query fell back to the approximate counter.
+    pub approx_count: bool,
+}
+
+/// [`select_governed`] with an optional pre-built [`StoreSketch`]:
+/// sketch-driven planning when available (greedy otherwise), and — for
+/// COUNT queries — the governed degradation ladder: exact count while
+/// the budget lasts, then an XOR-hash (ε, δ) estimate under a successor
+/// budget with the `degraded` flag set. The exact path's output is
+/// byte-identical whether or not a sketch is supplied.
+pub fn select_governed_with(
+    st: &TripleStore,
+    q: &SelectQuery,
+    sk: Option<&StoreSketch>,
+    gov: &Governor,
+) -> Result<SelectOutcome, EvalError> {
+    if analyze_bgp(st, &q.pattern, projected(q)).provably_empty {
+        let rows = match &q.count {
+            Some(_) => vec![vec!["0".to_owned()]],
+            None => Vec::new(),
+        };
+        return Ok(SelectOutcome {
+            rows: Governed::complete(rows),
+            sketch_planned: false,
+            approx_count: false,
+        });
     }
-    let governed = crate::lftj::solve_governed(st, &q.pattern, gov)?;
-    Ok(Governed {
-        value: project(st, q, &governed.value),
-        completion: governed.completion,
-        degraded: governed.degraded,
+    let (plan, sketch_planned) = match sk {
+        Some(sk) => {
+            let (p, used, _) = crate::lftj::plan_best(st, sk, &q.pattern);
+            (p, used)
+        }
+        None => (crate::lftj::plan(st, &q.pattern), false),
+    };
+    if q.count.is_some() {
+        let exact = crate::lftj::count_planned_governed(st, &q.pattern, &plan, gov)?;
+        if matches!(exact.completion, Completion::Complete) {
+            return Ok(SelectOutcome {
+                rows: Governed::complete(vec![vec![exact.value.to_string()]]),
+                sketch_planned,
+                approx_count: false,
+            });
+        }
+        // Budget exhausted mid-count: degrade to the approximate
+        // counter under a fresh successor budget. Its own exact path
+        // (small counts) still returns the precise value.
+        let built;
+        let sk_ref = match sk {
+            Some(s) => s,
+            None => {
+                built = StoreSketch::build(st);
+                &built
+            }
+        };
+        let approx = approx_count_bgp_governed(
+            st,
+            sk_ref,
+            &q.pattern,
+            BgpCountParams::default(),
+            &gov.successor(),
+        )?;
+        return Ok(SelectOutcome {
+            rows: Governed {
+                value: vec![vec![approx.value.to_string()]],
+                completion: approx.completion,
+                degraded: approx.degraded,
+            },
+            sketch_planned,
+            approx_count: true,
+        });
+    }
+    let governed = crate::lftj::solve_planned_governed(st, &q.pattern, &plan, gov)?;
+    Ok(SelectOutcome {
+        rows: Governed {
+            value: project(st, q, &governed.value),
+            completion: governed.completion,
+            degraded: governed.degraded,
+        },
+        sketch_planned,
+        approx_count: false,
     })
 }
 
@@ -301,15 +449,45 @@ pub fn explain_select(st: &mut TripleStore, query: &str) -> Result<String, Sparq
 /// report alongside the rendered text, so callers (the `ANALYZE` server
 /// verb, `kgq analyze`) can count verdicts without re-analyzing.
 pub fn explain_parsed(st: &TripleStore, q: &SelectQuery) -> (crate::analyze::BgpReport, String) {
-    let report = analyze_bgp(st, &q.pattern, Some(&q.vars));
+    let mut report = analyze_bgp(st, &q.pattern, projected(q));
     let mut out = String::from("== diagnostics ==\n");
     out.push_str(&report.render());
     out.push_str("== plan ==\n");
     if report.provably_empty {
         out.push_str("short-circuit: empty answer before planning\n");
     } else {
-        let plan = crate::lftj::plan(st, &q.pattern);
-        out.push_str(&plan.render(st, &q.pattern));
+        // Both planners run: the sketch-driven plan is what executes,
+        // the greedy order is printed as the oracle it remains.
+        let sk = StoreSketch::build(st);
+        let sp = crate::lftj::plan_sketched(st, &sk, &q.pattern);
+        let greedy = crate::lftj::plan(st, &q.pattern);
+        report.verdict.est_answers = sp.est_answers();
+        out.push_str(&sp.plan.render(st, &q.pattern));
+        out.push_str(&sp.render_estimates());
+        let order = if greedy.vars.is_empty() {
+            "(none)".to_owned()
+        } else {
+            greedy
+                .vars
+                .iter()
+                .map(|v| format!("?{v}"))
+                .collect::<Vec<_>>()
+                .join(" < ")
+        };
+        let agrees = greedy.vars == sp.plan.vars;
+        out.push_str(&format!(
+            "  greedy order: {order} ({})\n",
+            if agrees {
+                "sketch planner agrees"
+            } else {
+                "sketch planner overrides"
+            }
+        ));
+        if q.count.is_some() {
+            out.push_str(
+                "  count query: exact governed count; XOR-hash (\u{3b5}, \u{3b4}) estimate on budget exhaustion\n",
+            );
+        }
     }
     out.push_str("== verdict ==\n");
     out.push_str(&report.verdict.render());

@@ -23,7 +23,7 @@ use kgq_core::{
     Governed, Governor, PropertyView, QueryCache,
 };
 use kgq_graph::{PropertyGraph, SchemaSummary};
-use kgq_rdf::TripleStore;
+use kgq_rdf::{StoreSketch, TripleStore};
 use kgq_store::{DurableStore, EdgeRec};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -36,6 +36,12 @@ pub struct Snapshot {
     /// already held (lock order: graph before schema).
     schema: Mutex<Option<(u64, Arc<SchemaSummary>)>>,
     store: RwLock<TripleStore>,
+    /// Cardinality sketches for the SPARQL planner, memoized per cache
+    /// generation exactly like the schema summary: every committed
+    /// mutation bumps the generation, so a stale sketch is never
+    /// consulted. Acquired only while the store read lock is already
+    /// held (same rank: store before sketches is the store rank).
+    sketches: Mutex<Option<(u64, Arc<StoreSketch>)>>,
     cache: QueryCache,
     /// The durable write path, when the server was started with a store
     /// directory. Mutations are WAL-committed (fsynced) here *before*
@@ -84,6 +90,7 @@ impl Snapshot {
             graph: RwLock::new(graph),
             schema: Mutex::new(None),
             store: RwLock::new(store),
+            sketches: Mutex::new(None),
             cache: QueryCache::from_env(),
             durable: None,
             caps,
@@ -141,6 +148,22 @@ impl Snapshot {
 
     fn store_read(&self) -> RwLockReadGuard<'_, TripleStore> {
         self.store.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The planner sketches for the current store snapshot, memoized
+    /// against the cache generation. `generation` must be read under
+    /// the graph lock *before* taking the store lock (the documented
+    /// lock order), so the pair `(st, generation)` is consistent.
+    pub fn store_sketch(&self, st: &TripleStore, generation: u64) -> Arc<StoreSketch> {
+        let mut cached = self.sketches.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((stamp, sk)) = cached.as_ref() {
+            if *stamp == generation {
+                return Arc::clone(sk);
+            }
+        }
+        let sk = Arc::new(StoreSketch::build(st));
+        *cached = Some((generation, Arc::clone(&sk)));
+        sk
     }
 
     fn store_write(&self) -> RwLockWriteGuard<'_, TripleStore> {
@@ -344,24 +367,47 @@ impl Snapshot {
             let mut st = self.store_write();
             kgq_rdf::parse_select(payload, &mut st).map_err(|e| e.to_string())?
         };
+        // Generation under the graph lock, store lock after — the
+        // documented order; mutators hold graph before store, so the
+        // pair is a consistent snapshot.
+        let g = self.graph_read();
+        let generation = g.generation();
         let st = self.store_read();
+        drop(g);
         // Analyzer gate: tallies BGP verdicts and answers Deny-empty
         // queries without planning — byte-identical to the governed
         // evaluator's own short-circuit, which re-checks internally.
-        let report = kgq_rdf::analyze_bgp(&st, &q.pattern, Some(&q.vars));
+        // (A COUNT query projects no bindings, so all its variables
+        // count as used.)
+        let projected = if q.count.is_some() {
+            None
+        } else {
+            Some(q.vars.as_slice())
+        };
+        let report = kgq_rdf::analyze_bgp(&st, &q.pattern, projected);
         self.record_analysis(&report.diagnostics);
         if report.provably_empty {
             self.stats.deny_short_circuit();
-            return Ok(Outcome::ok(String::new(), false));
+            let body = match &q.count {
+                Some(_) => "0\n".to_owned(),
+                None => String::new(),
+            };
+            return Ok(Outcome::ok(body, false));
         }
+        let sk = self.store_sketch(&st, generation);
         let gov = Governor::with_cancel(budget, cancel);
-        let res = kgq_rdf::select_governed(&st, &q, &gov).map_err(|e| e.to_string())?;
+        let res = kgq_rdf::select_governed_with(&st, &q, Some(&sk), &gov)
+            .map_err(|e| e.to_string())?;
+        self.stats.plan_choice(res.sketch_planned);
+        if res.approx_count {
+            self.stats.approx_count();
+        }
         let mut out = String::new();
-        for row in &res.value {
+        for row in &res.rows.value {
             out.push_str(&row.join("\t"));
             out.push('\n');
         }
-        let partial = marker(&mut out, &res);
+        let partial = marker(&mut out, &res.rows);
         Ok(Outcome::ok(out, partial))
     }
 
@@ -866,6 +912,47 @@ mod tests {
         );
         assert!(sparql.ok && sparql.body.is_empty(), "{}", sparql.body);
         assert!(snap.stats.deny_short_circuits() >= 3);
+    }
+
+    #[test]
+    fn sketch_cache_follows_the_generation_stamp() {
+        let snap = snapshot(Budget::unlimited());
+        let (gen0, sk0) = {
+            let g = snap.graph_read();
+            let generation = g.generation();
+            let st = snap.store_read();
+            drop(g);
+            (generation, snap.store_sketch(&st, generation))
+        };
+        {
+            let st = snap.store_read();
+            let again = snap.store_sketch(&st, gen0);
+            assert!(
+                Arc::ptr_eq(&sk0, &again),
+                "same generation must reuse the cached sketch"
+            );
+        }
+        // Mutate through the public surface: INSERT bumps the generation,
+        // so the next planner run rebuilds instead of consulting the
+        // stale sketch.
+        let out = snap.execute(
+            Verb::Insert,
+            &Caps::none(),
+            "<d> <knows> <a> .",
+            CancelToken::new(),
+        );
+        assert!(out.ok, "{}", out.body);
+        let g = snap.graph_read();
+        let gen1 = g.generation();
+        let st = snap.store_read();
+        drop(g);
+        assert_ne!(gen0, gen1, "mutation bumps the generation");
+        let sk1 = snap.store_sketch(&st, gen1);
+        assert!(
+            !Arc::ptr_eq(&sk0, &sk1),
+            "a stale sketch must never survive touch()"
+        );
+        assert_eq!(sk1.triples, st.len());
     }
 
     #[test]

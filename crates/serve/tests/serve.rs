@@ -225,3 +225,47 @@ fn disconnect_reclaims_queued_work() {
     assert!(got.ok);
     handle.shutdown();
 }
+
+#[test]
+fn sparql_count_is_exact_when_budget_allows_and_degrades_when_starved() {
+    let handle = boot(Budget::unlimited(), 2);
+    let mut c = connect(&handle);
+    // Unlimited budget: COUNT(*) answers exactly, with no markers.
+    let exact = c
+        .sparql(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?x <knows> ?y . }",
+            &Caps::none(),
+        )
+        .unwrap();
+    assert!(exact.ok, "{}", exact.body);
+    assert_eq!(exact.body, "3\n");
+    assert!(!exact.is_partial());
+    // A one-step budget: the exact counter trips, the governed
+    // approximate path takes over and the reply carries the typed
+    // degraded marker (the FPRAS degradation contract).
+    let starved = c
+        .sparql(
+            "SELECT (COUNT(*) AS ?n) WHERE { ?x <knows> ?y . }",
+            &Caps {
+                max_steps: Some(1),
+                ..Caps::default()
+            },
+        )
+        .unwrap();
+    assert!(starved.ok, "{}", starved.body);
+    assert!(
+        starved.body.contains("# degraded:"),
+        "starved COUNT must carry the degraded marker: {}",
+        starved.body
+    );
+    // A plain SELECT exercises the sketch-driven planner.
+    let plain = c
+        .sparql("SELECT ?x ?y WHERE { ?x <knows> ?y . }", &Caps::none())
+        .unwrap();
+    assert!(plain.ok, "{}", plain.body);
+    let stats = c.stats().unwrap();
+    assert!(stat(&stats, "plans_sketch").unwrap() >= 1, "{stats}");
+    assert!(stat(&stats, "approx_counts").unwrap() >= 1, "{stats}");
+    drop(c);
+    handle.shutdown();
+}

@@ -6,7 +6,7 @@
 //! kgq cypher GRAPH 'MATCH ... RETURN ...'
 //! kgq analytics GRAPH [pagerank|betweenness|components|diameter|densest]
 //! kgq rdf FILE.nt path 'EXPR' | infer
-//! kgq sparql FILE.nt 'SELECT ... WHERE { ... }' [--explain]
+//! kgq sparql FILE.nt 'SELECT ... WHERE { ... }' [--explain|--count]
 //! kgq analyze (query|cypher|sparql|rules) FILE 'TEXT'
 //! ```
 //!
@@ -34,7 +34,7 @@ fn usage() -> ExitCode {
          kgq cypher GRAPH QUERY [GOVERN]\n  \
          kgq analytics GRAPH (pagerank|betweenness|components|diameter|densest)\n  \
          kgq rdf FILE (path EXPR|select QUERY|infer)\n  \
-         kgq sparql FILE QUERY [--explain] [GOVERN]\n  \
+         kgq sparql FILE QUERY [--explain|--count] [GOVERN]\n  \
          kgq analyze (query|cypher|sparql|rules) FILE TEXT\n  \
          kgq serve GRAPH [--nt FILE] [--store DIR] [--port P] [--workers W] [GOVERN]\n  \
          kgq store (init DIR [--nt FILE]|append DIR FILE [--delete]|compact DIR|verify DIR|dump DIR)\n  \
@@ -459,7 +459,7 @@ fn cmd_rdf(args: &[String]) -> Result<String, String> {
     }
 }
 
-/// `kgq sparql FILE QUERY [--explain] [GOVERN]` — SELECT evaluation by
+/// `kgq sparql FILE QUERY [--explain|--count] [GOVERN]` — SELECT evaluation by
 /// the leapfrog triejoin, with the analyzer + plan report behind
 /// `--explain` and the standard governance flags.
 fn cmd_sparql(args: &[String]) -> Result<String, String> {
@@ -472,6 +472,25 @@ fn cmd_sparql(args: &[String]) -> Result<String, String> {
         return rdf::explain_select(&mut st, query).map_err(|e| e.to_string());
     }
     let mut out = String::new();
+    if rest.iter().any(|a| a == "--count") {
+        // Count surface: exact under budget, XOR-hash estimate past it
+        // (the `# degraded` marker flags the estimate).
+        let mut q = rdf::parse_select(query, &mut st).map_err(|e| e.to_string())?;
+        if q.count.is_none() {
+            q.count = Some("count".to_owned());
+            q.vars.clear();
+        }
+        let budget = budget_from(rest)?.unwrap_or_default();
+        let gov = Governor::new(&budget);
+        let sk = rdf::StoreSketch::build(&st);
+        let res = rdf::select_governed_with(&st, &q, Some(&sk), &gov).map_err(|e| e.to_string())?;
+        for row in &res.rows.value {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        completion_marker(&mut out, &res.rows);
+        return Ok(out);
+    }
     match budget_from(rest)? {
         Some(budget) => {
             let q = rdf::parse_select(query, &mut st).map_err(|e| e.to_string())?;
